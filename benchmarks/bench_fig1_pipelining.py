@@ -1,0 +1,90 @@
+"""Figure 1 — pipelined execution of the 10-node graph.
+
+The paper's figure shows the 10-node graph with 5 phases executing
+concurrently.  This benchmark runs that exact graph under full load on the
+simulated SMP with ample workers and regenerates the series:
+
+    engine      max-concurrent-phases   makespan
+    pipelined   5  (== graph depth)     ...
+    barrier     1                       ...
+
+plus the phase-concurrency profile over virtual time, and times the
+pipelined run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import format_table
+from repro.baselines.barrier import barrier_simulated_engine
+from repro.core.tracer import (
+    ExecutionTracer,
+    concurrent_phase_profile,
+    max_concurrent_phases,
+)
+from repro.graph.analysis import max_pipelining_depth
+from repro.graph.generators import fig1_graph
+from repro.simulator.costs import CostModel
+from repro.simulator.machine import SimulatedEngine
+from repro.streams.workloads import fig1_workload
+
+from .conftest import emit
+
+PHASES = 40
+COST = CostModel(compute_cost=1.0, bookkeeping_cost=0.001)
+
+
+def run_pipelined():
+    prog, phases = fig1_workload(phases=PHASES)
+    tracer = ExecutionTracer()
+    result = SimulatedEngine(
+        prog, num_workers=10, num_processors=10, cost_model=COST, tracer=tracer
+    ).run(phases)
+    return result, tracer
+
+
+def run_barrier():
+    prog, phases = fig1_workload(phases=PHASES)
+    tracer = ExecutionTracer()
+    result = barrier_simulated_engine(
+        prog, num_workers=10, num_processors=10, cost_model=COST, tracer=tracer
+    ).run(phases)
+    return result, tracer
+
+
+def test_fig1_pipelining(benchmark):
+    pipe_result, pipe_tracer = benchmark.pedantic(
+        run_pipelined, iterations=1, rounds=3
+    )
+    barr_result, barr_tracer = run_barrier()
+
+    pipe_depth = max_concurrent_phases(pipe_tracer.intervals())
+    barr_depth = max_concurrent_phases(barr_tracer.intervals())
+    bound = max_pipelining_depth(fig1_graph())
+
+    rows = [
+        ["pipelined (paper)", pipe_depth, bound, pipe_result.wall_time],
+        ["phase barrier", barr_depth, bound, barr_result.wall_time],
+    ]
+    table = format_table(
+        ["engine", "max concurrent phases", "depth bound", "virtual makespan"],
+        rows,
+    )
+    profile = concurrent_phase_profile(pipe_tracer.intervals())
+    peak_times = [f"{t:.1f}" for t, c in profile if c == pipe_depth][:5]
+    emit(
+        "Figure 1: 10-node graph, phases in flight",
+        table
+        + f"\nfirst instants at peak concurrency: {', '.join(peak_times)}"
+        + f"\nspeedup over barrier: {barr_result.wall_time / pipe_result.wall_time:.2f}x",
+    )
+
+    benchmark.extra_info["max_concurrent_phases"] = pipe_depth
+    benchmark.extra_info["barrier_phases"] = barr_depth
+    benchmark.extra_info["speedup_over_barrier"] = (
+        barr_result.wall_time / pipe_result.wall_time
+    )
+
+    # The paper's figure: 5 phases in flight on the depth-5 graph.
+    assert pipe_depth == 5
+    assert barr_depth == 1
+    assert pipe_result.records == barr_result.records

@@ -1,0 +1,61 @@
+"""Figure 2 — vertex numberings and the sequential-S(v) restriction.
+
+Regenerates the figure's content exactly:
+
+* the satisfactory numbering (b) with its S(v) table and the m-sequence
+  [3, 3, 4, 5, 5, 6, 7, 7];
+* the unsatisfactory numbering (a), rejected with the paper's witness
+  S(2) = {1, 2, 3, 5};
+
+and times the numbering algorithm on the figure graph (the timed kernel)
+— see bench_numbering_scale for large-graph throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import format_table
+from repro.errors import NumberingError
+from repro.graph.generators import fig2_graph, fig2a_numbering, fig2b_numbering
+from repro.graph.numbering import Numbering, compute_S, number_graph, verify_numbering
+
+from .conftest import emit
+
+
+def test_fig2_numbering(benchmark):
+    g = fig2_graph()
+    nb = benchmark(lambda: number_graph(g))
+
+    # (b): the satisfactory numbering.
+    b = Numbering.from_mapping(g, fig2b_numbering())
+    rows_b = [
+        [f"S({v})", "{" + ", ".join(map(str, sorted(compute_S(g, fig2b_numbering(), v)))) + "}"]
+        for v in range(8)
+    ]
+    # (a): the unsatisfactory numbering.
+    rows_a = [
+        [f"S({v})", "{" + ", ".join(map(str, sorted(compute_S(g, fig2a_numbering(), v)))) + "}"]
+        for v in range(8)
+    ]
+    with pytest.raises(NumberingError) as rejection:
+        verify_numbering(g, fig2a_numbering())
+
+    emit(
+        "Figure 2(a): unsatisfactory numbering (vertices 4 and 5 transposed)",
+        format_table(["set", "members"], rows_a)
+        + f"\nverifier: REJECTED — {rejection.value}",
+    )
+    emit(
+        "Figure 2(b): satisfactory numbering",
+        format_table(["set", "members"], rows_b)
+        + f"\nverifier: ACCEPTED\nm-sequence m(0..7): {b.m_sequence()}",
+    )
+
+    benchmark.extra_info["m_sequence"] = b.m_sequence()
+
+    # Paper values.
+    assert b.m_sequence() == [3, 3, 4, 5, 5, 6, 7, 7]
+    assert compute_S(g, fig2a_numbering(), 2) == {1, 2, 3, 5}
+    # The algorithm's own numbering is also satisfactory.
+    verify_numbering(g, nb.index_of)

@@ -1,0 +1,63 @@
+"""Ablation — numbering-algorithm cost at scale (Section 3.1.1).
+
+The restricted numbering is computed once per graph; this benchmark shows
+it is O(N + E) in practice by timing FIFO-Kahn numbering + verification on
+random DAGs up to 50k vertices and printing the throughput series.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.stats import format_table
+from repro.graph.generators import layered_graph
+from repro.graph.numbering import number_graph, verify_numbering
+
+from .conftest import emit
+
+SIZES = [1_000, 5_000, 20_000, 50_000]
+
+
+def build(n: int):
+    width = max(10, n // 200)
+    depth = max(2, n // width)
+    return layered_graph([width] * depth, density=min(1.0, 40 / width), seed=n)
+
+
+def test_numbering_scale(benchmark):
+    graphs = {n: build(n) for n in SIZES}
+
+    def number_largest():
+        return number_graph(graphs[SIZES[-1]])
+
+    nb = benchmark.pedantic(number_largest, iterations=1, rounds=3)
+    verify_numbering(nb.graph, nb.index_of)
+
+    rows = []
+    for n, g in graphs.items():
+        start = time.perf_counter()
+        local_nb = number_graph(g)
+        verify_numbering(g, local_nb.index_of)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                g.num_vertices,
+                g.num_edges,
+                elapsed * 1000,
+                g.num_vertices / elapsed / 1e6,
+            ]
+        )
+    emit(
+        "Numbering + verification throughput on layered random DAGs",
+        format_table(
+            ["vertices", "edges", "time (ms)", "Mvertex/s"],
+            rows,
+        ),
+    )
+    benchmark.extra_info["largest_vertices"] = graphs[SIZES[-1]].num_vertices
+
+    # Near-linear scaling: time per (vertex + edge) must not blow up with
+    # size (the generator's edges-per-vertex grows with n, so normalise by
+    # N + E, the algorithm's actual input size).
+    per_unit = [r[2] / (r[0] + r[1]) for r in rows]
+    assert per_unit[-1] < per_unit[0] * 5

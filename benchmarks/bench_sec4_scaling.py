@@ -1,0 +1,57 @@
+"""Section 4 — the near-linear-speedup prediction.
+
+The paper: "we predict that as long as the computations performed by the
+vertices take significantly more time than the computations performed to
+maintain the data structures, the speedup will be close to linear in the
+number of processors when we use a thread pool containing one computation
+thread for each processor."
+
+This benchmark sweeps worker counts 1..8 (one processor per worker plus
+one for the environment) at a coarse compute grain and prints the speedup
+/ efficiency series; a companion fine-grain sweep shows where the
+prediction's precondition fails.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.costs import CostModel
+from repro.simulator.metrics import SpeedupPoint, speedup_curve
+from repro.streams.workloads import grid_workload
+
+from .conftest import emit
+
+WORKERS = [1, 2, 4, 8]
+
+
+def sweep(cost_model: CostModel):
+    prog, phases = grid_workload(8, 4, phases=30, seed=10)
+    return speedup_curve(prog, phases, cost_model, WORKERS, processors=lambda k: k + 1)
+
+
+def test_sec4_scaling_coarse_grain(benchmark):
+    coarse = CostModel(compute_cost=50.0, bookkeeping_cost=0.05)
+    points = benchmark.pedantic(lambda: sweep(coarse), iterations=1, rounds=2)
+    body = SpeedupPoint.header() + "\n" + "\n".join(p.row() for p in points)
+    emit(
+        "Section 4 prediction: coarse grain (compute/bookkeeping = 1000)",
+        body,
+    )
+    benchmark.extra_info["efficiency_at_8"] = points[-1].efficiency
+    assert points[1].speedup > 1.85
+    assert points[2].speedup > 3.4
+    assert points[-1].efficiency > 0.8  # "close to linear"
+
+
+def test_sec4_scaling_fine_grain(benchmark):
+    fine = CostModel(compute_cost=0.1, bookkeeping_cost=0.05)
+    points = benchmark.pedantic(lambda: sweep(fine), iterations=1, rounds=2)
+    body = SpeedupPoint.header() + "\n" + "\n".join(p.row() for p in points)
+    emit(
+        "Section 4 prediction's precondition violated: fine grain "
+        "(compute/bookkeeping = 2)",
+        body
+        + "\nthe globally locked bookkeeping serialises execution (Amdahl), "
+        "exactly why the paper qualifies its prediction",
+    )
+    benchmark.extra_info["efficiency_at_8"] = points[-1].efficiency
+    assert points[-1].efficiency < 0.6

@@ -1,0 +1,100 @@
+"""Section 4 — the dual-processor speedup measurement.
+
+The paper: "On a dual-processor machine running Solaris, we have found
+that identical computations see a speedup of approximately 50% when two
+computation threads are running, compared to the speed when a single
+computation thread is running. ... there is always a thread running for
+the environment process; thus, the 50% speedup is a reasonable result
+(because the number of threads contending for the data structures is
+increased from 2 to 3)."
+
+Two reproductions:
+
+* **simulated dual-processor** (primary, GIL-free): the same scheduler on
+  the simulated 2-CPU SMP, 1 vs 2 computation threads + the environment
+  thread, with a moderate bookkeeping:compute ratio;
+* **real threads** (secondary): the threaded engine with GIL-releasing
+  vertex work (``time.sleep``-based simulated compute), 1 vs 2 threads —
+  run on whatever CPUs this host has.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.stats import format_table
+from repro.core.program import Program
+from repro.core.vertex import FunctionVertex
+from repro.runtime.engine import ParallelEngine
+from repro.simulator.costs import CostModel
+from repro.simulator.metrics import speedup_curve
+from repro.streams.workloads import grid_workload, sum_behaviors
+
+from .conftest import emit
+
+COST = CostModel(compute_cost=1.0, bookkeeping_cost=0.35, phase_start_cost=0.1)
+
+
+def simulated_curve():
+    prog, phases = grid_workload(4, 4, phases=40, seed=9)
+    return speedup_curve(prog, phases, COST, [1, 2], processors=2)
+
+
+def test_sec4_dual_processor_simulated(benchmark):
+    points = benchmark.pedantic(simulated_curve, iterations=1, rounds=3)
+    rows = [
+        [p.workers, p.processors, p.makespan, p.speedup, p.lock_contention]
+        for p in points
+    ]
+    speedup = points[1].speedup
+    emit(
+        "Section 4: dual-processor speedup (simulated SMP; paper: ~1.5x)",
+        format_table(
+            ["workers", "procs", "virtual makespan", "speedup", "lock contention"],
+            rows,
+        )
+        + f"\nmeasured speedup with 2 computation threads: {speedup:.2f}x"
+        + "\n(the environment thread always runs, so 2 workers = 3 threads "
+        "on 2 CPUs, as in the paper)",
+    )
+    benchmark.extra_info["speedup_2_workers"] = speedup
+    assert 1.25 <= speedup <= 1.85
+
+
+def _sleepy_grid(phases_count: int):
+    """The grid workload with GIL-releasing compute (sleep ~ model work)."""
+    prog, phases = grid_workload(4, 4, phases=phases_count, seed=9)
+    behaviors = sum_behaviors(prog.graph, seed=9)
+    for name, beh in behaviors.items():
+        orig = beh.on_execute
+
+        def slow(ctx, orig=orig):
+            time.sleep(0.002)  # releases the GIL, like a C-extension model
+            return orig(ctx)
+
+        beh.on_execute = slow  # type: ignore[method-assign]
+    return Program(prog.graph, behaviors), phases
+
+
+def test_sec4_dual_processor_real_threads(benchmark):
+    prog, phases = _sleepy_grid(8)
+
+    def run_pair():
+        t1 = ParallelEngine(prog, num_threads=1).run(phases).wall_time
+        t2 = ParallelEngine(prog, num_threads=2).run(phases).wall_time
+        return t1, t2
+
+    t1, t2 = benchmark.pedantic(run_pair, iterations=1, rounds=2)
+    speedup = t1 / t2
+    emit(
+        "Section 4: real threads with GIL-releasing vertex work",
+        format_table(
+            ["threads", "wall time (s)", "speedup"],
+            [[1, t1, 1.0], [2, t2, speedup]],
+        )
+        + f"\n(host has limited cores; sleep-based compute overlaps fully, "
+        f"so this measures scheduler overlap rather than CPU parallelism)",
+    )
+    benchmark.extra_info["real_thread_speedup"] = speedup
+    # Sleep-based work overlaps regardless of cores: expect a clear win.
+    assert speedup > 1.3

@@ -1,0 +1,18 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints the table or series the paper reports (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them) and stores the
+headline numbers in ``benchmark.extra_info`` so they survive in the
+pytest-benchmark JSON output.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled result block (visible with -s; kept in captured
+    output otherwise)."""
+    bar = "=" * len(title)
+    sys.stdout.write(f"\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Distribution across machines — the paper's Section 6 future work, built.
+
+Partitions a deep correlation pipeline across simulated networked
+machines (contiguous blocks of the restricted numbering = pipeline
+stages), runs the unmodified core algorithm on each machine with phase
+tokens and cut messages crossing the network, and checks the distributed
+run is byte-identical to the serial oracle.  Also shows replication by
+monitored sink.
+
+Run:  python examples/distributed_pipeline.py
+"""
+
+from repro import SerialExecutor
+from repro.distributed import (
+    MachineConfig,
+    PartitionedProgram,
+    SimulatedCluster,
+    contiguous_partition,
+    replicate_by_sinks,
+)
+from repro.simulator.costs import CostModel
+from repro.streams.workloads import grid_workload
+
+
+def main() -> None:
+    program, phases = grid_workload(3, 12, phases=40, seed=13)
+    serial = SerialExecutor(program).run(phases)
+    print(f"workload: {program.graph.num_vertices}-vertex, depth-12 grid, "
+          f"{len(phases)} phases\n")
+
+    cost = CostModel(compute_cost=1.0, bookkeeping_cost=0.02)
+    print("pipeline partitioning (2 workers x 2 CPUs per machine, "
+          "latency 0.25):")
+    print(f"  {'machines':>8} {'makespan':>10} {'speedup':>8} "
+          f"{'cut msgs':>9} {'identical':>9}")
+    base = None
+    for k in (1, 2, 3, 4):
+        part = contiguous_partition(program.numbering, k)
+        cluster = SimulatedCluster(
+            PartitionedProgram(program, part),
+            MachineConfig(num_workers=2, num_processors=2),
+            cost_model=cost,
+            network_latency=0.25,
+        )
+        result = cluster.run(phases)
+        ok = result.merged_records() == serial.records
+        base = base or result.makespan
+        print(f"  {k:>8} {result.makespan:>10.1f} "
+              f"{base / result.makespan:>8.2f} {result.cut_messages:>9} "
+              f"{'yes' if ok else 'NO':>9}")
+        assert ok
+
+    # Visualise the cross-machine pipeline: each machine's workers drawn
+    # as lanes, digits = phase mod 10.  Later machines trail earlier ones
+    # by the token latency, but all machines run concurrently.
+    from repro.analysis import render_timeline
+    from repro.core.tracer import ExecutionTracer
+
+    part = contiguous_partition(program.numbering, 3)
+    tracers = [ExecutionTracer() for _ in range(3)]
+    SimulatedCluster(
+        PartitionedProgram(program, part),
+        MachineConfig(num_workers=2, num_processors=2),
+        cost_model=cost,
+        network_latency=0.25,
+        tracers=tracers,
+    ).run(phases)
+    print("\nper-machine worker timelines (3 machines):")
+    for m, tracer in enumerate(tracers):
+        print(f"machine {m}:")
+        print(render_timeline(tracer, width=70))
+
+    print("\nreplication by monitored sink (each replica = ancestor "
+          "closure of its condition):")
+    plan = replicate_by_sinks(program, [[s] for s in program.graph.sinks()])
+    for replica, group in zip(plan.replicas, plan.assignments):
+        res = SerialExecutor(replica).run(phases)
+        for s in group:
+            assert res.records.get(s, []) == serial.records.get(s, [])
+        print(f"  {group[0]:>8}: {replica.n:3d}/{program.n} vertices, "
+              f"{res.execution_count} executions — records identical")
+    print(f"\nduplication factor {plan.duplication_factor:.2f}x; largest "
+          f"replica {plan.max_replica_fraction():.0%} of the monolith")
+
+
+if __name__ == "__main__":
+    main()

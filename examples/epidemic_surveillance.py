@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's Section 1 predicate, end to end.
+
+    "a predicate could be that the one-week moving point average rate of
+    incidence of a disease in any county is two standard deviations away
+    from a regression model developed using data from a one-month window
+    in neighboring counties."
+
+Six counties report daily case counts; county 0 suffers an injected
+outbreak from day 60.  Each county's weekly average is compared against a
+30-day model over its ring neighbours; detectors alert on two-sigma
+departures, and the surveillance sink records alert/clear transitions.
+
+Run:  python examples/epidemic_surveillance.py
+"""
+
+from collections import defaultdict
+
+from repro import SerialExecutor
+from repro.analysis import assert_serializable
+from repro.models.domains.epidemic import build_epidemic_workload
+from repro.runtime.engine import ParallelEngine
+
+DAYS = 180
+COUNTIES = 6
+OUTBREAK_DAY = 60
+
+
+def main() -> None:
+    program, phases = build_epidemic_workload(
+        phases=DAYS, counties=COUNTIES, seed=23, outbreak_phase=OUTBREAK_DAY
+    )
+    serial = SerialExecutor(program).run(phases)
+    parallel = ParallelEngine(program, num_threads=3).run(phases)
+    assert_serializable(serial, parallel)
+
+    print(f"{COUNTIES} counties, {DAYS} days, outbreak injected in county 0 "
+          f"on day {OUTBREAK_DAY}\n")
+
+    by_detector: dict[str, list] = defaultdict(list)
+    for phase, (det, event) in serial.records.get("surveillance", []):
+        by_detector[det].append((phase, event))
+
+    for det in sorted(by_detector):
+        events = by_detector[det]
+        alerts = [e for e in events if e[1][0] == "alert"]
+        print(f"{det}: {len(alerts)} alert(s)")
+        for phase, event in events[:4]:
+            if event[0] == "alert":
+                _, _p, rate, pred, dev = event
+                print(f"  day {phase:3d}  ALERT  weekly rate {rate:7.2f} vs "
+                      f"model {pred:7.2f}  ({dev:+.1f} sigma)")
+            else:
+                print(f"  day {phase:3d}  clear  rate {event[2]:7.2f}")
+
+    # The outbreak county should be alerting at the end of the run.
+    final_state = None
+    for phase, event in by_detector.get("detector_0", []):
+        final_state = event[0]
+    print(f"\ncounty 0 final detector state: {final_state or 'quiet'} "
+          f"(outbreak {'caught' if final_state == 'alert' else 'missed'})")
+
+    total_pairs = program.n * DAYS
+    print(f"executions: {serial.execution_count}/{total_pairs} pairs "
+          f"({serial.execution_count / total_pairs:.0%}) — "
+          f"weekly averages change daily, but detectors and models fire "
+          f"only when their inputs move")
+    print("parallel run serializable ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Intrusion detection: composite conditions over four sparse feeds.
+
+Port scans, failed logins and IDS alerts arrive as sparse Poisson event
+streams; traffic volume is a continuous signal run through a z-score spike
+detector.  Windowed indicators feed a k-of-n composite condition; a
+debouncer suppresses flapping; the SOC records incidents.
+
+This is the paper's "composite conditions over multiple data streams must
+be detected rapidly" application shape, and also a showcase of Δ economy:
+with mostly silent feeds, only a fraction of the possible vertex-phase
+pairs ever execute.
+
+Run:  python examples/intrusion_detection.py
+"""
+
+from repro import SerialExecutor
+from repro.analysis import assert_serializable
+from repro.models.domains.intrusion import build_intrusion_workload
+from repro.runtime.engine import ParallelEngine
+
+TICKS = 800
+
+
+def main() -> None:
+    program, phases = build_intrusion_workload(phases=TICKS, seed=31, k=2)
+    serial = SerialExecutor(program).run(phases)
+    parallel = ParallelEngine(program, num_threads=3).run(phases)
+    assert_serializable(serial, parallel)
+
+    print(f"{TICKS} monitoring ticks, composite = 2-of-4 indicators\n")
+    incidents = serial.records.get("soc", [])
+    print(f"SOC incident log ({len(incidents)} transitions):")
+    for phase, (_deb, state) in incidents:
+        print(f"  tick {phase:4d}  composite alarm "
+              f"{'RAISED' if state else 'cleared'}")
+
+    per_vertex: dict[str, int] = {}
+    for v, _p in serial.executions:
+        name = program.numbering.name_of(v)
+        per_vertex[name] = per_vertex.get(name, 0) + 1
+    print("\nexecutions per vertex (of a possible "
+          f"{TICKS} each):")
+    for name in program.graph.vertices():
+        count = per_vertex.get(name, 0)
+        bar = "#" * max(1, count * 40 // TICKS) if count else ""
+        print(f"  {name:15s} {count:5d}  {bar}")
+
+    total = program.n * TICKS
+    print(f"\ntotal: {serial.execution_count}/{total} pairs "
+          f"({serial.execution_count / total:.0%}) — the Δ engine never "
+          f"touched the rest, yet every phase is logically complete")
+    print("parallel run serializable ✓")
+
+
+if __name__ == "__main__":
+    main()

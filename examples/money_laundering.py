@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's money-laundering example, with both emission options.
+
+Branch transaction feeds pass through anomaly detectors into a case
+aggregator.  The detectors can emit
+
+* **option 2** (the Δ way): a message only for anomalous transactions, or
+* **option 1** (the dense baseline): a verdict for *every* transaction.
+
+The paper: "If one in a million transactions is anomalous then the rate
+of events generated using the second option is only a millionth of that
+generated using the first option."  This example measures the ratio at
+laptop-scale rates and shows both modes open identical compliance cases.
+
+Run:  python examples/money_laundering.py
+"""
+
+from repro import SerialExecutor
+from repro.analysis import assert_serializable
+from repro.models.domains.laundering import build_laundering_workload
+from repro.runtime.engine import ParallelEngine
+
+PHASES = 2000
+BRANCHES = 4
+ANOMALY_RATE = 2e-3
+
+
+def main() -> None:
+    delta_prog, phases = build_laundering_workload(
+        phases=PHASES, branches=BRANCHES, anomaly_rate=ANOMALY_RATE, seed=11
+    )
+    dense_prog, _ = build_laundering_workload(
+        phases=PHASES, branches=BRANCHES, anomaly_rate=ANOMALY_RATE, seed=11,
+        dense=True,
+    )
+
+    delta = SerialExecutor(delta_prog).run(phases)
+    dense = SerialExecutor(dense_prog).run(phases)
+    parallel = ParallelEngine(delta_prog, num_threads=4).run(phases)
+    assert_serializable(delta, parallel)
+
+    cases = delta.records.get("compliance", [])
+    print(f"{PHASES} transaction ticks x {BRANCHES} branches, "
+          f"anomaly rate {ANOMALY_RATE:.4f}\n")
+    print(f"compliance cases opened: {len(cases)}")
+    for phase, (_agg, case) in cases[:8]:
+        print(f"  phase {phase:5d}  {case}")
+    if len(cases) > 8:
+        print(f"  ... and {len(cases) - 8} more")
+
+    # Isolate the detector stage: source and aggregator traffic is
+    # identical in both modes.
+    src_msgs = BRANCHES * PHASES
+    agg_msgs = len(cases)
+    det_delta = delta.message_count - src_msgs - agg_msgs
+    det_dense = dense.message_count - src_msgs - agg_msgs
+    print(f"\ndetector messages, option 2 (anomalies only): {det_delta}")
+    print(f"detector messages, option 1 (verdict each):    {det_dense}")
+    print(f"rate ratio: {det_dense / max(det_delta, 1):.1f}x "
+          f"(paper's example at rate 1e-6: 1,000,000x)")
+    assert delta.records == dense.records
+    print("both modes opened identical cases ✓  "
+          "parallel run serializable ✓")
+
+
+if __name__ == "__main__":
+    main()

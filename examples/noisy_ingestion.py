@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""From noisy sensors to serializable fusion: the full ingestion path.
+
+The core algorithm assumes perfect timestamps and zero delay; Section 6
+admits reality is noisier.  This example runs the complete pipeline the
+paper sketches:
+
+    noisy sensors -> network delays -> watermark reorder buffer
+        -> phases -> parallel fusion engine -> records
+
+and shows the operational tradeoff: a short watermark wait loses late
+events (silently wrong "absences"), a long one delays every detection.
+
+Run:  python examples/noisy_ingestion.py
+"""
+
+from repro import ComputationGraph, Program, SerialExecutor
+from repro.analysis import assert_serializable, format_table
+from repro.core.vertex import PassthroughSource
+from repro.ingest import ReorderBuffer, late_event_tradeoff, noisy_observations
+from repro.models import Recorder, Sum
+from repro.runtime.engine import ParallelEngine
+
+SOURCES = ["radar", "rfid", "ticker"]
+
+
+def build_program() -> Program:
+    g = ComputationGraph(name="noisy-fusion")
+    g.add_vertices(SOURCES + ["fused", "ops"])
+    for s in SOURCES:
+        g.add_edge(s, "fused")
+    g.add_edge("fused", "ops")
+    behaviors = {s: PassthroughSource() for s in SOURCES}
+    behaviors["fused"] = Sum()
+    behaviors["ops"] = Recorder()
+    return Program(g, behaviors)
+
+
+def main() -> None:
+    arrivals = noisy_observations(
+        SOURCES, ticks=200, clock_noise=0.05,
+        delay_mean=0.5, delay_jitter=2.5, seed=17,
+    )
+    print(f"{len(arrivals)} sensor messages, delays up to ~3 time units, "
+          f"jittered clocks\n")
+
+    # The operational tradeoff.
+    points = late_event_tradeoff(arrivals, waits=[0.0, 1.0, 2.0, 4.0])
+    print(format_table(
+        ["wait", "late events", "late rate", "mean sealing latency"],
+        [[p.wait, p.events_late, p.late_rate, p.mean_sealing_latency]
+         for p in points],
+    ))
+
+    # Run the engine on the phases sealed at a safe wait.
+    buf = ReorderBuffer(wait=4.0)
+    phases = []
+    for a in arrivals:
+        phases.extend(buf.offer(a))
+    phases.extend(buf.flush())
+    print(f"\nwatermark wait 4.0 sealed {len(phases)} phases, "
+          f"{buf.late_count} late events dropped")
+
+    program = build_program()
+    serial = SerialExecutor(program).run(phases)
+    parallel = ParallelEngine(program, num_threads=3).run(phases)
+    assert_serializable(serial, parallel)
+    fused = serial.records["ops"]
+    print(f"fusion engine produced {len(fused)} fused readings; first 5:")
+    for phase, (name, value) in fused[:5]:
+        print(f"  phase {phase:3d}  {name} = {value}")
+    print("\nparallel run serializable ✓  (noise handled at the boundary, "
+          "determinism preserved inside)")
+
+
+if __name__ == "__main__":
+    main()

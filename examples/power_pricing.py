@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The paper's Section 1 example: pricing electrical energy.
+
+A diurnal temperature sensor feeds a forecast monitor that holds the
+power-demand model's temperature assumptions; the monitor emits an event
+*only* when a measurement violates those assumptions (and then adjusts
+them — exactly the paper's narrative).  Demand and price models react to
+violations and to grid load, and a price board records the published
+prices.
+
+The run prints the violation events, the price track, and the message
+economy: most phases flow through the graph with *no* messages at all,
+because unviolated assumptions are conveyed by silence.
+
+Run:  python examples/power_pricing.py
+"""
+
+from repro import SerialExecutor
+from repro.analysis import assert_serializable
+from repro.models.domains.power import build_power_pricing_workload
+from repro.runtime.engine import ParallelEngine
+
+
+def main() -> None:
+    program, phases = build_power_pricing_workload(
+        phases=240, seed=7, tolerance=3.0, noise=1.5
+    )
+
+    serial = SerialExecutor(program).run(phases)
+    parallel = ParallelEngine(program, num_threads=3).run(phases)
+    assert_serializable(serial, parallel)
+
+    # How often did the temperature break the model's assumptions?
+    monitor_executions = [
+        (v, p) for v, p in serial.executions
+        if program.numbering.name_of(v) == "demand_model"
+    ]
+    print(f"simulated {len(phases)} hourly phases "
+          f"({len(phases) // 24} days)\n")
+
+    prices = serial.records["price_board"]
+    print(f"published prices: {len(prices)} updates")
+    for phase, (_name, price) in prices[:10]:
+        day, hour = divmod(phase - 1, 24)
+        print(f"  day {day + 1} {hour:02d}:00  ${price:8.2f}/MWh")
+    if len(prices) > 10:
+        print(f"  ... and {len(prices) - 10} more")
+
+    total_pairs = program.n * len(phases)
+    print(f"\nexecutions: {serial.execution_count} of {total_pairs} "
+          f"possible pairs ({serial.execution_count / total_pairs:.0%})")
+    print(f"messages:   {serial.message_count} "
+          f"({serial.message_count / len(phases):.2f} per phase across "
+          f"{program.graph.num_edges} edges)")
+    print(f"demand-model reactions: {len(monitor_executions)} "
+          f"(it runs only when assumptions break or load shifts)")
+    print("\nparallel run matched the serial oracle: serializable ✓")
+
+
+if __name__ == "__main__":
+    main()

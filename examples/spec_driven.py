@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Drive a computation from an XML specification file.
+
+The paper's prototype "takes as input an XML specification file for a
+computation", carrying the graph, vertex classes, timesteps and random
+seeds.  This example writes such a spec, loads it back, runs it on the
+parallel engine, and shows the spec round-trips byte-compatibly in
+behaviour.
+
+Run:  python examples/spec_driven.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import SerialExecutor
+from repro.analysis import assert_serializable
+from repro.runtime.engine import ParallelEngine
+from repro.spec import dumps_spec, load_spec, loads_spec, save_spec
+
+SPEC = """
+<computation name="plant-monitor">
+  <graph>
+    <vertex id="boiler_temp" class="PeriodicSensor">
+      <param name="mean" value="90.0" type="float"/>
+      <param name="amplitude" value="6.0" type="float"/>
+      <param name="period" value="48.0" type="float"/>
+      <param name="noise" value="1.0" type="float"/>
+    </vertex>
+    <vertex id="pressure" class="RandomWalkSensor">
+      <param name="start" value="5.0" type="float"/>
+      <param name="step" value="0.2" type="float"/>
+      <param name="report_delta" value="0.3" type="float"/>
+    </vertex>
+    <vertex id="temp_avg" class="MovingAverage">
+      <param name="window" value="12" type="int"/>
+    </vertex>
+    <vertex id="temp_alarm" class="Threshold">
+      <param name="limit" value="93.0" type="float"/>
+    </vertex>
+    <vertex id="pressure_alarm" class="Threshold">
+      <param name="limit" value="6.0" type="float"/>
+    </vertex>
+    <vertex id="combined" class="And">
+      <param name="arity" value="2" type="int"/>
+    </vertex>
+    <vertex id="control_room" class="Recorder"/>
+    <edge from="boiler_temp" to="temp_avg"/>
+    <edge from="temp_avg" to="temp_alarm"/>
+    <edge from="pressure" to="pressure_alarm"/>
+    <edge from="temp_alarm" to="combined"/>
+    <edge from="pressure_alarm" to="combined"/>
+    <edge from="combined" to="control_room"/>
+  </graph>
+  <simulation timesteps="300" interval="1.0" seed="1234"/>
+</computation>
+"""
+
+
+def main() -> None:
+    spec = loads_spec(SPEC)
+    print(f"loaded spec {spec.name!r}: "
+          f"{spec.program.graph.num_vertices} vertices, "
+          f"{spec.program.graph.num_edges} edges, "
+          f"{spec.timesteps} timesteps, seed {spec.seed}")
+    print(f"source seeds derived from the global seed: "
+          f"{ {s: spec.program.behaviors[s].seed for s in spec.program.source_names()} }")
+
+    phases = spec.phase_inputs()
+    serial = SerialExecutor(spec.program).run(phases)
+    parallel = ParallelEngine(spec.program, num_threads=2).run(phases)
+    assert_serializable(serial, parallel)
+
+    events = serial.records.get("control_room", [])
+    print(f"\ncontrol-room events: {len(events)}")
+    for phase, (name, state) in events[:12]:
+        print(f"  t={phase:3d}  {name} -> {state}")
+
+    # Round-trip through a file.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "plant.xml"
+        save_spec(spec, path)
+        reloaded = load_spec(path)
+        rerun = SerialExecutor(reloaded.program).run(reloaded.phase_inputs())
+        assert rerun.records == serial.records
+        print(f"\nspec round-tripped through {path.name}: identical run ✓")
+        print("\nserialized spec preview:")
+        print("\n".join(dumps_spec(spec).splitlines()[:12]))
+        print("  ...")
+
+
+if __name__ == "__main__":
+    main()

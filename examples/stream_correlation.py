@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Correlating event streams — the paper's title, as a program.
+
+Two sensor streams track (unknown to the system) a shared hidden factor:
+grid load and ambient temperature both follow the diurnal cycle.  A
+Pearson correlator fuses them; a threshold predicate fires when the
+streams *decouple* (correlation drops) — e.g., load detaching from
+weather is the signature of a demand anomaly.
+
+Demonstrates the Δ subtlety the correlator inherits: when only one stream
+changes, the pair is sampled against the other's latched value, because
+absence of a message means "unchanged", not "unknown".
+
+Run:  python examples/stream_correlation.py
+"""
+
+import math
+
+from repro import (
+    ComputationGraph,
+    PhaseInput,
+    Program,
+    SerialExecutor,
+    SourceVertex,
+)
+from repro.analysis import assert_serializable
+from repro.core.vertex import EMIT_NOTHING
+from repro.models import PearsonCorrelator, Recorder, Threshold
+from repro.runtime.engine import ParallelEngine
+
+DECOUPLE_AT = 150  # phase where load stops following temperature
+
+
+class CoupledSensor(SourceVertex):
+    """Follows a shared diurnal factor until *decouple_at* (None = never),
+    then wanders independently."""
+
+    def __init__(self, seed, gain, noise, decouple_at=None):
+        super().__init__(seed)
+        self.gain = gain
+        self.noise = noise
+        self.decouple_at = decouple_at
+        self._drift = 0.0
+
+    def reset(self):
+        super().reset()
+        self._drift = 0.0
+
+    def on_execute(self, ctx):
+        diurnal = math.sin(2 * math.pi * ctx.phase / 24.0)
+        if self.decouple_at is not None and ctx.phase >= self.decouple_at:
+            self._drift += self.rng.gauss(0.0, 0.8)
+            return round(self.gain * 0.1 * diurnal + self._drift
+                         + self.rng.gauss(0.0, self.noise), 4)
+        return round(self.gain * diurnal + self.rng.gauss(0.0, self.noise), 4)
+
+
+def main() -> None:
+    g = ComputationGraph(name="stream-correlation")
+    g.add_vertices(["temperature", "grid_load", "correlator",
+                    "decoupled", "alerts"])
+    g.add_edge("temperature", "correlator")
+    g.add_edge("grid_load", "correlator")
+    g.add_edge("correlator", "decoupled")
+    g.add_edge("decoupled", "alerts")
+
+    program = Program(g, {
+        "temperature": CoupledSensor(seed=1, gain=10.0, noise=0.8),
+        "grid_load": CoupledSensor(seed=2, gain=25.0, noise=2.0,
+                                   decouple_at=DECOUPLE_AT),
+        "correlator": PearsonCorrelator("temperature", "grid_load",
+                                        window=48, emit_delta=0.02),
+        "decoupled": Threshold(limit=0.5, direction="below"),
+        "alerts": Recorder(),
+    })
+
+    phases = [PhaseInput(k, float(k)) for k in range(1, 301)]
+    serial = SerialExecutor(program).run(phases)
+    parallel = ParallelEngine(program, num_threads=3).run(phases)
+    assert_serializable(serial, parallel)
+
+    corr = program.behaviors["correlator"]
+    print(f"300 hourly phases; streams decouple at phase {DECOUPLE_AT}\n")
+    print("decoupling alerts (correlation < 0.5):")
+    for phase, (_name, state) in serial.records["alerts"]:
+        print(f"  phase {phase:3d}  decoupled -> {state}")
+
+    fired = [p for p, (_n, s) in serial.records["alerts"] if s]
+    assert fired and all(p >= DECOUPLE_AT for p in fired), \
+        "decoupling must be detected only after it happens"
+    detection_lag = fired[0] - DECOUPLE_AT
+    print(f"\nfirst detection {detection_lag} phases after the decoupling "
+          f"(the correlator's window must fill with decoupled samples)")
+    print(f"final correlation estimate: {corr.correlation():+.3f}")
+    print("parallel run serializable ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no ``wheel`` package (and no network), so PEP 660
+editable installs cannot build; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

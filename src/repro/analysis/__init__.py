@@ -1,0 +1,29 @@
+"""Analysis layer: serializability checking, statistics, ASCII rendering."""
+
+from .serializability import (
+    assert_serializable,
+    check_serializable,
+    SerializabilityReport,
+)
+from .stats import summarize_speedup, format_table, message_rate_summary
+from .ascii_viz import render_graph, render_snapshot, render_frames
+from .timeline import render_timeline, worker_utilization
+from .export import save_result, load_result, result_to_dict, result_from_dict
+
+__all__ = [
+    "assert_serializable",
+    "check_serializable",
+    "SerializabilityReport",
+    "summarize_speedup",
+    "format_table",
+    "message_rate_summary",
+    "render_graph",
+    "render_snapshot",
+    "render_frames",
+    "render_timeline",
+    "worker_utilization",
+    "save_result",
+    "load_result",
+    "result_to_dict",
+    "result_from_dict",
+]

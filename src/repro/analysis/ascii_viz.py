@@ -1,0 +1,84 @@
+"""ASCII rendering of graphs and execution frames.
+
+Figure 3 of the paper shows eight execution steps of a six-vertex graph,
+drawing each vertex-phase pair as a circle (in no set), diamond (partial),
+octagon (full) or square (full and ready).  :func:`render_snapshot` produces
+the textual equivalent with one glyph per vertex per phase:
+
+====== =========================
+glyph  meaning
+====== =========================
+``.``  in no set (paper: circle)
+``P``  partial (paper: diamond)
+``F``  full (paper: octagon)
+``R``  full and ready (paper: square)
+====== =========================
+
+:func:`render_graph` draws the graph by dataflow level (sources on top,
+like the paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.tracer import SetSnapshot
+from ..graph.analysis import levels
+from ..graph.model import ComputationGraph
+from ..graph.numbering import Numbering
+
+__all__ = ["render_graph", "render_snapshot", "render_frames", "GLYPHS"]
+
+GLYPHS = {"none": ".", "partial": "P", "full": "F", "ready": "R"}
+
+
+def render_graph(graph: ComputationGraph, numbering: Numbering | None = None) -> str:
+    """Render *graph* by level, sources first, with its edge list.
+
+    When a *numbering* is supplied, vertices are shown as ``index:name``.
+    """
+    lvl = levels(graph)
+    by_level: Dict[int, List[str]] = {}
+    for v, l in lvl.items():
+        by_level.setdefault(l, []).append(v)
+
+    def label(v: str) -> str:
+        if numbering is None:
+            return v
+        return f"{numbering.index_of[v]}:{v}"
+
+    lines = [f"graph {graph.name!r}: {graph.num_vertices} vertices, "
+             f"{graph.num_edges} edges"]
+    for l in sorted(by_level):
+        names = sorted(by_level[l], key=lambda v: (
+            numbering.index_of[v] if numbering else v))
+        lines.append(f"  level {l}: " + "  ".join(label(v) for v in names))
+    lines.append("  edges: " + ", ".join(
+        f"{label(e.src)}->{label(e.dst)}" for e in graph.edges()))
+    return "\n".join(lines)
+
+
+def render_snapshot(
+    snapshot: SetSnapshot, n: int, phases: Sequence[int]
+) -> str:
+    """One Figure-3 frame: per phase, the set membership glyph of every
+    vertex index ``1..n``."""
+    lines = [snapshot.label]
+    for p in phases:
+        glyphs = " ".join(
+            f"{v}:{GLYPHS[snapshot.membership((v, p))]}" for v in range(1, n + 1)
+        )
+        lines.append(f"  phase {p}:  {glyphs}")
+    return "\n".join(lines)
+
+
+def render_frames(
+    snapshots: Sequence[SetSnapshot], n: int, phases: Sequence[int]
+) -> str:
+    """All frames of an execution, separated by blank lines (the full
+    Figure 3 reproduction)."""
+    legend = (
+        "legend: . = no set (circle)   P = partial (diamond)   "
+        "F = full (octagon)   R = full+ready (square)"
+    )
+    return "\n\n".join([legend] + [render_snapshot(s, n, phases) for s in snapshots])

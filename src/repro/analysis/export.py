@@ -1,0 +1,119 @@
+"""JSON persistence for run results.
+
+Benchmark harnesses want to archive runs and diff them across code
+versions; :func:`save_result` / :func:`load_result` round-trip a
+:class:`~repro.core.program.RunResult` through JSON.
+
+Record values must be JSON-representable (the model library emits
+numbers, strings, booleans, tuples and dicts thereof).  Tuples become
+lists in JSON; :func:`load_result` converts record values back to tuples
+when they were tuples, using a tagged encoding, so round-tripped results
+compare equal — which :func:`load_result`'s tests assert via the
+serializability checker.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Tuple
+
+from ..core.program import RunResult
+from ..errors import ReproError
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {
+            "__dict__": [[_encode_value(k), _encode_value(v)] for k, v in value.items()]
+        }
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ReproError(
+        f"cannot JSON-encode record value of type {type(value).__name__}: "
+        f"{value!r}"
+    )
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__tuple__" in value:
+            return tuple(_decode_value(v) for v in value["__tuple__"])
+        if "__dict__" in value:
+            return {
+                _decode_value(k): _decode_value(v) for k, v in value["__dict__"]
+            }
+        raise ReproError(f"unrecognised encoded value: {value!r}")
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """A JSON-safe dictionary capturing the result (stats included
+    best-effort: non-encodable stats entries are stringified)."""
+    stats: Dict[str, Any] = {}
+    for key, val in result.stats.items():
+        try:
+            stats[key] = _encode_value(val)
+        except ReproError:
+            stats[key] = repr(val)
+    return {
+        "format": _FORMAT_VERSION,
+        "engine": result.engine,
+        "phases_run": result.phases_run,
+        "message_count": result.message_count,
+        "wall_time": result.wall_time,
+        "executions": [list(pair) for pair in result.executions],
+        "records": {
+            vertex: [[phase, _encode_value(value)] for phase, value in log]
+            for vertex, log in result.records.items()
+        },
+        "stats": stats,
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Inverse of :func:`result_to_dict`."""
+    if data.get("format") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported result format {data.get('format')!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return RunResult(
+        engine=data["engine"],
+        records={
+            vertex: [(int(phase), _decode_value(value)) for phase, value in log]
+            for vertex, log in data["records"].items()
+        },
+        executions=[(int(v), int(p)) for v, p in data["executions"]],
+        message_count=int(data["message_count"]),
+        phases_run=int(data["phases_run"]),
+        wall_time=float(data["wall_time"]),
+        stats=_decode_value(data["stats"]) if isinstance(data["stats"], dict) and "__dict__" in data["stats"] else data["stats"],
+    )
+
+
+def save_result(result: RunResult, path: str | Path) -> None:
+    """Write *result* as JSON to *path*."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=1) + "\n")
+
+
+def load_result(path: str | Path) -> RunResult:
+    """Load a :class:`RunResult` previously saved with :func:`save_result`."""
+    p = Path(path)
+    if not p.exists():
+        raise ReproError(f"result file not found: {p}")
+    try:
+        data = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed result file {p}: {exc}") from exc
+    return result_from_dict(data)

@@ -1,0 +1,99 @@
+"""Result statistics and table rendering for the benchmark harness.
+
+Benchmarks print fixed-width tables (the paper's evaluation is prose plus
+figures; the tables here are what its Section 4 rows would look like) —
+:func:`format_table` keeps them consistent across benches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from ..core.program import RunResult
+
+__all__ = ["format_table", "summarize_speedup", "message_rate_summary"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_precision: int = 3,
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are formatted to *float_precision* digits; column widths adapt
+    to content.
+    """
+
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{float_precision}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def summarize_speedup(results: Sequence[RunResult]) -> Dict[str, Any]:
+    """Speedup summary for a sweep of runs of the same workload.
+
+    The first result is the baseline; returns per-run speedups and the
+    peak.  Works for both wall-clock and virtual-time results.
+    """
+    if not results:
+        return {"runs": [], "peak_speedup": 0.0}
+    base = results[0].wall_time
+    runs: List[Dict[str, Any]] = []
+    for r in results:
+        runs.append(
+            {
+                "engine": r.engine,
+                "time": r.wall_time,
+                "speedup": base / r.wall_time if r.wall_time else float("inf"),
+            }
+        )
+    return {
+        "runs": runs,
+        "peak_speedup": max(r["speedup"] for r in runs),
+        "baseline": results[0].engine,
+    }
+
+
+def message_rate_summary(
+    delta: RunResult, dense: RunResult, phases: int
+) -> Dict[str, float]:
+    """The Section 1 efficiency comparison: Δ-dataflow vs dense messaging.
+
+    Returns message/execution counts per phase for both runs and the
+    dense/Δ ratios (the money-laundering example predicts ratios on the
+    order of 1/anomaly-rate).
+    """
+    phases = max(phases, 1)
+    return {
+        "delta_messages": float(delta.message_count),
+        "dense_messages": float(dense.message_count),
+        "delta_messages_per_phase": delta.message_count / phases,
+        "dense_messages_per_phase": dense.message_count / phases,
+        "message_ratio": (
+            dense.message_count / delta.message_count
+            if delta.message_count
+            else float("inf")
+        ),
+        "delta_executions": float(delta.execution_count),
+        "dense_executions": float(dense.execution_count),
+        "execution_ratio": (
+            dense.execution_count / delta.execution_count
+            if delta.execution_count
+            else float("inf")
+        ),
+    }

@@ -1,0 +1,24 @@
+"""Baseline executors the paper argues against.
+
+* :class:`~repro.baselines.dense.DenseDataflowExecutor` — the "obvious
+  solution" of Section 3.1: every vertex computes in every phase and sends
+  a message on every output in every phase.  Correct, trivially easy to
+  schedule (classic dataflow firing), but its message and execution counts
+  scale with N x phases regardless of how rarely anything changes — the
+  paper's money-laundering example puts the Δ-dataflow message rate at
+  one *millionth* of this baseline's.
+* :func:`~repro.baselines.barrier.barrier_parallel_engine` /
+  :func:`~repro.baselines.barrier.barrier_simulated_engine` — phase-barrier
+  execution: full intra-phase parallelism but no pipelining (phase p
+  completes before phase p+1 starts).  This isolates the benefit of the
+  paper's multi-phase pipelining.
+"""
+
+from .dense import DenseDataflowExecutor
+from .barrier import barrier_parallel_engine, barrier_simulated_engine
+
+__all__ = [
+    "DenseDataflowExecutor",
+    "barrier_parallel_engine",
+    "barrier_simulated_engine",
+]

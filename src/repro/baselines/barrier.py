@@ -1,0 +1,66 @@
+"""The phase-barrier baseline: intra-phase parallelism, no pipelining.
+
+Section 2: "One solution is to require the data fusion engine to complete
+execution of one phase before initiating execution of the next phase.  We
+describe a more efficient solution, in which multiple phases are executed
+concurrently..."
+
+The barrier baseline *is* that simpler solution.  It needs no new engine:
+restricting the environment to one in-flight phase makes both the threaded
+and the simulated engines complete phase p before starting phase p+1,
+while leaving vertex-level parallelism within the phase intact.  The
+pipelining ablation benchmark compares these against the unrestricted
+engines on deep graphs, where the barrier leaves most of the machine idle
+(per-phase parallelism is bounded by graph *width*, pipelined parallelism
+by width x depth).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.invariants import InvariantChecker
+from ..core.program import Program
+from ..core.tracer import ExecutionTracer
+from ..runtime.engine import ParallelEngine
+from ..runtime.environment import EnvironmentConfig
+from ..simulator.costs import CostModel
+from ..simulator.machine import SimulatedEngine
+
+__all__ = ["barrier_parallel_engine", "barrier_simulated_engine"]
+
+
+def barrier_parallel_engine(
+    program: Program,
+    num_threads: int = 2,
+    checker: Optional[InvariantChecker] = None,
+    tracer: Optional[ExecutionTracer] = None,
+) -> ParallelEngine:
+    """A threaded engine that completes each phase before starting the next."""
+    return ParallelEngine(
+        program,
+        num_threads=num_threads,
+        checker=checker,
+        tracer=tracer,
+        env=EnvironmentConfig(max_in_flight_phases=1),
+    )
+
+
+def barrier_simulated_engine(
+    program: Program,
+    num_workers: int = 2,
+    num_processors: int = 2,
+    cost_model: Optional[CostModel] = None,
+    checker: Optional[InvariantChecker] = None,
+    tracer: Optional[ExecutionTracer] = None,
+) -> SimulatedEngine:
+    """A simulated engine that completes each phase before starting the next."""
+    return SimulatedEngine(
+        program,
+        num_workers=num_workers,
+        num_processors=num_processors,
+        cost_model=cost_model,
+        checker=checker,
+        tracer=tracer,
+        max_in_flight_phases=1,
+    )

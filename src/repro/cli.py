@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the ``repro`` console script):
+
+* ``run SPEC.xml`` — execute an XML computation spec on a chosen engine
+  and print the recorded outputs;
+* ``info SPEC.xml`` — show the graph, its restricted numbering and
+  m-sequence without running;
+* ``validate SPEC.xml`` — parse + validate, exit non-zero on problems;
+* ``speedup SPEC.xml`` — simulated speedup sweep over worker counts;
+* ``figures`` — render the paper's Figures 1–3 in the terminal.
+
+The CLI is a thin veneer over the library; every command maps to a few
+public API calls, shown in ``--help`` epilogs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import __version__
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Serializable pipelined parallel correlation of event streams "
+            "(Zimmerman & Chandy, IPPS 2005)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute an XML computation spec")
+    run.add_argument("spec", help="path to the XML specification file")
+    run.add_argument(
+        "--engine",
+        choices=["serial", "parallel", "simulated"],
+        default="parallel",
+        help="which engine executes the computation (default: parallel)",
+    )
+    run.add_argument("--threads", type=int, default=2,
+                     help="computation threads for --engine parallel")
+    run.add_argument("--workers", type=int, default=2,
+                     help="workers for --engine simulated")
+    run.add_argument("--processors", type=int, default=2,
+                     help="CPUs for --engine simulated")
+    run.add_argument("--check", action="store_true",
+                     help="also run the serial oracle and verify "
+                          "serializability")
+    run.add_argument("--max-records", type=int, default=20,
+                     help="records to print per vertex (default 20)")
+
+    info = sub.add_parser("info", help="describe a spec without running it")
+    info.add_argument("spec")
+
+    validate = sub.add_parser("validate", help="parse and validate a spec")
+    validate.add_argument("spec")
+
+    speedup = sub.add_parser(
+        "speedup", help="simulated speedup sweep for a spec"
+    )
+    speedup.add_argument("spec")
+    speedup.add_argument("--workers", default="1,2,4",
+                         help="comma-separated worker counts (default 1,2,4)")
+    speedup.add_argument("--processors", type=int, default=None,
+                         help="fixed CPU count (default: workers + 1)")
+    speedup.add_argument("--compute-cost", type=float, default=1.0)
+    speedup.add_argument("--bookkeeping-cost", type=float, default=0.05)
+
+    sub.add_parser("figures", help="render the paper's figures (terminal)")
+
+    report = sub.add_parser(
+        "report", help="run the headline experiments, emit a Markdown report"
+    )
+    report.add_argument("-o", "--output", default=None,
+                        help="write the report to this file (default: stdout)")
+    report.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI-speed)")
+
+    return parser
+
+
+def _load(path: str):
+    from .spec import load_spec
+
+    return load_spec(path)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .analysis import check_serializable
+    from .core.serial import SerialExecutor
+
+    spec = _load(args.spec)
+    phases = spec.phase_inputs()
+    if args.engine == "serial":
+        result = SerialExecutor(spec.program).run(phases)
+    elif args.engine == "parallel":
+        from .runtime.engine import ParallelEngine
+
+        result = ParallelEngine(spec.program, num_threads=args.threads).run(phases)
+    else:
+        from .simulator import CostModel, SimulatedEngine
+
+        result = SimulatedEngine(
+            spec.program,
+            num_workers=args.workers,
+            num_processors=args.processors,
+            cost_model=CostModel(),
+        ).run(phases)
+
+    print(f"{spec.name}: {result.engine} ran {result.phases_run} phases, "
+          f"{result.execution_count} pair executions, "
+          f"{result.message_count} messages, "
+          f"wall/virtual time {result.wall_time:.4f}")
+    for vertex in sorted(result.records):
+        log = result.records[vertex]
+        print(f"\n{vertex} ({len(log)} records):")
+        for phase, value in log[: args.max_records]:
+            print(f"  phase {phase:5d}  {value!r}")
+        if len(log) > args.max_records:
+            print(f"  ... {len(log) - args.max_records} more")
+
+    if args.check and args.engine != "serial":
+        oracle = SerialExecutor(spec.program).run(phases)
+        report = check_serializable(oracle, result)
+        print(f"\nserializability: {report}")
+        if not report:
+            return 2
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .analysis.ascii_viz import render_graph
+    from .graph.analysis import depth, width
+
+    spec = _load(args.spec)
+    prog = spec.program
+    print(f"computation {spec.name!r}")
+    print(f"  timesteps: {spec.timesteps}  interval: {spec.interval}  "
+          f"seed: {spec.seed}")
+    print(f"  depth: {depth(prog.graph)}  width: {width(prog.graph)}  "
+          f"max pipelining: {depth(prog.graph)} phases")
+    print(render_graph(prog.graph, prog.numbering))
+    print(f"  m-sequence: {prog.numbering.m_sequence()}")
+    print("  vertex classes:")
+    for vid in prog.graph.vertices():
+        cls = spec.vertex_classes.get(vid, "?")
+        params = spec.vertex_params.get(vid, {})
+        print(f"    {vid}: {cls} {params if params else ''}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    spec = _load(args.spec)
+    spec.program.graph.validate()
+    from .graph.numbering import verify_numbering
+
+    verify_numbering(spec.program.graph, spec.program.numbering.index_of)
+    print(f"{args.spec}: OK ({spec.program.graph.num_vertices} vertices, "
+          f"{spec.program.graph.num_edges} edges, "
+          f"{spec.timesteps} timesteps)")
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    from .simulator import CostModel, SpeedupPoint, speedup_curve
+
+    spec = _load(args.spec)
+    try:
+        workers = [int(w) for w in args.workers.split(",") if w.strip()]
+    except ValueError:
+        print(f"error: --workers must be comma-separated integers, "
+              f"got {args.workers!r}", file=sys.stderr)
+        return 2
+    if not workers:
+        print("error: --workers is empty", file=sys.stderr)
+        return 2
+    cm = CostModel(
+        compute_cost=args.compute_cost, bookkeeping_cost=args.bookkeeping_cost
+    )
+    points = speedup_curve(
+        spec.program,
+        spec.phase_inputs(),
+        cm,
+        workers,
+        processors=args.processors,
+    )
+    print(SpeedupPoint.header())
+    for p in points:
+        print(p.row())
+    return 0
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    from .analysis.ascii_viz import render_frames, render_graph
+    from .core.invariants import InvariantChecker
+    from .core.state import SchedulerState
+    from .core.tracer import ExecutionTracer
+    from .graph.generators import fig2_graph, fig2b_numbering, fig3_graph
+    from .graph.numbering import Numbering, number_graph
+
+    print("Figure 2 (satisfactory numbering):")
+    nb2 = Numbering.from_mapping(fig2_graph(), fig2b_numbering())
+    print(render_graph(fig2_graph(), nb2))
+    print(f"m-sequence: {nb2.m_sequence()}\n")
+
+    print("Figure 3 (execution trace):")
+    nb3 = number_graph(fig3_graph())
+    state = SchedulerState(nb3, checker=InvariantChecker())
+    tracer = ExecutionTracer()
+    steps = [
+        ("(a) Phase 1 initiated", lambda: state.start_phase()),
+        ("(b) (1,1) executed", lambda: state.complete_execution(1, 1, [3])),
+        ("(c) Phase 2 initiated", lambda: state.start_phase()),
+        ("(d) (1,2) executed", lambda: state.complete_execution(1, 2, [])),
+        ("(e) (2,1) executed", lambda: state.complete_execution(2, 1, [3, 4])),
+        ("(f) (2,2) executed", lambda: state.complete_execution(2, 2, [3, 4])),
+        ("(g) (3,1) executed", lambda: state.complete_execution(3, 1, [5])),
+        ("(h) (4,1) executed", lambda: state.complete_execution(4, 1, [5, 6])),
+    ]
+    for label, action in steps:
+        action()
+        tracer.capture_sets(state, label)
+    print(render_frames(tracer.snapshots, n=6, phases=[1, 2]))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import generate_report
+
+    text = generate_report(quick=args.quick)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0 if "DIVERGED" not in text else 3
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "info": _cmd_info,
+    "validate": _cmd_validate,
+    "speedup": _cmd_speedup,
+    "figures": _cmd_figures,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

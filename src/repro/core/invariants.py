@@ -1,0 +1,157 @@
+"""Runtime verification of the correctness argument (Section 3.3).
+
+The paper proves correctness by showing that, at every ``unlock``, the
+partial / full / ready variables coincide with their *definitions*
+(equations (7)-(9)) evaluated over the ghost ``msg`` variables, ``x``,
+``pmax`` and ``m``.  :class:`InvariantChecker` re-derives those definitions
+from scratch and compares them with the incrementally maintained sets —
+turning the paper's proof obligations into executable checks:
+
+* **(7)** ``full  = {(v,p) | 1<=p<=pmax ∧ msg(v,p) ∧ x_p < v <= m(x_p)}``
+* **(9)** ``partial = {(v,p) | 1<=p<=pmax ∧ msg(v,p) ∧ m(x_p) < v}``
+* **(8)** ``ready = min-phase-per-vertex subset of full``
+* **x-consistency** (Section 3.3.2): for every started phase,
+  ``x_p = min(vmin_p - 1, x_{p-1})`` where ``vmin_p`` is the least index
+  with a pair in partial ∪ full (or ``x_p = min(N, x_{p-1})`` when none
+  remains), and ``x_p <= x_{p-1}`` (the no-overtaking clamp).
+* **pmax-consistency** (Section 3.3.1): every pair in any set has
+  ``1 <= p <= pmax``.
+
+The checker is O(|msg| + pmax) per call; it is attached in tests and
+debugging runs and omitted in performance runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+from ..errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .state import Pair, SchedulerState
+
+__all__ = ["InvariantChecker"]
+
+
+class InvariantChecker:
+    """Re-derives definitions (7)-(9) and compares with the live sets.
+
+    Parameters
+    ----------
+    strict:
+        If True (default) raise :class:`InvariantViolation` on the first
+        failure; otherwise collect failure descriptions in
+        :attr:`violations` and keep going (useful for debugging).
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.checks_run = 0
+        self.violations: List[str] = []
+
+    def check(self, state: "SchedulerState") -> None:
+        """Verify every invariant against *state*; see class docstring."""
+        self.checks_run += 1
+        n = state.N
+        pmax = state.pmax
+        msg_pairs: Set[Tuple[int, int]] = set(state._msg)
+
+        # pmax-consistency: no pair with a phase outside 1..pmax.
+        for v, p in msg_pairs:
+            if not 1 <= p <= pmax:
+                self._fail(f"msg({v},{p}) set but phase outside 1..pmax={pmax}")
+            if not 1 <= v <= n:
+                self._fail(f"msg({v},{p}) set but vertex outside 1..N={n}")
+
+        # Definitions (7) and (9), derived from ghosts.
+        full_def: Set[Tuple[int, int]] = set()
+        partial_def: Set[Tuple[int, int]] = set()
+        for v, p in msg_pairs:
+            xp = state.x(p)
+            if xp < v <= state.m(xp):
+                full_def.add((v, p))
+            elif v > state.m(xp):
+                partial_def.add((v, p))
+            else:
+                # v <= x_p would mean a message waits on a vertex that has
+                # already finished the phase — impossible in a correct run.
+                self._fail(
+                    f"msg({v},{p}) set but v <= x_{p} = {xp}: message waiting "
+                    f"on an already-finished pair"
+                )
+
+        live_full = state.full_set()
+        live_partial = state.partial_set()
+        live_ready = state.ready_set()
+
+        if live_full != full_def:
+            self._fail(
+                f"full set diverges from definition (7): "
+                f"live-only={sorted(live_full - full_def)}, "
+                f"def-only={sorted(full_def - live_full)}"
+            )
+        if live_partial != partial_def:
+            self._fail(
+                f"partial set diverges from definition (9): "
+                f"live-only={sorted(live_partial - partial_def)}, "
+                f"def-only={sorted(partial_def - live_partial)}"
+            )
+
+        # Definition (8): ready = the min-phase pair per vertex in full.
+        min_phase: Dict[int, int] = {}
+        for v, p in full_def:
+            if v not in min_phase or p < min_phase[v]:
+                min_phase[v] = p
+        ready_def = {(v, p) for v, p in min_phase.items()}
+        # The live ready set may lag ready_def only by pairs currently
+        # being *executed*?  No: execution removes pairs from full and
+        # ready together inside the same critical section, so at every
+        # quiescent point ready must equal the definition exactly.
+        if live_ready != ready_def:
+            self._fail(
+                f"ready set diverges from definition (8): "
+                f"live-only={sorted(live_ready - ready_def)}, "
+                f"def-only={sorted(ready_def - live_ready)}"
+            )
+        if not live_ready <= live_full:
+            self._fail("ready is not a subset of full")
+        if live_partial & live_full:
+            self._fail(
+                f"partial and full intersect: {sorted(live_partial & live_full)}"
+            )
+
+        # x-consistency (Section 3.3.2).
+        vmin: Dict[int, int] = {}
+        for v, p in msg_pairs:
+            if v < vmin.get(p, n + 1):
+                vmin[p] = v
+        if state.x(0) != n:
+            self._fail(f"x_0 must be N={n}, got {state.x(0)}")
+        for p in range(1, pmax + 1):
+            xp = state.x(p)
+            xprev = state.x(p - 1)
+            if xp > xprev:
+                self._fail(f"clamp violated: x_{p}={xp} > x_{p-1}={xprev}")
+            expected = (vmin[p] - 1) if p in vmin else n
+            expected = min(expected, xprev)
+            if xp != expected:
+                self._fail(
+                    f"x_{p}={xp} but the Listing-1 update yields {expected} "
+                    f"(vmin={vmin.get(p)}, x_{p-1}={xprev})"
+                )
+
+        # Unstarted phases must hold no state.
+        for p in vmin:
+            if p > pmax:
+                self._fail(f"pairs exist for unstarted phase {p} > pmax={pmax}")
+
+    def _fail(self, message: str) -> None:
+        self.violations.append(message)
+        if self.strict:
+            raise InvariantViolation(message)
+
+    def __repr__(self) -> str:
+        return (
+            f"InvariantChecker(strict={self.strict}, checks={self.checks_run}, "
+            f"violations={len(self.violations)})"
+        )

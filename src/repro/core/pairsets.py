@@ -1,0 +1,129 @@
+"""Data structures backing the partial / full / ready sets.
+
+The paper's prototype "makes use of several optimizations and custom data
+structures to make the operations described in Listings 1 and 2 efficient"
+(Section 4).  The operations the scheduler needs are:
+
+* per phase *p*: the minimum vertex index with a pair in partial ∪ full
+  (statement 1.15 computes ``vmin``), under interleaved inserts/removes;
+* per phase *p*: pop every *partial* pair whose index is ≤ a rising
+  threshold ``m(x_p)`` (statement 1.24's ``newly-full`` computation);
+* per vertex *v*: the minimum phase with a pair in full (the ready
+  condition of statements 1.27 / 2.16).
+
+All three are served by :class:`LazyMinHeap` — a binary heap with a
+companion membership set and lazy deletion.  Amortised cost per operation
+is O(log k) for k live-plus-stale entries; stale entries are purged when
+they reach the top.  This matches the x_p-monotonicity of the algorithm
+(thresholds only rise, minima only rise), so pop-prefix loops touch each
+entry O(1) times over a run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Set
+
+__all__ = ["LazyMinHeap"]
+
+
+class LazyMinHeap:
+    """A set of integers with O(log n) add/discard and O(1) amortised min.
+
+    Supports exactly the operations the scheduler sets need; values may be
+    re-added after removal (a vertex can re-enter a phase's pending set
+    only across *different* phases, but the structure does not rely on
+    that).
+
+    Examples
+    --------
+    >>> h = LazyMinHeap()
+    >>> for v in (5, 2, 9):
+    ...     _ = h.add(v)
+    >>> h.min()
+    2
+    >>> h.discard(2)
+    True
+    >>> h.min()
+    5
+    >>> h.pop_leq(6)
+    [5]
+    >>> len(h)
+    1
+    """
+
+    __slots__ = ("_heap", "_members")
+
+    def __init__(self) -> None:
+        self._heap: List[int] = []
+        self._members: Set[int] = set()
+
+    def add(self, value: int) -> bool:
+        """Insert *value*; returns False if it was already present."""
+        if value in self._members:
+            return False
+        self._members.add(value)
+        heapq.heappush(self._heap, value)
+        return True
+
+    def discard(self, value: int) -> bool:
+        """Remove *value* lazily; returns False if it was not present."""
+        if value not in self._members:
+            return False
+        self._members.remove(value)
+        # The heap entry stays until it surfaces; _compact purges it then.
+        return True
+
+    def _compact(self) -> None:
+        heap, members = self._heap, self._members
+        while heap and heap[0] not in members:
+            heapq.heappop(heap)
+
+    def min(self) -> int:
+        """The smallest live value.  Raises :class:`IndexError` when empty."""
+        self._compact()
+        if not self._heap:
+            raise IndexError("min() of an empty LazyMinHeap")
+        return self._heap[0]
+
+    def min_or(self, default: int) -> int:
+        """The smallest live value, or *default* when empty."""
+        self._compact()
+        return self._heap[0] if self._heap else default
+
+    def pop_leq(self, threshold: int) -> List[int]:
+        """Remove and return every live value ≤ *threshold*, ascending.
+
+        This is the ``newly-full`` prefix pop: because thresholds only rise
+        during a run, each value is popped at most once overall.
+        """
+        out: List[int] = []
+        heap, members = self._heap, self._members
+        while heap:
+            top = heap[0]
+            if top not in members:
+                heapq.heappop(heap)
+                continue
+            if top > threshold:
+                break
+            heapq.heappop(heap)
+            members.remove(top)
+            out.append(top)
+        return out
+
+    def __contains__(self, value: int) -> bool:
+        return value in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate live values in ascending order (O(n log n); for tests
+        and the invariant checker, not the hot path)."""
+        return iter(sorted(self._members))
+
+    def __repr__(self) -> str:
+        return f"LazyMinHeap({sorted(self._members)!r})"

@@ -1,0 +1,194 @@
+"""Edge message channels with Δ-dataflow latching semantics.
+
+Section 3.1.2: executing a pair ``(v, p)`` means consuming any inputs ``v``
+received for phase ``p`` **and using previous values for any inputs it has
+not received for phase p**.  Because the pipeline lets a predecessor run
+many phases ahead of a consumer, an edge cannot hold just "the latest
+value" — it holds a small per-phase history, and a consumer executing
+phase ``p`` reads the newest entry whose phase is ``<= p``.
+
+:class:`EdgeChannel` stores that history (entries are appended in strictly
+increasing phase order, because a sender executes its phases in order) and
+garbage-collects superseded entries once the consumer has moved past them.
+
+:class:`EdgeStore` owns one channel per graph edge, keyed by
+``(src_index, dst_index)``, plus the per-vertex input/output index tables
+the engines use.  All mutation happens inside the engine's single global
+lock, so the structures themselves are unsynchronised.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, List, Tuple
+
+from ..errors import SchedulerError
+from ..graph.numbering import Numbering
+
+__all__ = ["NO_VALUE", "EdgeChannel", "EdgeStore"]
+
+
+class _NoValue:
+    """Sentinel for "this edge has never carried a message"."""
+
+    _instance: "_NoValue | None" = None
+
+    def __new__(cls) -> "_NoValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NO_VALUE"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NO_VALUE = _NoValue()
+
+
+class EdgeChannel:
+    """The message history of one directed edge.
+
+    Entries are ``(phase, value)`` with strictly increasing phases.
+    """
+
+    __slots__ = ("_phases", "_values", "_consumed_upto")
+
+    def __init__(self) -> None:
+        self._phases: List[int] = []
+        self._values: List[Any] = []
+        self._consumed_upto = 0
+
+    def send(self, phase: int, value: Any) -> None:
+        """Append the phase-*phase* message.
+
+        Phases must arrive strictly increasing — the sender executes its
+        phases in order, and sends at most one message per edge per phase.
+        """
+        if self._phases and phase <= self._phases[-1]:
+            raise SchedulerError(
+                f"edge message for phase {phase} after phase {self._phases[-1]}: "
+                f"senders must emit in strictly increasing phase order"
+            )
+        if phase <= self._consumed_upto:
+            raise SchedulerError(
+                f"edge message for phase {phase} arrived after the consumer "
+                f"finished phase {self._consumed_upto}"
+            )
+        self._phases.append(phase)
+        self._values.append(value)
+
+    def read_at(self, phase: int) -> Tuple[Any, bool]:
+        """``(value, changed)`` as observed by a consumer executing *phase*.
+
+        *value* is the newest entry with phase ``<= phase`` (``NO_VALUE``
+        if none); *changed* is True iff an entry exists at exactly *phase*
+        (i.e. a message for this phase is waiting on this input).
+        """
+        idx = bisect_right(self._phases, phase)
+        if idx == 0:
+            return NO_VALUE, False
+        changed = self._phases[idx - 1] == phase
+        return self._values[idx - 1], changed
+
+    def consume_upto(self, phase: int) -> int:
+        """Mark phases ``<= phase`` consumed and drop superseded entries.
+
+        The newest entry with phase ``<= phase`` is *retained*: it is the
+        latched "previous value" for later phases that bring no message.
+        Returns the number of entries dropped (memory instrumentation).
+        """
+        if phase < self._consumed_upto:
+            return 0
+        self._consumed_upto = phase
+        idx = bisect_right(self._phases, phase)
+        if idx > 1:
+            # Keep the latched entry at idx-1; drop everything before it.
+            del self._phases[: idx - 1]
+            del self._values[: idx - 1]
+            return idx - 1
+        return 0
+
+    @property
+    def pending_entries(self) -> int:
+        """Entries currently stored (after GC) — memory instrumentation."""
+        return len(self._phases)
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeChannel(entries={list(zip(self._phases, self._values))!r}, "
+            f"consumed_upto={self._consumed_upto})"
+        )
+
+
+class EdgeStore:
+    """All edge channels of one run, with index-based adjacency tables.
+
+    Parameters
+    ----------
+    numbering:
+        The restricted numbering; channels are keyed by vertex *indices*
+        so the hot path never touches strings.
+    """
+
+    def __init__(self, numbering: Numbering) -> None:
+        self.numbering = numbering
+        self._channels: Dict[Tuple[int, int], EdgeChannel] = {}
+        self.preds: Dict[int, List[int]] = {}
+        self.succs: Dict[int, List[int]] = {}
+        # O(1) memory instrumentation: entries currently buffered across
+        # all channels, and the run's high-water mark.  Unbounded
+        # pipelining lets these grow with the phase backlog; flow control
+        # bounds them (the memory ablation measures exactly this).
+        self.live_entries = 0
+        self.peak_entries = 0
+        g = numbering.graph
+        for v in range(1, numbering.n + 1):
+            name = numbering.name_of(v)
+            self.preds[v] = sorted(numbering.index_of[u] for u in g.predecessors(name))
+            self.succs[v] = sorted(numbering.index_of[w] for w in g.successors(name))
+        for v, succs in self.succs.items():
+            for w in succs:
+                self._channels[(v, w)] = EdgeChannel()
+
+    def channel(self, src: int, dst: int) -> EdgeChannel:
+        try:
+            return self._channels[(src, dst)]
+        except KeyError:
+            raise SchedulerError(f"no edge {src} -> {dst}") from None
+
+    def deliver(self, src: int, phase: int, outputs: Dict[int, Any]) -> None:
+        """Record *src*'s phase-*phase* messages (dst index -> value)."""
+        for dst, value in outputs.items():
+            self.channel(src, dst).send(phase, value)
+        self.live_entries += len(outputs)
+        if self.live_entries > self.peak_entries:
+            self.peak_entries = self.live_entries
+
+    def gather_inputs(self, dst: int, phase: int) -> Tuple[Dict[int, Any], List[int]]:
+        """Snapshot *dst*'s inputs for executing *phase*.
+
+        Returns ``(values, changed)``: latched value per predecessor index
+        (predecessors that never sent are omitted) and the list of
+        predecessor indices whose value changed at exactly *phase*.
+        """
+        values: Dict[int, Any] = {}
+        changed: List[int] = []
+        for src in self.preds[dst]:
+            value, is_new = self._channels[(src, dst)].read_at(phase)
+            if value is not NO_VALUE:
+                values[src] = value
+            if is_new:
+                changed.append(src)
+        return values, changed
+
+    def consume(self, dst: int, phase: int) -> None:
+        """GC all of *dst*'s input channels up to *phase* (post-execution)."""
+        for src in self.preds[dst]:
+            self.live_entries -= self._channels[(src, dst)].consume_upto(phase)
+
+    def total_pending_entries(self) -> int:
+        """Total stored entries across channels (memory instrumentation)."""
+        return sum(ch.pending_entries for ch in self._channels.values())

@@ -1,0 +1,279 @@
+"""Programs and the shared pair-execution mechanics.
+
+A :class:`Program` bundles the three things a run needs: a computation
+graph, a restricted numbering of it, and a behaviour (:class:`Vertex`) per
+graph vertex.  Programs are engine-agnostic: the threaded engine, the
+serial oracle, the simulated SMP, and the baselines all execute the same
+program, which is what makes serializability checking meaningful.
+
+:class:`PairRuntime` implements the mechanics of executing one vertex-phase
+pair, split into three steps so the threaded engine can hold the global
+lock only around the bookkeeping:
+
+* :meth:`PairRuntime.prepare` (under the lock) — snapshot the pair's inputs
+  from the edge store and build the :class:`VertexContext`;
+* :meth:`PairRuntime.compute` (outside the lock) — run the vertex
+  behaviour: the expensive model evaluation the paper parallelises;
+* :meth:`PairRuntime.commit` (under the lock) — deliver output messages to
+  edge channels, garbage-collect consumed input entries, append records,
+  and return the *indices* of the vertices that received outputs (the set
+  Listing 1's statement 1.8 iterates over).
+
+:class:`RunResult` is the externally visible outcome of a run: the per-
+vertex records, the executed pairs in completion order, and counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import GraphError, SchedulerError, VertexExecutionError
+from ..events import PhaseInput
+from ..graph.model import ComputationGraph
+from ..graph.numbering import Numbering, number_graph
+from .ports import EdgeStore
+from .vertex import Vertex, VertexContext
+
+__all__ = ["Program", "PairRuntime", "RunResult"]
+
+
+class Program:
+    """A computation graph plus one behaviour per vertex.
+
+    Parameters
+    ----------
+    graph:
+        The (acyclic) computation graph.
+    behaviors:
+        Mapping from vertex name to :class:`Vertex`.  Must cover every
+        vertex exactly.
+    numbering:
+        Optional pre-built restricted numbering; by default the FIFO-Kahn
+        numbering of *graph* is computed.
+    """
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        behaviors: Mapping[str, Vertex],
+        numbering: Optional[Numbering] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        graph.validate()
+        missing = set(graph.vertices()) - set(behaviors)
+        extra = set(behaviors) - set(graph.vertices())
+        if missing or extra:
+            raise GraphError(
+                f"behaviors must cover the vertex set exactly "
+                f"(missing={sorted(missing)!r}, extra={sorted(extra)!r})"
+            )
+        for vname, beh in behaviors.items():
+            if not isinstance(beh, Vertex):
+                raise GraphError(
+                    f"behavior for {vname!r} must be a Vertex, got {type(beh).__name__}"
+                )
+        self.graph = graph
+        self.name = name or graph.name
+        self.numbering = numbering or number_graph(graph)
+        if self.numbering.graph is not graph:
+            raise GraphError("numbering was built for a different graph object")
+        self.behaviors: Dict[str, Vertex] = dict(behaviors)
+        self._behavior_by_index: List[Vertex | None] = [None] * (self.numbering.n + 1)
+        for vname, beh in self.behaviors.items():
+            self._behavior_by_index[self.numbering.index_of[vname]] = beh
+
+    @property
+    def n(self) -> int:
+        return self.numbering.n
+
+    def behavior(self, index: int) -> Vertex:
+        """Behaviour of the vertex with numbering index *index*."""
+        beh = self._behavior_by_index[index]
+        assert beh is not None
+        return beh
+
+    def reset(self) -> None:
+        """Reset every vertex behaviour to its initial state (run start)."""
+        for beh in self.behaviors.values():
+            beh.reset()
+
+    def source_names(self) -> List[str]:
+        return self.graph.sources()
+
+    def sink_names(self) -> List[str]:
+        return self.graph.sinks()
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, n={self.n})"
+
+
+@dataclass
+class RunResult:
+    """The externally observable outcome of executing a program.
+
+    Attributes
+    ----------
+    engine:
+        Which engine produced this result (e.g. ``"serial"``,
+        ``"parallel[k=2]"``).
+    records:
+        Per-vertex record log: vertex name -> list of ``(phase, value)``.
+        Only vertices that recorded anything appear.
+    executions:
+        Executed vertex-phase pairs, in completion order.  Completion order
+        varies across engines; the *set* must not.
+    message_count:
+        Total messages delivered along edges.
+    phases_run:
+        Number of phases started.
+    wall_time:
+        Wall-clock (or virtual, for the simulator) duration of the run.
+    stats:
+        Engine-specific extras (lock contention, utilization, ...).
+    """
+
+    engine: str
+    records: Dict[str, List[Tuple[int, Any]]]
+    executions: List[Tuple[int, int]]
+    message_count: int
+    phases_run: int
+    wall_time: float = 0.0
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def execution_count(self) -> int:
+        return len(self.executions)
+
+    def executions_as_set(self) -> Set[Tuple[int, int]]:
+        return set(self.executions)
+
+    def records_for(self, vertex: str) -> List[Tuple[int, Any]]:
+        return self.records.get(vertex, [])
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(engine={self.engine!r}, phases={self.phases_run}, "
+            f"executions={self.execution_count}, messages={self.message_count}, "
+            f"wall_time={self.wall_time:.6f})"
+        )
+
+
+class PairRuntime:
+    """Execution mechanics shared by every engine (see module docstring)."""
+
+    def __init__(self, program: Program, phase_inputs: Sequence[PhaseInput]) -> None:
+        self.program = program
+        self.edges = EdgeStore(program.numbering)
+        self.records: Dict[str, List[Tuple[int, Any]]] = {}
+        self.message_count = 0
+        self.execution_count = 0
+        self._phase_inputs: Dict[int, PhaseInput] = {}
+        self.num_phases = 0
+        for pi in phase_inputs:
+            self.register_phase(pi)
+        self._source_indices = set(program.numbering.source_indices())
+        # Name tables for context construction.
+        nm = program.numbering
+        self._names: List[str] = [""] + [nm.name_of(i) for i in range(1, nm.n + 1)]
+        self._succ_names: List[List[str]] = [[]] + [
+            [self._lookup_name(w) for w in self.edges.succs[v]]
+            for v in range(1, nm.n + 1)
+        ]
+
+    def _lookup_name(self, index: int) -> str:
+        return self.program.numbering.name_of(index)
+
+    def register_phase(self, pi: PhaseInput) -> None:
+        """Append the next phase's inputs.
+
+        Engines that learn phase contents incrementally (the distributed
+        cluster: a machine's inputs arrive from upstream machines during
+        the run) register each phase just before starting it; batch
+        engines pass everything to the constructor.
+        """
+        if pi.phase != self.num_phases + 1:
+            raise SchedulerError(
+                f"phase inputs must be numbered sequentially from 1; "
+                f"got phase {pi.phase} after {self.num_phases}"
+            )
+        self._phase_inputs[pi.phase] = pi
+        self.num_phases += 1
+
+    # -- the three execution steps ------------------------------------------
+
+    def prepare(self, v: int, p: int) -> VertexContext:
+        """Snapshot inputs and build the context (call under the lock)."""
+        name = self._names[v]
+        raw_inputs, raw_changed = self.edges.gather_inputs(v, p)
+        inputs = {self._names[src]: val for src, val in raw_inputs.items()}
+        changed = {self._names[src] for src in raw_changed}
+        phase_input = None
+        if v in self._source_indices:
+            pi = self._phase_inputs.get(p)
+            if pi is not None:
+                phase_input = pi.values.get(name)
+        return VertexContext(
+            name=name,
+            phase=p,
+            inputs=inputs,
+            changed=changed,
+            successors=self._succ_names[v],
+            phase_input=phase_input,
+        )
+
+    def compute(self, v: int, ctx: VertexContext) -> VertexContext:
+        """Run the vertex behaviour (call outside the lock)."""
+        behavior = self.program.behavior(v)
+        try:
+            returned = behavior.on_execute(ctx)
+        except VertexExecutionError:
+            raise
+        except Exception as exc:
+            raise VertexExecutionError(ctx.name, ctx.phase, str(exc)) from exc
+        ctx.finish(returned)
+        return ctx
+
+    def commit(self, v: int, p: int, ctx: VertexContext) -> List[int]:
+        """Deliver outputs, GC inputs, append records (call under the lock).
+
+        Returns the indices of vertices that received an output — exactly
+        the ``w`` of Listing 1's statement 1.8.
+        """
+        index_of = self.program.numbering.index_of
+        outputs_by_index = {index_of[wname]: val for wname, val in ctx.outputs.items()}
+        self.edges.deliver(v, p, outputs_by_index)
+        self.edges.consume(v, p)
+        if ctx.records:
+            log = self.records.setdefault(ctx.name, [])
+            for value in ctx.records:
+                log.append((p, value))
+        self.message_count += len(outputs_by_index)
+        self.execution_count += 1
+        return sorted(outputs_by_index)
+
+    def execute(self, v: int, p: int) -> List[int]:
+        """prepare + compute + commit in one step (single-threaded engines)."""
+        ctx = self.prepare(v, p)
+        self.compute(v, ctx)
+        return self.commit(v, p, ctx)
+
+    # -- results -------------------------------------------------------------
+
+    def build_result(
+        self,
+        engine: str,
+        executions: List[Tuple[int, int]],
+        wall_time: float,
+        stats: Optional[Dict[str, Any]] = None,
+    ) -> RunResult:
+        return RunResult(
+            engine=engine,
+            records={k: list(vs) for k, vs in self.records.items()},
+            executions=list(executions),
+            message_count=self.message_count,
+            phases_run=self.num_phases,
+            wall_time=wall_time,
+            stats=dict(stats or {}),
+        )

@@ -1,0 +1,353 @@
+"""The scheduler state: Listings 1 and 2 of the paper, as a passive object.
+
+:class:`SchedulerState` owns the partial / full / ready sets, the per-phase
+frontiers ``x_p``, ``pmax``, and the ghost ``msg`` variables, and exposes
+exactly two mutators:
+
+* :meth:`SchedulerState.start_phase` — Listing 2, statements 10-21 (the
+  environment process body): start phase ``next``, put its source pairs in
+  the full set, move newly ready pairs to ready, return them so the caller
+  can enqueue them on the run queue.
+* :meth:`SchedulerState.complete_execution` — Listing 1, statements 4-31
+  (the post-execution critical section): remove the executed pair, insert
+  output pairs into partial, update the ``x_i`` (statements 12-23 with the
+  ``x_i <= x_{i-1}`` clamp), move newly full pairs (statements 24-26), move
+  newly ready pairs (statements 27-30), return the newly ready pairs.
+
+The object is deliberately **not** thread-safe: the engines wrap every call
+in the single global lock of the algorithm (the paper's ``lock`` /
+``unlock``), the serial oracle and the simulator call it from one thread,
+and the invariant checker relies on observing quiescent states.
+
+Fidelity notes
+--------------
+* The x-update loop of statements 12-23 nominally scans phases ``p ..
+  pmax``; this implementation exits the scan as soon as an iteration leaves
+  ``x_i`` unchanged, which is exact (for ``i > p`` the pending sets are
+  untouched by this call, so ``x_i`` can only change through the clamp on a
+  changed ``x_{i-1}``).
+* Statement 24's ``newly-full`` scan quantifies over all of partial; only
+  phases whose ``x`` changed in this call (plus phase ``p`` itself, which
+  may have received brand-new partial pairs below the unchanged threshold)
+  can contribute, so only those phases are scanned.  Both reductions are
+  covered by the invariant checker, which re-derives the sets from the raw
+  definitions (7)-(9) and compares.
+* Every ``x_p`` is nondecreasing over a run; the state asserts this, and
+  the pair-set structures exploit it (pop-prefix operations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..errors import DuplicateExecutionError, SchedulerError
+from ..graph.numbering import Numbering
+from .pairsets import LazyMinHeap
+
+__all__ = ["SchedulerState", "Pair"]
+
+Pair = Tuple[int, int]
+"""A vertex-phase pair ``(v, p)``: vertex index ``v`` executing phase ``p``."""
+
+
+class SchedulerState:
+    """Mutable scheduling state for one run over a numbered graph.
+
+    Parameters
+    ----------
+    numbering:
+        The restricted numbering of the computation graph (Section 3.1.1).
+    checker:
+        Optional :class:`repro.core.invariants.InvariantChecker`; when
+        given, it is invoked after every mutation (the paper's "at the
+        unlock statement, the invariant ... has been preserved").
+    """
+
+    def __init__(self, numbering: Numbering, checker: "object | None" = None) -> None:
+        self.numbering = numbering
+        self.N: int = numbering.n
+        self._m: List[int] = numbering.m_sequence()
+        self._checker = checker
+
+        # Listing 2, statements 2-7: initialisation.
+        self._partial: Set[Pair] = set()
+        self._full: Set[Pair] = set()
+        self._ready: Set[Pair] = set()
+        self._msg: Set[Pair] = set()  # ghost: pairs with msg(v, p) == true
+        self._pmax: int = 0
+        self._next: int = 1
+        # x_0 = N (statement 2.5); x_p defaults to 0 for unstarted phases
+        # (statement 2.6 initialises the infinite family lazily).
+        self._x: Dict[int, int] = {0: self.N}
+
+        # Custom structures (Section 4's "optimizations"):
+        self._pending: Dict[int, LazyMinHeap] = {}  # phase -> indices in partial|full
+        self._partial_by_phase: Dict[int, LazyMinHeap] = {}
+        self._full_phases: Dict[int, LazyMinHeap] = {
+            v: LazyMinHeap() for v in range(1, self.N + 1)
+        }
+
+        # Exactly-once bookkeeping (Section 3.3.4) and simple counters.
+        self._ready_upto: Dict[int, int] = {}  # vertex -> highest phase ever readied
+        self._executed_pairs = 0
+        self._complete_phases = 0
+
+    # ------------------------------------------------------------------
+    # Read-only views
+    # ------------------------------------------------------------------
+
+    @property
+    def pmax(self) -> int:
+        """Highest phase number that has started execution."""
+        return self._pmax
+
+    @property
+    def next_phase(self) -> int:
+        """The phase number :meth:`start_phase` will start next."""
+        return self._next
+
+    def m(self, v: int) -> int:
+        """``m(v)`` of the underlying numbering."""
+        return self._m[v]
+
+    def x(self, p: int) -> int:
+        """The frontier ``x_p`` (``x_0 = N``; 0 for unstarted phases)."""
+        if p < 0:
+            raise SchedulerError(f"x({p}) undefined for negative phase")
+        return self._x.get(p, self.N if p == 0 else 0)
+
+    def msg(self, v: int, p: int) -> bool:
+        """Ghost variable ``msg(v, p)``: a message for phase *p* waits on an
+        input of vertex *v* (and has not been consumed)."""
+        return (v, p) in self._msg
+
+    def partial_set(self) -> FrozenSet[Pair]:
+        """Snapshot of the partial set (definition (9))."""
+        return frozenset(self._partial)
+
+    def full_set(self) -> FrozenSet[Pair]:
+        """Snapshot of the full set (definition (7))."""
+        return frozenset(self._full)
+
+    def ready_set(self) -> FrozenSet[Pair]:
+        """Snapshot of the ready set (definition (8))."""
+        return frozenset(self._ready)
+
+    def phase_started(self, p: int) -> bool:
+        return 1 <= p <= self._pmax
+
+    def phase_complete(self, p: int) -> bool:
+        """Phase *p* finished: every vertex executed (or provably need not
+        execute) phase *p* — equivalently ``x_p == N``."""
+        return self.phase_started(p) and self.x(p) == self.N
+
+    def all_started_complete(self) -> bool:
+        """Every started phase is complete (quiescence)."""
+        return self._complete_phases == self._pmax
+
+    def in_flight_phases(self) -> List[int]:
+        """Started-but-incomplete phases, ascending."""
+        return [p for p in range(1, self._pmax + 1) if self.x(p) < self.N]
+
+    @property
+    def executed_pairs(self) -> int:
+        """Total vertex-phase pairs executed so far."""
+        return self._executed_pairs
+
+    @property
+    def complete_phase_count(self) -> int:
+        """Number of started phases that have completed (x_p == N)."""
+        return self._complete_phases
+
+    @property
+    def ready_backlog(self) -> int:
+        """Pairs currently in ready (i.e. runnable or running)."""
+        return len(self._ready)
+
+    # ------------------------------------------------------------------
+    # Listing 2: the environment process body (statements 10-21)
+    # ------------------------------------------------------------------
+
+    def start_phase(self) -> List[Pair]:
+        """Start phase ``next``: statements 2.11-2.20.
+
+        Returns the newly ready pairs, which the caller must place on the
+        run queue exactly once each (statement 2.18).
+        """
+        p = self._next
+        # Statement 2.11: pmax := next.
+        self._pmax = p
+        self._x.setdefault(p, 0)
+        pending = self._pending.setdefault(p, LazyMinHeap())
+        # Statements 2.12-2.14: source pairs into full; msg := true.
+        for s in range(1, self._m[0] + 1):
+            pair = (s, p)
+            self._full.add(pair)
+            self._msg.add(pair)
+            pending.add(s)
+            self._full_phases[s].add(p)
+        # Statements 2.16-2.19: newly ready pairs.
+        newly_ready = self._refresh_ready(range(1, self._m[0] + 1))
+        # Statement 2.20: next := next + 1.
+        self._next = p + 1
+        self._run_checker()
+        return newly_ready
+
+    # ------------------------------------------------------------------
+    # Listing 1: the post-execution critical section (statements 4-31)
+    # ------------------------------------------------------------------
+
+    def complete_execution(self, v: int, p: int, output_targets: Iterable[int]) -> List[Pair]:
+        """Record that pair ``(v, p)`` finished executing, having generated
+        outputs for the vertices in *output_targets* (statements 1.4-1.31).
+
+        Returns the newly ready pairs for the caller to enqueue.
+
+        Raises
+        ------
+        SchedulerError
+            If ``(v, p)`` is not currently in the ready set — only ready
+            pairs may execute (Section 3.1.2).
+        DuplicateExecutionError
+            On any attempt to complete a pair twice (via the ready check
+            and the per-vertex phase monotonicity bookkeeping).
+        """
+        pair = (v, p)
+        if pair not in self._ready:
+            if p <= self._ready_upto.get(v, 0) and pair not in self._full:
+                raise DuplicateExecutionError(
+                    f"pair {pair} was already executed; each ready pair "
+                    f"executes exactly once"
+                )
+            raise SchedulerError(
+                f"pair {pair} is not in the ready set and may not execute"
+            )
+
+        # Statements 1.5-1.7: remove from full and ready; msg := false.
+        self._full.remove(pair)
+        self._ready.remove(pair)
+        self._msg.discard(pair)
+        self._pending[p].discard(v)
+        self._full_phases[v].discard(p)
+        self._executed_pairs += 1
+
+        # Statements 1.8-1.11: outputs enter the partial set.
+        partial_heap = self._partial_by_phase.setdefault(p, LazyMinHeap())
+        pending = self._pending[p]
+        for w in output_targets:
+            if not v < w <= self.N:
+                raise SchedulerError(
+                    f"vertex {v} emitted to {w}: edges must go from lower to "
+                    f"higher indices (1..{self.N})"
+                )
+            out_pair = (w, p)
+            if out_pair in self._partial or out_pair in self._full:
+                # msg(w, p) is already true; the set union is idempotent.
+                continue
+            self._partial.add(out_pair)
+            self._msg.add(out_pair)
+            partial_heap.add(w)
+            pending.add(w)
+
+        # Statements 1.12-1.23: update x_i for i = p .. pmax.
+        changed_phases = self._update_x_from(p)
+
+        # Statements 1.24-1.26: move newly full pairs out of partial.
+        affected: List[int] = [v]
+        scan_phases = changed_phases if p in changed_phases else [p, *changed_phases]
+        for q in scan_phases:
+            heap = self._partial_by_phase.get(q)
+            if heap is None or not heap:
+                continue
+            threshold = self._m[self.x(q)]
+            for w in heap.pop_leq(threshold):
+                moved = (w, q)
+                self._partial.remove(moved)
+                self._full.add(moved)
+                self._full_phases[w].add(q)
+                affected.append(w)
+
+        # Statements 1.27-1.30: newly ready pairs.
+        newly_ready = self._refresh_ready(affected)
+        self._run_checker()
+        return newly_ready
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _update_x_from(self, p: int) -> List[int]:
+        """Statements 1.12-1.23 with an exact early exit.
+
+        Recomputes ``x_i = min(vmin_i - 1, x_{i-1})`` (or ``N`` when no
+        pair with phase *i* remains pending) for ``i = p, p+1, ...``,
+        stopping as soon as an iteration leaves ``x_i`` unchanged — for
+        ``i > p`` the pending sets were untouched by this call, so a fixed
+        point propagates.  Returns the phases whose ``x`` changed.
+        """
+        changed: List[int] = []
+        i = p
+        while i <= self._pmax:
+            pend = self._pending.get(i)
+            if pend:
+                xi = pend.min() - 1  # statement 1.15: vmin - 1
+            else:
+                xi = self.N  # statement 1.17: phase complete
+            prev_x = self.x(i - 1)
+            if xi > prev_x:  # statements 1.19-1.21: the no-overtaking clamp
+                xi = prev_x
+            old = self.x(i)
+            if xi == old:
+                if i > p:
+                    break
+            else:
+                assert xi > old, (
+                    f"x_{i} must be nondecreasing (old {old}, new {xi})"
+                )
+                self._x[i] = xi
+                changed.append(i)
+                if xi == self.N:
+                    self._complete_phases += 1
+            i += 1
+        return changed
+
+    def _refresh_ready(self, vertices: Iterable[int]) -> List[Pair]:
+        """Statements 1.27-1.30 / 2.16-2.19, restricted to *vertices*.
+
+        Only a vertex whose full-phase set just changed can gain a ready
+        pair (readiness of ``(w, q)`` depends solely on ``w``'s own full
+        phases), so the definitional scan over all pairs reduces to the
+        affected vertices.  Enforces exactly-once placement.
+        """
+        out: List[Pair] = []
+        seen: Set[int] = set()
+        for w in vertices:
+            if w in seen:
+                continue
+            seen.add(w)
+            phases = self._full_phases[w]
+            if not phases:
+                continue
+            q = phases.min()
+            pair = (w, q)
+            if pair in self._ready:
+                continue
+            if q <= self._ready_upto.get(w, 0):
+                raise DuplicateExecutionError(
+                    f"pair {pair} would enter the ready set a second time"
+                )
+            self._ready_upto[w] = q
+            self._ready.add(pair)
+            out.append(pair)
+        return out
+
+    def _run_checker(self) -> None:
+        if self._checker is not None:
+            self._checker.check(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"SchedulerState(N={self.N}, pmax={self._pmax}, "
+            f"partial={len(self._partial)}, full={len(self._full)}, "
+            f"ready={len(self._ready)}, executed={self._executed_pairs})"
+        )

@@ -1,0 +1,40 @@
+"""Distributed execution (the paper's Section 6 future work).
+
+    "We are investigating various ways of using networks of multiprocessor
+    machines to improve performance and efficiency, including methods for
+    partitioning the computation graph across multiple machines and
+    replication of event streams to multiple distinct computation graphs."
+
+Two schemes, both built on the public core API:
+
+* **Pipeline partitioning** (:mod:`~repro.distributed.partition`,
+  :mod:`~repro.distributed.cluster`) — split the restricted numbering into
+  contiguous index blocks (which, being topological, makes every cut edge
+  flow strictly forward), materialise each block as a standalone local
+  program with *export* stubs for outgoing cut edges and *proxy sources*
+  for incoming ones, and run the blocks on a simulated cluster of SMPs
+  connected by latency-bearing channels.  Phase tokens (upstream phase
+  completions) tell each machine when a phase's cross-machine inputs —
+  including their absences — are fully known, preserving Δ semantics and
+  serializability end to end.
+* **Stream replication** (:func:`~repro.distributed.replicate.replicate_by_sinks`)
+  — give R machines identical event streams but distinct condition
+  subsets: each replica runs the sub-program that is the ancestor closure
+  of its assigned sinks, so monitored conditions partition the work.
+"""
+
+from .partition import GraphPartition, contiguous_partition, PartitionedProgram
+from .cluster import SimulatedCluster, ClusterResult, MachineConfig
+from .replicate import replicate_by_sinks, ReplicaPlan, ancestor_closure
+
+__all__ = [
+    "GraphPartition",
+    "contiguous_partition",
+    "PartitionedProgram",
+    "SimulatedCluster",
+    "ClusterResult",
+    "MachineConfig",
+    "replicate_by_sinks",
+    "ReplicaPlan",
+    "ancestor_closure",
+]

@@ -1,0 +1,413 @@
+"""A simulated cluster of SMPs running a partitioned computation.
+
+Each machine runs the unmodified core algorithm (its own
+:class:`~repro.core.state.SchedulerState`, global lock, run queue, worker
+threads and environment thread) over its local block program; machines
+are connected by latency-bearing channels carrying two things per phase:
+
+* **cut messages** — values captured by the upstream block's export stubs
+  during phase *p*, delivered as the downstream proxies' phase inputs;
+* **phase tokens** — "machine *i* finished phase *p*", the cross-machine
+  form of the paper's absence-of-messages information: once every
+  upstream machine has tokened phase *p*, the downstream machine knows
+  its phase-*p* cross inputs are *complete* (silent proxies really mean
+  "unchanged") and its environment may start the phase.
+
+Because a machine's environment starts phase *p* as soon as the tokens
+arrive — not when its own earlier phases finish — the cluster pipelines
+across machines exactly as the single-machine algorithm pipelines across
+vertices: machine 1 can be on phase 9 while machine 3 is on phase 5.
+
+Everything runs in one discrete-event simulation; per-machine worker and
+processor counts and the network latency are configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Set, Tuple
+
+from ..core.program import PairRuntime, Program, RunResult
+from ..core.state import SchedulerState
+from ..core.tracer import ExecutionTracer
+from ..errors import SimulationError, WorkloadError
+from ..events import PhaseInput
+from ..simulator.costs import CostModel
+from ..simulator.des import Event, Resource, Simulation, Store
+from .partition import PartitionedProgram
+
+__all__ = ["SimulatedCluster", "ClusterResult", "MachineConfig"]
+
+_CLOSE = object()
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """Per-machine sizing."""
+
+    num_workers: int = 2
+    num_processors: int = 2
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of a cluster run."""
+
+    makespan: float
+    machine_results: List[RunResult]
+    phases_run: int
+    cut_messages: int
+    tokens_sent: int
+
+    def merged_records(self) -> Dict[str, List[Tuple[int, Any]]]:
+        """Union of all machines' records (proxy/export stubs record
+        nothing, so these are exactly the original program's records)."""
+        merged: Dict[str, List[Tuple[int, Any]]] = {}
+        for res in self.machine_results:
+            for name, log in res.records.items():
+                merged[name] = list(log)
+        return merged
+
+    @property
+    def total_executions(self) -> int:
+        return sum(r.execution_count for r in self.machine_results)
+
+
+class _MachineNode:
+    """One machine: the core algorithm embedded in a shared simulation,
+    its environment fed by a Store of PhaseInput objects."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        machine_id: int,
+        program: Program,
+        config: MachineConfig,
+        cost_model: CostModel,
+        expected_phases: int,
+        on_phase_complete: Callable[[int, int], None],
+        zero_cost_names: Optional[Set[str]] = None,
+        tracer: Optional[ExecutionTracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.machine_id = machine_id
+        self.program = program
+        self.config = config
+        self.cm = cost_model
+        self.expected_phases = expected_phases
+        self.on_phase_complete = on_phase_complete
+        self.zero_cost_names = zero_cost_names or set()
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.set_clock(lambda: sim.now)
+        program.reset()
+        self.runtime = PairRuntime(program, [])
+        self.state = SchedulerState(program.numbering)
+        self.lock = Resource(sim, 1, name=f"lock[m{machine_id}]")
+        self.procs = Resource(
+            sim, config.num_processors, name=f"cpus[m{machine_id}]"
+        )
+        self.queue = Store(sim, name=f"runq[m{machine_id}]")
+        self.feed = Store(sim, name=f"feed[m{machine_id}]")
+        self.executions: List[Tuple[int, int]] = []
+        self._env_done = False
+        self._complete_seen = 0
+
+    # -- simulated-thread helpers --------------------------------------
+
+    def _locked(self, duration: float, fn=None) -> Generator[Event, Any, None]:
+        yield self.lock.request()
+        yield self.procs.request()
+        if fn is not None:
+            fn()
+        if duration > 0:
+            yield self.sim.timeout(duration)
+        self.procs.release()
+        self.lock.release()
+
+    def _maybe_close(self) -> None:
+        if self._env_done and self.state.all_started_complete():
+            self.queue.put(_CLOSE)
+
+    def _signal_completions(self) -> None:
+        while self._complete_seen < self.state.complete_phase_count:
+            self._complete_seen += 1
+            if self.tracer is not None:
+                self.tracer.phase_completed(self._complete_seen)
+            self.on_phase_complete(self.machine_id, self._complete_seen)
+
+    # -- processes -------------------------------------------------------
+
+    def worker(self, worker_id: int) -> Generator[Event, Any, None]:
+        names = self.program.numbering
+        while True:
+            item = yield self.queue.get()
+            if item is _CLOSE:
+                self.queue.put(_CLOSE)
+                return
+            v, p = item
+            holder: Dict[str, Any] = {}
+
+            def do_prepare() -> None:
+                holder["ctx"] = self.runtime.prepare(v, p)
+
+            yield from self._locked(self.cm.prepare_cost, do_prepare)
+
+            yield self.procs.request()
+            if self.tracer is not None:
+                self.tracer.execute_begin((v, p), worker_id)
+            self.runtime.compute(v, holder["ctx"])
+            name = names.name_of(v)
+            duration = (
+                0.0 if name in self.zero_cost_names else self.cm.vertex_cost(name, p)
+            )
+            if duration > 0:
+                yield self.sim.timeout(duration)
+            if self.tracer is not None:
+                self.tracer.execute_end((v, p), worker_id)
+            self.procs.release()
+
+            def do_commit() -> None:
+                targets = self.runtime.commit(v, p, holder["ctx"])
+                newly = self.state.complete_execution(v, p, targets)
+                self.executions.append((v, p))
+                for pair in newly:
+                    self.queue.put(pair)
+                self._signal_completions()
+                self._maybe_close()
+
+            yield from self._locked(self.cm.bookkeeping_cost, do_commit)
+
+    def environment(self) -> Generator[Event, Any, None]:
+        for _ in range(self.expected_phases):
+            pi = yield self.feed.get()
+
+            def do_start(pi: PhaseInput = pi) -> None:
+                self.runtime.register_phase(pi)
+                if self.tracer is not None:
+                    self.tracer.phase_started(pi.phase)
+                for pair in self.state.start_phase():
+                    self.queue.put(pair)
+
+            yield from self._locked(self.cm.phase_start_cost, do_start)
+
+        def finish() -> None:
+            self._env_done = True
+            self._maybe_close()
+
+        yield from self._locked(0.0, finish)
+
+    def launch(self) -> None:
+        for wid in range(self.config.num_workers):
+            self.sim.start(self.worker(wid), name=f"m{self.machine_id}-w{wid}")
+        self.sim.start(self.environment(), name=f"m{self.machine_id}-env")
+
+    def result(self, makespan: float) -> RunResult:
+        return self.runtime.build_result(
+            f"cluster-machine[{self.machine_id}]",
+            self.executions,
+            makespan,
+            stats={
+                "lock_contention": (
+                    self.lock.contended_requests / self.lock.total_requests
+                    if self.lock.total_requests
+                    else 0.0
+                ),
+                "cpu_utilization": self.procs.utilization(makespan),
+            },
+        )
+
+
+class _FeedAssembler:
+    """Collects cut values + phase tokens for one downstream machine and
+    dispatches sealed PhaseInputs, in order, into its feed."""
+
+    def __init__(
+        self,
+        machine_id: int,
+        upstream: Set[int],
+        feed: Store,
+        timestamps: Sequence[float],
+    ) -> None:
+        self.machine_id = machine_id
+        self.upstream = set(upstream)
+        self.feed = feed
+        self.timestamps = list(timestamps)
+        self._tokens: Dict[int, Set[int]] = {}
+        self._values: Dict[int, Dict[str, Any]] = {}
+        self._next = 1
+
+    def add_value(self, phase: int, proxy: str, value: Any) -> None:
+        self._values.setdefault(phase, {})[proxy] = value
+
+    def token(self, phase: int, from_machine: int) -> None:
+        self._tokens.setdefault(phase, set()).add(from_machine)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while (
+            self._next <= len(self.timestamps)
+            and self._tokens.get(self._next, set()) >= self.upstream
+        ):
+            p = self._next
+            self.feed.put(
+                PhaseInput(p, self.timestamps[p - 1], self._values.pop(p, {}))
+            )
+            self._tokens.pop(p, None)
+            self._next += 1
+
+
+class SimulatedCluster:
+    """Run a :class:`PartitionedProgram` on simulated networked machines.
+
+    Parameters
+    ----------
+    partitioned:
+        The per-machine programs and routing (see
+        :class:`~repro.distributed.partition.PartitionedProgram`).
+    configs:
+        Per-machine sizing; a single :class:`MachineConfig` is broadcast.
+    cost_model:
+        Shared cost model.  Export stubs and proxy sources are pure
+        plumbing, so their compute cost is forced to zero regardless of
+        the model's ``compute_cost``.
+    network_latency:
+        Virtual-time delay for cut messages and phase tokens.
+
+    Cost note: proxy sources and export stubs are pure plumbing; their
+    compute duration is forced to zero regardless of the cost model (lock
+    and bookkeeping costs still apply — distribution is not free).
+    """
+
+    def __init__(
+        self,
+        partitioned: PartitionedProgram,
+        configs: MachineConfig | Sequence[MachineConfig] = MachineConfig(),
+        cost_model: Optional[CostModel] = None,
+        network_latency: float = 1.0,
+        tracers: Optional[Sequence[Optional[ExecutionTracer]]] = None,
+    ) -> None:
+        if network_latency < 0:
+            raise WorkloadError("network_latency must be >= 0")
+        self.partitioned = partitioned
+        k = partitioned.num_machines
+        if isinstance(configs, MachineConfig):
+            configs = [configs] * k
+        if len(configs) != k:
+            raise WorkloadError(
+                f"expected {k} machine configs, got {len(configs)}"
+            )
+        if tracers is not None and len(tracers) != k:
+            raise WorkloadError(
+                f"expected {k} tracers (or None), got {len(tracers)}"
+            )
+        self.configs = list(configs)
+        self.cost_model = cost_model or CostModel()
+        self.network_latency = network_latency
+        self.tracers = list(tracers) if tracers is not None else [None] * k
+
+    def run(self, phase_inputs: Sequence[PhaseInput]) -> ClusterResult:
+        sim = Simulation()
+        pp = self.partitioned
+        k = pp.num_machines
+        timestamps = [pi.timestamp for pi in phase_inputs]
+        stats = {"cut_messages": 0, "tokens": 0}
+        self.cost_model.reset()
+
+        downstream_of: Dict[int, Set[int]] = {m: set() for m in range(k)}
+        for sm, _src, dm, _dst in pp.partition.cut_edges:
+            downstream_of[sm].add(dm)
+
+        # Outbound value buffers, deduplicated per destination/producer:
+        # (src_machine, phase) -> {(dst_machine, producer): value}.
+        outbox: Dict[Tuple[int, int], Dict[Tuple[int, str], Any]] = {}
+
+        nodes: List[_MachineNode] = []
+        assemblers: List[Optional[_FeedAssembler]] = []
+
+        def make_on_complete(sm: int):
+            def on_complete(machine_id: int, phase: int) -> None:
+                # Ship buffered cut values + the phase token downstream,
+                # after the network latency.
+                payload = outbox.pop((machine_id, phase), {})
+
+                def deliver() -> Generator[Event, Any, None]:
+                    yield sim.timeout(self.network_latency)
+                    for (dst, producer), value in payload.items():
+                        asm = assemblers[dst]
+                        assert asm is not None
+                        asm.add_value(phase, producer, value)
+                        stats["cut_messages"] += 1
+                    for dst in downstream_of[machine_id]:
+                        asm = assemblers[dst]
+                        assert asm is not None
+                        asm.token(phase, machine_id)
+                        stats["tokens"] += 1
+
+                if downstream_of[machine_id]:
+                    sim.start(deliver(), name=f"net-m{machine_id}-p{phase}")
+
+            return on_complete
+
+        for m in range(k):
+            node = _MachineNode(
+                sim,
+                m,
+                pp.locals[m],
+                self.configs[m],
+                self.cost_model,
+                expected_phases=len(phase_inputs),
+                on_phase_complete=make_on_complete(m),
+                zero_cost_names=pp.plumbing[m],
+                tracer=self.tracers[m],
+            )
+            nodes.append(node)
+
+        for m in range(k):
+            if pp.upstream[m]:
+                assemblers.append(
+                    _FeedAssembler(m, pp.upstream[m], nodes[m].feed, timestamps)
+                )
+            else:
+                assemblers.append(None)
+
+        # Wire export stubs into the outbox.  A stub is named after its
+        # remote consumer; values ship to that consumer's machine keyed by
+        # producer name (= the proxy vertex's name there).
+        for m in range(k):
+            for consumer, stub in pp.exports[m].items():
+                dst = pp.consumer_machine[consumer]
+
+                def on_value(
+                    producer: str,
+                    phase: int,
+                    value: Any,
+                    sm: int = m,
+                    dst: int = dst,
+                ) -> None:
+                    outbox.setdefault((sm, phase), {})[(dst, producer)] = value
+
+                stub.on_value = on_value
+
+        # Machine 0 is fed directly by the environment's event stream.
+        for pi in phase_inputs:
+            nodes[0].feed.put(pi)
+
+        for node in nodes:
+            node.launch()
+        makespan = sim.run()
+
+        for node in nodes:
+            if not node.state.all_started_complete():
+                raise SimulationError(
+                    f"machine {node.machine_id} stalled: in-flight phases "
+                    f"{node.state.in_flight_phases()!r}"
+                )
+
+        return ClusterResult(
+            makespan=makespan,
+            machine_results=[n.result(makespan) for n in nodes],
+            phases_run=len(phase_inputs),
+            cut_messages=stats["cut_messages"],
+            tokens_sent=stats["tokens"],
+        )

@@ -1,0 +1,254 @@
+"""Graph partitioning for pipeline-distributed execution.
+
+A restricted numbering (Section 3.1.1) is topological, so cutting the
+index range ``1..N`` into contiguous blocks guarantees that every cut edge
+runs from an earlier block to a later one — blocks form pipeline stages.
+Two further properties make contiguous cuts the natural distributed unit:
+
+* the true sources are exactly indices ``1..m(0)``, so requiring the first
+  cut at or beyond ``m(0)`` puts all environment-driven sources on the
+  first machine;
+* within a block, the induced numbering of the local graph (with proxy
+  sources added) is again a restricted numbering, so every machine runs
+  the unmodified core algorithm.
+
+:class:`PartitionedProgram` materialises each block as a standalone
+:class:`~repro.core.program.Program`, with **name-transparent** plumbing:
+
+* the downstream block gains, per remote producer ``u``, a proxy source
+  *named* ``u`` (the real ``u`` lives elsewhere, so the name is free
+  locally) with local edges to every local consumer — consumers read
+  ``ctx.input("u")`` exactly as in the monolithic program.  The proxy is
+  a plain :class:`~repro.core.vertex.PassthroughSource`: a phase with no
+  shipped value yields no local message, so absence crosses machine
+  boundaries intact;
+* the upstream block gains, per remote consumer ``w``, an export stub
+  *named* ``w`` with edges from every local producer of ``w`` — producers
+  that ``emit_to("w")`` (or broadcast) work unchanged.  The stub captures
+  each producer's value for shipment and is a local sink.
+
+Vertices that are pure plumbing are listed per machine in
+:attr:`PartitionedProgram.plumbing` so the cluster can zero their compute
+cost and analyses can exclude them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.program import Program
+from ..core.vertex import PassthroughSource, Vertex, VertexContext
+from ..errors import WorkloadError
+from ..graph.model import ComputationGraph
+from ..graph.numbering import Numbering
+
+__all__ = [
+    "GraphPartition",
+    "contiguous_partition",
+    "PartitionedProgram",
+    "ExportStub",
+]
+
+
+class ExportStub(Vertex):
+    """Captures values bound for one remote consumer.
+
+    Named after the remote consumer; receives an edge from every local
+    producer of that consumer.  The cluster points :attr:`on_value` at its
+    routing fabric; each changed input ships as
+    ``(producer_name, phase, value)``.
+    """
+
+    def __init__(self, consumer: str) -> None:
+        self.consumer = consumer
+        self.on_value: Optional[Callable[[str, int, object], None]] = None
+
+    def on_execute(self, ctx: VertexContext) -> object:
+        if self.on_value is not None:
+            for producer in sorted(ctx.changed):
+                self.on_value(producer, ctx.phase, ctx.inputs[producer])
+        return None
+
+    def __repr__(self) -> str:
+        return f"ExportStub(consumer={self.consumer!r})"
+
+
+@dataclass(frozen=True)
+class GraphPartition:
+    """A contiguous split of a restricted numbering into pipeline stages.
+
+    Attributes
+    ----------
+    blocks:
+        Per machine, the ordered vertex names it owns.
+    cut_edges:
+        Cross-machine edges as ``(src_machine, src, dst_machine, dst)``.
+    """
+
+    numbering: Numbering
+    blocks: Tuple[Tuple[str, ...], ...]
+    cut_edges: Tuple[Tuple[int, str, int, str], ...]
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def cut_size(self) -> int:
+        return len(self.cut_edges)
+
+    def machine_of(self, vertex: str) -> int:
+        for m, block in enumerate(self.blocks):
+            if vertex in block:
+                return m
+        raise WorkloadError(f"vertex {vertex!r} not in any block")
+
+    def balance(self) -> float:
+        """max block size / mean block size (1.0 = perfectly balanced)."""
+        sizes = [len(b) for b in self.blocks]
+        return max(sizes) / (sum(sizes) / len(sizes))
+
+
+def contiguous_partition(numbering: Numbering, machines: int) -> GraphPartition:
+    """Split indices ``1..N`` into *machines* near-equal contiguous blocks.
+
+    The first boundary is pushed past ``m(0)`` so every true source lands
+    on machine 0 (the environment feeds exactly one machine).
+    """
+    n = numbering.n
+    if machines < 1:
+        raise WorkloadError(f"machines must be >= 1, got {machines}")
+    if machines > n:
+        raise WorkloadError(
+            f"cannot split {n} vertices across {machines} machines"
+        )
+    base, extra = divmod(n, machines)
+    boundaries: List[int] = []
+    upto = 0
+    for m in range(machines):
+        upto += base + (1 if m < extra else 0)
+        boundaries.append(upto)
+    # All sources (indices 1..m(0)) must live on machine 0.
+    if boundaries[0] < numbering.num_sources:
+        boundaries[0] = numbering.num_sources
+        for i in range(1, machines):
+            boundaries[i] = max(boundaries[i], boundaries[i - 1] + 1)
+        if boundaries[-1] > n:
+            raise WorkloadError(
+                f"cannot place {machines} non-empty blocks after reserving "
+                f"the {numbering.num_sources} sources for machine 0"
+            )
+        boundaries[-1] = n
+    blocks: List[Tuple[str, ...]] = []
+    lo = 1
+    for hi in boundaries:
+        blocks.append(tuple(numbering.name_of(i) for i in range(lo, hi + 1)))
+        lo = hi + 1
+    owner: Dict[str, int] = {}
+    for m, block in enumerate(blocks):
+        for v in block:
+            owner[v] = m
+    cut: List[Tuple[int, str, int, str]] = []
+    for edge in numbering.graph.edges():
+        sm, dm = owner[edge.src], owner[edge.dst]
+        if sm != dm:
+            assert sm < dm, "contiguous topological blocks cut forward only"
+            cut.append((sm, edge.src, dm, edge.dst))
+    return GraphPartition(
+        numbering=numbering, blocks=tuple(blocks), cut_edges=tuple(cut)
+    )
+
+
+class PartitionedProgram:
+    """The per-machine local programs for a partitioned computation.
+
+    Attributes
+    ----------
+    locals:
+        One :class:`Program` per machine (proxies and export stubs added).
+    exports:
+        Per machine, mapping remote-consumer name -> its
+        :class:`ExportStub` (the stub vertex carries that same name).
+    proxies:
+        Per machine, the remote-producer names materialised as local proxy
+        sources (the proxy vertex carries the producer's name, and the
+        machine's ``PhaseInput.values`` are keyed by it).
+    plumbing:
+        Per machine, all proxy + stub vertex names (zero-cost plumbing).
+    upstream:
+        Per machine, the machine ids it needs phase tokens from.
+    consumer_machine:
+        Remote-consumer name -> machine id that owns the real consumer.
+    """
+
+    def __init__(self, program: Program, partition: GraphPartition) -> None:
+        if partition.numbering is not program.numbering:
+            raise WorkloadError(
+                "partition was built for a different numbering/program"
+            )
+        self.program = program
+        self.partition = partition
+        self.locals: List[Program] = []
+        self.exports: List[Dict[str, ExportStub]] = []
+        self.proxies: List[Set[str]] = []
+        self.plumbing: List[Set[str]] = []
+        self.upstream: List[Set[int]] = []
+        self.consumer_machine: Dict[str, int] = {}
+
+        g = program.graph
+        machines = partition.num_machines
+        # Per machine: remote consumers of local producers, and remote
+        # producers feeding local consumers.
+        out_consumers: Dict[int, Dict[str, List[str]]] = {
+            m: {} for m in range(machines)
+        }  # machine -> consumer -> local producers
+        in_producers: Dict[int, Dict[str, List[str]]] = {
+            m: {} for m in range(machines)
+        }  # machine -> producer -> local consumers
+        ups: Dict[int, Set[int]] = {m: set() for m in range(machines)}
+        for sm, src, dm, dst in partition.cut_edges:
+            out_consumers[sm].setdefault(dst, []).append(src)
+            in_producers[dm].setdefault(src, []).append(dst)
+            ups[dm].add(sm)
+            self.consumer_machine[dst] = dm
+
+        for m, block in enumerate(partition.blocks):
+            block_set = set(block)
+            local = ComputationGraph(name=f"{g.name}[m{m}]")
+            for producer in sorted(in_producers[m]):
+                local.add_vertex(producer)  # proxy source, original name
+            for v in block:
+                local.add_vertex(v)
+            for consumer in sorted(out_consumers[m]):
+                local.add_vertex(consumer)  # export stub, original name
+            for v in block:
+                for w in g.successors(v):
+                    if w in block_set:
+                        local.add_edge(v, w)
+            for producer, consumers in in_producers[m].items():
+                for dst in consumers:
+                    local.add_edge(producer, dst)
+            for consumer, producers in out_consumers[m].items():
+                for src in producers:
+                    local.add_edge(src, consumer)
+
+            behaviors: Dict[str, Vertex] = {}
+            stub_map: Dict[str, ExportStub] = {}
+            for producer in in_producers[m]:
+                behaviors[producer] = PassthroughSource(seed=None)
+            for v in block:
+                behaviors[v] = program.behaviors[v]
+            for consumer in out_consumers[m]:
+                stub = ExportStub(consumer)
+                behaviors[consumer] = stub
+                stub_map[consumer] = stub
+            self.locals.append(Program(local, behaviors, name=local.name))
+            self.exports.append(stub_map)
+            self.proxies.append(set(in_producers[m]))
+            self.plumbing.append(set(in_producers[m]) | set(out_consumers[m]))
+            self.upstream.append(ups[m])
+
+    @property
+    def num_machines(self) -> int:
+        return self.partition.num_machines

@@ -1,0 +1,123 @@
+"""Stream replication across distinct computation graphs (Section 6).
+
+The paper's second distribution idea: replicate the event streams to
+multiple machines, each running a *distinct* computation graph.  The
+natural decomposition is **by monitored condition**: different roles watch
+different conditions ("public health workers are concerned about hospital
+occupancy ...; electric utilities ... about deploying repair crews",
+Section 1), i.e. different sink vertices.  Each replica receives the full
+event stream but runs only the ancestor closure of its assigned sinks —
+the sub-program that can influence them.
+
+:func:`replicate_by_sinks` builds that plan.  Replicas are plain
+:class:`~repro.core.program.Program` objects (behaviours are shared with
+the original, so run replicas sequentially or reset between runs — every
+engine calls ``program.reset()`` at run start); the union of the replica
+records over a partitioned sink assignment equals the monolithic run's
+records, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from ..core.program import Program
+from ..errors import WorkloadError
+from ..graph.model import ComputationGraph
+
+__all__ = ["ReplicaPlan", "replicate_by_sinks", "ancestor_closure"]
+
+
+def ancestor_closure(graph: ComputationGraph, targets: Sequence[str]) -> Set[str]:
+    """All vertices with a path *to* any target (targets included)."""
+    for t in targets:
+        if not graph.has_vertex(t):
+            raise WorkloadError(f"unknown target vertex {t!r}")
+    closure: Set[str] = set()
+    stack = list(targets)
+    while stack:
+        v = stack.pop()
+        if v in closure:
+            continue
+        closure.add(v)
+        stack.extend(graph.predecessors(v))
+    return closure
+
+
+@dataclass
+class ReplicaPlan:
+    """The outcome of a replication split.
+
+    Attributes
+    ----------
+    replicas:
+        One pruned program per sink group.
+    assignments:
+        The sink groups, as given.
+    vertex_counts:
+        Vertices per replica.
+    duplication_factor:
+        Total replica vertices / original vertices — the redundancy cost
+        of replication (shared ancestors are recomputed per replica).
+    """
+
+    replicas: List[Program]
+    assignments: List[Tuple[str, ...]]
+    vertex_counts: List[int]
+    duplication_factor: float
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    def max_replica_fraction(self) -> float:
+        """Largest replica size / original size: the per-machine work
+        bound replication buys."""
+        total = self.duplication_factor and (
+            sum(self.vertex_counts) / self.duplication_factor
+        )
+        return max(self.vertex_counts) / total if total else 0.0
+
+
+def replicate_by_sinks(
+    program: Program, groups: Sequence[Sequence[str]]
+) -> ReplicaPlan:
+    """Split *program* into one replica per sink group.
+
+    Every group must be non-empty; group members must be sinks of the
+    original graph; a sink may appear in at most one group (conditions are
+    partitioned, not duplicated).  Sinks assigned to no group are simply
+    not monitored by any replica.
+    """
+    if not groups:
+        raise WorkloadError("need at least one sink group")
+    sinks = set(program.graph.sinks())
+    seen: Set[str] = set()
+    for group in groups:
+        if not group:
+            raise WorkloadError("sink groups must be non-empty")
+        for s in group:
+            if s not in sinks:
+                raise WorkloadError(f"{s!r} is not a sink of the graph")
+            if s in seen:
+                raise WorkloadError(f"sink {s!r} assigned to multiple groups")
+            seen.add(s)
+
+    replicas: List[Program] = []
+    counts: List[int] = []
+    for i, group in enumerate(groups):
+        keep = ancestor_closure(program.graph, list(group))
+        sub = program.graph.induced_subgraph(
+            keep, name=f"{program.graph.name}[replica{i}]"
+        )
+        behaviors = {v: program.behaviors[v] for v in sub.vertices()}
+        replicas.append(Program(sub, behaviors, name=sub.name))
+        counts.append(sub.num_vertices)
+
+    return ReplicaPlan(
+        replicas=replicas,
+        assignments=[tuple(g) for g in groups],
+        vertex_counts=counts,
+        duplication_factor=sum(counts) / program.n,
+    )

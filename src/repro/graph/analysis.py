@@ -1,0 +1,119 @@
+"""Structural analysis of computation graphs.
+
+Quantities used by the evaluation harness:
+
+* **levels** — the dataflow depth of each vertex (longest path from a
+  source, sources at level 0).
+* **depth** — the pipeline length: ``max(level) + 1``.  A graph of depth D
+  can hold up to D phases in flight simultaneously (Figure 1 shows a
+  depth-5 graph running 5 concurrent phases), so depth is the theoretical
+  pipelining bound the Fig.-1 benchmark compares against.
+* **width** — the maximum number of vertices at one level: the intra-phase
+  parallelism bound.
+* **critical path** — a longest source-to-sink path (with optional vertex
+  weights), which lower-bounds pipelined makespan per phase.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Tuple
+
+from .model import ComputationGraph
+
+__all__ = [
+    "levels",
+    "depth",
+    "width",
+    "level_histogram",
+    "critical_path",
+    "max_pipelining_depth",
+]
+
+
+def _topo_order(graph: ComputationGraph) -> List[str]:
+    graph.validate()
+    indeg = {v: graph.in_degree(v) for v in graph.vertices()}
+    queue = deque(v for v in graph.vertices() if indeg[v] == 0)
+    order: List[str] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for w in graph.successors(v):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                queue.append(w)
+    return order
+
+
+def levels(graph: ComputationGraph) -> Dict[str, int]:
+    """Longest-path level of every vertex (sources at level 0).  O(N+E)."""
+    lvl: Dict[str, int] = {}
+    for v in _topo_order(graph):
+        preds = graph.predecessors(v)
+        lvl[v] = 0 if not preds else 1 + max(lvl[u] for u in preds)
+    return lvl
+
+
+def depth(graph: ComputationGraph) -> int:
+    """Number of levels: the pipeline length of the graph."""
+    return max(levels(graph).values()) + 1
+
+
+def width(graph: ComputationGraph) -> int:
+    """Maximum number of vertices sharing a level (intra-phase parallelism)."""
+    hist = level_histogram(graph)
+    return max(hist.values())
+
+
+def level_histogram(graph: ComputationGraph) -> Dict[int, int]:
+    """Mapping level -> number of vertices at that level."""
+    hist: Dict[int, int] = {}
+    for lv in levels(graph).values():
+        hist[lv] = hist.get(lv, 0) + 1
+    return hist
+
+
+def critical_path(
+    graph: ComputationGraph,
+    weight: Callable[[str], float] | None = None,
+) -> Tuple[List[str], float]:
+    """A maximum-weight source-to-sink path.
+
+    *weight* maps a vertex to its execution cost (default 1.0 per vertex).
+    Returns ``(path, total_weight)``.  The per-phase makespan of any
+    schedule is at least ``total_weight`` when vertex costs are given by
+    *weight*, which the simulator benchmarks use as a lower-bound check.
+    """
+    w = weight or (lambda _v: 1.0)
+    best: Dict[str, float] = {}
+    back: Dict[str, str | None] = {}
+    for v in _topo_order(graph):
+        preds = graph.predecessors(v)
+        if not preds:
+            best[v] = w(v)
+            back[v] = None
+        else:
+            u = max(preds, key=lambda p: best[p])
+            best[v] = best[u] + w(v)
+            back[v] = u
+    end = max(best, key=lambda v: best[v])
+    path: List[str] = []
+    cur: str | None = end
+    while cur is not None:
+        path.append(cur)
+        cur = back[cur]
+    path.reverse()
+    return path, best[end]
+
+
+def max_pipelining_depth(graph: ComputationGraph) -> int:
+    """Upper bound on the number of *distinct phases* that can execute
+    concurrently.
+
+    A phase occupies a contiguous band of levels; two phases can overlap in
+    time only at different levels (the x_p <= x_{p-1} clamp orders them
+    front-to-back), so the bound equals the graph depth.  The Fig.-1
+    benchmark measures observed concurrent phases against this bound.
+    """
+    return depth(graph)

@@ -1,0 +1,314 @@
+"""The computation graph of Section 2.
+
+A :class:`ComputationGraph` is an acyclic directed graph whose vertices are
+named computational modules and whose edges are message channels.  Vertices
+without incoming edges are *sources* (fed by the environment); vertices
+without outgoing edges are *sinks* (read by I/O units outside the engine).
+
+The graph is a pure structure: vertex *behaviour* (the computation run when
+a vertex executes a phase) is attached separately via
+:class:`repro.core.vertex.Vertex` objects, keeping structure reusable across
+engines, baselines, and the simulator.
+
+Design notes
+------------
+* Vertices are identified by unique, non-empty string names.
+* Edges are simple (at most one edge ``u -> v``); the paper's model carries
+  one value per edge per phase, so parallel edges add nothing.
+* Acyclicity is validated on demand (:meth:`ComputationGraph.validate`) and
+  always before numbering; validation is O(N + E) via Kahn's algorithm.
+* Adjacency is stored insertion-ordered (Python dicts), which makes graph
+  iteration deterministic — important for reproducible schedules and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from ..errors import (
+    CycleError,
+    DuplicateVertexError,
+    GraphError,
+    UnknownVertexError,
+)
+
+__all__ = ["ComputationGraph", "EdgeSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeSpec:
+    """A directed edge ``src -> dst`` in a computation graph."""
+
+    src: str
+    dst: str
+
+    def __iter__(self) -> Iterator[str]:
+        yield self.src
+        yield self.dst
+
+
+class ComputationGraph:
+    """An acyclic directed graph of named computational modules.
+
+    Examples
+    --------
+    >>> g = ComputationGraph()
+    >>> for name in ("sensor", "avg", "alarm"):
+    ...     g.add_vertex(name)
+    >>> g.add_edge("sensor", "avg")
+    >>> g.add_edge("avg", "alarm")
+    >>> g.sources(), g.sinks()
+    (['sensor'], ['alarm'])
+    """
+
+    def __init__(self, name: str = "computation") -> None:
+        self.name = name
+        self._succ: Dict[str, List[str]] = {}
+        self._pred: Dict[str, List[str]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_vertex(self, name: str) -> None:
+        """Register a vertex.  Names must be unique non-empty strings."""
+        if not isinstance(name, str) or not name:
+            raise GraphError(f"vertex name must be a non-empty string, got {name!r}")
+        if name in self._succ:
+            raise DuplicateVertexError(f"vertex {name!r} already exists")
+        self._succ[name] = []
+        self._pred[name] = []
+
+    def add_vertices(self, names: Iterable[str]) -> None:
+        """Register several vertices in iteration order."""
+        for name in names:
+            self.add_vertex(name)
+
+    def add_edge(self, src: str, dst: str) -> None:
+        """Add the directed edge ``src -> dst``.
+
+        Raises
+        ------
+        UnknownVertexError
+            If either endpoint has not been added.
+        GraphError
+            On self-loops or duplicate edges.
+        """
+        for endpoint in (src, dst):
+            if endpoint not in self._succ:
+                raise UnknownVertexError(f"unknown vertex {endpoint!r}")
+        if src == dst:
+            raise GraphError(f"self-loop on vertex {src!r} is not allowed")
+        if dst in self._succ[src]:
+            raise GraphError(f"duplicate edge {src!r} -> {dst!r}")
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+
+    def add_edges(self, edges: Iterable[Tuple[str, str] | EdgeSpec]) -> None:
+        """Add several edges."""
+        for edge in edges:
+            src, dst = edge
+            self.add_edge(src, dst)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[str, str] | EdgeSpec],
+        extra_vertices: Iterable[str] = (),
+        name: str = "computation",
+    ) -> "ComputationGraph":
+        """Build a graph from an edge list, creating vertices on first use.
+
+        Vertices are created in order of first appearance; *extra_vertices*
+        lets callers include isolated vertices (which are simultaneously
+        sources and sinks).
+        """
+        g = cls(name=name)
+        edges = [tuple(e) for e in edges]
+        for src, dst in edges:
+            for endpoint in (src, dst):
+                if endpoint not in g._succ:
+                    g.add_vertex(endpoint)
+        for v in extra_vertices:
+            if v not in g._succ:
+                g.add_vertex(v)
+        g.add_edges(edges)
+        return g
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def vertices(self) -> List[str]:
+        """All vertex names, in insertion order."""
+        return list(self._succ)
+
+    def edges(self) -> List[EdgeSpec]:
+        """All edges, grouped by source in insertion order."""
+        return [EdgeSpec(u, v) for u, succs in self._succ.items() for v in succs]
+
+    def successors(self, v: str) -> List[str]:
+        self._require(v)
+        return list(self._succ[v])
+
+    def predecessors(self, v: str) -> List[str]:
+        self._require(v)
+        return list(self._pred[v])
+
+    def in_degree(self, v: str) -> int:
+        self._require(v)
+        return len(self._pred[v])
+
+    def out_degree(self, v: str) -> int:
+        self._require(v)
+        return len(self._succ[v])
+
+    def has_vertex(self, v: str) -> bool:
+        return v in self._succ
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        return src in self._succ and dst in self._succ[src]
+
+    def sources(self) -> List[str]:
+        """Vertices with no incoming edges (fed by the environment)."""
+        return [v for v in self._succ if not self._pred[v]]
+
+    def sinks(self) -> List[str]:
+        """Vertices with no outgoing edges (read by external I/O units)."""
+        return [v for v, succs in self._succ.items() if not succs]
+
+    def __contains__(self, v: str) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        return (
+            f"ComputationGraph(name={self.name!r}, "
+            f"vertices={self.num_vertices}, edges={self.num_edges})"
+        )
+
+    def _require(self, v: str) -> None:
+        if v not in self._succ:
+            raise UnknownVertexError(f"unknown vertex {v!r}")
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the graph is a DAG with at least one vertex.
+
+        Raises :class:`CycleError` (with a witness cycle) if a directed
+        cycle exists, or :class:`GraphError` if the graph is empty.
+        """
+        if not self._succ:
+            raise GraphError("computation graph has no vertices")
+        order = self._kahn_order()
+        if len(order) != len(self._succ):
+            raise CycleError(self._find_cycle())
+
+    def is_acyclic(self) -> bool:
+        """True iff the graph contains no directed cycle."""
+        return len(self._kahn_order()) == len(self._succ)
+
+    def _kahn_order(self) -> List[str]:
+        from collections import deque
+
+        indeg = {v: len(p) for v, p in self._pred.items()}
+        queue = deque(v for v, d in indeg.items() if d == 0)
+        order: List[str] = []
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for w in self._succ[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    queue.append(w)
+        return order
+
+    def _find_cycle(self) -> List[str]:
+        """Return one directed cycle as a vertex list (for error messages)."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {v: WHITE for v in self._succ}
+        parent: Dict[str, str] = {}
+
+        def dfs(start: str) -> List[str] | None:
+            stack: List[Tuple[str, Iterator[str]]] = [(start, iter(self._succ[start]))]
+            color[start] = GRAY
+            while stack:
+                v, it = stack[-1]
+                advanced = False
+                for w in it:
+                    if color[w] == WHITE:
+                        color[w] = GRAY
+                        parent[w] = v
+                        stack.append((w, iter(self._succ[w])))
+                        advanced = True
+                        break
+                    if color[w] == GRAY:
+                        cycle = [w, v]
+                        cur = v
+                        while cur != w:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    color[v] = BLACK
+                    stack.pop()
+            return None
+
+        for v in self._succ:
+            if color[v] == WHITE:
+                cycle = dfs(v)
+                if cycle:
+                    return cycle
+        return []
+
+    # -- transforms ---------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "ComputationGraph":
+        """A deep structural copy (vertex behaviour is not part of the graph)."""
+        g = ComputationGraph(name=name or self.name)
+        g.add_vertices(self._succ)
+        for u, succs in self._succ.items():
+            for v in succs:
+                g.add_edge(u, v)
+        return g
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """All vertices reachable (forward) from *roots*, roots included."""
+        seen: Set[str] = set()
+        stack = [r for r in roots]
+        for r in stack:
+            self._require(r)
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            stack.extend(self._succ[v])
+        return seen
+
+    def induced_subgraph(self, keep: Iterable[str], name: str | None = None) -> "ComputationGraph":
+        """The subgraph induced by the vertex set *keep* (order preserved)."""
+        keep_set = set(keep)
+        for v in keep_set:
+            self._require(v)
+        g = ComputationGraph(name=name or f"{self.name}-sub")
+        g.add_vertices(v for v in self._succ if v in keep_set)
+        for u, succs in self._succ.items():
+            if u not in keep_set:
+                continue
+            for v in succs:
+                if v in keep_set:
+                    g.add_edge(u, v)
+        return g

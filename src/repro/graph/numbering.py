@@ -1,0 +1,314 @@
+"""Vertex numbering with the sequential-``S(v)`` restriction (Section 3.1.1).
+
+The paper assigns indices ``1..N`` to the vertices of an N-vertex graph such
+that
+
+1. the numbering is a topological sort (every edge goes from a lower index
+   to a higher index), and
+2. for every ``v``, the set ``S(v)`` of vertices all of whose predecessors
+   are indexed ``v`` or lower is exactly the prefix ``{1, ..., m(v)}`` where
+   ``m(v) = |S(v)|`` (equation (1) and the "additional restriction").
+
+``m`` then satisfies the properties the scheduler relies on:
+
+* (2) ``m`` is nondecreasing: ``u < v  ==>  m(u) <= m(v)``;
+* (3) ``v < m(v)`` for ``1 <= v < N``;
+* (4) ``m(N) = N``.
+
+Constructing a restricted numbering
+-----------------------------------
+Kahn's algorithm with a **FIFO** queue produces a restricted numbering: it
+numbers vertices in the order they become *enabled* (all predecessors
+numbered), so at every step the enabled set is a contiguous prefix of the
+final numbering.  Equivalently, define ``enable(w)`` as the largest index
+among ``w``'s predecessors (0 for sources); a topological numbering is
+restricted **iff** ``enable`` is nondecreasing in the vertex index, which is
+exactly what enabling-order numbering guarantees.  Both directions of that
+equivalence are exercised by the test suite against a brute-force ``S(v)``
+computation.
+
+The verifier therefore runs in O(N + E); no per-``v`` set materialisation
+is needed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Mapping, Set
+
+from ..errors import NumberingError
+from .model import ComputationGraph
+
+__all__ = [
+    "Numbering",
+    "number_graph",
+    "verify_numbering",
+    "compute_S",
+    "compute_m",
+    "enable_indices",
+]
+
+
+class Numbering:
+    """An immutable restricted numbering of a computation graph.
+
+    Construct via :func:`number_graph` (algorithmic) or
+    :meth:`Numbering.from_mapping` (verify a caller-supplied numbering).
+
+    Attributes
+    ----------
+    graph:
+        The numbered :class:`ComputationGraph`.
+    index_of:
+        Mapping vertex name -> index in ``1..N``.
+    """
+
+    def __init__(self, graph: ComputationGraph, index_of: Mapping[str, int]) -> None:
+        verify_numbering(graph, index_of)
+        self.graph = graph
+        self.index_of: Dict[str, int] = dict(index_of)
+        n = graph.num_vertices
+        self._name_of: List[str | None] = [None] * (n + 1)
+        for name, idx in self.index_of.items():
+            self._name_of[idx] = name
+        self._m: List[int] = _m_table(graph, self.index_of)
+
+    # -- basic lookups ------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices N."""
+        return self.graph.num_vertices
+
+    def name_of(self, index: int) -> str:
+        """Vertex name for *index* (1-based)."""
+        if not 1 <= index <= self.n:
+            raise NumberingError(f"index {index} out of range 1..{self.n}")
+        name = self._name_of[index]
+        assert name is not None
+        return name
+
+    def names_in_order(self) -> List[str]:
+        """Vertex names sorted by index (index order == execution order)."""
+        return [self.name_of(i) for i in range(1, self.n + 1)]
+
+    def m(self, v: int) -> int:
+        """``m(v) = |S(v)|`` for ``0 <= v <= N`` (Section 3.1.1)."""
+        if not 0 <= v <= self.n:
+            raise NumberingError(f"m({v}) undefined: v out of range 0..{self.n}")
+        return self._m[v]
+
+    def m_sequence(self) -> List[int]:
+        """``[m(0), m(1), ..., m(N)]`` — e.g. Fig. 2(b) gives
+        ``[3, 3, 4, 5, 5, 6, 7, 7]``."""
+        return list(self._m)
+
+    def S(self, v: int) -> List[int]:
+        """``S(v)`` as the explicit index list ``[1..m(v)]``.
+
+        Because this numbering satisfies the restriction, ``S(v)`` is always
+        the prefix ``{1..m(v)}``.
+        """
+        return list(range(1, self.m(v) + 1))
+
+    @property
+    def num_sources(self) -> int:
+        """``m(0)``: the number of source vertices, which are exactly the
+        vertices indexed ``1..m(0)``."""
+        return self._m[0]
+
+    def source_indices(self) -> List[int]:
+        """Indices of the source vertices (always ``1..m(0)``)."""
+        return list(range(1, self.num_sources + 1))
+
+    def successor_indices(self, v: int) -> List[int]:
+        """Indices of the successors of the vertex indexed *v*."""
+        return sorted(self.index_of[w] for w in self.graph.successors(self.name_of(v)))
+
+    def predecessor_indices(self, v: int) -> List[int]:
+        """Indices of the predecessors of the vertex indexed *v*."""
+        return sorted(self.index_of[w] for w in self.graph.predecessors(self.name_of(v)))
+
+    # -- construction helpers -----------------------------------------------
+
+    @classmethod
+    def from_mapping(
+        cls, graph: ComputationGraph, index_of: Mapping[str, int]
+    ) -> "Numbering":
+        """Wrap and verify a caller-supplied numbering.
+
+        Raises :class:`NumberingError` if the numbering is not a restricted
+        topological numbering (as Figure 2(a)'s numbering is not).
+        """
+        return cls(graph, index_of)
+
+    def __repr__(self) -> str:
+        return f"Numbering({self.graph.name!r}, n={self.n}, m0={self.num_sources})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Numbering):
+            return NotImplemented
+        return self.graph is other.graph and self.index_of == other.index_of
+
+    def __hash__(self) -> int:  # pragma: no cover - identity-ish hashing
+        return hash((id(self.graph), tuple(sorted(self.index_of.items()))))
+
+
+# ---------------------------------------------------------------------------
+# Algorithm: FIFO-Kahn numbering
+# ---------------------------------------------------------------------------
+
+
+def number_graph(
+    graph: ComputationGraph,
+    tiebreak: Callable[[str], object] | None = None,
+) -> Numbering:
+    """Produce a restricted numbering of *graph* (Section 3.1.1).
+
+    Runs Kahn's algorithm with a FIFO queue, numbering vertices in the order
+    they become enabled.  Vertices enabled *simultaneously* (the initial
+    sources, or several successors enabled by the same completion) may be
+    enqueued in any order without breaking the restriction; *tiebreak*
+    selects among them deterministically (default: graph insertion order).
+
+    Complexity: O(N + E) plus tie-break sorting of simultaneous batches.
+
+    Raises
+    ------
+    CycleError
+        If the graph is not acyclic (via :meth:`ComputationGraph.validate`).
+    """
+    graph.validate()
+    indeg: Dict[str, int] = {v: graph.in_degree(v) for v in graph.vertices()}
+
+    def ordered(batch: List[str]) -> List[str]:
+        if tiebreak is None:
+            return batch
+        return sorted(batch, key=tiebreak)
+
+    queue: deque[str] = deque(ordered([v for v in graph.vertices() if indeg[v] == 0]))
+    index_of: Dict[str, int] = {}
+    next_index = 1
+    while queue:
+        v = queue.popleft()
+        index_of[v] = next_index
+        next_index += 1
+        enabled: List[str] = []
+        for w in graph.successors(v):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                enabled.append(w)
+        queue.extend(ordered(enabled))
+    # graph.validate() guarantees acyclicity, so everything was numbered.
+    assert len(index_of) == graph.num_vertices
+    return Numbering(graph, index_of)
+
+
+# ---------------------------------------------------------------------------
+# Verification
+# ---------------------------------------------------------------------------
+
+
+def enable_indices(
+    graph: ComputationGraph, index_of: Mapping[str, int]
+) -> Dict[str, int]:
+    """``enable(w)``: the largest index among ``w``'s predecessors (0 for
+    sources).  ``w`` belongs to ``S(v)`` exactly when ``enable(w) <= v``."""
+    return {
+        w: max((index_of[u] for u in graph.predecessors(w)), default=0)
+        for w in graph.vertices()
+    }
+
+
+def verify_numbering(graph: ComputationGraph, index_of: Mapping[str, int]) -> None:
+    """Verify a numbering is a *restricted* topological numbering.
+
+    Checks, in order:
+
+    1. ``index_of`` is a bijection onto ``1..N``;
+    2. every edge is directed low-to-high (topological);
+    3. the sequential-``S(v)`` restriction: ``enable`` is nondecreasing in
+       the vertex index.
+
+    Raises :class:`NumberingError` with a counterexample on failure.
+    O(N + E).
+    """
+    n = graph.num_vertices
+    if set(index_of.keys()) != set(graph.vertices()):
+        missing = set(graph.vertices()) - set(index_of.keys())
+        extra = set(index_of.keys()) - set(graph.vertices())
+        raise NumberingError(
+            f"numbering does not cover the vertex set exactly "
+            f"(missing={sorted(missing)!r}, extra={sorted(extra)!r})"
+        )
+    seen_indices = sorted(index_of.values())
+    if seen_indices != list(range(1, n + 1)):
+        raise NumberingError(
+            f"indices are not a permutation of 1..{n}: {seen_indices!r}"
+        )
+    for edge in graph.edges():
+        if index_of[edge.src] >= index_of[edge.dst]:
+            raise NumberingError(
+                f"not topological: edge {edge.src!r}({index_of[edge.src]}) -> "
+                f"{edge.dst!r}({index_of[edge.dst]})"
+            )
+    # Restriction: enable(w) nondecreasing in index of w.
+    enable = enable_indices(graph, index_of)
+    by_index: List[str] = [""] * (n + 1)
+    for name, idx in index_of.items():
+        by_index[idx] = name
+    prev = 0
+    for idx in range(1, n + 1):
+        e = enable[by_index[idx]]
+        if e < prev:
+            # Witness: S(e) contains vertex idx but not some lower-indexed
+            # vertex whose enable exceeds e — exactly Fig. 2(a)'s failure.
+            raise NumberingError(
+                f"sequential-S(v) restriction violated: vertex "
+                f"{by_index[idx]!r} (index {idx}) is enabled at v={e} but a "
+                f"lower-indexed vertex is only enabled at v={prev}, so "
+                f"S({e}) is not a prefix of the numbering"
+            )
+        prev = max(prev, e)
+
+
+def compute_S(
+    graph: ComputationGraph, index_of: Mapping[str, int], v: int
+) -> Set[int]:
+    """Brute-force ``S(v)`` per equation (1): the indices of all vertices
+    whose predecessors are *all* indexed ``<= v``.
+
+    Quadratic-ish and intended for tests and small demonstrations; the
+    scheduler itself only needs ``m`` via :func:`compute_m`.
+    """
+    result: Set[int] = set()
+    for w in graph.vertices():
+        if all(index_of[u] <= v for u in graph.predecessors(w)):
+            result.add(index_of[w])
+    return result
+
+
+def compute_m(graph: ComputationGraph, index_of: Mapping[str, int]) -> List[int]:
+    """Brute-force ``[m(0), ..., m(N)]`` via :func:`compute_S` (test oracle)."""
+    n = graph.num_vertices
+    return [len(compute_S(graph, index_of, v)) for v in range(n + 1)]
+
+
+def _m_table(graph: ComputationGraph, index_of: Mapping[str, int]) -> List[int]:
+    """O(N + E) ``m`` table for a *verified restricted* numbering.
+
+    For restricted numberings ``m(v) = |{w : enable(w) <= v}|`` and
+    ``enable`` is nondecreasing in index, so a counting pass suffices.
+    """
+    n = graph.num_vertices
+    enable = enable_indices(graph, index_of)
+    counts = [0] * (n + 1)
+    for w in graph.vertices():
+        counts[enable[w]] += 1
+    m = [0] * (n + 1)
+    running = 0
+    for v in range(n + 1):
+        running += counts[v]
+        m[v] = running
+    assert m[n] == n, "m(N) must equal N (property 4)"
+    return m

@@ -1,0 +1,240 @@
+"""Ingestion under noisy clocks and transmission delays (Section 6).
+
+The core algorithm assumes "there is no delay between the instant at which
+an event is generated and the instant at which it arrives" and that
+"timestamps are accurate".  Section 6 names the real-world relaxation as
+future work: "clocks in sensors are noisy and message delays may be
+significant and random.  The fusion engine must wait long enough after
+time t to ensure that sensor data taken at time t arrives with high
+probability."
+
+This module implements that wait as a **watermark-based reorder buffer**:
+
+* events arrive in *arrival* order carrying their (possibly past)
+  generation timestamps;
+* the buffer holds them until the watermark — the maximum arrival time
+  seen, minus a configurable ``wait`` — passes their generation timestamp;
+* sealed timestamps become phases (via the ordinary
+  :class:`~repro.events.PhaseAssembler` semantics); events arriving after
+  their timestamp has been sealed are **late**: counted, reported, and
+  excluded (the engine cannot revise a phase that may already have
+  executed downstream).
+
+The knob the paper describes is explicit: a larger ``wait`` lowers the
+late-event rate (fewer effectively false readings of "no message") at the
+cost of detection latency.  :func:`late_event_tradeoff` sweeps it, and
+``benchmarks/bench_ext_reorder.py`` prints the resulting curve — the
+error-vs-latency analysis the paper defers.
+
+Clock noise is modelled by :func:`noisy_observations`: true timestamps are
+jittered per-sensor before transmission, and transmission adds random
+delay, so arrival order differs from generation order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from .errors import WorkloadError
+from .events import Event, PhaseInput
+
+__all__ = [
+    "ArrivingEvent",
+    "ReorderBuffer",
+    "noisy_observations",
+    "late_event_tradeoff",
+    "TradeoffPoint",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivingEvent:
+    """An event as seen at the fusion engine's doorstep.
+
+    ``event.timestamp`` is the (noisy) generation timestamp the sensor
+    stamped; ``arrival`` is when the engine received it.
+    """
+
+    event: Event
+    arrival: float
+
+    def __post_init__(self) -> None:
+        if self.arrival < self.event.timestamp:
+            raise WorkloadError(
+                f"event arrived before it was generated "
+                f"({self.arrival} < {self.event.timestamp})"
+            )
+
+
+class ReorderBuffer:
+    """Watermark-based phase sealing for delayed, out-of-order events.
+
+    Parameters
+    ----------
+    wait:
+        How long (in timestamp units) to wait past an instant before
+        sealing it — the paper's "wait long enough after time t".
+    quantum:
+        Timestamp granularity.  Generation timestamps are binned to
+        multiples of *quantum* before phase grouping, so jittered clocks
+        reading "almost the same instant" land in one snapshot.  This is
+        the discrete analogue of the paper's simultaneity assumption.
+    """
+
+    def __init__(self, wait: float, quantum: float = 1.0) -> None:
+        if wait < 0:
+            raise WorkloadError(f"wait must be >= 0, got {wait}")
+        if quantum <= 0:
+            raise WorkloadError(f"quantum must be > 0, got {quantum}")
+        self.wait = wait
+        self.quantum = quantum
+        self._pending: Dict[float, Dict[str, object]] = {}  # binned ts -> values
+        self._watermark = float("-inf")
+        self._sealed_upto = float("-inf")
+        self._next_phase = 1
+        self.late_events: List[ArrivingEvent] = []
+        self.accepted = 0
+
+    def _bin(self, timestamp: float) -> float:
+        return round(timestamp / self.quantum) * self.quantum
+
+    @property
+    def watermark(self) -> float:
+        """Timestamps at or below this value are sealed or sealable."""
+        return self._watermark
+
+    def offer(self, arriving: ArrivingEvent) -> List[PhaseInput]:
+        """Ingest one arrival; returns any phases sealed by its watermark
+        advance (oldest first).
+
+        Arrivals must be fed in arrival order (the network delivers them
+        that way by construction).
+        """
+        ts = self._bin(arriving.event.timestamp)
+        if self._sealed_upto != float("-inf") and ts <= self._sealed_upto:
+            self.late_events.append(arriving)
+            return []
+        slot = self._pending.setdefault(ts, {})
+        slot[arriving.event.source] = arriving.event.value
+        self.accepted += 1
+        new_watermark = arriving.arrival - self.wait
+        if new_watermark > self._watermark:
+            self._watermark = new_watermark
+        return self._seal_ready()
+
+    def _seal_ready(self) -> List[PhaseInput]:
+        # Strictly below the watermark: an event whose delay equals the
+        # wait arrives exactly when watermark == its timestamp, and must
+        # still be admitted (wait >= max-delay guarantees zero lateness).
+        ready = sorted(ts for ts in self._pending if ts < self._watermark)
+        out: List[PhaseInput] = []
+        for ts in ready:
+            values = self._pending.pop(ts)
+            out.append(PhaseInput(self._next_phase, ts, dict(values)))
+            self._next_phase += 1
+            self._sealed_upto = ts
+        return out
+
+    def flush(self) -> List[PhaseInput]:
+        """Seal everything still pending (end of stream)."""
+        self._watermark = float("inf")
+        return self._seal_ready()
+
+    @property
+    def late_count(self) -> int:
+        return len(self.late_events)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReorderBuffer(wait={self.wait}, pending={len(self._pending)}, "
+            f"sealed_upto={self._sealed_upto}, late={self.late_count})"
+        )
+
+
+def noisy_observations(
+    sources: Sequence[str],
+    ticks: int,
+    clock_noise: float = 0.1,
+    delay_mean: float = 0.5,
+    delay_jitter: float = 0.5,
+    seed: int = 0,
+    tick_interval: float = 1.0,
+) -> List[ArrivingEvent]:
+    """Simulate sensors with drifting clocks over a lossy network.
+
+    Each source observes the world at true instants ``0, 1, ..., ticks-1``
+    (scaled by *tick_interval*), stamps each observation with a jittered
+    clock reading (Gaussian, sigma = *clock_noise*), and the message takes
+    ``delay_mean + U(0, delay_jitter)`` to reach the engine.  Returns the
+    arrivals in arrival order — generally *not* generation order, which is
+    the whole problem.
+    """
+    if ticks < 0:
+        raise WorkloadError("ticks must be >= 0")
+    rng = random.Random(seed)
+    offsets = {s: (sum(s.encode()) % 7) for s in sources}  # stable per source
+    arrivals: List[ArrivingEvent] = []
+    for tick in range(ticks):
+        true_ts = tick * tick_interval
+        for source in sources:
+            stamped = true_ts + rng.gauss(0.0, clock_noise)
+            delay = delay_mean + rng.random() * delay_jitter
+            arrivals.append(
+                ArrivingEvent(
+                    Event(stamped, source, round(true_ts + offsets[source], 3)),
+                    arrival=max(stamped, true_ts + delay),
+                )
+            )
+    arrivals.sort(key=lambda a: a.arrival)
+    return arrivals
+
+
+@dataclass(frozen=True, slots=True)
+class TradeoffPoint:
+    """One point of the wait-vs-lateness curve."""
+
+    wait: float
+    phases_sealed: int
+    events_accepted: int
+    events_late: int
+    late_rate: float
+    mean_sealing_latency: float
+
+
+def late_event_tradeoff(
+    arrivals: Sequence[ArrivingEvent],
+    waits: Iterable[float],
+    quantum: float = 1.0,
+) -> List[TradeoffPoint]:
+    """Sweep the watermark wait and measure lateness vs sealing latency.
+
+    *mean_sealing_latency* is the average of (sealing arrival time − phase
+    timestamp) over sealed phases: how stale a snapshot is by the time the
+    engine may execute it.  The paper's deferred analysis is exactly this
+    curve: wait longer and fewer events are effectively lost (fewer false
+    "absences"), but every detection gets slower.
+    """
+    points: List[TradeoffPoint] = []
+    for wait in waits:
+        buf = ReorderBuffer(wait=wait, quantum=quantum)
+        latencies: List[float] = []
+        for arriving in arrivals:
+            for phase in buf.offer(arriving):
+                latencies.append(arriving.arrival - phase.timestamp)
+        buf.flush()
+        total = buf.accepted + buf.late_count
+        points.append(
+            TradeoffPoint(
+                wait=wait,
+                phases_sealed=buf._next_phase - 1,
+                events_accepted=buf.accepted,
+                events_late=buf.late_count,
+                late_rate=buf.late_count / total if total else 0.0,
+                mean_sealing_latency=(
+                    sum(latencies) / len(latencies) if latencies else 0.0
+                ),
+            )
+        )
+    return points

@@ -1,0 +1,82 @@
+"""The model library: reusable computational modules.
+
+The paper's vertices are "models such as statistical regressions, time
+series analyses, clustering ... and simulations" (Section 1).  This
+package provides a library of such modules, all obeying the Δ-dataflow
+discipline — *compute on change, emit only when your output changes* —
+plus the domain compositions of the paper's motivating applications:
+
+* :mod:`~repro.models.basic` — identity, constant, delay, gate, sampler;
+* :mod:`~repro.models.arithmetic` — sums, differences, linear combiners;
+* :mod:`~repro.models.statistics` — moving averages and deviations,
+  EWMA, z-score and regression anomaly detectors (with both emission
+  options of the paper's money-laundering discussion);
+* :mod:`~repro.models.logic` — thresholds, boolean combinators, k-of-n,
+  debounce;
+* :mod:`~repro.models.sensors` — source vertices with seeded RNGs;
+* :mod:`~repro.models.domains` — power pricing, money laundering,
+  epidemic surveillance and intrusion detection compositions.
+
+Every class registers a short name for XML specs (:mod:`repro.spec`).
+"""
+
+from . import basic, arithmetic, statistics, logic, sensors, vector  # noqa: F401
+from .basic import Identity, Constant, Delay, Gate, Sampler, Recorder
+from .arithmetic import Sum, Difference, Product, LinearCombiner, Scale
+from .statistics import (
+    MovingAverage,
+    MovingStd,
+    EWMA,
+    ZScoreDetector,
+    SlidingRegressionDetector,
+    AnomalyDetector,
+    DenseAnomalyDetector,
+    PearsonCorrelator,
+)
+from .vector import VectorSensor, VectorZScore, VectorReduce
+from .logic import Threshold, And, Or, Not, KofN, Debounce
+from .sensors import (
+    RandomWalkSensor,
+    PeriodicSensor,
+    PoissonEventSource,
+    TransactionSource,
+    ReplaySource,
+    SilentSource,
+)
+
+__all__ = [
+    "Identity",
+    "Constant",
+    "Delay",
+    "Gate",
+    "Sampler",
+    "Recorder",
+    "Sum",
+    "Difference",
+    "Product",
+    "LinearCombiner",
+    "Scale",
+    "MovingAverage",
+    "MovingStd",
+    "EWMA",
+    "ZScoreDetector",
+    "SlidingRegressionDetector",
+    "AnomalyDetector",
+    "DenseAnomalyDetector",
+    "PearsonCorrelator",
+    "VectorSensor",
+    "VectorZScore",
+    "VectorReduce",
+    "Threshold",
+    "And",
+    "Or",
+    "Not",
+    "KofN",
+    "Debounce",
+    "RandomWalkSensor",
+    "PeriodicSensor",
+    "PoissonEventSource",
+    "TransactionSource",
+    "ReplaySource",
+    "SilentSource",
+]

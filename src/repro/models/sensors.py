@@ -1,0 +1,217 @@
+"""Source vertices: seeded synthetic sensors.
+
+Substitutes for the paper's real event feeds (sensor networks, RFID
+readers, news feeds, ERP events — Section 1).  Every source draws from a
+per-vertex seeded RNG (see :class:`~repro.core.vertex.SourceVertex`), so
+runs are exactly reproducible across engines — which the serializability
+checker requires — and the XML spec's global seed can derive per-source
+seeds (Section 4's "random seeds ... for the generation of random values
+by source vertices").
+
+Sources model the Δ discipline at the boundary: a physical sensor that
+reports only meaningful changes is a source that frequently emits nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence
+
+from ..core.vertex import EMIT_NOTHING, SourceVertex, VertexContext
+from ..errors import WorkloadError
+from ..spec.registry import register_vertex
+
+__all__ = [
+    "RandomWalkSensor",
+    "PeriodicSensor",
+    "PoissonEventSource",
+    "TransactionSource",
+    "ReplaySource",
+    "SilentSource",
+]
+
+
+@register_vertex("RandomWalkSensor")
+class RandomWalkSensor(SourceVertex):
+    """A sensor tracking a random walk, reporting only significant moves.
+
+    Each phase the hidden value takes a Gaussian step; the sensor emits the
+    new value only when it has drifted at least *report_delta* from the
+    last *reported* value — the paper's "sensor sends a message to the
+    model [only] if its assumptions ... are wrong" pattern.  Set
+    ``report_delta=0`` for a chatty sensor that emits every phase.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start: float = 0.0,
+        step: float = 1.0,
+        report_delta: float = 0.0,
+    ) -> None:
+        super().__init__(seed)
+        if step < 0 or report_delta < 0:
+            raise WorkloadError("step and report_delta must be >= 0")
+        self.start = start
+        self.step = step
+        self.report_delta = report_delta
+        self._value = start
+        self._reported: Optional[float] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._value = self.start
+        self._reported = None
+
+    def on_execute(self, ctx: VertexContext) -> Any:
+        self._value += self.rng.gauss(0.0, self.step)
+        if (
+            self._reported is None
+            or abs(self._value - self._reported) >= self.report_delta
+        ):
+            self._reported = self._value
+            return round(self._value, 6)
+        return EMIT_NOTHING
+
+
+@register_vertex("PeriodicSensor")
+class PeriodicSensor(SourceVertex):
+    """A noisy sinusoid (e.g. diurnal temperature), change-reported.
+
+    ``value = mean + amplitude * sin(2*pi*phase/period) + noise`` with the
+    same *report_delta* suppression as :class:`RandomWalkSensor`.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mean: float = 20.0,
+        amplitude: float = 10.0,
+        period: float = 24.0,
+        noise: float = 0.5,
+        report_delta: float = 0.0,
+    ) -> None:
+        super().__init__(seed)
+        if period <= 0:
+            raise WorkloadError(f"period must be > 0, got {period}")
+        self.mean = mean
+        self.amplitude = amplitude
+        self.period = period
+        self.noise = noise
+        self.report_delta = report_delta
+        self._reported: Optional[float] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._reported = None
+
+    def true_value(self, phase: int) -> float:
+        """The noiseless signal at *phase* (tests compare against this)."""
+        return self.mean + self.amplitude * math.sin(2 * math.pi * phase / self.period)
+
+    def on_execute(self, ctx: VertexContext) -> Any:
+        value = self.true_value(ctx.phase) + self.rng.gauss(0.0, self.noise)
+        if self._reported is None or abs(value - self._reported) >= self.report_delta:
+            self._reported = value
+            return round(value, 6)
+        return EMIT_NOTHING
+
+
+@register_vertex("PoissonEventSource")
+class PoissonEventSource(SourceVertex):
+    """Emits the event count for phases in which events occurred.
+
+    Counts are Poisson(*rate*); phases with zero events emit nothing — for
+    small rates this source is almost always silent, the regime the
+    Δ-dataflow engine is built for.
+    """
+
+    def __init__(self, seed: int = 0, rate: float = 0.1) -> None:
+        super().__init__(seed)
+        if rate < 0:
+            raise WorkloadError(f"rate must be >= 0, got {rate}")
+        self.rate = rate
+
+    def _poisson(self) -> int:
+        # Knuth's algorithm; rates used here are small.
+        limit = math.exp(-self.rate)
+        k, prod = 0, self.rng.random()
+        while prod > limit:
+            k += 1
+            prod *= self.rng.random()
+        return k
+
+    def on_execute(self, ctx: VertexContext) -> Any:
+        count = self._poisson()
+        return count if count > 0 else EMIT_NOTHING
+
+
+@register_vertex("TransactionSource")
+class TransactionSource(SourceVertex):
+    """A banking-transaction feed (the money-laundering workload).
+
+    Emits one transaction amount per phase.  Amounts are log-normal;
+    with probability *anomaly_rate* the amount is inflated by
+    *anomaly_factor* — the rare outliers the downstream regression / z-score
+    detectors must flag.  This source is deliberately *dense* (a message
+    every phase): the efficiency question the paper poses is about the
+    detector's output rate, not the feed's.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mu: float = 4.0,
+        sigma: float = 0.5,
+        anomaly_rate: float = 1e-3,
+        anomaly_factor: float = 50.0,
+    ) -> None:
+        super().__init__(seed)
+        if not 0.0 <= anomaly_rate <= 1.0:
+            raise WorkloadError(f"anomaly_rate must be in [0,1], got {anomaly_rate}")
+        self.mu = mu
+        self.sigma = sigma
+        self.anomaly_rate = anomaly_rate
+        self.anomaly_factor = anomaly_factor
+        self.anomalies_emitted = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self.anomalies_emitted = 0
+
+    def on_execute(self, ctx: VertexContext) -> Any:
+        amount = math.exp(self.rng.gauss(self.mu, self.sigma))
+        if self.rng.random() < self.anomaly_rate:
+            amount *= self.anomaly_factor
+            self.anomalies_emitted += 1
+        return round(amount, 2)
+
+
+@register_vertex("ReplaySource")
+class ReplaySource(SourceVertex):
+    """Replays a recorded value sequence: phase k emits ``values[k-1]``;
+    ``None`` entries (and phases beyond the sequence) emit nothing."""
+
+    def __init__(self, values: Sequence[Any] = ()) -> None:
+        super().__init__(seed=None)
+        self.values: List[Any] = list(values)
+
+    def on_execute(self, ctx: VertexContext) -> Any:
+        idx = ctx.phase - 1
+        if 0 <= idx < len(self.values) and self.values[idx] is not None:
+            return self.values[idx]
+        return EMIT_NOTHING
+
+
+@register_vertex("SilentSource")
+class SilentSource(SourceVertex):
+    """Never emits — a pure phase-signal consumer.
+
+    Exists to exercise the algorithm's central subtlety: downstream
+    vertices must still make progress when an input is *permanently*
+    silent, because completion of a phase is inferred from the frontier
+    x_p, not from messages.
+    """
+
+    def on_execute(self, ctx: VertexContext) -> Any:
+        return EMIT_NOTHING

@@ -1,0 +1,171 @@
+"""One-shot reproduction report generator.
+
+:func:`generate_report` runs every headline experiment of the paper
+(Figures 1–3 and both Section 4 results) and returns a Markdown report of
+paper-vs-measured values, so EXPERIMENTS.md-style evidence can be
+regenerated on any machine with one command::
+
+    python -m repro report            # print to stdout
+    python -m repro report -o out.md  # write a file
+
+``quick=True`` shrinks the workloads for CI-speed smoke reporting (the
+shapes still hold; absolute virtual times differ).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .analysis.stats import format_table
+from .baselines.barrier import barrier_simulated_engine
+from .core.invariants import InvariantChecker
+from .core.state import SchedulerState
+from .core.tracer import ExecutionTracer, max_concurrent_phases
+from .errors import NumberingError
+from .graph.generators import (
+    fig2_graph,
+    fig2a_numbering,
+    fig2b_numbering,
+    fig3_graph,
+)
+from .graph.numbering import Numbering, compute_S, number_graph, verify_numbering
+from .simulator.costs import CostModel
+from .simulator.machine import SimulatedEngine
+from .simulator.metrics import speedup_curve
+from .streams.workloads import fig1_workload, grid_workload
+
+__all__ = ["generate_report"]
+
+
+def _fig1(quick: bool) -> List[str]:
+    phases_n = 15 if quick else 40
+    cost = CostModel(compute_cost=1.0, bookkeeping_cost=0.001)
+    out = ["## Figure 1 — pipelining depth", ""]
+    rows = []
+    for label, factory in (
+        ("pipelined", lambda p, t: SimulatedEngine(
+            p, num_workers=10, num_processors=10, cost_model=cost, tracer=t)),
+        ("barrier", lambda p, t: barrier_simulated_engine(
+            p, num_workers=10, num_processors=10, cost_model=cost, tracer=t)),
+    ):
+        prog, phases = fig1_workload(phases=phases_n)
+        tracer = ExecutionTracer()
+        result = factory(prog, tracer).run(phases)
+        rows.append([label, max_concurrent_phases(tracer.intervals()),
+                     result.wall_time])
+    out.append("paper: 5 phases in flight on the depth-5 graph")
+    out.append("")
+    out.append("```")
+    out.append(format_table(["engine", "max concurrent phases", "makespan"], rows))
+    out.append("```")
+    status = "REPRODUCED" if rows[0][1] == 5 and rows[1][1] == 1 else "DIVERGED"
+    out.append(f"**{status}**")
+    return out
+
+
+def _fig2() -> List[str]:
+    out = ["## Figure 2 — restricted numbering", ""]
+    g = fig2_graph()
+    nb = Numbering.from_mapping(g, fig2b_numbering())
+    try:
+        verify_numbering(g, fig2a_numbering())
+        rejected = False
+    except NumberingError:
+        rejected = True
+    s2 = sorted(compute_S(g, fig2a_numbering(), 2))
+    out.append(f"* m-sequence (paper [3, 3, 4, 5, 5, 6, 7, 7]): "
+               f"measured {nb.m_sequence()}")
+    out.append(f"* S(2) under numbering (a) (paper {{1, 2, 3, 5}}): "
+               f"measured {set(s2)}; verifier rejected: {rejected}")
+    ok = nb.m_sequence() == [3, 3, 4, 5, 5, 6, 7, 7] and rejected and s2 == [1, 2, 3, 5]
+    out.append(f"**{'REPRODUCED' if ok else 'DIVERGED'}**")
+    return out
+
+
+_FIG3_STEPS = [
+    ("start", None, None, None),
+    ("exec", 1, 1, [3]),
+    ("start", None, None, None),
+    ("exec", 1, 2, []),
+    ("exec", 2, 1, [3, 4]),
+    ("exec", 2, 2, [3, 4]),
+    ("exec", 3, 1, [5]),
+    ("exec", 4, 1, [5, 6]),
+]
+
+_FIG3_EXPECT_READY = [
+    {(1, 1), (2, 1)},
+    {(2, 1)},
+    {(2, 1), (1, 2)},
+    {(2, 1)},
+    {(2, 2), (3, 1), (4, 1)},
+    {(3, 1), (4, 1)},
+    {(3, 2), (4, 1)},
+    {(3, 2), (4, 2), (5, 1), (6, 1)},
+]
+
+
+def _fig3() -> List[str]:
+    out = ["## Figure 3 — execution trace", ""]
+    nb = number_graph(fig3_graph())
+    state = SchedulerState(nb, checker=InvariantChecker())
+    verified = 0
+    for (kind, v, p, targets), expect in zip(_FIG3_STEPS, _FIG3_EXPECT_READY):
+        if kind == "start":
+            state.start_phase()
+        else:
+            state.complete_execution(v, p, targets)
+        if state.ready_set() == expect:
+            verified += 1
+    out.append(f"* 8 steps replayed with the invariant checker attached; "
+               f"ready-set membership verified at {verified}/8 steps")
+    out.append(f"**{'REPRODUCED' if verified == 8 else 'DIVERGED'}**")
+    return out
+
+
+def _sec4(quick: bool) -> List[str]:
+    out = ["## Section 4 — speedup", ""]
+    phases_n = 15 if quick else 40
+    prog, phases = grid_workload(4, 4, phases=phases_n, seed=9)
+    dual = speedup_curve(
+        prog, phases,
+        CostModel(compute_cost=1.0, bookkeeping_cost=0.35, phase_start_cost=0.1),
+        [1, 2], processors=2,
+    )
+    out.append(f"* dual-processor, 2 workers (paper ~1.5x): measured "
+               f"{dual[1].speedup:.2f}x "
+               f"(lock contention {dual[0].lock_contention:.1%} -> "
+               f"{dual[1].lock_contention:.1%})")
+    coarse = speedup_curve(
+        prog, phases, CostModel(compute_cost=50.0, bookkeeping_cost=0.05),
+        [1, 2, 4] if quick else [1, 2, 4, 8],
+        processors=lambda k: k + 1,
+    )
+    last = coarse[-1]
+    out.append(f"* coarse-grain prediction ('close to linear'): speedup "
+               f"{last.speedup:.2f}x at {last.workers} workers "
+               f"(efficiency {last.efficiency:.1%})")
+    ok = 1.25 <= dual[1].speedup <= 1.85 and last.efficiency > 0.8
+    out.append(f"**{'REPRODUCED' if ok else 'DIVERGED'}**")
+    return out
+
+
+def generate_report(quick: bool = False) -> str:
+    """Run every headline experiment; return the Markdown report."""
+    sections = [
+        "# Reproduction report",
+        "",
+        "Zimmerman & Chandy, *A Parallel Algorithm for Correlating Event "
+        "Streams* (IPPS 2005) — regenerated on this machine by "
+        "`python -m repro report`.",
+        "",
+    ]
+    sections.extend(_fig1(quick))
+    sections.append("")
+    sections.extend(_fig2())
+    sections.append("")
+    sections.extend(_fig3())
+    sections.append("")
+    sections.extend(_sec4(quick))
+    sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,29 @@
+"""Runtime layer: the multithreaded engine of Section 3.2 / Section 4.
+
+The paper's prototype used ``java.util.concurrent``'s ``Lock``,
+``Condition``, ``BlockingQueue`` and ``ThreadPoolExecutor``; this package
+provides the equivalent substrate built on :mod:`threading` —
+
+* :class:`~repro.runtime.blocking_queue.BlockingQueue` — the run queue
+  (blocking dequeue, at-most-once per item, poison-free close protocol);
+* :class:`~repro.runtime.locks.InstrumentedLock` — the single global lock,
+  with contention / hold-time statistics for the Section 4 analysis;
+* :class:`~repro.runtime.pool.ComputationThreadPool` — worker threads;
+* :class:`~repro.runtime.environment.EnvironmentConfig` — pacing and flow
+  control for the environment process (Listing 2);
+* :class:`~repro.runtime.engine.ParallelEngine` — the full algorithm.
+"""
+
+from .blocking_queue import BlockingQueue
+from .locks import InstrumentedLock
+from .pool import ComputationThreadPool
+from .environment import EnvironmentConfig
+from .engine import ParallelEngine
+
+__all__ = [
+    "BlockingQueue",
+    "InstrumentedLock",
+    "ComputationThreadPool",
+    "EnvironmentConfig",
+    "ParallelEngine",
+]

@@ -1,0 +1,117 @@
+"""The run queue: a thread-safe blocking FIFO with a close protocol.
+
+Section 3.2's requirements: "any thread executing a dequeue operation
+suspends until an item is available for dequeuing, and the dequeue
+operation atomically removes an item from the queue such that each item on
+the queue is dequeued at most once.  It is also assumed to be empty at
+system initialization time."
+
+This implementation adds one thing the paper's infinite loops did not need:
+termination.  :meth:`BlockingQueue.close` wakes every blocked consumer;
+once the queue is both closed and drained, further :meth:`get` calls raise
+:class:`~repro.errors.QueueClosedError`, which the worker loop treats as
+"no more work, exit".  Items already enqueued at close time are still
+delivered (close-then-drain), so no ready pair is ever lost.
+
+Statistics (:attr:`total_enqueued`, :attr:`total_dequeued`,
+:attr:`max_depth`, :attr:`blocked_gets`) feed the engine's run report.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Generic, List, Optional, TypeVar
+
+from ..errors import QueueClosedError
+
+__all__ = ["BlockingQueue"]
+
+T = TypeVar("T")
+
+
+class BlockingQueue(Generic[T]):
+    """An unbounded FIFO with blocking dequeue and at-most-once delivery."""
+
+    def __init__(self) -> None:
+        self._items: Deque[T] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+        self.max_depth = 0
+        self.blocked_gets = 0
+
+    def put(self, item: T) -> None:
+        """Enqueue *item*.  Raises :class:`QueueClosedError` after close."""
+        with self._cond:
+            if self._closed:
+                raise QueueClosedError("put() on a closed queue")
+            self._items.append(item)
+            self.total_enqueued += 1
+            if len(self._items) > self.max_depth:
+                self.max_depth = len(self._items)
+            self._cond.notify()
+
+    def put_many(self, items: List[T]) -> None:
+        """Enqueue several items atomically (single wake-up batch)."""
+        if not items:
+            return
+        with self._cond:
+            if self._closed:
+                raise QueueClosedError("put_many() on a closed queue")
+            self._items.extend(items)
+            self.total_enqueued += len(items)
+            if len(self._items) > self.max_depth:
+                self.max_depth = len(self._items)
+            self._cond.notify(len(items))
+
+    def get(self, timeout: Optional[float] = None) -> T:
+        """Dequeue one item, blocking while the queue is empty and open.
+
+        Raises
+        ------
+        QueueClosedError
+            When the queue is closed and drained — the "no more work"
+            signal for consumers.
+        TimeoutError
+            When *timeout* (seconds) elapses with nothing available; used
+            only by tests and watchdogs — workers block indefinitely.
+        """
+        with self._cond:
+            if not self._items:
+                self.blocked_gets += 1
+            while True:
+                if self._items:
+                    self.total_dequeued += 1
+                    return self._items.popleft()
+                if self._closed:
+                    raise QueueClosedError("queue closed and drained")
+                if not self._cond.wait(timeout):
+                    raise TimeoutError(
+                        f"BlockingQueue.get timed out after {timeout}s"
+                    )
+
+    def close(self) -> None:
+        """Close the queue: already-enqueued items are still delivered,
+        then every blocked/future :meth:`get` raises
+        :class:`QueueClosedError`.  Idempotent."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def __repr__(self) -> str:
+        with self._cond:
+            return (
+                f"BlockingQueue(depth={len(self._items)}, closed={self._closed}, "
+                f"enqueued={self.total_enqueued}, dequeued={self.total_dequeued})"
+            )

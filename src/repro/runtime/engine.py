@@ -1,0 +1,242 @@
+"""The multithreaded parallel engine (Listings 1 and 2).
+
+:class:`ParallelEngine` runs a :class:`~repro.core.program.Program` over a
+sequence of phases with
+
+* *k* computation threads, each executing the Listing-1 loop: dequeue a
+  ready vertex-phase pair from the run queue, execute it, then — inside
+  the single global lock — update the scheduling sets and enqueue any
+  newly ready pairs;
+* one additional **environment thread** executing the Listing-2 loop:
+  start each phase by moving its source pairs into the full set and
+  enqueueing the newly ready ones.  The paper notes this thread always
+  exists, so even the "1 thread" configuration has two threads contending
+  for the data structures — which is exactly how it explains the measured
+  2-processor speedup.
+
+Differences from the paper's infinite loops (all additive):
+
+* **Termination** — the paper's processes run forever; here the
+  environment stops after the last supplied phase, and the run-queue close
+  protocol lets workers exit once every started phase has completed.
+* **Flow control** (optional) — bound the number of in-flight phases so
+  edge histories stay small; off by default (the paper's behaviour).
+* **Failure handling** — a vertex exception aborts the run and re-raises
+  as :class:`~repro.errors.VertexExecutionError` from :meth:`run`.
+
+The expensive vertex computation happens *outside* the lock (prepare /
+compute / commit split, see :class:`~repro.core.program.PairRuntime`), so
+vertices that release the GIL (NumPy kernels, I/O, C extensions) genuinely
+execute in parallel.  Pure-Python vertex work is serialised by the GIL —
+the simulated SMP (:mod:`repro.simulator`) exists to evaluate speedup
+without that confound; this engine is the *correctness* vehicle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.invariants import InvariantChecker
+from ..core.program import PairRuntime, Program, RunResult
+from ..core.state import SchedulerState
+from ..core.tracer import ExecutionTracer, max_concurrent_pairs, max_concurrent_phases
+from ..errors import EngineError, QueueClosedError
+from ..events import PhaseInput
+from .blocking_queue import BlockingQueue
+from .environment import EnvironmentConfig
+from .locks import InstrumentedLock
+from .pool import ComputationThreadPool
+
+__all__ = ["ParallelEngine"]
+
+
+class ParallelEngine:
+    """The paper's parallel algorithm on real threads.
+
+    Parameters
+    ----------
+    program:
+        The program to execute (graph + numbering + behaviours).
+    num_threads:
+        Number of *computation* threads (k).  The environment thread is
+        always added on top, as in the paper.
+    checker:
+        Optional :class:`InvariantChecker`, invoked at every state
+        mutation (inside the lock).
+    tracer:
+        Optional :class:`ExecutionTracer`; receives phase starts, enqueues
+        and execution begin/end events (real-time clock).
+    env:
+        Environment pacing / flow control (:class:`EnvironmentConfig`).
+    join_timeout:
+        Watchdog: seconds to wait for threads at shutdown before declaring
+        the run wedged.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        num_threads: int = 2,
+        checker: Optional[InvariantChecker] = None,
+        tracer: Optional[ExecutionTracer] = None,
+        env: EnvironmentConfig = EnvironmentConfig(),
+        join_timeout: float = 120.0,
+    ) -> None:
+        if num_threads < 1:
+            raise EngineError(f"num_threads must be >= 1, got {num_threads}")
+        self.program = program
+        self.num_threads = num_threads
+        self.checker = checker
+        self.tracer = tracer
+        self.env = env
+        self.join_timeout = join_timeout
+
+    def run(self, phase_inputs: Sequence[PhaseInput]) -> RunResult:
+        """Execute every phase; returns the :class:`RunResult`.
+
+        Raises the first vertex exception as
+        :class:`~repro.errors.VertexExecutionError`, and
+        :class:`EngineError` if threads wedge past *join_timeout*.
+        """
+        self.program.reset()
+        runtime = PairRuntime(self.program, phase_inputs)
+        state = SchedulerState(self.program.numbering, checker=self.checker)
+        lock = InstrumentedLock()
+        queue: BlockingQueue[Tuple[int, int]] = BlockingQueue()
+        abort = threading.Event()
+        env_done = threading.Event()
+        flow_sem = (
+            threading.Semaphore(self.env.max_in_flight_phases)
+            if self.env.max_in_flight_phases is not None
+            else None
+        )
+        executions: List[Tuple[int, int]] = []
+        per_worker_counts: Dict[int, int] = {i: 0 for i in range(self.num_threads)}
+        seen_complete = [0]  # phases seen complete so far (guarded by lock)
+        tracer = self.tracer
+
+        def worker(worker_id: int) -> None:
+            # Listing 1: the computation process.
+            while True:
+                try:
+                    v, p = queue.get()
+                except QueueClosedError:
+                    return
+                if abort.is_set():
+                    continue  # drain until close
+                with lock:
+                    ctx = runtime.prepare(v, p)
+                    if tracer is not None:
+                        tracer.execute_begin((v, p), worker_id)
+                try:
+                    runtime.compute(v, ctx)
+                except BaseException:
+                    abort.set()
+                    queue.close()
+                    raise
+                newly_complete = 0
+                with lock:
+                    targets = runtime.commit(v, p, ctx)
+                    newly_ready = state.complete_execution(v, p, targets)
+                    executions.append((v, p))
+                    per_worker_counts[worker_id] += 1
+                    if tracer is not None:
+                        tracer.execute_end((v, p), worker_id)
+                        for pair in newly_ready:
+                            tracer.enqueued(pair)
+                    newly_complete = state.complete_phase_count - seen_complete[0]
+                    if tracer is not None:
+                        for i in range(newly_complete):
+                            tracer.phase_completed(seen_complete[0] + 1 + i)
+                    seen_complete[0] = state.complete_phase_count
+                    done = env_done.is_set() and state.all_started_complete()
+                if flow_sem is not None:
+                    for _ in range(newly_complete):
+                        flow_sem.release()
+                try:
+                    queue.put_many(newly_ready)
+                except QueueClosedError:
+                    if not abort.is_set():
+                        raise
+                if done:
+                    queue.close()
+
+        def environment() -> None:
+            # Listing 2: the environment process.
+            try:
+                for _ in range(runtime.num_phases):
+                    if abort.is_set():
+                        break
+                    if flow_sem is not None:
+                        while not flow_sem.acquire(timeout=0.05):
+                            if abort.is_set():
+                                break
+                        if abort.is_set():
+                            break
+                    with lock:
+                        newly_ready = state.start_phase()
+                        if tracer is not None:
+                            tracer.phase_started(state.pmax)
+                            for pair in newly_ready:
+                                tracer.enqueued(pair)
+                    try:
+                        queue.put_many(newly_ready)
+                    except QueueClosedError:
+                        if not abort.is_set():
+                            raise
+                        break
+                    if self.env.pacing:
+                        time.sleep(self.env.pacing)
+            finally:
+                env_done.set()
+                # Close if everything already completed (covers zero-phase
+                # runs and the race where the last completion preceded
+                # env_done), or if we are aborting.
+                with lock:
+                    quiescent = state.all_started_complete()
+                if quiescent or abort.is_set():
+                    queue.close()
+
+        pool = ComputationThreadPool(self.num_threads, worker, name="compute")
+        env_thread = threading.Thread(target=environment, name="environment", daemon=True)
+
+        started = time.perf_counter()
+        pool.start()
+        env_thread.start()
+        env_thread.join(self.join_timeout)
+        if env_thread.is_alive():
+            abort.set()
+            queue.close()
+            raise EngineError("environment thread failed to terminate")
+        pool.join(self.join_timeout)
+        elapsed = time.perf_counter() - started
+        pool.reraise()
+
+        if not state.all_started_complete():
+            raise EngineError(
+                f"engine stopped before quiescence: in-flight phases "
+                f"{state.in_flight_phases()!r}"
+            )
+
+        stats = {
+            "num_threads": self.num_threads,
+            "lock": lock.stats(),
+            "queue": {
+                "max_depth": queue.max_depth,
+                "total_enqueued": queue.total_enqueued,
+                "total_dequeued": queue.total_dequeued,
+                "blocked_gets": queue.blocked_gets,
+            },
+            "per_worker_executions": dict(per_worker_counts),
+            "edge_entries_peak": runtime.edges.peak_entries,
+            "edge_entries_final": runtime.edges.total_pending_entries(),
+        }
+        if tracer is not None:
+            intervals = tracer.intervals()
+            stats["max_concurrent_phases"] = max_concurrent_phases(intervals)
+            stats["max_concurrent_pairs"] = max_concurrent_pairs(intervals)
+        return runtime.build_result(
+            f"parallel[k={self.num_threads}]", executions, elapsed, stats
+        )

@@ -1,0 +1,97 @@
+"""The computation thread pool.
+
+The paper's prototype used ``ThreadPoolExecutor`` with "one computation
+thread for each processor" plus the always-present environment thread.
+:class:`ComputationThreadPool` is the minimal equivalent: it runs one
+callable per worker, propagates the first exception any worker raised, and
+joins with a watchdog timeout so a wedged run fails loudly instead of
+hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from ..errors import EngineError
+
+__all__ = ["ComputationThreadPool"]
+
+
+class ComputationThreadPool:
+    """Runs ``target(worker_id)`` on *num_threads* daemon threads.
+
+    Usage::
+
+        pool = ComputationThreadPool(4, worker_loop, name="compute")
+        pool.start()
+        ...
+        pool.join(timeout=60)
+        pool.reraise()   # propagate the first worker exception, if any
+    """
+
+    def __init__(
+        self,
+        num_threads: int,
+        target: Callable[[int], None],
+        name: str = "worker",
+    ) -> None:
+        if num_threads < 1:
+            raise EngineError(f"need at least one thread, got {num_threads}")
+        self.num_threads = num_threads
+        self._target = target
+        self._threads: List[threading.Thread] = [
+            threading.Thread(
+                target=self._run, args=(i,), name=f"{name}-{i}", daemon=True
+            )
+            for i in range(num_threads)
+        ]
+        self._errors: List[BaseException] = []
+        self._error_lock = threading.Lock()
+        self.on_error: Optional[Callable[[BaseException], None]] = None
+
+    def _run(self, worker_id: int) -> None:
+        try:
+            self._target(worker_id)
+        except BaseException as exc:  # noqa: BLE001 - propagate to the caller
+            with self._error_lock:
+                self._errors.append(exc)
+            if self.on_error is not None:
+                self.on_error(exc)
+
+    def start(self) -> None:
+        for t in self._threads:
+            t.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Join every thread.  With a *timeout*, raises
+        :class:`EngineError` if any thread is still alive afterwards."""
+        deadline = None
+        if timeout is not None:
+            import time
+
+            deadline = time.monotonic() + timeout
+        for t in self._threads:
+            remaining = None
+            if deadline is not None:
+                import time
+
+                remaining = max(0.0, deadline - time.monotonic())
+            t.join(remaining)
+        stuck = [t.name for t in self._threads if t.is_alive()]
+        if stuck:
+            raise EngineError(f"threads failed to terminate: {stuck!r}")
+
+    def reraise(self) -> None:
+        """Re-raise the first exception any worker raised (if any)."""
+        with self._error_lock:
+            if self._errors:
+                raise self._errors[0]
+
+    @property
+    def errors(self) -> List[BaseException]:
+        with self._error_lock:
+            return list(self._errors)
+
+    def any_alive(self) -> bool:
+        return any(t.is_alive() for t in self._threads)

@@ -1,0 +1,324 @@
+"""The simulated SMP engine.
+
+:class:`SimulatedEngine` executes a program with the *real* scheduler
+(:class:`~repro.core.state.SchedulerState`) and *real* vertex behaviours,
+but on simulated hardware: k worker threads and one environment thread
+multiplex over P processors and contend for the single global lock, all in
+virtual time driven by a :class:`~repro.simulator.costs.CostModel`.
+
+This is the substitution for the paper's dual-processor Solaris testbed
+(see DESIGN.md §2): the Section 4 experiment — "identical computations see
+a speedup of approximately 50% when two computation threads are running" —
+is reproduced by comparing virtual makespans at ``num_workers=1`` and
+``num_workers=2`` with ``num_processors=2``, and the near-linear-speedup
+prediction by sweeping workers = processors with a coarse compute grain.
+
+Simulated thread anatomy (mirroring :class:`~repro.runtime.engine`):
+
+* **worker**: block on the run queue (no CPU while blocked) → optional
+  dequeue burst → *locked* prepare burst → compute burst (CPU but no
+  lock — this is where parallelism happens) → *locked* commit +
+  bookkeeping burst (deliver messages, ``complete_execution``, enqueue
+  newly ready pairs).
+* **environment**: per phase, a *locked* phase-start burst, then an
+  optional unscheduled sleep (``env_interval``).
+
+A burst = acquire the lock if required, acquire a processor, advance
+virtual time, release.  Blocked threads (queue, lock) hold no processor,
+like OS threads.  Lock waiters and processor grants are FIFO, so runs are
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..core.invariants import InvariantChecker
+from ..core.program import PairRuntime, Program, RunResult
+from ..core.state import SchedulerState
+from ..core.tracer import ExecutionTracer, max_concurrent_pairs, max_concurrent_phases
+from ..errors import SimulationError
+from ..events import PhaseInput
+from .costs import CostModel
+from .des import Event, Resource, Simulation, Store
+
+__all__ = ["SimulatedEngine"]
+
+_CLOSE = object()
+
+
+class SimulatedEngine:
+    """The paper's algorithm on a simulated P-processor machine.
+
+    Parameters
+    ----------
+    program:
+        Program to execute.
+    num_workers:
+        Computation threads (k).  The environment thread is added on top,
+        exactly as in the paper ("there is always an additional thread").
+    num_processors:
+        Simulated CPUs.  The paper's testbed is ``num_processors=2``.
+    cost_model:
+        Virtual durations for compute/bookkeeping/etc.
+    checker / tracer:
+        As for :class:`~repro.runtime.engine.ParallelEngine`; the tracer's
+        clock is rebound to virtual time.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        num_workers: int = 2,
+        num_processors: int = 2,
+        cost_model: Optional[CostModel] = None,
+        checker: Optional[InvariantChecker] = None,
+        tracer: Optional[ExecutionTracer] = None,
+        max_in_flight_phases: Optional[int] = None,
+        queue_discipline: str = "fifo",
+    ) -> None:
+        if num_workers < 1:
+            raise SimulationError(f"num_workers must be >= 1, got {num_workers}")
+        if num_processors < 1:
+            raise SimulationError(
+                f"num_processors must be >= 1, got {num_processors}"
+            )
+        if max_in_flight_phases is not None and max_in_flight_phases < 1:
+            raise SimulationError(
+                f"max_in_flight_phases must be >= 1 or None, "
+                f"got {max_in_flight_phases}"
+            )
+        self.program = program
+        self.num_workers = num_workers
+        self.num_processors = num_processors
+        self.cost_model = cost_model or CostModel()
+        self.checker = checker
+        self.tracer = tracer
+        # max_in_flight_phases=1 turns the engine into the phase-barrier
+        # baseline (no pipelining): the environment waits for each phase to
+        # complete before starting the next.
+        self.max_in_flight_phases = max_in_flight_phases
+        # Run-queue discipline.  The algorithm only requires at-most-once
+        # dequeue; the order is a scheduling policy:
+        #   fifo             — the paper's implied BlockingQueue order
+        #   lifo             — depth-first-ish (freshest pair first)
+        #   low_phase_first  — drain old phases first (latency-oriented)
+        #   low_vertex_first — follow the numbering (wavefront-oriented)
+        if queue_discipline not in (
+            "fifo",
+            "lifo",
+            "low_phase_first",
+            "low_vertex_first",
+        ):
+            raise SimulationError(
+                f"unknown queue_discipline {queue_discipline!r}"
+            )
+        self.queue_discipline = queue_discipline
+
+    # ------------------------------------------------------------------
+
+    def _make_queue(self, sim: Simulation) -> Store:
+        if self.queue_discipline == "fifo":
+            return Store(sim, name="run-queue")
+        from .des import PriorityStore
+
+        big = 1 << 60
+
+        def close_last(item) -> tuple:
+            # _CLOSE must always sort after real pairs.
+            return item is _CLOSE
+
+        keys = {
+            "lifo": None,  # handled below with a descending counter
+            "low_phase_first": lambda it: (close_last(it), it[1], it[0])
+            if it is not _CLOSE
+            else (True, big, big),
+            "low_vertex_first": lambda it: (close_last(it), it[0], it[1])
+            if it is not _CLOSE
+            else (True, big, big),
+        }
+        if self.queue_discipline == "lifo":
+            counter = [0]
+
+            def lifo_key(item) -> tuple:
+                counter[0] -= 1
+                if item is _CLOSE:
+                    return (True, 0)
+                return (False, counter[0])
+
+            return PriorityStore(sim, lifo_key, name="run-queue[lifo]")
+        return PriorityStore(
+            sim,
+            keys[self.queue_discipline],
+            name=f"run-queue[{self.queue_discipline}]",
+        )
+
+    def run(self, phase_inputs: Sequence[PhaseInput]) -> RunResult:
+        """Execute every phase in virtual time; ``wall_time`` of the result
+        is the virtual makespan."""
+        self.program.reset()
+        self.cost_model.reset()
+        runtime = PairRuntime(self.program, phase_inputs)
+        state = SchedulerState(self.program.numbering, checker=self.checker)
+        sim = Simulation()
+        lock = Resource(sim, 1, name="global-lock")
+        procs = Resource(sim, self.num_processors, name="processors")
+        queue = self._make_queue(sim)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.set_clock(lambda: sim.now)
+
+        executions: List[Tuple[int, int]] = []
+        per_worker: Dict[int, int] = {i: 0 for i in range(self.num_workers)}
+        env_done = [False]
+        flow_waiter: List[Optional[Event]] = [None]  # env blocked on flow control
+        seen_complete = [0]
+        cm = self.cost_model
+        names = self.program.numbering
+        max_in_flight = self.max_in_flight_phases
+
+        def locked_burst(
+            duration: float, fn: Optional[Callable[[], None]] = None
+        ) -> Generator[Event, Any, None]:
+            yield lock.request()
+            yield procs.request()
+            if fn is not None:
+                fn()
+            if duration > 0:
+                yield sim.timeout(duration)
+            procs.release()
+            lock.release()
+
+        def cpu_burst(duration: float) -> Generator[Event, Any, None]:
+            yield procs.request()
+            if duration > 0:
+                yield sim.timeout(duration)
+            procs.release()
+
+        def maybe_close() -> None:
+            if env_done[0] and state.all_started_complete():
+                queue.put(_CLOSE)
+
+        def worker(worker_id: int) -> Generator[Event, Any, None]:
+            while True:
+                item = yield queue.get()
+                if item is _CLOSE:
+                    queue.put(_CLOSE)  # circulate to sibling workers
+                    return
+                v, p = item
+                if cm.dequeue_cost:
+                    yield from cpu_burst(cm.dequeue_cost)
+
+                holder: Dict[str, Any] = {}
+
+                def do_prepare() -> None:
+                    holder["ctx"] = runtime.prepare(v, p)
+
+                yield from locked_burst(cm.prepare_cost, do_prepare)
+
+                # Compute: the parallel region.
+                yield procs.request()
+                if tracer is not None:
+                    tracer.execute_begin((v, p), worker_id)
+                runtime.compute(v, holder["ctx"])
+                duration = cm.vertex_cost(names.name_of(v), p)
+                if duration > 0:
+                    yield sim.timeout(duration)
+                if tracer is not None:
+                    tracer.execute_end((v, p), worker_id)
+                procs.release()
+
+                def do_commit() -> None:
+                    targets = runtime.commit(v, p, holder["ctx"])
+                    newly_ready = state.complete_execution(v, p, targets)
+                    executions.append((v, p))
+                    per_worker[worker_id] += 1
+                    for pair in newly_ready:
+                        if tracer is not None:
+                            tracer.enqueued(pair)
+                        queue.put(pair)
+                    if tracer is not None:
+                        while seen_complete[0] < state.complete_phase_count:
+                            seen_complete[0] += 1
+                            tracer.phase_completed(seen_complete[0])
+                    # Flow control: wake the environment when phase
+                    # completions open room for another in-flight phase.
+                    waiter = flow_waiter[0]
+                    if (
+                        waiter is not None
+                        and max_in_flight is not None
+                        and state.pmax - state.complete_phase_count < max_in_flight
+                    ):
+                        flow_waiter[0] = None
+                        waiter.succeed()
+                    maybe_close()
+
+                yield from locked_burst(cm.bookkeeping_cost, do_commit)
+
+        def environment() -> Generator[Event, Any, None]:
+            for _ in range(runtime.num_phases):
+                if max_in_flight is not None:
+                    # Callbacks run atomically, so this check-then-wait is
+                    # race-free within the simulation.
+                    while state.pmax - state.complete_phase_count >= max_in_flight:
+                        waiter = sim.event()
+                        flow_waiter[0] = waiter
+                        yield waiter
+
+                def do_start() -> None:
+                    newly_ready = state.start_phase()
+                    if tracer is not None:
+                        tracer.phase_started(state.pmax)
+                    for pair in newly_ready:
+                        if tracer is not None:
+                            tracer.enqueued(pair)
+                        queue.put(pair)
+
+                yield from locked_burst(cm.phase_start_cost, do_start)
+                if cm.env_interval:
+                    yield sim.timeout(cm.env_interval)
+
+            def finish() -> None:
+                env_done[0] = True
+                maybe_close()
+
+            yield from locked_burst(0.0, finish)
+
+        for wid in range(self.num_workers):
+            sim.start(worker(wid), name=f"worker-{wid}")
+        sim.start(environment(), name="environment")
+        makespan = sim.run()
+
+        if not state.all_started_complete():
+            raise SimulationError(
+                f"simulation drained without quiescence: in-flight phases "
+                f"{state.in_flight_phases()!r} — simulated deadlock"
+            )
+
+        stats: Dict[str, Any] = {
+            "num_workers": self.num_workers,
+            "num_processors": self.num_processors,
+            "lock": {
+                "total_requests": lock.total_requests,
+                "contended_requests": lock.contended_requests,
+                "busy_time": lock.usage_integral,
+                "utilization": lock.utilization(makespan),
+            },
+            "processors": {
+                "cpu_seconds": procs.usage_integral,
+                "utilization": procs.utilization(makespan),
+            },
+            "queue_max_depth": queue.max_depth,
+            "grain_bookkeeping_cost": cm.bookkeeping_cost,
+            "edge_entries_peak": runtime.edges.peak_entries,
+        }
+        if tracer is not None:
+            intervals = tracer.intervals()
+            stats["max_concurrent_phases"] = max_concurrent_phases(intervals)
+            stats["max_concurrent_pairs"] = max_concurrent_pairs(intervals)
+        return runtime.build_result(
+            f"simulated[k={self.num_workers},P={self.num_processors}]",
+            executions,
+            makespan,
+            stats,
+        )

@@ -1,0 +1,108 @@
+"""Speedup curves and efficiency metrics over the simulated SMP.
+
+:func:`speedup_curve` re-runs one program under a sweep of worker counts
+and reports makespan, speedup and efficiency per point — the series behind
+the Section 4 experiment and its scaling prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core.program import Program
+from ..events import PhaseInput
+from .costs import CostModel
+from .machine import SimulatedEngine
+
+__all__ = ["SpeedupPoint", "speedup_curve"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedupPoint:
+    """One point of a speedup sweep."""
+
+    workers: int
+    processors: int
+    makespan: float
+    speedup: float
+    efficiency: float
+    lock_contention: float  # contended / total lock requests
+    cpu_utilization: float
+
+    def row(self) -> str:
+        """A fixed-width table row (benchmarks print these)."""
+        return (
+            f"{self.workers:>7d} {self.processors:>5d} {self.makespan:>12.3f} "
+            f"{self.speedup:>8.3f} {self.efficiency:>10.3f} "
+            f"{self.lock_contention:>10.3f} {self.cpu_utilization:>8.3f}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'workers':>7} {'procs':>5} {'makespan':>12} {'speedup':>8} "
+            f"{'efficiency':>10} {'lock-cont':>10} {'cpu-util':>8}"
+        )
+
+
+def speedup_curve(
+    program: Program,
+    phase_inputs: Sequence[PhaseInput],
+    cost_model: CostModel,
+    worker_counts: Sequence[int],
+    processors: Optional[Callable[[int], int] | int] = None,
+) -> List[SpeedupPoint]:
+    """Run *program* once per worker count; speedups are relative to the
+    first point's makespan.
+
+    *processors* is either a fixed CPU count (the paper's dual-processor
+    setup: ``processors=2``), a callable ``workers -> cpus`` (the paper's
+    prediction setup: one processor per computation thread,
+    ``processors=lambda k: k``), or ``None`` meaning workers + 1 (one for
+    the environment thread too).
+    """
+    if not worker_counts:
+        return []
+
+    def procs_for(k: int) -> int:
+        if processors is None:
+            return k + 1
+        if callable(processors):
+            return processors(k)
+        return processors
+
+    points: List[SpeedupPoint] = []
+    base_makespan: Optional[float] = None
+    for k in worker_counts:
+        result = SimulatedEngine(
+            program,
+            num_workers=k,
+            num_processors=procs_for(k),
+            cost_model=cost_model,
+        ).run(phase_inputs)
+        makespan = result.wall_time
+        if base_makespan is None:
+            base_makespan = makespan
+        lock = result.stats["lock"]
+        contention = (
+            lock["contended_requests"] / lock["total_requests"]
+            if lock["total_requests"]
+            else 0.0
+        )
+        points.append(
+            SpeedupPoint(
+                workers=k,
+                processors=procs_for(k),
+                makespan=makespan,
+                speedup=base_makespan / makespan if makespan else float("inf"),
+                efficiency=(
+                    base_makespan / makespan / (k / worker_counts[0])
+                    if makespan
+                    else float("inf")
+                ),
+                lock_contention=contention,
+                cpu_utilization=result.stats["processors"]["utilization"],
+            )
+        )
+    return points

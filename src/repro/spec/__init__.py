@@ -1,0 +1,29 @@
+"""XML computation specifications.
+
+Section 4: "The prototype implementation takes as input an XML
+specification file for a computation, which includes a specification of
+the computation graph with vertices as instances of Java classes
+conforming to well-defined guidelines.  The specification file also
+contains simulation parameters, such as the number of timesteps to run and
+random seeds to use for the generation of random values by source
+vertices."
+
+The paper does not publish the schema, so this package defines one
+carrying the same information (see :mod:`~repro.spec.xml_loader` for the
+format).  Vertex classes are resolved through a
+:mod:`~repro.spec.registry` of registered names or dotted import paths.
+"""
+
+from .registry import VertexRegistry, register_vertex, default_registry
+from .xml_loader import ComputationSpec, load_spec, loads_spec, save_spec, dumps_spec
+
+__all__ = [
+    "VertexRegistry",
+    "register_vertex",
+    "default_registry",
+    "ComputationSpec",
+    "load_spec",
+    "loads_spec",
+    "save_spec",
+    "dumps_spec",
+]

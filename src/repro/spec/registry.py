@@ -1,0 +1,89 @@
+"""Vertex class registry.
+
+XML specs name vertex classes; the registry resolves those names to
+Python classes.  Two resolution paths:
+
+* **registered short names** — model classes in :mod:`repro.models`
+  register themselves with :func:`register_vertex` (e.g.
+  ``class="MovingAverage"``);
+* **dotted import paths** — any importable :class:`~repro.core.vertex.Vertex`
+  subclass (e.g. ``class="mypkg.detectors.BurstDetector"``).
+
+Dotted-path resolution imports code named by the spec file; load specs
+only from trusted sources, exactly as with any plugin mechanism.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Iterator, Type
+
+from ..core.vertex import Vertex
+from ..errors import RegistryError
+
+__all__ = ["VertexRegistry", "register_vertex", "default_registry"]
+
+
+class VertexRegistry:
+    """A name -> vertex-class mapping with dotted-path fallback."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, Type[Vertex]] = {}
+
+    def register(self, name: str, cls: Type[Vertex]) -> None:
+        if not (isinstance(cls, type) and issubclass(cls, Vertex)):
+            raise RegistryError(f"{cls!r} is not a Vertex subclass")
+        existing = self._classes.get(name)
+        if existing is not None and existing is not cls:
+            raise RegistryError(
+                f"name {name!r} already registered for {existing.__qualname__}"
+            )
+        self._classes[name] = cls
+
+    def resolve(self, name: str) -> Type[Vertex]:
+        """Resolve *name*: registered short name first, then dotted path."""
+        if name in self._classes:
+            return self._classes[name]
+        if "." in name:
+            module_name, _, cls_name = name.rpartition(".")
+            try:
+                module = importlib.import_module(module_name)
+            except ImportError as exc:
+                raise RegistryError(f"cannot import module {module_name!r}") from exc
+            cls = getattr(module, cls_name, None)
+            if cls is None:
+                raise RegistryError(
+                    f"module {module_name!r} has no attribute {cls_name!r}"
+                )
+            if not (isinstance(cls, type) and issubclass(cls, Vertex)):
+                raise RegistryError(f"{name!r} is not a Vertex subclass")
+            return cls
+        raise RegistryError(
+            f"unknown vertex class {name!r} (not registered; not a dotted path)"
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._classes))
+
+    def names(self) -> list[str]:
+        return sorted(self._classes)
+
+
+default_registry = VertexRegistry()
+
+
+def register_vertex(name: str):
+    """Class decorator: register a Vertex subclass in the default registry.
+
+    >>> @register_vertex("MyDetector")        # doctest: +SKIP
+    ... class MyDetector(Vertex): ...
+    """
+
+    def deco(cls: Type[Vertex]) -> Type[Vertex]:
+        default_registry.register(name, cls)
+        return cls
+
+    return deco

@@ -1,0 +1,252 @@
+"""XML computation-specification loader and saver.
+
+Format (all the information the paper says its spec files carried:
+the graph, the vertex classes, simulation parameters, random seeds)::
+
+    <computation name="power-pricing">
+      <graph>
+        <vertex id="temp" class="RandomWalkSensor">
+          <param name="seed"  value="42"   type="int"/>
+          <param name="start" value="15.0" type="float"/>
+        </vertex>
+        <vertex id="avg" class="MovingAverage">
+          <param name="window" value="24" type="int"/>
+        </vertex>
+        <edge from="temp" to="avg"/>
+      </graph>
+      <simulation timesteps="100" interval="1.0" seed="7"/>
+    </computation>
+
+Param types: ``int``, ``float``, ``str`` (default), ``bool``
+(``true``/``false``), ``json`` (arbitrary literals).  Vertex ``class``
+names resolve through the registry (:mod:`repro.spec.registry`).
+
+The ``simulation`` element's ``seed`` re-seeds every source vertex that
+did not receive an explicit ``seed`` param, derived per vertex id so
+sources stay independent but reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.program import Program
+from ..core.vertex import SourceVertex
+from ..errors import SpecError
+from ..events import PhaseInput
+from ..graph.model import ComputationGraph
+from .registry import VertexRegistry, default_registry
+
+__all__ = ["ComputationSpec", "load_spec", "loads_spec", "save_spec", "dumps_spec"]
+
+_PARAM_PARSERS = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": lambda s: {"true": True, "false": False}[s.lower()],
+    "json": json.loads,
+}
+
+
+@dataclass
+class ComputationSpec:
+    """A parsed computation specification."""
+
+    name: str
+    program: Program
+    timesteps: int
+    interval: float = 1.0
+    seed: Optional[int] = None
+    vertex_params: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    vertex_classes: Dict[str, str] = field(default_factory=dict)
+
+    def phase_inputs(self) -> List[PhaseInput]:
+        """Bare phase signals for ``timesteps`` phases (sources generate
+        their own values from their seeds, as in the paper's prototype)."""
+        return [
+            PhaseInput(k, (k - 1) * self.interval) for k in range(1, self.timesteps + 1)
+        ]
+
+
+def _parse_param(elem: ET.Element, where: str) -> Tuple[str, Any]:
+    name = elem.get("name")
+    if not name:
+        raise SpecError(f"{where}: <param> missing 'name'")
+    raw = elem.get("value")
+    if raw is None:
+        raise SpecError(f"{where}: <param name={name!r}> missing 'value'")
+    ptype = elem.get("type", "str")
+    parser = _PARAM_PARSERS.get(ptype)
+    if parser is None:
+        raise SpecError(
+            f"{where}: <param name={name!r}> has unknown type {ptype!r} "
+            f"(expected one of {sorted(_PARAM_PARSERS)})"
+        )
+    try:
+        return name, parser(raw)
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise SpecError(
+            f"{where}: cannot parse param {name!r} value {raw!r} as {ptype}"
+        ) from exc
+
+
+def loads_spec(
+    text: str, registry: Optional[VertexRegistry] = None
+) -> ComputationSpec:
+    """Parse a specification from an XML string."""
+    if registry is None:
+        # Ensure the built-in model library has registered its short
+        # names (lazy to avoid a spec <-> models import cycle).
+        import repro.models  # noqa: F401
+        import repro.models.domains  # noqa: F401
+
+        registry = default_registry
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SpecError(f"malformed XML: {exc}") from exc
+    if root.tag != "computation":
+        raise SpecError(f"root element must be <computation>, got <{root.tag}>")
+    name = root.get("name", "computation")
+
+    graph_elem = root.find("graph")
+    if graph_elem is None:
+        raise SpecError("missing <graph> element")
+
+    graph = ComputationGraph(name=name)
+    behaviors: Dict[str, Any] = {}
+    vertex_params: Dict[str, Dict[str, Any]] = {}
+    vertex_classes: Dict[str, str] = {}
+    for velem in graph_elem.findall("vertex"):
+        vid = velem.get("id")
+        if not vid:
+            raise SpecError("<vertex> missing 'id'")
+        cls_name = velem.get("class")
+        if not cls_name:
+            raise SpecError(f"vertex {vid!r}: missing 'class'")
+        params = dict(
+            _parse_param(pe, f"vertex {vid!r}") for pe in velem.findall("param")
+        )
+        cls = registry.resolve(cls_name)
+        try:
+            behavior = cls(**params)
+        except TypeError as exc:
+            raise SpecError(
+                f"vertex {vid!r}: cannot construct {cls_name}(**{params!r}): {exc}"
+            ) from exc
+        graph.add_vertex(vid)
+        behaviors[vid] = behavior
+        vertex_params[vid] = params
+        vertex_classes[vid] = cls_name
+
+    for eelem in graph_elem.findall("edge"):
+        src, dst = eelem.get("from"), eelem.get("to")
+        if not src or not dst:
+            raise SpecError("<edge> requires 'from' and 'to'")
+        graph.add_edge(src, dst)
+
+    sim_elem = root.find("simulation")
+    timesteps = 0
+    interval = 1.0
+    seed: Optional[int] = None
+    if sim_elem is not None:
+        try:
+            timesteps = int(sim_elem.get("timesteps", "0"))
+            interval = float(sim_elem.get("interval", "1.0"))
+            raw_seed = sim_elem.get("seed")
+            seed = int(raw_seed) if raw_seed is not None else None
+        except ValueError as exc:
+            raise SpecError(f"malformed <simulation> attributes: {exc}") from exc
+    if timesteps < 0:
+        raise SpecError(f"timesteps must be >= 0, got {timesteps}")
+
+    # Derive per-source seeds from the global seed for sources that did not
+    # set one explicitly (the paper's "random seeds to use for the
+    # generation of random values by source vertices").
+    if seed is not None:
+        for vid, behavior in behaviors.items():
+            if isinstance(behavior, SourceVertex) and "seed" not in vertex_params[vid]:
+                derived = (seed * 1_000_003 + _stable_hash(vid)) % (2**31)
+                behavior.seed = derived
+                behavior.reset()
+
+    program = Program(graph, behaviors, name=name)
+    return ComputationSpec(
+        name=name,
+        program=program,
+        timesteps=timesteps,
+        interval=interval,
+        seed=seed,
+        vertex_params=vertex_params,
+        vertex_classes=vertex_classes,
+    )
+
+
+def _stable_hash(text: str) -> int:
+    """A process-independent string hash (``hash()`` is salted per run)."""
+    h = 2166136261
+    for ch in text.encode():
+        h = (h ^ ch) * 16777619 % (2**32)
+    return h
+
+
+def load_spec(
+    path: str | Path, registry: Optional[VertexRegistry] = None
+) -> ComputationSpec:
+    """Parse a specification from an XML file."""
+    p = Path(path)
+    if not p.exists():
+        raise SpecError(f"spec file not found: {p}")
+    return loads_spec(p.read_text(), registry=registry)
+
+
+def _param_type_of(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    return "json"
+
+
+def dumps_spec(spec: ComputationSpec) -> str:
+    """Serialise *spec* back to XML (round-trips with :func:`loads_spec`)."""
+    root = ET.Element("computation", name=spec.name)
+    graph_elem = ET.SubElement(root, "graph")
+    for vid in spec.program.graph.vertices():
+        velem = ET.SubElement(
+            graph_elem,
+            "vertex",
+            id=vid,
+            **{"class": spec.vertex_classes.get(vid, "")},
+        )
+        for pname, pvalue in spec.vertex_params.get(vid, {}).items():
+            ptype = _param_type_of(pvalue)
+            raw = (
+                json.dumps(pvalue)
+                if ptype == "json"
+                else ("true" if pvalue is True else "false")
+                if ptype == "bool"
+                else str(pvalue)
+            )
+            ET.SubElement(velem, "param", name=pname, value=raw, type=ptype)
+    for edge in spec.program.graph.edges():
+        ET.SubElement(graph_elem, "edge", attrib={"from": edge.src, "to": edge.dst})
+    sim_attrs = {"timesteps": str(spec.timesteps), "interval": str(spec.interval)}
+    if spec.seed is not None:
+        sim_attrs["seed"] = str(spec.seed)
+    ET.SubElement(root, "simulation", attrib=sim_attrs)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def save_spec(spec: ComputationSpec, path: str | Path) -> None:
+    """Write *spec* to an XML file."""
+    Path(path).write_text(dumps_spec(spec) + "\n")

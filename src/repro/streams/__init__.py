@@ -1,0 +1,35 @@
+"""Event-stream generation and synthetic workload builders.
+
+* :mod:`~repro.streams.generators` — seeded event-stream generators
+  (regular, Poisson-arrival, bursty), stream merging, and phase assembly
+  via :class:`~repro.events.PhaseAssembler`;
+* :mod:`~repro.streams.workloads` — ready-made (program, phases) bundles
+  for benchmarks: externally driven pipelines, fan-in correlators, and the
+  layered "grid" workloads the speedup experiments sweep.
+"""
+
+from .generators import (
+    regular_events,
+    poisson_arrival_events,
+    bursty_events,
+    merge_streams,
+    phase_signals,
+)
+from .workloads import (
+    pipeline_workload,
+    fanin_workload,
+    grid_workload,
+    fig1_workload,
+)
+
+__all__ = [
+    "regular_events",
+    "poisson_arrival_events",
+    "bursty_events",
+    "merge_streams",
+    "phase_signals",
+    "pipeline_workload",
+    "fanin_workload",
+    "grid_workload",
+    "fig1_workload",
+]

@@ -1,0 +1,119 @@
+"""Synthetic workload builders used by tests and benchmarks.
+
+Each builder returns ``(program, phase_inputs)``.  Three shapes cover the
+structural regimes of the evaluation:
+
+* :func:`pipeline_workload` — a deep chain: no intra-phase parallelism at
+  all, everything comes from pipelining (the regime where the barrier
+  baseline collapses to serial);
+* :func:`fanin_workload` — many independent sources correlated at one
+  sink: all intra-phase parallelism, almost no pipelining depth;
+* :func:`grid_workload` — a width x depth layered graph: both kinds, the
+  general case the speedup benchmarks sweep;
+* :func:`fig1_workload` — behaviour for the paper's Figure 1 graph, with
+  chatty sources so all 10 vertices execute every phase (the figure shows
+  a fully-occupied pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.program import Program
+from ..core.vertex import EMIT_NOTHING, FunctionVertex, Vertex, VertexContext
+from ..errors import WorkloadError
+from ..events import PhaseInput
+from ..graph.generators import chain_graph, fan_in_graph, fig1_graph, layered_graph
+from ..models.sensors import RandomWalkSensor
+from .generators import phase_signals
+
+__all__ = [
+    "pipeline_workload",
+    "fanin_workload",
+    "grid_workload",
+    "fig1_workload",
+    "sum_behaviors",
+]
+
+
+def _sum_vertex(preds: Tuple[str, ...]) -> FunctionVertex:
+    def f(ctx: VertexContext) -> object:
+        if not ctx.changed:
+            return EMIT_NOTHING
+        return sum(ctx.input(p, 0.0) for p in preds)
+
+    return FunctionVertex(f)
+
+
+def sum_behaviors(
+    graph,
+    seed: int = 0,
+    source_step: float = 1.0,
+    report_delta: float = 0.0,
+) -> Dict[str, Vertex]:
+    """Chatty random-walk sources + latched-sum inner vertices for any
+    graph — the standard load for structural benchmarks."""
+    behaviors: Dict[str, Vertex] = {}
+    for i, v in enumerate(graph.vertices()):
+        preds = tuple(graph.predecessors(v))
+        if not preds:
+            behaviors[v] = RandomWalkSensor(
+                seed=seed + i, step=source_step, report_delta=report_delta
+            )
+        else:
+            behaviors[v] = _sum_vertex(preds)
+    return behaviors
+
+
+def pipeline_workload(
+    depth: int = 8,
+    phases: int = 50,
+    seed: int = 0,
+) -> Tuple[Program, List[PhaseInput]]:
+    """A depth-*depth* chain with a chatty source."""
+    if depth < 2:
+        raise WorkloadError(f"depth must be >= 2, got {depth}")
+    g = chain_graph(depth)
+    program = Program(g, sum_behaviors(g, seed=seed), name=f"pipeline[{depth}]")
+    return program, phase_signals(phases)
+
+
+def fanin_workload(
+    fan: int = 8,
+    phases: int = 50,
+    seed: int = 0,
+) -> Tuple[Program, List[PhaseInput]]:
+    """*fan* chatty sources correlated at a single sink."""
+    if fan < 1:
+        raise WorkloadError(f"fan must be >= 1, got {fan}")
+    g = fan_in_graph(fan)
+    program = Program(g, sum_behaviors(g, seed=seed), name=f"fanin[{fan}]")
+    return program, phase_signals(phases)
+
+
+def grid_workload(
+    width: int = 4,
+    depth: int = 4,
+    phases: int = 50,
+    seed: int = 0,
+    density: float = 1.0,
+) -> Tuple[Program, List[PhaseInput]]:
+    """A width x depth layered graph with chatty sources — the general
+    speedup workload."""
+    if width < 1 or depth < 1:
+        raise WorkloadError("width and depth must be >= 1")
+    g = layered_graph([width] * depth, density=density, seed=seed)
+    program = Program(
+        g, sum_behaviors(g, seed=seed), name=f"grid[{width}x{depth}]"
+    )
+    return program, phase_signals(phases)
+
+
+def fig1_workload(
+    phases: int = 50, seed: int = 0
+) -> Tuple[Program, List[PhaseInput]]:
+    """The paper's Figure 1 graph under full load (every vertex executes
+    every phase, as in the figure's fully occupied pipeline)."""
+    g = fig1_graph()
+    program = Program(g, sum_behaviors(g, seed=seed), name="fig1")
+    return program, phase_signals(phases)

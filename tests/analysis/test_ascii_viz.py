@@ -1,0 +1,60 @@
+"""Tests for ASCII rendering of graphs and Figure-3 frames."""
+
+from repro.analysis.ascii_viz import GLYPHS, render_frames, render_graph, render_snapshot
+from repro.core.tracer import SetSnapshot
+from repro.graph.generators import fig3_graph
+from repro.graph.numbering import number_graph
+
+
+class TestRenderGraph:
+    def test_levels_and_edges_present(self):
+        g = fig3_graph()
+        text = render_graph(g)
+        assert "level 0: v1  v2" in text
+        assert "v1->v3" in text
+        assert "6 vertices" in text
+
+    def test_with_numbering_labels(self):
+        g = fig3_graph()
+        nb = number_graph(g)
+        text = render_graph(g, nb)
+        assert "1:v1" in text
+        assert "3:v3->5:v5" in text
+
+
+class TestRenderSnapshot:
+    def snapshot(self) -> SetSnapshot:
+        return SetSnapshot(
+            label="(b) (1,1) executed",
+            partial=frozenset({(3, 1)}),
+            full=frozenset({(2, 1)}),
+            ready=frozenset({(2, 1)}),
+        )
+
+    def test_glyphs(self):
+        text = render_snapshot(self.snapshot(), n=6, phases=[1])
+        assert "3:P" in text  # partial
+        assert "2:R" in text  # full+ready
+        assert "1:." in text  # no set
+
+    def test_full_without_ready_glyph(self):
+        snap = SetSnapshot(
+            label="x",
+            partial=frozenset(),
+            full=frozenset({(4, 1)}),
+            ready=frozenset(),
+        )
+        text = render_snapshot(snap, n=6, phases=[1])
+        assert "4:F" in text
+
+    def test_multiple_phases_rendered(self):
+        text = render_snapshot(self.snapshot(), n=6, phases=[1, 2])
+        assert "phase 1" in text and "phase 2" in text
+
+    def test_render_frames_includes_legend(self):
+        text = render_frames([self.snapshot()], n=6, phases=[1])
+        assert "legend" in text
+        assert "(b) (1,1) executed" in text
+
+    def test_glyph_table_complete(self):
+        assert set(GLYPHS) == {"none", "partial", "full", "ready"}

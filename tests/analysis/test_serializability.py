@@ -1,0 +1,90 @@
+"""Tests for the serializability checker."""
+
+import pytest
+
+from repro.analysis.serializability import (
+    SerializabilityReport,
+    assert_serializable,
+    check_serializable,
+)
+from repro.core.program import RunResult
+from repro.errors import SerializabilityError
+
+
+def result(**overrides) -> RunResult:
+    base = dict(
+        engine="x",
+        records={"sink": [(1, 10), (2, 20)]},
+        executions=[(1, 1), (2, 1), (1, 2), (2, 2)],
+        message_count=4,
+        phases_run=2,
+    )
+    base.update(overrides)
+    return RunResult(**base)
+
+
+class TestCheck:
+    def test_identical_results_equivalent(self):
+        report = check_serializable(result(), result(engine="y"))
+        assert report.equivalent
+        assert bool(report)
+        assert "serializable" in str(report)
+
+    def test_differing_records_detected(self):
+        bad = result(records={"sink": [(1, 10), (2, 99)]})
+        report = check_serializable(result(), bad)
+        assert not report.equivalent
+        assert any("records['sink'][1]" in d for d in report.differences)
+
+    def test_missing_record_vertex_detected(self):
+        bad = result(records={})
+        report = check_serializable(result(), bad)
+        assert not report.equivalent
+
+    def test_record_length_mismatch(self):
+        bad = result(records={"sink": [(1, 10)]})
+        report = check_serializable(result(), bad)
+        assert any("lengths differ" in d for d in report.differences)
+
+    def test_missing_execution_detected(self):
+        bad = result(executions=[(1, 1), (2, 1), (1, 2)])
+        report = check_serializable(result(), bad)
+        assert any("not executed by candidate" in d for d in report.differences)
+
+    def test_extra_execution_detected(self):
+        bad = result(executions=[(1, 1), (2, 1), (1, 2), (2, 2), (3, 1)])
+        report = check_serializable(result(), bad)
+        assert any("only by candidate" in d for d in report.differences)
+
+    def test_duplicate_execution_detected(self):
+        bad = result(executions=[(1, 1), (1, 1), (2, 1), (1, 2), (2, 2)])
+        report = check_serializable(result(), bad)
+        assert any("more than once" in d for d in report.differences)
+
+    def test_message_count_mismatch(self):
+        bad = result(message_count=7)
+        report = check_serializable(result(), bad)
+        assert any("message counts" in d for d in report.differences)
+
+    def test_phase_count_mismatch(self):
+        bad = result(phases_run=3)
+        report = check_serializable(result(), bad)
+        assert any("phase counts" in d for d in report.differences)
+
+    def test_difference_cap(self):
+        bad = result(
+            records={f"v{i}": [(1, i)] for i in range(20)},
+        )
+        ref = result(records={f"v{i}": [(1, i + 1)] for i in range(20)})
+        report = check_serializable(ref, bad, max_differences=3)
+        assert any("suppressed" in d for d in report.differences)
+
+
+class TestAssert:
+    def test_passes_silently(self):
+        assert_serializable(result(), result())
+
+    def test_raises_with_report(self):
+        bad = result(message_count=9)
+        with pytest.raises(SerializabilityError, match="DIVERGES"):
+            assert_serializable(result(), bad)

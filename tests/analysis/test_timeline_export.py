@@ -1,0 +1,144 @@
+"""Tests for the ASCII timeline renderer and JSON result export."""
+
+import pytest
+
+from repro.analysis.export import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.analysis.timeline import render_timeline, worker_utilization
+from repro.core.program import RunResult
+from repro.core.serial import SerialExecutor
+from repro.core.tracer import ExecutionTracer
+from repro.errors import ReproError
+from repro.simulator.costs import CostModel
+from repro.simulator.machine import SimulatedEngine
+from repro.streams.workloads import fig1_workload, grid_workload
+
+
+def traced_run():
+    prog, phases = fig1_workload(phases=12)
+    tracer = ExecutionTracer()
+    SimulatedEngine(
+        prog,
+        num_workers=4,
+        num_processors=4,
+        cost_model=CostModel(compute_cost=1.0, bookkeeping_cost=0.01),
+        tracer=tracer,
+    ).run(phases)
+    return tracer
+
+
+class TestTimeline:
+    def test_renders_lanes_and_digits(self):
+        tracer = traced_run()
+        text = render_timeline(tracer, width=60)
+        lines = text.splitlines()
+        assert lines[0].startswith("t=")
+        assert sum(1 for line in lines if line.lstrip().startswith("w")) == 4
+        # Phase digits appear in the lanes.
+        assert any(ch.isdigit() for line in lines[1:] for ch in line[5:])
+
+    def test_pipelining_visible(self):
+        """Some time column holds two different phase digits across lanes —
+        Figure 1's concurrent phases, in ASCII."""
+        tracer = traced_run()
+        text = render_timeline(tracer, width=72)
+        lanes = [line.split("|", 1)[1] for line in text.splitlines()[1:]]
+        overlap = False
+        for col in range(min(len(l) for l in lanes)):
+            digits = {l[col] for l in lanes if l[col] != " "}
+            if len(digits) > 1:
+                overlap = True
+                break
+        assert overlap
+
+    def test_empty_trace(self):
+        assert "no execution intervals" in render_timeline(ExecutionTracer())
+
+    def test_max_workers_cap(self):
+        tracer = traced_run()
+        text = render_timeline(tracer, max_workers=2)
+        assert "more workers" in text
+
+    def test_worker_utilization(self):
+        tracer = traced_run()
+        util = worker_utilization(tracer)
+        assert set(util) == {0, 1, 2, 3}
+        assert all(0.0 < u <= 1.0 for u in util.values())
+
+
+class TestExport:
+    def make_result(self) -> RunResult:
+        prog, phases = grid_workload(3, 3, phases=8, seed=3)
+        return SerialExecutor(prog).run(phases)
+
+    def test_round_trip_dict(self):
+        res = self.make_result()
+        back = result_from_dict(result_to_dict(res))
+        assert back.records == res.records
+        assert back.executions == res.executions
+        assert back.message_count == res.message_count
+        assert back.engine == res.engine
+
+    def test_round_trip_file(self, tmp_path):
+        res = self.make_result()
+        path = tmp_path / "run.json"
+        save_result(res, path)
+        back = load_result(path)
+        assert back.records == res.records
+        assert back.wall_time == res.wall_time
+
+    def test_tuple_payloads_round_trip(self):
+        res = RunResult(
+            engine="x",
+            records={"sink": [(1, ("anomaly", 3, 2.5)), (2, {"k": (1, 2)})]},
+            executions=[(1, 1)],
+            message_count=1,
+            phases_run=2,
+        )
+        back = result_from_dict(result_to_dict(res))
+        assert back.records["sink"][0][1] == ("anomaly", 3, 2.5)
+        assert back.records["sink"][1][1] == {"k": (1, 2)}
+
+    def test_unencodable_record_rejected(self):
+        res = RunResult(
+            engine="x",
+            records={"sink": [(1, object())]},
+            executions=[],
+            message_count=0,
+            phases_run=1,
+        )
+        with pytest.raises(ReproError, match="cannot JSON-encode"):
+            result_to_dict(res)
+
+    def test_unencodable_stats_stringified(self):
+        res = RunResult(
+            engine="x",
+            records={},
+            executions=[],
+            message_count=0,
+            phases_run=0,
+            stats={"weird": object()},
+        )
+        data = result_to_dict(res)
+        assert isinstance(data["stats"]["weird"], str)
+
+    def test_bad_format_version(self):
+        res = self.make_result()
+        data = result_to_dict(res)
+        data["format"] = 99
+        with pytest.raises(ReproError, match="format"):
+            result_from_dict(data)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_result(tmp_path / "nope.json")
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="malformed"):
+            load_result(path)

@@ -1,0 +1,67 @@
+"""Tests for the phase-barrier baselines (no pipelining)."""
+
+import pytest
+
+from repro.analysis.serializability import assert_serializable
+from repro.baselines.barrier import (
+    barrier_parallel_engine,
+    barrier_simulated_engine,
+)
+from repro.core.serial import SerialExecutor
+from repro.core.tracer import ExecutionTracer, max_concurrent_phases
+from repro.simulator.costs import CostModel
+from repro.simulator.machine import SimulatedEngine
+from repro.streams.workloads import grid_workload, pipeline_workload
+
+
+class TestThreadedBarrier:
+    def test_matches_serial(self):
+        prog, phases = grid_workload(3, 3, phases=20, seed=12)
+        serial = SerialExecutor(prog).run(phases)
+        res = barrier_parallel_engine(prog, num_threads=3).run(phases)
+        assert_serializable(serial, res)
+
+
+class TestSimulatedBarrier:
+    def test_matches_serial(self):
+        prog, phases = grid_workload(3, 3, phases=15, seed=13)
+        serial = SerialExecutor(prog).run(phases)
+        res = barrier_simulated_engine(prog, num_workers=3).run(phases)
+        assert_serializable(serial, res)
+
+    def test_barrier_never_overlaps_phases(self):
+        prog, phases = pipeline_workload(depth=5, phases=10)
+        tracer = ExecutionTracer()
+        cm = CostModel(compute_cost=1.0)
+        barrier_simulated_engine(
+            prog, num_workers=4, num_processors=4, cost_model=cm, tracer=tracer
+        ).run(phases)
+        assert max_concurrent_phases(tracer.intervals()) == 1
+
+    def test_pipelined_beats_barrier_on_deep_graphs(self):
+        """The Section 2 claim: pipelining is 'more efficient' than the
+        phase-barrier solution.  On a deep chain with ample workers the
+        gap approaches the depth."""
+        prog, phases = pipeline_workload(depth=8, phases=40)
+        cm = CostModel(compute_cost=1.0, bookkeeping_cost=0.01)
+        pipe = SimulatedEngine(
+            prog, num_workers=8, num_processors=8, cost_model=cm
+        ).run(phases)
+        barr = barrier_simulated_engine(
+            prog, num_workers=8, num_processors=8, cost_model=cm
+        ).run(phases)
+        assert pipe.records == barr.records
+        assert barr.wall_time / pipe.wall_time > 3.0
+
+    def test_barrier_no_worse_on_wide_shallow_graphs(self):
+        """On a wide, shallow graph a barrier loses little: intra-phase
+        parallelism already fills the machine."""
+        prog, phases = grid_workload(8, 2, phases=20, seed=14)
+        cm = CostModel(compute_cost=1.0, bookkeeping_cost=0.01)
+        pipe = SimulatedEngine(
+            prog, num_workers=4, num_processors=4, cost_model=cm
+        ).run(phases)
+        barr = barrier_simulated_engine(
+            prog, num_workers=4, num_processors=4, cost_model=cm
+        ).run(phases)
+        assert barr.wall_time / pipe.wall_time < 2.0

@@ -1,0 +1,148 @@
+"""Tests for the LazyMinHeap pair-set structure, including a stateful
+property test against a plain-set reference model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pairsets import LazyMinHeap
+
+
+class TestBasics:
+    def test_add_and_min(self):
+        h = LazyMinHeap()
+        assert h.add(5)
+        assert h.add(2)
+        assert h.min() == 2
+
+    def test_add_duplicate_returns_false(self):
+        h = LazyMinHeap()
+        assert h.add(1)
+        assert not h.add(1)
+        assert len(h) == 1
+
+    def test_discard(self):
+        h = LazyMinHeap()
+        h.add(3)
+        assert h.discard(3)
+        assert not h.discard(3)
+        assert len(h) == 0
+
+    def test_min_empty_raises(self):
+        with pytest.raises(IndexError):
+            LazyMinHeap().min()
+
+    def test_min_or(self):
+        h = LazyMinHeap()
+        assert h.min_or(99) == 99
+        h.add(4)
+        assert h.min_or(99) == 4
+
+    def test_min_skips_stale_entries(self):
+        h = LazyMinHeap()
+        for v in (1, 2, 3):
+            h.add(v)
+        h.discard(1)
+        h.discard(2)
+        assert h.min() == 3
+
+    def test_readd_after_discard(self):
+        h = LazyMinHeap()
+        h.add(7)
+        h.discard(7)
+        h.add(7)
+        assert h.min() == 7
+        assert len(h) == 1
+
+    def test_contains_len_bool(self):
+        h = LazyMinHeap()
+        assert not h
+        h.add(2)
+        assert 2 in h
+        assert 3 not in h
+        assert len(h) == 1
+        assert h
+
+    def test_iter_sorted(self):
+        h = LazyMinHeap()
+        for v in (5, 1, 3):
+            h.add(v)
+        assert list(h) == [1, 3, 5]
+
+    def test_repr(self):
+        h = LazyMinHeap()
+        h.add(2)
+        assert "2" in repr(h)
+
+
+class TestPopLeq:
+    def test_pop_prefix(self):
+        h = LazyMinHeap()
+        for v in (1, 4, 2, 9):
+            h.add(v)
+        assert h.pop_leq(4) == [1, 2, 4]
+        assert list(h) == [9]
+
+    def test_pop_nothing(self):
+        h = LazyMinHeap()
+        h.add(10)
+        assert h.pop_leq(5) == []
+        assert 10 in h
+
+    def test_pop_everything(self):
+        h = LazyMinHeap()
+        for v in range(5):
+            h.add(v)
+        assert h.pop_leq(100) == [0, 1, 2, 3, 4]
+        assert not h
+
+    def test_pop_skips_stale(self):
+        h = LazyMinHeap()
+        for v in (1, 2, 3):
+            h.add(v)
+        h.discard(2)
+        assert h.pop_leq(3) == [1, 3]
+
+    def test_pop_empty(self):
+        assert LazyMinHeap().pop_leq(10) == []
+
+
+@st.composite
+def operations(draw):
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("add"), st.integers(0, 30)),
+                st.tuples(st.just("discard"), st.integers(0, 30)),
+                st.tuples(st.just("pop_leq"), st.integers(0, 30)),
+                st.tuples(st.just("min"), st.just(0)),
+            ),
+            max_size=200,
+        )
+    )
+
+
+class TestModelBased:
+    @given(operations())
+    @settings(max_examples=100, deadline=None)
+    def test_against_reference_set(self, ops):
+        heap = LazyMinHeap()
+        model: set[int] = set()
+        for op, arg in ops:
+            if op == "add":
+                assert heap.add(arg) == (arg not in model)
+                model.add(arg)
+            elif op == "discard":
+                assert heap.discard(arg) == (arg in model)
+                model.discard(arg)
+            elif op == "pop_leq":
+                expected = sorted(v for v in model if v <= arg)
+                assert heap.pop_leq(arg) == expected
+                model -= set(expected)
+            elif op == "min":
+                if model:
+                    assert heap.min() == min(model)
+                else:
+                    with pytest.raises(IndexError):
+                        heap.min()
+            assert len(heap) == len(model)
+            assert set(heap) == model

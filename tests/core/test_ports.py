@@ -1,0 +1,189 @@
+"""Tests for edge channels and the Δ latching semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ports import NO_VALUE, EdgeChannel, EdgeStore
+from repro.errors import SchedulerError
+from repro.graph.generators import fig3_graph
+from repro.graph.numbering import number_graph
+
+
+class TestEdgeChannel:
+    def test_empty_reads_no_value(self):
+        ch = EdgeChannel()
+        value, changed = ch.read_at(5)
+        assert value is NO_VALUE
+        assert not changed
+
+    def test_read_exact_phase_is_changed(self):
+        ch = EdgeChannel()
+        ch.send(3, "x")
+        value, changed = ch.read_at(3)
+        assert value == "x" and changed
+
+    def test_read_later_phase_latches(self):
+        ch = EdgeChannel()
+        ch.send(3, "x")
+        value, changed = ch.read_at(7)
+        assert value == "x" and not changed
+
+    def test_read_earlier_phase_sees_nothing(self):
+        ch = EdgeChannel()
+        ch.send(3, "x")
+        value, changed = ch.read_at(2)
+        assert value is NO_VALUE and not changed
+
+    def test_pipelined_sender_history(self):
+        """A sender several phases ahead must not clobber values the
+        consumer has yet to read — the pipelining subtlety."""
+        ch = EdgeChannel()
+        ch.send(1, "a")
+        ch.send(2, "b")
+        ch.send(5, "c")
+        assert ch.read_at(1) == ("a", True)
+        assert ch.read_at(2) == ("b", True)
+        assert ch.read_at(3) == ("b", False)
+        assert ch.read_at(4) == ("b", False)
+        assert ch.read_at(5) == ("c", True)
+
+    def test_send_must_be_increasing(self):
+        ch = EdgeChannel()
+        ch.send(2, "x")
+        with pytest.raises(SchedulerError):
+            ch.send(2, "y")
+        with pytest.raises(SchedulerError):
+            ch.send(1, "z")
+
+    def test_send_after_consume_rejected(self):
+        ch = EdgeChannel()
+        ch.send(1, "a")
+        ch.consume_upto(3)
+        with pytest.raises(SchedulerError):
+            ch.send(2, "late")
+
+    def test_consume_retains_latched_value(self):
+        ch = EdgeChannel()
+        ch.send(1, "a")
+        ch.send(2, "b")
+        ch.consume_upto(2)
+        # "b" is the latched previous value for phase 3.
+        assert ch.read_at(3) == ("b", False)
+        assert ch.pending_entries == 1
+
+    def test_consume_gc_drops_superseded(self):
+        ch = EdgeChannel()
+        for p in range(1, 6):
+            ch.send(p, p)
+        ch.consume_upto(4)
+        assert ch.pending_entries == 2  # the phase-4 latch + phase-5 entry
+        assert ch.read_at(5) == (5, True)
+
+    def test_consume_is_monotone(self):
+        ch = EdgeChannel()
+        ch.send(1, "a")
+        ch.consume_upto(3)
+        ch.consume_upto(2)  # no-op, must not resurrect anything
+        assert ch.read_at(4) == ("a", False)
+
+    def test_none_is_a_valid_message_value(self):
+        ch = EdgeChannel()
+        ch.send(1, None)
+        value, changed = ch.read_at(1)
+        assert value is None and changed
+
+    @given(st.lists(st.integers(1, 30), unique=True, min_size=1, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_property_read_returns_latest_leq(self, phases):
+        phases.sort()
+        ch = EdgeChannel()
+        for p in phases:
+            ch.send(p, f"val{p}")
+        for q in range(0, 32):
+            earlier = [p for p in phases if p <= q]
+            value, changed = ch.read_at(q)
+            if earlier:
+                assert value == f"val{earlier[-1]}"
+                assert changed == (earlier[-1] == q)
+            else:
+                assert value is NO_VALUE and not changed
+
+
+class TestEdgeStore:
+    def make(self) -> EdgeStore:
+        return EdgeStore(number_graph(fig3_graph()))
+
+    def test_adjacency_tables(self):
+        es = self.make()
+        assert es.preds[3] == [1, 2]
+        assert es.succs[4] == [5, 6]
+        assert es.preds[1] == []
+
+    def test_deliver_and_gather(self):
+        es = self.make()
+        es.deliver(1, 1, {3: "from1"})
+        es.deliver(2, 1, {3: "from2", 4: "x"})
+        values, changed = es.gather_inputs(3, 1)
+        assert values == {1: "from1", 2: "from2"}
+        assert set(changed) == {1, 2}
+
+    def test_gather_latched_from_earlier_phase(self):
+        es = self.make()
+        es.deliver(1, 1, {3: "old"})
+        values, changed = es.gather_inputs(3, 2)
+        assert values == {1: "old"}
+        assert changed == []
+
+    def test_unknown_edge_rejected(self):
+        es = self.make()
+        with pytest.raises(SchedulerError):
+            es.deliver(1, 1, {6: "no such edge"})
+
+    def test_consume_and_memory(self):
+        es = self.make()
+        for p in range(1, 5):
+            es.deliver(1, p, {3: p})
+        before = es.total_pending_entries()
+        es.consume(3, 4)
+        assert es.total_pending_entries() < before
+        # Latched value still readable afterwards.
+        values, _ = es.gather_inputs(3, 9)
+        assert values == {1: 4}
+
+
+class TestEdgeStoreMemoryCounters:
+    def test_live_and_peak_entries(self):
+        es = EdgeStore(number_graph(fig3_graph()))
+        assert es.live_entries == 0 and es.peak_entries == 0
+        es.deliver(1, 1, {3: "a"})
+        es.deliver(2, 1, {3: "b", 4: "c"})
+        assert es.live_entries == 3
+        assert es.peak_entries == 3
+        es.consume(3, 1)  # latched entries retained, nothing superseded yet
+        assert es.live_entries == 3
+        es.deliver(1, 2, {3: "a2"})
+        es.deliver(2, 2, {3: "b2", 4: "c2"})
+        assert es.peak_entries == 6
+        es.consume(3, 2)  # drops the superseded phase-1 entries on 1->3, 2->3
+        assert es.live_entries == 4
+        assert es.peak_entries == 6
+
+    def test_consume_upto_returns_dropped_count(self):
+        ch = EdgeChannel()
+        for p in range(1, 6):
+            ch.send(p, p)
+        assert ch.consume_upto(4) == 3  # keeps the phase-4 latch + phase-5
+        assert ch.consume_upto(4) == 0  # idempotent
+
+    def test_engine_reports_peak(self):
+        from repro.core.program import Program
+        from repro.runtime.engine import ParallelEngine
+        from repro.streams.generators import phase_signals
+        from repro.streams.workloads import sum_behaviors
+        from repro.graph.generators import chain_graph
+
+        g = chain_graph(3)
+        prog = Program(g, sum_behaviors(g, seed=1))
+        res = ParallelEngine(prog, num_threads=2).run(phase_signals(20))
+        assert res.stats["edge_entries_peak"] >= 1
+        assert res.stats["edge_entries_final"] <= res.stats["edge_entries_peak"]

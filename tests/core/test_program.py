@@ -1,0 +1,177 @@
+"""Tests for Program, PairRuntime and RunResult."""
+
+import pytest
+
+from repro.core.program import PairRuntime, Program, RunResult
+from repro.core.vertex import EMIT_NOTHING, FunctionVertex, PassthroughSource
+from repro.errors import GraphError, SchedulerError, VertexExecutionError
+from repro.events import PhaseInput
+from repro.graph.generators import chain_graph, fig3_graph
+from repro.graph.model import ComputationGraph
+from repro.graph.numbering import number_graph
+
+from tests.conftest import ScriptedSource, forward_vertex, signals
+
+
+def tiny_program() -> Program:
+    g = chain_graph(2)
+    return Program(
+        g, {"v1": PassthroughSource(), "v2": forward_vertex()}
+    )
+
+
+class TestProgram:
+    def test_behavior_coverage_enforced(self):
+        g = chain_graph(2)
+        with pytest.raises(GraphError, match="missing"):
+            Program(g, {"v1": PassthroughSource()})
+        with pytest.raises(GraphError, match="extra"):
+            Program(
+                g,
+                {
+                    "v1": PassthroughSource(),
+                    "v2": forward_vertex(),
+                    "ghost": forward_vertex(),
+                },
+            )
+
+    def test_non_vertex_behavior_rejected(self):
+        g = chain_graph(1)
+        with pytest.raises(GraphError, match="Vertex"):
+            Program(g, {"v1": lambda ctx: None})  # type: ignore[dict-item]
+
+    def test_numbering_for_wrong_graph_rejected(self):
+        g1, g2 = chain_graph(2), chain_graph(2)
+        nb2 = number_graph(g2)
+        with pytest.raises(GraphError, match="different graph"):
+            Program(
+                g1,
+                {"v1": PassthroughSource(), "v2": forward_vertex()},
+                numbering=nb2,
+            )
+
+    def test_behavior_by_index(self):
+        p = tiny_program()
+        assert p.behavior(1) is p.behaviors["v1"]
+        assert p.behavior(2) is p.behaviors["v2"]
+
+    def test_reset_propagates(self):
+        p = tiny_program()
+        src = p.behaviors["v1"]
+        first = src.rng.random()
+        p.reset()
+        assert src.rng.random() == first
+
+    def test_source_sink_names(self):
+        p = tiny_program()
+        assert p.source_names() == ["v1"]
+        assert p.sink_names() == ["v2"]
+
+    def test_invalid_graph_rejected(self):
+        g = ComputationGraph()
+        g.add_vertices(["a", "b"])
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(Exception):
+            Program(g, {"a": forward_vertex(), "b": forward_vertex()})
+
+
+class TestPairRuntime:
+    def test_phase_inputs_must_be_sequential(self):
+        p = tiny_program()
+        with pytest.raises(SchedulerError, match="sequentially"):
+            PairRuntime(p, [PhaseInput(2, 0.0)])
+
+    def test_execute_delivers_and_counts(self):
+        p = tiny_program()
+        rt = PairRuntime(p, [PhaseInput(1, 0.0, {"v1": 10})])
+        targets = rt.execute(1, 1)
+        assert targets == [2]
+        assert rt.message_count == 1
+        targets = rt.execute(2, 1)
+        assert targets == []  # v2 is a sink; its value is recorded
+        assert rt.records["v2"] == [(1, 10)]
+        assert rt.execution_count == 2
+
+    def test_source_phase_input_delivery(self):
+        p = tiny_program()
+        rt = PairRuntime(p, [PhaseInput(1, 0.0, {"v1": 7}), PhaseInput(2, 1.0)])
+        ctx = rt.prepare(1, 1)
+        assert ctx.phase_input == 7
+        ctx2 = rt.prepare(1, 2)
+        assert ctx2.phase_input is None  # bare signal
+
+    def test_vertex_exception_wrapped(self):
+        g = chain_graph(1)
+
+        def boom(ctx):
+            raise ValueError("kaboom")
+
+        p = Program(g, {"v1": FunctionVertex(boom)})
+
+        class _AlwaysRun(PassthroughSource):
+            pass
+
+        rt = PairRuntime(p, [PhaseInput(1, 0.0)])
+        ctx = rt.prepare(1, 1)
+        with pytest.raises(VertexExecutionError, match="kaboom") as ei:
+            rt.compute(1, ctx)
+        assert ei.value.vertex == "v1"
+        assert ei.value.phase == 1
+        assert isinstance(ei.value.__cause__, ValueError)
+
+    def test_changed_inputs_across_phases(self):
+        g = fig3_graph()
+        behaviors = {
+            "v1": ScriptedSource({1: "a1"}),
+            "v2": ScriptedSource({1: "b1", 2: "b2"}),
+            "v3": forward_vertex(),
+            "v4": forward_vertex(),
+            "v5": forward_vertex(),
+            "v6": forward_vertex(),
+        }
+        # v3's forward_vertex would fail on two simultaneous changes, so
+        # use a recording function instead.
+        seen = []
+
+        def record_changed(ctx):
+            seen.append((ctx.phase, dict(sorted(ctx.changed_values().items()))))
+            return EMIT_NOTHING
+
+        behaviors["v3"] = FunctionVertex(record_changed)
+        p = Program(g, behaviors)
+        rt = PairRuntime(p, signals(2))
+        rt.execute(1, 1)
+        rt.execute(2, 1)
+        rt.execute(3, 1)
+        rt.execute(1, 2)
+        rt.execute(2, 2)
+        rt.execute(3, 2)
+        assert seen == [
+            (1, {"v1": "a1", "v2": "b1"}),
+            (2, {"v2": "b2"}),  # v1 silent in phase 2: latched, not changed
+        ]
+
+    def test_build_result(self):
+        p = tiny_program()
+        rt = PairRuntime(p, [PhaseInput(1, 0.0, {"v1": 1})])
+        rt.execute(1, 1)
+        rt.execute(2, 1)
+        res = rt.build_result("test-engine", [(1, 1), (2, 1)], 0.5, {"k": 1})
+        assert res.engine == "test-engine"
+        assert res.execution_count == 2
+        assert res.phases_run == 1
+        assert res.stats == {"k": 1}
+        assert res.records_for("v2") == [(1, 1)]
+        assert res.records_for("ghost") == []
+
+
+class TestRunResult:
+    def test_executions_as_set(self):
+        r = RunResult("e", {}, [(1, 1), (2, 1), (1, 1)], 0, 1)
+        assert r.executions_as_set() == {(1, 1), (2, 1)}
+        assert r.execution_count == 3
+
+    def test_repr(self):
+        r = RunResult("e", {}, [], 0, 0)
+        assert "engine='e'" in repr(r)

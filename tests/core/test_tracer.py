@@ -1,0 +1,130 @@
+"""Tests for the execution tracer and its concurrency profiles."""
+
+import pytest
+
+from repro.core.invariants import InvariantChecker
+from repro.core.state import SchedulerState
+from repro.core.tracer import (
+    ExecutionTracer,
+    SetSnapshot,
+    concurrent_phase_profile,
+    max_concurrent_pairs,
+    max_concurrent_phases,
+)
+from repro.graph.generators import fig3_graph
+from repro.graph.numbering import number_graph
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestEventRecording:
+    def test_events_in_order(self):
+        clock = FakeClock()
+        tr = ExecutionTracer(clock=clock)
+        tr.phase_started(1)
+        clock.t = 1.0
+        tr.enqueued((1, 1))
+        clock.t = 2.0
+        tr.execute_begin((1, 1), worker=0)
+        clock.t = 3.0
+        tr.execute_end((1, 1), worker=0)
+        kinds = [e.kind for e in tr.events]
+        assert kinds == ["phase_started", "enqueued", "execute_begin", "execute_end"]
+        assert tr.executed_pairs() == [(1, 1)]
+
+    def test_set_clock_rebinds(self):
+        tr = ExecutionTracer()
+        clock = FakeClock()
+        clock.t = 42.0
+        tr.set_clock(clock)
+        tr.phase_started(1)
+        assert tr.events[0].time == 42.0
+
+    def test_intervals_matching(self):
+        clock = FakeClock()
+        tr = ExecutionTracer(clock=clock)
+        tr.execute_begin((1, 1))
+        clock.t = 2.0
+        tr.execute_begin((2, 1))
+        clock.t = 3.0
+        tr.execute_end((1, 1))
+        clock.t = 5.0
+        tr.execute_end((2, 1))
+        assert tr.intervals() == [(0.0, 3.0, (1, 1)), (2.0, 5.0, (2, 1))]
+
+
+class TestConcurrencyProfiles:
+    def test_max_concurrent_pairs(self):
+        intervals = [
+            (0.0, 2.0, (1, 1)),
+            (1.0, 3.0, (2, 1)),
+            (2.5, 4.0, (3, 1)),
+        ]
+        assert max_concurrent_pairs(intervals) == 2
+
+    def test_touching_intervals_do_not_overlap(self):
+        intervals = [(0.0, 1.0, (1, 1)), (1.0, 2.0, (2, 1))]
+        assert max_concurrent_pairs(intervals) == 1
+
+    def test_distinct_phase_counting(self):
+        # Two pairs of the SAME phase running together count as one phase.
+        intervals = [
+            (0.0, 2.0, (1, 1)),
+            (0.0, 2.0, (2, 1)),
+            (1.0, 3.0, (3, 2)),
+        ]
+        assert max_concurrent_phases(intervals) == 2
+        assert max_concurrent_pairs(intervals) == 3
+
+    def test_profile_steps(self):
+        intervals = [(0.0, 2.0, (1, 1)), (1.0, 3.0, (2, 2))]
+        profile = concurrent_phase_profile(intervals)
+        # After t=1 both phases are active; after t=2 only phase 2.
+        assert (1.0, 2) in profile
+        assert profile[-1] == (3.0, 0)
+
+    def test_empty(self):
+        assert max_concurrent_phases([]) == 0
+        assert max_concurrent_pairs([]) == 0
+
+
+class TestSnapshots:
+    def test_capture_sets(self):
+        nb = number_graph(fig3_graph())
+        st = SchedulerState(nb, checker=InvariantChecker())
+        tr = ExecutionTracer(clock=FakeClock())
+        st.start_phase()
+        snap = tr.capture_sets(st, "(a) phase 1 initiated")
+        st.complete_execution(1, 1, [3])
+        snap_b = tr.capture_sets(st, "(b) (1,1) executed")
+        assert snap.label.startswith("(a)")
+        assert snap.ready == {(1, 1), (2, 1)}
+        assert snap_b.partial == {(3, 1)}
+        assert len(tr.snapshots) == 2
+
+    def test_membership_glyph_classes(self):
+        snap = SetSnapshot(
+            label="x",
+            partial=frozenset({(3, 1)}),
+            full=frozenset({(2, 1), (4, 1)}),
+            ready=frozenset({(2, 1)}),
+        )
+        assert snap.membership((3, 1)) == "partial"
+        assert snap.membership((4, 1)) == "full"
+        assert snap.membership((2, 1)) == "ready"
+        assert snap.membership((5, 1)) == "none"
+
+    def test_snapshots_are_immutable_copies(self):
+        nb = number_graph(fig3_graph())
+        st = SchedulerState(nb)
+        tr = ExecutionTracer()
+        st.start_phase()
+        snap = tr.capture_sets(st, "before")
+        st.complete_execution(1, 1, [])
+        assert (1, 1) in snap.ready  # unchanged by later mutation

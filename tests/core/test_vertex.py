@@ -1,0 +1,172 @@
+"""Tests for the vertex behaviour API and context."""
+
+import pytest
+
+from repro.core.vertex import (
+    EMIT_NOTHING,
+    FunctionVertex,
+    PassthroughSource,
+    SourceVertex,
+    StatefulFunctionVertex,
+    Vertex,
+    VertexContext,
+)
+from repro.errors import VertexExecutionError
+
+
+def make_ctx(
+    *,
+    name="v",
+    phase=1,
+    inputs=None,
+    changed=None,
+    successors=("a", "b"),
+    phase_input=None,
+) -> VertexContext:
+    return VertexContext(
+        name=name,
+        phase=phase,
+        inputs=inputs or {},
+        changed=set(changed or ()),
+        successors=list(successors),
+        phase_input=phase_input,
+    )
+
+
+class TestVertexContext:
+    def test_input_lookup(self):
+        ctx = make_ctx(inputs={"x": 5})
+        assert ctx.input("x") == 5
+        assert ctx.input("y") is None
+        assert ctx.input("y", default=0) == 0
+
+    def test_changed_queries(self):
+        ctx = make_ctx(inputs={"x": 5, "y": 6}, changed={"x"})
+        assert ctx.input_changed("x")
+        assert not ctx.input_changed("y")
+        assert ctx.changed_values() == {"x": 5}
+
+    def test_emit_broadcasts(self):
+        ctx = make_ctx()
+        ctx.emit(42)
+        assert ctx.outputs == {"a": 42, "b": 42}
+
+    def test_emit_to_targets_one(self):
+        ctx = make_ctx()
+        ctx.emit_to("a", 1)
+        assert ctx.outputs == {"a": 1}
+
+    def test_emit_to_unknown_successor(self):
+        ctx = make_ctx()
+        with pytest.raises(VertexExecutionError):
+            ctx.emit_to("ghost", 1)
+
+    def test_emit_on_sink_records(self):
+        ctx = make_ctx(successors=())
+        assert ctx.is_sink
+        ctx.emit("alert")
+        assert ctx.records == ["alert"]
+        assert ctx.outputs == {}
+
+    def test_record(self):
+        ctx = make_ctx()
+        ctx.record("x")
+        ctx.record("y")
+        assert ctx.records == ["x", "y"]
+
+    def test_finish_return_shorthand(self):
+        ctx = make_ctx()
+        ctx.finish(7)
+        assert ctx.outputs == {"a": 7, "b": 7}
+
+    def test_finish_none_emits_nothing(self):
+        ctx = make_ctx()
+        ctx.finish(None)
+        assert ctx.outputs == {}
+
+    def test_finish_emit_nothing_sentinel(self):
+        ctx = make_ctx()
+        ctx.finish(EMIT_NOTHING)
+        assert ctx.outputs == {}
+
+    def test_finish_respects_explicit_emit(self):
+        """A return value is ignored when the vertex already emitted
+        explicitly (no double sends)."""
+        ctx = make_ctx()
+        ctx.emit_to("a", 1)
+        ctx.finish(99)
+        assert ctx.outputs == {"a": 1}
+
+    def test_false_and_zero_are_emittable(self):
+        ctx = make_ctx()
+        ctx.finish(0)
+        assert ctx.outputs == {"a": 0, "b": 0}
+        ctx2 = make_ctx()
+        ctx2.finish(False)
+        assert ctx2.outputs == {"a": False, "b": False}
+
+
+class TestVertexClasses:
+    def test_base_vertex_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Vertex().on_execute(make_ctx())
+
+    def test_function_vertex(self):
+        fv = FunctionVertex(lambda ctx: ctx.input("x", 0) * 2)
+        assert fv.on_execute(make_ctx(inputs={"x": 4})) == 8
+
+    def test_function_vertex_repr(self):
+        def my_fn(ctx):
+            return None
+
+        assert "my_fn" in repr(FunctionVertex(my_fn))
+
+    def test_stateful_vertex_accumulates(self):
+        def acc(state, ctx):
+            state["sum"] += ctx.input("x", 0)
+            return state["sum"]
+
+        sv = StatefulFunctionVertex(acc, {"sum": 0})
+        assert sv.on_execute(make_ctx(inputs={"x": 3})) == 3
+        assert sv.on_execute(make_ctx(inputs={"x": 4})) == 7
+
+    def test_stateful_vertex_reset(self):
+        sv = StatefulFunctionVertex(lambda s, c: s, {"k": 1})
+        sv.state["k"] = 99
+        sv.reset()
+        assert sv.state == {"k": 1}
+
+    def test_stateful_reset_is_deep_enough(self):
+        """reset() must not alias the initial mapping."""
+        sv = StatefulFunctionVertex(lambda s, c: None, {"k": 1})
+        sv.state["k"] = 2
+        sv.reset()
+        sv.state["k"] = 3
+        sv.reset()
+        assert sv.state["k"] == 1
+
+    def test_source_rng_deterministic(self):
+        s1 = PassthroughSource(seed=5)
+        s2 = PassthroughSource(seed=5)
+        assert [s1.rng.random() for _ in range(3)] == [
+            s2.rng.random() for _ in range(3)
+        ]
+
+    def test_source_reset_reseeds(self):
+        s = PassthroughSource(seed=5)
+        first = [s.rng.random() for _ in range(3)]
+        s.reset()
+        assert [s.rng.random() for _ in range(3)] == first
+
+    def test_source_base_abstract(self):
+        with pytest.raises(NotImplementedError):
+            SourceVertex().on_execute(make_ctx())
+
+    def test_passthrough_source(self):
+        ps = PassthroughSource()
+        assert ps.on_execute(make_ctx(phase_input=42)) == 42
+        assert ps.on_execute(make_ctx(phase_input=None)) is EMIT_NOTHING
+
+    def test_emit_nothing_singleton_and_repr(self):
+        assert EMIT_NOTHING is type(EMIT_NOTHING)()
+        assert repr(EMIT_NOTHING) == "EMIT_NOTHING"

@@ -1,0 +1,84 @@
+"""Tests for structural graph analysis."""
+
+import pytest
+
+from repro.graph.analysis import (
+    critical_path,
+    depth,
+    level_histogram,
+    levels,
+    max_pipelining_depth,
+    width,
+)
+from repro.graph.generators import (
+    chain_graph,
+    diamond_graph,
+    fan_in_graph,
+    fig1_graph,
+    layered_graph,
+)
+from repro.graph.model import ComputationGraph
+
+
+class TestLevels:
+    def test_chain_levels(self):
+        lv = levels(chain_graph(4))
+        assert lv == {"v1": 0, "v2": 1, "v3": 2, "v4": 3}
+
+    def test_longest_path_semantics(self):
+        # a -> b -> d and a -> d: d's level is 2 (longest path), not 1.
+        g = ComputationGraph.from_edges([("a", "b"), ("b", "d"), ("a", "d")])
+        assert levels(g)["d"] == 2
+
+    def test_fan_in_levels(self):
+        lv = levels(fan_in_graph(3))
+        assert lv["sink"] == 1
+        assert all(lv[f"src{i}"] == 0 for i in (1, 2, 3))
+
+
+class TestDepthWidth:
+    def test_depth(self):
+        assert depth(chain_graph(6)) == 6
+        assert depth(fan_in_graph(5)) == 2
+        assert depth(fig1_graph()) == 5
+
+    def test_width(self):
+        assert width(chain_graph(6)) == 1
+        assert width(fan_in_graph(5)) == 5
+        assert width(fig1_graph()) == 2
+
+    def test_level_histogram(self):
+        hist = level_histogram(layered_graph([2, 3, 1], density=1.0))
+        assert hist == {0: 2, 1: 3, 2: 1}
+
+    def test_max_pipelining_depth_equals_depth(self):
+        g = fig1_graph()
+        assert max_pipelining_depth(g) == depth(g) == 5
+
+
+class TestCriticalPath:
+    def test_unweighted(self):
+        path, total = critical_path(chain_graph(4))
+        assert path == ["v1", "v2", "v3", "v4"]
+        assert total == 4.0
+
+    def test_weighted_chooses_heavier_branch(self):
+        g = ComputationGraph.from_edges(
+            [("s", "light"), ("s", "heavy"), ("light", "t"), ("heavy", "t")]
+        )
+        weight = {"s": 1.0, "light": 1.0, "heavy": 10.0, "t": 1.0}
+        path, total = critical_path(g, weight=lambda v: weight[v])
+        assert path == ["s", "heavy", "t"]
+        assert total == 12.0
+
+    def test_diamond(self):
+        path, total = critical_path(diamond_graph(3))
+        assert len(path) == 3
+        assert total == 3.0
+
+    def test_single_vertex(self):
+        g = ComputationGraph()
+        g.add_vertex("only")
+        path, total = critical_path(g)
+        assert path == ["only"]
+        assert total == 1.0

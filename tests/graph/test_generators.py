@@ -1,0 +1,172 @@
+"""Tests for graph builders, including the paper's exact figure graphs."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.analysis import depth, levels, width
+from repro.graph.generators import (
+    binary_tree_graph,
+    chain_graph,
+    diamond_graph,
+    fan_in_graph,
+    fan_out_graph,
+    fig1_graph,
+    fig2_graph,
+    fig3_graph,
+    layered_graph,
+    random_dag,
+    vertex_name,
+)
+from repro.graph.numbering import number_graph, verify_numbering
+
+
+class TestFig1:
+    def test_shape(self):
+        g = fig1_graph()
+        assert g.num_vertices == 10
+        assert len(g.sources()) == 2
+        assert len(g.sinks()) == 2
+        assert depth(g) == 5  # 5 phases in flight, as the figure shows
+
+    def test_numbering_is_identity(self):
+        nb = number_graph(fig1_graph())
+        assert nb.index_of == {vertex_name(i): i for i in range(1, 11)}
+
+    def test_every_inner_vertex_has_two_inputs(self):
+        g = fig1_graph()
+        for v in g.vertices():
+            if v not in g.sources():
+                assert g.in_degree(v) == 2
+
+
+class TestFig3:
+    def test_shape(self):
+        g = fig3_graph()
+        assert g.num_vertices == 6
+        assert g.sources() == ["v1", "v2"]
+        nb = number_graph(g)
+        assert nb.m_sequence() == [2, 2, 4, 4, 6, 6, 6]
+
+    def test_edges_match_reconstruction(self):
+        g = fig3_graph()
+        assert g.has_edge("v1", "v3")
+        assert g.has_edge("v2", "v3")
+        assert g.has_edge("v2", "v4")
+        assert g.has_edge("v3", "v5")
+        assert g.has_edge("v4", "v5")
+        assert g.has_edge("v4", "v6")
+        assert g.num_edges == 6
+
+
+class TestChains:
+    def test_chain(self):
+        g = chain_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 4
+        assert depth(g) == 5
+        assert width(g) == 1
+
+    def test_chain_of_one(self):
+        g = chain_graph(1)
+        assert g.sources() == g.sinks() == ["v1"]
+
+    def test_chain_invalid(self):
+        with pytest.raises(GraphError):
+            chain_graph(0)
+
+
+class TestDiamondFan:
+    def test_diamond(self):
+        g = diamond_graph(3)
+        assert g.sources() == ["src"]
+        assert g.sinks() == ["sink"]
+        assert g.in_degree("sink") == 3
+        assert depth(g) == 3
+
+    def test_fan_out(self):
+        g = fan_out_graph(4)
+        assert len(g.sinks()) == 4
+        assert g.out_degree("src") == 4
+
+    def test_fan_in(self):
+        g = fan_in_graph(4)
+        assert len(g.sources()) == 4
+        assert g.in_degree("sink") == 4
+
+    @pytest.mark.parametrize("builder", [diamond_graph, fan_out_graph, fan_in_graph])
+    def test_invalid_size(self, builder):
+        with pytest.raises(GraphError):
+            builder(0)
+
+
+class TestTree:
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert len(g.sources()) == 8
+        assert len(g.sinks()) == 1
+        assert depth(g) == 4
+        assert g.num_edges == 8 + 4 + 2
+
+    def test_depth_zero(self):
+        g = binary_tree_graph(0)
+        assert g.num_vertices == 1
+
+
+class TestLayered:
+    def test_full_density(self):
+        g = layered_graph([2, 3, 2], density=1.0)
+        assert g.num_vertices == 7
+        assert g.num_edges == 2 * 3 + 3 * 2
+        assert depth(g) == 3
+
+    def test_every_non_source_has_a_predecessor(self):
+        g = layered_graph([3, 4, 4, 2], density=0.2, seed=5)
+        lv = levels(g)
+        for v in g.vertices():
+            if lv[v] > 0:
+                assert g.in_degree(v) >= 1
+
+    def test_level_structure_preserved(self):
+        g = layered_graph([2, 2, 2], density=0.5, seed=3)
+        lv = levels(g)
+        for li in range(3):
+            assert sum(1 for v in g.vertices() if lv[v] == li) == 2
+
+    def test_deterministic_per_seed(self):
+        a = layered_graph([3, 3, 3], density=0.4, seed=9)
+        b = layered_graph([3, 3, 3], density=0.4, seed=9)
+        assert a.edges() == b.edges()
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            layered_graph([])
+        with pytest.raises(GraphError):
+            layered_graph([2, 0])
+        with pytest.raises(GraphError):
+            layered_graph([2, 2], density=1.5)
+
+
+class TestRandomDag:
+    def test_acyclic_and_numberable(self):
+        for seed in range(5):
+            g = random_dag(30, edge_prob=0.3, seed=seed)
+            g.validate()
+            nb = number_graph(g)
+            verify_numbering(g, nb.index_of)
+
+    def test_deterministic_per_seed(self):
+        a = random_dag(20, edge_prob=0.3, seed=4)
+        b = random_dag(20, edge_prob=0.3, seed=4)
+        assert a.edges() == b.edges()
+        assert a.vertices() == b.vertices()
+
+    def test_single_vertex(self):
+        g = random_dag(1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            random_dag(0)
+        with pytest.raises(GraphError):
+            random_dag(3, edge_prob=-0.1)

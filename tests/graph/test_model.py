@@ -1,0 +1,194 @@
+"""Unit tests for the computation-graph container."""
+
+import pytest
+
+from repro.errors import (
+    CycleError,
+    DuplicateVertexError,
+    GraphError,
+    UnknownVertexError,
+)
+from repro.graph.model import ComputationGraph, EdgeSpec
+
+
+def simple_graph() -> ComputationGraph:
+    g = ComputationGraph()
+    g.add_vertices(["a", "b", "c"])
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    return g
+
+
+class TestConstruction:
+    def test_add_vertex_and_query(self):
+        g = ComputationGraph()
+        g.add_vertex("a")
+        assert g.has_vertex("a")
+        assert "a" in g
+        assert len(g) == 1
+        assert g.vertices() == ["a"]
+
+    def test_add_vertices_preserves_order(self):
+        g = ComputationGraph()
+        g.add_vertices(["z", "a", "m"])
+        assert g.vertices() == ["z", "a", "m"]
+
+    def test_duplicate_vertex_rejected(self):
+        g = ComputationGraph()
+        g.add_vertex("a")
+        with pytest.raises(DuplicateVertexError):
+            g.add_vertex("a")
+
+    def test_empty_name_rejected(self):
+        g = ComputationGraph()
+        with pytest.raises(GraphError):
+            g.add_vertex("")
+
+    def test_non_string_name_rejected(self):
+        g = ComputationGraph()
+        with pytest.raises(GraphError):
+            g.add_vertex(3)  # type: ignore[arg-type]
+
+    def test_add_edge(self):
+        g = simple_graph()
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+        assert g.num_edges == 2
+
+    def test_edge_to_unknown_vertex(self):
+        g = ComputationGraph()
+        g.add_vertex("a")
+        with pytest.raises(UnknownVertexError):
+            g.add_edge("a", "ghost")
+        with pytest.raises(UnknownVertexError):
+            g.add_edge("ghost", "a")
+
+    def test_self_loop_rejected(self):
+        g = ComputationGraph()
+        g.add_vertex("a")
+        with pytest.raises(GraphError):
+            g.add_edge("a", "a")
+
+    def test_duplicate_edge_rejected(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b")
+
+    def test_from_edges_creates_vertices_in_first_appearance_order(self):
+        g = ComputationGraph.from_edges([("x", "y"), ("y", "z"), ("x", "z")])
+        assert g.vertices() == ["x", "y", "z"]
+        assert g.num_edges == 3
+
+    def test_from_edges_extra_vertices(self):
+        g = ComputationGraph.from_edges([("a", "b")], extra_vertices=["isolated"])
+        assert g.has_vertex("isolated")
+        assert g.in_degree("isolated") == 0
+        assert g.out_degree("isolated") == 0
+
+
+class TestQueries:
+    def test_sources_and_sinks(self):
+        g = simple_graph()
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["c"]
+
+    def test_isolated_vertex_is_both(self):
+        g = ComputationGraph.from_edges([("a", "b")], extra_vertices=["i"])
+        assert "i" in g.sources()
+        assert "i" in g.sinks()
+
+    def test_successors_predecessors(self):
+        g = simple_graph()
+        assert g.successors("a") == ["b"]
+        assert g.predecessors("c") == ["b"]
+        assert g.predecessors("a") == []
+
+    def test_degrees(self):
+        g = simple_graph()
+        assert g.in_degree("b") == 1
+        assert g.out_degree("b") == 1
+        assert g.in_degree("a") == 0
+
+    def test_unknown_vertex_query_raises(self):
+        g = simple_graph()
+        with pytest.raises(UnknownVertexError):
+            g.successors("ghost")
+
+    def test_edges_listing(self):
+        g = simple_graph()
+        assert g.edges() == [EdgeSpec("a", "b"), EdgeSpec("b", "c")]
+
+    def test_edge_spec_unpacks(self):
+        src, dst = EdgeSpec("a", "b")
+        assert (src, dst) == ("a", "b")
+
+    def test_repr(self):
+        assert "vertices=3" in repr(simple_graph())
+
+
+class TestValidation:
+    def test_valid_dag_passes(self):
+        simple_graph().validate()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            ComputationGraph().validate()
+
+    def test_cycle_detected(self):
+        g = ComputationGraph()
+        g.add_vertices(["a", "b", "c"])
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        with pytest.raises(CycleError) as exc_info:
+            g.validate()
+        cycle = exc_info.value.cycle
+        assert len(cycle) >= 3
+        # The witness must be a genuine cycle.
+        for u, v in zip(cycle, cycle[1:]):
+            assert g.has_edge(u, v)
+
+    def test_two_cycle(self):
+        g = ComputationGraph()
+        g.add_vertices(["a", "b"])
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert not g.is_acyclic()
+
+    def test_is_acyclic_true(self):
+        assert simple_graph().is_acyclic()
+
+    def test_cycle_in_large_graph(self):
+        g = ComputationGraph()
+        names = [f"v{i}" for i in range(20)]
+        g.add_vertices(names)
+        for a, b in zip(names, names[1:]):
+            g.add_edge(a, b)
+        g.add_edge(names[-1], names[10])  # back edge
+        with pytest.raises(CycleError):
+            g.validate()
+
+
+class TestTransforms:
+    def test_copy_is_independent(self):
+        g = simple_graph()
+        g2 = g.copy()
+        g2.add_vertex("d")
+        assert not g.has_vertex("d")
+        assert g2.has_edge("a", "b")
+
+    def test_reachable_from(self):
+        g = ComputationGraph.from_edges([("a", "b"), ("b", "c"), ("x", "y")])
+        assert g.reachable_from(["a"]) == {"a", "b", "c"}
+        assert g.reachable_from(["x"]) == {"x", "y"}
+
+    def test_reachable_from_unknown_raises(self):
+        with pytest.raises(UnknownVertexError):
+            simple_graph().reachable_from(["ghost"])
+
+    def test_induced_subgraph(self):
+        g = ComputationGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        sub = g.induced_subgraph(["a", "c"])
+        assert sub.vertices() == ["a", "c"]
+        assert sub.has_edge("a", "c")
+        assert sub.num_edges == 1

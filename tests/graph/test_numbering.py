@@ -1,0 +1,291 @@
+"""Tests for the restricted vertex numbering (Section 3.1.1).
+
+Includes property-based tests checking, over random DAGs, that
+
+* FIFO-Kahn numberings are always topological and restricted;
+* the O(N+E) verifier agrees with the brute-force S(v) definition;
+* the m table satisfies the paper's properties (2)-(4).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NumberingError
+from repro.graph.generators import (
+    chain_graph,
+    diamond_graph,
+    fan_in_graph,
+    fig2_graph,
+    fig2a_numbering,
+    fig2b_numbering,
+    random_dag,
+)
+from repro.graph.model import ComputationGraph
+from repro.graph.numbering import (
+    Numbering,
+    compute_S,
+    compute_m,
+    enable_indices,
+    number_graph,
+    verify_numbering,
+)
+
+
+# ---------------------------------------------------------------------------
+# The paper's Figure 2 — exact reproduction
+# ---------------------------------------------------------------------------
+
+
+class TestFigure2:
+    def test_fig2b_is_accepted(self):
+        verify_numbering(fig2_graph(), fig2b_numbering())
+
+    def test_fig2b_m_sequence_matches_paper(self):
+        nb = Numbering.from_mapping(fig2_graph(), fig2b_numbering())
+        assert nb.m_sequence() == [3, 3, 4, 5, 5, 6, 7, 7]
+
+    def test_fig2a_is_topological_but_rejected(self):
+        g = fig2_graph()
+        numbering = fig2a_numbering()
+        for edge in g.edges():
+            assert numbering[edge.src] < numbering[edge.dst]
+        with pytest.raises(NumberingError, match="restriction"):
+            verify_numbering(g, numbering)
+
+    def test_fig2a_S2_matches_paper(self):
+        # The paper: S(2) = {1, 2, 3, 5} under numbering (a).
+        assert compute_S(fig2_graph(), fig2a_numbering(), 2) == {1, 2, 3, 5}
+
+    def test_fig2b_S_values_match_paper(self):
+        g = fig2_graph()
+        nb = fig2b_numbering()
+        expected = {
+            0: {1, 2, 3},
+            1: {1, 2, 3},
+            2: {1, 2, 3, 4},
+            3: {1, 2, 3, 4, 5},
+            4: {1, 2, 3, 4, 5},
+            5: {1, 2, 3, 4, 5, 6},
+            6: {1, 2, 3, 4, 5, 6, 7},
+            7: {1, 2, 3, 4, 5, 6, 7},
+        }
+        for v, s in expected.items():
+            assert compute_S(g, nb, v) == s
+
+    def test_number_graph_on_fig2_is_restricted(self):
+        nb = number_graph(fig2_graph())
+        verify_numbering(nb.graph, nb.index_of)
+
+
+# ---------------------------------------------------------------------------
+# Numbering object behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestNumberingObject:
+    def test_name_of_round_trip(self):
+        nb = number_graph(fig2_graph())
+        for name, idx in nb.index_of.items():
+            assert nb.name_of(idx) == name
+
+    def test_name_of_out_of_range(self):
+        nb = number_graph(chain_graph(3))
+        with pytest.raises(NumberingError):
+            nb.name_of(0)
+        with pytest.raises(NumberingError):
+            nb.name_of(4)
+
+    def test_m_out_of_range(self):
+        nb = number_graph(chain_graph(3))
+        with pytest.raises(NumberingError):
+            nb.m(-1)
+        with pytest.raises(NumberingError):
+            nb.m(4)
+
+    def test_S_is_prefix(self):
+        nb = number_graph(fig2_graph())
+        for v in range(nb.n + 1):
+            assert nb.S(v) == list(range(1, nb.m(v) + 1))
+
+    def test_source_indices_are_prefix(self):
+        nb = number_graph(fan_in_graph(4))
+        assert nb.source_indices() == [1, 2, 3, 4]
+        assert nb.num_sources == 4
+
+    def test_names_in_order(self):
+        nb = number_graph(chain_graph(4))
+        assert nb.names_in_order() == ["v1", "v2", "v3", "v4"]
+
+    def test_predecessor_successor_indices(self):
+        nb = Numbering.from_mapping(fig2_graph(), fig2b_numbering())
+        assert nb.predecessor_indices(6) == [2, 5]
+        assert nb.successor_indices(2) == [4, 6]
+
+    def test_equality(self):
+        g = fig2_graph()
+        a = Numbering.from_mapping(g, fig2b_numbering())
+        b = Numbering.from_mapping(g, fig2b_numbering())
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Verifier failure modes
+# ---------------------------------------------------------------------------
+
+
+class TestVerifierRejections:
+    def test_missing_vertex(self):
+        g = chain_graph(3)
+        with pytest.raises(NumberingError, match="cover"):
+            verify_numbering(g, {"v1": 1, "v2": 2})
+
+    def test_extra_vertex(self):
+        g = chain_graph(2)
+        with pytest.raises(NumberingError, match="cover"):
+            verify_numbering(g, {"v1": 1, "v2": 2, "ghost": 3})
+
+    def test_not_a_permutation(self):
+        g = chain_graph(3)
+        with pytest.raises(NumberingError, match="permutation"):
+            verify_numbering(g, {"v1": 1, "v2": 1, "v3": 3})
+
+    def test_zero_based_rejected(self):
+        g = chain_graph(2)
+        with pytest.raises(NumberingError, match="permutation"):
+            verify_numbering(g, {"v1": 0, "v2": 1})
+
+    def test_not_topological(self):
+        g = chain_graph(2)
+        with pytest.raises(NumberingError, match="topological"):
+            verify_numbering(g, {"v1": 2, "v2": 1})
+
+    def test_diamond_bad_interleaving(self):
+        # src(1) -> mid1, mid2 -> sink.  Numbering mid1=3, sink=2 is not
+        # topological; mid ordering 2,3 with sink 4 is fine either way.
+        g = diamond_graph(2)
+        verify_numbering(g, {"src": 1, "mid1": 2, "mid2": 3, "sink": 4})
+        verify_numbering(g, {"src": 1, "mid2": 2, "mid1": 3, "sink": 4})
+        with pytest.raises(NumberingError):
+            verify_numbering(g, {"src": 1, "mid1": 3, "sink": 2, "mid2": 4})
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_dag_strategy(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    edge_prob = draw(st.floats(min_value=0.0, max_value=0.9))
+    seed = draw(st.integers(min_value=0, max_value=2**30))
+    return random_dag(n, edge_prob=edge_prob, seed=seed)
+
+
+@st.composite
+def graph_and_tiebreak(draw):
+    g = draw(random_dag_strategy())
+    use_tiebreak = draw(st.booleans())
+    return g, (None if not use_tiebreak else (lambda name: name))
+
+
+class TestProperties:
+    @given(random_dag_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_kahn_always_restricted(self, g: ComputationGraph):
+        nb = number_graph(g)
+        verify_numbering(g, nb.index_of)  # must not raise
+
+    @given(graph_and_tiebreak())
+    @settings(max_examples=40, deadline=None)
+    def test_tiebreak_still_restricted(self, gt):
+        g, tiebreak = gt
+        nb = number_graph(g, tiebreak=tiebreak)
+        verify_numbering(g, nb.index_of)
+
+    @given(random_dag_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_m_table_matches_bruteforce(self, g: ComputationGraph):
+        nb = number_graph(g)
+        assert nb.m_sequence() == compute_m(g, nb.index_of)
+
+    @given(random_dag_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_paper_properties_2_3_4(self, g: ComputationGraph):
+        nb = number_graph(g)
+        n = nb.n
+        # (2) monotone
+        for v in range(1, n + 1):
+            assert nb.m(v - 1) <= nb.m(v)
+        # (3) v < m(v) for v < N
+        for v in range(1, n):
+            assert v < nb.m(v)
+        # (4) m(N) = N
+        assert nb.m(n) == n
+
+    @given(random_dag_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_verifier_agrees_with_bruteforce_on_restricted(self, g):
+        """A numbering passes the O(N+E) verifier iff every S(v) is a
+        sequential prefix, per the brute-force definition."""
+        nb = number_graph(g)
+        for v in range(nb.n + 1):
+            assert compute_S(g, nb.index_of, v) == set(range(1, nb.m(v) + 1))
+
+    @given(random_dag_strategy(), st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=40, deadline=None)
+    def test_verifier_matches_bruteforce_on_random_topo_orders(self, g, seed):
+        """For arbitrary topological orders (not necessarily restricted),
+        the fast verifier accepts exactly when brute-force S(v) values are
+        all prefixes."""
+        import random as _random
+
+        rng = _random.Random(seed)
+        # Random topological order: Kahn with random choice.
+        indeg = {v: g.in_degree(v) for v in g.vertices()}
+        avail = [v for v in g.vertices() if indeg[v] == 0]
+        index_of = {}
+        i = 1
+        while avail:
+            v = avail.pop(rng.randrange(len(avail)))
+            index_of[v] = i
+            i += 1
+            for w in g.successors(v):
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    avail.append(w)
+        brute_ok = all(
+            compute_S(g, index_of, v)
+            == set(range(1, len(compute_S(g, index_of, v)) + 1))
+            for v in range(g.num_vertices + 1)
+        )
+        try:
+            verify_numbering(g, index_of)
+            fast_ok = True
+        except NumberingError:
+            fast_ok = False
+        assert fast_ok == brute_ok
+
+    @given(random_dag_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_enable_indices_definition(self, g):
+        nb = number_graph(g)
+        enable = enable_indices(g, nb.index_of)
+        for w in g.vertices():
+            preds = g.predecessors(w)
+            expected = max((nb.index_of[u] for u in preds), default=0)
+            assert enable[w] == expected
+
+
+class TestScale:
+    def test_large_chain(self):
+        g = chain_graph(2000)
+        nb = number_graph(g)
+        assert nb.m(2000) == 2000
+        assert nb.index_of["v1"] == 1
+        assert nb.index_of["v2000"] == 2000
+
+    def test_large_random(self):
+        g = random_dag(500, edge_prob=0.02, seed=99)
+        nb = number_graph(g)
+        verify_numbering(g, nb.index_of)

@@ -1,0 +1,88 @@
+"""Tests for arithmetic combinators and their Δ emission discipline."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.models.arithmetic import Difference, LinearCombiner, Product, Scale, Sum
+
+from tests.conftest import VertexHarness
+
+
+class TestSum:
+    def test_sums_latched_inputs(self):
+        h = VertexHarness(Sum())
+        assert h.step(1, {"a": 1, "b": 2})[0] == {"out": 3}
+        assert h.step(2, {"a": 10})[0] == {"out": 12}  # b latched at 2
+
+    def test_suppresses_unchanged_value(self):
+        h = VertexHarness(Sum())
+        h.step(1, {"a": 1, "b": 2})
+        # a changes 1 -> 2 while b changes 2 -> 1: sum unchanged -> silent.
+        assert h.step(2, {"a": 2, "b": 1})[0] == {}
+
+    def test_silent_without_changes(self):
+        h = VertexHarness(Sum())
+        assert h.step(1, {})[0] == {}
+
+    def test_reset_forgets_last_emission(self):
+        s = Sum()
+        h = VertexHarness(s)
+        h.step(1, {"a": 5})
+        s.reset()
+        # After reset the suppression memory is gone: the same value is
+        # emitted again on the next change.
+        assert h.step(2, {"a": 5})[0] == {"out": 5}
+
+
+class TestProduct:
+    def test_multiplies(self):
+        h = VertexHarness(Product())
+        assert h.step(1, {"a": 3, "b": 4})[0] == {"out": 12}
+
+    def test_zero_then_same_zero_suppressed(self):
+        h = VertexHarness(Product())
+        assert h.step(1, {"a": 0, "b": 4})[0] == {"out": 0}
+        assert h.step(2, {"b": 9})[0] == {}  # still 0
+
+
+class TestDifference:
+    def test_subtracts_named_inputs(self):
+        h = VertexHarness(Difference("plus", "minus"))
+        assert h.step(1, {"plus": 10, "minus": 4})[0] == {"out": 6}
+
+    def test_silent_until_both_present(self):
+        h = VertexHarness(Difference("plus", "minus"))
+        assert h.step(1, {"plus": 10})[0] == {}
+        assert h.step(2, {"minus": 4})[0] == {"out": 6}
+
+
+class TestLinearCombiner:
+    def test_weighted_sum_with_bias(self):
+        h = VertexHarness(LinearCombiner({"x": 2.0, "y": -1.0}, bias=5.0))
+        assert h.step(1, {"x": 3, "y": 1})[0] == {"out": 10.0}
+
+    def test_default_for_missing_input(self):
+        h = VertexHarness(LinearCombiner({"x": 1.0, "y": 1.0}, default=100.0))
+        assert h.step(1, {"x": 1})[0] == {"out": 101.0}
+
+    def test_unweighted_input_rejected(self):
+        h = VertexHarness(LinearCombiner({"x": 1.0}))
+        with pytest.raises(WorkloadError, match="no weight"):
+            h.step(1, {"x": 1, "stranger": 2})
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(WorkloadError):
+            LinearCombiner({})
+
+
+class TestScale:
+    def test_affine(self):
+        h = VertexHarness(Scale(factor=3.0, offset=1.0))
+        assert h.step(1, {"in": 2.0})[0] == {"out": 7.0}
+
+    def test_suppresses_repeat(self):
+        h = VertexHarness(Scale(factor=1.0))
+        h.step(1, {"in": 4})
+
+        # New message with the same value: output unchanged -> silent.
+        assert h.step(2, {"in": 4})[0] == {}

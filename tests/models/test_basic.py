@@ -1,0 +1,123 @@
+"""Tests for basic plumbing vertices."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.models.basic import Constant, Delay, Gate, Identity, Recorder, Sampler
+
+from tests.conftest import VertexHarness
+
+
+class TestIdentity:
+    def test_forwards_changes(self):
+        h = VertexHarness(Identity())
+        outputs, _, _ = h.step(1, {"in": 5})
+        assert outputs == {"out": 5}
+
+    def test_silent_without_change(self):
+        h = VertexHarness(Identity())
+        h.step(1, {"in": 5})
+        outputs, _, _ = h.step(2, {})
+        assert outputs == {}
+
+    def test_rejects_multiple_changes(self):
+        h = VertexHarness(Identity())
+        with pytest.raises(WorkloadError):
+            h.step(1, {"a": 1, "b": 2})
+
+
+class TestConstant:
+    def test_emits_once(self):
+        h = VertexHarness(Constant(7))
+        o1, _, _ = h.step(1, {})
+        o2, _, _ = h.step(2, {})
+        assert o1 == {"out": 7}
+        assert o2 == {}
+
+    def test_reset_re_emits(self):
+        c = Constant("x")
+        h = VertexHarness(c)
+        h.step(1, {})
+        c.reset()
+        outputs, _, _ = h.step(2, {})
+        assert outputs == {"out": "x"}
+
+
+class TestDelay:
+    def test_delays_by_k(self):
+        h = VertexHarness(Delay(2))
+        assert h.step(1, {"in": "a"})[0] == {}
+        assert h.step(2, {"in": "b"})[0] == {}
+        assert h.step(3, {"in": "c"})[0] == {"out": "a"}
+        assert h.step(4, {"in": "d"})[0] == {"out": "b"}
+
+    def test_emits_even_without_new_input(self):
+        h = VertexHarness(Delay(1))
+        h.step(1, {"in": "x"})
+        # Executed at phase 2 with no change: the buffered value is due.
+        assert h.step(2, {})[0] == {"out": "x"}
+
+    def test_invalid_k(self):
+        with pytest.raises(WorkloadError):
+            Delay(0)
+
+    def test_reset_clears_buffer(self):
+        d = Delay(1)
+        h = VertexHarness(d)
+        h.step(1, {"in": "x"})
+        d.reset()
+        assert h.step(2, {})[0] == {}
+
+
+class TestGate:
+    def test_forwards_while_open(self):
+        h = VertexHarness(Gate())
+        h.step(1, {"control": True})
+        assert h.step(2, {"data": 5})[0] == {"out": 5}
+
+    def test_blocks_while_closed(self):
+        h = VertexHarness(Gate())
+        h.step(1, {"control": False})
+        assert h.step(2, {"data": 5})[0] == {}
+
+    def test_blocks_before_any_control(self):
+        h = VertexHarness(Gate())
+        assert h.step(1, {"data": 5})[0] == {}
+
+    def test_control_change_alone_emits_nothing(self):
+        h = VertexHarness(Gate())
+        assert h.step(1, {"control": True})[0] == {}
+
+
+class TestSampler:
+    def test_every_second_change(self):
+        h = VertexHarness(Sampler(2))
+        results = [h.step(p, {"in": p})[0] for p in range(1, 6)]
+        assert results == [{}, {"out": 2}, {}, {"out": 4}, {}]
+
+    def test_every_one_passes_all(self):
+        h = VertexHarness(Sampler(1))
+        assert h.step(1, {"in": "a"})[0] == {"out": "a"}
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            Sampler(0)
+
+    def test_reset(self):
+        s = Sampler(2)
+        h = VertexHarness(s)
+        h.step(1, {"in": 1})
+        s.reset()
+        assert h.step(2, {"in": 2})[0] == {}  # count restarted
+
+
+class TestRecorder:
+    def test_records_changes_sorted(self):
+        h = VertexHarness(Recorder(), successors=())
+        _, records, _ = h.step(1, {"b": 2, "a": 1})
+        assert records == [("a", 1), ("b", 2)]
+
+    def test_silent_output(self):
+        h = VertexHarness(Recorder())
+        outputs, _, _ = h.step(1, {"x": 1})
+        assert outputs == {}

@@ -1,0 +1,270 @@
+"""Tests for the four domain compositions.
+
+Each domain gets: structural checks, behavioural sanity (the scenario's
+signal is actually detected), and a serializability check across engines.
+"""
+
+import pytest
+
+from repro.analysis.serializability import assert_serializable
+from repro.core.invariants import InvariantChecker
+from repro.core.serial import SerialExecutor
+from repro.errors import WorkloadError
+from repro.models.domains.epidemic import (
+    CountyIncidenceSource,
+    build_epidemic_program,
+    build_epidemic_workload,
+)
+from repro.models.domains.intrusion import (
+    build_intrusion_program,
+    build_intrusion_workload,
+)
+from repro.models.domains.laundering import (
+    build_laundering_program,
+    build_laundering_workload,
+)
+from repro.models.domains.power import (
+    TemperatureAssumptionMonitor,
+    build_power_pricing_program,
+    build_power_pricing_workload,
+)
+from repro.runtime.engine import ParallelEngine
+
+from tests.conftest import VertexHarness
+
+
+class TestPowerPricing:
+    def test_structure(self):
+        prog = build_power_pricing_program()
+        g = prog.graph
+        assert set(g.sources()) == {"temp_sensor", "load_sensor"}
+        assert g.sinks() == ["price_board"]
+
+    def test_prices_published(self):
+        prog, phases = build_power_pricing_workload(phases=240, seed=7)
+        res = SerialExecutor(prog).run(phases)
+        prices = res.records["price_board"]
+        assert len(prices) > 3
+        assert all(p[1][1] > 0 for p in prices)  # (phase, (name, price))
+
+    def test_monitor_emits_only_violations(self):
+        mon = TemperatureAssumptionMonitor(
+            mean=20.0, amplitude=0.0, period=24.0, tolerance=2.0
+        )
+        h = VertexHarness(mon)
+        assert h.step(1, {"t": 20.5})[0] == {}  # within tolerance
+        outputs, _, _ = h.step(2, {"t": 27.0})
+        assert outputs["out"][1] == 27.0  # violation event
+
+    def test_monitor_adjusts_assumptions(self):
+        mon = TemperatureAssumptionMonitor(
+            mean=20.0, amplitude=0.0, period=24.0, tolerance=2.0
+        )
+        h = VertexHarness(mon)
+        h.step(1, {"t": 30.0})  # violation: correction += 5
+        assert mon.assumed(2) == pytest.approx(25.0)
+        # Same reading again now deviates by 5 > 2 -> another violation,
+        # but a reading near the corrected assumption is quiet.
+        assert h.step(2, {"t": 25.5})[0] == {}
+
+    def test_tolerance_controls_event_rate(self):
+        loose_prog, phases = build_power_pricing_workload(
+            phases=240, seed=7, tolerance=8.0
+        )
+        tight_prog, _ = build_power_pricing_workload(
+            phases=240, seed=7, tolerance=1.0
+        )
+        loose = SerialExecutor(loose_prog).run(phases)
+        tight = SerialExecutor(tight_prog).run(phases)
+        assert tight.message_count > loose.message_count
+
+    def test_serializable_across_engines(self):
+        prog, phases = build_power_pricing_workload(phases=100)
+        serial = SerialExecutor(prog).run(phases)
+        par = ParallelEngine(prog, num_threads=3, checker=InvariantChecker()).run(
+            phases
+        )
+        assert_serializable(serial, par)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(WorkloadError):
+            TemperatureAssumptionMonitor(tolerance=0.0)
+
+
+class TestLaundering:
+    def test_structure(self):
+        prog = build_laundering_program(branches=3)
+        assert len(prog.graph.sources()) == 3
+        assert prog.graph.sinks() == ["compliance"]
+
+    def test_anomalies_produce_cases(self):
+        prog, phases = build_laundering_workload(
+            phases=1500, branches=3, anomaly_rate=5e-3, seed=2
+        )
+        res = SerialExecutor(prog).run(phases)
+        assert len(res.records.get("compliance", [])) > 0
+
+    def test_anomaly_rate_scales_cases(self):
+        # Injected anomalies dominate the natural log-normal tail: a run
+        # with a high injection rate opens clearly more cases.
+        quiet_prog, phases = build_laundering_workload(
+            phases=800, branches=2, anomaly_rate=0.0, seed=2
+        )
+        loud_prog, _ = build_laundering_workload(
+            phases=800, branches=2, anomaly_rate=0.03, seed=2
+        )
+        quiet = SerialExecutor(quiet_prog).run(phases)
+        loud = SerialExecutor(loud_prog).run(phases)
+        assert len(loud.records.get("compliance", [])) > len(
+            quiet.records.get("compliance", [])
+        )
+
+    def test_dense_and_delta_agree_on_cases(self):
+        delta_prog, phases = build_laundering_workload(
+            phases=800, branches=2, anomaly_rate=0.01, seed=6
+        )
+        dense_prog, _ = build_laundering_workload(
+            phases=800, branches=2, anomaly_rate=0.01, seed=6, dense=True
+        )
+        delta = SerialExecutor(delta_prog).run(phases)
+        dense = SerialExecutor(dense_prog).run(phases)
+        assert delta.records == dense.records
+        assert dense.message_count > delta.message_count
+
+    def test_serializable_across_engines(self):
+        prog, phases = build_laundering_workload(
+            phases=300, branches=3, anomaly_rate=0.01
+        )
+        serial = SerialExecutor(prog).run(phases)
+        par = ParallelEngine(prog, num_threads=4).run(phases)
+        assert_serializable(serial, par)
+
+    def test_invalid_branches(self):
+        with pytest.raises(WorkloadError):
+            build_laundering_program(branches=0)
+
+
+class TestEpidemic:
+    def test_structure(self):
+        prog = build_epidemic_program(counties=4)
+        g = prog.graph
+        assert len(g.sources()) == 4
+        assert g.sinks() == ["surveillance"]
+        # Each detector reads its county's weekly average and its model.
+        assert set(g.predecessors("detector_0")) == {"weekly_0", "neighbor_model_0"}
+
+    def test_outbreak_detected_in_outbreak_county(self):
+        prog, phases = build_epidemic_workload(
+            phases=160, counties=5, seed=23, outbreak_phase=60
+        )
+        res = SerialExecutor(prog).run(phases)
+        alerts = [
+            v for _p, v in res.records.get("surveillance", [])
+            if v[1][0] == "alert"
+        ]
+        assert alerts, "outbreak must raise at least one alert"
+        counties = {name for name, _e in alerts}
+        assert "detector_0" in counties
+
+    def test_outbreak_produces_stronger_deviations(self):
+        # Alert records are edge-triggered (alert/clear transitions), so a
+        # *sustained* outbreak yields fewer-but-stronger alerts, not more:
+        # compare peak deviation instead of alert counts.
+        quiet_prog, phases = build_epidemic_workload(
+            phases=160, counties=5, seed=23, outbreak_phase=None
+        )
+        loud_prog, _ = build_epidemic_workload(
+            phases=160, counties=5, seed=23, outbreak_phase=60
+        )
+        quiet = SerialExecutor(quiet_prog).run(phases)
+        loud = SerialExecutor(loud_prog).run(phases)
+
+        def alert_time(res, detector, horizon):
+            """Total phases *detector* spends in the alert state."""
+            total, since = 0, None
+            for p, (det, event) in res.records.get("surveillance", []):
+                if det != detector:
+                    continue
+                if event[0] == "alert" and since is None:
+                    since = p
+                elif event[0] == "clear" and since is not None:
+                    total += p - since
+                    since = None
+            if since is not None:
+                total += horizon - since
+            return total
+
+        # The sustained outbreak keeps county 0's detector in the alert
+        # state for far longer than noise does.
+        assert alert_time(loud, "detector_0", 160) > alert_time(
+            quiet, "detector_0", 160
+        ) + 30
+
+    def test_incidence_source_expected_profile(self):
+        src = CountyIncidenceSource(baseline=10.0, outbreak_phase=5, outbreak_slope=2.0)
+        assert src.expected(4) < src.expected(10)
+        assert src.expected(10) - src.expected(5) >= 2.0 * 5 - 5  # outbreak term
+
+    def test_serializable_across_engines(self):
+        prog, phases = build_epidemic_workload(phases=90, counties=4)
+        serial = SerialExecutor(prog).run(phases)
+        par = ParallelEngine(prog, num_threads=3).run(phases)
+        assert_serializable(serial, par)
+
+    def test_too_few_counties(self):
+        with pytest.raises(WorkloadError):
+            build_epidemic_program(counties=2)
+
+
+class TestIntrusion:
+    def test_structure(self):
+        prog = build_intrusion_program()
+        g = prog.graph
+        assert len(g.sources()) == 4
+        assert g.sinks() == ["soc"]
+        assert g.in_degree("composite") == 4
+
+    def test_incidents_recorded_eventually(self):
+        prog, phases = build_intrusion_workload(phases=800, seed=31, k=2)
+        res = SerialExecutor(prog).run(phases)
+        incidents = res.records.get("soc", [])
+        assert incidents, "the composite condition should fire at least once"
+
+    def test_higher_k_alarms_for_less_total_time(self):
+        # Edge-triggered records mean fire *counts* are not monotone in k
+        # (a stricter condition toggles differently), but the total time
+        # spent in the alarm state is.
+        def alarm_time(res, horizon):
+            events = sorted(
+                (p, v[1]) for p, v in res.records.get("soc", [])
+            )
+            total, since = 0, None
+            for p, state in events:
+                if state is True and since is None:
+                    since = p
+                elif state is False and since is not None:
+                    total += p - since
+                    since = None
+            if since is not None:
+                total += horizon - since
+            return total
+
+        prog2, phases = build_intrusion_workload(phases=800, seed=31, k=2)
+        prog4, _ = build_intrusion_workload(phases=800, seed=31, k=4)
+        r2 = SerialExecutor(prog2).run(phases)
+        r4 = SerialExecutor(prog4).run(phases)
+        assert alarm_time(r4, 800) <= alarm_time(r2, 800)
+
+    def test_traffic_mostly_quiet(self):
+        """Sparse feeds mean the engine executes far fewer pairs than the
+        dense bound N x phases — the Δ efficiency claim on this domain."""
+        prog, phases = build_intrusion_workload(phases=500, seed=31)
+        res = SerialExecutor(prog).run(phases)
+        dense_bound = prog.n * len(phases)
+        assert res.execution_count < dense_bound * 0.6
+
+    def test_serializable_across_engines(self):
+        prog, phases = build_intrusion_workload(phases=250)
+        serial = SerialExecutor(prog).run(phases)
+        par = ParallelEngine(prog, num_threads=3).run(phases)
+        assert_serializable(serial, par)

@@ -1,0 +1,172 @@
+"""Tests for the crisis-management (hurricane) domain."""
+
+import math
+
+import pytest
+
+from repro.analysis.serializability import assert_serializable
+from repro.core.invariants import InvariantChecker
+from repro.core.serial import SerialExecutor
+from repro.core.vertex import VertexContext, EMIT_NOTHING
+from repro.errors import WorkloadError
+from repro.models.domains.crisis import (
+    EvacuationAdvisor,
+    RegionThreat,
+    ShelterOccupancySource,
+    StormTrackSource,
+    build_crisis_program,
+    build_crisis_workload,
+)
+from repro.runtime.engine import ParallelEngine
+
+from tests.conftest import VertexHarness
+
+
+def run_source(src, phases):
+    out = []
+    for p in range(1, phases + 1):
+        ctx = VertexContext(
+            name="s", phase=p, inputs={}, changed=set(), successors=["out"]
+        )
+        value = src.on_execute(ctx)
+        out.append(None if value is EMIT_NOTHING else value)
+    return out
+
+
+class TestStormTrack:
+    def test_approaches_origin(self):
+        src = StormTrackSource(seed=1, start=(100.0, 100.0), wander=0.2)
+        positions = [v for v in run_source(src, 80) if v is not None]
+        first, last = positions[0], positions[-1]
+        assert math.hypot(*last) < math.hypot(*first)
+
+    def test_report_delta_suppresses(self):
+        chatty = StormTrackSource(seed=2, report_delta=0.0)
+        quiet = StormTrackSource(seed=2, report_delta=10.0)
+        chatty_n = sum(1 for v in run_source(chatty, 60) if v is not None)
+        quiet_n = sum(1 for v in run_source(quiet, 60) if v is not None)
+        assert quiet_n < chatty_n
+
+    def test_reset(self):
+        src = StormTrackSource(seed=3)
+        first = run_source(src, 20)
+        src.reset()
+        assert run_source(src, 20) == first
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            StormTrackSource(report_delta=-1)
+
+
+class TestRegionThreat:
+    def test_levels_by_distance(self):
+        rt = RegionThreat(center=(0.0, 0.0), watch=80.0, warning=40.0)
+        assert rt.level_for((100.0, 0.0)) == 0
+        assert rt.level_for((60.0, 0.0)) == 1
+        assert rt.level_for((10.0, 0.0)) == 2
+
+    def test_transitions_only(self):
+        rt = RegionThreat(center=(0.0, 0.0), watch=80.0, warning=40.0)
+        h = VertexHarness(rt)
+        assert h.step(1, {"storm": (100.0, 0.0)})[0] == {"out": 0}
+        assert h.step(2, {"storm": (95.0, 0.0)})[0] == {}  # still level 0
+        assert h.step(3, {"storm": (50.0, 0.0)})[0] == {"out": 1}
+        assert h.step(4, {"storm": (10.0, 0.0)})[0] == {"out": 2}
+
+    def test_invalid_bands(self):
+        with pytest.raises(WorkloadError):
+            RegionThreat(center=(0, 0), watch=10.0, warning=20.0)
+
+
+class TestShelterOccupancy:
+    def test_monotone_and_capped(self):
+        src = ShelterOccupancySource(seed=4, capacity=100, base_arrivals=5.0)
+        values = [v for v in run_source(src, 120) if v is not None]
+        assert values == sorted(values)
+        assert values[-1] <= 1.0
+
+    def test_eventually_fills(self):
+        src = ShelterOccupancySource(
+            seed=5, capacity=50, base_arrivals=5.0, surge_per_phase=0.5
+        )
+        values = [v for v in run_source(src, 100) if v is not None]
+        assert values[-1] == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            ShelterOccupancySource(capacity=0)
+
+
+class TestEvacuationAdvisor:
+    def advisor(self) -> VertexHarness:
+        return VertexHarness(
+            EvacuationAdvisor(
+                region="r0",
+                threat_input="threat",
+                flood_input="flood",
+                roads_input="roads",
+                capacity_input="cap",
+            )
+        )
+
+    def test_quiet_by_default(self):
+        h = self.advisor()
+        assert h.step(1, {"threat": 0})[0] == {}
+
+    def test_evacuate_when_threatened_and_flooding(self):
+        h = self.advisor()
+        h.step(1, {"threat": 1})
+        outputs, _, _ = h.step(2, {"flood": True})
+        assert outputs == {"out": ("evacuate", "r0")}
+
+    def test_shelter_in_place_when_full(self):
+        h = self.advisor()
+        h.step(1, {"threat": 2, "flood": True})
+        outputs, _, _ = h.step(2, {"cap": True})
+        assert outputs == {"out": ("shelter-in-place", "r0")}
+
+    def test_stand_down_announced_after_activity(self):
+        h = self.advisor()
+        h.step(1, {"threat": 1, "flood": True})  # evacuate
+        outputs, _, _ = h.step(2, {"flood": False, "roads": False})
+        assert outputs == {"out": ("stand-down", "r0")}
+
+    def test_no_repeat_emissions(self):
+        h = self.advisor()
+        h.step(1, {"threat": 1, "flood": True})
+        assert h.step(2, {"threat": 2})[0] == {}  # still "evacuate"
+
+
+class TestCrisisComposition:
+    def test_structure(self):
+        prog = build_crisis_program(regions=2)
+        g = prog.graph
+        assert len(g.sources()) == 1 + 3 * 2  # storm + 3 sensors/region
+        assert g.sinks() == ["emergency_ops"]
+        assert g.in_degree("evacuation_r0") == 4
+
+    def test_scenario_plays_out(self):
+        prog, phases = build_crisis_workload(phases=120, regions=3)
+        res = SerialExecutor(prog).run(phases)
+        events = [v for _p, (_s, v) in res.records.get("emergency_ops", [])]
+        kinds = {e[0] for e in events}
+        assert "evacuate" in kinds
+        # As shelters fill late in the run, recommendations degrade.
+        assert "shelter-in-place" in kinds
+
+    def test_delta_economy(self):
+        prog, phases = build_crisis_workload(phases=120, regions=3)
+        res = SerialExecutor(prog).run(phases)
+        assert res.execution_count < prog.n * len(phases) * 0.7
+
+    def test_serializable_across_engines(self):
+        prog, phases = build_crisis_workload(phases=80, regions=2)
+        serial = SerialExecutor(prog).run(phases)
+        checker = InvariantChecker()
+        par = ParallelEngine(prog, num_threads=4, checker=checker).run(phases)
+        assert_serializable(serial, par)
+        assert checker.violations == []
+
+    def test_invalid_regions(self):
+        with pytest.raises(WorkloadError):
+            build_crisis_program(regions=0)

@@ -1,0 +1,114 @@
+"""Tests for boolean condition combinators (edge-triggered Δ emission)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.models.logic import And, Debounce, KofN, Not, Or, Threshold
+
+from tests.conftest import VertexHarness
+
+
+class TestThreshold:
+    def test_initial_state_emitted_once(self):
+        h = VertexHarness(Threshold(10.0))
+        # The first evaluation establishes the state and emits it.
+        assert h.step(1, {"x": 5.0})[0] == {"out": False}
+        # Staying below the limit emits nothing further.
+        assert h.step(2, {"x": 6.0})[0] == {}
+
+    def test_above_semantics(self):
+        h = VertexHarness(Threshold(10.0, "above"))
+        outs = [h.step(p, {"x": v})[0].get("out") for p, v in
+                [(1, 5.0), (2, 15.0), (3, 16.0), (4, 3.0)]]
+        assert outs == [False, True, None, False]
+
+    def test_below_semantics(self):
+        h = VertexHarness(Threshold(0.0, "below"))
+        outs = [h.step(p, {"x": v})[0].get("out") for p, v in
+                [(1, 1.0), (2, -1.0)]]
+        assert outs == [False, True]
+
+    def test_invalid_direction(self):
+        with pytest.raises(WorkloadError):
+            Threshold(1.0, "sideways")
+
+    def test_silent_without_change(self):
+        h = VertexHarness(Threshold(1.0))
+        assert h.step(1, {})[0] == {}
+
+    def test_reset(self):
+        t = Threshold(10.0)
+        h = VertexHarness(t)
+        h.step(1, {"x": 20.0})
+        t.reset()
+        assert h.step(2, {"x": 30.0})[0] == {"out": True}  # re-emits
+
+
+class TestAndOrNot:
+    def test_and_all_latched(self):
+        h = VertexHarness(And())
+        assert h.step(1, {"a": True})[0] == {"out": True}
+        assert h.step(2, {"b": False})[0] == {"out": False}
+        assert h.step(3, {"b": True})[0] == {"out": True}
+
+    def test_and_with_arity_waits_for_all(self):
+        h = VertexHarness(And(arity=2))
+        assert h.step(1, {"a": True})[0] == {"out": False}  # b unheard
+        assert h.step(2, {"b": True})[0] == {"out": True}
+
+    def test_or(self):
+        h = VertexHarness(Or())
+        assert h.step(1, {"a": False})[0] == {"out": False}
+        assert h.step(2, {"b": True})[0] == {"out": True}
+        assert h.step(3, {"b": False})[0] == {"out": False}
+
+    def test_not(self):
+        h = VertexHarness(Not())
+        assert h.step(1, {"x": True})[0] == {"out": False}
+        assert h.step(2, {"x": False})[0] == {"out": True}
+
+    def test_no_repeat_emissions(self):
+        h = VertexHarness(Or())
+        h.step(1, {"a": True})
+        assert h.step(2, {"b": True})[0] == {}  # still True
+
+
+class TestKofN:
+    def test_threshold_count(self):
+        h = VertexHarness(KofN(2))
+        assert h.step(1, {"a": True})[0] == {"out": False}
+        assert h.step(2, {"b": True})[0] == {"out": True}
+        assert h.step(3, {"a": False})[0] == {"out": False}
+
+    def test_invalid_k(self):
+        with pytest.raises(WorkloadError):
+            KofN(0)
+
+
+class TestDebounce:
+    def test_requires_n_consecutive(self):
+        h = VertexHarness(Debounce(3))
+        assert h.step(1, {"x": True})[0] == {}
+        assert h.step(2, {"x": True})[0] == {}
+        assert h.step(3, {"x": True})[0] == {"out": True}
+
+    def test_false_resets_streak(self):
+        h = VertexHarness(Debounce(2))
+        h.step(1, {"x": True})
+        h.step(2, {"x": False})
+        assert h.step(3, {"x": True})[0] == {}
+        assert h.step(4, {"x": True})[0] == {"out": True}
+
+    def test_false_transition_emitted(self):
+        h = VertexHarness(Debounce(1))
+        assert h.step(1, {"x": True})[0] == {"out": True}
+        assert h.step(2, {"x": False})[0] == {"out": False}
+        assert h.step(3, {"x": False})[0] == {}
+
+    def test_leading_false_silent(self):
+        h = VertexHarness(Debounce(1))
+        assert h.step(1, {"x": False})[0] == {}
+
+    def test_invalid_n(self):
+        with pytest.raises(WorkloadError):
+            Debounce(0)

@@ -1,0 +1,132 @@
+"""Tests for source vertices (seeded sensors)."""
+
+import pytest
+
+from repro.core.vertex import EMIT_NOTHING, VertexContext
+from repro.errors import WorkloadError
+from repro.models.sensors import (
+    PeriodicSensor,
+    PoissonEventSource,
+    RandomWalkSensor,
+    ReplaySource,
+    SilentSource,
+    TransactionSource,
+)
+
+
+def run_source(src, phases: int):
+    """Drive a source through phases; returns the emission per phase
+    (None when silent)."""
+    out = []
+    for p in range(1, phases + 1):
+        ctx = VertexContext(
+            name="s", phase=p, inputs={}, changed=set(), successors=["out"]
+        )
+        value = src.on_execute(ctx)
+        out.append(None if value is EMIT_NOTHING else value)
+    return out
+
+
+class TestRandomWalkSensor:
+    def test_deterministic_per_seed(self):
+        a = run_source(RandomWalkSensor(seed=3), 20)
+        b = run_source(RandomWalkSensor(seed=3), 20)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert run_source(RandomWalkSensor(seed=1), 20) != run_source(
+            RandomWalkSensor(seed=2), 20
+        )
+
+    def test_reset_restores_sequence(self):
+        s = RandomWalkSensor(seed=5)
+        first = run_source(s, 10)
+        s.reset()
+        assert run_source(s, 10) == first
+
+    def test_report_delta_suppresses(self):
+        chatty = RandomWalkSensor(seed=7, step=1.0, report_delta=0.0)
+        quiet = RandomWalkSensor(seed=7, step=1.0, report_delta=5.0)
+        chatty_count = sum(1 for v in run_source(chatty, 100) if v is not None)
+        quiet_count = sum(1 for v in run_source(quiet, 100) if v is not None)
+        assert chatty_count == 100
+        assert 0 < quiet_count < chatty_count
+
+    def test_starts_near_start_value(self):
+        s = RandomWalkSensor(seed=1, start=100.0, step=0.001)
+        (first,) = run_source(s, 1)
+        assert abs(first - 100.0) < 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            RandomWalkSensor(step=-1)
+
+
+class TestPeriodicSensor:
+    def test_true_value_period(self):
+        s = PeriodicSensor(mean=10.0, amplitude=5.0, period=4.0, noise=0.0)
+        assert s.true_value(0) == pytest.approx(10.0)
+        assert s.true_value(1) == pytest.approx(15.0)
+        assert s.true_value(2) == pytest.approx(10.0)
+        assert s.true_value(3) == pytest.approx(5.0)
+
+    def test_zero_noise_tracks_signal(self):
+        s = PeriodicSensor(seed=0, noise=0.0, mean=20.0, amplitude=10.0, period=24.0)
+        emitted = run_source(s, 24)
+        assert emitted[5] == pytest.approx(s.true_value(6), abs=1e-5)
+
+    def test_invalid_period(self):
+        with pytest.raises(WorkloadError):
+            PeriodicSensor(period=0)
+
+
+class TestPoissonEventSource:
+    def test_mostly_silent_for_small_rate(self):
+        emitted = run_source(PoissonEventSource(seed=1, rate=0.05), 400)
+        active = sum(1 for v in emitted if v is not None)
+        assert 0 < active < 60
+
+    def test_counts_positive(self):
+        emitted = run_source(PoissonEventSource(seed=2, rate=2.0), 100)
+        assert all(v is None or v >= 1 for v in emitted)
+
+    def test_mean_roughly_matches_rate(self):
+        emitted = run_source(PoissonEventSource(seed=3, rate=1.0), 2000)
+        total = sum(v for v in emitted if v is not None)
+        assert 0.85 < total / 2000 < 1.15
+
+    def test_invalid_rate(self):
+        with pytest.raises(WorkloadError):
+            PoissonEventSource(rate=-0.1)
+
+
+class TestTransactionSource:
+    def test_emits_every_phase(self):
+        emitted = run_source(TransactionSource(seed=1), 50)
+        assert all(v is not None and v > 0 for v in emitted)
+
+    def test_anomaly_rate_controls_spikes(self):
+        src = TransactionSource(seed=4, anomaly_rate=0.05, anomaly_factor=100.0)
+        run_source(src, 2000)
+        assert 50 <= src.anomalies_emitted <= 150
+
+    def test_reset_clears_counter(self):
+        src = TransactionSource(seed=4, anomaly_rate=0.1)
+        run_source(src, 100)
+        src.reset()
+        assert src.anomalies_emitted == 0
+
+    def test_invalid_anomaly_rate(self):
+        with pytest.raises(WorkloadError):
+            TransactionSource(anomaly_rate=1.5)
+
+
+class TestReplaySource:
+    def test_replays_values(self):
+        s = ReplaySource(["a", None, "c"])
+        assert run_source(s, 4) == ["a", None, "c", None]
+
+
+class TestSilentSource:
+    def test_never_emits(self):
+        assert run_source(SilentSource(), 10) == [None] * 10

@@ -1,0 +1,156 @@
+"""Tests for the run queue, including concurrent at-most-once delivery."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueueClosedError
+from repro.runtime.blocking_queue import BlockingQueue
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        q = BlockingQueue()
+        for i in range(5):
+            q.put(i)
+        assert [q.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_put_many(self):
+        q = BlockingQueue()
+        q.put_many([1, 2, 3])
+        assert len(q) == 3
+        assert q.get() == 1
+
+    def test_put_many_empty_is_noop(self):
+        q = BlockingQueue()
+        q.put_many([])
+        assert len(q) == 0
+
+    def test_get_timeout(self):
+        q = BlockingQueue()
+        with pytest.raises(TimeoutError):
+            q.get(timeout=0.01)
+
+    def test_len_and_depth_stats(self):
+        q = BlockingQueue()
+        q.put(1)
+        q.put(2)
+        q.get()
+        q.put(3)
+        assert q.max_depth == 2
+        assert q.total_enqueued == 3
+        assert q.total_dequeued == 1
+
+    def test_repr(self):
+        q = BlockingQueue()
+        q.put(1)
+        assert "depth=1" in repr(q)
+
+
+class TestClose:
+    def test_close_then_drain(self):
+        q = BlockingQueue()
+        q.put("item")
+        q.close()
+        assert q.get() == "item"  # already-enqueued items still delivered
+        with pytest.raises(QueueClosedError):
+            q.get()
+
+    def test_put_after_close_rejected(self):
+        q = BlockingQueue()
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.put(1)
+        with pytest.raises(QueueClosedError):
+            q.put_many([1])
+
+    def test_close_idempotent(self):
+        q = BlockingQueue()
+        q.close()
+        q.close()
+        assert q.closed
+
+    def test_close_wakes_blocked_getters(self):
+        q = BlockingQueue()
+        results = []
+
+        def getter():
+            try:
+                q.get()
+            except QueueClosedError:
+                results.append("closed")
+
+        threads = [threading.Thread(target=getter) for _ in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        q.close()
+        for t in threads:
+            t.join(timeout=2)
+        assert results == ["closed"] * 3
+
+
+class TestConcurrency:
+    def test_blocking_get_receives_later_put(self):
+        q = BlockingQueue()
+        result = []
+
+        def getter():
+            result.append(q.get())
+
+        t = threading.Thread(target=getter)
+        t.start()
+        time.sleep(0.02)
+        q.put("late")
+        t.join(timeout=2)
+        assert result == ["late"]
+
+    def test_at_most_once_under_contention(self):
+        """N items, many consumers: every item delivered exactly once."""
+        q = BlockingQueue()
+        n_items, n_consumers = 2000, 8
+        received = [[] for _ in range(n_consumers)]
+
+        def consumer(idx: int) -> None:
+            while True:
+                try:
+                    received[idx].append(q.get())
+                except QueueClosedError:
+                    return
+
+        threads = [
+            threading.Thread(target=consumer, args=(i,)) for i in range(n_consumers)
+        ]
+        for t in threads:
+            t.start()
+        for i in range(n_items):
+            q.put(i)
+        # Give consumers time to drain, then close.
+        while q.total_dequeued < n_items:
+            time.sleep(0.005)
+        q.close()
+        for t in threads:
+            t.join(timeout=5)
+        everything = [x for part in received for x in part]
+        assert sorted(everything) == list(range(n_items))
+        assert len(everything) == n_items  # no duplicates
+
+    def test_concurrent_producers(self):
+        q = BlockingQueue()
+        n_producers, per_producer = 4, 500
+
+        def producer(base: int) -> None:
+            for i in range(per_producer):
+                q.put(base + i)
+
+        threads = [
+            threading.Thread(target=producer, args=(i * per_producer,))
+            for i in range(n_producers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        drained = [q.get() for _ in range(n_producers * per_producer)]
+        assert sorted(drained) == list(range(n_producers * per_producer))

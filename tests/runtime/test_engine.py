@@ -1,0 +1,184 @@
+"""Tests for the multithreaded parallel engine."""
+
+import pytest
+
+from repro.analysis.serializability import assert_serializable
+from repro.core.invariants import InvariantChecker
+from repro.core.program import Program
+from repro.core.serial import SerialExecutor
+from repro.core.tracer import ExecutionTracer
+from repro.core.vertex import FunctionVertex, PassthroughSource
+from repro.errors import EngineError, VertexExecutionError
+from repro.events import PhaseInput
+from repro.graph.generators import chain_graph, fig1_graph
+from repro.runtime.engine import ParallelEngine
+from repro.runtime.environment import EnvironmentConfig
+from repro.streams.workloads import fig1_workload, grid_workload
+
+from tests.conftest import make_chain_program, signals
+
+
+class TestBasicExecution:
+    def test_single_phase_single_thread(self):
+        prog = make_chain_program(3, {1: "x"})
+        res = ParallelEngine(prog, num_threads=1).run(signals(1))
+        assert res.records["n2"] == [(1, "x")]
+        assert res.engine == "parallel[k=1]"
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_matches_serial_oracle(self, threads):
+        prog, phases = grid_workload(3, 3, phases=25, seed=2)
+        serial = SerialExecutor(prog).run(phases)
+        par = ParallelEngine(prog, num_threads=threads).run(phases)
+        assert_serializable(serial, par)
+
+    def test_invariant_checker_clean(self):
+        prog, phases = fig1_workload(phases=15)
+        checker = InvariantChecker()
+        ParallelEngine(prog, num_threads=3, checker=checker).run(phases)
+        assert checker.checks_run > 0
+        assert checker.violations == []
+
+    def test_zero_phases(self):
+        prog = make_chain_program(2, {})
+        res = ParallelEngine(prog, num_threads=2).run([])
+        assert res.execution_count == 0
+        assert res.phases_run == 0
+
+    def test_invalid_thread_count(self):
+        prog = make_chain_program(2, {})
+        with pytest.raises(EngineError):
+            ParallelEngine(prog, num_threads=0)
+
+    def test_rerun_same_engine_object(self):
+        prog = make_chain_program(3, {1: 1, 2: 2})
+        engine = ParallelEngine(prog, num_threads=2)
+        r1 = engine.run(signals(2))
+        r2 = engine.run(signals(2))
+        assert r1.records == r2.records
+
+
+class TestStats:
+    def test_stats_populated(self):
+        prog, phases = grid_workload(3, 3, phases=20)
+        res = ParallelEngine(prog, num_threads=2).run(phases)
+        assert res.stats["num_threads"] == 2
+        assert res.stats["lock"]["acquisitions"] > 0
+        assert res.stats["queue"]["total_enqueued"] == res.stats["queue"][
+            "total_dequeued"
+        ]
+        assert sum(res.stats["per_worker_executions"].values()) == res.execution_count
+
+    def test_tracer_concurrency_stats(self):
+        prog, phases = fig1_workload(phases=20)
+        tracer = ExecutionTracer()
+        res = ParallelEngine(prog, num_threads=4, tracer=tracer).run(phases)
+        assert res.stats["max_concurrent_pairs"] >= 1
+        assert res.stats["max_concurrent_phases"] >= 1
+        assert len(tracer.executed_pairs()) == res.execution_count
+
+
+class TestFailureHandling:
+    def test_vertex_exception_propagates(self):
+        g = chain_graph(2)
+
+        def boom(ctx):
+            if ctx.phase == 2:
+                raise RuntimeError("deliberate")
+            return ctx.input("v1")
+
+        prog = Program(g, {"v1": PassthroughSource(), "v2": FunctionVertex(boom)})
+        phases = [PhaseInput(k, float(k), {"v1": k}) for k in (1, 2, 3)]
+        with pytest.raises(VertexExecutionError, match="deliberate"):
+            ParallelEngine(prog, num_threads=2).run(phases)
+
+    def test_failure_mentions_vertex_and_phase(self):
+        g = chain_graph(1)
+
+        def boom(ctx):
+            raise ValueError("nope")
+
+        class BoomSource(PassthroughSource):
+            def on_execute(self, ctx):
+                raise ValueError("nope")
+
+        prog = Program(g, {"v1": BoomSource()})
+        with pytest.raises(VertexExecutionError) as ei:
+            ParallelEngine(prog, num_threads=1).run(signals(1))
+        assert ei.value.vertex == "v1"
+        assert ei.value.phase == 1
+
+    def test_engine_usable_after_failure(self):
+        g = chain_graph(1)
+        state = {"fail": True}
+
+        class FlakySource(PassthroughSource):
+            def on_execute(self, ctx):
+                if state["fail"]:
+                    raise RuntimeError("first run fails")
+                return 1
+
+        prog = Program(g, {"v1": FlakySource()})
+        engine = ParallelEngine(prog, num_threads=2)
+        with pytest.raises(VertexExecutionError):
+            engine.run(signals(2))
+        state["fail"] = False
+        res = engine.run(signals(2))
+        assert res.execution_count == 2
+
+
+class TestFlowControl:
+    def test_bounded_in_flight_matches_serial(self):
+        prog, phases = grid_workload(2, 4, phases=20, seed=3)
+        serial = SerialExecutor(prog).run(phases)
+        res = ParallelEngine(
+            prog,
+            num_threads=3,
+            env=EnvironmentConfig(max_in_flight_phases=2),
+        ).run(phases)
+        assert_serializable(serial, res)
+
+    def test_barrier_config_matches_serial(self):
+        prog, phases = grid_workload(2, 3, phases=15, seed=4)
+        serial = SerialExecutor(prog).run(phases)
+        res = ParallelEngine(
+            prog,
+            num_threads=2,
+            env=EnvironmentConfig(max_in_flight_phases=1),
+        ).run(phases)
+        assert_serializable(serial, res)
+
+    def test_pacing_config(self):
+        prog = make_chain_program(2, {1: 1, 2: 2})
+        res = ParallelEngine(
+            prog, num_threads=1, env=EnvironmentConfig(pacing=0.001)
+        ).run(signals(2))
+        assert res.execution_count == 4
+
+    def test_invalid_env_config(self):
+        with pytest.raises(EngineError):
+            EnvironmentConfig(pacing=-1.0)
+        with pytest.raises(EngineError):
+            EnvironmentConfig(max_in_flight_phases=0)
+
+
+class TestPipelining:
+    def test_multiple_phases_in_flight(self):
+        """With many workers and no flow control, distinct phases execute
+        concurrently (the Figure 1 behaviour) — detectable even under the
+        GIL because execute intervals interleave."""
+        prog, phases = fig1_workload(phases=30)
+        tracer = ExecutionTracer()
+        import time as _time
+
+        # give vertices measurable duration via a sleeping wrapper
+        for name, beh in prog.behaviors.items():
+            orig = beh.on_execute
+
+            def slow(ctx, orig=orig):
+                _time.sleep(0.0005)
+                return orig(ctx)
+
+            beh.on_execute = slow  # type: ignore[method-assign]
+        res = ParallelEngine(prog, num_threads=4, tracer=tracer).run(phases)
+        assert res.stats["max_concurrent_pairs"] >= 2

@@ -1,0 +1,93 @@
+"""Tests for the instrumented global lock."""
+
+import threading
+import time
+
+from repro.runtime.locks import InstrumentedLock
+
+
+class TestBasics:
+    def test_context_manager(self):
+        lock = InstrumentedLock()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_acquisition_counting(self):
+        lock = InstrumentedLock()
+        for _ in range(3):
+            with lock:
+                pass
+        stats = lock.stats()
+        assert stats["acquisitions"] == 3
+        assert stats["contended_acquisitions"] == 0
+        assert stats["contention_ratio"] == 0.0
+
+    def test_hold_time_accumulates(self):
+        lock = InstrumentedLock()
+        with lock:
+            time.sleep(0.02)
+        assert lock.stats()["total_hold_time"] >= 0.015
+
+    def test_repr(self):
+        lock = InstrumentedLock()
+        with lock:
+            pass
+        assert "acquisitions=1" in repr(lock)
+
+    def test_new_condition_is_bound(self):
+        lock = InstrumentedLock()
+        cond = lock.new_condition()
+        with cond:
+            pass  # acquires/releases the underlying lock without error
+
+
+class TestContention:
+    def test_contended_acquisition_detected(self):
+        lock = InstrumentedLock()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                entered.set()
+                release.wait(timeout=5)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        entered.wait(timeout=5)
+        waiter_done = threading.Event()
+
+        def waiter():
+            with lock:
+                waiter_done.set()
+
+        t2 = threading.Thread(target=waiter)
+        t2.start()
+        time.sleep(0.02)
+        release.set()
+        t.join(timeout=5)
+        t2.join(timeout=5)
+        assert waiter_done.is_set()
+        stats = lock.stats()
+        assert stats["acquisitions"] == 2
+        assert stats["contended_acquisitions"] == 1
+        assert stats["total_wait_time"] > 0.0
+        assert 0.0 < stats["contention_ratio"] <= 0.5
+
+    def test_mutual_exclusion(self):
+        """Concurrent increments under the lock never lose updates."""
+        lock = InstrumentedLock()
+        counter = {"n": 0}
+
+        def bump():
+            for _ in range(2000):
+                with lock:
+                    counter["n"] += 1
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert counter["n"] == 8000

@@ -1,0 +1,258 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.des import Event, Process, Resource, Simulation, Store
+
+
+class TestEventsAndTime:
+    def test_timeout_advances_clock(self):
+        sim = Simulation()
+        log = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            log.append(sim.now)
+            yield sim.timeout(2.5)
+            log.append(sim.now)
+
+        sim.start(proc())
+        end = sim.run()
+        assert log == [5.0, 7.5]
+        assert end == 7.5
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = Simulation()
+        log = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            log.append(tag)
+
+        sim.start(proc("a"))
+        sim.start(proc("b"))
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_event_succeed_value(self):
+        sim = Simulation()
+        ev = sim.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        sim.start(waiter())
+
+        def trigger():
+            yield sim.timeout(1.0)
+            ev.succeed("payload")
+
+        sim.start(trigger())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulation()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_run_until(self):
+        sim = Simulation()
+
+        def proc():
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.start(proc())
+        end = sim.run(until=3.5)
+        assert end == 3.5
+
+    def test_process_is_event(self):
+        sim = Simulation()
+
+        def child():
+            yield sim.timeout(2.0)
+            return "done"
+
+        def parent(log):
+            result = yield sim.start(child(), name="child")
+            log.append((sim.now, result))
+
+        log = []
+        sim.start(parent(log))
+        sim.run()
+        assert log == [(2.0, "done")]
+
+    def test_yielding_non_event_rejected(self):
+        sim = Simulation()
+
+        def bad():
+            yield 42  # type: ignore[misc]
+
+        sim.start(bad())
+        with pytest.raises(SimulationError, match="yield Event"):
+            sim.run()
+
+
+class TestResource:
+    def test_capacity_one_serialises(self):
+        sim = Simulation()
+        res = Resource(sim, 1)
+        log = []
+
+        def user(tag, hold):
+            yield res.request()
+            start = sim.now
+            yield sim.timeout(hold)
+            res.release()
+            log.append((tag, start, sim.now))
+
+        sim.start(user("a", 2.0))
+        sim.start(user("b", 3.0))
+        sim.run()
+        assert log == [("a", 0.0, 2.0), ("b", 2.0, 5.0)]
+
+    def test_fifo_grant_order(self):
+        sim = Simulation()
+        res = Resource(sim, 1)
+        order = []
+
+        def user(tag):
+            yield res.request()
+            order.append(tag)
+            yield sim.timeout(1.0)
+            res.release()
+
+        for tag in ("first", "second", "third"):
+            sim.start(user(tag))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_capacity_two_parallel(self):
+        sim = Simulation()
+        res = Resource(sim, 2)
+        done = []
+
+        def user(tag):
+            yield res.request()
+            yield sim.timeout(4.0)
+            res.release()
+            done.append((tag, sim.now))
+
+        for tag in "abc":
+            sim.start(user(tag))
+        sim.run()
+        # a and b run in parallel, c waits for a slot.
+        assert done == [("a", 4.0), ("b", 4.0), ("c", 8.0)]
+
+    def test_release_idle_rejected(self):
+        sim = Simulation()
+        res = Resource(sim, 1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_contention_stats(self):
+        sim = Simulation()
+        res = Resource(sim, 1)
+
+        def user():
+            yield res.request()
+            yield sim.timeout(1.0)
+            res.release()
+
+        sim.start(user())
+        sim.start(user())
+        sim.run()
+        assert res.total_requests == 2
+        assert res.contended_requests == 1
+
+    def test_utilization_integral(self):
+        sim = Simulation()
+        res = Resource(sim, 2)
+
+        def user():
+            yield res.request()
+            yield sim.timeout(10.0)
+            res.release()
+
+        sim.start(user())
+        sim.run()
+        # 1 unit busy for 10s over capacity 2 -> 50% utilization.
+        assert res.utilization(10.0) == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulation(), 0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulation()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        store.put("x")
+        sim.start(consumer())
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulation()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(3.0)
+            store.put("late")
+
+        sim.start(consumer())
+        sim.start(producer())
+        sim.run()
+        assert got == [(3.0, "late")]
+
+    def test_fifo_items_and_getters(self):
+        sim = Simulation()
+        store = Store(sim)
+        got = []
+
+        def consumer(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        sim.start(consumer("c1"))
+        sim.start(consumer("c2"))
+
+        def producer():
+            yield sim.timeout(1.0)
+            store.put("first")
+            store.put("second")
+
+        sim.start(producer())
+        sim.run()
+        assert got == [("c1", "first"), ("c2", "second")]
+
+    def test_depth_stats(self):
+        sim = Simulation()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.max_depth == 2
+        assert len(store) == 2

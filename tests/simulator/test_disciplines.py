@@ -1,0 +1,142 @@
+"""Tests for run-queue disciplines and phase-latency measurement."""
+
+import pytest
+
+from repro.analysis.serializability import assert_serializable
+from repro.core.serial import SerialExecutor
+from repro.core.tracer import ExecutionTracer, TraceEvent, phase_latencies
+from repro.errors import SimulationError
+from repro.simulator.costs import CostModel
+from repro.simulator.des import PriorityStore, Simulation
+from repro.simulator.machine import SimulatedEngine
+from repro.streams.workloads import grid_workload
+
+
+class TestPriorityStore:
+    def test_lowest_key_first(self):
+        sim = Simulation()
+        store = PriorityStore(sim, key=lambda x: x)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        for v in (5, 1, 3):
+            store.put(v)
+        sim.start(consumer())
+        sim.run()
+        assert got == [1, 3, 5]
+
+    def test_blocked_getter_served_on_put(self):
+        sim = Simulation()
+        store = PriorityStore(sim, key=lambda x: x)
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+
+        sim.start(consumer())
+
+        def producer():
+            yield sim.timeout(1.0)
+            store.put(42)
+
+        sim.start(producer())
+        sim.run()
+        assert got == [42]
+
+    def test_tie_break_by_insertion(self):
+        sim = Simulation()
+        store = PriorityStore(sim, key=lambda x: x[0])
+        for item in ((1, "first"), (1, "second")):
+            store.put(item)
+        got = []
+
+        def consumer():
+            for _ in range(2):
+                got.append((yield store.get()))
+
+        sim.start(consumer())
+        sim.run()
+        assert got == [(1, "first"), (1, "second")]
+
+    def test_len_and_depth(self):
+        sim = Simulation()
+        store = PriorityStore(sim, key=lambda x: x)
+        store.put(2)
+        store.put(1)
+        assert len(store) == 2
+        assert store.max_depth == 2
+
+
+class TestQueueDisciplines:
+    @pytest.mark.parametrize(
+        "discipline", ["fifo", "lifo", "low_phase_first", "low_vertex_first"]
+    )
+    def test_all_disciplines_serializable(self, discipline):
+        prog, phases = grid_workload(3, 3, phases=15, seed=4)
+        serial = SerialExecutor(prog).run(phases)
+        res = SimulatedEngine(
+            prog,
+            num_workers=3,
+            queue_discipline=discipline,
+            cost_model=CostModel(compute_cost=1.0, bookkeeping_cost=0.05),
+        ).run(phases)
+        assert_serializable(serial, res)
+
+    def test_unknown_discipline_rejected(self):
+        prog, _ = grid_workload(2, 2, phases=1)
+        with pytest.raises(SimulationError, match="queue_discipline"):
+            SimulatedEngine(prog, queue_discipline="random")
+
+    def test_disciplines_differ_in_schedule(self):
+        prog, phases = grid_workload(4, 4, phases=20, seed=9)
+        orders = {}
+        for disc in ("fifo", "lifo"):
+            res = SimulatedEngine(
+                prog,
+                num_workers=2,
+                queue_discipline=disc,
+                cost_model=CostModel(compute_cost=1.0),
+            ).run(phases)
+            orders[disc] = res.executions
+        assert orders["fifo"] != orders["lifo"]
+        assert set(orders["fifo"]) == set(orders["lifo"])
+
+
+class TestPhaseLatencies:
+    def test_from_synthetic_events(self):
+        events = [
+            TraceEvent(0.0, "phase_started", (0, 1)),
+            TraceEvent(1.0, "phase_started", (0, 2)),
+            TraceEvent(5.0, "phase_completed", (0, 1)),
+            TraceEvent(9.0, "phase_completed", (0, 2)),
+        ]
+        assert phase_latencies(events) == {1: 5.0, 2: 8.0}
+
+    def test_incomplete_phases_omitted(self):
+        events = [TraceEvent(0.0, "phase_started", (0, 1))]
+        assert phase_latencies(events) == {}
+
+    def test_engines_emit_completion_events(self):
+        prog, phases = grid_workload(3, 3, phases=10, seed=5)
+        tracer = ExecutionTracer()
+        SimulatedEngine(
+            prog, num_workers=2, tracer=tracer,
+            cost_model=CostModel(compute_cost=1.0),
+        ).run(phases)
+        lats = phase_latencies(tracer.events)
+        assert set(lats) == set(range(1, 11))
+        assert all(v > 0 for v in lats.values())
+
+    def test_threaded_engine_emits_completions(self):
+        from repro.runtime.engine import ParallelEngine
+
+        prog, phases = grid_workload(2, 2, phases=8, seed=6)
+        tracer = ExecutionTracer()
+        ParallelEngine(prog, num_threads=2, tracer=tracer).run(phases)
+        lats = phase_latencies(tracer.events)
+        assert set(lats) == set(range(1, 9))
+        assert all(v >= 0 for v in lats.values())

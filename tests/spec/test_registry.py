@@ -1,0 +1,99 @@
+"""Tests for the vertex-class registry."""
+
+import pytest
+
+from repro.core.vertex import Vertex
+from repro.errors import RegistryError
+from repro.spec.registry import VertexRegistry, default_registry, register_vertex
+
+
+class Dummy(Vertex):
+    def on_execute(self, ctx):
+        return None
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        reg = VertexRegistry()
+        reg.register("Dummy", Dummy)
+        assert reg.resolve("Dummy") is Dummy
+        assert "Dummy" in reg
+
+    def test_reregister_same_class_ok(self):
+        reg = VertexRegistry()
+        reg.register("Dummy", Dummy)
+        reg.register("Dummy", Dummy)
+
+    def test_conflicting_registration_rejected(self):
+        reg = VertexRegistry()
+        reg.register("Name", Dummy)
+
+        class Other(Vertex):
+            def on_execute(self, ctx):
+                return None
+
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register("Name", Other)
+
+    def test_non_vertex_rejected(self):
+        reg = VertexRegistry()
+        with pytest.raises(RegistryError):
+            reg.register("X", int)  # type: ignore[arg-type]
+
+    def test_unknown_short_name(self):
+        reg = VertexRegistry()
+        with pytest.raises(RegistryError, match="unknown vertex class"):
+            reg.resolve("Nope")
+
+    def test_dotted_path_resolution(self):
+        reg = VertexRegistry()
+        cls = reg.resolve("repro.models.basic.Identity")
+        from repro.models.basic import Identity
+
+        assert cls is Identity
+
+    def test_dotted_path_bad_module(self):
+        reg = VertexRegistry()
+        with pytest.raises(RegistryError, match="cannot import"):
+            reg.resolve("no.such.module.Cls")
+
+    def test_dotted_path_bad_attribute(self):
+        reg = VertexRegistry()
+        with pytest.raises(RegistryError, match="no attribute"):
+            reg.resolve("repro.models.basic.Missing")
+
+    def test_dotted_path_non_vertex(self):
+        reg = VertexRegistry()
+        with pytest.raises(RegistryError, match="not a Vertex"):
+            reg.resolve("repro.graph.model.ComputationGraph")
+
+    def test_iteration_sorted(self):
+        reg = VertexRegistry()
+        reg.register("B", Dummy)
+        reg.register("A", Dummy)
+        assert list(reg) == ["A", "B"]
+        assert reg.names() == ["A", "B"]
+
+
+class TestDefaultRegistry:
+    def test_model_classes_registered(self):
+        # Importing repro.models registers the library classes.
+        import repro.models  # noqa: F401
+
+        for name in (
+            "Identity",
+            "MovingAverage",
+            "ZScoreDetector",
+            "Threshold",
+            "RandomWalkSensor",
+            "Recorder",
+        ):
+            assert name in default_registry, name
+
+    def test_decorator_registers(self):
+        @register_vertex("TestOnlyVertex_xyz")
+        class TestOnly(Vertex):
+            def on_execute(self, ctx):
+                return None
+
+        assert default_registry.resolve("TestOnlyVertex_xyz") is TestOnly

@@ -1,0 +1,180 @@
+"""Tests for XML computation specifications."""
+
+import pytest
+
+from repro.core.serial import SerialExecutor
+from repro.errors import SpecError
+from repro.spec.xml_loader import dumps_spec, load_spec, loads_spec, save_spec
+
+VALID = """
+<computation name="demo">
+  <graph>
+    <vertex id="temp" class="RandomWalkSensor">
+      <param name="seed" value="42" type="int"/>
+      <param name="start" value="15.0" type="float"/>
+    </vertex>
+    <vertex id="avg" class="MovingAverage">
+      <param name="window" value="5" type="int"/>
+    </vertex>
+    <vertex id="log" class="Recorder"/>
+    <edge from="temp" to="avg"/>
+    <edge from="avg" to="log"/>
+  </graph>
+  <simulation timesteps="20" interval="2.0" seed="9"/>
+</computation>
+"""
+
+
+class TestLoading:
+    def test_valid_spec_parses(self):
+        spec = loads_spec(VALID)
+        assert spec.name == "demo"
+        assert spec.timesteps == 20
+        assert spec.interval == 2.0
+        assert spec.seed == 9
+        assert spec.program.graph.num_vertices == 3
+        assert spec.vertex_classes["avg"] == "MovingAverage"
+        assert spec.vertex_params["temp"] == {"seed": 42, "start": 15.0}
+
+    def test_phase_inputs(self):
+        spec = loads_spec(VALID)
+        phases = spec.phase_inputs()
+        assert len(phases) == 20
+        assert phases[0].phase == 1
+        assert phases[1].timestamp == 2.0
+
+    def test_spec_runs(self):
+        spec = loads_spec(VALID)
+        res = SerialExecutor(spec.program).run(spec.phase_inputs())
+        assert res.execution_count == 60  # chatty source: everything fires
+        assert len(res.records["log"]) == 20
+
+    def test_explicit_seed_not_overridden(self):
+        spec = loads_spec(VALID)
+        assert spec.program.behaviors["temp"].seed == 42
+
+    def test_global_seed_derives_source_seeds(self):
+        xml = VALID.replace(
+            '<param name="seed" value="42" type="int"/>', ""
+        )
+        spec1 = loads_spec(xml)
+        spec2 = loads_spec(xml)
+        seed = spec1.program.behaviors["temp"].seed
+        assert seed is not None and seed != 9  # derived, not the raw seed
+        assert spec2.program.behaviors["temp"].seed == seed  # stable
+
+    def test_dotted_class_path(self):
+        xml = VALID.replace(
+            'class="MovingAverage"', 'class="repro.models.statistics.MovingAverage"'
+        )
+        spec = loads_spec(xml)
+        from repro.models.statistics import MovingAverage
+
+        assert isinstance(spec.program.behaviors["avg"], MovingAverage)
+
+    def test_bool_and_json_params(self):
+        xml = """
+        <computation name="p">
+          <graph>
+            <vertex id="r" class="ReplaySource">
+              <param name="values" value="[1, null, 3]" type="json"/>
+            </vertex>
+          </graph>
+          <simulation timesteps="3"/>
+        </computation>
+        """
+        spec = loads_spec(xml)
+        assert spec.program.behaviors["r"].values == [1, None, 3]
+
+
+class TestRejections:
+    def test_malformed_xml(self):
+        with pytest.raises(SpecError, match="malformed"):
+            loads_spec("<computation><oops")
+
+    def test_wrong_root(self):
+        with pytest.raises(SpecError, match="root element"):
+            loads_spec("<other/>")
+
+    def test_missing_graph(self):
+        with pytest.raises(SpecError, match="graph"):
+            loads_spec('<computation name="x"/>')
+
+    def test_vertex_without_id(self):
+        with pytest.raises(SpecError, match="id"):
+            loads_spec(
+                '<computation><graph><vertex class="Recorder"/></graph></computation>'
+            )
+
+    def test_vertex_without_class(self):
+        with pytest.raises(SpecError, match="class"):
+            loads_spec(
+                '<computation><graph><vertex id="v"/></graph></computation>'
+            )
+
+    def test_unknown_param_type(self):
+        xml = """
+        <computation><graph>
+          <vertex id="v" class="Recorder">
+            <param name="x" value="1" type="complex"/>
+          </vertex>
+        </graph></computation>"""
+        with pytest.raises(SpecError, match="unknown type"):
+            loads_spec(xml)
+
+    def test_unparseable_param_value(self):
+        xml = """
+        <computation><graph>
+          <vertex id="v" class="Recorder">
+            <param name="x" value="abc" type="int"/>
+          </vertex>
+        </graph></computation>"""
+        with pytest.raises(SpecError, match="cannot parse"):
+            loads_spec(xml)
+
+    def test_bad_constructor_args(self):
+        xml = """
+        <computation><graph>
+          <vertex id="v" class="MovingAverage">
+            <param name="nonexistent" value="1" type="int"/>
+          </vertex>
+        </graph></computation>"""
+        with pytest.raises(SpecError, match="cannot construct"):
+            loads_spec(xml)
+
+    def test_edge_missing_endpoint(self):
+        xml = """
+        <computation><graph>
+          <vertex id="v" class="Recorder"/>
+          <edge from="v"/>
+        </graph><simulation timesteps="1"/></computation>"""
+        with pytest.raises(SpecError, match="edge"):
+            loads_spec(xml)
+
+    def test_negative_timesteps(self):
+        xml = VALID.replace('timesteps="20"', 'timesteps="-3"')
+        with pytest.raises(SpecError, match="timesteps"):
+            loads_spec(xml)
+
+    def test_file_not_found(self, tmp_path):
+        with pytest.raises(SpecError, match="not found"):
+            load_spec(tmp_path / "missing.xml")
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identical_behaviour(self):
+        spec = loads_spec(VALID)
+        spec2 = loads_spec(dumps_spec(spec))
+        r1 = SerialExecutor(spec.program).run(spec.phase_inputs())
+        r2 = SerialExecutor(spec2.program).run(spec2.phase_inputs())
+        assert r1.records == r2.records
+        assert spec2.timesteps == spec.timesteps
+        assert spec2.seed == spec.seed
+
+    def test_save_and_load_file(self, tmp_path):
+        spec = loads_spec(VALID)
+        path = tmp_path / "spec.xml"
+        save_spec(spec, path)
+        spec2 = load_spec(path)
+        assert spec2.name == "demo"
+        assert spec2.vertex_params["temp"]["seed"] == 42

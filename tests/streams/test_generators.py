@@ -1,0 +1,113 @@
+"""Tests for event-stream generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.events import assemble_phases
+from repro.streams.generators import (
+    bursty_events,
+    merge_streams,
+    phase_signals,
+    poisson_arrival_events,
+    regular_events,
+)
+
+
+class TestRegular:
+    def test_count_and_spacing(self):
+        evs = regular_events("a", 5, interval=2.0, start=1.0)
+        assert len(evs) == 5
+        assert [e.timestamp for e in evs] == [1.0, 3.0, 5.0, 7.0, 9.0]
+        assert [e.value for e in evs] == [0, 1, 2, 3, 4]
+
+    def test_value_fn(self):
+        evs = regular_events("a", 3, value_fn=lambda i: i * i)
+        assert [e.value for e in evs] == [0, 1, 4]
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            regular_events("a", -1)
+        with pytest.raises(WorkloadError):
+            regular_events("a", 1, interval=0)
+
+
+class TestPoisson:
+    def test_deterministic_and_within_horizon(self):
+        a = poisson_arrival_events("s", rate=2.0, horizon=50.0, seed=4)
+        b = poisson_arrival_events("s", rate=2.0, horizon=50.0, seed=4)
+        assert a == b
+        assert all(0 <= e.timestamp < 50.0 for e in a)
+
+    def test_rate_controls_count(self):
+        sparse = poisson_arrival_events("s", rate=0.5, horizon=200.0, seed=1)
+        dense = poisson_arrival_events("s", rate=5.0, horizon=200.0, seed=1)
+        assert len(dense) > len(sparse) * 3
+
+    def test_timestamps_sorted(self):
+        evs = poisson_arrival_events("s", rate=3.0, horizon=30.0, seed=2)
+        times = [e.timestamp for e in evs]
+        assert times == sorted(times)
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            poisson_arrival_events("s", rate=0, horizon=1)
+
+
+class TestBursty:
+    def test_burst_structure(self):
+        evs = bursty_events("s", bursts=3, burst_size=5, seed=3)
+        assert len(evs) == 15
+        times = [e.timestamp for e in evs]
+        assert times == sorted(times)
+
+    def test_gaps_exceed_intra_spacing(self):
+        evs = bursty_events(
+            "s", bursts=2, burst_size=4, burst_gap=100.0, intra_gap=0.1, seed=5
+        )
+        # The gap between burst 1's last event and burst 2's first event
+        # dwarfs intra-burst spacing.
+        gap = evs[4].timestamp - evs[3].timestamp
+        intra = evs[1].timestamp - evs[0].timestamp
+        assert gap > intra * 50
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            bursty_events("s", bursts=1, burst_size=0)
+
+
+class TestMerge:
+    def test_merged_order_and_phases(self):
+        a = regular_events("a", 3, interval=2.0)  # t = 0, 2, 4
+        b = regular_events("b", 3, interval=2.0, start=0.0)  # same instants
+        merged = merge_streams(a, b)
+        phases = assemble_phases(merged)
+        assert len(phases) == 3
+        assert all(set(p.values) == {"a", "b"} for p in phases)
+
+    def test_unsorted_stream_rejected(self):
+        from repro.events import Event
+
+        bad = [Event(2.0, "x", 1), Event(1.0, "x", 2)]
+        with pytest.raises(WorkloadError):
+            merge_streams(bad)
+
+    def test_three_way_merge(self):
+        a = regular_events("a", 2, interval=3.0)
+        b = regular_events("b", 2, interval=3.0, start=1.0)
+        c = regular_events("c", 2, interval=3.0, start=2.0)
+        merged = merge_streams(a, b, c)
+        times = [e.timestamp for e in merged]
+        assert times == sorted(times)
+        assert len(merged) == 6
+
+
+class TestPhaseSignals:
+    def test_sequential(self):
+        sigs = phase_signals(4, interval=0.5)
+        assert [s.phase for s in sigs] == [1, 2, 3, 4]
+        assert [s.timestamp for s in sigs] == [0.0, 0.5, 1.0, 1.5]
+        assert all(not s.values for s in sigs)
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            phase_signals(-1)

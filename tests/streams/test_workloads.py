@@ -1,0 +1,71 @@
+"""Tests for synthetic workload builders."""
+
+import pytest
+
+from repro.analysis.serializability import assert_serializable
+from repro.core.serial import SerialExecutor
+from repro.errors import WorkloadError
+from repro.graph.analysis import depth, width
+from repro.runtime.engine import ParallelEngine
+from repro.streams.workloads import (
+    fanin_workload,
+    fig1_workload,
+    grid_workload,
+    pipeline_workload,
+)
+
+
+@pytest.mark.parametrize(
+    "builder,kwargs",
+    [
+        (pipeline_workload, dict(depth=5, phases=20)),
+        (fanin_workload, dict(fan=5, phases=20)),
+        (grid_workload, dict(width=3, depth=3, phases=20)),
+        (fig1_workload, dict(phases=20)),
+    ],
+)
+def test_workloads_run_and_serialize(builder, kwargs):
+    prog, phases = builder(**kwargs)
+    serial = SerialExecutor(prog).run(phases)
+    par = ParallelEngine(prog, num_threads=2).run(phases)
+    assert_serializable(serial, par)
+    assert serial.execution_count > 0
+
+
+class TestShapes:
+    def test_pipeline_shape(self):
+        prog, _ = pipeline_workload(depth=6, phases=5)
+        assert depth(prog.graph) == 6
+        assert width(prog.graph) == 1
+
+    def test_fanin_shape(self):
+        prog, _ = fanin_workload(fan=7, phases=5)
+        assert width(prog.graph) == 7
+        assert depth(prog.graph) == 2
+
+    def test_grid_shape(self):
+        prog, _ = grid_workload(width=4, depth=3, phases=5)
+        assert depth(prog.graph) == 3
+        assert width(prog.graph) == 4
+
+    def test_fig1_fully_loaded(self):
+        """Chatty sources: every vertex executes every phase (the fully
+        occupied pipeline of Figure 1)."""
+        prog, phases = fig1_workload(phases=10)
+        res = SerialExecutor(prog).run(phases)
+        assert res.execution_count == 10 * 10
+
+    def test_deterministic_per_seed(self):
+        p1, ph = grid_workload(3, 3, phases=10, seed=5)
+        p2, _ = grid_workload(3, 3, phases=10, seed=5)
+        r1 = SerialExecutor(p1).run(ph)
+        r2 = SerialExecutor(p2).run(ph)
+        assert r1.records == r2.records
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            pipeline_workload(depth=1)
+        with pytest.raises(WorkloadError):
+            fanin_workload(fan=0)
+        with pytest.raises(WorkloadError):
+            grid_workload(width=0, depth=1)

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SPEC = """
+<computation name="cli-demo">
+  <graph>
+    <vertex id="sensor" class="RandomWalkSensor">
+      <param name="seed" value="1" type="int"/>
+    </vertex>
+    <vertex id="avg" class="MovingAverage">
+      <param name="window" value="3" type="int"/>
+    </vertex>
+    <vertex id="out" class="Recorder"/>
+    <edge from="sensor" to="avg"/>
+    <edge from="avg" to="out"/>
+  </graph>
+  <simulation timesteps="10" interval="1.0" seed="5"/>
+</computation>
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path: Path) -> str:
+    path = tmp_path / "demo.xml"
+    path.write_text(SPEC)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["--version"])
+        assert ei.value.code == 0
+
+
+class TestRun:
+    @pytest.mark.parametrize("engine", ["serial", "parallel", "simulated"])
+    def test_engines(self, spec_file, capsys, engine):
+        assert main(["run", spec_file, "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert "cli-demo" in out
+        assert "out (" in out  # records section
+
+    def test_check_flag(self, spec_file, capsys):
+        assert main(["run", spec_file, "--engine", "parallel", "--check"]) == 0
+        assert "serializable" in capsys.readouterr().out
+
+    def test_max_records_truncation(self, spec_file, capsys):
+        assert main(["run", spec_file, "--max-records", "2"]) == 0
+        assert "more" in capsys.readouterr().out
+
+    def test_missing_spec_is_error(self, capsys):
+        assert main(["run", "/nonexistent.xml"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_deterministic_across_engines(self, spec_file, capsys):
+        main(["run", spec_file, "--engine", "serial"])
+        serial_out = capsys.readouterr().out
+        main(["run", spec_file, "--engine", "parallel"])
+        parallel_out = capsys.readouterr().out
+        # The records section must match (headers differ by engine name).
+        assert serial_out.split("\n", 1)[1] == parallel_out.split("\n", 1)[1]
+
+
+class TestInfoValidate:
+    def test_info(self, spec_file, capsys):
+        assert main(["info", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "m-sequence" in out
+        assert "RandomWalkSensor" in out
+        assert "depth: 3" in out
+
+    def test_validate_ok(self, spec_file, capsys):
+        assert main(["validate", spec_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_bad_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<computation><graph><vertex id='v'/></graph></computation>")
+        assert main(["validate", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSpeedup:
+    def test_sweep(self, spec_file, capsys):
+        assert main(
+            ["speedup", spec_file, "--workers", "1,2", "--processors", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert out.count("\n") >= 3
+
+    def test_bad_workers(self, spec_file, capsys):
+        assert main(["speedup", spec_file, "--workers", "a,b"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_empty_workers(self, spec_file, capsys):
+        assert main(["speedup", spec_file, "--workers", ","]) == 2
+
+
+class TestFigures:
+    def test_renders(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "m-sequence: [3, 3, 4, 5, 5, 6, 7, 7]" in out
+        assert "(h) (4,1) executed" in out
+        assert "legend" in out

@@ -1,0 +1,76 @@
+"""Tracing inside the simulated cluster: cross-machine pipelining must be
+observable — machine 1 executing phase p while machine 0 is on p+k."""
+
+import pytest
+
+from repro.core.tracer import ExecutionTracer
+from repro.distributed import (
+    MachineConfig,
+    PartitionedProgram,
+    SimulatedCluster,
+    contiguous_partition,
+)
+from repro.errors import WorkloadError
+from repro.simulator.costs import CostModel
+from repro.streams.workloads import pipeline_workload
+
+
+def traced_cluster(machines: int = 3):
+    prog, phases = pipeline_workload(depth=9, phases=25, seed=3)
+    pp = PartitionedProgram(prog, contiguous_partition(prog.numbering, machines))
+    tracers = [ExecutionTracer() for _ in range(machines)]
+    result = SimulatedCluster(
+        pp,
+        MachineConfig(num_workers=2, num_processors=2),
+        cost_model=CostModel(compute_cost=1.0, bookkeeping_cost=0.01),
+        network_latency=0.2,
+        tracers=tracers,
+    ).run(phases)
+    return result, tracers
+
+
+class TestClusterTracing:
+    def test_every_machine_traces_executions(self):
+        _result, tracers = traced_cluster()
+        for tr in tracers:
+            assert tr.intervals(), "each machine executed and traced work"
+
+    def test_cross_machine_phase_skew(self):
+        """At some virtual instant, machine 0 works on a strictly later
+        phase than machine 2 — the cluster-level pipeline."""
+        _result, tracers = traced_cluster()
+        head = tracers[0].intervals()
+        tail = tracers[-1].intervals()
+        skewed = False
+        for b0, e0, (_v0, p0) in head:
+            for b2, e2, (_v2, p2) in tail:
+                if max(b0, b2) < min(e0, e2) and p0 > p2:
+                    skewed = True
+                    break
+            if skewed:
+                break
+        assert skewed
+
+    def test_downstream_phases_start_after_upstream_completion(self):
+        """Machine m+1 cannot start phase p before machine m completed it
+        (plus the network latency)."""
+        _result, tracers = traced_cluster()
+        for up, down in zip(tracers, tracers[1:]):
+            completed = {
+                ev.pair[1]: ev.time
+                for ev in up.events
+                if ev.kind == "phase_completed"
+            }
+            started = {
+                ev.pair[1]: ev.time
+                for ev in down.events
+                if ev.kind == "phase_started"
+            }
+            for p, t_start in started.items():
+                assert t_start >= completed[p] + 0.2 - 1e-9
+
+    def test_tracer_count_validated(self):
+        prog, phases = pipeline_workload(depth=4, phases=2)
+        pp = PartitionedProgram(prog, contiguous_partition(prog.numbering, 2))
+        with pytest.raises(WorkloadError, match="tracers"):
+            SimulatedCluster(pp, tracers=[ExecutionTracer()])

@@ -1,0 +1,32 @@
+"""Run the doctests embedded in library docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.pairsets
+import repro.core.serial
+import repro.events
+import repro.graph.model
+
+# Ensure the lazily loaded engines referenced by the package docstring
+# example are resolvable before doctest runs it.
+repro.ParallelEngine  # noqa: B018
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro,
+        repro.events,
+        repro.graph.model,
+        repro.core.pairsets,
+        repro.core.serial,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} should carry doctests"
+    assert result.failed == 0

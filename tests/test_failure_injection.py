@@ -1,0 +1,108 @@
+"""Failure injection across engines: vertex exceptions must surface as
+typed errors from every engine, leaving no silent corruption."""
+
+import pytest
+
+from repro.core.program import Program
+from repro.core.serial import SerialExecutor
+from repro.core.vertex import FunctionVertex, PassthroughSource, SourceVertex
+from repro.distributed import (
+    PartitionedProgram,
+    SimulatedCluster,
+    contiguous_partition,
+)
+from repro.errors import VertexExecutionError
+from repro.events import PhaseInput
+from repro.graph.model import ComputationGraph
+from repro.runtime.engine import ParallelEngine
+from repro.simulator.machine import SimulatedEngine
+
+from tests.conftest import signals
+
+
+def failing_program(fail_phase: int = 2) -> Program:
+    g = ComputationGraph.from_edges([("src", "mid"), ("mid", "out")])
+
+    def mid(ctx):
+        if ctx.phase == fail_phase:
+            raise RuntimeError("injected failure")
+        return ctx.input("src")
+
+    class Chatty(SourceVertex):
+        def on_execute(self, ctx):
+            return ctx.phase
+
+    return Program(
+        g,
+        {
+            "src": Chatty(),
+            "mid": FunctionVertex(mid),
+            "out": FunctionVertex(lambda ctx: ctx.input("mid")),
+        },
+    )
+
+
+class TestSerialFailure:
+    def test_raises_typed_error(self):
+        prog = failing_program()
+        with pytest.raises(VertexExecutionError) as ei:
+            SerialExecutor(prog).run(signals(5))
+        assert ei.value.vertex == "mid"
+        assert ei.value.phase == 2
+        assert isinstance(ei.value.__cause__, RuntimeError)
+
+
+class TestParallelFailure:
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_raises_and_terminates(self, threads):
+        prog = failing_program()
+        engine = ParallelEngine(prog, num_threads=threads, join_timeout=30)
+        with pytest.raises(VertexExecutionError, match="injected failure"):
+            engine.run(signals(5))
+
+    def test_failure_on_first_phase(self):
+        prog = failing_program(fail_phase=1)
+        with pytest.raises(VertexExecutionError):
+            ParallelEngine(prog, num_threads=2, join_timeout=30).run(signals(3))
+
+    def test_failure_on_last_phase(self):
+        prog = failing_program(fail_phase=5)
+        with pytest.raises(VertexExecutionError):
+            ParallelEngine(prog, num_threads=2, join_timeout=30).run(signals(5))
+
+
+class TestSimulatedFailure:
+    def test_raises_from_run(self):
+        prog = failing_program()
+        with pytest.raises(VertexExecutionError, match="injected failure"):
+            SimulatedEngine(prog, num_workers=2).run(signals(5))
+
+
+class TestClusterFailure:
+    def test_raises_from_run(self):
+        prog = failing_program()
+        pp = PartitionedProgram(prog, contiguous_partition(prog.numbering, 2))
+        with pytest.raises(VertexExecutionError, match="injected failure"):
+            SimulatedCluster(pp).run(signals(5))
+
+
+class TestSourceFailure:
+    def test_failing_source(self):
+        g = ComputationGraph.from_edges([("src", "out")])
+
+        class Boom(PassthroughSource):
+            def on_execute(self, ctx):
+                if ctx.phase == 3:
+                    raise ValueError("sensor offline")
+                return ctx.phase
+
+        prog = Program(
+            g, {"src": Boom(), "out": FunctionVertex(lambda c: c.input("src"))}
+        )
+        for engine in (
+            SerialExecutor(prog),
+            ParallelEngine(prog, num_threads=2, join_timeout=30),
+            SimulatedEngine(prog, num_workers=2),
+        ):
+            with pytest.raises(VertexExecutionError, match="sensor offline"):
+                engine.run(signals(4))

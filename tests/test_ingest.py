@@ -1,0 +1,166 @@
+"""Tests for the reorder buffer and noisy-clock ingestion (Section 6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.events import Event
+from repro.ingest import (
+    ArrivingEvent,
+    ReorderBuffer,
+    late_event_tradeoff,
+    noisy_observations,
+)
+
+
+def arr(ts: float, source: str, value, arrival: float) -> ArrivingEvent:
+    return ArrivingEvent(Event(ts, source, value), arrival)
+
+
+class TestArrivingEvent:
+    def test_arrival_before_generation_rejected(self):
+        with pytest.raises(WorkloadError):
+            arr(5.0, "a", 1, arrival=4.0)
+
+
+class TestReorderBuffer:
+    def test_in_order_events_seal_after_wait(self):
+        buf = ReorderBuffer(wait=1.0)
+        assert buf.offer(arr(0.0, "a", 1, arrival=0.2)) == []
+        # Arrival 1.5 pushes the watermark to 0.5 >= timestamp 0: sealed.
+        sealed = buf.offer(arr(1.0, "a", 2, arrival=1.5))
+        assert [p.timestamp for p in sealed] == [0.0]
+
+    def test_watermark_semantics(self):
+        buf = ReorderBuffer(wait=2.0)
+        buf.offer(arr(0.0, "a", 1, arrival=0.1))
+        # Watermark = 0.1 - 2.0 < 0: nothing sealed.
+        assert buf.watermark < 0
+        sealed = buf.offer(arr(3.0, "a", 2, arrival=3.1))
+        # Watermark = 1.1: timestamp 0 seals, timestamp 3 still pending.
+        assert [p.timestamp for p in sealed] == [0.0]
+        assert sealed[0].values == {"a": 1}
+
+    def test_out_of_order_event_recovered_within_wait(self):
+        buf = ReorderBuffer(wait=2.0)
+        buf.offer(arr(1.0, "a", "later", arrival=1.1))
+        buf.offer(arr(0.0, "b", "earlier", arrival=1.2))  # late but in window
+        sealed = buf.offer(arr(4.0, "a", "x", arrival=4.0))
+        assert [p.timestamp for p in sealed] == [0.0, 1.0]
+        assert sealed[0].values == {"b": "earlier"}
+
+    def test_late_event_dropped_and_counted(self):
+        buf = ReorderBuffer(wait=0.5)
+        buf.offer(arr(0.0, "a", 1, arrival=0.1))
+        buf.offer(arr(5.0, "a", 2, arrival=5.0))  # seals ts 0
+        assert buf.late_count == 0
+        buf.offer(arr(0.0, "b", 3, arrival=5.1))  # for sealed ts: late
+        assert buf.late_count == 1
+        assert buf.accepted == 2
+
+    def test_same_bin_groups_jittered_clocks(self):
+        buf = ReorderBuffer(wait=1.0, quantum=1.0)
+        buf.offer(arr(0.95, "a", 1, arrival=1.0))
+        buf.offer(arr(1.04, "b", 2, arrival=1.1))
+        sealed = buf.flush()
+        assert len(sealed) == 1
+        assert sealed[0].values == {"a": 1, "b": 2}
+
+    def test_phases_numbered_sequentially(self):
+        buf = ReorderBuffer(wait=0.0)
+        all_sealed = []
+        for t in (0.0, 1.0, 2.0, 3.0):
+            all_sealed.extend(buf.offer(arr(t, "a", t, arrival=t + 0.01)))
+        all_sealed.extend(buf.flush())
+        assert [p.phase for p in all_sealed] == [1, 2, 3, 4]
+        assert [p.timestamp for p in all_sealed] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_flush_seals_everything(self):
+        buf = ReorderBuffer(wait=100.0)
+        buf.offer(arr(0.0, "a", 1, arrival=0.1))
+        buf.offer(arr(1.0, "a", 2, arrival=1.1))
+        sealed = buf.flush()
+        assert len(sealed) == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            ReorderBuffer(wait=-1)
+        with pytest.raises(WorkloadError):
+            ReorderBuffer(wait=1, quantum=0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 20),  # true tick
+                st.floats(0.0, 5.0, allow_nan=False),  # delay
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(0.0, 6.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_no_event_lost_or_duplicated(self, raw, wait):
+        """accepted + late == offered, sealed phase timestamps strictly
+        increase, and with wait >= max delay nothing is ever late."""
+        arrivals = sorted(
+            (ArrivingEvent(Event(float(t), "s", i), float(t) + d)
+             for i, (t, d) in enumerate(raw)),
+            key=lambda a: a.arrival,
+        )
+        buf = ReorderBuffer(wait=wait)
+        sealed = []
+        for a in arrivals:
+            sealed.extend(buf.offer(a))
+        sealed.extend(buf.flush())
+        assert buf.accepted + buf.late_count == len(arrivals)
+        times = [p.timestamp for p in sealed]
+        assert times == sorted(set(times))
+        max_delay = max(d for _t, d in raw)
+        # Strict margin: (t + d) - d can exceed t in floating point, so a
+        # wait exactly equal to the max delay can seal a hair early.
+        if wait >= max_delay + 1e-6:
+            assert buf.late_count == 0
+
+
+class TestNoisyObservations:
+    def test_deterministic(self):
+        a = noisy_observations(["x", "y"], 20, seed=3)
+        b = noisy_observations(["x", "y"], 20, seed=3)
+        assert a == b
+
+    def test_arrival_ordered(self):
+        arrivals = noisy_observations(["x", "y", "z"], 30, seed=1)
+        times = [a.arrival for a in arrivals]
+        assert times == sorted(times)
+
+    def test_generation_order_scrambled(self):
+        arrivals = noisy_observations(
+            ["x", "y"], 40, delay_mean=0.5, delay_jitter=2.0, seed=2
+        )
+        stamps = [a.event.timestamp for a in arrivals]
+        assert stamps != sorted(stamps)  # that's the whole problem
+
+    def test_counts(self):
+        arrivals = noisy_observations(["a", "b", "c"], 10, seed=0)
+        assert len(arrivals) == 30
+
+
+class TestTradeoff:
+    def test_longer_wait_fewer_late_higher_latency(self):
+        arrivals = noisy_observations(
+            ["a", "b", "c"], 150, clock_noise=0.05,
+            delay_mean=0.5, delay_jitter=2.0, seed=7,
+        )
+        points = late_event_tradeoff(arrivals, waits=[0.0, 1.0, 3.0])
+        late = [p.late_rate for p in points]
+        latency = [p.mean_sealing_latency for p in points]
+        assert late[0] > late[-1]
+        assert latency[0] < latency[-1]
+        assert all(l2 <= l1 + 1e-9 for l1, l2 in zip(late, late[1:]))
+
+    def test_huge_wait_loses_nothing(self):
+        arrivals = noisy_observations(["a", "b"], 60, seed=4)
+        (point,) = late_event_tradeoff(arrivals, waits=[50.0])
+        assert point.late_rate == 0.0
+        assert point.events_accepted == 120

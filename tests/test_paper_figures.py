@@ -1,0 +1,175 @@
+"""Integration tests reproducing every figure and measurement of the paper.
+
+One test class per experiment in DESIGN.md's per-experiment index; the
+benchmarks print the corresponding tables, these tests pin the shapes.
+"""
+
+import pytest
+
+from repro.analysis.ascii_viz import render_frames
+from repro.core.invariants import InvariantChecker
+from repro.core.state import SchedulerState
+from repro.core.tracer import ExecutionTracer, max_concurrent_phases
+from repro.errors import NumberingError
+from repro.graph.generators import (
+    fig1_graph,
+    fig2_graph,
+    fig2a_numbering,
+    fig2b_numbering,
+    fig3_graph,
+)
+from repro.graph.numbering import Numbering, compute_S, number_graph, verify_numbering
+from repro.simulator.costs import CostModel
+from repro.simulator.machine import SimulatedEngine
+from repro.simulator.metrics import speedup_curve
+from repro.baselines.barrier import barrier_simulated_engine
+from repro.streams.workloads import fig1_workload, grid_workload
+
+
+class TestFigure1:
+    """A 10-node graph in which 5 phases are being executed concurrently."""
+
+    def test_five_phases_in_flight(self):
+        prog, phases = fig1_workload(phases=40)
+        tracer = ExecutionTracer()
+        # Plenty of workers and processors: pipelining limited only by the
+        # graph depth (5), exactly as the figure depicts.
+        engine = SimulatedEngine(
+            prog,
+            num_workers=10,
+            num_processors=10,
+            cost_model=CostModel(compute_cost=1.0, bookkeeping_cost=0.001),
+            tracer=tracer,
+        )
+        engine.run(phases)
+        observed = max_concurrent_phases(tracer.intervals())
+        assert observed == 5
+
+    def test_barrier_baseline_has_one_phase_in_flight(self):
+        prog, phases = fig1_workload(phases=40)
+        tracer = ExecutionTracer()
+        barrier_simulated_engine(
+            prog,
+            num_workers=10,
+            num_processors=10,
+            cost_model=CostModel(compute_cost=1.0, bookkeeping_cost=0.001),
+            tracer=tracer,
+        ).run(phases)
+        assert max_concurrent_phases(tracer.intervals()) == 1
+
+    def test_pipelining_cannot_exceed_depth(self):
+        from repro.graph.analysis import max_pipelining_depth
+
+        assert max_pipelining_depth(fig1_graph()) == 5
+
+
+class TestFigure2:
+    """Two topologically sorted numberings; (a) fails the restriction."""
+
+    def test_satisfactory_numbering_and_m_sequence(self):
+        nb = Numbering.from_mapping(fig2_graph(), fig2b_numbering())
+        assert nb.m_sequence() == [3, 3, 4, 5, 5, 6, 7, 7]
+
+    def test_unsatisfactory_numbering_rejected_with_papers_witness(self):
+        g = fig2_graph()
+        with pytest.raises(NumberingError):
+            verify_numbering(g, fig2a_numbering())
+        assert compute_S(g, fig2a_numbering(), 2) == {1, 2, 3, 5}
+
+    def test_algorithm_recovers_a_satisfactory_numbering(self):
+        nb = number_graph(fig2_graph())
+        verify_numbering(nb.graph, nb.index_of)
+        assert nb.m_sequence() == [3, 3, 4, 5, 5, 6, 7, 7]
+
+
+class TestFigure3:
+    """Eight steps in the execution of a computation graph, with the
+    partial / full / ready membership of every vertex-phase pair."""
+
+    def run_steps(self):
+        nb = number_graph(fig3_graph())
+        state = SchedulerState(nb, checker=InvariantChecker())
+        tracer = ExecutionTracer()
+        steps = []
+
+        def snap(label):
+            steps.append(tracer.capture_sets(state, label))
+
+        state.start_phase()
+        snap("(a) Phase 1 initiated")
+        state.complete_execution(1, 1, [3])
+        snap("(b) (1,1) executed, generated output")
+        state.start_phase()
+        snap("(c) Phase 2 initiated")
+        state.complete_execution(1, 2, [])
+        snap("(d) (1,2) executed, generated no output")
+        state.complete_execution(2, 1, [3, 4])
+        snap("(e) (2,1) executed, generated output")
+        state.complete_execution(2, 2, [3, 4])
+        snap("(f) (2,2) executed, generated output")
+        state.complete_execution(3, 1, [5])
+        snap("(g) (3,1) executed, generated output")
+        state.complete_execution(4, 1, [5, 6])
+        snap("(h) (4,1) executed, generated output")
+        return steps
+
+    def test_memberships_per_step(self):
+        a, b, c, d, e, f, g, h = self.run_steps()
+        # (a): sources ready for phase 1.
+        assert a.ready == {(1, 1), (2, 1)} and not a.partial
+        # (b): (3,1) has a partial input set (diamond).
+        assert b.partial == {(3, 1)}
+        assert b.ready == {(2, 1)}
+        # (c): phase-2 source pairs full; (1,2) ready, (2,2) behind (2,1).
+        assert {(1, 2), (2, 2)} <= c.full
+        assert c.ready == {(2, 1), (1, 2)}
+        # (d): no output, so no new partial pairs.
+        assert d.partial == {(3, 1)}
+        # (e): (3,1) and (4,1) now full AND ready.
+        assert {(3, 1), (4, 1)} <= e.ready
+        assert not e.partial
+        # (f): phase-2 copies are full but not ready (phase 1 pairs ahead).
+        assert {(3, 2), (4, 2)} <= f.full
+        assert f.ready == {(3, 1), (4, 1)}
+        # (g): (5,1) partial — vertex 4 has not yet spoken.
+        assert g.partial == {(5, 1)}
+        # (h): everything for phase 1 is full+ready.
+        assert {(5, 1), (6, 1)} <= h.ready
+
+    def test_frames_render(self):
+        steps = self.run_steps()
+        text = render_frames(steps, n=6, phases=[1, 2])
+        assert "(a) Phase 1 initiated" in text
+        assert "legend" in text
+        # Step (b): vertex 3 phase 1 is partial.
+        assert "3:P" in text
+
+
+class TestSection4Speedup:
+    """The paper's measurement: ~50% speedup with 2 computation threads on
+    a dual-processor machine, and the near-linear prediction."""
+
+    def workload(self):
+        return grid_workload(4, 4, phases=40, seed=9)
+
+    def test_dual_processor_band(self):
+        prog, phases = self.workload()
+        cm = CostModel(compute_cost=1.0, bookkeeping_cost=0.35, phase_start_cost=0.1)
+        pts = speedup_curve(prog, phases, cm, [1, 2], processors=2)
+        assert 1.25 <= pts[1].speedup <= 1.85
+
+    def test_three_threads_contending_on_two_processors(self):
+        """The paper explains the sub-linear result by the env thread: 2
+        workers + env = 3 threads on 2 CPUs.  Lock contention must rise
+        sharply from the 1-worker to the 2-worker configuration."""
+        prog, phases = self.workload()
+        cm = CostModel(compute_cost=1.0, bookkeeping_cost=0.35, phase_start_cost=0.1)
+        pts = speedup_curve(prog, phases, cm, [1, 2], processors=2)
+        assert pts[1].lock_contention > pts[0].lock_contention * 2
+
+    def test_near_linear_prediction(self):
+        prog, phases = self.workload()
+        cm = CostModel(compute_cost=50.0, bookkeeping_cost=0.05)
+        pts = speedup_curve(prog, phases, cm, [1, 2, 4], processors=lambda k: k + 1)
+        assert pts[1].speedup > 1.85
+        assert pts[2].efficiency > 0.85

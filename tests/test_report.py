@@ -1,0 +1,39 @@
+"""Tests for the reproduction-report generator and its CLI command."""
+
+from pathlib import Path
+
+from repro.cli import main
+from repro.report import generate_report
+
+
+class TestGenerateReport:
+    def test_quick_report_all_reproduced(self):
+        text = generate_report(quick=True)
+        assert text.count("**REPRODUCED**") == 4
+        assert "DIVERGED" not in text
+        assert "[3, 3, 4, 5, 5, 6, 7, 7]" in text
+        assert "8/8 steps" in text
+
+    def test_sections_present(self):
+        text = generate_report(quick=True)
+        for heading in (
+            "## Figure 1",
+            "## Figure 2",
+            "## Figure 3",
+            "## Section 4",
+        ):
+            assert heading in text
+
+
+class TestReportCommand:
+    def test_stdout(self, capsys):
+        assert main(["report", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+
+    def test_file_output(self, tmp_path: Path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--quick", "-o", str(target)]) == 0
+        assert target.exists()
+        assert "REPRODUCED" in target.read_text()
+        assert "written to" in capsys.readouterr().out

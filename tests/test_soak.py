@@ -1,0 +1,71 @@
+"""Soak tests: repeated concurrent runs hunting for races.
+
+The threaded engine's correctness depends on the single-lock discipline;
+these tests hammer it with varied thread counts and workload shapes,
+comparing every run against the serial oracle.  Runtimes are kept modest
+(the suite stays seconds, not minutes) while still cycling enough
+schedules to surface ordering bugs — historically the fig1 + 4-thread
+combination flushed out queue-close races during development.
+"""
+
+import pytest
+
+from repro.analysis.serializability import assert_serializable
+from repro.core.invariants import InvariantChecker
+from repro.core.serial import SerialExecutor
+from repro.models.domains import build_crisis_workload
+from repro.runtime.engine import ParallelEngine
+from repro.runtime.environment import EnvironmentConfig
+from repro.streams.workloads import fanin_workload, fig1_workload, pipeline_workload
+
+
+class TestSoak:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_repeated_fig1_runs(self, trial):
+        prog, phases = fig1_workload(phases=30, seed=trial)
+        serial = SerialExecutor(prog).run(phases)
+        par = ParallelEngine(prog, num_threads=4).run(phases)
+        assert_serializable(serial, par)
+
+    @pytest.mark.parametrize("threads", [1, 2, 3, 4, 6, 8])
+    def test_thread_count_sweep(self, threads):
+        prog, phases = pipeline_workload(depth=6, phases=40, seed=7)
+        serial = SerialExecutor(prog).run(phases)
+        par = ParallelEngine(prog, num_threads=threads).run(phases)
+        assert_serializable(serial, par)
+
+    def test_more_threads_than_work(self):
+        prog, phases = fanin_workload(fan=2, phases=10)
+        serial = SerialExecutor(prog).run(phases)
+        par = ParallelEngine(prog, num_threads=16).run(phases)
+        assert_serializable(serial, par)
+
+    def test_engine_reuse_across_many_runs(self):
+        prog, phases = fig1_workload(phases=15)
+        engine = ParallelEngine(prog, num_threads=3)
+        reference = engine.run(phases)
+        for _ in range(5):
+            again = engine.run(phases)
+            assert again.records == reference.records
+            assert again.executions_as_set() == reference.executions_as_set()
+
+    def test_checker_under_contention(self):
+        """The invariant checker makes the critical section long, widening
+        race windows; everything must still hold."""
+        prog, phases = build_crisis_workload(phases=60, regions=2)
+        serial = SerialExecutor(prog).run(phases)
+        checker = InvariantChecker()
+        par = ParallelEngine(prog, num_threads=4, checker=checker).run(phases)
+        assert_serializable(serial, par)
+        assert checker.checks_run > 100
+        assert checker.violations == []
+
+    def test_tight_flow_control_under_threads(self):
+        prog, phases = pipeline_workload(depth=8, phases=60, seed=2)
+        serial = SerialExecutor(prog).run(phases)
+        par = ParallelEngine(
+            prog,
+            num_threads=6,
+            env=EnvironmentConfig(max_in_flight_phases=2),
+        ).run(phases)
+        assert_serializable(serial, par)
