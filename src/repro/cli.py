@@ -8,7 +8,10 @@
   m-sequence without running;
 * ``validate SPEC.xml`` — parse + validate, exit non-zero on problems;
 * ``speedup SPEC.xml`` — simulated speedup sweep over worker counts;
-* ``figures`` — render the paper's Figures 1–3 in the terminal.
+* ``figures`` — render the paper's Figures 1–3 in the terminal;
+* ``fuzz`` — deterministic schedule exploration: random workloads ×
+  random interleavings, judged against the serial oracle (see
+  :mod:`repro.testing`).
 
 The CLI is a thin veneer over the library; every command maps to a few
 public API calls, shown in ``--help`` epilogs.
@@ -22,6 +25,8 @@ from typing import Optional, Sequence
 
 from . import __version__
 from .errors import ReproError
+from .testing.faults import FAULT_NAMES
+from .testing.schedule import POLICY_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -83,6 +88,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the report to this file (default: stdout)")
     report.add_argument("--quick", action="store_true",
                         help="smaller workloads (CI-speed)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="explore random schedules of random workloads, checking "
+             "serializability and the scheduling-set invariants",
+        epilog="Reproduce any reported failure with the same --seed (the "
+               "failing run index is printed) or via "
+               "repro.testing.replay_failure.",
+    )
+    fuzz.add_argument("--runs", type=int, default=100,
+                      help="schedules to explore (default 100)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed; every workload and interleaving "
+                           "derives from it (default 0)")
+    fuzz.add_argument("--threads", type=int, default=None,
+                      help="fix the computation thread count "
+                           "(default: vary 2-4 per run)")
+    fuzz.add_argument("--policy", choices=list(POLICY_NAMES) + ["all"],
+                      default="all",
+                      help="interleaving policy (default: rotate through all)")
+    fuzz.add_argument("--max-vertices", type=int, default=8,
+                      help="largest random DAG to generate (default 8)")
+    fuzz.add_argument("--max-phases", type=int, default=6,
+                      help="most phases per stream (default 6)")
+    fuzz.add_argument("--inject", choices=list(FAULT_NAMES), default=None,
+                      help="inject a seeded concurrency bug; exit 0 if the "
+                           "harness finds it, 5 if it does not")
+    fuzz.add_argument("--keep-going", action="store_true",
+                      help="collect every failure instead of stopping at "
+                           "the first")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip greedy minimisation of failing workloads")
 
     return parser
 
@@ -246,6 +283,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if "DIVERGED" not in text else 3
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .testing import FaultPlan, fuzz
+    from .testing.schedule import POLICY_NAMES as ALL_POLICIES
+
+    policies = ALL_POLICIES if args.policy == "all" else (args.policy,)
+    faults = FaultPlan.named(args.inject) if args.inject else None
+    report = fuzz(
+        runs=args.runs,
+        seed=args.seed,
+        threads=args.threads,
+        policies=policies,
+        faults=faults,
+        stop_on_failure=not args.keep_going,
+        do_shrink=not args.no_shrink,
+        max_vertices=args.max_vertices,
+        max_phases=args.max_phases,
+    )
+    print(report.summary())
+    if faults is not None:
+        # Inverted verdict: a fault campaign *must* find its seeded bug.
+        if report.ok:
+            print(f"injected fault {args.inject!r} was NOT detected in "
+                  f"{report.runs} schedules", file=sys.stderr)
+            return 5
+        print(f"injected fault {args.inject!r} detected at run "
+              f"{report.failures[0].run_index}")
+        return 0
+    return 0 if report.ok else 4
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "info": _cmd_info,
@@ -253,6 +320,7 @@ _COMMANDS = {
     "speedup": _cmd_speedup,
     "figures": _cmd_figures,
     "report": _cmd_report,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -38,7 +38,7 @@ Fidelity notes
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..errors import DuplicateExecutionError, SchedulerError
 from ..graph.numbering import Numbering
@@ -61,13 +61,28 @@ class SchedulerState:
         Optional :class:`repro.core.invariants.InvariantChecker`; when
         given, it is invoked after every mutation (the paper's "at the
         unlock statement, the invariant ... has been preserved").
+    preempt:
+        Optional ``callable(point: str)`` invoked *between* the sub-steps
+        of each mutation (after the dequeue bookkeeping, after the partial
+        insertions, after the x-update).  The deterministic test scheduler
+        uses it as a context-switch point: with the global lock held
+        correctly the switches are harmless (contenders are blocked), but
+        if an engine updates the scheduling sets outside the lock the
+        scheduler can interleave another task mid-update and expose the
+        race.  ``None`` (the default) adds no overhead.
     """
 
-    def __init__(self, numbering: Numbering, checker: "object | None" = None) -> None:
+    def __init__(
+        self,
+        numbering: Numbering,
+        checker: "object | None" = None,
+        preempt: Optional[Callable[[str], None]] = None,
+    ) -> None:
         self.numbering = numbering
         self.N: int = numbering.n
         self._m: List[int] = numbering.m_sequence()
         self._checker = checker
+        self._preempt_hook = preempt
 
         # Listing 2, statements 2-7: initialisation.
         self._partial: Set[Pair] = set()
@@ -186,6 +201,7 @@ class SchedulerState:
             self._msg.add(pair)
             pending.add(s)
             self._full_phases[s].add(p)
+        self._preempt("start_phase:sources-inserted")
         # Statements 2.16-2.19: newly ready pairs.
         newly_ready = self._refresh_ready(range(1, self._m[0] + 1))
         # Statement 2.20: next := next + 1.
@@ -230,6 +246,7 @@ class SchedulerState:
         self._pending[p].discard(v)
         self._full_phases[v].discard(p)
         self._executed_pairs += 1
+        self._preempt("complete_execution:pair-removed")
 
         # Statements 1.8-1.11: outputs enter the partial set.
         partial_heap = self._partial_by_phase.setdefault(p, LazyMinHeap())
@@ -249,8 +266,11 @@ class SchedulerState:
             partial_heap.add(w)
             pending.add(w)
 
+        self._preempt("complete_execution:outputs-inserted")
+
         # Statements 1.12-1.23: update x_i for i = p .. pmax.
         changed_phases = self._update_x_from(p)
+        self._preempt("complete_execution:x-updated")
 
         # Statements 1.24-1.26: move newly full pairs out of partial.
         affected: List[int] = [v]
@@ -340,6 +360,10 @@ class SchedulerState:
             self._ready.add(pair)
             out.append(pair)
         return out
+
+    def _preempt(self, point: str) -> None:
+        if self._preempt_hook is not None:
+            self._preempt_hook(point)
 
     def _run_checker(self) -> None:
         if self._checker is not None:

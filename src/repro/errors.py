@@ -31,6 +31,10 @@ __all__ = [
     "SerializabilityError",
     "SimulationError",
     "WorkloadError",
+    "ScheduleError",
+    "DeadlockError",
+    "ScheduleLimitError",
+    "ReplayDivergenceError",
 ]
 
 
@@ -171,3 +175,41 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload builder was given inconsistent parameters."""
+
+
+# ---------------------------------------------------------------------------
+# Deterministic schedule exploration (repro.testing)
+# ---------------------------------------------------------------------------
+
+
+class ScheduleError(ReproError):
+    """The deterministic virtual scheduler failed or was misused."""
+
+
+class DeadlockError(ScheduleError):
+    """Every live task is blocked with no pending virtual timeout.
+
+    Under the cooperative scheduler a deadlock is detected *exactly* — no
+    watchdog heuristics — and the exception carries the blocked-task map
+    and the step-trace tail needed to replay the interleaving.
+    """
+
+    def __init__(self, blocked: dict, trace_tail: list) -> None:
+        self.blocked = dict(blocked)
+        self.trace_tail = list(trace_tail)
+        waits = ", ".join(f"{name} on {what}" for name, what in sorted(blocked.items()))
+        super().__init__(
+            f"deadlock: every task is blocked ({waits}); "
+            f"last {len(trace_tail)} scheduling steps: {trace_tail}"
+        )
+
+
+class ScheduleLimitError(ScheduleError):
+    """The scheduler hit its step budget — a livelock or runaway schedule."""
+
+
+class ReplayDivergenceError(ScheduleError):
+    """A recorded schedule could not be replayed: the task it picked at
+    some step is no longer runnable, so the program under test is not
+    deterministic given the schedule (or the trace is from another
+    workload)."""

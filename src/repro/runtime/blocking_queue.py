@@ -19,11 +19,11 @@ Statistics (:attr:`total_enqueued`, :attr:`total_dequeued`,
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from typing import Deque, Generic, List, Optional, TypeVar
 
 from ..errors import QueueClosedError
+from .backend import OS_BACKEND, ThreadingBackend
 
 __all__ = ["BlockingQueue"]
 
@@ -31,11 +31,16 @@ T = TypeVar("T")
 
 
 class BlockingQueue(Generic[T]):
-    """An unbounded FIFO with blocking dequeue and at-most-once delivery."""
+    """An unbounded FIFO with blocking dequeue and at-most-once delivery.
 
-    def __init__(self) -> None:
+    The condition variable comes from the *backend* (default: real
+    threads), so the deterministic test scheduler can control exactly when
+    blocked consumers wake.
+    """
+
+    def __init__(self, backend: Optional[ThreadingBackend] = None) -> None:
         self._items: Deque[T] = deque()
-        self._cond = threading.Condition()
+        self._cond = (backend or OS_BACKEND).condition()
         self._closed = False
         self.total_enqueued = 0
         self.total_dequeued = 0

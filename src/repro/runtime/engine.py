@@ -34,8 +34,7 @@ without that confound; this engine is the *correctness* vehicle.
 
 from __future__ import annotations
 
-import threading
-import time
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.invariants import InvariantChecker
@@ -44,6 +43,7 @@ from ..core.state import SchedulerState
 from ..core.tracer import ExecutionTracer, max_concurrent_pairs, max_concurrent_phases
 from ..errors import EngineError, QueueClosedError
 from ..events import PhaseInput
+from .backend import OS_BACKEND, ThreadingBackend
 from .blocking_queue import BlockingQueue
 from .environment import EnvironmentConfig
 from .locks import InstrumentedLock
@@ -73,6 +73,16 @@ class ParallelEngine:
     join_timeout:
         Watchdog: seconds to wait for threads at shutdown before declaring
         the run wedged.
+    backend:
+        Threading backend supplying locks, events, threads, and the clock
+        (default: real OS threads).  The deterministic test scheduler
+        passes a :class:`repro.testing.schedule.VirtualBackend` here to
+        control every interleaving.
+    faults:
+        Optional bug-injection plan (:class:`repro.testing.faults.FaultPlan`),
+        used by the schedule-exploration suite to prove it *finds* seeded
+        concurrency bugs.  Any object with the matching attribute names
+        works; ``None`` (the default) injects nothing.
     """
 
     def __init__(
@@ -83,6 +93,8 @@ class ParallelEngine:
         tracer: Optional[ExecutionTracer] = None,
         env: EnvironmentConfig = EnvironmentConfig(),
         join_timeout: float = 120.0,
+        backend: Optional[ThreadingBackend] = None,
+        faults: object = None,
     ) -> None:
         if num_threads < 1:
             raise EngineError(f"num_threads must be >= 1, got {num_threads}")
@@ -92,6 +104,8 @@ class ParallelEngine:
         self.tracer = tracer
         self.env = env
         self.join_timeout = join_timeout
+        self.backend = backend or OS_BACKEND
+        self.faults = faults
 
     def run(self, phase_inputs: Sequence[PhaseInput]) -> RunResult:
         """Execute every phase; returns the :class:`RunResult`.
@@ -101,14 +115,19 @@ class ParallelEngine:
         :class:`EngineError` if threads wedge past *join_timeout*.
         """
         self.program.reset()
+        backend = self.backend
         runtime = PairRuntime(self.program, phase_inputs)
-        state = SchedulerState(self.program.numbering, checker=self.checker)
-        lock = InstrumentedLock()
-        queue: BlockingQueue[Tuple[int, int]] = BlockingQueue()
-        abort = threading.Event()
-        env_done = threading.Event()
+        state = SchedulerState(
+            self.program.numbering,
+            checker=self.checker,
+            preempt=getattr(backend, "preempt", None),
+        )
+        lock = InstrumentedLock(clock=backend.clock, backend=backend)
+        queue: BlockingQueue[Tuple[int, int]] = BlockingQueue(backend=backend)
+        abort = backend.event()
+        env_done = backend.event()
         flow_sem = (
-            threading.Semaphore(self.env.max_in_flight_phases)
+            backend.semaphore(self.env.max_in_flight_phases)
             if self.env.max_in_flight_phases is not None
             else None
         )
@@ -116,52 +135,65 @@ class ParallelEngine:
         per_worker_counts: Dict[int, int] = {i: 0 for i in range(self.num_threads)}
         seen_complete = [0]  # phases seen complete so far (guarded by lock)
         tracer = self.tracer
+        # Bug-injection seams (testing only; see repro.testing.faults).
+        faults = self.faults
+        unlocked_commit = bool(getattr(faults, "unlocked_commit", False))
+        unlocked_start = bool(getattr(faults, "unlocked_start_phase", False))
+        duplicate_enqueue = bool(getattr(faults, "duplicate_enqueue", False))
+        commit_guard = (lambda: nullcontext()) if unlocked_commit else (lambda: lock)
+        start_guard = (lambda: nullcontext()) if unlocked_start else (lambda: lock)
 
         def worker(worker_id: int) -> None:
             # Listing 1: the computation process.
-            while True:
-                try:
-                    v, p = queue.get()
-                except QueueClosedError:
-                    return
-                if abort.is_set():
-                    continue  # drain until close
-                with lock:
-                    ctx = runtime.prepare(v, p)
-                    if tracer is not None:
-                        tracer.execute_begin((v, p), worker_id)
-                try:
+            try:
+                while True:
+                    try:
+                        v, p = queue.get()
+                    except QueueClosedError:
+                        return
+                    if abort.is_set():
+                        continue  # drain until close
+                    with lock:
+                        ctx = runtime.prepare(v, p)
+                        if tracer is not None:
+                            tracer.execute_begin((v, p), worker_id)
                     runtime.compute(v, ctx)
-                except BaseException:
-                    abort.set()
-                    queue.close()
-                    raise
-                newly_complete = 0
-                with lock:
-                    targets = runtime.commit(v, p, ctx)
-                    newly_ready = state.complete_execution(v, p, targets)
-                    executions.append((v, p))
-                    per_worker_counts[worker_id] += 1
-                    if tracer is not None:
-                        tracer.execute_end((v, p), worker_id)
-                        for pair in newly_ready:
-                            tracer.enqueued(pair)
-                    newly_complete = state.complete_phase_count - seen_complete[0]
-                    if tracer is not None:
-                        for i in range(newly_complete):
-                            tracer.phase_completed(seen_complete[0] + 1 + i)
-                    seen_complete[0] = state.complete_phase_count
-                    done = env_done.is_set() and state.all_started_complete()
-                if flow_sem is not None:
-                    for _ in range(newly_complete):
-                        flow_sem.release()
-                try:
-                    queue.put_many(newly_ready)
-                except QueueClosedError:
-                    if not abort.is_set():
-                        raise
-                if done:
-                    queue.close()
+                    newly_complete = 0
+                    with commit_guard():
+                        targets = runtime.commit(v, p, ctx)
+                        newly_ready = state.complete_execution(v, p, targets)
+                        executions.append((v, p))
+                        per_worker_counts[worker_id] += 1
+                        if tracer is not None:
+                            tracer.execute_end((v, p), worker_id)
+                            for pair in newly_ready:
+                                tracer.enqueued(pair)
+                        newly_complete = state.complete_phase_count - seen_complete[0]
+                        if tracer is not None:
+                            for i in range(newly_complete):
+                                tracer.phase_completed(seen_complete[0] + 1 + i)
+                        seen_complete[0] = state.complete_phase_count
+                        done = env_done.is_set() and state.all_started_complete()
+                    if flow_sem is not None:
+                        for _ in range(newly_complete):
+                            flow_sem.release()
+                    try:
+                        queue.put_many(newly_ready)
+                        if duplicate_enqueue:
+                            queue.put_many(newly_ready)
+                    except QueueClosedError:
+                        if not abort.is_set():
+                            raise
+                    if done:
+                        queue.close()
+            except BaseException:
+                # A failed worker must not leave the others blocked on the
+                # queue: flag the abort, wake everyone, then propagate.
+                abort.set()
+                queue.close()
+                raise
+
+        env_errors: List[BaseException] = []
 
         def environment() -> None:
             # Listing 2: the environment process.
@@ -175,7 +207,7 @@ class ParallelEngine:
                                 break
                         if abort.is_set():
                             break
-                    with lock:
+                    with start_guard():
                         newly_ready = state.start_phase()
                         if tracer is not None:
                             tracer.phase_started(state.pmax)
@@ -188,7 +220,10 @@ class ParallelEngine:
                             raise
                         break
                     if self.env.pacing:
-                        time.sleep(self.env.pacing)
+                        backend.sleep(self.env.pacing)
+            except BaseException as exc:  # noqa: BLE001 - reported after join
+                env_errors.append(exc)
+                abort.set()
             finally:
                 env_done.set()
                 # Close if everything already completed (covers zero-phase
@@ -199,10 +234,12 @@ class ParallelEngine:
                 if quiescent or abort.is_set():
                     queue.close()
 
-        pool = ComputationThreadPool(self.num_threads, worker, name="compute")
-        env_thread = threading.Thread(target=environment, name="environment", daemon=True)
+        pool = ComputationThreadPool(
+            self.num_threads, worker, name="compute", backend=backend
+        )
+        env_thread = backend.thread(target=environment, name="environment")
 
-        started = time.perf_counter()
+        started = backend.clock()
         pool.start()
         env_thread.start()
         env_thread.join(self.join_timeout)
@@ -211,8 +248,10 @@ class ParallelEngine:
             queue.close()
             raise EngineError("environment thread failed to terminate")
         pool.join(self.join_timeout)
-        elapsed = time.perf_counter() - started
+        elapsed = backend.clock() - started
         pool.reraise()
+        if env_errors:
+            raise env_errors[0]
 
         if not state.all_started_complete():
             raise EngineError(

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict
+from typing import Any, Dict, Optional
+
+from .backend import OS_BACKEND, ThreadingBackend
 
 __all__ = ["InstrumentedLock"]
 
@@ -39,10 +41,20 @@ class InstrumentedLock:
     Statistics are themselves guarded by a tiny internal meta-lock so they
     stay consistent under concurrency; the overhead is two lock operations
     per acquisition, negligible next to the scheduler bookkeeping.
+
+    The underlying lock comes from the *backend* (default: real threads),
+    so the deterministic test scheduler can substitute a virtual lock; the
+    meta-lock stays a real ``threading.Lock`` because statistics updates
+    never block and must not become scheduling points.
     """
 
-    def __init__(self, clock=time.perf_counter) -> None:
-        self._lock = threading.Lock()
+    def __init__(
+        self,
+        clock=time.perf_counter,
+        backend: Optional[ThreadingBackend] = None,
+    ) -> None:
+        self._backend = backend or OS_BACKEND
+        self._lock = self._backend.lock()
         self._meta = threading.Lock()
         self._clock = clock
         self.acquisitions = 0
@@ -84,7 +96,7 @@ class InstrumentedLock:
 
     def new_condition(self) -> threading.Condition:
         """A condition variable bound to this lock (for flow control)."""
-        return threading.Condition(self._lock)
+        return self._backend.condition(self._lock)
 
     def stats(self) -> Dict[str, Any]:
         """Snapshot of the contention statistics."""

@@ -14,6 +14,7 @@ import threading
 from typing import Callable, List, Optional
 
 from ..errors import EngineError
+from .backend import OS_BACKEND, ThreadingBackend
 
 __all__ = ["ComputationThreadPool"]
 
@@ -28,6 +29,10 @@ class ComputationThreadPool:
         ...
         pool.join(timeout=60)
         pool.reraise()   # propagate the first worker exception, if any
+
+    Threads come from the *backend* (default: real OS threads), so the
+    deterministic test scheduler can run the same worker loops as
+    cooperatively stepped tasks.
     """
 
     def __init__(
@@ -35,15 +40,15 @@ class ComputationThreadPool:
         num_threads: int,
         target: Callable[[int], None],
         name: str = "worker",
+        backend: Optional[ThreadingBackend] = None,
     ) -> None:
         if num_threads < 1:
             raise EngineError(f"need at least one thread, got {num_threads}")
         self.num_threads = num_threads
         self._target = target
-        self._threads: List[threading.Thread] = [
-            threading.Thread(
-                target=self._run, args=(i,), name=f"{name}-{i}", daemon=True
-            )
+        backend = backend or OS_BACKEND
+        self._threads = [
+            backend.thread(target=self._run, args=(i,), name=f"{name}-{i}")
             for i in range(num_threads)
         ]
         self._errors: List[BaseException] = []

@@ -1,0 +1,428 @@
+"""Schedule-exploration stress driver.
+
+Random Δ-dataflow programs × random Δ-sparse phase streams × random
+interleavings, each checked three ways:
+
+1. **serializability** — the parallel result must equal the serial
+   one-phase-at-a-time oracle (:class:`~repro.core.serial.SerialExecutor`),
+   the paper's Section 2 correctness requirement;
+2. **invariants** — a :class:`~repro.testing.monitor.RaceMonitor` checks
+   definitions (7)-(9), x-consistency and the pair-lifecycle properties
+   at every state mutation;
+3. **liveness** — the cooperative scheduler detects deadlock and livelock
+   exactly (no watchdog flakiness).
+
+Everything derives from a single master seed, so any failure is a value:
+``(master seed, run index)`` reproduces the workload, and
+``(policy name, policy seed)`` — or the recorded step trace — reproduces
+the exact interleaving.  Failures are shrunk greedily (fewer phases,
+fewer vertices, fewer threads) before reporting.
+
+The ``repro fuzz`` CLI subcommand and the ``tests/testing`` suite are thin
+wrappers over :func:`fuzz`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.serializability import check_serializable
+from ..core.program import Program, RunResult
+from ..core.serial import SerialExecutor
+from ..core.vertex import EMIT_NOTHING, FunctionVertex
+from ..events import PhaseInput
+from ..graph.generators import random_dag
+from ..runtime.engine import ParallelEngine
+from ..runtime.environment import EnvironmentConfig
+from ..streams.generators import phase_signals
+from .faults import FaultPlan
+from .monitor import RaceMonitor
+from .schedule import (
+    POLICY_NAMES,
+    ReplayPolicy,
+    SchedulingPolicy,
+    VirtualBackend,
+    VirtualScheduler,
+    make_policy,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "RunOutcome",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_one",
+    "fuzz",
+    "replay_failure",
+    "shrink",
+]
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reproducible random program + stream + thread count.
+
+    ``build()`` is a pure function of the spec, so a spec embedded in a
+    failure report rebuilds the identical workload anywhere.
+    """
+
+    n_vertices: int
+    edge_prob: float
+    graph_seed: int
+    phases: int
+    delta_prob: float
+    stream_seed: int
+    threads: int
+
+    def build(self) -> Tuple[Program, List[PhaseInput]]:
+        graph = random_dag(
+            self.n_vertices,
+            edge_prob=self.edge_prob,
+            seed=self.graph_seed,
+            name=f"fuzz-{self.graph_seed}",
+        )
+        sources = set(graph.sources())
+        behaviors = {}
+        for name in graph.vertices():
+            if name in sources:
+                behaviors[name] = FunctionVertex(
+                    _sparse_source(name, self.stream_seed, self.delta_prob)
+                )
+            else:
+                behaviors[name] = FunctionVertex(_latched_sum)
+        program = Program(graph, behaviors, name=f"fuzz-{self.graph_seed}")
+        return program, phase_signals(self.phases)
+
+    def describe(self) -> str:
+        return (
+            f"N={self.n_vertices} edges~{self.edge_prob:.2f} "
+            f"graph_seed={self.graph_seed} phases={self.phases} "
+            f"delta~{self.delta_prob:.2f} stream_seed={self.stream_seed} "
+            f"threads={self.threads}"
+        )
+
+
+def _sparse_source(name: str, seed: int, delta_prob: float):
+    """A Δ-sparse source: per phase, emit a value with prob *delta_prob*.
+
+    Stateless — the value is a pure function of ``(seed, name, phase)``
+    (string-seeded ``Random`` hashes with SHA-512, stable across
+    processes), so serial and parallel runs see identical streams and
+    shrinking can replay any phase in isolation.
+    """
+
+    def fn(ctx):
+        rng = random.Random(f"{seed}:{name}:{ctx.phase}")
+        if rng.random() >= delta_prob:
+            return EMIT_NOTHING
+        return rng.randrange(1_000_000)
+
+    return fn
+
+
+def _latched_sum(ctx):
+    """Inner vertices correlate by summing their latched inputs."""
+    return sum(ctx.inputs.values())
+
+
+def spec_for_run(master_seed: int, index: int, max_vertices: int = 8,
+                 max_phases: int = 6, threads: Optional[int] = None) -> WorkloadSpec:
+    """Derive run *index*'s workload from the master seed (order-free)."""
+    rs = random.Random(f"fuzz:{master_seed}:{index}")
+    return WorkloadSpec(
+        n_vertices=rs.randint(2, max(2, max_vertices)),
+        edge_prob=rs.uniform(0.2, 0.6),
+        graph_seed=rs.randrange(2**31),
+        phases=rs.randint(1, max(1, max_phases)),
+        delta_prob=rs.uniform(0.3, 1.0),
+        stream_seed=rs.randrange(2**31),
+        threads=threads if threads is not None else rs.randint(2, 4),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Single explored schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunOutcome:
+    """One workload under one interleaving, fully judged."""
+
+    spec: WorkloadSpec
+    policy_desc: str
+    passed: bool
+    reason: str = ""
+    trace_hash: str = ""
+    trace_names: List[str] = field(default_factory=list)
+    steps: int = 0
+    checks_run: int = 0
+    monitor_report: str = ""
+    error: Optional[BaseException] = None
+    serial: Optional[RunResult] = None
+    parallel: Optional[RunResult] = None
+
+
+def run_one(
+    spec: WorkloadSpec,
+    policy: SchedulingPolicy,
+    faults: Optional[FaultPlan] = None,
+    max_steps: int = 250_000,
+) -> RunOutcome:
+    """Run *spec* serially (oracle) and under *policy*; judge the result."""
+    program, phases = spec.build()
+    serial = SerialExecutor(program).run(phases)
+
+    scheduler = VirtualScheduler(policy=policy, max_steps=max_steps)
+    monitor = RaceMonitor().attach(scheduler)
+    engine = ParallelEngine(
+        program,
+        num_threads=spec.threads,
+        checker=monitor,
+        tracer=monitor,
+        env=EnvironmentConfig(),
+        backend=VirtualBackend(scheduler),
+        faults=faults,
+    )
+    outcome = RunOutcome(spec=spec, policy_desc=policy.describe(), passed=False)
+    error: Optional[BaseException] = None
+    result: Optional[RunResult] = None
+    try:
+        result = engine.run(phases)
+    except Exception as exc:  # noqa: BLE001 - injected faults can corrupt
+        # state arbitrarily, so any exception is a judged failure, not a
+        # harness crash.
+        error = exc
+    finally:
+        try:
+            scheduler.shutdown()
+        except Exception:  # noqa: BLE001 - diagnostics must not mask the run
+            pass
+    names = scheduler.trace_names()
+    outcome.trace_names = names
+    outcome.trace_hash = hashlib.sha1(
+        "|".join(f"{s.task}@{s.point}" for s in scheduler.trace).encode()
+    ).hexdigest()[:16]
+    outcome.steps = scheduler.steps
+    outcome.checks_run = monitor.checks_run
+    outcome.monitor_report = monitor.report()
+    outcome.error = error
+    outcome.serial = serial
+    outcome.parallel = result
+
+    if error is not None:
+        outcome.reason = f"engine raised {type(error).__name__}: {error}"
+        return outcome
+    if not monitor.ok:
+        outcome.reason = monitor.report()
+        return outcome
+    report = check_serializable(serial, result)
+    if not report:
+        outcome.reason = f"serializability violated: {report}"
+        return outcome
+    outcome.passed = True
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# The fuzz loop
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzFailure:
+    """A failing run, with everything needed to reproduce it.
+
+    Reproduce the interleaving either by policy —
+    ``run_one(spec, make_policy(policy_name, policy_seed))`` — or exactly
+    by trace — ``run_one(spec, ReplayPolicy(trace_names))``.
+    """
+
+    run_index: int
+    master_seed: int
+    spec: WorkloadSpec
+    policy_name: str
+    policy_seed: int
+    reason: str
+    trace_names: List[str]
+    shrunk_spec: Optional[WorkloadSpec] = None
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz failure at run {self.run_index} (master seed "
+            f"{self.master_seed}):",
+            f"  workload: {self.spec.describe()}",
+            f"  policy:   {self.policy_name}(seed={self.policy_seed})",
+            f"  reason:   {self.reason}",
+            f"  replay:   repro fuzz --seed {self.master_seed} "
+            f"--runs {self.run_index + 1}  (or run_one(spec, "
+            f"make_policy({self.policy_name!r}, {self.policy_seed})))",
+            f"  trace:    {len(self.trace_names)} steps, tail "
+            f"{self.trace_names[-12:]}",
+        ]
+        if self.shrunk_spec is not None and self.shrunk_spec != self.spec:
+            lines.append(f"  shrunk:   {self.shrunk_spec.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of a whole fuzz campaign."""
+
+    runs: int
+    master_seed: int
+    distinct_interleavings: int
+    total_steps: int
+    total_checks: int
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        head = (
+            f"fuzz: {self.runs} runs (seed {self.master_seed}), "
+            f"{self.distinct_interleavings} distinct interleavings, "
+            f"{self.total_steps} scheduling decisions, "
+            f"{self.total_checks} invariant checks"
+        )
+        if self.ok:
+            return head + " -- all serializable, no violations"
+        parts = [head, f"{len(self.failures)} failure(s):"]
+        parts += [f.summary() for f in self.failures]
+        return "\n".join(parts)
+
+
+def fuzz(
+    runs: int = 100,
+    seed: int = 0,
+    threads: Optional[int] = None,
+    policies: Sequence[str] = POLICY_NAMES,
+    faults: Optional[FaultPlan] = None,
+    stop_on_failure: bool = True,
+    do_shrink: bool = True,
+    max_vertices: int = 8,
+    max_phases: int = 6,
+    max_steps: int = 250_000,
+) -> FuzzReport:
+    """Explore *runs* random (workload, interleaving) pairs.
+
+    Policies rotate per run; each run's policy seed and workload derive
+    from ``(seed, run index)``, so the campaign is reproducible and any
+    single run can be replayed in isolation.
+    """
+    if not policies:
+        raise ValueError("fuzz needs at least one scheduling policy")
+    hashes: Dict[str, int] = {}
+    failures: List[FuzzFailure] = []
+    total_steps = 0
+    total_checks = 0
+    for i in range(runs):
+        spec = spec_for_run(seed, i, max_vertices, max_phases, threads)
+        policy_name = policies[i % len(policies)]
+        policy_seed = random.Random(f"policy:{seed}:{i}").randrange(2**31)
+        outcome = run_one(
+            spec, make_policy(policy_name, policy_seed), faults, max_steps
+        )
+        hashes[outcome.trace_hash] = hashes.get(outcome.trace_hash, 0) + 1
+        total_steps += outcome.steps
+        total_checks += outcome.checks_run
+        if not outcome.passed:
+            failure = FuzzFailure(
+                run_index=i,
+                master_seed=seed,
+                spec=spec,
+                policy_name=policy_name,
+                policy_seed=policy_seed,
+                reason=outcome.reason,
+                trace_names=outcome.trace_names,
+            )
+            if do_shrink:
+                failure.shrunk_spec = shrink(
+                    spec, policy_name, policy_seed, faults, max_steps
+                )
+            failures.append(failure)
+            if stop_on_failure:
+                break
+    return FuzzReport(
+        runs=i + 1 if runs else 0,
+        master_seed=seed,
+        distinct_interleavings=len(hashes),
+        total_steps=total_steps,
+        total_checks=total_checks,
+        failures=failures,
+    )
+
+
+def shrink(
+    spec: WorkloadSpec,
+    policy_name: str,
+    policy_seed: int,
+    faults: Optional[FaultPlan] = None,
+    max_steps: int = 250_000,
+    budget: int = 24,
+) -> WorkloadSpec:
+    """Greedily minimise a failing spec while it keeps failing.
+
+    Tries, in order: halving phases, halving vertices, dropping to two
+    threads, sparsifying edges.  Each candidate re-runs under a *fresh*
+    policy instance built from ``(policy_name, policy_seed)``, so the
+    search stays deterministic.
+    """
+
+    def still_fails(candidate: WorkloadSpec) -> bool:
+        outcome = run_one(
+            candidate, make_policy(policy_name, policy_seed), faults, max_steps
+        )
+        return not outcome.passed
+
+    current = spec
+    tried = 0
+    progress = True
+    while progress and tried < budget:
+        progress = False
+        candidates = []
+        if current.phases > 1:
+            candidates.append(replace(current, phases=max(1, current.phases // 2)))
+        if current.n_vertices > 2:
+            candidates.append(
+                replace(current, n_vertices=max(2, current.n_vertices // 2))
+            )
+        if current.threads > 2:
+            candidates.append(replace(current, threads=2))
+        if current.edge_prob > 0.25:
+            candidates.append(replace(current, edge_prob=current.edge_prob / 2))
+        for cand in candidates:
+            tried += 1
+            if still_fails(cand):
+                current = cand
+                progress = True
+                break
+            if tried >= budget:
+                break
+    return current
+
+
+def replay_failure(
+    failure: FuzzFailure,
+    exact: bool = True,
+    faults: Optional[FaultPlan] = None,
+) -> RunOutcome:
+    """Re-run a failure: by recorded step trace (*exact*) or by policy.
+
+    Pass the same *faults* plan the original campaign used, if any —
+    a fault-induced failure only reproduces with its bug still injected.
+    """
+    if exact:
+        return run_one(failure.spec, ReplayPolicy(failure.trace_names), faults)
+    spec = failure.shrunk_spec or failure.spec
+    return run_one(spec, make_policy(failure.policy_name, failure.policy_seed), faults)

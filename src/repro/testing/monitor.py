@@ -1,0 +1,203 @@
+"""Race and invariant monitoring for explored schedules.
+
+:class:`RaceMonitor` plugs into the engine twice at once:
+
+* as the **checker** (``checker=monitor``): at every scheduling-set
+  mutation it re-derives definitions (7)-(9), the x-consistency equations
+  and the pmax bound via a non-strict
+  :class:`~repro.core.invariants.InvariantChecker`, and additionally
+  checks the lifecycle properties below;
+* as the **tracer** (``tracer=monitor``): it observes phase starts,
+  enqueues and execution begin/end events, which is where the lifecycle
+  state machine lives.
+
+Lifecycle properties checked (each one is a theorem of Section 3.3 that a
+seeded concurrency bug can break):
+
+* every vertex-phase pair is **enqueued at most once**;
+* a pair may only **begin executing while it is in the ready set** —
+  i.e. dequeue-to-execute is justified by definition (8) at that instant;
+* an **executed pair never reappears** in partial / full / ready
+  (exactly-once execution, Section 3.3.4);
+* phase starts are **contiguous** (pmax increments by one).
+
+Unlike the strict checker, the monitor never raises from inside the
+engine: violations are recorded with the *schedule step* at which they
+were observed, so a fuzz run can report the minimal divergent step trace
+and keep the scheduler coherent enough to unwind.  Attach it to a
+:class:`~repro.testing.schedule.VirtualScheduler` to stamp violations
+with step indices and capture the trace tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+from ..core.invariants import InvariantChecker
+from ..core.tracer import ExecutionTracer
+from ..errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.state import SchedulerState
+    from .schedule import ScheduleStep, VirtualScheduler
+
+Pair = Tuple[int, int]
+
+__all__ = ["RaceMonitor", "MonitorViolation"]
+
+
+@dataclass(frozen=True)
+class MonitorViolation:
+    """One observed violation, stamped with where in the schedule it hit.
+
+    ``step`` is the index of the scheduling decision during which the
+    violation was detected (−1 when no scheduler is attached), and
+    ``trace_tail`` the immediately preceding schedule steps — the minimal
+    divergent suffix to look at when diagnosing the interleaving.
+    """
+
+    step: int
+    kind: str
+    description: str
+    trace_tail: Tuple[Tuple[int, str, str], ...] = ()
+
+    def __str__(self) -> str:
+        where = f"@step {self.step}" if self.step >= 0 else "@?"
+        return f"[{self.kind} {where}] {self.description}"
+
+
+class RaceMonitor(ExecutionTracer):
+    """Checks scheduling-set invariants and pair-lifecycle properties at
+    every step of an explored schedule.  See the module docstring."""
+
+    def __init__(self, trace_tail: int = 25) -> None:
+        # Events are stamped with an observation counter, not wall time:
+        # strictly increasing, so interval analyses stay well-formed, and
+        # deterministic, so traces hash stably across runs.
+        self._ticks = 0
+        super().__init__(clock=self._tick)
+        self._invariants = InvariantChecker(strict=False)
+        self._seen_invariants = 0
+        self._tail_len = trace_tail
+        self._scheduler: Optional["VirtualScheduler"] = None
+        self._enqueued: Set[Pair] = set()
+        self._executed: Set[Pair] = set()
+        self._begun: Set[Pair] = set()
+        self._phases_started: List[int] = []
+        self._last_state: Optional["SchedulerState"] = None
+        self.violations: List[MonitorViolation] = []
+        self.checks_run = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, scheduler: "VirtualScheduler") -> "RaceMonitor":
+        """Stamp future violations with *scheduler*'s step index/trace."""
+        self._scheduler = scheduler
+        return self
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_violations(self) -> None:
+        if self.violations:
+            raise InvariantViolation(self.report())
+
+    def report(self) -> str:
+        """Human-readable summary of every violation with its step trace."""
+        if not self.violations:
+            return f"race monitor: clean ({self.checks_run} checks)"
+        lines = [
+            f"race monitor: {len(self.violations)} violation(s) "
+            f"in {self.checks_run} checks"
+        ]
+        for v in self.violations:
+            lines.append(f"  {v}")
+            for idx, task, point in v.trace_tail[-self._tail_len:]:
+                lines.append(f"      step {idx}: {task} @ {point}")
+        return "\n".join(lines)
+
+    # -- checker protocol (SchedulerState calls this under its mutators) --
+
+    def check(self, state: "SchedulerState") -> None:
+        self.checks_run += 1
+        self._last_state = state
+        self._invariants.check(state)
+        new = self._invariants.violations[self._seen_invariants:]
+        self._seen_invariants = len(self._invariants.violations)
+        for message in new:
+            self._record("invariant", message)
+        live = state.partial_set() | state.full_set() | state.ready_set()
+        zombies = sorted(self._executed & live)
+        if zombies:
+            self._record(
+                "lifecycle",
+                f"executed pair(s) reappeared in the scheduling sets: "
+                f"{zombies} (exactly-once execution violated)",
+            )
+
+    # -- tracer protocol (the engine calls these) -------------------------
+
+    def phase_started(self, phase: int) -> None:
+        super().phase_started(phase)
+        if self._phases_started and phase != self._phases_started[-1] + 1:
+            self._record(
+                "lifecycle",
+                f"phase {phase} started after phase "
+                f"{self._phases_started[-1]} (non-contiguous pmax)",
+            )
+        elif not self._phases_started and phase != 1:
+            self._record("lifecycle", f"first phase started was {phase}, not 1")
+        self._phases_started.append(phase)
+
+    def enqueued(self, pair: Pair) -> None:
+        super().enqueued(pair)
+        if pair in self._enqueued:
+            self._record(
+                "lifecycle", f"pair {pair} enqueued more than once"
+            )
+        self._enqueued.add(pair)
+
+    def execute_begin(self, pair: Pair, worker: Optional[int] = None) -> None:
+        super().execute_begin(pair, worker)
+        if pair in self._begun:
+            self._record(
+                "lifecycle",
+                f"pair {pair} began executing twice (worker {worker})",
+            )
+        self._begun.add(pair)
+        state = self._last_state
+        if state is not None and pair not in state.ready_set():
+            self._record(
+                "lifecycle",
+                f"pair {pair} began executing while not in the ready set "
+                f"(worker {worker}); ready was {sorted(state.ready_set())}",
+            )
+
+    def execute_end(self, pair: Pair, worker: Optional[int] = None) -> None:
+        super().execute_end(pair, worker)
+        if pair in self._executed:
+            self._record(
+                "lifecycle",
+                f"pair {pair} completed execution twice (worker {worker})",
+            )
+        self._executed.add(pair)
+
+    # -- internals --------------------------------------------------------
+
+    def _tick(self) -> float:
+        self._ticks += 1
+        return float(self._ticks)
+
+    def _record(self, kind: str, description: str) -> None:
+        step = -1
+        tail: Tuple[Tuple[int, str, str], ...] = ()
+        sched = self._scheduler
+        if sched is not None:
+            step = sched.steps - 1
+            tail = tuple(
+                (s.index, s.task, s.point)
+                for s in sched.trace[-self._tail_len:]
+            )
+        self.violations.append(MonitorViolation(step, kind, description, tail))

@@ -289,3 +289,45 @@ class TestScale:
         g = random_dag(500, edge_prob=0.02, seed=99)
         nb = number_graph(g)
         verify_numbering(g, nb.index_of)
+
+
+class TestBulkSeededProperties:
+    """Equations (2)-(4) and the S(v) prefix property over a fixed fleet
+    of 240 seeded random DAGs.
+
+    Unlike the hypothesis suites above, every case here is pinned — the
+    same graphs are checked on every run, so a regression bisects to a
+    single reproducible ``(n, edge_prob, seed)`` triple.
+    """
+
+    CASES = [
+        (n, edge_prob, seed)
+        for seed in range(20)
+        for n in (1, 2, 5, 12, 30, 60)
+        for edge_prob in (0.1, 0.5)
+    ]
+
+    def test_case_count_meets_floor(self):
+        assert len(self.CASES) >= 200
+
+    def test_properties_2_3_4_and_prefix_over_seeded_fleet(self):
+        assert len({(n, p, s) for n, p, s in self.CASES}) == len(self.CASES)
+        for n, edge_prob, seed in self.CASES:
+            g = random_dag(n, edge_prob=edge_prob, seed=seed)
+            nb = number_graph(g)
+            label = f"(n={n}, edge_prob={edge_prob}, seed={seed})"
+            # (2) m is monotone nondecreasing.
+            for v in range(1, n + 1):
+                assert nb.m(v - 1) <= nb.m(v), f"(2) fails at v={v} {label}"
+            # (3) v < m(v) for every v < N.
+            for v in range(1, n):
+                assert v < nb.m(v), f"(3) fails at v={v} {label}"
+            # (4) m(N) = N.
+            assert nb.m(n) == n, f"(4) fails {label}"
+            # Prefix property: S(v) = {1..m(v)} (brute-force definition).
+            for v in range(n + 1):
+                assert compute_S(g, nb.index_of, v) == set(
+                    range(1, nb.m(v) + 1)
+                ), f"S({v}) not the prefix 1..m({v}) {label}"
+            # And the O(N+E) verifier agrees.
+            verify_numbering(g, nb.index_of)

@@ -154,3 +154,148 @@ class TestConcurrency:
             t.join(timeout=5)
         drained = [q.get() for _ in range(n_producers * per_producer)]
         assert sorted(drained) == list(range(n_producers * per_producer))
+
+
+class TestCloseEdgeCases:
+    """Close-protocol corners: closing under blocked getters/putters, the
+    timeout/close race, and the virtual-backend equivalents."""
+
+    def test_close_while_getter_blocked_with_timeout(self):
+        # A getter blocked *with a timeout* must still wake with
+        # QueueClosedError (not TimeoutError) when close wins the race.
+        q = BlockingQueue()
+        outcome = []
+
+        def getter():
+            try:
+                q.get(timeout=30.0)
+            except QueueClosedError:
+                outcome.append("closed")
+            except TimeoutError:
+                outcome.append("timeout")
+
+        t = threading.Thread(target=getter)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=2)
+        assert outcome == ["closed"]
+
+    def test_put_many_after_close_delivers_nothing(self):
+        q = BlockingQueue()
+        q.put(1)
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.put_many([2, 3])
+        assert q.get() == 1
+        with pytest.raises(QueueClosedError):
+            q.get()
+        assert q.total_enqueued == 1  # the rejected batch left no trace
+
+    def test_close_empty_queue_immediately_raises_on_get(self):
+        q = BlockingQueue()
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.get()
+        with pytest.raises(QueueClosedError):
+            q.get(timeout=0.01)
+
+    def test_stats_frozen_after_close(self):
+        q = BlockingQueue()
+        q.put_many([1, 2])
+        q.get()
+        q.close()
+        q.get()  # drain the survivor
+        assert q.total_enqueued == 2
+        assert q.total_dequeued == 2
+        assert q.closed
+
+    def test_close_under_virtual_backend_wakes_blocked_getters(self):
+        # The same close-while-blocked protocol, but deterministically
+        # scheduled: the getters park on the virtual condition and close
+        # must wake every one of them.
+        from repro.testing.schedule import (
+            RandomPolicy,
+            VirtualBackend,
+            VirtualScheduler,
+        )
+
+        sched = VirtualScheduler(policy=RandomPolicy(2))
+        backend = VirtualBackend(sched)
+        q = BlockingQueue(backend=backend)
+        outcome = []
+
+        def getter(me):
+            try:
+                q.get()
+            except QueueClosedError:
+                outcome.append(me)
+
+        def closer():
+            sched.switch("pre-close")
+            q.close()
+
+        for i in range(3):
+            backend.thread(target=getter, args=(i,), name=f"g{i}").start()
+        backend.thread(target=closer, name="closer").start()
+        sched.run_all()
+        assert sorted(outcome) == [0, 1, 2]
+
+
+class TestZeroMessageLastPhase:
+    """Workers must terminate when the *last* phase produces no messages
+    at all — the close protocol cannot rely on a final completion event
+    coming from a worker."""
+
+    def _silent_tail_program(self):
+        from repro.core.program import Program
+        from repro.core.vertex import EMIT_NOTHING, FunctionVertex
+        from repro.graph.generators import chain_graph
+
+        # Source emits only in phase 1; phases 2..4 are entirely empty of
+        # messages, so no worker commit marks them complete after start.
+        def source(ctx):
+            return 7 if ctx.phase == 1 else EMIT_NOTHING
+
+        g = chain_graph(3)
+        prog = Program(
+            g,
+            {
+                "v1": FunctionVertex(source),
+                "v2": FunctionVertex(lambda ctx: ctx.input("v1")),
+                "v3": FunctionVertex(lambda ctx: ctx.input("v2")),
+            },
+        )
+        return prog
+
+    def test_engine_exits_when_last_phases_are_silent(self):
+        from repro.runtime.engine import ParallelEngine
+        from repro.streams.generators import phase_signals
+
+        prog = self._silent_tail_program()
+        result = ParallelEngine(prog, num_threads=3).run(phase_signals(4))
+        assert result.phases_run == 4
+        assert result.records["v3"] == [(1, 7)]
+
+    def test_virtual_engine_exits_when_last_phases_are_silent(self):
+        # Same scenario under exhaustive-ish deterministic schedules: a
+        # close-protocol hole here would surface as DeadlockError.
+        from repro.runtime.engine import ParallelEngine
+        from repro.streams.generators import phase_signals
+        from repro.testing.schedule import (
+            RandomPolicy,
+            VirtualBackend,
+            VirtualScheduler,
+        )
+
+        for seed in range(5):
+            sched = VirtualScheduler(policy=RandomPolicy(seed))
+            prog = self._silent_tail_program()
+            engine = ParallelEngine(
+                prog, num_threads=2, backend=VirtualBackend(sched)
+            )
+            try:
+                result = engine.run(phase_signals(3))
+            finally:
+                sched.shutdown()
+            assert result.phases_run == 3

@@ -1,9 +1,26 @@
-"""Tests for the instrumented global lock."""
+"""Tests for the instrumented global lock.
+
+Timing statistics are asserted against an injected fake clock (each call
+advances it by exactly one tick), so the tests are deterministic: no
+sleeps, no wall-clock thresholds, no flakiness on loaded machines.
+"""
 
 import threading
-import time
 
 from repro.runtime.locks import InstrumentedLock
+
+
+class TickClock:
+    """A clock returning 0.0, 1.0, 2.0, ... — one tick per reading."""
+
+    def __init__(self):
+        self._now = -1.0
+        self._guard = threading.Lock()
+
+    def __call__(self):
+        with self._guard:
+            self._now += 1.0
+            return self._now
 
 
 class TestBasics:
@@ -24,10 +41,15 @@ class TestBasics:
         assert stats["contention_ratio"] == 0.0
 
     def test_hold_time_accumulates(self):
-        lock = InstrumentedLock()
+        # Uncontended acquire reads the clock at acquire and at release:
+        # exactly one tick apart under the fake clock.
+        lock = InstrumentedLock(clock=TickClock())
         with lock:
-            time.sleep(0.02)
-        assert lock.stats()["total_hold_time"] >= 0.015
+            pass
+        assert lock.stats()["total_hold_time"] == 1.0
+        with lock:
+            pass
+        assert lock.stats()["total_hold_time"] == 2.0
 
     def test_repr(self):
         lock = InstrumentedLock()
@@ -44,36 +66,46 @@ class TestBasics:
 
 class TestContention:
     def test_contended_acquisition_detected(self):
-        lock = InstrumentedLock()
-        entered = threading.Event()
-        release = threading.Event()
+        # Deterministic contention: under the virtual scheduler the waiter
+        # is *guaranteed* to attempt acquisition while the holder still
+        # owns the lock, so the contended path runs on every execution.
+        from repro.testing.schedule import (
+            RoundRobinPolicy,
+            VirtualBackend,
+            VirtualScheduler,
+        )
+
+        sched = VirtualScheduler(policy=RoundRobinPolicy())
+        backend = VirtualBackend(sched)
+        lock = InstrumentedLock(clock=TickClock(), backend=backend)
+        gate = backend.event()
+        waiter_done = []
 
         def holder():
             with lock:
-                entered.set()
-                release.wait(timeout=5)
-
-        t = threading.Thread(target=holder)
-        t.start()
-        entered.wait(timeout=5)
-        waiter_done = threading.Event()
+                gate.set()
+                # Spin at yield points long enough for the round-robin
+                # schedule to run the waiter into the contended acquire
+                # while the lock is still held.
+                for _ in range(10):
+                    sched.switch("holding")
 
         def waiter():
+            gate.wait()
             with lock:
-                waiter_done.set()
+                waiter_done.append(True)
 
-        t2 = threading.Thread(target=waiter)
-        t2.start()
-        time.sleep(0.02)
-        release.set()
-        t.join(timeout=5)
-        t2.join(timeout=5)
-        assert waiter_done.is_set()
+        backend.thread(target=holder, name="holder").start()
+        backend.thread(target=waiter, name="waiter").start()
+        sched.run_all()
+        assert waiter_done == [True]
         stats = lock.stats()
         assert stats["acquisitions"] == 2
         assert stats["contended_acquisitions"] == 1
+        # The fake clock ticks once per reading, so the contended acquire
+        # measured a strictly positive wait — deterministically.
         assert stats["total_wait_time"] > 0.0
-        assert 0.0 < stats["contention_ratio"] <= 0.5
+        assert stats["contention_ratio"] == 0.5
 
     def test_mutual_exclusion(self):
         """Concurrent increments under the lock never lose updates."""

@@ -114,3 +114,31 @@ class TestFigures:
         assert "m-sequence: [3, 3, 4, 5, 5, 6, 7, 7]" in out
         assert "(h) (4,1) executed" in out
         assert "legend" in out
+
+
+class TestFuzz:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--runs", "10", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct interleavings" in out
+        assert "all serializable" in out
+
+    def test_single_policy_selection(self, capsys):
+        assert main(
+            ["fuzz", "--runs", "5", "--seed", "1", "--policy", "round-robin"]
+        ) == 0
+
+    def test_injected_fault_is_found(self, capsys):
+        assert main(
+            ["fuzz", "--runs", "50", "--seed", "0",
+             "--inject", "unlocked_commit"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "detected at run" in out
+        assert "replay" in out  # the reproduction recipe is printed
+
+    def test_campaign_is_deterministic(self, capsys):
+        assert main(["fuzz", "--runs", "8", "--seed", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(["fuzz", "--runs", "8", "--seed", "3"]) == 0
+        assert capsys.readouterr().out == first

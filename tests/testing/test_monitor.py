@@ -1,0 +1,123 @@
+"""The race monitor: clean runs stay clean, violations are caught and
+stamped with their schedule step."""
+
+import pytest
+
+from repro.core.state import SchedulerState
+from repro.errors import InvariantViolation
+from repro.graph.generators import fig3_graph
+from repro.graph.numbering import number_graph
+from repro.testing.monitor import RaceMonitor
+from repro.testing.schedule import RoundRobinPolicy, VirtualScheduler
+
+
+@pytest.fixture
+def numbering():
+    return number_graph(fig3_graph())
+
+
+def drive_clean(state):
+    """The Figure-3 execution sequence (a correct schedule)."""
+    state.start_phase()
+    state.complete_execution(1, 1, [3])
+    state.start_phase()
+    state.complete_execution(1, 2, [])
+    state.complete_execution(2, 1, [3, 4])
+    state.complete_execution(2, 2, [3, 4])
+    state.complete_execution(3, 1, [5])
+    state.complete_execution(4, 1, [5, 6])
+
+
+class TestCleanRuns:
+    def test_fig3_sequence_is_clean(self, numbering):
+        monitor = RaceMonitor()
+        state = SchedulerState(numbering, checker=monitor)
+        drive_clean(state)
+        assert monitor.ok
+        assert monitor.checks_run == 8
+        assert "clean" in monitor.report()
+        monitor.raise_if_violations()  # no-op when clean
+
+    def test_tracer_protocol_lifecycle_clean(self, numbering):
+        monitor = RaceMonitor()
+        state = SchedulerState(numbering, checker=monitor)
+        pairs = state.start_phase()
+        monitor.phase_started(1)
+        for pair in pairs:
+            monitor.enqueued(pair)
+        v, p = pairs[0]
+        monitor.execute_begin((v, p), worker=0)
+        for pair in state.complete_execution(v, p, [3]):
+            monitor.enqueued(pair)
+        monitor.execute_end((v, p), worker=0)
+        assert monitor.ok
+
+
+class TestViolations:
+    def test_double_enqueue_flagged(self, numbering):
+        monitor = RaceMonitor()
+        monitor.enqueued((1, 1))
+        monitor.enqueued((1, 1))
+        assert not monitor.ok
+        assert "enqueued more than once" in monitor.report()
+
+    def test_execute_begin_outside_ready_flagged(self, numbering):
+        monitor = RaceMonitor()
+        state = SchedulerState(numbering, checker=monitor)
+        state.start_phase()  # runs check(), capturing the state
+        monitor.execute_begin((6, 1), worker=1)  # (6,1) is not ready yet
+        assert not monitor.ok
+        assert "not in the ready set" in monitor.report()
+
+    def test_double_execution_flagged(self, numbering):
+        monitor = RaceMonitor()
+        monitor.execute_end((2, 1), worker=0)
+        monitor.execute_end((2, 1), worker=1)
+        assert not monitor.ok
+        assert "twice" in monitor.report()
+
+    def test_non_contiguous_phase_start_flagged(self, numbering):
+        monitor = RaceMonitor()
+        monitor.phase_started(1)
+        monitor.phase_started(3)
+        assert not monitor.ok
+
+    def test_raise_if_violations(self, numbering):
+        monitor = RaceMonitor()
+        monitor.enqueued((1, 1))
+        monitor.enqueued((1, 1))
+        with pytest.raises(InvariantViolation):
+            monitor.raise_if_violations()
+
+    def test_monitor_does_not_raise_from_check(self, numbering):
+        # Unlike the strict InvariantChecker, the monitor must keep the
+        # engine coherent: check() records and returns.
+        monitor = RaceMonitor()
+        state = SchedulerState(numbering, checker=monitor)
+        state.start_phase()
+        monitor._executed.add((1, 1))  # fake an executed pair still live
+        state.complete_execution(2, 1, [3, 4])  # triggers check()
+        assert not monitor.ok
+        assert "reappeared" in monitor.report()
+
+
+class TestStepStamping:
+    def test_violation_carries_schedule_step_and_tail(self):
+        sched = VirtualScheduler(policy=RoundRobinPolicy())
+        monitor = RaceMonitor().attach(sched)
+
+        # Manufacture some schedule history.
+        from repro.testing.schedule import VirtualBackend
+
+        backend = VirtualBackend(sched)
+        t = backend.thread(
+            target=lambda: [sched.switch(f"p{i}") for i in range(4)], name="w"
+        )
+        t.start()
+        sched.run_all()
+        monitor.enqueued((1, 1))
+        monitor.enqueued((1, 1))
+        v = monitor.violations[0]
+        assert v.step == sched.steps - 1
+        assert v.trace_tail
+        assert "step" in monitor.report()
