@@ -1,0 +1,216 @@
+"""Lock contention: batched vs unbatched commit path.
+
+The paper (Section 4) attributes the sub-linear two-thread speedup to
+"the number of threads contending for the data structures", and warns
+that speedup stays near-linear only "as long as the computations
+performed by the vertices take significantly more time than the
+computations performed to maintain the data structures".  This benchmark
+measures exactly that wall: it runs the same layered workload across
+
+* thread counts (the contention axis),
+* compute grains (how much work a vertex does per execution — 0 means
+  the pure scheduler-overhead regime the paper warns about), and
+* batch sizes (1 = the paper's one-pair-per-critical-section loop;
+  B > 1 = the batched low-contention commit path),
+
+and reports wall-clock, the global lock's ``contention_ratio``
+(contended / total acquisitions), and ``commits_per_acquisition`` (how
+many pair commits each lock acquisition amortises).
+
+Unlike the pytest-benchmark suites next door this is a standalone
+script, so CI can smoke it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_lock_contention.py --quick
+
+and the full run commits its results as ``BENCH_lock_contention.json``::
+
+    PYTHONPATH=src python benchmarks/bench_lock_contention.py \
+        --out BENCH_lock_contention.json
+
+Interpretation: pure-Python vertex work is serialised by the GIL, so
+adding threads to a fine-grained workload *increases* wall-clock at
+batch size 1 (every pair pays two lock round-trips plus a queue wake-up).
+Batching removes most of those round-trips — the acceptance criterion is
+that at >= 4 threads and fine grain the batched engine shows a lower
+contention ratio *and* lower wall-clock than the unbatched one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runtime.engine import ParallelEngine  # noqa: E402
+from repro.streams.workloads import grid_workload  # noqa: E402
+
+FULL = {
+    "width": 6,
+    "depth": 4,
+    "phases": 80,
+    "threads": [1, 2, 4, 8],
+    "batches": [1, 4, 16, 64],
+    "grains_us": [0, 20, 100],
+    "reps": 3,
+}
+QUICK = {
+    "width": 4,
+    "depth": 3,
+    "phases": 20,
+    "threads": [2, 4],
+    "batches": [1, 8],
+    "grains_us": [0],
+    "reps": 1,
+}
+
+
+def build_program(width: int, depth: int, phases: int, grain_us: float):
+    prog, phase_inputs = grid_workload(width, depth, phases=phases, seed=7)
+    if grain_us:
+        spin = grain_us / 1e6
+        for beh in prog.behaviors.values():
+            orig = beh.on_execute
+
+            def grained(ctx, orig=orig):
+                t0 = time.perf_counter()
+                while time.perf_counter() - t0 < spin:
+                    pass
+                return orig(ctx)
+
+            beh.on_execute = grained  # type: ignore[method-assign]
+    return prog, phase_inputs
+
+
+def measure(cfg: Dict[str, Any], threads: int, batch: int,
+            grain_us: float) -> Dict[str, Any]:
+    prog, phases = build_program(
+        cfg["width"], cfg["depth"], cfg["phases"], grain_us
+    )
+    walls: List[float] = []
+    contention: List[float] = []
+    commits_per_acq: List[float] = []
+    executions = 0
+    for _ in range(cfg["reps"]):
+        res = ParallelEngine(
+            prog, num_threads=threads, batch_size=batch
+        ).run(phases)
+        executions = res.execution_count
+        walls.append(res.wall_time)
+        contention.append(res.stats["lock"]["contention_ratio"])
+        commits_per_acq.append(
+            res.stats["batching"]["commits_per_acquisition"]
+        )
+    return {
+        "threads": threads,
+        "batch_size": batch,
+        "grain_us": grain_us,
+        "executions": executions,
+        "wall_time_s": statistics.median(walls),
+        "contention_ratio": statistics.median(contention),
+        "commits_per_acquisition": statistics.median(commits_per_acq),
+    }
+
+
+def check_criterion(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """At >= 4 threads and the finest grain, batching must reduce both the
+    contention ratio and the wall-clock relative to batch size 1."""
+    fine = min(r["grain_us"] for r in rows)
+    verdicts = []
+    for threads in sorted({r["threads"] for r in rows if r["threads"] >= 4}):
+        cell = [
+            r for r in rows
+            if r["threads"] == threads and r["grain_us"] == fine
+        ]
+        base = next(r for r in cell if r["batch_size"] == 1)
+        best = min(
+            (r for r in cell if r["batch_size"] > 1),
+            key=lambda r: r["wall_time_s"],
+        )
+        verdicts.append(
+            {
+                "threads": threads,
+                "grain_us": fine,
+                "unbatched_wall_s": base["wall_time_s"],
+                "batched_wall_s": best["wall_time_s"],
+                "batched_batch_size": best["batch_size"],
+                "unbatched_contention": base["contention_ratio"],
+                "batched_contention": best["contention_ratio"],
+                "wall_reduced": best["wall_time_s"] < base["wall_time_s"],
+                "contention_reduced": (
+                    best["contention_ratio"] <= base["contention_ratio"]
+                ),
+            }
+        )
+    return {
+        "passed": all(
+            v["wall_reduced"] and v["contention_reduced"] for v in verdicts
+        ),
+        "cells": verdicts,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny configuration for CI smoke (seconds, not minutes)",
+    )
+    ap.add_argument("--out", type=Path, help="write results as JSON here")
+    args = ap.parse_args(argv)
+
+    cfg = QUICK if args.quick else FULL
+    rows: List[Dict[str, Any]] = []
+    for grain in cfg["grains_us"]:
+        for threads in cfg["threads"]:
+            for batch in cfg["batches"]:
+                row = measure(cfg, threads, batch, grain)
+                rows.append(row)
+                print(
+                    f"grain={grain:>4}us k={threads} b={batch:<3d} "
+                    f"wall={row['wall_time_s'] * 1000:8.1f}ms "
+                    f"contention={row['contention_ratio']:.4f} "
+                    f"commits/acq={row['commits_per_acquisition']:.2f}"
+                )
+
+    criterion = check_criterion(rows) if not args.quick else None
+    if criterion is not None:
+        for cell in criterion["cells"]:
+            print(
+                f"k={cell['threads']} grain={cell['grain_us']}us: "
+                f"wall {cell['unbatched_wall_s'] * 1000:.1f}ms -> "
+                f"{cell['batched_wall_s'] * 1000:.1f}ms "
+                f"(b={cell['batched_batch_size']}), contention "
+                f"{cell['unbatched_contention']:.4f} -> "
+                f"{cell['batched_contention']:.4f}"
+            )
+        print(
+            "criterion:",
+            "PASS" if criterion["passed"] else "FAIL",
+            "(batched beats unbatched on wall-clock and contention "
+            "at >= 4 threads, fine grain)",
+        )
+
+    payload = {
+        "benchmark": "lock_contention",
+        "mode": "quick" if args.quick else "full",
+        "config": cfg,
+        "rows": rows,
+        "criterion": criterion,
+    }
+    if args.out:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if criterion is not None and not criterion["passed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--threads", type=int, default=2,
                      help="computation threads for --engine parallel")
+    run.add_argument("--batch-size", type=int, default=1,
+                     help="ready pairs a worker commits per lock "
+                          "acquisition for --engine parallel (default 1: "
+                          "the paper's unbatched loop)")
     run.add_argument("--workers", type=int, default=2,
                      help="workers for --engine simulated")
     run.add_argument("--processors", type=int, default=2,
@@ -120,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "the first")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="skip greedy minimisation of failing workloads")
+    fuzz.add_argument("--batch-size", type=int, default=1,
+                      help="worker commit batch size: explore the batched "
+                           "commit path (default 1: the unbatched engine)")
+    fuzz.add_argument("--failure-artifacts", metavar="DIR", default=None,
+                      help="on failure, write one JSON reproduction file "
+                           "(seed, spec, policy, step trace) per failure "
+                           "into DIR — what CI uploads as artifacts")
 
     return parser
 
@@ -141,7 +152,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.engine == "parallel":
         from .runtime.engine import ParallelEngine
 
-        result = ParallelEngine(spec.program, num_threads=args.threads).run(phases)
+        result = ParallelEngine(
+            spec.program, num_threads=args.threads, batch_size=args.batch_size
+        ).run(phases)
     else:
         from .simulator import CostModel, SimulatedEngine
 
@@ -284,7 +297,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .testing import FaultPlan, fuzz
+    from .testing import FaultPlan, fuzz, write_failure_artifacts
     from .testing.schedule import POLICY_NAMES as ALL_POLICIES
 
     policies = ALL_POLICIES if args.policy == "all" else (args.policy,)
@@ -299,8 +312,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         do_shrink=not args.no_shrink,
         max_vertices=args.max_vertices,
         max_phases=args.max_phases,
+        batch_size=args.batch_size,
     )
     print(report.summary())
+    if args.failure_artifacts and report.failures:
+        written = write_failure_artifacts(report, args.failure_artifacts)
+        for path in written:
+            print(f"failure artifact written: {path}")
     if faults is not None:
         # Inverted verdict: a fault campaign *must* find its seeded bug.
         if report.ok:

@@ -14,6 +14,14 @@ exactly two mutators:
   ``x_i <= x_{i-1}`` clamp), move newly full pairs (statements 24-26), move
   newly ready pairs (statements 27-30), return the newly ready pairs.
 
+:meth:`SchedulerState.complete_executions` is the batched form of the
+second mutator: it applies several completions in one call, running the
+x-update, newly-full and newly-ready scans once for the whole batch.  The
+final state is identical to applying the completions one at a time (see
+the method docstring for the argument), so the engines may amortize the
+global lock over a batch without weakening the serializability theorem.
+``complete_execution`` is the batch of one.
+
 The object is deliberately **not** thread-safe: the engines wrap every call
 in the single global lock of the algorithm (the paper's ``lock`` /
 ``unlock``), the serial oracle and the simulator call it from one thread,
@@ -38,7 +46,17 @@ Fidelity notes
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..errors import DuplicateExecutionError, SchedulerError
 from ..graph.numbering import Numbering
@@ -228,53 +246,92 @@ class SchedulerState:
             On any attempt to complete a pair twice (via the ready check
             and the per-vertex phase monotonicity bookkeeping).
         """
-        pair = (v, p)
-        if pair not in self._ready:
-            if p <= self._ready_upto.get(v, 0) and pair not in self._full:
-                raise DuplicateExecutionError(
-                    f"pair {pair} was already executed; each ready pair "
-                    f"executes exactly once"
-                )
-            raise SchedulerError(
-                f"pair {pair} is not in the ready set and may not execute"
-            )
+        return self.complete_executions([(v, p, output_targets)])
 
-        # Statements 1.5-1.7: remove from full and ready; msg := false.
-        self._full.remove(pair)
-        self._ready.remove(pair)
-        self._msg.discard(pair)
-        self._pending[p].discard(v)
-        self._full_phases[v].discard(p)
-        self._executed_pairs += 1
-        self._preempt("complete_execution:pair-removed")
+    def complete_executions(
+        self, batch: Sequence[Tuple[int, int, Iterable[int]]]
+    ) -> List[Pair]:
+        """Apply a batch of completions ``(v, p, output_targets)`` at once.
 
-        # Statements 1.8-1.11: outputs enter the partial set.
-        partial_heap = self._partial_by_phase.setdefault(p, LazyMinHeap())
-        pending = self._pending[p]
-        for w in output_targets:
-            if not v < w <= self.N:
+        Statements 1.5-1.11 (remove the pair, insert its outputs into
+        partial) run per completion; the x-update (1.12-1.23), the
+        newly-full scan (1.24-1.26) and the newly-ready scan (1.27-1.30)
+        run once for the whole batch, and the invariant checker fires once
+        at the batch boundary.  Returns the newly ready pairs.
+
+        The final state equals applying the completions one at a time:
+
+        * the batch's pairs are pairwise-distinct vertices (the ready set
+          holds at most one phase per vertex, and a vertex's next phase
+          becomes ready only through a completion's own scans), so the
+          removals and partial insertions commute;
+        * every ``x_i`` is the unique fixed point of the update equation
+          ``x_i = min(vmin_i - 1, x_{i-1})`` over the *final* pending
+          sets, which a single left-to-right scan computes (dependencies
+          only point backwards), and ``x`` is nondecreasing either way;
+        * the newly-full and newly-ready scans are functions of the final
+          ``x`` / pending / full-phase structures, restricted to the
+          phases and vertices the batch touched — the same restriction
+          the per-pair form uses, unioned over the batch.
+
+        A batch of one is therefore step-for-step identical to
+        :meth:`complete_execution` (same mutation order, same preemption
+        points, same return value).
+        """
+        if not batch:
+            return []
+        affected: List[int] = []
+        touched_phases: List[int] = []
+        for v, p, output_targets in batch:
+            pair = (v, p)
+            if pair not in self._ready:
+                if p <= self._ready_upto.get(v, 0) and pair not in self._full:
+                    raise DuplicateExecutionError(
+                        f"pair {pair} was already executed; each ready pair "
+                        f"executes exactly once"
+                    )
                 raise SchedulerError(
-                    f"vertex {v} emitted to {w}: edges must go from lower to "
-                    f"higher indices (1..{self.N})"
+                    f"pair {pair} is not in the ready set and may not execute"
                 )
-            out_pair = (w, p)
-            if out_pair in self._partial or out_pair in self._full:
-                # msg(w, p) is already true; the set union is idempotent.
-                continue
-            self._partial.add(out_pair)
-            self._msg.add(out_pair)
-            partial_heap.add(w)
-            pending.add(w)
 
-        self._preempt("complete_execution:outputs-inserted")
+            # Statements 1.5-1.7: remove from full and ready; msg := false.
+            self._full.remove(pair)
+            self._ready.remove(pair)
+            self._msg.discard(pair)
+            self._pending[p].discard(v)
+            self._full_phases[v].discard(p)
+            self._executed_pairs += 1
+            self._preempt("complete_execution:pair-removed")
 
-        # Statements 1.12-1.23: update x_i for i = p .. pmax.
-        changed_phases = self._update_x_from(p)
+            # Statements 1.8-1.11: outputs enter the partial set.
+            partial_heap = self._partial_by_phase.setdefault(p, LazyMinHeap())
+            pending = self._pending[p]
+            for w in output_targets:
+                if not v < w <= self.N:
+                    raise SchedulerError(
+                        f"vertex {v} emitted to {w}: edges must go from lower to "
+                        f"higher indices (1..{self.N})"
+                    )
+                out_pair = (w, p)
+                if out_pair in self._partial or out_pair in self._full:
+                    # msg(w, p) is already true; the set union is idempotent.
+                    continue
+                self._partial.add(out_pair)
+                self._msg.add(out_pair)
+                partial_heap.add(w)
+                pending.add(w)
+
+            self._preempt("complete_execution:outputs-inserted")
+            affected.append(v)
+            if p not in touched_phases:
+                touched_phases.append(p)
+
+        # Statements 1.12-1.23: update x_i over the touched phases.
+        changed_phases = self._update_x_over(touched_phases)
         self._preempt("complete_execution:x-updated")
 
         # Statements 1.24-1.26: move newly full pairs out of partial.
-        affected: List[int] = [v]
-        scan_phases = changed_phases if p in changed_phases else [p, *changed_phases]
+        scan_phases = sorted(set(touched_phases) | set(changed_phases))
         for q in scan_phases:
             heap = self._partial_by_phase.get(q)
             if heap is None or not heap:
@@ -296,17 +353,21 @@ class SchedulerState:
     # Internals
     # ------------------------------------------------------------------
 
-    def _update_x_from(self, p: int) -> List[int]:
-        """Statements 1.12-1.23 with an exact early exit.
+    def _update_x_over(self, phases: Sequence[int]) -> List[int]:
+        """Statements 1.12-1.23 over a batch of phases, with an exact
+        early exit.
 
         Recomputes ``x_i = min(vmin_i - 1, x_{i-1})`` (or ``N`` when no
-        pair with phase *i* remains pending) for ``i = p, p+1, ...``,
-        stopping as soon as an iteration leaves ``x_i`` unchanged — for
-        ``i > p`` the pending sets were untouched by this call, so a fixed
-        point propagates.  Returns the phases whose ``x`` changed.
+        pair with phase *i* remains pending) for ``i = min(phases), ...``,
+        stopping as soon as an iteration past ``max(phases)`` leaves
+        ``x_i`` unchanged — beyond the touched phases the pending sets
+        were untouched by this call, so a fixed point propagates.  Returns
+        the phases whose ``x`` changed.
         """
+        lo = min(phases)
+        hi = max(phases)
         changed: List[int] = []
-        i = p
+        i = lo
         while i <= self._pmax:
             pend = self._pending.get(i)
             if pend:
@@ -318,7 +379,7 @@ class SchedulerState:
                 xi = prev_x
             old = self.x(i)
             if xi == old:
-                if i > p:
+                if i > hi:
                     break
             else:
                 assert xi > old, (

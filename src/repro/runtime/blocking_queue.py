@@ -6,15 +6,25 @@ operation atomically removes an item from the queue such that each item on
 the queue is dequeued at most once.  It is also assumed to be empty at
 system initialization time."
 
-This implementation adds one thing the paper's infinite loops did not need:
-termination.  :meth:`BlockingQueue.close` wakes every blocked consumer;
-once the queue is both closed and drained, further :meth:`get` calls raise
-:class:`~repro.errors.QueueClosedError`, which the worker loop treats as
-"no more work, exit".  Items already enqueued at close time are still
-delivered (close-then-drain), so no ready pair is ever lost.
+This implementation adds two things the paper's infinite loops did not
+need:
+
+* **Termination.**  :meth:`BlockingQueue.close` wakes every blocked
+  consumer; once the queue is both closed and drained, further
+  :meth:`get` / :meth:`get_many` calls raise
+  :class:`~repro.errors.QueueClosedError`, which the worker loop treats
+  as "no more work, exit".  Items already enqueued at close time are
+  still delivered (close-then-drain), so no ready pair is ever lost.
+* **Batched dequeue.**  :meth:`BlockingQueue.get_many` blocks for the
+  first item and then drains up to a bound more in the same critical
+  section — the low-contention commit path dequeues a whole batch per
+  wake-up instead of paying one lock round-trip per pair.
 
 Statistics (:attr:`total_enqueued`, :attr:`total_dequeued`,
 :attr:`max_depth`, :attr:`blocked_gets`) feed the engine's run report.
+``blocked_gets`` counts only dequeues that actually *waited* — a get that
+returns an item immediately, or that raises immediately because the queue
+is closed and drained, is not contention and is not counted.
 """
 
 from __future__ import annotations
@@ -84,18 +94,57 @@ class BlockingQueue(Generic[T]):
             only by tests and watchdogs — workers block indefinitely.
         """
         with self._cond:
-            if not self._items:
-                self.blocked_gets += 1
+            waited = False
             while True:
                 if self._items:
                     self.total_dequeued += 1
                     return self._items.popleft()
                 if self._closed:
                     raise QueueClosedError("queue closed and drained")
+                if not waited:
+                    # Count the get as blocked only now that it will
+                    # actually wait (an immediate QueueClosedError above
+                    # is shutdown, not contention).
+                    self.blocked_gets += 1
+                    waited = True
                 if not self._cond.wait(timeout):
                     raise TimeoutError(
                         f"BlockingQueue.get timed out after {timeout}s"
                     )
+
+    def get_many(self, max_items: int, timeout: Optional[float] = None) -> List[T]:
+        """Dequeue between 1 and *max_items* items in one critical section.
+
+        Blocks (like :meth:`get`) while the queue is empty and open; once
+        at least one item is available, drains up to *max_items* without
+        further waiting and returns them in FIFO order.  A batch never
+        waits for the queue to fill — latency is the same as :meth:`get`,
+        only the per-item lock traffic is amortized.
+
+        Raises
+        ------
+        QueueClosedError
+            When the queue is closed and drained before the first item.
+        TimeoutError
+            When *timeout* elapses before the first item.
+        """
+        if max_items < 1:
+            raise ValueError(f"max_items must be >= 1, got {max_items}")
+        with self._cond:
+            waited = False
+            while not self._items:
+                if self._closed:
+                    raise QueueClosedError("queue closed and drained")
+                if not waited:
+                    self.blocked_gets += 1
+                    waited = True
+                if not self._cond.wait(timeout):
+                    raise TimeoutError(
+                        f"BlockingQueue.get_many timed out after {timeout}s"
+                    )
+            n = min(max_items, len(self._items))
+            self.total_dequeued += n
+            return [self._items.popleft() for _ in range(n)]
 
     def close(self) -> None:
         """Close the queue: already-enqueued items are still delivered,

@@ -23,6 +23,18 @@ Differences from the paper's infinite loops (all additive):
   edge histories stay small; off by default (the paper's behaviour).
 * **Failure handling** — a vertex exception aborts the run and re-raises
   as :class:`~repro.errors.VertexExecutionError` from :meth:`run`.
+* **Batched commits** (optional) — with ``batch_size=B > 1`` a worker
+  drains up to B ready pairs per wake-up
+  (:meth:`~repro.runtime.blocking_queue.BlockingQueue.get_many`), commits
+  each pair and prepares the *next* one in the same critical section, and
+  applies all B completions to the scheduling state in one call
+  (:meth:`~repro.core.state.SchedulerState.complete_executions`), so the
+  x-update and readiness scans run once per batch.  Every scheduling-set
+  mutation still happens under the single global lock — only the
+  granularity changes — and a batched apply reaches the same state as
+  applying its completions one at a time, so the paper's serializability
+  argument is untouched (see docs/ALGORITHM.md).  ``batch_size=1`` (the
+  default) is step-for-step the paper's loop.
 
 The expensive vertex computation happens *outside* the lock (prepare /
 compute / commit split, see :class:`~repro.core.program.PairRuntime`), so
@@ -83,6 +95,11 @@ class ParallelEngine:
         used by the schedule-exploration suite to prove it *finds* seeded
         concurrency bugs.  Any object with the matching attribute names
         works; ``None`` (the default) injects nothing.
+    batch_size:
+        Maximum ready pairs a worker drains and commits per wake-up (the
+        batched low-contention commit path).  ``None`` (the default)
+        takes the value from *env* (:class:`EnvironmentConfig`, default
+        1); an explicit integer overrides it.
     """
 
     def __init__(
@@ -95,6 +112,7 @@ class ParallelEngine:
         join_timeout: float = 120.0,
         backend: Optional[ThreadingBackend] = None,
         faults: object = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         if num_threads < 1:
             raise EngineError(f"num_threads must be >= 1, got {num_threads}")
@@ -106,6 +124,11 @@ class ParallelEngine:
         self.join_timeout = join_timeout
         self.backend = backend or OS_BACKEND
         self.faults = faults
+        self.batch_size = env.batch_size if batch_size is None else batch_size
+        if self.batch_size < 1:
+            raise EngineError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
 
     def run(self, phase_inputs: Sequence[PhaseInput]) -> RunResult:
         """Execute every phase; returns the :class:`RunResult`.
@@ -134,6 +157,8 @@ class ParallelEngine:
         executions: List[Tuple[int, int]] = []
         per_worker_counts: Dict[int, int] = {i: 0 for i in range(self.num_threads)}
         seen_complete = [0]  # phases seen complete so far (guarded by lock)
+        batch_size = self.batch_size
+        batch_sizes: Dict[int, int] = {}  # dequeued-batch histogram (under lock)
         tracer = self.tracer
         # Bug-injection seams (testing only; see repro.testing.faults).
         faults = self.faults
@@ -144,36 +169,69 @@ class ParallelEngine:
         start_guard = (lambda: nullcontext()) if unlocked_start else (lambda: lock)
 
         def worker(worker_id: int) -> None:
-            # Listing 1: the computation process.
+            # Listing 1: the computation process, batched.  A batch of one
+            # is exactly the paper's loop; with B > 1 the worker drains up
+            # to B ready pairs per wake-up, commits pair i and prepares
+            # pair i+1 in the same critical section (no lock round-trip
+            # between them), and applies the whole batch of completions to
+            # the scheduling state in one call, so the x-update and the
+            # readiness scans run once per batch.
             try:
                 while True:
                     try:
-                        v, p = queue.get()
+                        batch = queue.get_many(batch_size)
                     except QueueClosedError:
                         return
                     if abort.is_set():
                         continue  # drain until close
+                    completed: List[Tuple[int, int, List[int]]] = []
+                    newly_ready: List[Tuple[int, int]] = []
+                    newly_complete = 0
+                    done = False
+                    v, p = batch[0]
                     with lock:
                         ctx = runtime.prepare(v, p)
                         if tracer is not None:
                             tracer.execute_begin((v, p), worker_id)
-                    runtime.compute(v, ctx)
-                    newly_complete = 0
-                    with commit_guard():
-                        targets = runtime.commit(v, p, ctx)
-                        newly_ready = state.complete_execution(v, p, targets)
-                        executions.append((v, p))
-                        per_worker_counts[worker_id] += 1
-                        if tracer is not None:
-                            tracer.execute_end((v, p), worker_id)
-                            for pair in newly_ready:
-                                tracer.enqueued(pair)
-                        newly_complete = state.complete_phase_count - seen_complete[0]
-                        if tracer is not None:
-                            for i in range(newly_complete):
-                                tracer.phase_completed(seen_complete[0] + 1 + i)
-                        seen_complete[0] = state.complete_phase_count
-                        done = env_done.is_set() and state.all_started_complete()
+                    for idx, (v, p) in enumerate(batch):
+                        runtime.compute(v, ctx)
+                        last = idx + 1 == len(batch)
+                        with commit_guard():
+                            targets = runtime.commit(v, p, ctx)
+                            completed.append((v, p, targets))
+                            if not last:
+                                # Fast path: prepare the next dequeued pair
+                                # inside the same critical section as this
+                                # commit.  Safe: a ready pair's inputs are
+                                # fully determined (definition (8)), so no
+                                # pair in the batch can depend on a
+                                # batch-mate's still-unapplied completion.
+                                nv, np_ = batch[idx + 1]
+                                ctx = runtime.prepare(nv, np_)
+                                if tracer is not None:
+                                    tracer.execute_begin((nv, np_), worker_id)
+                                continue
+                            newly_ready = state.complete_executions(completed)
+                            executions.extend(
+                                (cv, cp) for cv, cp, _ in completed
+                            )
+                            per_worker_counts[worker_id] += len(completed)
+                            batch_sizes[len(completed)] = (
+                                batch_sizes.get(len(completed), 0) + 1
+                            )
+                            if tracer is not None:
+                                for cv, cp, _ in completed:
+                                    tracer.execute_end((cv, cp), worker_id)
+                                for pair in newly_ready:
+                                    tracer.enqueued(pair)
+                            newly_complete = (
+                                state.complete_phase_count - seen_complete[0]
+                            )
+                            if tracer is not None:
+                                for i in range(newly_complete):
+                                    tracer.phase_completed(seen_complete[0] + 1 + i)
+                            seen_complete[0] = state.complete_phase_count
+                            done = env_done.is_set() and state.all_started_complete()
                     if flow_sem is not None:
                         for _ in range(newly_complete):
                             flow_sem.release()
@@ -188,9 +246,12 @@ class ParallelEngine:
                         queue.close()
             except BaseException:
                 # A failed worker must not leave the others blocked on the
-                # queue: flag the abort, wake everyone, then propagate.
+                # queue or the environment parked on flow control: flag the
+                # abort, wake everyone, then propagate.
                 abort.set()
                 queue.close()
+                if flow_sem is not None:
+                    flow_sem.release()
                 raise
 
         env_errors: List[BaseException] = []
@@ -202,9 +263,13 @@ class ParallelEngine:
                     if abort.is_set():
                         break
                     if flow_sem is not None:
-                        while not flow_sem.acquire(timeout=0.05):
-                            if abort.is_set():
-                                break
+                        # Block until a phase slot frees up.  Abort paths
+                        # (worker crash, shutdown watchdog) release the
+                        # semaphore *after* setting the abort flag, so this
+                        # wait is abort-aware without polling — no timeout
+                        # loop burning CPU or making virtual-clock runs
+                        # timing-dependent.
+                        flow_sem.acquire()
                         if abort.is_set():
                             break
                     with start_guard():
@@ -243,15 +308,32 @@ class ParallelEngine:
         pool.start()
         env_thread.start()
         env_thread.join(self.join_timeout)
-        if env_thread.is_alive():
+        env_wedged = env_thread.is_alive()
+        if env_wedged:
+            # The environment is stuck (e.g. parked on flow control behind
+            # a wedged worker).  Abort the run, wake everything, and still
+            # join the pool below — a wedged environment must not leak
+            # live computation threads into the caller, nor mask the
+            # root-cause worker exception with a generic EngineError.
             abort.set()
             queue.close()
-            raise EngineError("environment thread failed to terminate")
-        pool.join(self.join_timeout)
+            if flow_sem is not None:
+                flow_sem.release()
+        join_error: Optional[EngineError] = None
+        try:
+            pool.join(self.join_timeout)
+        except EngineError as exc:
+            join_error = exc
         elapsed = backend.clock() - started
+        # Prefer the root cause: a worker or environment exception explains
+        # the run better than any watchdog timeout it caused.
         pool.reraise()
         if env_errors:
             raise env_errors[0]
+        if join_error is not None:
+            raise join_error
+        if env_wedged:
+            raise EngineError("environment thread failed to terminate")
 
         if not state.all_started_complete():
             raise EngineError(
@@ -259,9 +341,12 @@ class ParallelEngine:
                 f"{state.in_flight_phases()!r}"
             )
 
+        lock_stats = lock.stats()
+        num_batches = sum(batch_sizes.values())
+        num_commits = sum(size * count for size, count in batch_sizes.items())
         stats = {
             "num_threads": self.num_threads,
-            "lock": lock.stats(),
+            "lock": lock_stats,
             "queue": {
                 "max_depth": queue.max_depth,
                 "total_enqueued": queue.total_enqueued,
@@ -271,11 +356,27 @@ class ParallelEngine:
             "per_worker_executions": dict(per_worker_counts),
             "edge_entries_peak": runtime.edges.peak_entries,
             "edge_entries_final": runtime.edges.total_pending_entries(),
+            "batching": {
+                "batch_size": self.batch_size,
+                "batches": num_batches,
+                "batch_sizes": dict(sorted(batch_sizes.items())),
+                "mean_batch_size": (
+                    num_commits / num_batches if num_batches else 0.0
+                ),
+                "commits_per_acquisition": (
+                    num_commits / lock_stats["acquisitions"]
+                    if lock_stats["acquisitions"]
+                    else 0.0
+                ),
+            },
         }
         if tracer is not None:
             intervals = tracer.intervals()
             stats["max_concurrent_phases"] = max_concurrent_phases(intervals)
             stats["max_concurrent_pairs"] = max_concurrent_pairs(intervals)
-        return runtime.build_result(
-            f"parallel[k={self.num_threads}]", executions, elapsed, stats
+        label = (
+            f"parallel[k={self.num_threads}]"
+            if self.batch_size == 1
+            else f"parallel[k={self.num_threads},b={self.batch_size}]"
         )
+        return runtime.build_result(label, executions, elapsed, stats)

@@ -70,7 +70,13 @@ class ComputationThreadPool:
 
     def join(self, timeout: Optional[float] = None) -> None:
         """Join every thread.  With a *timeout*, raises
-        :class:`EngineError` if any thread is still alive afterwards."""
+        :class:`EngineError` if any thread is still alive afterwards.
+
+        When a worker already raised, the timeout error names and chains
+        that exception (``__cause__``; also on the ``worker_errors``
+        attribute): a crashed worker that wedges a sibling is reported by
+        its root cause, not just the wedge.
+        """
         deadline = None
         if timeout is not None:
             import time
@@ -85,7 +91,19 @@ class ComputationThreadPool:
             t.join(remaining)
         stuck = [t.name for t in self._threads if t.is_alive()]
         if stuck:
-            raise EngineError(f"threads failed to terminate: {stuck!r}")
+            with self._error_lock:
+                errors = list(self._errors)
+            message = f"threads failed to terminate: {stuck!r}"
+            if errors:
+                message += (
+                    f" (after worker error: {type(errors[0]).__name__}: "
+                    f"{errors[0]})"
+                )
+            exc = EngineError(message)
+            exc.worker_errors = errors  # type: ignore[attr-defined]
+            if errors:
+                raise exc from errors[0]
+            raise exc
 
     def reraise(self) -> None:
         """Re-raise the first exception any worker raised (if any)."""

@@ -27,6 +27,7 @@ from .fuzz import (
     run_one,
     shrink,
     spec_for_run,
+    write_failure_artifacts,
 )
 from .monitor import MonitorViolation, RaceMonitor
 from .schedule import (
@@ -68,4 +69,5 @@ __all__ = [
     "run_one",
     "shrink",
     "spec_for_run",
+    "write_failure_artifacts",
 ]

@@ -25,8 +25,9 @@ wrappers over :func:`fuzz`.
 from __future__ import annotations
 
 import hashlib
+import json
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.serializability import check_serializable
@@ -58,6 +59,7 @@ __all__ = [
     "fuzz",
     "replay_failure",
     "shrink",
+    "write_failure_artifacts",
 ]
 
 
@@ -176,8 +178,14 @@ def run_one(
     policy: SchedulingPolicy,
     faults: Optional[FaultPlan] = None,
     max_steps: int = 250_000,
+    batch_size: int = 1,
 ) -> RunOutcome:
-    """Run *spec* serially (oracle) and under *policy*; judge the result."""
+    """Run *spec* serially (oracle) and under *policy*; judge the result.
+
+    *batch_size* > 1 explores the batched commit path: the engine drains
+    and commits up to that many pairs per worker wake-up, still judged
+    against the same serial oracle and invariant monitor.
+    """
     program, phases = spec.build()
     serial = SerialExecutor(program).run(phases)
 
@@ -191,6 +199,7 @@ def run_one(
         env=EnvironmentConfig(),
         backend=VirtualBackend(scheduler),
         faults=faults,
+        batch_size=batch_size,
     )
     outcome = RunOutcome(spec=spec, policy_desc=policy.describe(), passed=False)
     error: Optional[BaseException] = None
@@ -254,6 +263,7 @@ class FuzzFailure:
     reason: str
     trace_names: List[str]
     shrunk_spec: Optional[WorkloadSpec] = None
+    batch_size: int = 1
 
     def summary(self) -> str:
         lines = [
@@ -261,6 +271,7 @@ class FuzzFailure:
             f"{self.master_seed}):",
             f"  workload: {self.spec.describe()}",
             f"  policy:   {self.policy_name}(seed={self.policy_seed})",
+            f"  batch:    {self.batch_size}",
             f"  reason:   {self.reason}",
             f"  replay:   repro fuzz --seed {self.master_seed} "
             f"--runs {self.run_index + 1}  (or run_one(spec, "
@@ -271,6 +282,23 @@ class FuzzFailure:
         if self.shrunk_spec is not None and self.shrunk_spec != self.spec:
             lines.append(f"  shrunk:   {self.shrunk_spec.describe()}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable reproduction record (seed + trace) — what
+        the CI failure-artifact upload preserves."""
+        return {
+            "run_index": self.run_index,
+            "master_seed": self.master_seed,
+            "spec": asdict(self.spec),
+            "policy_name": self.policy_name,
+            "policy_seed": self.policy_seed,
+            "batch_size": self.batch_size,
+            "reason": self.reason,
+            "trace_names": list(self.trace_names),
+            "shrunk_spec": (
+                asdict(self.shrunk_spec) if self.shrunk_spec is not None else None
+            ),
+        }
 
 
 @dataclass
@@ -313,12 +341,14 @@ def fuzz(
     max_vertices: int = 8,
     max_phases: int = 6,
     max_steps: int = 250_000,
+    batch_size: int = 1,
 ) -> FuzzReport:
     """Explore *runs* random (workload, interleaving) pairs.
 
     Policies rotate per run; each run's policy seed and workload derive
     from ``(seed, run index)``, so the campaign is reproducible and any
-    single run can be replayed in isolation.
+    single run can be replayed in isolation.  *batch_size* runs the
+    campaign over the batched commit path.
     """
     if not policies:
         raise ValueError("fuzz needs at least one scheduling policy")
@@ -331,7 +361,8 @@ def fuzz(
         policy_name = policies[i % len(policies)]
         policy_seed = random.Random(f"policy:{seed}:{i}").randrange(2**31)
         outcome = run_one(
-            spec, make_policy(policy_name, policy_seed), faults, max_steps
+            spec, make_policy(policy_name, policy_seed), faults, max_steps,
+            batch_size=batch_size,
         )
         hashes[outcome.trace_hash] = hashes.get(outcome.trace_hash, 0) + 1
         total_steps += outcome.steps
@@ -345,10 +376,12 @@ def fuzz(
                 policy_seed=policy_seed,
                 reason=outcome.reason,
                 trace_names=outcome.trace_names,
+                batch_size=batch_size,
             )
             if do_shrink:
                 failure.shrunk_spec = shrink(
-                    spec, policy_name, policy_seed, faults, max_steps
+                    spec, policy_name, policy_seed, faults, max_steps,
+                    batch_size=batch_size,
                 )
             failures.append(failure)
             if stop_on_failure:
@@ -370,6 +403,7 @@ def shrink(
     faults: Optional[FaultPlan] = None,
     max_steps: int = 250_000,
     budget: int = 24,
+    batch_size: int = 1,
 ) -> WorkloadSpec:
     """Greedily minimise a failing spec while it keeps failing.
 
@@ -381,7 +415,8 @@ def shrink(
 
     def still_fails(candidate: WorkloadSpec) -> bool:
         outcome = run_one(
-            candidate, make_policy(policy_name, policy_seed), faults, max_steps
+            candidate, make_policy(policy_name, policy_seed), faults, max_steps,
+            batch_size=batch_size,
         )
         return not outcome.passed
 
@@ -423,6 +458,32 @@ def replay_failure(
     a fault-induced failure only reproduces with its bug still injected.
     """
     if exact:
-        return run_one(failure.spec, ReplayPolicy(failure.trace_names), faults)
+        return run_one(
+            failure.spec, ReplayPolicy(failure.trace_names), faults,
+            batch_size=failure.batch_size,
+        )
     spec = failure.shrunk_spec or failure.spec
-    return run_one(spec, make_policy(failure.policy_name, failure.policy_seed), faults)
+    return run_one(
+        spec, make_policy(failure.policy_name, failure.policy_seed), faults,
+        batch_size=failure.batch_size,
+    )
+
+
+def write_failure_artifacts(report: FuzzReport, directory: str) -> List[str]:
+    """Write one JSON reproduction file per failure into *directory*.
+
+    Each file carries the master seed, the workload spec, the policy pair
+    and the recorded step trace — everything :func:`replay_failure` needs
+    — so a red CI run is reproducible straight from the uploaded
+    artifacts.  Returns the written paths.
+    """
+    from pathlib import Path
+
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[str] = []
+    for f in report.failures:
+        path = out / f"fuzz-failure-seed{f.master_seed}-run{f.run_index}.json"
+        path.write_text(json.dumps(f.to_dict(), indent=2) + "\n")
+        written.append(str(path))
+    return written

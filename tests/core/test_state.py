@@ -254,3 +254,100 @@ class TestRepr:
         st.start_phase()
         assert "pmax=1" in repr(st)
         assert "full=2" in repr(st)
+
+
+class TestBatchedCompletion:
+    """``complete_executions`` — the batched commit path's state apply.
+
+    A batch must reach exactly the state sequential application reaches,
+    and a batch of one must be indistinguishable from
+    ``complete_execution``.
+    """
+
+    FIG3_OUTPUTS = {1: [3], 2: [3, 4], 3: [5], 4: [5, 6], 5: [], 6: []}
+
+    @staticmethod
+    def _snapshot(st):
+        return (
+            st.partial_set(),
+            st.full_set(),
+            st.ready_set(),
+            tuple(st.x(p) for p in range(0, 4)),
+            st.pmax,
+            st.executed_pairs,
+            st.complete_phase_count,
+        )
+
+    def test_empty_batch_is_noop(self):
+        st = fig3_state()
+        st.start_phase()
+        before = self._snapshot(st)
+        assert st.complete_executions([]) == []
+        assert self._snapshot(st) == before
+
+    def test_singleton_batch_equals_single_completion(self):
+        a, b = fig3_state(), fig3_state()
+        for st in (a, b):
+            st.start_phase()
+        ra = a.complete_executions([(1, 1, [3])])
+        rb = b.complete_execution(1, 1, [3])
+        assert ra == rb
+        assert self._snapshot(a) == self._snapshot(b)
+
+    def test_batch_equals_sequential_application(self):
+        a, b = fig3_state(), fig3_state()
+        for st in (a, b):
+            st.start_phase()
+            st.start_phase()
+        batch = [(1, 1, [3]), (2, 1, [3, 4])]
+        ra = a.complete_executions(batch)
+        rb = []
+        for v, p, targets in batch:
+            rb.extend(b.complete_execution(v, p, targets))
+        assert set(ra) == set(rb)
+        assert self._snapshot(a) == self._snapshot(b)
+
+    def test_whole_run_in_ready_batches(self):
+        # Drain the Figure 3 program to quiescence by always committing
+        # the *entire* ready set as one batch; the final state must match
+        # the one-at-a-time run.
+        batched, serial = fig3_state(), fig3_state()
+        for st in (batched, serial):
+            st.start_phase()
+            st.start_phase()
+
+        while batched.ready_set():
+            batch = [
+                (v, p, self.FIG3_OUTPUTS[v])
+                for v, p in sorted(batched.ready_set())
+            ]
+            batched.complete_executions(batch)
+
+        pending = sorted(serial.ready_set())
+        while pending:
+            v, p = pending.pop(0)
+            newly = serial.complete_execution(v, p, self.FIG3_OUTPUTS[v])
+            pending.extend(newly)
+            pending.sort()
+
+        assert batched.all_started_complete()
+        assert self._snapshot(batched) == self._snapshot(serial)
+        assert batched.executed_pairs == 12
+
+    def test_non_ready_pair_in_batch_rejected(self):
+        st = fig3_state()
+        st.start_phase()
+        with pytest.raises(SchedulerError):
+            st.complete_executions([(1, 1, [3]), (3, 1, [5])])
+
+    def test_duplicate_pair_in_batch_rejected(self):
+        st = fig3_state()
+        st.start_phase()
+        with pytest.raises(DuplicateExecutionError):
+            st.complete_executions([(1, 1, [3]), (1, 1, [3])])
+
+    def test_bad_output_target_in_batch_rejected(self):
+        st = fig3_state()
+        st.start_phase()
+        with pytest.raises(SchedulerError):
+            st.complete_executions([(2, 1, [1])])  # edge to lower index

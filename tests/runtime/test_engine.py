@@ -182,3 +182,220 @@ class TestPipelining:
             beh.on_execute = slow  # type: ignore[method-assign]
         res = ParallelEngine(prog, num_threads=4, tracer=tracer).run(phases)
         assert res.stats["max_concurrent_pairs"] >= 2
+
+
+class TestShutdownErrorPropagation:
+    """The watchdog must surface root causes, not bury them.
+
+    Regressions covered: ``run`` used to raise a generic "environment
+    thread failed to terminate" EngineError *without* joining the pool or
+    calling ``reraise()`` — leaking live computation threads and masking
+    the vertex exception that wedged the environment in the first place.
+    """
+
+    def test_worker_error_beats_wedged_environment(self):
+        # A crashing vertex while the environment sleeps in its pacing
+        # delay: the caller must see the VertexExecutionError, not the
+        # watchdog's generic wedge report.
+        g = chain_graph(1)
+
+        class BoomSource(PassthroughSource):
+            def on_execute(self, ctx):
+                raise RuntimeError("root cause")
+
+        prog = Program(g, {"v1": BoomSource()})
+        engine = ParallelEngine(
+            prog,
+            num_threads=2,
+            env=EnvironmentConfig(pacing=5.0),
+            join_timeout=0.2,
+        )
+        with pytest.raises(VertexExecutionError, match="root cause"):
+            engine.run(signals(2))
+
+    def test_wedged_environment_does_not_leak_workers(self):
+        # Environment wedged in a pacing sleep with healthy workers: the
+        # run still fails with the wedge report, but only after waking and
+        # joining every computation thread.
+        import threading as _threading
+
+        prog = make_chain_program(2, {1: "x"})
+        engine = ParallelEngine(
+            prog,
+            num_threads=2,
+            env=EnvironmentConfig(pacing=5.0),
+            join_timeout=0.3,
+        )
+        with pytest.raises(EngineError, match="environment thread failed"):
+            engine.run(signals(1))
+        assert not [
+            t for t in _threading.enumerate() if t.name.startswith("compute-")
+        ]
+
+
+class TestFlowControlAbort:
+    """The environment's flow-control wait is abort-aware and blocking.
+
+    Regression: it used to poll ``flow_sem.acquire(timeout=0.05)`` in a
+    loop — burning CPU on real threads and, worse, advancing the virtual
+    clock through timeout deadlines so deterministic runs became
+    timing-dependent.
+    """
+
+    def _crashing_chain(self):
+        g = chain_graph(2)
+
+        def boom(ctx):
+            raise RuntimeError("crash under flow control")
+
+        return Program(
+            g, {"v1": PassthroughSource(), "v2": FunctionVertex(boom)}
+        )
+
+    def test_worker_crash_releases_parked_environment_os_backend(self):
+        prog = self._crashing_chain()
+        phases = [PhaseInput(k, float(k), {"v1": k}) for k in (1, 2, 3)]
+        engine = ParallelEngine(
+            prog,
+            num_threads=2,
+            env=EnvironmentConfig(max_in_flight_phases=1),
+            join_timeout=5.0,
+        )
+        with pytest.raises(VertexExecutionError, match="crash under flow"):
+            engine.run(phases)
+
+    def test_flow_control_never_advances_virtual_clock(self):
+        # A healthy flow-controlled run under the deterministic scheduler:
+        # with a blocking (not polling) wait, no timed wait ever fires, so
+        # the virtual clock stays at zero.
+        from repro.testing.schedule import (
+            RoundRobinPolicy,
+            VirtualBackend,
+            VirtualScheduler,
+        )
+
+        prog, phases = grid_workload(2, 2, phases=6, seed=9)
+        serial = SerialExecutor(prog).run(phases)
+        sched = VirtualScheduler(policy=RoundRobinPolicy())
+        res = ParallelEngine(
+            prog,
+            num_threads=2,
+            env=EnvironmentConfig(max_in_flight_phases=1),
+            backend=VirtualBackend(sched),
+        ).run(phases)
+        sched.shutdown()
+        assert_serializable(serial, res)
+        assert sched.now() == 0.0
+
+    def test_abort_wakes_parked_environment_virtual_backend(self):
+        # Crash while the environment is parked on the semaphore, under
+        # the deterministic scheduler: the run must terminate through the
+        # abort protocol alone (no timeouts => clock still zero).
+        from repro.testing.schedule import (
+            RoundRobinPolicy,
+            VirtualBackend,
+            VirtualScheduler,
+        )
+
+        prog = self._crashing_chain()
+        phases = [PhaseInput(k, float(k), {"v1": k}) for k in (1, 2, 3)]
+        sched = VirtualScheduler(policy=RoundRobinPolicy())
+        engine = ParallelEngine(
+            prog,
+            num_threads=2,
+            env=EnvironmentConfig(max_in_flight_phases=1),
+            backend=VirtualBackend(sched),
+        )
+        with pytest.raises(VertexExecutionError, match="crash under flow"):
+            engine.run(phases)
+        sched.shutdown()
+        assert sched.now() == 0.0
+
+
+class TestBatchedCommits:
+    """The batched low-contention commit path (``batch_size`` > 1)."""
+
+    @pytest.mark.parametrize("batch", [2, 4, 16])
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_matches_serial_oracle(self, batch, threads):
+        prog, phases = grid_workload(3, 3, phases=20, seed=5)
+        serial = SerialExecutor(prog).run(phases)
+        res = ParallelEngine(
+            prog, num_threads=threads, batch_size=batch
+        ).run(phases)
+        assert_serializable(serial, res)
+
+    def test_invariant_checker_clean_when_batched(self):
+        prog, phases = fig1_workload(phases=15)
+        checker = InvariantChecker()
+        ParallelEngine(
+            prog, num_threads=3, batch_size=4, checker=checker
+        ).run(phases)
+        assert checker.checks_run > 0
+        assert checker.violations == []
+
+    def test_batching_stats_account_for_every_commit(self):
+        prog, phases = grid_workload(3, 3, phases=10, seed=1)
+        res = ParallelEngine(prog, num_threads=2, batch_size=8).run(phases)
+        b = res.stats["batching"]
+        assert b["batch_size"] == 8
+        assert sum(b["batch_sizes"].values()) == b["batches"]
+        assert (
+            sum(size * n for size, n in b["batch_sizes"].items())
+            == res.execution_count
+        )
+        assert max(b["batch_sizes"]) <= 8
+        assert b["mean_batch_size"] >= 1.0
+        assert b["commits_per_acquisition"] > 0.0
+
+    def test_engine_label(self):
+        prog = make_chain_program(2, {1: "x"})
+        res = ParallelEngine(prog, num_threads=2, batch_size=1).run(signals(1))
+        assert res.engine == "parallel[k=2]"  # unchanged from the paper loop
+        res = ParallelEngine(prog, num_threads=2, batch_size=3).run(signals(1))
+        assert res.engine == "parallel[k=2,b=3]"
+
+    def test_batch_size_flows_from_env_config(self):
+        prog = make_chain_program(2, {1: "x"})
+        res = ParallelEngine(
+            prog, num_threads=1, env=EnvironmentConfig(batch_size=4)
+        ).run(signals(1))
+        assert res.stats["batching"]["batch_size"] == 4
+        # An explicit engine kwarg overrides the environment default.
+        res = ParallelEngine(
+            prog,
+            num_threads=1,
+            env=EnvironmentConfig(batch_size=4),
+            batch_size=2,
+        ).run(signals(1))
+        assert res.stats["batching"]["batch_size"] == 2
+
+    def test_invalid_batch_size_rejected(self):
+        prog = make_chain_program(2, {})
+        with pytest.raises(EngineError):
+            ParallelEngine(prog, batch_size=0)
+        with pytest.raises(EngineError):
+            EnvironmentConfig(batch_size=0)
+
+    def test_batch_one_is_step_identical_to_default(self):
+        # batch_size=1 must be *step-for-step* the paper's unbatched loop:
+        # the same virtual-scheduler seed yields the same decision trace.
+        from repro.testing.fuzz import run_one, spec_for_run
+        from repro.testing.schedule import RandomPolicy
+
+        for seed in range(3):
+            spec = spec_for_run(7, seed)
+            a = run_one(spec, RandomPolicy(seed=11 + seed))  # default path
+            b = run_one(spec, RandomPolicy(seed=11 + seed), batch_size=1)
+            assert a.passed and b.passed, (a.reason, b.reason)
+            assert a.trace_hash == b.trace_hash
+            assert a.parallel.records == b.parallel.records
+
+    def test_batched_serializable_under_virtual_scheduler(self):
+        from repro.testing.fuzz import run_one, spec_for_run
+        from repro.testing.schedule import PriorityFuzzPolicy
+
+        for i in range(4):
+            spec = spec_for_run(3, i)
+            out = run_one(spec, PriorityFuzzPolicy(seed=i), batch_size=4)
+            assert out.passed, out.reason

@@ -72,3 +72,46 @@ class TestPool:
         pool.start()
         pool.join(timeout=5)
         pool.reraise()  # no exception
+
+    def test_join_timeout_names_prior_worker_error(self):
+        # Regression: when worker A crashes and worker B wedges as a
+        # result, join() used to raise a bare "failed to terminate"
+        # EngineError before the caller could reach reraise() — burying
+        # the root cause.  The timeout error must now carry it.
+        release = threading.Event()
+
+        def target(wid: int) -> None:
+            if wid == 0:
+                raise ValueError("root cause")
+            release.wait(timeout=10)
+
+        pool = ComputationThreadPool(2, target)
+        pool.start()
+        with pytest.raises(EngineError) as ei:
+            pool.join(timeout=0.1)
+        try:
+            assert "root cause" in str(ei.value)
+            assert "ValueError" in str(ei.value)
+            assert isinstance(ei.value.__cause__, ValueError)
+            assert [type(e) for e in ei.value.worker_errors] == [ValueError]
+        finally:
+            release.set()
+            pool.join(timeout=5)
+        assert not pool.any_alive()
+
+    def test_join_timeout_without_error_has_no_cause(self):
+        release = threading.Event()
+
+        def target(wid: int) -> None:
+            release.wait(timeout=10)
+
+        pool = ComputationThreadPool(1, target)
+        pool.start()
+        with pytest.raises(EngineError) as ei:
+            pool.join(timeout=0.05)
+        try:
+            assert ei.value.__cause__ is None
+            assert ei.value.worker_errors == []
+        finally:
+            release.set()
+            pool.join(timeout=5)
