@@ -37,15 +37,16 @@ contention ratio *and* lower wall-clock than the unbatched one.
 
 from __future__ import annotations
 
-import argparse
-import json
 import statistics
-import sys
 import time
-from pathlib import Path
 from typing import Any, Dict, List
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+if __package__ in (None, ""):
+    from _runner import bootstrap_src, finish, parse_args
+else:
+    from ._runner import bootstrap_src, finish, parse_args
+
+bootstrap_src()
 
 from repro.runtime.engine import ParallelEngine  # noqa: E402
 from repro.streams.workloads import grid_workload  # noqa: E402
@@ -156,15 +157,7 @@ def check_criterion(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
 
 
 def main(argv: List[str] | None = None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument(
-        "--quick",
-        action="store_true",
-        help="tiny configuration for CI smoke (seconds, not minutes)",
-    )
-    ap.add_argument("--out", type=Path, help="write results as JSON here")
-    args = ap.parse_args(argv)
-
+    args = parse_args(__doc__.splitlines()[0], argv)
     cfg = QUICK if args.quick else FULL
     rows: List[Dict[str, Any]] = []
     for grain in cfg["grains_us"]:
@@ -197,19 +190,7 @@ def main(argv: List[str] | None = None) -> int:
             "at >= 4 threads, fine grain)",
         )
 
-    payload = {
-        "benchmark": "lock_contention",
-        "mode": "quick" if args.quick else "full",
-        "config": cfg,
-        "rows": rows,
-        "criterion": criterion,
-    }
-    if args.out:
-        args.out.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"wrote {args.out}")
-    if criterion is not None and not criterion["passed"]:
-        return 1
-    return 0
+    return finish(args, "lock_contention", cfg, rows, criterion)
 
 
 if __name__ == "__main__":

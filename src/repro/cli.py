@@ -46,23 +46,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("spec", help="path to the XML specification file")
     run.add_argument(
         "--engine",
-        choices=["serial", "parallel", "simulated"],
+        choices=["serial", "parallel", "process", "simulated"],
         default="parallel",
         help="which engine executes the computation (default: parallel)",
     )
     run.add_argument("--threads", type=int, default=2,
                      help="computation threads for --engine parallel")
     run.add_argument("--batch-size", type=int, default=1,
-                     help="ready pairs a worker commits per lock "
-                          "acquisition for --engine parallel (default 1: "
-                          "the paper's unbatched loop)")
+                     help="ready pairs committed per lock acquisition for "
+                          "--engine parallel/process (default 1: the "
+                          "paper's unbatched loop)")
     run.add_argument("--workers", type=int, default=2,
-                     help="workers for --engine simulated")
+                     help="worker processes for --engine process; workers "
+                          "for --engine simulated")
     run.add_argument("--processors", type=int, default=2,
                      help="CPUs for --engine simulated")
+    run.add_argument("--start-method", default=None,
+                     choices=["fork", "spawn", "forkserver"],
+                     help="multiprocessing start method for --engine "
+                          "process (default: fork where available)")
     run.add_argument("--check", action="store_true",
                      help="also run the serial oracle and verify "
                           "serializability")
+    run.add_argument("--stats-json", metavar="PATH", default=None,
+                     help="dump the engine's RunResult stats as JSON to "
+                          "PATH ('-' for stdout)")
     run.add_argument("--max-records", type=int, default=20,
                      help="records to print per vertex (default 20)")
 
@@ -155,6 +163,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = ParallelEngine(
             spec.program, num_threads=args.threads, batch_size=args.batch_size
         ).run(phases)
+    elif args.engine == "process":
+        from .runtime.mp import ProcessEngine
+
+        result = ProcessEngine(
+            spec.program,
+            num_workers=args.workers,
+            batch_size=args.batch_size,
+            start_method=args.start_method,
+        ).run(phases)
     else:
         from .simulator import CostModel, SimulatedEngine
 
@@ -169,6 +186,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"{result.execution_count} pair executions, "
           f"{result.message_count} messages, "
           f"wall/virtual time {result.wall_time:.4f}")
+
+    if args.stats_json is not None:
+        import json
+
+        payload = {
+            "spec": spec.name,
+            "engine": result.engine,
+            "phases_run": result.phases_run,
+            "execution_count": result.execution_count,
+            "message_count": result.message_count,
+            "wall_time": result.wall_time,
+            "stats": result.stats,
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+        if args.stats_json == "-":
+            print(text)
+        else:
+            from pathlib import Path
+
+            Path(args.stats_json).write_text(text + "\n")
+            print(f"stats written to {args.stats_json}")
     for vertex in sorted(result.records):
         log = result.records[vertex]
         print(f"\n{vertex} ({len(log)} records):")

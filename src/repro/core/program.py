@@ -259,6 +259,24 @@ class PairRuntime:
         self.compute(v, ctx)
         return self.commit(v, p, ctx)
 
+    def commit_remote(
+        self,
+        v: int,
+        p: int,
+        ctx: VertexContext,
+        outputs: Mapping[str, Any],
+        records: Sequence[Any],
+    ) -> List[int]:
+        """Commit a pair whose compute step ran in another process.
+
+        The coordinator prepared *ctx* locally, shipped it to a worker,
+        and got back the worker's *outputs* (successor name -> value) and
+        *records*; this adopts them into *ctx* and commits as usual (call
+        under the lock).
+        """
+        ctx.adopt_results(outputs, records)
+        return self.commit(v, p, ctx)
+
     # -- results -------------------------------------------------------------
 
     def build_result(

@@ -33,6 +33,7 @@ engines and compared.
 
 from __future__ import annotations
 
+import copy
 import random
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
 
@@ -159,6 +160,21 @@ class VertexContext:
         if not self._emitted_explicitly:
             self.emit(returned)
 
+    def adopt_results(
+        self, outputs: Mapping[str, Any], records: Sequence[Any]
+    ) -> None:
+        """Adopt outputs/records computed elsewhere (engine use only).
+
+        The process-parallel engine executes :meth:`Vertex.on_execute` in a
+        worker process against a *copy* of this context; the worker ships
+        back the resulting outputs and records, and the coordinator adopts
+        them into its own context before committing.
+        """
+        self._outputs.clear()
+        self._outputs.update(outputs)
+        self._records.clear()
+        self._records.extend(records)
+
     @property
     def outputs(self) -> Dict[str, Any]:
         """Messages produced this phase: successor name -> value."""
@@ -180,6 +196,23 @@ class Vertex:
 
     def reset(self) -> None:
         """Restore the initial state (called by engines before each run)."""
+
+    def snapshot_state(self) -> Any:
+        """Return a deep, picklable snapshot of this vertex's mutable state.
+
+        The default captures the instance ``__dict__``, which covers every
+        vertex whose state lives in instance attributes (all of
+        :mod:`repro.models`).  Override alongside :meth:`restore_state`
+        when state lives elsewhere or contains unpicklable members.  The
+        process-parallel engine uses the pair to synchronise vertex state
+        between coordinator and workers.
+        """
+        return copy.deepcopy(self.__dict__)
+
+    def restore_state(self, snapshot: Any) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+        self.__dict__.clear()
+        self.__dict__.update(copy.deepcopy(snapshot))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -31,6 +31,7 @@ from .statistics import (
     SlidingRegressionDetector,
     AnomalyDetector,
     DenseAnomalyDetector,
+    DenseZScoreDetector,
     PearsonCorrelator,
 )
 from .vector import VectorSensor, VectorZScore, VectorReduce
@@ -63,6 +64,7 @@ __all__ = [
     "SlidingRegressionDetector",
     "AnomalyDetector",
     "DenseAnomalyDetector",
+    "DenseZScoreDetector",
     "PearsonCorrelator",
     "VectorSensor",
     "VectorZScore",

@@ -17,7 +17,7 @@ Graph (B branches)::
 * ``txn_i`` — dense :class:`TransactionSource` feeds (a transaction every
   phase, anomalous with probability *anomaly_rate*);
 * ``detector_i`` — :class:`ZScoreDetector` (option 2: emits only
-  anomalies) or :class:`DenseAnomalyDetector` (option 1: a verdict per
+  anomalies) or :class:`DenseZScoreDetector` (option 1: a verdict per
   transaction) when ``dense=True`` — the pair the message-rate ablation
   compares;
 * ``case_aggregator`` — :class:`CaseAggregator` opens a case when a branch
@@ -37,7 +37,7 @@ from ...events import PhaseInput
 from ...graph.model import ComputationGraph
 from ...spec.registry import register_vertex
 from ..basic import Recorder
-from ..statistics import DenseAnomalyDetector, ZScoreDetector
+from ..statistics import DenseZScoreDetector, ZScoreDetector
 from ..sensors import TransactionSource
 
 __all__ = [
@@ -103,7 +103,7 @@ def build_laundering_program(
     """Assemble the B-branch anomaly-detection program.
 
     ``dense=True`` swaps every detector for the option-1
-    :class:`DenseAnomalyDetector` (same anomaly decision, explicit "ok"
+    :class:`DenseZScoreDetector` (same anomaly decision, explicit "ok"
     verdicts) — the baseline of the message-rate ablation.
     """
     if branches < 1:
@@ -119,23 +119,7 @@ def build_laundering_program(
         if dense:
             # Same decision rule as the z-score detector, with explicit
             # verdicts: classify against the branch's log-normal body.
-            zs = ZScoreDetector(window=window, threshold=threshold)
-
-            def predicate(value: float, zs: ZScoreDetector = zs) -> bool:
-                z = zs.score(float(value))
-                is_anomaly = z is not None and abs(z) > zs.threshold
-                if not is_anomaly:
-                    zs.stats.push(float(value))
-                return is_anomaly
-
-            dense_det = DenseAnomalyDetector(predicate)
-            original_reset = zs.reset
-
-            def reset(det: DenseAnomalyDetector = dense_det, zr=original_reset) -> None:
-                zr()
-
-            dense_det.reset = reset  # type: ignore[method-assign]
-            behaviors[det] = dense_det
+            behaviors[det] = DenseZScoreDetector(window=window, threshold=threshold)
         else:
             behaviors[det] = ZScoreDetector(window=window, threshold=threshold)
     g.add_vertex("case_aggregator")

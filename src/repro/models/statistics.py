@@ -37,9 +37,21 @@ __all__ = [
     "SlidingRegressionDetector",
     "AnomalyDetector",
     "DenseAnomalyDetector",
+    "DenseZScoreDetector",
     "PearsonCorrelator",
     "RunningStats",
+    "non_finite",
 ]
+
+
+def non_finite(value: Any) -> bool:
+    """Default anomaly predicate: flags NaN / infinite floats.
+
+    A module-level function (not a lambda) so detectors constructed with
+    the default predicate stay picklable — the process-parallel engine
+    ships vertex behaviours to worker processes by pickle.
+    """
+    return isinstance(value, float) and not math.isfinite(value)
 
 
 class RunningStats:
@@ -173,9 +185,7 @@ class AnomalyDetector(Vertex):
     """
 
     def __init__(self, predicate: Optional[Callable[[Any], bool]] = None) -> None:
-        self.predicate = predicate or (
-            lambda v: isinstance(v, float) and not math.isfinite(v)
-        )
+        self.predicate = predicate or non_finite
 
     def on_execute(self, ctx: VertexContext) -> Any:
         changed, value = single_changed_value(ctx)
@@ -195,9 +205,7 @@ class DenseAnomalyDetector(Vertex):
     """
 
     def __init__(self, predicate: Optional[Callable[[Any], bool]] = None) -> None:
-        self.predicate = predicate or (
-            lambda v: isinstance(v, float) and not math.isfinite(v)
-        )
+        self.predicate = predicate or non_finite
 
     def on_execute(self, ctx: VertexContext) -> Any:
         changed, value = single_changed_value(ctx)
@@ -205,6 +213,39 @@ class DenseAnomalyDetector(Vertex):
             return EMIT_NOTHING
         if self.predicate(value):
             return ("anomaly", ctx.phase, value)
+        return ("ok", ctx.phase, value)
+
+
+@register_vertex("DenseZScoreDetector")
+class DenseZScoreDetector(Vertex):
+    """Option (1) with the z-score decision rule: a verdict per message.
+
+    The same anomaly decision as :class:`ZScoreDetector` (score against
+    the sliding window; anomalies excluded from the window) but emits
+    ``("ok", phase, value)`` for acceptable inputs too.  A proper class —
+    not a closure wired into :class:`DenseAnomalyDetector` — so dense
+    laundering workloads survive pickling into worker processes.
+    """
+
+    def __init__(self, window: int = 30, threshold: float = 3.0) -> None:
+        self._zs = ZScoreDetector(window=window, threshold=threshold)
+
+    @property
+    def threshold(self) -> float:
+        return self._zs.threshold
+
+    def reset(self) -> None:
+        self._zs.reset()
+
+    def on_execute(self, ctx: VertexContext) -> Any:
+        changed, value = single_changed_value(ctx)
+        if not changed:
+            return EMIT_NOTHING
+        x = float(value)
+        z = self._zs.score(x)
+        if z is not None and abs(z) > self._zs.threshold:
+            return ("anomaly", ctx.phase, value)
+        self._zs.stats.push(x)
         return ("ok", ctx.phase, value)
 
 

@@ -11,7 +11,10 @@ provides the equivalent substrate built on :mod:`threading` —
 * :class:`~repro.runtime.pool.ComputationThreadPool` — worker threads;
 * :class:`~repro.runtime.environment.EnvironmentConfig` — pacing and flow
   control for the environment process (Listing 2);
-* :class:`~repro.runtime.engine.ParallelEngine` — the full algorithm.
+* :class:`~repro.runtime.engine.ParallelEngine` — the full algorithm;
+* :class:`~repro.runtime.mp.ProcessEngine` — the same algorithm on worker
+  *processes* (true shared-memory parallelism past the GIL; see
+  :mod:`repro.runtime.mp`).
 """
 
 from .blocking_queue import BlockingQueue
@@ -19,6 +22,7 @@ from .locks import InstrumentedLock
 from .pool import ComputationThreadPool
 from .environment import EnvironmentConfig
 from .engine import ParallelEngine
+from .mp import ProcessEngine
 
 __all__ = [
     "BlockingQueue",
@@ -26,4 +30,5 @@ __all__ = [
     "ComputationThreadPool",
     "EnvironmentConfig",
     "ParallelEngine",
+    "ProcessEngine",
 ]

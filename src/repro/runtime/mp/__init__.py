@@ -1,0 +1,32 @@
+"""The process-parallel execution backend.
+
+CPython's GIL serialises pure-Python vertex work, so the threaded engine
+(:class:`~repro.runtime.engine.ParallelEngine`) only speeds up vertices
+that release the GIL.  This package provides the true shared-memory
+parallel configuration the paper targets: a **coordinator** that owns the
+:class:`~repro.core.state.SchedulerState` and the edge store, plus N
+**worker processes** that execute vertex computations in their own
+interpreters.
+
+* :mod:`~repro.runtime.mp.protocol` — the wire protocol: task / result /
+  shutdown framing, pickle round-tripping, and byte accounting;
+* :mod:`~repro.runtime.mp.worker` — the worker-process main loop (a warm
+  per-worker cache of vertex behaviours, executed on demand);
+* :mod:`~repro.runtime.mp.lifecycle` — spawn, sticky vertex assignment,
+  graceful and crash shutdown of the worker pool;
+* :mod:`~repro.runtime.mp.engine` — :class:`ProcessEngine`, the
+  coordinator loop (Listing 1 + 2 with the compute step remoted).
+
+Select it from the CLI with ``repro run SPEC --engine process``.
+"""
+
+from .engine import ProcessEngine
+from .protocol import ResultMsg, ShutdownMsg, TaskMsg, WorkerCrashMsg
+
+__all__ = [
+    "ProcessEngine",
+    "TaskMsg",
+    "ResultMsg",
+    "ShutdownMsg",
+    "WorkerCrashMsg",
+]

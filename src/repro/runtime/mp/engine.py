@@ -1,0 +1,366 @@
+"""The process-parallel engine: coordinator loop + worker processes.
+
+:class:`ProcessEngine` is the paper's algorithm with the compute step
+remoted.  One **coordinator** (this process) owns every shared data
+structure — the :class:`~repro.core.state.SchedulerState`, the edge
+store, the records — and runs both of the paper's loops inline:
+
+* Listing 2 (environment): start the next phase whenever pacing and flow
+  control allow;
+* Listing 1 (computation), split at the prepare/compute/commit seam of
+  :class:`~repro.core.program.PairRuntime`: *prepare* a ready pair under
+  the lock, ship the snapshotted context to the vertex's sticky worker
+  (:class:`~repro.runtime.mp.lifecycle.ProcessWorkerPool`), and *commit*
+  the returned outputs under the lock.  Commits are batched exactly like
+  the threaded engine's low-contention path: every result already queued
+  (up to ``batch_size``) is applied in one
+  :meth:`~repro.core.state.SchedulerState.complete_executions` call
+  inside one critical section.
+
+Because the coordinator is single-threaded, its
+:class:`~repro.runtime.locks.InstrumentedLock` is never contended — it is
+kept so the stats schema (acquisitions, hold times,
+``commits_per_acquisition``) stays comparable with the threaded engine,
+and so invariant checkers see the same locking discipline.
+
+Correctness relies on the same argument as the serial oracle: the
+scheduler never holds two phases of one vertex ready at once, vertices
+are sticky to one worker, and each worker's task queue is FIFO — so every
+behaviour's state evolves in strict phase order, exactly as serially.
+Final worker states are shipped back at shutdown and restored into the
+coordinator's program, keeping post-run state consistent for
+``--check``-style oracle comparisons.
+
+Failure handling prefers the root cause, mirroring the threaded engine:
+a vertex error (re-raised as
+:class:`~repro.errors.VertexExecutionError`) beats a worker crash
+(:class:`~repro.errors.EngineError`), which beats the wedge watchdog.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ...core.invariants import InvariantChecker
+from ...core.program import PairRuntime, Program, RunResult
+from ...core.state import SchedulerState
+from ...core.tracer import (
+    ExecutionTracer,
+    max_concurrent_pairs,
+    max_concurrent_phases,
+)
+from ...core.vertex import VertexContext
+from ...errors import EngineError, VertexExecutionError
+from ...events import PhaseInput
+from ..environment import EnvironmentConfig
+from ..locks import InstrumentedLock
+from .lifecycle import ProcessWorkerPool
+from .protocol import (
+    FinalStateMsg,
+    ResultMsg,
+    WorkerCrashMsg,
+    encode,
+    task_from_context,
+)
+
+__all__ = ["ProcessEngine"]
+
+_POLL_S = 0.05  # result-queue poll quantum while work is in flight
+
+
+class ProcessEngine:
+    """The paper's parallel algorithm on worker *processes*.
+
+    Parameters
+    ----------
+    program:
+        The program to execute.  Behaviours must be picklable (see
+        ``tests/models/test_pickling.py``); :meth:`run` raises
+        :class:`~repro.errors.EngineError` at spawn time if not.
+    num_workers:
+        Number of worker processes (the paper's k computation
+        processors).  The coordinator rides this process, like the
+        paper's environment process.
+    checker:
+        Optional :class:`InvariantChecker`, invoked at every state
+        mutation (inside the lock).
+    tracer:
+        Optional :class:`ExecutionTracer`; ``execute_begin``/``end`` are
+        coordinator-side timestamps (dispatch and commit), so intervals
+        include queue + wire time, not just on-CPU compute.
+    env:
+        Environment pacing / flow control (:class:`EnvironmentConfig`).
+    join_timeout:
+        Watchdog: seconds without any worker progress (and at shutdown)
+        before the run is declared wedged.
+    batch_size:
+        Maximum queued results committed per critical section (the
+        batched commit path).  ``None`` takes ``env.batch_size``.
+    start_method:
+        ``multiprocessing`` start method; default is ``fork`` where
+        available, else ``spawn``.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        num_workers: int = 2,
+        checker: Optional[InvariantChecker] = None,
+        tracer: Optional[ExecutionTracer] = None,
+        env: EnvironmentConfig = EnvironmentConfig(),
+        join_timeout: float = 120.0,
+        batch_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise EngineError(f"num_workers must be >= 1, got {num_workers}")
+        self.program = program
+        self.num_workers = num_workers
+        self.checker = checker
+        self.tracer = tracer
+        self.env = env
+        self.join_timeout = join_timeout
+        self.batch_size = env.batch_size if batch_size is None else batch_size
+        if self.batch_size < 1:
+            raise EngineError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        self.start_method = start_method
+
+    def run(self, phase_inputs: Sequence[PhaseInput]) -> RunResult:
+        """Execute every phase; returns the :class:`RunResult`.
+
+        Raises the first vertex exception as
+        :class:`~repro.errors.VertexExecutionError`, and
+        :class:`EngineError` on worker crash, unpicklable program, or a
+        wedged run.
+        """
+        self.program.reset()
+        runtime = PairRuntime(self.program, phase_inputs)
+        state = SchedulerState(self.program.numbering, checker=self.checker)
+        lock = InstrumentedLock()
+        tracer = self.tracer
+        pool = ProcessWorkerPool(
+            self.program, self.num_workers, start_method=self.start_method
+        )
+
+        pending: Deque[Tuple[int, int]] = deque()  # ready, not yet shipped
+        in_flight: Dict[Tuple[int, int], VertexContext] = {}
+        executions: List[Tuple[int, int]] = []
+        per_worker_counts: Dict[int, int] = {
+            i: 0 for i in range(self.num_workers)
+        }
+        batch_sizes: Dict[int, int] = {}
+        seen_complete = 0
+        last_phase_start = -float("inf")
+        finals: Dict[int, FinalStateMsg] = {}
+
+        def can_start_phase() -> bool:
+            if state.next_phase > runtime.num_phases:
+                return False
+            if self.env.max_in_flight_phases is not None:
+                in_flight_phases = state.pmax - state.complete_phase_count
+                if in_flight_phases >= self.env.max_in_flight_phases:
+                    return False
+            return time.monotonic() - last_phase_start >= self.env.pacing
+
+        def commit_batch(results: List[ResultMsg]) -> None:
+            # The batched commit path: every result in one critical
+            # section, one complete_executions call (same discipline as
+            # the threaded engine's batch_size > 1 mode).
+            nonlocal seen_complete
+            completed: List[Tuple[int, int, List[int]]] = []
+            with lock:
+                for res in results:
+                    ctx = in_flight.pop((res.vertex, res.phase))
+                    targets = runtime.commit_remote(
+                        res.vertex, res.phase, ctx, res.outputs, res.records
+                    )
+                    completed.append((res.vertex, res.phase, targets))
+                newly_ready = state.complete_executions(completed)
+                executions.extend((cv, cp) for cv, cp, _ in completed)
+                for res in results:
+                    per_worker_counts[res.worker_id] += 1
+                batch_sizes[len(completed)] = (
+                    batch_sizes.get(len(completed), 0) + 1
+                )
+                if tracer is not None:
+                    for res in results:
+                        tracer.execute_end(
+                            (res.vertex, res.phase), res.worker_id
+                        )
+                    for pair in newly_ready:
+                        tracer.enqueued(pair)
+                    newly_complete = (
+                        state.complete_phase_count - seen_complete
+                    )
+                    for i in range(newly_complete):
+                        tracer.phase_completed(seen_complete + 1 + i)
+                seen_complete = state.complete_phase_count
+            pending.extend(newly_ready)
+
+        started = time.perf_counter()
+        error: Optional[BaseException] = None
+        try:
+            pool.start()
+            last_progress = time.monotonic()
+            while True:
+                progressed = False
+                # Listing 2, inlined: start phases as pacing and flow
+                # control allow.
+                while can_start_phase():
+                    with lock:
+                        newly_ready = state.start_phase()
+                        if tracer is not None:
+                            tracer.phase_started(state.pmax)
+                            for pair in newly_ready:
+                                tracer.enqueued(pair)
+                    pending.extend(newly_ready)
+                    last_phase_start = time.monotonic()
+                    progressed = True
+                # Dispatch every ready pair to its sticky worker.
+                while pending:
+                    v, p = pending.popleft()
+                    with lock:
+                        ctx = runtime.prepare(v, p)
+                        if tracer is not None:
+                            tracer.execute_begin((v, p), pool.worker_of(v))
+                    in_flight[(v, p)] = ctx
+                    pool.submit(v, encode(task_from_context(v, p, ctx)))
+                    progressed = True
+                if not in_flight:
+                    if (
+                        state.next_phase > runtime.num_phases
+                        and state.all_started_complete()
+                    ):
+                        break  # quiescent: every started phase committed
+                    if progressed:
+                        continue
+                    if self.env.pacing and state.next_phase <= runtime.num_phases:
+                        # Idle only because the environment is pacing.
+                        time.sleep(
+                            min(
+                                self.env.pacing,
+                                max(
+                                    0.0,
+                                    last_phase_start
+                                    + self.env.pacing
+                                    - time.monotonic(),
+                                )
+                                + 1e-4,
+                            )
+                        )
+                        continue
+                    raise EngineError(
+                        f"engine stalled before quiescence: in-flight "
+                        f"phases {state.in_flight_phases()!r}"
+                    )
+                # Collect one result (bounded poll), then drain whatever
+                # else is already queued up to the commit batch size.
+                msg = pool.collect(timeout=_POLL_S)
+                if msg is None:
+                    dead = pool.dead_workers()
+                    if dead:
+                        # Give a queued crash report precedence over the
+                        # bare exit code.
+                        crash = pool.collect_nowait()
+                        if isinstance(crash, WorkerCrashMsg):
+                            raise EngineError(
+                                f"worker {crash.worker_id} crashed: "
+                                f"{crash.message}"
+                            )
+                        wid, code = dead[0]
+                        raise EngineError(
+                            f"worker {wid} died (exit code {code}) with "
+                            f"{len(in_flight)} pairs in flight"
+                        )
+                    if time.monotonic() - last_progress > self.join_timeout:
+                        raise EngineError(
+                            f"run wedged: no worker result within "
+                            f"{self.join_timeout}s "
+                            f"({len(in_flight)} pairs in flight)"
+                        )
+                    continue
+                last_progress = time.monotonic()
+                results: List[ResultMsg] = []
+                while msg is not None:
+                    if isinstance(msg, WorkerCrashMsg):
+                        raise EngineError(
+                            f"worker {msg.worker_id} crashed: {msg.message}"
+                        )
+                    assert isinstance(msg, ResultMsg)
+                    if msg.error is not None:
+                        # Commit what already succeeded, then surface the
+                        # vertex failure as the root cause.
+                        if results:
+                            commit_batch(results)
+                        raise VertexExecutionError(
+                            self.program.numbering.name_of(msg.vertex),
+                            msg.phase,
+                            msg.error,
+                        )
+                    results.append(msg)
+                    if len(results) >= self.batch_size:
+                        break
+                    msg = pool.collect_nowait()
+                commit_batch(results)
+            # Graceful drain: collect final vertex states and restore
+            # them coordinator-side, so program state after the run
+            # matches a serial execution.
+            finals = pool.shutdown(self.join_timeout, collect_state=True)
+            for final in finals.values():
+                for name, snapshot in final.states.items():
+                    self.program.behaviors[name].restore_state(snapshot)
+        except BaseException as exc:
+            error = exc
+            # Crash path: never mask the root cause with shutdown issues.
+            pool.terminate()
+            raise
+        finally:
+            if error is None and not finals:
+                pool.terminate()  # pragma: no cover - defensive
+        elapsed = time.perf_counter() - started
+
+        lock_stats = lock.stats()
+        num_batches = sum(batch_sizes.values())
+        num_commits = sum(size * count for size, count in batch_sizes.items())
+        wire = pool.wire.summary()
+        stats: Dict[str, Any] = {
+            "num_workers": self.num_workers,
+            "start_method": pool.start_method,
+            "lock": lock_stats,
+            "per_worker_executions": dict(per_worker_counts),
+            "per_worker_utilization": {
+                wid: (final.busy_s / elapsed if elapsed > 0 else 0.0)
+                for wid, final in sorted(finals.items())
+            },
+            "ipc_round_trips": wire["tasks"]["messages"],
+            "serialization_bytes": wire,
+            "edge_entries_peak": runtime.edges.peak_entries,
+            "edge_entries_final": runtime.edges.total_pending_entries(),
+            "batching": {
+                "batch_size": self.batch_size,
+                "batches": num_batches,
+                "batch_sizes": dict(sorted(batch_sizes.items())),
+                "mean_batch_size": (
+                    num_commits / num_batches if num_batches else 0.0
+                ),
+                "commits_per_acquisition": (
+                    num_commits / lock_stats["acquisitions"]
+                    if lock_stats["acquisitions"]
+                    else 0.0
+                ),
+            },
+        }
+        if tracer is not None:
+            intervals = tracer.intervals()
+            stats["max_concurrent_phases"] = max_concurrent_phases(intervals)
+            stats["max_concurrent_pairs"] = max_concurrent_pairs(intervals)
+        label = (
+            f"process[w={self.num_workers}]"
+            if self.batch_size == 1
+            else f"process[w={self.num_workers},b={self.batch_size}]"
+        )
+        return runtime.build_result(label, executions, elapsed, stats)

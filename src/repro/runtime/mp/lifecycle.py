@@ -1,0 +1,224 @@
+"""Worker-pool lifecycle: spawn, sticky assignment, shutdown.
+
+:class:`ProcessWorkerPool` owns the OS side of the process backend:
+
+* **Spawn** — one ``multiprocessing`` process per worker, each with its
+  own task queue plus one shared result queue.  Vertices are assigned
+  round-robin by numbering index (``worker_of(v) = (v - 1) % W``) and the
+  assigned behaviours are shipped once, pickled, at spawn — the worker's
+  warm cache.  The start method defaults to ``fork`` where available
+  (cheap on Linux) and ``spawn`` elsewhere; either way behaviours cross
+  the boundary by explicit pickle, so picklability is exercised
+  uniformly.
+* **Graceful shutdown** — a :class:`~.protocol.ShutdownMsg` per worker,
+  then a join with watchdog timeout; the workers' parting
+  :class:`~.protocol.FinalStateMsg` frames (vertex-state snapshots,
+  busy-seconds, executed counts) are collected for the engine.
+* **Crash shutdown** — :meth:`terminate` kills outright; used when the
+  run already failed and the root cause must not be masked by a wedged
+  drain (the error-preference discipline of the threaded engine's
+  shutdown path).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue as queue_mod
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...core.program import Program
+from ...errors import EngineError
+from .protocol import FinalStateMsg, ShutdownMsg, WireStats, decode, encode
+from .worker import worker_main
+
+__all__ = ["ProcessWorkerPool", "default_start_method"]
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it, else ``spawn``."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class ProcessWorkerPool:
+    """N worker processes with sticky vertex assignment.
+
+    Parameters
+    ----------
+    program:
+        The program whose behaviours are distributed to the workers.
+        Ship after ``program.reset()`` so worker state starts initial.
+    num_workers:
+        Worker process count (the paper's k computation processors).
+    start_method:
+        ``fork`` / ``spawn`` / ``forkserver``; default per platform.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        num_workers: int,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise EngineError(f"num_workers must be >= 1, got {num_workers}")
+        self.program = program
+        self.num_workers = num_workers
+        self.start_method = start_method or default_start_method()
+        self._ctx = mp.get_context(self.start_method)
+        self.wire = WireStats()
+        self._task_queues: List[Any] = []
+        self._processes: List[Any] = []
+        self.result_queue: Any = None
+        self._started = False
+
+    # -- assignment ------------------------------------------------------
+
+    def worker_of(self, v: int) -> int:
+        """The worker that owns vertex index *v* (sticky, round-robin)."""
+        return (v - 1) % self.num_workers
+
+    def _assigned_behaviors(self, worker_id: int) -> Dict[str, Any]:
+        numbering = self.program.numbering
+        return {
+            numbering.name_of(v): self.program.behavior(v)
+            for v in range(1, numbering.n + 1)
+            if self.worker_of(v) == worker_id
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn every worker, shipping its warm behaviour cache."""
+        self.result_queue = self._ctx.Queue()
+        for worker_id in range(self.num_workers):
+            try:
+                blob = encode(self._assigned_behaviors(worker_id))
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                self.terminate()
+                raise EngineError(
+                    f"program {self.program.name!r} is not picklable and "
+                    f"cannot run on the process engine: {exc}"
+                ) from exc
+            self.wire.count("warmup", blob)
+            task_queue = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(worker_id, task_queue, self.result_queue, blob),
+                name=f"repro-worker-{worker_id}",
+                daemon=True,
+            )
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+        for process in self._processes:
+            process.start()
+        self._started = True
+
+    def submit(self, v: int, frame: bytes) -> None:
+        """Send a task frame to vertex *v*'s worker."""
+        self.wire.count("tasks", frame)
+        self._task_queues[self.worker_of(v)].put(frame)
+
+    def collect(self, timeout: float) -> Optional[object]:
+        """Next worker message within *timeout* seconds, or ``None``."""
+        try:
+            frame = self.result_queue.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+        self.wire.count("results", frame)
+        return decode(frame)
+
+    def collect_nowait(self) -> Optional[object]:
+        """Next worker message if one is already queued, else ``None``."""
+        try:
+            frame = self.result_queue.get_nowait()
+        except queue_mod.Empty:
+            return None
+        self.wire.count("results", frame)
+        return decode(frame)
+
+    def dead_workers(self) -> List[Tuple[int, Optional[int]]]:
+        """``(worker_id, exitcode)`` for every worker that has died."""
+        return [
+            (i, p.exitcode)
+            for i, p in enumerate(self._processes)
+            if self._started and not p.is_alive() and p.exitcode is not None
+        ]
+
+    def shutdown(
+        self, timeout: float, collect_state: bool = True
+    ) -> Dict[int, FinalStateMsg]:
+        """Graceful drain: ask every worker to exit, gather final states.
+
+        Returns the :class:`~.protocol.FinalStateMsg` per worker id.
+        Raises :class:`~repro.errors.EngineError` if a worker fails to
+        answer or exit within *timeout* — after terminating the rest so
+        no process outlives the engine.
+        """
+        if not self._started:
+            return {}
+        for task_queue in self._task_queues:
+            task_queue.put(encode(ShutdownMsg(collect_state=collect_state)))
+        finals: Dict[int, FinalStateMsg] = {}
+        deadline = time.monotonic() + timeout
+        while len(finals) < self.num_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                missing = sorted(
+                    set(range(self.num_workers)) - set(finals)
+                )
+                self.terminate()
+                raise EngineError(
+                    f"workers {missing!r} failed to shut down within "
+                    f"{timeout}s"
+                )
+            msg = self.collect(timeout=min(remaining, 0.5))
+            if msg is None:
+                if self.dead_workers() and len(finals) < self.num_workers:
+                    dead = [
+                        (i, code)
+                        for i, code in self.dead_workers()
+                        if i not in finals
+                    ]
+                    if dead:
+                        self.terminate()
+                        raise EngineError(
+                            f"workers died during shutdown: {dead!r}"
+                        )
+                continue
+            if isinstance(msg, FinalStateMsg):
+                # Count its frame under final_state, not results.
+                self.wire.count("final_state", b"")
+                finals[msg.worker_id] = msg
+            # Stale ResultMsg frames from an aborted run are drained and
+            # dropped here; crash messages surface as missing finals.
+        self._join_all(max(0.0, deadline - time.monotonic()) + 1.0)
+        return finals
+
+    def terminate(self) -> None:
+        """Kill every worker immediately (crash path)."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        self._join_all(5.0)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+        self._drain_queues()
+
+    def _join_all(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        for process in self._processes:
+            process.join(max(0.0, deadline - time.monotonic()))
+
+    def _drain_queues(self) -> None:
+        # Unblock multiprocessing feeder threads so interpreter exit is
+        # clean even after a hard terminate.
+        for q in [*self._task_queues, self.result_queue]:
+            if q is None:
+                continue
+            try:
+                q.cancel_join_thread()
+            except (AttributeError, OSError):  # pragma: no cover
+                pass

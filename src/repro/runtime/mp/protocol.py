@@ -1,0 +1,168 @@
+"""The coordinator <-> worker wire protocol.
+
+Everything that crosses a process boundary is one of four message types,
+pickled into a bytes frame by :func:`encode` and restored by
+:func:`decode`:
+
+* :class:`TaskMsg` — coordinator -> worker: execute one vertex-phase
+  pair.  Carries the *prepared* context snapshot (latched inputs, the
+  changed set, successor names, and the external phase payload), never
+  live engine objects, so a frame is self-contained and replayable.
+* :class:`ResultMsg` — worker -> coordinator: the pair's outputs and
+  records, or the vertex failure that occurred instead.
+* :class:`ShutdownMsg` — coordinator -> worker: drain and exit; with
+  ``collect_state=True`` the worker answers with a :class:`FinalStateMsg`
+  carrying a :meth:`~repro.core.vertex.Vertex.snapshot_state` per cached
+  behaviour, so the coordinator can re-synchronise its own program state.
+* :class:`WorkerCrashMsg` — worker -> coordinator: the worker loop itself
+  failed (bad frame, unpicklable state, ...).  Distinct from a vertex
+  failure so the engine can report the right root cause.
+
+Framing is explicit (we pickle to bytes ourselves, then put the bytes on
+a ``multiprocessing`` queue) so both directions can be metered: the
+engine reports ``serialization_bytes`` per traffic class and
+``ipc_round_trips`` in :attr:`RunResult.stats`.  :class:`WireStats`
+accumulates those counters coordinator-side.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ...core.vertex import VertexContext
+
+__all__ = [
+    "TaskMsg",
+    "ResultMsg",
+    "ShutdownMsg",
+    "FinalStateMsg",
+    "WorkerCrashMsg",
+    "encode",
+    "decode",
+    "task_from_context",
+    "context_from_task",
+    "WireStats",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskMsg:
+    """Execute pair ``(vertex, phase)`` against the snapshotted context."""
+
+    vertex: int
+    name: str
+    phase: int
+    inputs: Dict[str, Any]
+    changed: Tuple[str, ...]
+    successors: Tuple[str, ...]
+    phase_input: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class ResultMsg:
+    """One executed pair: outputs + records, or the vertex error.
+
+    ``error`` is ``None`` on success, else the stringified vertex failure
+    (the coordinator re-raises it as
+    :class:`~repro.errors.VertexExecutionError` with the original vertex
+    name and phase).  ``compute_s`` is the worker-measured on_execute
+    duration, summed into per-worker utilization.
+    """
+
+    worker_id: int
+    vertex: int
+    phase: int
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    records: Tuple[Any, ...] = ()
+    error: Optional[str] = None
+    compute_s: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ShutdownMsg:
+    """Drain and exit; optionally report final vertex state."""
+
+    collect_state: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class FinalStateMsg:
+    """The worker's parting report: per-vertex state snapshots (when
+    requested), cumulative busy seconds, and executed-pair count."""
+
+    worker_id: int
+    states: Dict[str, Any] = field(default_factory=dict)
+    busy_s: float = 0.0
+    executed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerCrashMsg:
+    """The worker loop itself failed (not a vertex computation)."""
+
+    worker_id: int
+    message: str
+
+
+def encode(msg: object) -> bytes:
+    """Pickle *msg* into a self-contained frame."""
+    return pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode(frame: bytes) -> object:
+    """Restore a frame produced by :func:`encode`."""
+    return pickle.loads(frame)
+
+
+def task_from_context(v: int, p: int, ctx: VertexContext) -> TaskMsg:
+    """Snapshot a prepared context into a task frame (coordinator side)."""
+    return TaskMsg(
+        vertex=v,
+        name=ctx.name,
+        phase=p,
+        inputs=dict(ctx.inputs),
+        changed=tuple(sorted(ctx.changed)),
+        successors=tuple(ctx._successors),
+        phase_input=ctx.phase_input,
+    )
+
+
+def context_from_task(task: TaskMsg) -> VertexContext:
+    """Rebuild the execution context from a task frame (worker side)."""
+    return VertexContext(
+        name=task.name,
+        phase=task.phase,
+        inputs=task.inputs,
+        changed=set(task.changed),
+        successors=list(task.successors),
+        phase_input=task.phase_input,
+    )
+
+
+class WireStats:
+    """Byte and message counters per traffic class (coordinator side).
+
+    Classes: ``warmup`` (behaviour blobs shipped at spawn), ``tasks``
+    (coordinator -> worker), ``results`` (worker -> coordinator, incl.
+    crash reports), ``final_state`` (shutdown replies).
+    """
+
+    CLASSES = ("warmup", "tasks", "results", "final_state")
+
+    def __init__(self) -> None:
+        self.bytes: Dict[str, int] = {c: 0 for c in self.CLASSES}
+        self.messages: Dict[str, int] = {c: 0 for c in self.CLASSES}
+
+    def count(self, traffic_class: str, frame: bytes) -> None:
+        self.bytes[traffic_class] += len(frame)
+        self.messages[traffic_class] += 1
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            c: {"messages": self.messages[c], "bytes": self.bytes[c]}
+            for c in self.CLASSES
+        }
+        out["total_bytes"] = sum(self.bytes.values())
+        return out

@@ -1,0 +1,133 @@
+"""The worker-process main loop.
+
+Each worker owns a **warm cache** of the vertex behaviours assigned to it
+(sticky assignment: a vertex's every phase executes on the same worker),
+unpickled once at startup from the blob the coordinator shipped.  Because
+the scheduler serialises a vertex's phases — ``(v, p+1)`` becomes ready
+only after ``(v, p)`` completed — the cached behaviour's state evolves
+exactly as it would in the serial oracle, with no state round-tripping
+per task.
+
+The loop mirrors the computation thread of Listing 1 with the critical
+sections removed: dequeue a task, execute the behaviour against the
+shipped context snapshot, send back outputs + records.  All scheduling-
+set bookkeeping stays coordinator-side, under the coordinator's lock.
+
+A vertex exception becomes an error :class:`~.protocol.ResultMsg` (the
+coordinator re-raises it as
+:class:`~repro.errors.VertexExecutionError`); a failure of the loop
+itself becomes a :class:`~.protocol.WorkerCrashMsg`.  Either way the
+worker keeps draining its task queue until told to shut down, so the
+coordinator never blocks on a dead letter.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from ...core.vertex import Vertex
+from ...errors import VertexExecutionError
+from .protocol import (
+    FinalStateMsg,
+    ResultMsg,
+    ShutdownMsg,
+    TaskMsg,
+    WorkerCrashMsg,
+    context_from_task,
+    decode,
+    encode,
+)
+
+__all__ = ["worker_main"]
+
+
+def _execute(
+    worker_id: int, behaviors: Dict[str, Vertex], task: TaskMsg
+) -> ResultMsg:
+    ctx = context_from_task(task)
+    started = time.perf_counter()
+    try:
+        behavior = behaviors[task.name]
+        returned = behavior.on_execute(ctx)
+        ctx.finish(returned)
+    except VertexExecutionError as exc:
+        return ResultMsg(
+            worker_id=worker_id,
+            vertex=task.vertex,
+            phase=task.phase,
+            error=str(exc),
+            compute_s=time.perf_counter() - started,
+        )
+    except Exception as exc:  # noqa: BLE001 - becomes VertexExecutionError
+        return ResultMsg(
+            worker_id=worker_id,
+            vertex=task.vertex,
+            phase=task.phase,
+            error=f"{exc}",
+            compute_s=time.perf_counter() - started,
+        )
+    return ResultMsg(
+        worker_id=worker_id,
+        vertex=task.vertex,
+        phase=task.phase,
+        outputs=dict(ctx.outputs),
+        records=tuple(ctx.records),
+        compute_s=time.perf_counter() - started,
+    )
+
+
+def worker_main(
+    worker_id: int,
+    task_queue: Any,
+    result_queue: Any,
+    behaviors_blob: bytes,
+) -> None:
+    """Entry point of one worker process.
+
+    *behaviors_blob* is the pickled ``{vertex name: Vertex}`` mapping for
+    this worker's assigned vertices — the warm cache.  Queue elements are
+    protocol frames (bytes); see :mod:`~repro.runtime.mp.protocol`.
+    """
+    try:
+        behaviors: Dict[str, Vertex] = decode(behaviors_blob)
+        busy_s = 0.0
+        executed = 0
+        while True:
+            msg = decode(task_queue.get())
+            if isinstance(msg, ShutdownMsg):
+                states: Dict[str, Any] = {}
+                if msg.collect_state:
+                    states = {
+                        name: beh.snapshot_state()
+                        for name, beh in behaviors.items()
+                    }
+                result_queue.put(
+                    encode(
+                        FinalStateMsg(
+                            worker_id=worker_id,
+                            states=states,
+                            busy_s=busy_s,
+                            executed=executed,
+                        )
+                    )
+                )
+                return
+            result = _execute(worker_id, behaviors, msg)
+            busy_s += result.compute_s
+            executed += 1
+            result_queue.put(encode(result))
+    except (KeyboardInterrupt, SystemExit):  # terminate() / Ctrl-C paths
+        raise
+    except BaseException as exc:  # noqa: BLE001 - reported to coordinator
+        try:
+            result_queue.put(
+                encode(
+                    WorkerCrashMsg(
+                        worker_id=worker_id,
+                        message=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            )
+        except Exception:  # pragma: no cover - queue already unusable
+            pass

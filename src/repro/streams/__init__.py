@@ -20,6 +20,7 @@ from .workloads import (
     fanin_workload,
     grid_workload,
     fig1_workload,
+    cpu_heavy_workload,
 )
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "fanin_workload",
     "grid_workload",
     "fig1_workload",
+    "cpu_heavy_workload",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..core.program import Program
-from ..core.vertex import EMIT_NOTHING, FunctionVertex, Vertex, VertexContext
+from ..core.vertex import EMIT_NOTHING, Vertex, VertexContext
 from ..errors import WorkloadError
 from ..events import PhaseInput
 from ..graph.generators import chain_graph, fan_in_graph, fig1_graph, layered_graph
@@ -32,17 +32,58 @@ __all__ = [
     "fanin_workload",
     "grid_workload",
     "fig1_workload",
+    "cpu_heavy_workload",
     "sum_behaviors",
+    "LatchedSum",
+    "SpinningSum",
 ]
 
 
-def _sum_vertex(preds: Tuple[str, ...]) -> FunctionVertex:
-    def f(ctx: VertexContext) -> object:
+class LatchedSum(Vertex):
+    """Sum of the latched predecessor values; silent when nothing changed.
+
+    A module-level class rather than a :class:`FunctionVertex` closure so
+    workload programs survive pickling into worker processes.
+    """
+
+    def __init__(self, preds: Tuple[str, ...]) -> None:
+        self.preds = tuple(preds)
+
+    def on_execute(self, ctx: VertexContext) -> object:
         if not ctx.changed:
             return EMIT_NOTHING
-        return sum(ctx.input(p, 0.0) for p in preds)
+        return sum(ctx.input(p, 0.0) for p in self.preds)
 
-    return FunctionVertex(f)
+
+class SpinningSum(LatchedSum):
+    """A :class:`LatchedSum` that burns *grain* iterations of pure-Python
+    arithmetic per execution — the CPU-bound vertex of the process-engine
+    speedup benchmark.
+
+    The spin is deterministic work, not a timed busy-wait, so results stay
+    identical across engines and hosts; only the wall-clock varies.
+    """
+
+    def __init__(self, preds: Tuple[str, ...], grain: int = 1000) -> None:
+        super().__init__(preds)
+        if grain < 0:
+            raise WorkloadError(f"grain must be >= 0, got {grain}")
+        self.grain = grain
+
+    def on_execute(self, ctx: VertexContext) -> object:
+        if not ctx.changed:
+            return EMIT_NOTHING
+        acc = 0.0
+        for i in range(self.grain):
+            acc += (i % 7) * 0.5 - (i % 3)
+        base = sum(ctx.input(p, 0.0) for p in self.preds)
+        # acc is a deterministic constant for a given grain; fold in a
+        # vanishing multiple so the spin cannot be optimised away.
+        return base + acc * 0.0
+
+
+def _sum_vertex(preds: Tuple[str, ...]) -> Vertex:
+    return LatchedSum(preds)
 
 
 def sum_behaviors(
@@ -116,4 +157,34 @@ def fig1_workload(
     every phase, as in the figure's fully occupied pipeline)."""
     g = fig1_graph()
     program = Program(g, sum_behaviors(g, seed=seed), name="fig1")
+    return program, phase_signals(phases)
+
+
+def cpu_heavy_workload(
+    width: int = 4,
+    depth: int = 4,
+    phases: int = 50,
+    grain: int = 1000,
+    seed: int = 0,
+) -> Tuple[Program, List[PhaseInput]]:
+    """A grid workload whose inner vertices each burn *grain* iterations of
+    pure-Python arithmetic per execution (:class:`SpinningSum`).
+
+    This is the regime where thread engines hit the GIL wall — every
+    vertex is CPU-bound Python — and the process engine's target workload.
+    Fully picklable.
+    """
+    if width < 1 or depth < 1:
+        raise WorkloadError("width and depth must be >= 1")
+    g = layered_graph([width] * depth, density=1.0, seed=seed)
+    behaviors: Dict[str, Vertex] = {}
+    for i, v in enumerate(g.vertices()):
+        preds = tuple(g.predecessors(v))
+        if not preds:
+            behaviors[v] = RandomWalkSensor(seed=seed + i, step=1.0)
+        else:
+            behaviors[v] = SpinningSum(preds, grain=grain)
+    program = Program(
+        g, behaviors, name=f"cpu_heavy[{width}x{depth},grain={grain}]"
+    )
     return program, phase_signals(phases)

@@ -104,17 +104,19 @@ class ScriptedSource(SourceVertex):
         return EMIT_NOTHING
 
 
+def _forward(ctx: VertexContext) -> Any:
+    # Module-level so FunctionVertex(_forward) stays picklable (the
+    # process backend ships behaviours to worker processes).
+    vals = ctx.changed_values()
+    if not vals:
+        return EMIT_NOTHING
+    (value,) = vals.values()
+    return value
+
+
 def forward_vertex() -> FunctionVertex:
     """Forwards the single changed input (silent otherwise)."""
-
-    def f(ctx: VertexContext) -> Any:
-        vals = ctx.changed_values()
-        if not vals:
-            return EMIT_NOTHING
-        (value,) = vals.values()
-        return value
-
-    return FunctionVertex(f)
+    return FunctionVertex(_forward)
 
 
 def sum_vertex() -> FunctionVertex:

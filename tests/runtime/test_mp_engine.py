@@ -1,0 +1,289 @@
+"""Tests for the process-parallel backend (:mod:`repro.runtime.mp`)."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.serializability import assert_serializable
+from repro.core.invariants import InvariantChecker
+from repro.core.program import Program
+from repro.core.serial import SerialExecutor
+from repro.core.tracer import ExecutionTracer
+from repro.core.vertex import Vertex, VertexContext
+from repro.errors import EngineError, VertexExecutionError
+from repro.events import PhaseInput
+from repro.graph.model import ComputationGraph
+from repro.runtime.environment import EnvironmentConfig
+from repro.runtime.mp import ProcessEngine
+from repro.runtime.mp.lifecycle import ProcessWorkerPool, default_start_method
+from repro.runtime.mp.protocol import (
+    ResultMsg,
+    TaskMsg,
+    WireStats,
+    context_from_task,
+    decode,
+    encode,
+    task_from_context,
+)
+from repro.streams.workloads import (
+    cpu_heavy_workload,
+    fanin_workload,
+    fig1_workload,
+    grid_workload,
+    pipeline_workload,
+)
+
+from tests.conftest import make_chain_program, signals
+
+
+class TestProtocol:
+    def test_task_frame_round_trip(self):
+        ctx = VertexContext(
+            name="v3",
+            phase=7,
+            inputs={"v1": 1.5, "v2": "x"},
+            changed={"v1"},
+            successors=["v4", "v5"],
+            phase_input=("tick", 7),
+        )
+        task = task_from_context(3, 7, ctx)
+        clone = decode(encode(task))
+        assert clone == task
+        rebuilt = context_from_task(clone)
+        assert rebuilt.name == "v3"
+        assert rebuilt.phase == 7
+        assert rebuilt.inputs == {"v1": 1.5, "v2": "x"}
+        assert rebuilt.changed == {"v1"}
+        assert list(rebuilt._successors) == ["v4", "v5"]
+        assert rebuilt.phase_input == ("tick", 7)
+
+    def test_result_frame_round_trip(self):
+        res = ResultMsg(
+            worker_id=1, vertex=3, phase=7,
+            outputs={"v4": 0.25}, records=(("anomaly", 7),), compute_s=0.01,
+        )
+        assert decode(encode(res)) == res
+
+    def test_wire_stats_accumulates(self):
+        ws = WireStats()
+        ws.count("tasks", b"12345")
+        ws.count("tasks", b"123")
+        ws.count("results", b"12")
+        summary = ws.summary()
+        assert summary["tasks"] == {"messages": 2, "bytes": 8}
+        assert summary["results"] == {"messages": 1, "bytes": 2}
+        assert summary["total_bytes"] == 10
+
+    def test_wire_stats_rejects_unknown_class(self):
+        with pytest.raises(KeyError):
+            WireStats().count("bogus", b"x")
+
+
+class TestBasicExecution:
+    def test_single_phase_single_worker(self):
+        prog = make_chain_program(3, {1: "x"})
+        res = ProcessEngine(prog, num_workers=1).run(signals(1))
+        assert res.records["n2"] == [(1, "x")]
+        assert res.engine == "process[w=1]"
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_matches_serial_oracle(self, workers):
+        prog, phases = grid_workload(3, 3, phases=15, seed=2)
+        serial = SerialExecutor(prog).run(phases)
+        par = ProcessEngine(prog, num_workers=workers).run(phases)
+        assert_serializable(serial, par)
+        assert par.records == serial.records
+
+    @pytest.mark.parametrize("workload", [
+        pipeline_workload, fanin_workload, fig1_workload,
+    ])
+    def test_oracle_equality_across_workloads(self, workload):
+        prog, phases = workload(phases=10)
+        serial = SerialExecutor(prog).run(phases)
+        par = ProcessEngine(prog, num_workers=2).run(phases)
+        assert_serializable(serial, par)
+        assert par.records == serial.records
+
+    def test_cpu_heavy_oracle_equality(self):
+        prog, phases = cpu_heavy_workload(
+            width=3, depth=2, phases=4, grain=100
+        )
+        serial = SerialExecutor(prog).run(phases)
+        par = ProcessEngine(prog, num_workers=2).run(phases)
+        assert par.records == serial.records
+
+    def test_batched_commits_match_oracle(self):
+        prog, phases = grid_workload(3, 3, phases=12, seed=5)
+        serial = SerialExecutor(prog).run(phases)
+        par = ProcessEngine(prog, num_workers=2, batch_size=4).run(phases)
+        assert_serializable(serial, par)
+        assert par.engine == "process[w=2,b=4]"
+        assert par.stats["batching"]["batch_size"] == 4
+
+    def test_zero_phases(self):
+        prog = make_chain_program(2, {})
+        res = ProcessEngine(prog, num_workers=2).run([])
+        assert res.execution_count == 0
+        assert res.phases_run == 0
+
+    def test_invalid_worker_count(self):
+        prog = make_chain_program(2, {})
+        with pytest.raises(EngineError):
+            ProcessEngine(prog, num_workers=0)
+        with pytest.raises(EngineError):
+            ProcessEngine(prog, num_workers=2, batch_size=0)
+
+    def test_rerun_same_engine_object(self):
+        prog = make_chain_program(3, {1: 1, 2: 2})
+        engine = ProcessEngine(prog, num_workers=2)
+        r1 = engine.run(signals(2))
+        r2 = engine.run(signals(2))
+        assert r1.records == r2.records
+
+    def test_invariant_checker_clean(self):
+        prog, phases = fig1_workload(phases=8)
+        checker = InvariantChecker()
+        ProcessEngine(prog, num_workers=2, checker=checker).run(phases)
+        assert checker.checks_run > 0
+        assert checker.violations == []
+
+    def test_flow_control_bound_respected(self):
+        prog, phases = grid_workload(3, 3, phases=10, seed=1)
+        tracer = ExecutionTracer()
+        res = ProcessEngine(
+            prog,
+            num_workers=2,
+            tracer=tracer,
+            env=EnvironmentConfig(max_in_flight_phases=2),
+        ).run(phases)
+        assert res.stats["max_concurrent_phases"] <= 2
+
+
+class TestFinalStateRestore:
+    def test_post_run_state_matches_serial(self):
+        from tests.models.test_pickling import normalized
+
+        prog, phases = fig1_workload(phases=10)
+        SerialExecutor(prog).run(phases)
+        expected = {
+            n: normalized(b.snapshot_state())
+            for n, b in prog.behaviors.items()
+        }
+        ProcessEngine(prog, num_workers=3).run(phases)
+        actual = {
+            n: normalized(b.snapshot_state())
+            for n, b in prog.behaviors.items()
+        }
+        assert actual == expected
+
+
+class _Boom(Vertex):
+    def on_execute(self, ctx):
+        if ctx.phase == 2:
+            raise ValueError("kaboom")
+        return {}
+
+
+class _Unpicklable(Vertex):
+    def __init__(self):
+        super().__init__()
+        self.fn = lambda x: x  # lambdas don't pickle
+
+    def on_execute(self, ctx):
+        return {}
+
+
+def _one_vertex_program(behavior: Vertex) -> Program:
+    g = ComputationGraph("solo")
+    g.add_vertex("a")
+    return Program(g, {"a": behavior})
+
+
+class TestFailureHandling:
+    def test_vertex_error_reraised_with_pair(self):
+        prog = _one_vertex_program(_Boom())
+        with pytest.raises(VertexExecutionError) as exc_info:
+            ProcessEngine(prog, num_workers=1).run(
+                [PhaseInput(p, float(p)) for p in range(1, 4)]
+            )
+        assert exc_info.value.vertex == "a"
+        assert exc_info.value.phase == 2
+        assert "kaboom" in str(exc_info.value)
+
+    def test_unpicklable_program_fails_fast(self):
+        prog = _one_vertex_program(_Unpicklable())
+        with pytest.raises(EngineError, match="not picklable"):
+            ProcessEngine(prog, num_workers=1).run([PhaseInput(1, 1.0)])
+
+    def test_engine_reusable_after_vertex_error(self):
+        prog = _one_vertex_program(_Boom())
+        engine = ProcessEngine(prog, num_workers=1)
+        with pytest.raises(VertexExecutionError):
+            engine.run([PhaseInput(p, float(p)) for p in range(1, 4)])
+        res = engine.run([PhaseInput(1, 1.0)])
+        assert res.execution_count == 1
+
+
+class TestStatsSchema:
+    def test_stats_keys_present(self):
+        prog, phases = grid_workload(3, 2, phases=6, seed=3)
+        res = ProcessEngine(prog, num_workers=2).run(phases)
+        stats = res.stats
+        assert stats["num_workers"] == 2
+        assert stats["start_method"] == default_start_method()
+        for key in ("acquisitions", "contended_acquisitions",
+                    "total_hold_time"):
+            assert key in stats["lock"]
+        assert sum(stats["per_worker_executions"].values()) == (
+            res.execution_count
+        )
+        assert set(stats["per_worker_utilization"]) == {0, 1}
+        assert all(u >= 0.0 for u in stats["per_worker_utilization"].values())
+        # One task frame per executed pair.
+        assert stats["ipc_round_trips"] == res.execution_count
+        wire = stats["serialization_bytes"]
+        for cls in ("warmup", "tasks", "results", "final_state"):
+            assert wire[cls]["messages"] >= 1
+            assert wire[cls]["bytes"] >= 0
+        assert wire["total_bytes"] > 0
+        assert wire["tasks"]["messages"] == res.execution_count
+        batching = stats["batching"]
+        assert batching["batch_size"] == 1
+        assert batching["mean_batch_size"] == 1.0
+        assert stats["edge_entries_peak"] >= stats["edge_entries_final"]
+
+    def test_sticky_assignment_covers_all_workers(self):
+        prog, phases = grid_workload(3, 3, phases=8, seed=4)
+        res = ProcessEngine(prog, num_workers=3).run(phases)
+        # 12 vertices over 3 workers: every worker executes something.
+        assert all(
+            count > 0
+            for count in res.stats["per_worker_executions"].values()
+        )
+
+
+class TestWorkerPool:
+    def test_sticky_assignment_round_robin(self):
+        prog, _ = grid_workload(2, 2, phases=1, seed=0)
+        pool = ProcessWorkerPool(prog, num_workers=3)
+        assert [pool.worker_of(v) for v in range(1, 7)] == [
+            0, 1, 2, 0, 1, 2,
+        ]
+
+    def test_assigned_behaviors_partition_the_program(self):
+        prog, _ = grid_workload(2, 2, phases=1, seed=0)
+        pool = ProcessWorkerPool(prog, num_workers=2)
+        groups = [pool._assigned_behaviors(w) for w in range(2)]
+        names = [n for g in groups for n in g]
+        assert sorted(names) == sorted(prog.behaviors)
+        assert not (set(groups[0]) & set(groups[1]))
+
+    def test_invalid_worker_count(self):
+        prog, _ = grid_workload(2, 2, phases=1, seed=0)
+        with pytest.raises(EngineError):
+            ProcessWorkerPool(prog, num_workers=0)
+
+    def test_shutdown_before_start_is_noop(self):
+        prog, _ = grid_workload(2, 2, phases=1, seed=0)
+        pool = ProcessWorkerPool(prog, num_workers=2)
+        assert pool.shutdown(timeout=1.0) == {}

@@ -43,7 +43,9 @@ class TestParser:
 
 
 class TestRun:
-    @pytest.mark.parametrize("engine", ["serial", "parallel", "simulated"])
+    @pytest.mark.parametrize(
+        "engine", ["serial", "parallel", "process", "simulated"]
+    )
     def test_engines(self, spec_file, capsys, engine):
         assert main(["run", spec_file, "--engine", engine]) == 0
         out = capsys.readouterr().out
@@ -53,6 +55,59 @@ class TestRun:
     def test_check_flag(self, spec_file, capsys):
         assert main(["run", spec_file, "--engine", "parallel", "--check"]) == 0
         assert "serializable" in capsys.readouterr().out
+
+    def test_process_engine_check_and_workers(self, spec_file, capsys):
+        assert main([
+            "run", spec_file, "--engine", "process",
+            "--workers", "2", "--batch-size", "2", "--check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "process[w=2,b=2]" in out
+        assert "is serializable" in out
+
+    def test_stats_json_to_file(self, spec_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "stats.json"
+        assert main([
+            "run", spec_file, "--engine", "process",
+            "--stats-json", str(out_path),
+        ]) == 0
+        assert "stats written to" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["spec"] == "cli-demo"
+        assert payload["engine"] == "process[w=2]"
+        assert payload["phases_run"] == 10
+        stats = payload["stats"]
+        assert stats["num_workers"] == 2
+        assert "ipc_round_trips" in stats
+        assert "serialization_bytes" in stats
+        assert "per_worker_utilization" in stats
+
+    def test_stats_json_to_stdout(self, spec_file, capsys):
+        import json
+
+        assert main([
+            "run", spec_file, "--engine", "parallel", "--stats-json", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        end = out.rindex("}") + 1
+        payload = json.loads(out[start:end])
+        assert payload["engine"].startswith("parallel[")
+        assert "lock" in payload["stats"]
+
+    def test_stats_json_serial_engine(self, spec_file, tmp_path):
+        import json
+
+        out_path = tmp_path / "stats.json"
+        assert main([
+            "run", spec_file, "--engine", "serial",
+            "--stats-json", str(out_path),
+        ]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["engine"] == "serial"
+        assert payload["stats"] == {}
 
     def test_max_records_truncation(self, spec_file, capsys):
         assert main(["run", spec_file, "--max-records", "2"]) == 0

@@ -164,3 +164,70 @@ class TestTradeoff:
         (point,) = late_event_tradeoff(arrivals, waits=[50.0])
         assert point.late_rate == 0.0
         assert point.events_accepted == 120
+
+
+class TestWatermarkBoundary:
+    """Exact-boundary semantics: an event whose delay equals the wait
+    arrives when watermark == its timestamp and must still be admitted
+    (the wait >= max-delay guarantee of zero lateness depends on it)."""
+
+    def test_event_arriving_exactly_at_seal_time_admitted(self):
+        buf = ReorderBuffer(wait=1.0)
+        # Arrival 1.0 puts the watermark at exactly 0.0 == the event's
+        # own timestamp: strictly-below sealing must NOT seal it yet.
+        sealed = buf.offer(arr(0.0, "a", "on-time", arrival=1.0))
+        assert sealed == []
+        assert buf.watermark == 0.0
+        assert buf.accepted == 1
+        assert buf.late_count == 0
+        # A same-timestamp sibling arriving while watermark == ts is
+        # still admitted into the open snapshot, not counted late.
+        assert buf.offer(arr(0.0, "b", "sibling", arrival=1.0)) == []
+        assert buf.accepted == 2
+        assert buf.late_count == 0
+        # Only a *later* arrival pushes the watermark past 0 and seals
+        # the complete two-source snapshot.
+        sealed = buf.offer(arr(2.0, "a", "next", arrival=3.0))
+        assert [p.timestamp for p in sealed] == [0.0]
+        assert sealed[0].values == {"a": "on-time", "b": "sibling"}
+
+    def test_boundary_timestamp_equal_to_sealed_upto_is_late(self):
+        buf = ReorderBuffer(wait=1.0)
+        buf.offer(arr(0.0, "a", 1, arrival=0.5))
+        sealed = buf.offer(arr(2.0, "a", 2, arrival=3.5))  # watermark 2.5
+        assert [p.timestamp for p in sealed] == [0.0, 2.0]
+        # ts == sealed_upto (2.0): exactly on the boundary -> late.
+        buf.offer(arr(2.0, "b", 3, arrival=3.6))
+        assert buf.late_count == 1
+        assert buf.late_events[0].event.value == 3
+
+    def test_wait_zero_late_counting(self):
+        # wait=0: the watermark IS the max arrival time, so any event
+        # whose timestamp trails a sealed sibling's is counted late.
+        buf = ReorderBuffer(wait=0.0)
+        assert buf.offer(arr(0.0, "a", 1, arrival=0.0)) == []
+        # Arrival 1.0 moves the watermark to 1.0: ts 0.0 seals.
+        sealed = buf.offer(arr(1.0, "a", 2, arrival=1.0))
+        assert [p.timestamp for p in sealed] == [0.0]
+        # Out-of-order straggler for the sealed instant: late, excluded.
+        assert buf.offer(arr(0.0, "b", 9, arrival=1.5)) == []
+        assert buf.late_count == 1
+        assert buf.accepted == 2
+        # The sealed phase was not revised to include the straggler.
+        assert sealed[0].values == {"a": 1}
+        # Pending ts 1.0 is untouched by lateness bookkeeping: flushing
+        # recovers it.
+        flushed = buf.flush()
+        assert [p.timestamp for p in flushed] == [1.0]
+
+    def test_wait_zero_simultaneous_arrivals_not_late(self):
+        # With wait=0 an event arriving exactly when the watermark
+        # reaches its timestamp (delay 0, perfectly on time) is still
+        # admitted: sealing is strictly below the watermark.
+        buf = ReorderBuffer(wait=0.0)
+        assert buf.offer(arr(1.0, "a", "x", arrival=1.0)) == []
+        assert buf.offer(arr(1.0, "b", "y", arrival=1.0)) == []
+        assert buf.late_count == 0
+        sealed = buf.flush()
+        assert [p.timestamp for p in sealed] == [1.0]
+        assert sealed[0].values == {"a": "x", "b": "y"}
