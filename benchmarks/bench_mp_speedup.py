@@ -65,6 +65,7 @@ FULL = {
     "phases": 40,
     "grain": 20_000,
     "batch_size": 8,
+    "ipc_batch": 8,
     "workers": [1, 2, 4],
     "reps": 3,
 }
@@ -74,6 +75,7 @@ QUICK = {
     "phases": 8,
     "grain": 2_000,
     "batch_size": 4,
+    "ipc_batch": 4,
     "workers": [2],
     "reps": 1,
 }
@@ -108,6 +110,7 @@ def _measure(cfg: Dict[str, Any], make_engine, label: str) -> Dict[str, Any]:
         row["ipc_round_trips"] = last.stats["ipc_round_trips"]
         row["serialization_bytes"] = last.stats["serialization_bytes"]
         row["per_worker_utilization"] = last.stats["per_worker_utilization"]
+        row["ipc"] = last.stats["ipc"]
     return row
 
 
@@ -190,6 +193,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 prog, num_workers=k, batch_size=cfg["batch_size"]
             ),
             f"process[{k}]",
+        )
+    # The batched wire path (ipc_batch > 1): same workload, fewer and
+    # fatter frames — how much of the process engine's overhead is IPC.
+    for k in cfg["workers"]:
+        run(
+            lambda prog, k=k: ProcessEngine(
+                prog,
+                num_workers=k,
+                batch_size=cfg["batch_size"],
+                ipc_batch=cfg["ipc_batch"],
+            ),
+            f"process_ipc[{k}]",
         )
 
     criterion = check_criterion(rows, cpu_count)

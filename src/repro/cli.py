@@ -65,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["fork", "spawn", "forkserver"],
                      help="multiprocessing start method for --engine "
                           "process (default: fork where available)")
+    run.add_argument("--ipc-batch", type=int, default=1,
+                     help="tasks per dispatch frame for --engine process "
+                          "(default 1: one frame per pair; >1 ships "
+                          "TaskBatch frames with interned payloads)")
+    run.add_argument("--window", type=int, default=0,
+                     help="per-worker in-flight credit window for "
+                          "--engine process (default 0: adaptive)")
     run.add_argument("--check", action="store_true",
                      help="also run the serial oracle and verify "
                           "serializability")
@@ -109,8 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
                "failing run index is printed) or via "
                "repro.testing.replay_failure.",
     )
+    fuzz.add_argument("--engine", choices=["thread", "process"],
+                      default="thread",
+                      help="thread: virtual-scheduler campaign over the "
+                           "threaded engine (default); process: real "
+                           "ProcessEngine runs sweeping the wire-path "
+                           "knobs (workers, batch, ipc-batch, window) "
+                           "against the serial oracle")
     fuzz.add_argument("--runs", type=int, default=100,
-                      help="schedules to explore (default 100)")
+                      help="schedules to explore (default 100; the "
+                           "process campaign pays real process spawns "
+                           "per run, so use single digits)")
     fuzz.add_argument("--seed", type=int, default=0,
                       help="master seed; every workload and interleaving "
                            "derives from it (default 0)")
@@ -171,6 +187,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             num_workers=args.workers,
             batch_size=args.batch_size,
             start_method=args.start_method,
+            ipc_batch=args.ipc_batch,
+            window=args.window or None,
         ).run(phases)
     else:
         from .simulator import CostModel, SimulatedEngine
@@ -335,11 +353,35 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .testing import FaultPlan, fuzz, write_failure_artifacts
+    from .testing import (
+        FaultPlan,
+        fuzz,
+        fuzz_process,
+        write_failure_artifacts,
+    )
     from .testing.schedule import POLICY_NAMES as ALL_POLICIES
 
     policies = ALL_POLICIES if args.policy == "all" else (args.policy,)
     faults = FaultPlan.named(args.inject) if args.inject else None
+    if args.engine == "process":
+        if args.inject:
+            print("error: --inject requires the thread campaign "
+                  "(virtual scheduler)", file=sys.stderr)
+            return 2
+        report = fuzz_process(
+            runs=args.runs,
+            seed=args.seed,
+            stop_on_failure=not args.keep_going,
+            max_vertices=args.max_vertices,
+            max_phases=args.max_phases,
+        )
+        print(report.summary())
+        if args.failure_artifacts and report.failures:
+            for path in write_failure_artifacts(
+                report, args.failure_artifacts
+            ):
+                print(f"failure artifact written: {path}")
+        return 0 if report.ok else 4
     report = fuzz(
         runs=args.runs,
         seed=args.seed,

@@ -62,10 +62,61 @@ from ..errors import DuplicateExecutionError, SchedulerError
 from ..graph.numbering import Numbering
 from .pairsets import LazyMinHeap
 
-__all__ = ["SchedulerState", "Pair"]
+__all__ = ["SchedulerState", "Pair", "drain_ready_batches"]
 
 Pair = Tuple[int, int]
 """A vertex-phase pair ``(v, p)``: vertex index ``v`` executing phase ``p``."""
+
+
+def drain_ready_batches(
+    pending: "deque[Pair]",
+    assign: Callable[[int], int],
+    capacity: Callable[[int], int],
+    chunk: int,
+) -> Tuple[List[Tuple[int, List[Pair]]], Set[int]]:
+    """Drain ready pairs into per-worker dispatch batches.
+
+    Sweeps *pending* (a deque of ready pairs, FIFO) once, routing each
+    pair to ``assign(v)`` (the sticky worker of its vertex) and taking at
+    most ``capacity(w)`` pairs per worker — the worker's remaining credit
+    window.  Pairs that do not fit stay in *pending* in their original
+    relative order, preserving the per-worker FIFO that the phase-order
+    argument relies on.
+
+    Returns ``(batches, starved)`` where *batches* is a list of
+    ``(worker, pairs)`` with ``len(pairs) <= chunk`` (a worker whose
+    drain exceeds *chunk* yields several consecutive batches) and
+    *starved* is the set of workers that still had pairs waiting when
+    their credit ran out — the adaptive window controller's widening
+    signal.
+
+    The helper never consults scheduler internals: it operates on pairs
+    the :class:`SchedulerState` mutators already returned as ready, so
+    using it cannot weaken the exactly-once placement argument.
+    """
+    if chunk < 1:
+        raise SchedulerError(f"chunk must be >= 1, got {chunk}")
+    taken: Dict[int, List[Pair]] = {}
+    remaining: Dict[int, int] = {}
+    starved: Set[int] = set()
+    leftover: List[Pair] = []
+    while pending:
+        pair = pending.popleft()
+        w = assign(pair[0])
+        if w not in remaining:
+            remaining[w] = max(0, capacity(w))
+        if remaining[w] <= 0:
+            starved.add(w)
+            leftover.append(pair)
+            continue
+        remaining[w] -= 1
+        taken.setdefault(w, []).append(pair)
+    pending.extend(leftover)
+    batches: List[Tuple[int, List[Pair]]] = []
+    for w, pairs in taken.items():
+        for i in range(0, len(pairs), chunk):
+            batches.append((w, pairs[i : i + chunk]))
+    return batches, starved
 
 
 class SchedulerState:

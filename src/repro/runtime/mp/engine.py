@@ -8,33 +8,63 @@ store, the records — and runs both of the paper's loops inline:
 * Listing 2 (environment): start the next phase whenever pacing and flow
   control allow;
 * Listing 1 (computation), split at the prepare/compute/commit seam of
-  :class:`~repro.core.program.PairRuntime`: *prepare* a ready pair under
-  the lock, ship the snapshotted context to the vertex's sticky worker
+  :class:`~repro.core.program.PairRuntime`: *prepare* ready pairs under
+  the lock, ship the snapshotted contexts to each vertex's sticky worker
   (:class:`~repro.runtime.mp.lifecycle.ProcessWorkerPool`), and *commit*
-  the returned outputs under the lock.  Commits are batched exactly like
-  the threaded engine's low-contention path: every result already queued
-  (up to ``batch_size``) is applied in one
-  :meth:`~repro.core.state.SchedulerState.complete_executions` call
-  inside one critical section.
+  the returned outputs under the lock.
 
-Because the coordinator is single-threaded, its
-:class:`~repro.runtime.locks.InstrumentedLock` is never contended — it is
-kept so the stats schema (acquisitions, hold times,
+The wire path is designed so IPC cost scales with *change*, not with
+executions:
+
+* **Batched dispatch** (``ipc_batch``): the ready backlog is drained
+  into per-worker batches (:func:`~repro.core.state.drain_ready_batches`)
+  of up to ``ipc_batch`` tasks per frame; a worker answers each
+  :class:`~.protocol.TaskBatch` with one :class:`~.protocol.ResultBatch`,
+  which feeds the batched
+  :meth:`~repro.core.state.SchedulerState.complete_executions` commit
+  whole — one frame each way and one critical section for the lot.
+  Repeated values inside a frame (latched inputs that did not change,
+  successor tuples, recurring outputs) are interned so pickle emits them
+  once.  ``ipc_batch=1`` reproduces the PR-3 one-frame-per-pair wire
+  path exactly.
+* **Per-worker credit window** (``window``): at most ``window`` tasks
+  may be in flight to a worker at once.  ``window=None`` (default) is
+  adaptive — the window widens (doubles, bounded) while the ready
+  backlog leaves a worker starved for credit, and narrows when commits
+  lag behind dispatch (a poll quantum passes with every credit spent and
+  no result).  A deep window keeps workers fed and lets large dispatch
+  batches form; a shallow one bounds the coordinator's in-flight context
+  memory.  A fixed integer pins the window.
+
+Commits are applied exactly like the threaded engine's low-contention
+path: every result already collected (whole result batches, topped up to
+at least ``batch_size`` singles) is applied in one
+:meth:`~repro.core.state.SchedulerState.complete_executions` call inside
+one critical section.  Because the coordinator is single-threaded, its
+:class:`~repro.runtime.locks.InstrumentedLock` is never contended — it
+is kept so the stats schema (acquisitions, hold times,
 ``commits_per_acquisition``) stays comparable with the threaded engine,
-and so invariant checkers see the same locking discipline.
+and so invariant checkers see the same locking discipline: the
+coordinator's single lock remains the only commit point.
 
 Correctness relies on the same argument as the serial oracle: the
 scheduler never holds two phases of one vertex ready at once, vertices
-are sticky to one worker, and each worker's task queue is FIFO — so every
-behaviour's state evolves in strict phase order, exactly as serially.
-Final worker states are shipped back at shutdown and restored into the
-coordinator's program, keeping post-run state consistent for
-``--check``-style oracle comparisons.
+are sticky to one worker, and each worker's task queue is FIFO — so
+every behaviour's state evolves in strict phase order, exactly as
+serially.  Batching and credit windows only change *when* ready pairs
+are shipped, never which pairs are ready, so the serializability
+argument is untouched.  Final worker states are shipped back at shutdown
+as :meth:`~repro.core.vertex.Vertex.snapshot_delta` payloads and applied
+to the coordinator's program (whose behaviours still hold the spawn-time
+baseline — compute only ever runs worker-side), keeping post-run state
+consistent for ``--check``-style oracle comparisons.
 
 Failure handling prefers the root cause, mirroring the threaded engine:
 a vertex error (re-raised as
 :class:`~repro.errors.VertexExecutionError`) beats a worker crash
 (:class:`~repro.errors.EngineError`), which beats the wedge watchdog.
+Results that arrive before the failure — including a failing batch's
+surviving prefix — are committed first.
 """
 
 from __future__ import annotations
@@ -45,7 +75,7 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ...core.invariants import InvariantChecker
 from ...core.program import PairRuntime, Program, RunResult
-from ...core.state import SchedulerState
+from ...core.state import SchedulerState, drain_ready_batches
 from ...core.tracer import (
     ExecutionTracer,
     max_concurrent_pairs,
@@ -59,7 +89,10 @@ from ..locks import InstrumentedLock
 from .lifecycle import ProcessWorkerPool
 from .protocol import (
     FinalStateMsg,
+    Interner,
+    ResultBatch,
     ResultMsg,
+    TaskBatch,
     WorkerCrashMsg,
     encode,
     task_from_context,
@@ -96,11 +129,20 @@ class ProcessEngine:
         Watchdog: seconds without any worker progress (and at shutdown)
         before the run is declared wedged.
     batch_size:
-        Maximum queued results committed per critical section (the
-        batched commit path).  ``None`` takes ``env.batch_size``.
+        Minimum queued results drained per critical section (the batched
+        commit path); whole result batches are never split.  ``None``
+        takes ``env.batch_size``.
     start_method:
         ``multiprocessing`` start method; default is ``fork`` where
         available, else ``spawn``.
+    ipc_batch:
+        Maximum tasks per dispatch frame.  1 (default) ships one
+        :class:`~.protocol.TaskMsg` per frame — the PR-3 wire path;
+        larger values ship :class:`~.protocol.TaskBatch` frames with
+        interned payload encoding.
+    window:
+        Per-worker in-flight credit window.  ``None`` (default) adapts
+        between 1 and ``max(16, 4 * ipc_batch)``; an integer pins it.
     """
 
     def __init__(
@@ -113,6 +155,8 @@ class ProcessEngine:
         join_timeout: float = 120.0,
         batch_size: Optional[int] = None,
         start_method: Optional[str] = None,
+        ipc_batch: int = 1,
+        window: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise EngineError(f"num_workers must be >= 1, got {num_workers}")
@@ -127,6 +171,14 @@ class ProcessEngine:
             raise EngineError(
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
+        if ipc_batch < 1:
+            raise EngineError(f"ipc_batch must be >= 1, got {ipc_batch}")
+        if window is not None and window < 1:
+            raise EngineError(
+                f"window must be >= 1 or None (adaptive), got {window}"
+            )
+        self.ipc_batch = ipc_batch
+        self.window = window
         self.start_method = start_method
 
     def run(self, phase_inputs: Sequence[PhaseInput]) -> RunResult:
@@ -156,6 +208,21 @@ class ProcessEngine:
         seen_complete = 0
         last_phase_start = -float("inf")
         finals: Dict[int, FinalStateMsg] = {}
+        interner = Interner() if self.ipc_batch > 1 else None
+
+        # Per-worker credit windows (the adaptive in-flight window).
+        adaptive = self.window is None
+        window_floor = 1
+        window_cap = (
+            max(16, 4 * self.ipc_batch) if adaptive else self.window
+        )
+        windows: Dict[int, int] = {
+            w: (max(1, self.ipc_batch) if adaptive else self.window)
+            for w in range(self.num_workers)
+        }
+        worker_load: Dict[int, int] = {w: 0 for w in range(self.num_workers)}
+        window_events = {"widenings": 0, "narrowings": 0}
+        window_peak = max(windows.values())
 
         def can_start_phase() -> bool:
             if state.next_phase > runtime.num_phases:
@@ -166,11 +233,62 @@ class ProcessEngine:
                     return False
             return time.monotonic() - last_phase_start >= self.env.pacing
 
+        def dispatch() -> bool:
+            # Drain the ready backlog into per-worker batches that
+            # respect sticky assignment and the credit windows; prepare
+            # each batch's contexts in one critical section and ship it
+            # as one frame.
+            nonlocal window_peak
+            if not pending:
+                return False
+            batches, starved = drain_ready_batches(
+                pending,
+                pool.worker_of,
+                lambda w: windows[w] - worker_load[w],
+                self.ipc_batch,
+            )
+            for w, pairs in batches:
+                tasks = []
+                with lock:
+                    for v, p in pairs:
+                        ctx = runtime.prepare(v, p)
+                        if tracer is not None:
+                            tracer.execute_begin((v, p), w)
+                        in_flight[(v, p)] = ctx
+                        tasks.append(task_from_context(v, p, ctx, interner))
+                worker_load[w] += len(pairs)
+                if self.ipc_batch == 1:
+                    pool.submit_to_worker(w, encode(tasks[0]), "tasks")
+                else:
+                    pool.submit_to_worker(
+                        w, encode(TaskBatch(tuple(tasks))), "task_batches"
+                    )
+            if adaptive:
+                # Backlog left a worker starved for credit: widen.
+                for w in starved:
+                    if windows[w] < window_cap:
+                        windows[w] = min(window_cap, windows[w] * 2)
+                        window_events["widenings"] += 1
+                        window_peak = max(window_peak, windows[w])
+            return bool(batches)
+
+        def narrow_windows() -> None:
+            # A poll quantum elapsed with no result while every credit
+            # of a worker is spent: commits lag dispatch, so shrink its
+            # window (bounding in-flight context memory) rather than
+            # keep speculating deeper.
+            for w in range(self.num_workers):
+                if worker_load[w] >= windows[w] > window_floor:
+                    windows[w] -= 1
+                    window_events["narrowings"] += 1
+
         def commit_batch(results: List[ResultMsg]) -> None:
             # The batched commit path: every result in one critical
             # section, one complete_executions call (same discipline as
             # the threaded engine's batch_size > 1 mode).
             nonlocal seen_complete
+            if not results:
+                return
             completed: List[Tuple[int, int, List[int]]] = []
             with lock:
                 for res in results:
@@ -183,6 +301,7 @@ class ProcessEngine:
                 executions.extend((cv, cp) for cv, cp, _ in completed)
                 for res in results:
                     per_worker_counts[res.worker_id] += 1
+                    worker_load[res.worker_id] -= 1
                 batch_sizes[len(completed)] = (
                     batch_sizes.get(len(completed), 0) + 1
                 )
@@ -200,6 +319,18 @@ class ProcessEngine:
                         tracer.phase_completed(seen_complete + 1 + i)
                 seen_complete = state.complete_phase_count
             pending.extend(newly_ready)
+
+        def requeue_skipped(
+            worker_id: int, skipped: Sequence[Tuple[int, int]]
+        ) -> None:
+            # Tasks a worker declined to execute (an earlier task of the
+            # batch failed) are still in the coordinator's ready set:
+            # put them back at the head of the backlog, oldest first, so
+            # a surviving run would re-dispatch them in order.
+            for pair in reversed(skipped):
+                in_flight.pop(pair, None)
+                worker_load[worker_id] -= 1
+                pending.appendleft(pair)
 
         started = time.perf_counter()
         error: Optional[BaseException] = None
@@ -220,15 +351,7 @@ class ProcessEngine:
                     pending.extend(newly_ready)
                     last_phase_start = time.monotonic()
                     progressed = True
-                # Dispatch every ready pair to its sticky worker.
-                while pending:
-                    v, p = pending.popleft()
-                    with lock:
-                        ctx = runtime.prepare(v, p)
-                        if tracer is not None:
-                            tracer.execute_begin((v, p), pool.worker_of(v))
-                    in_flight[(v, p)] = ctx
-                    pool.submit(v, encode(task_from_context(v, p, ctx)))
+                if dispatch():
                     progressed = True
                 if not in_flight:
                     if (
@@ -257,8 +380,10 @@ class ProcessEngine:
                         f"engine stalled before quiescence: in-flight "
                         f"phases {state.in_flight_phases()!r}"
                     )
-                # Collect one result (bounded poll), then drain whatever
-                # else is already queued up to the commit batch size.
+                # Collect one result frame (bounded poll), then drain
+                # whatever else is already queued until at least
+                # batch_size results are in hand (whole batches are
+                # never split).
                 msg = pool.collect(timeout=_POLL_S)
                 if msg is None:
                     dead = pool.dead_workers()
@@ -276,6 +401,8 @@ class ProcessEngine:
                             f"worker {wid} died (exit code {code}) with "
                             f"{len(in_flight)} pairs in flight"
                         )
+                    if adaptive:
+                        narrow_windows()
                     if time.monotonic() - last_progress > self.join_timeout:
                         raise EngineError(
                             f"run wedged: no worker result within "
@@ -287,32 +414,47 @@ class ProcessEngine:
                 results: List[ResultMsg] = []
                 while msg is not None:
                     if isinstance(msg, WorkerCrashMsg):
+                        # Commit everything that survived (earlier
+                        # frames of this sweep included), then surface
+                        # the crash.
+                        commit_batch(results)
                         raise EngineError(
                             f"worker {msg.worker_id} crashed: {msg.message}"
                         )
-                    assert isinstance(msg, ResultMsg)
-                    if msg.error is not None:
-                        # Commit what already succeeded, then surface the
-                        # vertex failure as the root cause.
-                        if results:
+                    entries: Tuple[ResultMsg, ...]
+                    if isinstance(msg, ResultBatch):
+                        entries = msg.results
+                        if msg.skipped:
+                            requeue_skipped(msg.worker_id, msg.skipped)
+                    else:
+                        assert isinstance(msg, ResultMsg)
+                        entries = (msg,)
+                    for res in entries:
+                        if res.error is not None:
+                            # Commit what already succeeded, then
+                            # surface the vertex failure as the root
+                            # cause.
                             commit_batch(results)
-                        raise VertexExecutionError(
-                            self.program.numbering.name_of(msg.vertex),
-                            msg.phase,
-                            msg.error,
-                        )
-                    results.append(msg)
+                            raise VertexExecutionError(
+                                self.program.numbering.name_of(res.vertex),
+                                res.phase,
+                                res.error,
+                            )
+                        results.append(res)
                     if len(results) >= self.batch_size:
                         break
                     msg = pool.collect_nowait()
                 commit_batch(results)
-            # Graceful drain: collect final vertex states and restore
-            # them coordinator-side, so program state after the run
-            # matches a serial execution.
+            # Graceful drain: collect final vertex state deltas and
+            # apply them coordinator-side (the coordinator's behaviours
+            # still hold the spawn-time baseline), so program state
+            # after the run matches a serial execution.
             finals = pool.shutdown(self.join_timeout, collect_state=True)
             for final in finals.values():
                 for name, snapshot in final.states.items():
                     self.program.behaviors[name].restore_state(snapshot)
+                for name, delta in final.deltas.items():
+                    self.program.behaviors[name].apply_delta(delta)
         except BaseException as exc:
             error = exc
             # Crash path: never mask the root cause with shutdown issues.
@@ -327,6 +469,9 @@ class ProcessEngine:
         num_batches = sum(batch_sizes.values())
         num_commits = sum(size * count for size, count in batch_sizes.items())
         wire = pool.wire.summary()
+        task_frames = (
+            wire["tasks"]["messages"] + wire["task_batches"]["messages"]
+        )
         stats: Dict[str, Any] = {
             "num_workers": self.num_workers,
             "start_method": pool.start_method,
@@ -336,8 +481,23 @@ class ProcessEngine:
                 wid: (final.busy_s / elapsed if elapsed > 0 else 0.0)
                 for wid, final in sorted(finals.items())
             },
-            "ipc_round_trips": wire["tasks"]["messages"],
+            "ipc_round_trips": task_frames,
             "serialization_bytes": wire,
+            "ipc": {
+                "ipc_batch": self.ipc_batch,
+                "window": "adaptive" if adaptive else self.window,
+                "window_final": dict(sorted(windows.items())),
+                "window_peak": window_peak,
+                "window_widenings": window_events["widenings"],
+                "window_narrowings": window_events["narrowings"],
+                "task_frames": task_frames,
+                "mean_tasks_per_frame": (
+                    len(executions) / task_frames if task_frames else 0.0
+                ),
+                "interning": (
+                    interner.summary() if interner is not None else None
+                ),
+            },
             "edge_entries_peak": runtime.edges.peak_entries,
             "edge_entries_final": runtime.edges.total_pending_entries(),
             "batching": {
@@ -358,9 +518,12 @@ class ProcessEngine:
             intervals = tracer.intervals()
             stats["max_concurrent_phases"] = max_concurrent_phases(intervals)
             stats["max_concurrent_pairs"] = max_concurrent_pairs(intervals)
-        label = (
-            f"process[w={self.num_workers}]"
-            if self.batch_size == 1
-            else f"process[w={self.num_workers},b={self.batch_size}]"
-        )
+        label_parts = [f"w={self.num_workers}"]
+        if self.batch_size != 1:
+            label_parts.append(f"b={self.batch_size}")
+        if self.ipc_batch != 1:
+            label_parts.append(f"ipc={self.ipc_batch}")
+        if self.window is not None:
+            label_parts.append(f"win={self.window}")
+        label = f"process[{','.join(label_parts)}]"
         return runtime.build_result(label, executions, elapsed, stats)

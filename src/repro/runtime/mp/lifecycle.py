@@ -30,7 +30,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ...core.program import Program
 from ...errors import EngineError
-from .protocol import FinalStateMsg, ShutdownMsg, WireStats, decode, encode
+from .protocol import (
+    FinalStateMsg,
+    ShutdownMsg,
+    WireStats,
+    decode,
+    encode,
+    traffic_class_of,
+)
 from .worker import worker_main
 
 __all__ = ["ProcessWorkerPool", "default_start_method"]
@@ -115,19 +122,37 @@ class ProcessWorkerPool:
             process.start()
         self._started = True
 
-    def submit(self, v: int, frame: bytes) -> None:
-        """Send a task frame to vertex *v*'s worker."""
-        self.wire.count("tasks", frame)
+    def submit(
+        self, v: int, frame: bytes, traffic_class: str = "tasks"
+    ) -> None:
+        """Send a task frame to vertex *v*'s worker.
+
+        *traffic_class* attributes the frame's bytes (``"tasks"`` for a
+        single :class:`~.protocol.TaskMsg`, ``"task_batches"`` for a
+        :class:`~.protocol.TaskBatch`)."""
+        self.wire.count(traffic_class, frame)
         self._task_queues[self.worker_of(v)].put(frame)
 
+    def submit_to_worker(
+        self, worker_id: int, frame: bytes, traffic_class: str
+    ) -> None:
+        """Send a frame straight to *worker_id*'s task queue."""
+        self.wire.count(traffic_class, frame)
+        self._task_queues[worker_id].put(frame)
+
     def collect(self, timeout: float) -> Optional[object]:
-        """Next worker message within *timeout* seconds, or ``None``."""
+        """Next worker message within *timeout* seconds, or ``None``.
+
+        The frame's bytes are metered under the class of the *decoded*
+        message (results / result_batches / final_state), so every
+        received byte lands in exactly one class."""
         try:
             frame = self.result_queue.get(timeout=timeout)
         except queue_mod.Empty:
             return None
-        self.wire.count("results", frame)
-        return decode(frame)
+        msg = decode(frame)
+        self.wire.count(traffic_class_of(msg), frame)
+        return msg
 
     def collect_nowait(self) -> Optional[object]:
         """Next worker message if one is already queued, else ``None``."""
@@ -135,8 +160,9 @@ class ProcessWorkerPool:
             frame = self.result_queue.get_nowait()
         except queue_mod.Empty:
             return None
-        self.wire.count("results", frame)
-        return decode(frame)
+        msg = decode(frame)
+        self.wire.count(traffic_class_of(msg), frame)
+        return msg
 
     def dead_workers(self) -> List[Tuple[int, Optional[int]]]:
         """``(worker_id, exitcode)`` for every worker that has died."""
@@ -158,8 +184,10 @@ class ProcessWorkerPool:
         """
         if not self._started:
             return {}
+        shutdown_frame = encode(ShutdownMsg(collect_state=collect_state))
         for task_queue in self._task_queues:
-            task_queue.put(encode(ShutdownMsg(collect_state=collect_state)))
+            self.wire.count("shutdown", shutdown_frame)
+            task_queue.put(shutdown_frame)
         finals: Dict[int, FinalStateMsg] = {}
         deadline = time.monotonic() + timeout
         while len(finals) < self.num_workers:
@@ -188,8 +216,6 @@ class ProcessWorkerPool:
                         )
                 continue
             if isinstance(msg, FinalStateMsg):
-                # Count its frame under final_state, not results.
-                self.wire.count("final_state", b"")
                 finals[msg.worker_id] = msg
             # Stale ResultMsg frames from an aborted run are drained and
             # dropped here; crash messages surface as missing finals.

@@ -1,19 +1,31 @@
 """The coordinator <-> worker wire protocol.
 
-Everything that crosses a process boundary is one of four message types,
-pickled into a bytes frame by :func:`encode` and restored by
+Everything that crosses a process boundary is one of the message types
+below, pickled into a bytes frame by :func:`encode` and restored by
 :func:`decode`:
 
 * :class:`TaskMsg` — coordinator -> worker: execute one vertex-phase
   pair.  Carries the *prepared* context snapshot (latched inputs, the
   changed set, successor names, and the external phase payload), never
   live engine objects, so a frame is self-contained and replayable.
-* :class:`ResultMsg` — worker -> coordinator: the pair's outputs and
+* :class:`TaskBatch` — coordinator -> worker: several :class:`TaskMsg`
+  in one frame (the ``ipc_batch > 1`` dispatch path).  One frame costs
+  one pickle header and one queue round trip regardless of how many
+  tasks it carries, and values repeated across the batch (latched inputs
+  that did not change, successor tuples) are pickled once and
+  back-referenced — see :class:`Interner`.
+* :class:`ResultMsg` — worker -> coordinator: one pair's outputs and
   records, or the vertex failure that occurred instead.
+* :class:`ResultBatch` — worker -> coordinator: the results of one
+  :class:`TaskBatch`, in task order.  When a task fails, the batch
+  carries every result produced *before* the failure, the error result
+  itself, and the ``(vertex, phase)`` pairs that were skipped, so the
+  coordinator can commit the survivors before surfacing the error.
 * :class:`ShutdownMsg` — coordinator -> worker: drain and exit; with
   ``collect_state=True`` the worker answers with a :class:`FinalStateMsg`
-  carrying a :meth:`~repro.core.vertex.Vertex.snapshot_state` per cached
-  behaviour, so the coordinator can re-synchronise its own program state.
+  carrying a :meth:`~repro.core.vertex.Vertex.snapshot_delta` per cached
+  behaviour (relative to its spawn-time state), so the coordinator can
+  re-synchronise its own program state by paying only for what changed.
 * :class:`WorkerCrashMsg` — worker -> coordinator: the worker loop itself
   failed (bad frame, unpicklable state, ...).  Distinct from a vertex
   failure so the engine can report the right root cause.
@@ -22,7 +34,10 @@ Framing is explicit (we pickle to bytes ourselves, then put the bytes on
 a ``multiprocessing`` queue) so both directions can be metered: the
 engine reports ``serialization_bytes`` per traffic class and
 ``ipc_round_trips`` in :attr:`RunResult.stats`.  :class:`WireStats`
-accumulates those counters coordinator-side.
+accumulates those counters coordinator-side; :func:`traffic_class_of`
+maps a decoded worker message to its class, so every received frame is
+attributed to exactly one class and the per-class byte counts sum to the
+actual pipe traffic.
 """
 
 from __future__ import annotations
@@ -35,7 +50,9 @@ from ...core.vertex import VertexContext
 
 __all__ = [
     "TaskMsg",
+    "TaskBatch",
     "ResultMsg",
+    "ResultBatch",
     "ShutdownMsg",
     "FinalStateMsg",
     "WorkerCrashMsg",
@@ -43,6 +60,8 @@ __all__ = [
     "decode",
     "task_from_context",
     "context_from_task",
+    "traffic_class_of",
+    "Interner",
     "WireStats",
 ]
 
@@ -58,6 +77,17 @@ class TaskMsg:
     changed: Tuple[str, ...]
     successors: Tuple[str, ...]
     phase_input: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class TaskBatch:
+    """Several tasks for one worker in one frame, executed in order.
+
+    A zero-length batch is legal on the wire (the worker answers with a
+    zero-length :class:`ResultBatch`); the engine never sends one.
+    """
+
+    tasks: Tuple[TaskMsg, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +111,22 @@ class ResultMsg:
 
 
 @dataclass(frozen=True, slots=True)
+class ResultBatch:
+    """The results of one :class:`TaskBatch`, in task order.
+
+    ``skipped`` lists the ``(vertex, phase)`` pairs of tasks that were
+    *not* executed because an earlier task in the batch failed (their
+    results would be discarded by the coordinator's error path anyway).
+    Results that precede an error entry are the batch's survivors: the
+    coordinator commits them before re-raising the error.
+    """
+
+    worker_id: int
+    results: Tuple[ResultMsg, ...] = ()
+    skipped: Tuple[Tuple[int, int], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
 class ShutdownMsg:
     """Drain and exit; optionally report final vertex state."""
 
@@ -89,11 +135,22 @@ class ShutdownMsg:
 
 @dataclass(frozen=True, slots=True)
 class FinalStateMsg:
-    """The worker's parting report: per-vertex state snapshots (when
-    requested), cumulative busy seconds, and executed-pair count."""
+    """The worker's parting report: per-vertex state deltas (when
+    requested), cumulative busy seconds, and executed-pair count.
+
+    ``deltas`` maps vertex name to a
+    :meth:`~repro.core.vertex.Vertex.snapshot_delta` payload taken
+    against the behaviour's spawn-time state — which is exactly the state
+    the coordinator's own copy still holds, because the compute step only
+    ever runs worker-side.  ``states`` carries full
+    :meth:`~repro.core.vertex.Vertex.snapshot_state` snapshots and is
+    kept for tooling that wants the unconditional form; the engine ships
+    deltas.
+    """
 
     worker_id: int
     states: Dict[str, Any] = field(default_factory=dict)
+    deltas: Dict[str, Any] = field(default_factory=dict)
     busy_s: float = 0.0
     executed: int = 0
 
@@ -112,20 +169,87 @@ def encode(msg: object) -> bytes:
 
 
 def decode(frame: bytes) -> object:
-    """Restore a frame produced by :func:`encode`."""
+    """Restore a frame produced by :func:`encode`.
+
+    Frames are whole pickle blobs: a truncated ("partially read") frame
+    raises ``pickle.UnpicklingError`` / ``EOFError`` rather than yielding
+    a corrupt message, which the worker loop reports as a
+    :class:`WorkerCrashMsg`.
+    """
     return pickle.loads(frame)
 
 
-def task_from_context(v: int, p: int, ctx: VertexContext) -> TaskMsg:
-    """Snapshot a prepared context into a task frame (coordinator side)."""
+class Interner:
+    """Canonicalise repeated equal values so one frame pickles them once.
+
+    ``pickle`` memoizes by object *identity*: two equal-but-distinct
+    floats cost full payload twice, the same float object twice costs a
+    2-byte back-reference.  The interner maps hashable values to one
+    canonical instance (keyed by ``(type, value)`` so ``1`` and ``1.0``
+    never alias), so repeated message values — latched inputs that did
+    not change between phases, successor tuples, recurring outputs —
+    become identical objects and collapse to memo references inside a
+    :class:`TaskBatch` / :class:`ResultBatch` frame.
+
+    Unhashable values pass through untouched.  The table is bounded; on
+    overflow it is cleared (the memoization is an encoding optimisation,
+    never a correctness requirement).
+    """
+
+    __slots__ = ("_table", "max_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._table: Dict[Any, Any] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, value: Any) -> Any:
+        try:
+            key = (type(value), value)
+            canonical = self._table.get(key)
+        except TypeError:  # unhashable: pass through
+            return value
+        if canonical is not None:
+            self.hits += 1
+            return canonical
+        if len(self._table) >= self.max_entries:
+            self._table.clear()
+        self._table[key] = value
+        self.misses += 1
+        return value
+
+    def summary(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._table)}
+
+
+def task_from_context(
+    v: int, p: int, ctx: VertexContext, interner: Optional[Interner] = None
+) -> TaskMsg:
+    """Snapshot a prepared context into a task frame (coordinator side).
+
+    With an *interner*, input values, the successor tuple and the phase
+    payload are canonicalised so repeats across a batch pickle as memo
+    back-references.
+    """
+    if interner is None:
+        inputs = dict(ctx.inputs)
+        successors: Tuple[str, ...] = tuple(ctx._successors)
+        phase_input = ctx.phase_input
+    else:
+        intern = interner.intern
+        inputs = {k: intern(val) for k, val in ctx.inputs.items()}
+        successors = intern(tuple(ctx._successors))
+        phase_input = intern(ctx.phase_input)
     return TaskMsg(
         vertex=v,
         name=ctx.name,
         phase=p,
-        inputs=dict(ctx.inputs),
+        inputs=inputs,
         changed=tuple(sorted(ctx.changed)),
-        successors=tuple(ctx._successors),
-        phase_input=ctx.phase_input,
+        successors=successors,
+        phase_input=phase_input,
     )
 
 
@@ -141,15 +265,41 @@ def context_from_task(task: TaskMsg) -> VertexContext:
     )
 
 
+def traffic_class_of(msg: object) -> str:
+    """The :class:`WireStats` class of a decoded worker->coordinator
+    message (the coordinator->worker classes are chosen at the send
+    site, where the type is statically known)."""
+    if isinstance(msg, ResultBatch):
+        return "result_batches"
+    if isinstance(msg, FinalStateMsg):
+        return "final_state"
+    # ResultMsg and WorkerCrashMsg share the single-result class, as in
+    # the PR-3 wire path.
+    return "results"
+
+
 class WireStats:
     """Byte and message counters per traffic class (coordinator side).
 
     Classes: ``warmup`` (behaviour blobs shipped at spawn), ``tasks``
-    (coordinator -> worker), ``results`` (worker -> coordinator, incl.
-    crash reports), ``final_state`` (shutdown replies).
+    (single-task frames), ``task_batches`` (:class:`TaskBatch` frames),
+    ``results`` (single-result frames, incl. crash reports),
+    ``result_batches`` (:class:`ResultBatch` frames), ``final_state``
+    (shutdown replies), ``shutdown`` (the drain requests).  Every frame
+    that crosses a queue is counted under exactly one class, so
+    ``total_bytes`` equals the actual pipe traffic plus the spawn-time
+    warmup blobs.
     """
 
-    CLASSES = ("warmup", "tasks", "results", "final_state")
+    CLASSES = (
+        "warmup",
+        "tasks",
+        "task_batches",
+        "results",
+        "result_batches",
+        "final_state",
+        "shutdown",
+    )
 
     def __init__(self) -> None:
         self.bytes: Dict[str, int] = {c: 0 for c in self.CLASSES}

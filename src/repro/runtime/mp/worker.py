@@ -9,29 +9,43 @@ exactly as it would in the serial oracle, with no state round-tripping
 per task.
 
 The loop mirrors the computation thread of Listing 1 with the critical
-sections removed: dequeue a task, execute the behaviour against the
-shipped context snapshot, send back outputs + records.  All scheduling-
-set bookkeeping stays coordinator-side, under the coordinator's lock.
+sections removed: dequeue a task (or a :class:`~.protocol.TaskBatch`),
+execute the behaviour against the shipped context snapshot, send back
+outputs + records.  A batch executes in order and answers with one
+:class:`~.protocol.ResultBatch`; output values recurring across the
+batch are interned so the reply frame pickles them once.  All
+scheduling-set bookkeeping stays coordinator-side, under the
+coordinator's lock.
+
+At startup the worker snapshots each behaviour's spawn-time state; the
+shutdown reply carries :meth:`~repro.core.vertex.Vertex.snapshot_delta`
+payloads against those baselines, so re-synchronising the coordinator
+costs bytes proportional to what actually changed.
 
 A vertex exception becomes an error :class:`~.protocol.ResultMsg` (the
 coordinator re-raises it as
 :class:`~repro.errors.VertexExecutionError`); a failure of the loop
-itself becomes a :class:`~.protocol.WorkerCrashMsg`.  Either way the
-worker keeps draining its task queue until told to shut down, so the
-coordinator never blocks on a dead letter.
+itself becomes a :class:`~.protocol.WorkerCrashMsg`.  When a batch
+reply fails to pickle, the worker salvages it result-by-result — the
+poisoned result degrades to an error entry, the survivors still ship and
+commit.  Either way the worker keeps draining its task queue until told
+to shut down, so the coordinator never blocks on a dead letter.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict
+from typing import Any, Dict, List, Tuple
 
 from ...core.vertex import Vertex
 from ...errors import VertexExecutionError
 from .protocol import (
     FinalStateMsg,
+    Interner,
+    ResultBatch,
     ResultMsg,
     ShutdownMsg,
+    TaskBatch,
     TaskMsg,
     WorkerCrashMsg,
     context_from_task,
@@ -43,7 +57,10 @@ __all__ = ["worker_main"]
 
 
 def _execute(
-    worker_id: int, behaviors: Dict[str, Vertex], task: TaskMsg
+    worker_id: int,
+    behaviors: Dict[str, Vertex],
+    task: TaskMsg,
+    interner: Interner | None = None,
 ) -> ResultMsg:
     ctx = context_from_task(task)
     started = time.perf_counter()
@@ -67,14 +84,72 @@ def _execute(
             error=f"{exc}",
             compute_s=time.perf_counter() - started,
         )
+    if interner is None:
+        outputs = dict(ctx.outputs)
+        records = tuple(ctx.records)
+    else:
+        intern = interner.intern
+        outputs = {k: intern(v) for k, v in ctx.outputs.items()}
+        records = tuple(intern(r) for r in ctx.records)
     return ResultMsg(
         worker_id=worker_id,
         vertex=task.vertex,
         phase=task.phase,
-        outputs=dict(ctx.outputs),
-        records=tuple(ctx.records),
+        outputs=outputs,
+        records=records,
         compute_s=time.perf_counter() - started,
     )
+
+
+def _encode_result_batch(
+    worker_id: int,
+    results: List[ResultMsg],
+    skipped: List[Tuple[int, int]],
+) -> bytes:
+    """Encode a batch reply, salvaging survivors if pickling fails.
+
+    A result whose outputs do not pickle would poison the whole frame;
+    instead it is downgraded to an error entry (the coordinator raises a
+    :class:`~repro.errors.VertexExecutionError` for it) and the batch's
+    later results are reported as skipped — everything that *can* commit
+    still does.
+    """
+    try:
+        return encode(
+            ResultBatch(
+                worker_id=worker_id,
+                results=tuple(results),
+                skipped=tuple(skipped),
+            )
+        )
+    except Exception:  # noqa: BLE001 - salvage the survivors
+        salvaged: List[ResultMsg] = []
+        salvaged_skips: List[Tuple[int, int]] = list(skipped)
+        for i, res in enumerate(results):
+            try:
+                encode(res)
+                salvaged.append(res)
+            except Exception as exc:  # noqa: BLE001 - the poison result
+                salvaged.append(
+                    ResultMsg(
+                        worker_id=worker_id,
+                        vertex=res.vertex,
+                        phase=res.phase,
+                        error=f"result not picklable: {exc}",
+                        compute_s=res.compute_s,
+                    )
+                )
+                salvaged_skips.extend(
+                    (r.vertex, r.phase) for r in results[i + 1 :]
+                )
+                break
+        return encode(
+            ResultBatch(
+                worker_id=worker_id,
+                results=tuple(salvaged),
+                skipped=tuple(salvaged_skips),
+            )
+        )
 
 
 def worker_main(
@@ -91,28 +166,49 @@ def worker_main(
     """
     try:
         behaviors: Dict[str, Vertex] = decode(behaviors_blob)
+        baselines: Dict[str, Any] = {
+            name: beh.snapshot_state() for name, beh in behaviors.items()
+        }
+        interner = Interner()
         busy_s = 0.0
         executed = 0
         while True:
             msg = decode(task_queue.get())
             if isinstance(msg, ShutdownMsg):
-                states: Dict[str, Any] = {}
+                deltas: Dict[str, Any] = {}
                 if msg.collect_state:
-                    states = {
-                        name: beh.snapshot_state()
+                    deltas = {
+                        name: beh.snapshot_delta(baselines[name])
                         for name, beh in behaviors.items()
                     }
                 result_queue.put(
                     encode(
                         FinalStateMsg(
                             worker_id=worker_id,
-                            states=states,
+                            deltas=deltas,
                             busy_s=busy_s,
                             executed=executed,
                         )
                     )
                 )
                 return
+            if isinstance(msg, TaskBatch):
+                results: List[ResultMsg] = []
+                skipped: List[Tuple[int, int]] = []
+                for task in msg.tasks:
+                    if results and results[-1].error is not None:
+                        # An earlier task failed: its successors in the
+                        # batch must not advance this worker's state.
+                        skipped.append((task.vertex, task.phase))
+                        continue
+                    result = _execute(worker_id, behaviors, task, interner)
+                    busy_s += result.compute_s
+                    executed += 1
+                    results.append(result)
+                result_queue.put(
+                    _encode_result_batch(worker_id, results, skipped)
+                )
+                continue
             result = _execute(worker_id, behaviors, msg)
             busy_s += result.compute_s
             executed += 1

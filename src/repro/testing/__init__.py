@@ -21,10 +21,14 @@ from .fuzz import (
     FuzzFailure,
     FuzzReport,
     RunOutcome,
+    SparseSource,
     WorkloadSpec,
     fuzz,
+    fuzz_process,
+    process_config_for_run,
     replay_failure,
     run_one,
+    run_one_process,
     shrink,
     spec_for_run,
     write_failure_artifacts,
@@ -58,15 +62,19 @@ __all__ = [
     "RoundRobinPolicy",
     "RunOutcome",
     "ScheduleStep",
+    "SparseSource",
     "SchedulingPolicy",
     "VirtualBackend",
     "VirtualScheduler",
     "VirtualTask",
     "WorkloadSpec",
     "fuzz",
+    "fuzz_process",
     "make_policy",
+    "process_config_for_run",
     "replay_failure",
     "run_one",
+    "run_one_process",
     "shrink",
     "spec_for_run",
     "write_failure_artifacts",

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis.serializability import check_serializable
 from ..core.program import Program, RunResult
 from ..core.serial import SerialExecutor
-from ..core.vertex import EMIT_NOTHING, FunctionVertex
+from ..core.vertex import EMIT_NOTHING, FunctionVertex, Vertex
 from ..events import PhaseInput
 from ..graph.generators import random_dag
 from ..runtime.engine import ParallelEngine
@@ -55,8 +55,12 @@ __all__ = [
     "RunOutcome",
     "FuzzFailure",
     "FuzzReport",
+    "SparseSource",
     "run_one",
     "fuzz",
+    "run_one_process",
+    "fuzz_process",
+    "process_config_for_run",
     "replay_failure",
     "shrink",
     "write_failure_artifacts",
@@ -103,6 +107,34 @@ class WorkloadSpec:
         program = Program(graph, behaviors, name=f"fuzz-{self.graph_seed}")
         return program, phase_signals(self.phases)
 
+    def build_picklable(self) -> Tuple[Program, List[PhaseInput]]:
+        """Like :meth:`build`, but with module-level behaviour classes so
+        the program crosses a process boundary.
+
+        The closure-based sources of :meth:`build` do not pickle; the
+        process campaign uses :class:`SparseSource` instead — same
+        value stream (pure function of ``(seed, name, phase)``), plus an
+        emission counter so the run also exercises the process backend's
+        delta state sync.
+        """
+        graph = random_dag(
+            self.n_vertices,
+            edge_prob=self.edge_prob,
+            seed=self.graph_seed,
+            name=f"fuzz-{self.graph_seed}",
+        )
+        sources = set(graph.sources())
+        behaviors = {}
+        for name in graph.vertices():
+            if name in sources:
+                behaviors[name] = SparseSource(
+                    name, self.stream_seed, self.delta_prob
+                )
+            else:
+                behaviors[name] = FunctionVertex(_latched_sum)
+        program = Program(graph, behaviors, name=f"fuzz-{self.graph_seed}")
+        return program, phase_signals(self.phases)
+
     def describe(self) -> str:
         return (
             f"N={self.n_vertices} edges~{self.edge_prob:.2f} "
@@ -133,6 +165,38 @@ def _sparse_source(name: str, seed: int, delta_prob: float):
 def _latched_sum(ctx):
     """Inner vertices correlate by summing their latched inputs."""
     return sum(ctx.inputs.values())
+
+
+class SparseSource(Vertex):
+    """Picklable Δ-sparse source for the process campaign.
+
+    Emits the same value stream as :func:`_sparse_source` (a pure
+    function of ``(seed, name, phase)``), but as a module-level class so
+    it survives pickling under the ``spawn`` start method — and with a
+    mutable emission counter, so every campaign run also exercises
+    :meth:`~repro.core.vertex.Vertex.snapshot_delta` state sync: the
+    counter must come back from the worker for final state to match the
+    serial oracle.
+    """
+
+    def __init__(self, name: str, seed: int, delta_prob: float) -> None:
+        self.name = name
+        self.seed = seed
+        self.delta_prob = delta_prob
+        self.emitted = 0
+
+    def reset(self) -> None:
+        self.emitted = 0
+
+    def on_execute(self, ctx):
+        rng = random.Random(f"{self.seed}:{self.name}:{ctx.phase}")
+        if rng.random() >= self.delta_prob:
+            return EMIT_NOTHING
+        self.emitted += 1
+        return rng.randrange(1_000_000)
+
+    def __repr__(self) -> str:
+        return f"SparseSource({self.name!r}, seed={self.seed})"
 
 
 def spec_for_run(master_seed: int, index: int, max_vertices: int = 8,
@@ -264,6 +328,7 @@ class FuzzFailure:
     trace_names: List[str]
     shrunk_spec: Optional[WorkloadSpec] = None
     batch_size: int = 1
+    engine_config: Optional[Dict[str, object]] = None
 
     def summary(self) -> str:
         lines = [
@@ -272,6 +337,11 @@ class FuzzFailure:
             f"  workload: {self.spec.describe()}",
             f"  policy:   {self.policy_name}(seed={self.policy_seed})",
             f"  batch:    {self.batch_size}",
+            *(
+                [f"  engine:   {self.engine_config!r}"]
+                if self.engine_config is not None
+                else []
+            ),
             f"  reason:   {self.reason}",
             f"  replay:   repro fuzz --seed {self.master_seed} "
             f"--runs {self.run_index + 1}  (or run_one(spec, "
@@ -298,6 +368,7 @@ class FuzzFailure:
             "shrunk_spec": (
                 asdict(self.shrunk_spec) if self.shrunk_spec is not None else None
             ),
+            "engine_config": self.engine_config,
         }
 
 
@@ -392,6 +463,141 @@ def fuzz(
         distinct_interleavings=len(hashes),
         total_steps=total_steps,
         total_checks=total_checks,
+        failures=failures,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The process-engine campaign
+# ---------------------------------------------------------------------------
+
+
+def process_config_for_run(master_seed: int, index: int) -> Dict[str, object]:
+    """Derive run *index*'s process-engine knobs from the master seed.
+
+    Sweeps the wire-path configuration space: worker count, commit batch
+    size, dispatch batch (``ipc_batch``) and credit window (fixed small,
+    fixed deep, or adaptive) — the knobs whose interaction with readiness
+    gating the campaign is meant to stress.
+    """
+    rs = random.Random(f"fuzz-process:{master_seed}:{index}")
+    ipc_batch = rs.choice([1, 2, 3, 8])
+    return {
+        "workers": rs.randint(1, 3),
+        "batch_size": rs.choice([1, 4]),
+        "ipc_batch": ipc_batch,
+        "window": rs.choice([None, 1, 2, 4 * ipc_batch]),
+    }
+
+
+def run_one_process(
+    spec: WorkloadSpec,
+    config: Dict[str, object],
+    start_method: str = "spawn",
+) -> RunOutcome:
+    """Run *spec* on the process engine under *config*; judge vs serial.
+
+    Unlike :func:`run_one` there is no virtual scheduler — real processes
+    interleave freely — so the judgement is serializability plus final
+    behaviour state (the delta-sync check: every worker-side mutation
+    must be reflected coordinator-side after shutdown).
+    """
+    from ..runtime.mp import ProcessEngine
+
+    program, phases = spec.build_picklable()
+    serial = SerialExecutor(program).run(phases)
+    serial_state = {
+        name: beh.snapshot_state() for name, beh in program.behaviors.items()
+    }
+    desc = (
+        f"process[w={config['workers']},b={config['batch_size']},"
+        f"ipc={config['ipc_batch']},win={config['window']},"
+        f"{start_method}]"
+    )
+    outcome = RunOutcome(spec=spec, policy_desc=desc, passed=False)
+    engine = ProcessEngine(
+        program,
+        num_workers=int(config["workers"]),
+        batch_size=int(config["batch_size"]),
+        ipc_batch=int(config["ipc_batch"]),
+        window=config["window"],  # type: ignore[arg-type]
+        start_method=start_method,
+    )
+    try:
+        result = engine.run(phases)
+    except Exception as exc:  # noqa: BLE001 - judged, not a harness crash
+        outcome.error = exc
+        outcome.serial = serial
+        outcome.reason = f"engine raised {type(exc).__name__}: {exc}"
+        return outcome
+    outcome.serial = serial
+    outcome.parallel = result
+    outcome.steps = result.execution_count
+    report = check_serializable(serial, result)
+    if not report:
+        outcome.reason = f"serializability violated: {report}"
+        return outcome
+    for name, expected in serial_state.items():
+        got = program.behaviors[name].snapshot_state()
+        if got != expected:
+            outcome.reason = (
+                f"final state diverged at {name!r}: "
+                f"serial {expected!r} != process {got!r}"
+            )
+            return outcome
+    outcome.passed = True
+    return outcome
+
+
+def fuzz_process(
+    runs: int = 8,
+    seed: int = 0,
+    stop_on_failure: bool = True,
+    max_vertices: int = 6,
+    max_phases: int = 5,
+    start_method: str = "spawn",
+) -> FuzzReport:
+    """Explore *runs* random workloads across process wire-path configs.
+
+    Each run derives a workload (small graphs — every run pays real
+    process spawns) and a ``(workers, batch_size, ipc_batch, window)``
+    configuration from the master seed, runs it on the
+    :class:`~repro.runtime.mp.ProcessEngine` and judges it against the
+    serial oracle — results *and* final behaviour state.  Defaults to
+    the ``spawn`` start method, the strictest pickling path.
+    """
+    failures: List[FuzzFailure] = []
+    configs: Dict[str, int] = {}
+    total_steps = 0
+    i = -1
+    for i in range(runs):
+        spec = spec_for_run(seed, i, max_vertices, max_phases, threads=2)
+        config = process_config_for_run(seed, i)
+        outcome = run_one_process(spec, config, start_method=start_method)
+        configs[outcome.policy_desc] = configs.get(outcome.policy_desc, 0) + 1
+        total_steps += outcome.steps
+        if not outcome.passed:
+            failures.append(
+                FuzzFailure(
+                    run_index=i,
+                    master_seed=seed,
+                    spec=spec,
+                    policy_name="process",
+                    policy_seed=0,
+                    reason=outcome.reason,
+                    trace_names=[],
+                    batch_size=int(config["batch_size"]),
+                    engine_config=dict(config, start_method=start_method),
+                )
+            )
+            if stop_on_failure:
+                break
+    return FuzzReport(
+        runs=i + 1 if runs else 0,
+        master_seed=seed,
+        distinct_interleavings=len(configs),
+        total_steps=total_steps,
+        total_checks=0,
         failures=failures,
     )
 

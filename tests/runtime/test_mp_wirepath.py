@@ -1,0 +1,568 @@
+"""Tests for the batched wire path of the process backend.
+
+Covers the PR-4 surface: ``TaskBatch``/``ResultBatch`` framing (including
+the edge cases — truncated frames, zero-length batches, failures and
+crashes mid-batch), the :class:`~repro.runtime.mp.protocol.Interner`,
+:func:`~repro.core.state.drain_ready_batches`, delta state sync
+(:meth:`~repro.core.vertex.Vertex.snapshot_delta`), the adaptive credit
+window, and the byte-metering regression check (per-class wire stats
+must sum to the actual coordinator-side queue traffic).
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.analysis.serializability import assert_serializable
+from repro.core.serial import SerialExecutor
+from repro.core.state import drain_ready_batches
+from repro.core.program import Program
+from repro.core.vertex import Vertex
+from repro.errors import EngineError, SchedulerError, VertexExecutionError
+from repro.events import PhaseInput
+from repro.graph.model import ComputationGraph
+from repro.runtime.mp import ProcessEngine
+from repro.runtime.mp.lifecycle import ProcessWorkerPool
+from repro.runtime.mp.protocol import (
+    Interner,
+    ResultBatch,
+    ResultMsg,
+    TaskBatch,
+    TaskMsg,
+    decode,
+    encode,
+)
+from repro.streams.workloads import grid_workload
+from repro.testing import fuzz_process
+
+from tests.conftest import make_chain_program, signals
+
+
+# ---------------------------------------------------------------------------
+# Protocol framing edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestBatchFraming:
+    def test_task_batch_round_trip(self):
+        tasks = tuple(
+            TaskMsg(
+                vertex=1, name="a", phase=p, inputs={"x": p},
+                changed=("x",), successors=("b",),
+            )
+            for p in range(1, 4)
+        )
+        batch = TaskBatch(tasks)
+        assert decode(encode(batch)) == batch
+
+    def test_result_batch_round_trip(self):
+        batch = ResultBatch(
+            worker_id=1,
+            results=(
+                ResultMsg(worker_id=1, vertex=2, phase=3, outputs={"b": 9}),
+                ResultMsg(worker_id=1, vertex=2, phase=4, error="boom"),
+            ),
+            skipped=((2, 5), (2, 6)),
+        )
+        assert decode(encode(batch)) == batch
+
+    def test_truncated_frame_raises_not_corrupts(self):
+        # Frames are whole pickle blobs: a partial read must fail loudly,
+        # never yield a half-parsed message.
+        frame = encode(TaskBatch((TaskMsg(
+            vertex=1, name="a", phase=1, inputs={},
+            changed=(), successors=(),
+        ),)))
+        for cut in (1, len(frame) // 2, len(frame) - 1):
+            with pytest.raises((pickle.UnpicklingError, EOFError,
+                                AttributeError, IndexError)):
+                decode(frame[:cut])
+
+    def test_zero_length_batch_is_legal_on_wire(self):
+        # The engine never sends one, but a zero-length TaskBatch must
+        # not wedge or crash a worker: it answers with an empty
+        # ResultBatch and keeps serving.
+        prog = make_chain_program(2, {1: "x"})
+        pool = ProcessWorkerPool(prog, num_workers=1)
+        try:
+            pool.start()
+            pool.submit_to_worker(0, encode(TaskBatch(())), "task_batches")
+            msg = pool.collect(timeout=30.0)
+            assert msg == ResultBatch(worker_id=0, results=(), skipped=())
+            finals = pool.shutdown(timeout=30.0)
+            assert 0 in finals
+        finally:
+            pool.terminate()
+
+
+class _BoomAtPhase2(Vertex):
+    def on_execute(self, ctx):
+        if ctx.phase == 2:
+            raise ValueError("kaboom")
+        return ("ok", ctx.phase)
+
+
+def _solo_program(behavior: Vertex) -> Program:
+    g = ComputationGraph("solo")
+    g.add_vertex("a")
+    return Program(g, {"a": behavior})
+
+
+class TestMidBatchFailure:
+    def test_worker_reports_survivors_and_skips(self):
+        # A batch [a@1, a@2(fails), a@3]: the reply must carry a@1's
+        # result, a@2's error entry, and a@3 as skipped — never a@3
+        # executed out of order past the failure.
+        prog = _solo_program(_BoomAtPhase2())
+        pool = ProcessWorkerPool(prog, num_workers=1)
+        try:
+            pool.start()
+            tasks = tuple(
+                TaskMsg(vertex=1, name="a", phase=p, inputs={},
+                        changed=(), successors=())
+                for p in (1, 2, 3)
+            )
+            pool.submit_to_worker(0, encode(TaskBatch(tasks)), "task_batches")
+            msg = pool.collect(timeout=30.0)
+            assert isinstance(msg, ResultBatch)
+            assert [r.phase for r in msg.results] == [1, 2]
+            assert msg.results[0].error is None
+            assert msg.results[0].records == (("ok", 1),)
+            assert "kaboom" in msg.results[1].error
+            assert msg.skipped == ((1, 3),)
+        finally:
+            pool.terminate()
+
+    def test_engine_surfaces_error_and_stays_reusable(self):
+        prog = _solo_program(_BoomAtPhase2())
+        engine = ProcessEngine(prog, num_workers=1, ipc_batch=4)
+        with pytest.raises(VertexExecutionError) as exc_info:
+            engine.run([PhaseInput(p, float(p)) for p in range(1, 5)])
+        assert exc_info.value.vertex == "a"
+        assert exc_info.value.phase == 2
+        res = engine.run([PhaseInput(1, 1.0)])
+        assert res.execution_count == 1
+
+
+class _UnpicklableResult(Vertex):
+    def on_execute(self, ctx):
+        if ctx.phase == 2:
+            return lambda x: x  # poisons the reply frame
+        return ("ok", ctx.phase)
+
+
+class _ExitHard(Vertex):
+    def on_execute(self, ctx):
+        if ctx.phase == 2:
+            os._exit(3)  # simulates a worker death mid-batch
+        return ("ok", ctx.phase)
+
+
+class TestMidBatchCrash:
+    def test_unpicklable_result_degrades_to_error(self):
+        # The reply frame cannot pickle: the worker salvages it
+        # result-by-result, so the coordinator still gets the survivors
+        # and a VertexExecutionError for the poison result — not a
+        # wedged run or a WorkerCrashMsg.
+        prog = _solo_program(_UnpicklableResult())
+        engine = ProcessEngine(prog, num_workers=1, ipc_batch=4)
+        with pytest.raises(VertexExecutionError, match="not picklable"):
+            engine.run([PhaseInput(p, float(p)) for p in range(1, 5)])
+
+    def test_worker_death_mid_batch_is_clean_engine_error(self):
+        prog = _solo_program(_ExitHard())
+        engine = ProcessEngine(prog, num_workers=1, ipc_batch=4,
+                               join_timeout=30.0)
+        with pytest.raises(EngineError, match="died|crashed"):
+            engine.run([PhaseInput(p, float(p)) for p in range(1, 5)])
+
+
+# ---------------------------------------------------------------------------
+# drain_ready_batches
+# ---------------------------------------------------------------------------
+
+
+class TestDrainReadyBatches:
+    def test_routes_by_assignment_and_chunks(self):
+        from collections import deque
+
+        pending = deque([(v, 1) for v in range(1, 8)])
+        batches, starved = drain_ready_batches(
+            pending, lambda v: (v - 1) % 2, lambda w: 99, chunk=2
+        )
+        assert not pending and not starved
+        assert [(w, pairs) for w, pairs in batches] == [
+            (0, [(1, 1), (3, 1)]),
+            (0, [(5, 1), (7, 1)]),
+            (1, [(2, 1), (4, 1)]),
+            (1, [(6, 1)]),
+        ]
+
+    def test_respects_capacity_and_reports_starvation(self):
+        from collections import deque
+
+        pending = deque([(1, p) for p in range(1, 6)])
+        batches, starved = drain_ready_batches(
+            pending, lambda v: 0, lambda w: 2, chunk=8
+        )
+        assert batches == [(0, [(1, 1), (1, 2)])]
+        assert starved == {0}
+        # Leftovers keep their order — the per-worker FIFO the phase
+        # ordering argument relies on.
+        assert list(pending) == [(1, 3), (1, 4), (1, 5)]
+
+    def test_zero_capacity_takes_nothing(self):
+        from collections import deque
+
+        pending = deque([(1, 1)])
+        batches, starved = drain_ready_batches(
+            pending, lambda v: 0, lambda w: 0, chunk=4
+        )
+        assert batches == [] and starved == {0}
+        assert list(pending) == [(1, 1)]
+
+    def test_invalid_chunk_rejected(self):
+        from collections import deque
+
+        with pytest.raises(SchedulerError):
+            drain_ready_batches(deque(), lambda v: 0, lambda w: 1, chunk=0)
+
+
+# ---------------------------------------------------------------------------
+# Interner
+# ---------------------------------------------------------------------------
+
+
+class TestInterner:
+    def test_equal_values_collapse_to_one_object(self):
+        interner = Interner()
+        a = interner.intern(1000 + 24)
+        b = interner.intern(1000 + 24)
+        assert a is b
+        assert interner.hits == 1 and interner.misses == 1
+
+    def test_type_distinguishes_keys(self):
+        interner = Interner()
+        assert interner.intern(1) is not interner.intern(1.0)
+        assert interner.misses == 2
+
+    def test_unhashable_passes_through(self):
+        interner = Interner()
+        value = [1, 2, 3]
+        assert interner.intern(value) is value
+        assert interner.summary()["entries"] == 0
+
+    def test_table_bounded(self):
+        interner = Interner(max_entries=4)
+        for i in range(10):
+            interner.intern(f"v{i}")
+        assert len(interner._table) <= 4
+
+    def test_interned_batch_frame_is_smaller(self):
+        def fresh_payload():
+            # Equal but distinct objects each call — what latched inputs
+            # across separately prepared contexts look like.
+            return "".join(["a repeated latched value"] * 4)
+
+        tasks_plain = []
+        tasks_interned = []
+        interner = Interner()
+        for p in range(1, 9):
+            tasks_plain.append(TaskMsg(
+                vertex=1, name="a", phase=p,
+                inputs={"x": fresh_payload()}, changed=(), successors=("b",),
+            ))
+            tasks_interned.append(TaskMsg(
+                vertex=1, name="a", phase=p,
+                inputs={"x": interner.intern(fresh_payload())},
+                changed=(), successors=("b",),
+            ))
+        plain = encode(TaskBatch(tuple(tasks_plain)))
+        interned = encode(TaskBatch(tuple(tasks_interned)))
+        assert len(interned) < len(plain)
+
+
+# ---------------------------------------------------------------------------
+# Delta state sync
+# ---------------------------------------------------------------------------
+
+
+class _WeirdEq:
+    """Equality that raises — the conservative diff must ship it."""
+
+    def __eq__(self, other):
+        raise RuntimeError("ambiguous")
+
+    def __hash__(self):  # pragma: no cover - never hashed
+        return 0
+
+
+class _CustomSnapshot(Vertex):
+    def __init__(self):
+        self.total = 0
+
+    def snapshot_state(self):
+        return {"total": self.total}
+
+    def restore_state(self, snapshot):
+        self.total = snapshot["total"]
+
+    def on_execute(self, ctx):  # pragma: no cover - not executed
+        return None
+
+
+class TestSnapshotDelta:
+    def test_dict_diff_ships_only_changes(self):
+        class Counter(Vertex):
+            def __init__(self):
+                self.config = ("fixed", "tuple")
+                self.count = 0
+
+            def on_execute(self, ctx):  # pragma: no cover
+                return None
+
+        v = Counter()
+        baseline = v.snapshot_state()
+        v.count = 7
+        kind, changed, removed = v.snapshot_delta(baseline)
+        assert kind == "dict"
+        assert changed == {"count": 7}
+        assert removed == ()
+
+    def test_apply_delta_round_trips(self):
+        class Counter(Vertex):
+            def __init__(self):
+                self.count = 0
+                self.gone = "soon"
+
+            def on_execute(self, ctx):  # pragma: no cover
+                return None
+
+        worker_side = Counter()
+        coordinator_side = Counter()
+        baseline = worker_side.snapshot_state()
+        worker_side.count = 3
+        del worker_side.gone
+        worker_side.new = "appeared"
+        coordinator_side.apply_delta(worker_side.snapshot_delta(baseline))
+        assert coordinator_side.snapshot_state() == (
+            worker_side.snapshot_state()
+        )
+
+    def test_unreliable_equality_is_shipped(self):
+        class Holder(Vertex):
+            def __init__(self):
+                self.weird = _WeirdEq()
+
+            def on_execute(self, ctx):  # pragma: no cover
+                return None
+
+        v = Holder()
+        baseline = v.snapshot_state()
+        kind, changed, _removed = v.snapshot_delta(baseline)
+        assert kind == "dict"
+        assert "weird" in changed  # conservatively treated as changed
+
+    def test_custom_snapshot_falls_back_to_full(self):
+        v = _CustomSnapshot()
+        baseline = v.snapshot_state()
+        v.total = 5
+        delta = v.snapshot_delta(baseline)
+        assert delta == ("full", {"total": 5})
+        peer = _CustomSnapshot()
+        peer.apply_delta(delta)
+        assert peer.total == 5
+
+    def test_unknown_delta_kind_rejected(self):
+        with pytest.raises(VertexExecutionError):
+            _CustomSnapshot().apply_delta(("nonsense", {}))
+
+
+# ---------------------------------------------------------------------------
+# The batched engine end to end
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedEngine:
+    @pytest.mark.parametrize("ipc_batch,window", [
+        (2, None), (8, None), (8, 4), (4, 1), (3, 2),
+    ])
+    def test_matches_serial_oracle(self, ipc_batch, window):
+        prog, phases = grid_workload(3, 3, phases=12, seed=6)
+        serial = SerialExecutor(prog).run(phases)
+        par = ProcessEngine(
+            prog, num_workers=2, batch_size=4,
+            ipc_batch=ipc_batch, window=window,
+        ).run(phases)
+        assert_serializable(serial, par)
+        assert par.records == serial.records
+
+    def test_round_trips_scale_with_batches_not_executions(self):
+        prog, phases = grid_workload(4, 2, phases=10, seed=1)
+        res = ProcessEngine(
+            prog, num_workers=2, batch_size=4, ipc_batch=4
+        ).run(phases)
+        assert res.stats["ipc_round_trips"] < res.execution_count
+        wire = res.stats["serialization_bytes"]
+        assert wire["task_batches"]["messages"] == (
+            res.stats["ipc_round_trips"]
+        )
+        assert wire["tasks"]["messages"] == 0
+        assert wire["result_batches"]["messages"] >= 1
+        assert res.stats["ipc"]["mean_tasks_per_frame"] > 1.0
+
+    def test_label_and_ipc_stats_schema(self):
+        prog, phases = grid_workload(3, 2, phases=6, seed=3)
+        res = ProcessEngine(
+            prog, num_workers=2, batch_size=4, ipc_batch=8, window=4
+        ).run(phases)
+        assert res.engine == "process[w=2,b=4,ipc=8,win=4]"
+        ipc = res.stats["ipc"]
+        assert ipc["ipc_batch"] == 8
+        assert ipc["window"] == 4
+        assert set(ipc["window_final"]) == {0, 1}
+        assert ipc["task_frames"] == res.stats["ipc_round_trips"]
+        assert ipc["interning"]["misses"] >= 0
+
+    def test_default_path_is_unchanged(self):
+        # ipc_batch=1 must reproduce the PR-3 wire path: one TaskMsg
+        # frame per executed pair, no batch frames, no interning.
+        prog, phases = grid_workload(3, 2, phases=6, seed=3)
+        res = ProcessEngine(prog, num_workers=2).run(phases)
+        assert res.engine == "process[w=2]"
+        wire = res.stats["serialization_bytes"]
+        assert wire["tasks"]["messages"] == res.execution_count
+        assert wire["task_batches"]["messages"] == 0
+        assert wire["result_batches"]["messages"] == 0
+        assert res.stats["ipc"]["window"] == "adaptive"
+        assert res.stats["ipc"]["interning"] is None
+
+    def test_adaptive_window_widens_under_backlog(self):
+        prog, phases = grid_workload(4, 3, phases=20, seed=2)
+        res = ProcessEngine(
+            prog, num_workers=2, batch_size=4, ipc_batch=2
+        ).run(phases)
+        ipc = res.stats["ipc"]
+        assert ipc["window"] == "adaptive"
+        assert ipc["window_peak"] >= 2
+        assert ipc["window_widenings"] >= 1
+
+    def test_invalid_knobs_rejected(self):
+        prog = make_chain_program(2, {})
+        with pytest.raises(EngineError):
+            ProcessEngine(prog, ipc_batch=0)
+        with pytest.raises(EngineError):
+            ProcessEngine(prog, window=0)
+
+    def test_post_run_state_matches_serial_via_deltas(self):
+        # Sources mutate worker-side state (RNG advance); after the run
+        # the coordinator's program must hold it, shipped as deltas.
+        from tests.models.test_pickling import normalized
+
+        prog, phases = grid_workload(3, 3, phases=10, seed=9)
+        SerialExecutor(prog).run(phases)
+        expected = {
+            n: normalized(b.snapshot_state())
+            for n, b in prog.behaviors.items()
+        }
+        ProcessEngine(prog, num_workers=2, ipc_batch=4).run(phases)
+        actual = {
+            n: normalized(b.snapshot_state())
+            for n, b in prog.behaviors.items()
+        }
+        assert actual == expected
+
+
+# ---------------------------------------------------------------------------
+# Byte-metering regression: per-class sums == actual queue traffic
+# ---------------------------------------------------------------------------
+
+
+class _MeteredQueue:
+    """Wraps a multiprocessing queue, recording coordinator-side frame
+    sizes (the workers hold references to the real queue)."""
+
+    def __init__(self, inner, ledger):
+        self._inner = inner
+        self._ledger = ledger
+
+    def put(self, frame):
+        self._ledger.append(len(frame))
+        self._inner.put(frame)
+
+    def get(self, *args, **kwargs):
+        frame = self._inner.get(*args, **kwargs)
+        self._ledger.append(len(frame))
+        return frame
+
+    def get_nowait(self):
+        frame = self._inner.get_nowait()
+        self._ledger.append(len(frame))
+        return frame
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestMeteringRegression:
+    @pytest.mark.parametrize("ipc_batch", [1, 4])
+    def test_per_class_bytes_sum_to_pipe_traffic(self, monkeypatch,
+                                                 ipc_batch):
+        # Independently meter every byte the coordinator moves through
+        # the queues, then require the engine's per-class accounting to
+        # sum to exactly that (plus the warmup blobs, which travel via
+        # process spawn, not a queue).
+        sent, received = [], []
+        original_start = ProcessWorkerPool.start
+
+        def recording_start(self):
+            original_start(self)
+            self.result_queue = _MeteredQueue(self.result_queue, received)
+            self._task_queues = [
+                _MeteredQueue(q, sent) for q in self._task_queues
+            ]
+
+        monkeypatch.setattr(ProcessWorkerPool, "start", recording_start)
+        prog, phases = grid_workload(3, 3, phases=8, seed=4)
+        res = ProcessEngine(
+            prog, num_workers=2, batch_size=4, ipc_batch=ipc_batch
+        ).run(phases)
+        wire = res.stats["serialization_bytes"]
+        sent_classes = ("tasks", "task_batches", "shutdown")
+        recv_classes = ("results", "result_batches", "final_state")
+        assert sum(wire[c]["bytes"] for c in sent_classes) == sum(sent)
+        assert sum(wire[c]["bytes"] for c in recv_classes) == sum(received)
+        assert sum(wire[c]["messages"] for c in sent_classes) == len(sent)
+        assert sum(wire[c]["messages"] for c in recv_classes) == (
+            len(received)
+        )
+        # And the grand total is queue traffic plus the warmup blobs.
+        assert wire["total_bytes"] == (
+            sum(sent) + sum(received) + wire["warmup"]["bytes"]
+        )
+        assert wire["final_state"]["messages"] == 2  # one per worker
+        assert wire["shutdown"]["messages"] == 2
+
+
+# ---------------------------------------------------------------------------
+# The process fuzz campaign
+# ---------------------------------------------------------------------------
+
+
+class TestProcessFuzzCampaign:
+    def test_small_campaign_is_clean(self):
+        report = fuzz_process(
+            runs=3, seed=7, max_vertices=5, max_phases=4,
+            start_method="fork",
+        )
+        assert report.ok, report.summary()
+        assert report.runs == 3
+        assert report.total_steps > 0
+
+    def test_campaign_configs_are_deterministic(self):
+        from repro.testing import process_config_for_run
+
+        assert process_config_for_run(7, 0) == process_config_for_run(7, 0)
+        configs = [process_config_for_run(7, i) for i in range(12)]
+        assert len({tuple(sorted(c.items(), key=str)) for c in configs}) > 1
