@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--window", type=int, default=0,
                      help="per-worker in-flight credit window for "
                           "--engine process (default 0: adaptive)")
+    run.add_argument("--fuse", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="compile the graph with linear-chain vertex "
+                          "fusion before scheduling (default on; "
+                          "--no-fuse schedules the original graph)")
     run.add_argument("--check", action="store_true",
                      help="also run the serial oracle and verify "
                           "serializability")
@@ -151,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--batch-size", type=int, default=1,
                       help="worker commit batch size: explore the batched "
                            "commit path (default 1: the unbatched engine)")
+    fuzz.add_argument("--fuse", action="store_true",
+                      help="run the campaign over fused execution plans: "
+                           "each random workload is compiled with "
+                           "linear-chain fusion before the engine runs it, "
+                           "still judged against the unfused serial oracle")
     fuzz.add_argument("--failure-artifacts", metavar="DIR", default=None,
                       help="on failure, write one JSON reproduction file "
                            "(seed, spec, policy, step trace) per failure "
@@ -167,23 +177,25 @@ def _load(path: str):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from .analysis import check_serializable
+    from .core.plan import compile_plan
     from .core.serial import SerialExecutor
 
     spec = _load(args.spec)
     phases = spec.phase_inputs()
+    plan = compile_plan(spec.program, fuse=args.fuse)
     if args.engine == "serial":
-        result = SerialExecutor(spec.program).run(phases)
+        result = SerialExecutor(plan).run(phases)
     elif args.engine == "parallel":
         from .runtime.engine import ParallelEngine
 
         result = ParallelEngine(
-            spec.program, num_threads=args.threads, batch_size=args.batch_size
+            plan, num_threads=args.threads, batch_size=args.batch_size
         ).run(phases)
     elif args.engine == "process":
         from .runtime.mp import ProcessEngine
 
         result = ProcessEngine(
-            spec.program,
+            plan,
             num_workers=args.workers,
             batch_size=args.batch_size,
             start_method=args.start_method,
@@ -194,7 +206,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .simulator import CostModel, SimulatedEngine
 
         result = SimulatedEngine(
-            spec.program,
+            plan,
             num_workers=args.workers,
             num_processors=args.processors,
             cost_model=CostModel(),
@@ -204,6 +216,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"{result.execution_count} pair executions, "
           f"{result.message_count} messages, "
           f"wall/virtual time {result.wall_time:.4f}")
+    fusion = result.stats.get("fusion") if result.stats else None
+    if fusion:
+        print(f"fusion: {fusion['original_vertices']} vertices -> "
+              f"{fusion['plan_vertices']} stages "
+              f"({fusion['fused_stages']} fused), "
+              f"{fusion['scheduled_pairs']} scheduled pairs for "
+              f"{fusion['member_executions']} member executions")
 
     if args.stats_json is not None:
         import json
@@ -374,6 +393,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             stop_on_failure=not args.keep_going,
             max_vertices=args.max_vertices,
             max_phases=args.max_phases,
+            fuse=args.fuse,
         )
         print(report.summary())
         if args.failure_artifacts and report.failures:
@@ -393,6 +413,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_vertices=args.max_vertices,
         max_phases=args.max_phases,
         batch_size=args.batch_size,
+        fuse=args.fuse,
     )
     print(report.summary())
     if args.failure_artifacts and report.failures:

@@ -14,9 +14,10 @@
   serializability evidence, pipelining measurements).
 """
 
-from .state import SchedulerState, Pair
+from .state import SchedulerState, Pair, ReadyFrontier
 from .invariants import InvariantChecker
 from .program import Program, PairRuntime, RunResult
+from .plan import ExecutionPlan, FusedVertex, FusedTrace, compile_plan, as_plan
 from .vertex import (
     Vertex,
     SourceVertex,
@@ -33,8 +34,14 @@ from .ports import EdgeStore
 __all__ = [
     "SchedulerState",
     "Pair",
+    "ReadyFrontier",
     "InvariantChecker",
     "Program",
+    "ExecutionPlan",
+    "FusedVertex",
+    "FusedTrace",
+    "compile_plan",
+    "as_plan",
     "PairRuntime",
     "RunResult",
     "Vertex",

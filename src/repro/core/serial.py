@@ -18,9 +18,10 @@ consumer.
 from __future__ import annotations
 
 import time
-from typing import List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple, Union
 
 from ..events import PhaseInput
+from .plan import ExecutionPlan, as_plan
 from .program import PairRuntime, Program, RunResult
 
 __all__ = ["SerialExecutor"]
@@ -45,11 +46,13 @@ class SerialExecutor:
     [(1, 42)]
     """
 
-    def __init__(self, program: Program) -> None:
-        self.program = program
+    def __init__(self, program: Union[Program, ExecutionPlan]) -> None:
+        self.plan = as_plan(program)
+        self.program = self.plan.program
 
     def run(self, phase_inputs: Sequence[PhaseInput]) -> RunResult:
         """Run every phase serially; returns the :class:`RunResult`."""
+        phase_inputs = self.plan.localize_phase_inputs(phase_inputs)
         self.program.reset()
         runtime = PairRuntime(self.program, phase_inputs)
         n = self.program.n
@@ -67,4 +70,6 @@ class SerialExecutor:
                 # ascending scan will reach it later in this same phase.
                 has_message.update(targets)
         elapsed = time.perf_counter() - started
-        return runtime.build_result("serial", executions, elapsed)
+        return self.plan.translate(
+            runtime.build_result("serial", executions, elapsed)
+        )

@@ -42,12 +42,34 @@ Fidelity notes
   definitions (7)-(9) and compares.
 * Every ``x_p`` is nondecreasing over a run; the state asserts this, and
   the pair-set structures exploit it (pop-prefix operations).
+
+Indexed frontier
+----------------
+The hot-path observers never rebuild sets:
+
+* ``partial_set`` / ``full_set`` / ``ready_set`` snapshots are cached
+  against a mutation generation counter, so any number of reads between
+  two mutations constructs at most one frozenset each (and stats paths
+  avoid even that — see below).  ``snapshot_builds`` counts the
+  constructions, which the tests pin.
+* :meth:`SchedulerState.is_ready` answers pair membership in O(1) without
+  materialising a snapshot.
+* ``ready_backlog`` is a plain length; :meth:`in_flight_phases` exploits
+  the **complete-prefix property** — the ``x_i <= x_{i-1}`` clamp forces
+  complete phases to form the prefix ``1..complete_phase_count`` of the
+  started phases — so it is O(in-flight) with no scan over ``x``.
+* :class:`ReadyFrontier` keeps the dispatch backlog pre-partitioned by
+  worker, so draining it is O(pairs drained + workers with backlog)
+  instead of the O(total pending) sweep of :func:`drain_ready_batches`
+  (kept as the reference implementation).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import (
     Callable,
+    Deque,
     Dict,
     FrozenSet,
     Iterable,
@@ -62,7 +84,7 @@ from ..errors import DuplicateExecutionError, SchedulerError
 from ..graph.numbering import Numbering
 from .pairsets import LazyMinHeap
 
-__all__ = ["SchedulerState", "Pair", "drain_ready_batches"]
+__all__ = ["SchedulerState", "Pair", "drain_ready_batches", "ReadyFrontier"]
 
 Pair = Tuple[int, int]
 """A vertex-phase pair ``(v, p)``: vertex index ``v`` executing phase ``p``."""
@@ -117,6 +139,89 @@ def drain_ready_batches(
         for i in range(0, len(pairs), chunk):
             batches.append((w, pairs[i : i + chunk]))
     return batches, starved
+
+
+class ReadyFrontier:
+    """The dispatch backlog, pre-partitioned by sticky worker.
+
+    Where :func:`drain_ready_batches` sweeps the whole pending deque on
+    every dispatch attempt — O(total pending), even when most pairs
+    belong to credit-starved workers — this index routes each ready pair
+    to its worker's FIFO bucket **once, at insertion** (``assign`` is the
+    sticky map, so a vertex's bucket never changes), and a drain touches
+    only the pairs it actually takes plus the workers that still hold a
+    backlog.  Per-worker FIFO order, which the phase-order/serializability
+    argument relies on, is preserved by construction: a bucket is only
+    ever appended to, prepended to (requeues), or popped from the front.
+
+    The frontier never consults scheduler internals: it only holds pairs
+    the :class:`SchedulerState` mutators already returned as ready, so it
+    cannot weaken the exactly-once placement argument.
+    """
+
+    __slots__ = ("_assign", "_buckets", "_backlog", "_len")
+
+    def __init__(self, assign: Callable[[int], int]) -> None:
+        self._assign = assign
+        self._buckets: Dict[int, Deque[Pair]] = {}
+        self._backlog: Set[int] = set()  # workers with a non-empty bucket
+        self._len = 0
+
+    def push(self, pairs: Iterable[Pair]) -> None:
+        """Append newly ready pairs (FIFO per worker)."""
+        for pair in pairs:
+            w = self._assign(pair[0])
+            bucket = self._buckets.get(w)
+            if bucket is None:
+                bucket = self._buckets[w] = deque()
+            bucket.append(pair)
+            self._backlog.add(w)
+            self._len += 1
+
+    def push_front(self, worker: int, pairs: Sequence[Pair]) -> None:
+        """Put *pairs* back at the head of *worker*'s bucket, preserving
+        their relative order (the requeue path for skipped tasks)."""
+        bucket = self._buckets.get(worker)
+        if bucket is None:
+            bucket = self._buckets[worker] = deque()
+        for pair in reversed(pairs):
+            bucket.appendleft(pair)
+            self._len += 1
+        if bucket:
+            self._backlog.add(worker)
+
+    def drain(
+        self, capacity: Callable[[int], int], chunk: int
+    ) -> Tuple[List[Tuple[int, List[Pair]]], Set[int]]:
+        """Take up to ``capacity(w)`` pairs per backlogged worker.
+
+        Same contract as :func:`drain_ready_batches` — batches of at most
+        *chunk* pairs each, plus the set of workers left starved for
+        credit — but O(pairs drained + backlogged workers).
+        """
+        if chunk < 1:
+            raise SchedulerError(f"chunk must be >= 1, got {chunk}")
+        batches: List[Tuple[int, List[Pair]]] = []
+        starved: Set[int] = set()
+        for w in sorted(self._backlog):
+            bucket = self._buckets[w]
+            take = min(len(bucket), max(0, capacity(w)))
+            if take < len(bucket):
+                starved.add(w)
+            if take:
+                pairs = [bucket.popleft() for _ in range(take)]
+                self._len -= take
+                for i in range(0, take, chunk):
+                    batches.append((w, pairs[i : i + chunk]))
+            if not bucket:
+                self._backlog.discard(w)
+        return batches, starved
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
 
 
 class SchedulerState:
@@ -176,6 +281,13 @@ class SchedulerState:
         self._executed_pairs = 0
         self._complete_phases = 0
 
+        # Snapshot cache: bumped by every mutation block, so repeated
+        # partial/full/ready snapshot reads between mutations reuse one
+        # frozenset instead of rebuilding O(pairs) copies per call.
+        self._generation = 0
+        self._snapshots: Dict[str, Tuple[int, FrozenSet[Pair]]] = {}
+        self._snapshot_builds = 0
+
     # ------------------------------------------------------------------
     # Read-only views
     # ------------------------------------------------------------------
@@ -206,32 +318,55 @@ class SchedulerState:
         return (v, p) in self._msg
 
     def partial_set(self) -> FrozenSet[Pair]:
-        """Snapshot of the partial set (definition (9))."""
-        return frozenset(self._partial)
+        """Snapshot of the partial set (definition (9)); cached per
+        mutation generation."""
+        return self._snapshot("partial", self._partial)
 
     def full_set(self) -> FrozenSet[Pair]:
-        """Snapshot of the full set (definition (7))."""
-        return frozenset(self._full)
+        """Snapshot of the full set (definition (7)); cached per mutation
+        generation."""
+        return self._snapshot("full", self._full)
 
     def ready_set(self) -> FrozenSet[Pair]:
-        """Snapshot of the ready set (definition (8))."""
-        return frozenset(self._ready)
+        """Snapshot of the ready set (definition (8)); cached per
+        mutation generation."""
+        return self._snapshot("ready", self._ready)
+
+    def is_ready(self, pair: Pair) -> bool:
+        """O(1) ready-set membership — no snapshot construction."""
+        return pair in self._ready
+
+    @property
+    def snapshot_builds(self) -> int:
+        """Frozenset snapshot constructions so far (observability: the
+        stats/dispatch hot paths must leave this untouched)."""
+        return self._snapshot_builds
 
     def phase_started(self, p: int) -> bool:
         return 1 <= p <= self._pmax
 
     def phase_complete(self, p: int) -> bool:
         """Phase *p* finished: every vertex executed (or provably need not
-        execute) phase *p* — equivalently ``x_p == N``."""
-        return self.phase_started(p) and self.x(p) == self.N
+        execute) phase *p* — equivalently ``x_p == N``.
+
+        O(1) via the complete-prefix property: the ``x_i <= x_{i-1}``
+        clamp makes ``x`` nonincreasing in the phase index, so the
+        complete phases are exactly ``1..complete_phase_count``.
+        """
+        return self.phase_started(p) and p <= self._complete_phases
 
     def all_started_complete(self) -> bool:
         """Every started phase is complete (quiescence)."""
         return self._complete_phases == self._pmax
 
     def in_flight_phases(self) -> List[int]:
-        """Started-but-incomplete phases, ascending."""
-        return [p for p in range(1, self._pmax + 1) if self.x(p) < self.N]
+        """Started-but-incomplete phases, ascending.
+
+        By the complete-prefix property this is the contiguous range
+        ``complete_phase_count+1 .. pmax`` — O(in-flight phases), no
+        ``x`` scan, no set construction.
+        """
+        return list(range(self._complete_phases + 1, self._pmax + 1))
 
     @property
     def executed_pairs(self) -> int:
@@ -270,6 +405,7 @@ class SchedulerState:
             self._msg.add(pair)
             pending.add(s)
             self._full_phases[s].add(p)
+        self._generation += 1
         self._preempt("start_phase:sources-inserted")
         # Statements 2.16-2.19: newly ready pairs.
         newly_ready = self._refresh_ready(range(1, self._m[0] + 1))
@@ -352,6 +488,7 @@ class SchedulerState:
             self._pending[p].discard(v)
             self._full_phases[v].discard(p)
             self._executed_pairs += 1
+            self._generation += 1
             self._preempt("complete_execution:pair-removed")
 
             # Statements 1.8-1.11: outputs enter the partial set.
@@ -372,6 +509,7 @@ class SchedulerState:
                 partial_heap.add(w)
                 pending.add(w)
 
+            self._generation += 1
             self._preempt("complete_execution:outputs-inserted")
             affected.append(v)
             if p not in touched_phases:
@@ -394,6 +532,7 @@ class SchedulerState:
                 self._full.add(moved)
                 self._full_phases[w].add(q)
                 affected.append(w)
+                self._generation += 1
 
         # Statements 1.27-1.30: newly ready pairs.
         newly_ready = self._refresh_ready(affected)
@@ -403,6 +542,15 @@ class SchedulerState:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _snapshot(self, kind: str, live: Set[Pair]) -> FrozenSet[Pair]:
+        cached = self._snapshots.get(kind)
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        snap = frozenset(live)
+        self._snapshot_builds += 1
+        self._snapshots[kind] = (self._generation, snap)
+        return snap
 
     def _update_x_over(self, phases: Sequence[int]) -> List[int]:
         """Statements 1.12-1.23 over a batch of phases, with an exact
@@ -470,6 +618,7 @@ class SchedulerState:
                 )
             self._ready_upto[w] = q
             self._ready.add(pair)
+            self._generation += 1
             out.append(pair)
         return out
 

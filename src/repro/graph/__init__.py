@@ -20,6 +20,7 @@ from .numbering import (
     compute_S,
     compute_m,
 )
+from .fuse import FusionResult, find_linear_chains, fuse_graph
 
 __all__ = [
     "ComputationGraph",
@@ -29,4 +30,7 @@ __all__ = [
     "verify_numbering",
     "compute_S",
     "compute_m",
+    "FusionResult",
+    "find_linear_chains",
+    "fuse_graph",
 ]

@@ -1,0 +1,167 @@
+"""Linear-chain discovery and graph rewriting for the fusion pass.
+
+The scheduler dispatches one (vertex, phase) pair per computation, so
+scheduling, lock, and IPC overhead scale with the number of vertices even
+when most of a graph is straight-line Δ-dataflow.  This module finds the
+**maximal linear chains** of a :class:`~repro.graph.model.ComputationGraph`
+— runs of vertices connected by edges whose source has out-degree 1 and
+whose destination has in-degree 1 — and rewrites the graph so each chain
+collapses into a single *stage* vertex.
+
+An edge ``u -> w`` is *fusible* iff ``out_degree(u) == 1`` and
+``in_degree(w) == 1``: executing ``u`` for some phase determines, entirely
+locally, whether ``w`` executes that phase (``w`` has no other input that
+could wake it, and ``u`` has no other consumer that could observe ``u``'s
+output at a different time).  Because a vertex has at most one fusible
+out-edge and at most one fusible in-edge, the fusible edges form a set of
+vertex-disjoint paths in the DAG — the chains — with no choices to make:
+the decomposition is unique and deterministic.
+
+Structural consequences used throughout :mod:`repro.core.plan`:
+
+* every chain member except the tail has out-degree exactly 1 (its chain
+  edge), so **external out-edges leave only from the tail**;
+* every chain member except the head has in-degree exactly 1 (its chain
+  edge), so **external in-edges enter only at the head**;
+* a chain head may be a graph source; interior members never are.
+
+The rewrite preserves every non-chain edge: an original edge ``u -> w``
+between different stages becomes the stage edge ``stage(u) -> stage(w)``
+(at most one such edge can exist between two stages, because the only
+multi-edge candidates would require a non-tail member with an external
+out-edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .model import ComputationGraph
+
+__all__ = ["FusionResult", "find_linear_chains", "fuse_graph", "fused_stage_name"]
+
+
+def find_linear_chains(graph: ComputationGraph) -> List[List[str]]:
+    """Maximal linear chains of *graph*, in head-insertion order.
+
+    Returns one list of member names (head first, chain order) per chain
+    of length >= 2.  Vertices not on any returned chain are singleton
+    stages.  The decomposition is unique (see the module docstring) and
+    the order deterministic: chains are listed by the insertion order of
+    their head vertex, members in edge order.
+    """
+    nxt: Dict[str, str] = {}
+    prv: Dict[str, str] = {}
+    for u in graph.vertices():
+        if graph.out_degree(u) != 1:
+            continue
+        (w,) = graph.successors(u)
+        if graph.in_degree(w) != 1:
+            continue
+        nxt[u] = w
+        prv[w] = u
+    chains: List[List[str]] = []
+    for v in graph.vertices():
+        if v in prv or v not in nxt:
+            continue  # not a chain head
+        chain = [v]
+        while chain[-1] in nxt:
+            chain.append(nxt[chain[-1]])
+        chains.append(chain)
+    return chains
+
+
+def fused_stage_name(members: List[str], taken: "set[str]") -> str:
+    """Deterministic plan-vertex name for a fused chain.
+
+    ``head..tail`` reads well in stats and traces without exploding for
+    deep chains; collisions with existing vertex names (or other stages)
+    are resolved by appending ``'``.
+    """
+    name = f"{members[0]}..{members[-1]}"
+    while name in taken:
+        name += "'"
+    return name
+
+
+@dataclass
+class FusionResult:
+    """The rewritten graph plus the bidirectional vertex<->stage mapping.
+
+    Attributes
+    ----------
+    graph:
+        The fused :class:`ComputationGraph` (stage vertices, stage edges).
+    members_of:
+        Stage name -> ordered tuple of original member names.  Singleton
+        stages map to a 1-tuple of their own (original) name.
+    stage_of:
+        Original vertex name -> stage name.
+    chains:
+        The fused chains (length >= 2 only), as returned by
+        :func:`find_linear_chains`.
+    """
+
+    graph: ComputationGraph
+    members_of: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    stage_of: Dict[str, str] = field(default_factory=dict)
+    chains: List[List[str]] = field(default_factory=list)
+
+    @property
+    def fused_stage_count(self) -> int:
+        return len(self.chains)
+
+    @property
+    def vertices_eliminated(self) -> int:
+        """Scheduling units removed by fusion."""
+        return sum(len(c) - 1 for c in self.chains)
+
+
+def fuse_graph(graph: ComputationGraph) -> FusionResult:
+    """Collapse every maximal linear chain of *graph* into one stage vertex.
+
+    Stage vertices are created in the insertion order of their first
+    member, so the fused graph's FIFO-Kahn numbering is as close to the
+    original's as the collapse allows (plan-aware numbering: eqs. 2-4 are
+    re-established by :func:`~repro.graph.numbering.number_graph` on the
+    returned graph).
+    """
+    graph.validate()
+    chains = find_linear_chains(graph)
+    interior: Dict[str, str] = {}  # member name -> stage name (chains only)
+    taken = set(graph.vertices())
+    stage_members: Dict[str, Tuple[str, ...]] = {}
+    chain_name: Dict[str, str] = {}  # head -> stage name
+    for chain in chains:
+        sname = fused_stage_name(chain, taken)
+        taken.add(sname)
+        stage_members[sname] = tuple(chain)
+        chain_name[chain[0]] = sname
+        for member in chain:
+            interior[member] = sname
+
+    fused = ComputationGraph(name=f"{graph.name}+fused")
+    result = FusionResult(graph=fused, chains=chains)
+    for v in graph.vertices():
+        if v in chain_name:  # chain head: the stage stands where it stood
+            sname = chain_name[v]
+            fused.add_vertex(sname)
+            result.members_of[sname] = stage_members[sname]
+        elif v in interior:
+            pass  # non-head chain member: absorbed into its stage
+        else:
+            fused.add_vertex(v)
+            result.members_of[v] = (v,)
+    for member, sname in interior.items():
+        result.stage_of[member] = sname
+    for v in graph.vertices():
+        result.stage_of.setdefault(v, v)
+
+    for u, w in ((e.src, e.dst) for e in graph.edges()):
+        su, sw = result.stage_of[u], result.stage_of[w]
+        if su == sw:
+            continue  # internal chain edge: executed in-process by the stage
+        if not fused.has_edge(su, sw):
+            fused.add_edge(su, sw)
+    return result

@@ -47,9 +47,10 @@ without that confound; this engine is the *correctness* vehicle.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.invariants import InvariantChecker
+from ..core.plan import ExecutionPlan, as_plan
 from ..core.program import PairRuntime, Program, RunResult
 from ..core.state import SchedulerState
 from ..core.tracer import ExecutionTracer, max_concurrent_pairs, max_concurrent_phases
@@ -104,7 +105,7 @@ class ParallelEngine:
 
     def __init__(
         self,
-        program: Program,
+        program: Union[Program, ExecutionPlan],
         num_threads: int = 2,
         checker: Optional[InvariantChecker] = None,
         tracer: Optional[ExecutionTracer] = None,
@@ -116,7 +117,8 @@ class ParallelEngine:
     ) -> None:
         if num_threads < 1:
             raise EngineError(f"num_threads must be >= 1, got {num_threads}")
-        self.program = program
+        self.plan = as_plan(program)
+        self.program = self.plan.program
         self.num_threads = num_threads
         self.checker = checker
         self.tracer = tracer
@@ -137,6 +139,7 @@ class ParallelEngine:
         :class:`~repro.errors.VertexExecutionError`, and
         :class:`EngineError` if threads wedge past *join_timeout*.
         """
+        phase_inputs = self.plan.localize_phase_inputs(phase_inputs)
         self.program.reset()
         backend = self.backend
         runtime = PairRuntime(self.program, phase_inputs)
@@ -379,4 +382,6 @@ class ParallelEngine:
             if self.batch_size == 1
             else f"parallel[k={self.num_threads},b={self.batch_size}]"
         )
-        return runtime.build_result(label, executions, elapsed, stats)
+        return self.plan.translate(
+            runtime.build_result(label, executions, elapsed, stats)
+        )

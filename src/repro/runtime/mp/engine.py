@@ -16,8 +16,9 @@ store, the records — and runs both of the paper's loops inline:
 The wire path is designed so IPC cost scales with *change*, not with
 executions:
 
-* **Batched dispatch** (``ipc_batch``): the ready backlog is drained
-  into per-worker batches (:func:`~repro.core.state.drain_ready_batches`)
+* **Batched dispatch** (``ipc_batch``): the ready backlog is kept
+  pre-partitioned by sticky worker
+  (:class:`~repro.core.state.ReadyFrontier`) and drained into batches
   of up to ``ipc_batch`` tasks per frame; a worker answers each
   :class:`~.protocol.TaskBatch` with one :class:`~.protocol.ResultBatch`,
   which feeds the batched
@@ -70,12 +71,12 @@ surviving prefix — are committed first.
 from __future__ import annotations
 
 import time
-from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ...core.invariants import InvariantChecker
+from ...core.plan import ExecutionPlan, as_plan
 from ...core.program import PairRuntime, Program, RunResult
-from ...core.state import SchedulerState, drain_ready_batches
+from ...core.state import ReadyFrontier, SchedulerState
 from ...core.tracer import (
     ExecutionTracer,
     max_concurrent_pairs,
@@ -147,7 +148,7 @@ class ProcessEngine:
 
     def __init__(
         self,
-        program: Program,
+        program: Union[Program, ExecutionPlan],
         num_workers: int = 2,
         checker: Optional[InvariantChecker] = None,
         tracer: Optional[ExecutionTracer] = None,
@@ -160,7 +161,8 @@ class ProcessEngine:
     ) -> None:
         if num_workers < 1:
             raise EngineError(f"num_workers must be >= 1, got {num_workers}")
-        self.program = program
+        self.plan = as_plan(program)
+        self.program = self.plan.program
         self.num_workers = num_workers
         self.checker = checker
         self.tracer = tracer
@@ -189,6 +191,7 @@ class ProcessEngine:
         :class:`EngineError` on worker crash, unpicklable program, or a
         wedged run.
         """
+        phase_inputs = self.plan.localize_phase_inputs(phase_inputs)
         self.program.reset()
         runtime = PairRuntime(self.program, phase_inputs)
         state = SchedulerState(self.program.numbering, checker=self.checker)
@@ -198,7 +201,9 @@ class ProcessEngine:
             self.program, self.num_workers, start_method=self.start_method
         )
 
-        pending: Deque[Tuple[int, int]] = deque()  # ready, not yet shipped
+        # Ready-but-unshipped pairs, indexed by sticky worker so each
+        # dispatch drain is O(pairs shipped), not O(backlog).
+        pending = ReadyFrontier(pool.worker_of)
         in_flight: Dict[Tuple[int, int], VertexContext] = {}
         executions: List[Tuple[int, int]] = []
         per_worker_counts: Dict[int, int] = {
@@ -241,9 +246,7 @@ class ProcessEngine:
             nonlocal window_peak
             if not pending:
                 return False
-            batches, starved = drain_ready_batches(
-                pending,
-                pool.worker_of,
+            batches, starved = pending.drain(
                 lambda w: windows[w] - worker_load[w],
                 self.ipc_batch,
             )
@@ -318,19 +321,19 @@ class ProcessEngine:
                     for i in range(newly_complete):
                         tracer.phase_completed(seen_complete + 1 + i)
                 seen_complete = state.complete_phase_count
-            pending.extend(newly_ready)
+            pending.push(newly_ready)
 
         def requeue_skipped(
             worker_id: int, skipped: Sequence[Tuple[int, int]]
         ) -> None:
             # Tasks a worker declined to execute (an earlier task of the
             # batch failed) are still in the coordinator's ready set:
-            # put them back at the head of the backlog, oldest first, so
-            # a surviving run would re-dispatch them in order.
-            for pair in reversed(skipped):
+            # put them back at the head of the worker's bucket, oldest
+            # first, so a surviving run would re-dispatch them in order.
+            for pair in skipped:
                 in_flight.pop(pair, None)
                 worker_load[worker_id] -= 1
-                pending.appendleft(pair)
+            pending.push_front(worker_id, skipped)
 
         started = time.perf_counter()
         error: Optional[BaseException] = None
@@ -348,7 +351,7 @@ class ProcessEngine:
                             tracer.phase_started(state.pmax)
                             for pair in newly_ready:
                                 tracer.enqueued(pair)
-                    pending.extend(newly_ready)
+                    pending.push(newly_ready)
                     last_phase_start = time.monotonic()
                     progressed = True
                 if dispatch():
@@ -526,4 +529,6 @@ class ProcessEngine:
         if self.window is not None:
             label_parts.append(f"win={self.window}")
         label = f"process[{','.join(label_parts)}]"
-        return runtime.build_result(label, executions, elapsed, stats)
+        return self.plan.translate(
+            runtime.build_result(label, executions, elapsed, stats)
+        )

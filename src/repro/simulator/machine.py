@@ -31,9 +31,20 @@ fully deterministic.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.invariants import InvariantChecker
+from ..core.plan import ExecutionPlan, as_plan
 from ..core.program import PairRuntime, Program, RunResult
 from ..core.state import SchedulerState
 from ..core.tracer import ExecutionTracer, max_concurrent_pairs, max_concurrent_phases
@@ -68,7 +79,7 @@ class SimulatedEngine:
 
     def __init__(
         self,
-        program: Program,
+        program: Union[Program, ExecutionPlan],
         num_workers: int = 2,
         num_processors: int = 2,
         cost_model: Optional[CostModel] = None,
@@ -88,7 +99,8 @@ class SimulatedEngine:
                 f"max_in_flight_phases must be >= 1 or None, "
                 f"got {max_in_flight_phases}"
             )
-        self.program = program
+        self.plan = as_plan(program)
+        self.program = self.plan.program
         self.num_workers = num_workers
         self.num_processors = num_processors
         self.cost_model = cost_model or CostModel()
@@ -156,6 +168,7 @@ class SimulatedEngine:
     def run(self, phase_inputs: Sequence[PhaseInput]) -> RunResult:
         """Execute every phase in virtual time; ``wall_time`` of the result
         is the virtual makespan."""
+        phase_inputs = self.plan.localize_phase_inputs(phase_inputs)
         self.program.reset()
         self.cost_model.reset()
         runtime = PairRuntime(self.program, phase_inputs)
@@ -221,7 +234,19 @@ class SimulatedEngine:
                 if tracer is not None:
                     tracer.execute_begin((v, p), worker_id)
                 runtime.compute(v, holder["ctx"])
-                duration = cm.vertex_cost(names.name_of(v), p)
+                stage = names.name_of(v)
+                if len(self.plan.members(stage)) == 1:
+                    duration = cm.vertex_cost(stage, p)
+                else:
+                    # A fused stage costs the sum of the members that
+                    # actually ran (its trace record — always the last
+                    # one appended — names them; Δ-short-circuited
+                    # members cost nothing, exactly as when unfused).
+                    trace = holder["ctx"].records[-1]
+                    duration = sum(
+                        cm.vertex_cost(member, p)
+                        for member in trace.members
+                    )
                 if duration > 0:
                     yield sim.timeout(duration)
                 if tracer is not None:
@@ -316,9 +341,11 @@ class SimulatedEngine:
             intervals = tracer.intervals()
             stats["max_concurrent_phases"] = max_concurrent_phases(intervals)
             stats["max_concurrent_pairs"] = max_concurrent_pairs(intervals)
-        return runtime.build_result(
-            f"simulated[k={self.num_workers},P={self.num_processors}]",
-            executions,
-            makespan,
-            stats,
+        return self.plan.translate(
+            runtime.build_result(
+                f"simulated[k={self.num_workers},P={self.num_processors}]",
+                executions,
+                makespan,
+                stats,
+            )
         )

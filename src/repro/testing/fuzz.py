@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.serializability import check_serializable
+from ..core.plan import compile_plan
 from ..core.program import Program, RunResult
 from ..core.serial import SerialExecutor
 from ..core.vertex import EMIT_NOTHING, FunctionVertex, Vertex
@@ -243,12 +244,17 @@ def run_one(
     faults: Optional[FaultPlan] = None,
     max_steps: int = 250_000,
     batch_size: int = 1,
+    fuse: bool = False,
 ) -> RunOutcome:
     """Run *spec* serially (oracle) and under *policy*; judge the result.
 
     *batch_size* > 1 explores the batched commit path: the engine drains
     and commits up to that many pairs per worker wake-up, still judged
-    against the same serial oracle and invariant monitor.
+    against the same serial oracle and invariant monitor.  *fuse* compiles
+    the workload with linear-chain fusion before the engine runs it — the
+    oracle always executes the *unfused* program, so the judgement is
+    exactly the tentpole correctness bar: a fused parallel run must be
+    indistinguishable from the original serial semantics.
     """
     program, phases = spec.build()
     serial = SerialExecutor(program).run(phases)
@@ -256,7 +262,7 @@ def run_one(
     scheduler = VirtualScheduler(policy=policy, max_steps=max_steps)
     monitor = RaceMonitor().attach(scheduler)
     engine = ParallelEngine(
-        program,
+        compile_plan(program, fuse=fuse),
         num_threads=spec.threads,
         checker=monitor,
         tracer=monitor,
@@ -328,6 +334,7 @@ class FuzzFailure:
     trace_names: List[str]
     shrunk_spec: Optional[WorkloadSpec] = None
     batch_size: int = 1
+    fuse: bool = False
     engine_config: Optional[Dict[str, object]] = None
 
     def summary(self) -> str:
@@ -336,7 +343,8 @@ class FuzzFailure:
             f"{self.master_seed}):",
             f"  workload: {self.spec.describe()}",
             f"  policy:   {self.policy_name}(seed={self.policy_seed})",
-            f"  batch:    {self.batch_size}",
+            f"  batch:    {self.batch_size}"
+            + ("  (fused plan)" if self.fuse else ""),
             *(
                 [f"  engine:   {self.engine_config!r}"]
                 if self.engine_config is not None
@@ -363,6 +371,7 @@ class FuzzFailure:
             "policy_name": self.policy_name,
             "policy_seed": self.policy_seed,
             "batch_size": self.batch_size,
+            "fuse": self.fuse,
             "reason": self.reason,
             "trace_names": list(self.trace_names),
             "shrunk_spec": (
@@ -413,13 +422,15 @@ def fuzz(
     max_phases: int = 6,
     max_steps: int = 250_000,
     batch_size: int = 1,
+    fuse: bool = False,
 ) -> FuzzReport:
     """Explore *runs* random (workload, interleaving) pairs.
 
     Policies rotate per run; each run's policy seed and workload derive
     from ``(seed, run index)``, so the campaign is reproducible and any
     single run can be replayed in isolation.  *batch_size* runs the
-    campaign over the batched commit path.
+    campaign over the batched commit path; *fuse* runs it over fused
+    execution plans (oracle stays unfused).
     """
     if not policies:
         raise ValueError("fuzz needs at least one scheduling policy")
@@ -433,7 +444,7 @@ def fuzz(
         policy_seed = random.Random(f"policy:{seed}:{i}").randrange(2**31)
         outcome = run_one(
             spec, make_policy(policy_name, policy_seed), faults, max_steps,
-            batch_size=batch_size,
+            batch_size=batch_size, fuse=fuse,
         )
         hashes[outcome.trace_hash] = hashes.get(outcome.trace_hash, 0) + 1
         total_steps += outcome.steps
@@ -448,11 +459,12 @@ def fuzz(
                 reason=outcome.reason,
                 trace_names=outcome.trace_names,
                 batch_size=batch_size,
+                fuse=fuse,
             )
             if do_shrink:
                 failure.shrunk_spec = shrink(
                     spec, policy_name, policy_seed, faults, max_steps,
-                    batch_size=batch_size,
+                    batch_size=batch_size, fuse=fuse,
                 )
             failures.append(failure)
             if stop_on_failure:
@@ -494,13 +506,19 @@ def run_one_process(
     spec: WorkloadSpec,
     config: Dict[str, object],
     start_method: str = "spawn",
+    fuse: bool = False,
 ) -> RunOutcome:
     """Run *spec* on the process engine under *config*; judge vs serial.
 
     Unlike :func:`run_one` there is no virtual scheduler — real processes
     interleave freely — so the judgement is serializability plus final
     behaviour state (the delta-sync check: every worker-side mutation
-    must be reflected coordinator-side after shutdown).
+    must be reflected coordinator-side after shutdown).  With *fuse* the
+    engine runs the fused plan — fused stages cross the process boundary
+    as single :class:`~repro.core.plan.FusedVertex` tasks, and their
+    member state comes back through the fused delta path — while the
+    oracle and the final-state comparison stay per-original-vertex (the
+    plan's member behaviours are the program's own objects).
     """
     from ..runtime.mp import ProcessEngine
 
@@ -512,11 +530,11 @@ def run_one_process(
     desc = (
         f"process[w={config['workers']},b={config['batch_size']},"
         f"ipc={config['ipc_batch']},win={config['window']},"
-        f"{start_method}]"
+        f"{start_method}{',fused' if fuse else ''}]"
     )
     outcome = RunOutcome(spec=spec, policy_desc=desc, passed=False)
     engine = ProcessEngine(
-        program,
+        compile_plan(program, fuse=fuse),
         num_workers=int(config["workers"]),
         batch_size=int(config["batch_size"]),
         ipc_batch=int(config["ipc_batch"]),
@@ -556,6 +574,7 @@ def fuzz_process(
     max_vertices: int = 6,
     max_phases: int = 5,
     start_method: str = "spawn",
+    fuse: bool = False,
 ) -> FuzzReport:
     """Explore *runs* random workloads across process wire-path configs.
 
@@ -573,7 +592,9 @@ def fuzz_process(
     for i in range(runs):
         spec = spec_for_run(seed, i, max_vertices, max_phases, threads=2)
         config = process_config_for_run(seed, i)
-        outcome = run_one_process(spec, config, start_method=start_method)
+        outcome = run_one_process(
+            spec, config, start_method=start_method, fuse=fuse
+        )
         configs[outcome.policy_desc] = configs.get(outcome.policy_desc, 0) + 1
         total_steps += outcome.steps
         if not outcome.passed:
@@ -587,6 +608,7 @@ def fuzz_process(
                     reason=outcome.reason,
                     trace_names=[],
                     batch_size=int(config["batch_size"]),
+                    fuse=fuse,
                     engine_config=dict(config, start_method=start_method),
                 )
             )
@@ -610,6 +632,7 @@ def shrink(
     max_steps: int = 250_000,
     budget: int = 24,
     batch_size: int = 1,
+    fuse: bool = False,
 ) -> WorkloadSpec:
     """Greedily minimise a failing spec while it keeps failing.
 
@@ -622,7 +645,7 @@ def shrink(
     def still_fails(candidate: WorkloadSpec) -> bool:
         outcome = run_one(
             candidate, make_policy(policy_name, policy_seed), faults, max_steps,
-            batch_size=batch_size,
+            batch_size=batch_size, fuse=fuse,
         )
         return not outcome.passed
 
@@ -666,12 +689,12 @@ def replay_failure(
     if exact:
         return run_one(
             failure.spec, ReplayPolicy(failure.trace_names), faults,
-            batch_size=failure.batch_size,
+            batch_size=failure.batch_size, fuse=failure.fuse,
         )
     spec = failure.shrunk_spec or failure.spec
     return run_one(
         spec, make_policy(failure.policy_name, failure.policy_seed), faults,
-        batch_size=failure.batch_size,
+        batch_size=failure.batch_size, fuse=failure.fuse,
     )
 
 

@@ -168,7 +168,10 @@ class RaceMonitor(ExecutionTracer):
             )
         self._begun.add(pair)
         state = self._last_state
-        if state is not None and pair not in state.ready_set():
+        # O(1) membership — the per-dequeue hot path must not force a
+        # ready-set snapshot; the full set is only materialised (below)
+        # to describe an actual violation.
+        if state is not None and not state.is_ready(pair):
             self._record(
                 "lifecycle",
                 f"pair {pair} began executing while not in the ready set "

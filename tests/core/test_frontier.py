@@ -1,0 +1,236 @@
+"""The indexed scheduler frontier: :class:`ReadyFrontier`, snapshot
+caching, and the batched-vs-singular completion paths."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.core.state import ReadyFrontier, SchedulerState, drain_ready_batches
+from repro.errors import SchedulerError
+from repro.graph.model import ComputationGraph
+from repro.graph.numbering import number_graph
+
+
+def sticky(v: int, workers: int = 2) -> int:
+    return (v - 1) % workers
+
+
+class TestReadyFrontier:
+    def test_fifo_per_worker(self):
+        f = ReadyFrontier(lambda v: sticky(v))
+        f.push([(1, 1), (3, 1), (2, 1), (1, 2), (4, 1)])
+        batches, starved = f.drain(lambda w: 100, chunk=100)
+        assert not starved
+        assert dict(batches) == {
+            0: [(1, 1), (3, 1), (1, 2)],
+            1: [(2, 1), (4, 1)],
+        }
+        assert len(f) == 0 and not f
+
+    def test_capacity_limits_and_starvation(self):
+        f = ReadyFrontier(lambda v: 0)
+        f.push([(1, 1), (1, 2), (1, 3)])
+        batches, starved = f.drain(lambda w: 2, chunk=100)
+        assert batches == [(0, [(1, 1), (1, 2)])]
+        assert starved == {0}
+        assert len(f) == 1
+        # Leftovers keep their order on the next drain.
+        batches, starved = f.drain(lambda w: 2, chunk=100)
+        assert batches == [(0, [(1, 3)])] and not starved
+
+    def test_chunk_splits_batches(self):
+        f = ReadyFrontier(lambda v: 0)
+        f.push([(1, p) for p in range(1, 6)])
+        batches, _ = f.drain(lambda w: 100, chunk=2)
+        assert [len(pairs) for _, pairs in batches] == [2, 2, 1]
+
+    def test_push_front_preserves_relative_order(self):
+        f = ReadyFrontier(lambda v: 0)
+        f.push([(1, 3)])
+        f.push_front(0, [(1, 1), (1, 2)])
+        batches, _ = f.drain(lambda w: 100, chunk=100)
+        assert batches == [(0, [(1, 1), (1, 2), (1, 3)])]
+
+    def test_negative_capacity_treated_as_zero(self):
+        f = ReadyFrontier(lambda v: 0)
+        f.push([(1, 1)])
+        batches, starved = f.drain(lambda w: -3, chunk=4)
+        assert batches == [] and starved == {0}
+        assert len(f) == 1
+
+    def test_chunk_must_be_positive(self):
+        f = ReadyFrontier(lambda v: 0)
+        with pytest.raises(SchedulerError):
+            f.drain(lambda w: 1, chunk=0)
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    @pytest.mark.parametrize("chunk", [1, 2, 7])
+    def test_equivalent_to_reference_drain(self, workers, chunk):
+        import random
+
+        rng = random.Random(workers * 31 + chunk)
+        pairs = [
+            (rng.randint(1, 9), rng.randint(1, 5)) for _ in range(40)
+        ]
+        caps = {w: rng.randint(0, 6) for w in range(workers)}
+
+        ref = deque(pairs)
+        ref_batches, ref_starved = drain_ready_batches(
+            ref, lambda v: sticky(v, workers), lambda w: caps[w], chunk
+        )
+        f = ReadyFrontier(lambda v: sticky(v, workers))
+        f.push(pairs)
+        got_batches, got_starved = f.drain(lambda w: caps[w], chunk)
+
+        assert got_starved == ref_starved
+        # Same pairs to the same workers in the same per-worker order
+        # (cross-worker batch emission order is not part of the contract).
+        def by_worker(batches):
+            out = {}
+            for w, chunk_pairs in batches:
+                out.setdefault(w, []).extend(chunk_pairs)
+            return out
+
+        assert by_worker(got_batches) == by_worker(ref_batches)
+        # Same leftovers, same order.
+        leftovers, _ = f.drain(lambda w: 10_000, chunk=10_000)
+        assert by_worker(leftovers) == by_worker(
+            drain_ready_batches(
+                ref, lambda v: sticky(v, workers), lambda w: 10_000, 10_000
+            )[0]
+        )
+
+
+def chain_state(n: int = 4) -> SchedulerState:
+    g = ComputationGraph()
+    names = [f"v{i}" for i in range(n)]
+    g.add_vertices(names)
+    for a, b in zip(names, names[1:]):
+        g.add_edge(a, b)
+    return SchedulerState(number_graph(g))
+
+
+class TestSnapshotCaching:
+    def test_stats_reads_build_no_snapshots(self):
+        st = chain_state()
+        st.start_phase()
+        st.ready_set()  # warm every cache once
+        st.partial_set()
+        st.full_set()
+        before = st.snapshot_builds
+        for _ in range(50):
+            st.ready_backlog
+            st.in_flight_phases()
+            st.complete_phase_count
+            st.phase_complete(1)
+            st.is_ready((1, 1))
+        assert st.snapshot_builds == before
+
+    def test_repeated_snapshots_cached_between_mutations(self):
+        st = chain_state()
+        st.start_phase()
+        before = st.snapshot_builds
+        for _ in range(10):
+            st.ready_set()
+        assert st.snapshot_builds == before + 1
+        # A mutation invalidates; the next read rebuilds exactly once.
+        st.complete_execution(1, 1, [2])
+        for _ in range(10):
+            st.ready_set()
+        assert st.snapshot_builds == before + 2
+
+    def test_snapshots_track_mutations(self):
+        st = chain_state()
+        st.start_phase()
+        assert st.ready_set() == frozenset({(1, 1)})
+        st.complete_execution(1, 1, [2])
+        assert st.ready_set() == frozenset({(2, 1)})
+        assert (1, 1) not in st.ready_set()
+
+    def test_in_flight_phases_is_complete_suffix(self):
+        st = chain_state(3)
+        st.start_phase()
+        st.start_phase()
+        assert st.in_flight_phases() == [1, 2]
+        for p in (1, 2):
+            st.complete_execution(1, p, [2])
+            st.complete_execution(2, p, [3])
+            st.complete_execution(3, p, [])
+        assert st.in_flight_phases() == []
+        assert st.complete_phase_count == 2
+
+
+class TestBatchedCompletionEquivalence:
+    """Satellite: ``complete_execution`` (singular) and
+    ``complete_executions`` (batch) must drive identical ready-set
+    evolution from identical states."""
+
+    def diamond_state(self):
+        g = ComputationGraph.from_edges(
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        return SchedulerState(number_graph(g)), number_graph(g).index_of
+
+    def test_singular_delegates_to_batch(self):
+        st1 = chain_state()
+        st2 = chain_state()
+        st1.start_phase()
+        st2.start_phase()
+        r1 = st1.complete_execution(1, 1, [2])
+        r2 = st2.complete_executions([(1, 1, [2])])
+        assert r1 == r2
+        assert st1.ready_set() == st2.ready_set()
+        assert st1.partial_set() == st2.partial_set()
+        assert st1.full_set() == st2.full_set()
+
+    def test_batch_matches_singular_loop(self):
+        sa, idx = self.diamond_state()
+        sb, _ = self.diamond_state()
+        for st in (sa, sb):
+            st.start_phase()
+            st.start_phase()
+        a, b, c, d = idx["a"], idx["b"], idx["c"], idx["d"]
+        # Make (b,1) and (c,1) simultaneously ready on both states.
+        ready_a = sa.complete_execution(a, 1, [b, c])
+        ready_b = sb.complete_execution(a, 1, [b, c])
+        assert ready_a == ready_b
+
+        singular = []
+        for v, p in ready_a:
+            singular.extend(sa.complete_execution(v, p, [d]))
+        batched = sb.complete_executions([(v, p, [d]) for v, p in ready_b])
+
+        assert sorted(singular) == sorted(batched)
+        assert sa.ready_set() == sb.ready_set()
+        assert sa.partial_set() == sb.partial_set()
+        assert sa.full_set() == sb.full_set()
+        assert sa.in_flight_phases() == sb.in_flight_phases()
+        assert sa.executed_pairs == sb.executed_pairs
+
+    def test_full_run_evolution_identical(self):
+        # Drive two chain states phase-interleaved to quiescence, one
+        # completing pairs one at a time, one batching everything ready;
+        # the observable set evolution must coincide at every boundary.
+        sa = chain_state(4)
+        sb = chain_state(4)
+        evolution_a, evolution_b = [], []
+        pend_a = list(sa.start_phase()) + list(sa.start_phase())
+        pend_b = list(sb.start_phase()) + list(sb.start_phase())
+        while pend_a or pend_b:
+            new_a = []
+            for v, p in pend_a:
+                new_a.extend(
+                    sa.complete_execution(v, p, [v + 1] if v < sa.N else [])
+                )
+            evolution_a.append((sa.ready_set(), sa.full_set()))
+            pend_a = new_a
+            pend_b = list(
+                sb.complete_executions(
+                    [(v, p, [v + 1] if v < sb.N else []) for v, p in pend_b]
+                )
+            )
+            evolution_b.append((sb.ready_set(), sb.full_set()))
+        assert evolution_a == evolution_b
+        assert sa.all_started_complete() and sb.all_started_complete()

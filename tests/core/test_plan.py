@@ -1,0 +1,321 @@
+"""Execution plans (:mod:`repro.core.plan`): fusion semantics, state
+management, translation back to original-vertex reporting."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis.serializability import check_serializable
+from repro.core.plan import (
+    ExecutionPlan,
+    FusedTrace,
+    FusedVertex,
+    as_plan,
+    compile_plan,
+)
+from repro.core.program import Program
+from repro.core.serial import SerialExecutor
+from repro.core.vertex import EMIT_NOTHING, FunctionVertex, Vertex
+from repro.errors import VertexExecutionError
+from repro.events import PhaseInput
+from repro.graph.model import ComputationGraph
+
+from ..conftest import ScriptedSource, make_chain_program, signals
+
+
+class PlainSource(Vertex):
+    """Script-driven source with equality-comparable state (no RNG)."""
+
+    def __init__(self, script) -> None:
+        self.script = dict(script)
+
+    def on_execute(self, ctx):
+        if ctx.phase in self.script:
+            return self.script[ctx.phase]
+        return EMIT_NOTHING
+
+
+class CountingForward(Vertex):
+    """Forwards its single changed input; counts how often it ran."""
+
+    def __init__(self) -> None:
+        self.executed = 0
+
+    def reset(self) -> None:
+        self.executed = 0
+
+    def on_execute(self, ctx):
+        self.executed += 1
+        vals = ctx.changed_values()
+        if not vals:
+            return EMIT_NOTHING
+        (value,) = vals.values()
+        return value
+
+
+def counting_chain(depth, script):
+    g = ComputationGraph(name=f"chain{depth}")
+    names = [f"n{i}" for i in range(depth)]
+    g.add_vertices(names)
+    for a, b in zip(names, names[1:]):
+        g.add_edge(a, b)
+    behaviors = {names[0]: PlainSource(script)}
+    for n in names[1:]:
+        behaviors[n] = CountingForward()
+    return Program(g, behaviors), names
+
+
+class TestCompilePlan:
+    def test_identity_when_fuse_off(self):
+        prog = make_chain_program(4, {1: "a"})
+        plan = compile_plan(prog, fuse=False)
+        assert plan.program is prog
+        assert not plan.fused
+        assert plan.vertices_eliminated == 0
+
+    def test_identity_when_no_chains(self):
+        g = ComputationGraph.from_edges(
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        prog = Program(
+            g,
+            {
+                "a": ScriptedSource({1: 1}),
+                "b": FunctionVertex(lambda ctx: 1),
+                "c": FunctionVertex(lambda ctx: 1),
+                "d": FunctionVertex(lambda ctx: 1),
+            },
+        )
+        plan = compile_plan(prog)
+        assert plan.program is prog
+        assert not plan.fused
+
+    def test_as_plan_wraps_and_passes_through(self):
+        prog = make_chain_program(3, {1: "x"})
+        plan = as_plan(prog)
+        assert isinstance(plan, ExecutionPlan)
+        assert plan.program is prog
+        assert as_plan(plan) is plan
+
+    def test_chain_collapses_and_shares_behaviors(self):
+        prog, names = counting_chain(4, {1: 10})
+        plan = compile_plan(prog)
+        assert plan.fused
+        assert plan.program.n == 1
+        stage = plan.stage_of[names[0]]
+        assert plan.members(stage) == tuple(names)
+        fv = plan.program.behaviors[stage]
+        assert isinstance(fv, FusedVertex)
+        # Member behaviours are the source program's own objects.
+        for member in names[1:]:
+            assert any(
+                m.behavior is prog.behaviors[member] for m in fv._members
+            )
+
+
+class TestFusedSemantics:
+    def run_both(self, prog, phases):
+        oracle = SerialExecutor(prog).run(phases)
+        fused = SerialExecutor(compile_plan(prog)).run(phases)
+        return oracle, fused
+
+    def test_serial_equality_on_chain(self):
+        prog = make_chain_program(5, {1: "a", 3: "b", 4: "c"})
+        oracle, fused = self.run_both(prog, signals(5))
+        report = check_serializable(oracle, fused)
+        assert report.equivalent, report
+        assert oracle.message_count == fused.message_count
+        assert sorted(oracle.executions) == sorted(fused.executions)
+
+    def test_serial_equality_on_join_graph(self):
+        # Two fused source chains joining at a correlator with a fused tail.
+        g = ComputationGraph.from_edges(
+            [
+                ("s1", "a1"),
+                ("s2", "a2"),
+                ("a1", "corr"),
+                ("a2", "corr"),
+                ("corr", "alarm"),
+            ]
+        )
+
+        def summing(ctx):
+            if not ctx.changed:
+                return EMIT_NOTHING
+            return sum(v for v in ctx.inputs.values() if v is not None)
+
+        prog = Program(
+            g,
+            {
+                "s1": ScriptedSource({1: 1, 2: 2}),
+                "s2": ScriptedSource({2: 10}),
+                "a1": FunctionVertex(summing),
+                "a2": FunctionVertex(summing),
+                "corr": FunctionVertex(summing),
+                "alarm": FunctionVertex(summing),
+            },
+        )
+        oracle, fused = self.run_both(prog, signals(3))
+        assert check_serializable(oracle, fused).equivalent
+        assert compile_plan(prog).program.n == 3  # 6 vertices -> 3 stages
+
+    def test_delta_short_circuit_skips_downstream_members(self):
+        prog, names = counting_chain(4, {1: 10})  # source emits only phase 1
+        plan = compile_plan(prog)
+        SerialExecutor(plan).run(signals(4))
+        # Interior members ran once (phase 1); the head stage pair still
+        # executed every phase, but silence short-circuited the chain.
+        for member in names[1:]:
+            assert prog.behaviors[member].executed == 1
+
+    def test_trace_records_executed_prefix(self):
+        prog, names = counting_chain(3, {1: 5})
+        plan = compile_plan(prog)
+        stage = plan.stage_of[names[0]]
+        fv = plan.program.behaviors[stage]
+        result = SerialExecutor(plan.program).run(signals(2))  # untranslated
+        log = dict(result.records[stage])
+        assert log[1].members == tuple(names)
+        assert log[1].internal_messages == 2
+        assert log[2].members == (names[0],)  # silent -> head only
+        assert log[2].internal_messages == 0
+
+    def test_translate_restores_per_vertex_reporting(self):
+        prog = make_chain_program(3, {1: "v", 2: "w"})
+        plan = compile_plan(prog)
+        fused = SerialExecutor(plan).run(signals(2))
+        assert set(fused.records) == set(
+            SerialExecutor(prog).run(signals(2)).records
+        )
+        assert "fusion" in fused.stats
+        fstats = fused.stats["fusion"]
+        assert fstats["scheduled_pairs"] == 2  # one stage x two phases
+        assert fstats["member_executions"] == len(fused.executions)
+        assert "+fused[3->1]" in fused.engine
+
+    def test_localize_phase_inputs_rekeys_source_payloads(self):
+        prog, names = counting_chain(3, {1: 0})
+        plan = compile_plan(prog)
+        stage = plan.stage_of[names[0]]
+        pis = [PhaseInput(1, 0.0, {names[0]: 42, "other": 7})]
+        (out,) = plan.localize_phase_inputs(pis)
+        assert out.values == {stage: 42, "other": 7}
+        # Identity plan: inputs pass through untouched.
+        ident = compile_plan(prog, fuse=False)
+        assert ident.localize_phase_inputs(pis) is pis
+
+    def test_name_keyed_consumer_downstream_of_fused_chain(self):
+        # A sink that reads inputs BY ORIGINAL NAME (ctx.input("b0v1"))
+        # while its plan-space predecessors are fused stages: the plan
+        # must relabel, or the sink silently reads defaults.
+        g = ComputationGraph.from_edges(
+            [
+                ("a0", "a1"),
+                ("b0", "b1"),
+                ("a1", "sink"),
+                ("b1", "sink"),
+            ]
+        )
+
+        class NameKeyedSink(Vertex):
+            def on_execute(self, ctx):
+                if not ctx.changed:
+                    return EMIT_NOTHING
+                return (ctx.input("a1", 0), ctx.input("b1", 0))
+
+        def fwd(ctx):
+            vals = ctx.changed_values()
+            if not vals:
+                return EMIT_NOTHING
+            (value,) = vals.values()
+            return value
+
+        def build():
+            return Program(
+                g.copy(),
+                {
+                    "a0": PlainSource({1: 3, 2: 4}),
+                    "b0": PlainSource({1: 30}),
+                    "a1": FunctionVertex(fwd),
+                    "b1": FunctionVertex(fwd),
+                    "sink": NameKeyedSink(),
+                },
+            )
+
+        oracle = SerialExecutor(build()).run(signals(3))
+        plan = compile_plan(build())
+        assert plan.fused and plan.program.n == 3
+        fused = SerialExecutor(plan).run(signals(3))
+        assert check_serializable(oracle, fused).equivalent
+        assert dict(oracle.records)["sink"] == dict(fused.records)["sink"]
+        assert dict(fused.records)["sink"][0] == (1, (3, 30))
+
+    def test_mid_chain_fault_attributed_to_member(self):
+        prog, names = counting_chain(4, {1: 1})
+        bad = names[2]
+
+        class Exploding(Vertex):
+            def on_execute(self, ctx):
+                raise RuntimeError("boom")
+
+        prog.behaviors[bad] = Exploding()
+        plan = compile_plan(prog)
+        with pytest.raises(VertexExecutionError) as err:
+            SerialExecutor(plan).run(signals(1))
+        assert err.value.vertex == bad
+        assert err.value.phase == 1
+
+
+class TestFusedVertexState:
+    def make(self):
+        prog, names = counting_chain(3, {1: 1, 2: 2})
+        plan = compile_plan(prog)
+        stage = plan.stage_of[names[0]]
+        return prog, plan, stage, plan.program.behaviors[stage]
+
+    def test_snapshot_restore_roundtrip(self):
+        prog, plan, stage, fv = self.make()
+        SerialExecutor(plan).run(signals(2))
+        snap = fv.snapshot_state()
+        counts = {n: b.executed for n, b in prog.behaviors.items()
+                  if isinstance(b, CountingForward)}
+        SerialExecutor(plan).run(signals(2))  # run again (resets, mutates)
+        fv.restore_state(snap)
+        # Restoration lands in the source program's own behaviour objects.
+        for n, c in counts.items():
+            assert prog.behaviors[n].executed == c
+        assert fv.snapshot_state() == snap
+
+    def test_delta_roundtrip(self):
+        prog, plan, stage, fv = self.make()
+        fv.reset()
+        baseline = fv.snapshot_state()
+        SerialExecutor(plan).run(signals(2))
+        delta = fv.snapshot_delta(baseline)
+        assert delta[0] == "fused"
+        after = fv.snapshot_state()
+        fv.restore_state(baseline)
+        fv.apply_delta(pickle.loads(pickle.dumps(delta)))
+        assert fv.snapshot_state() == after
+
+    def test_fused_vertex_pickles(self):
+        prog, names = counting_chain(3, {1: 1})
+        plan = compile_plan(prog)
+        stage = plan.stage_of[names[0]]
+        clone = pickle.loads(pickle.dumps(plan.program.behaviors[stage]))
+        assert clone.member_names == tuple(names)
+
+    def test_reset_clears_latch_and_members(self):
+        prog, plan, stage, fv = self.make()
+        SerialExecutor(plan).run(signals(2))
+        fv._latch["n1"] = 99
+        fv.reset()
+        assert fv._latch == {}
+        for n in ("n1", "n2"):
+            assert prog.behaviors[n].executed == 0
+
+    def test_trace_is_picklable(self):
+        t = FusedTrace(("a", "b"), (("b", (1, 2)),), 1)
+        assert pickle.loads(pickle.dumps(t)) == t

@@ -1,0 +1,133 @@
+"""Linear-chain discovery and graph fusion (:mod:`repro.graph.fuse`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.fuse import find_linear_chains, fuse_graph, fused_stage_name
+from repro.graph.model import ComputationGraph
+from repro.graph.numbering import number_graph, verify_numbering
+
+
+def g_from(edges, extra=()):
+    return ComputationGraph.from_edges(edges, extra_vertices=extra)
+
+
+class TestFindLinearChains:
+    def test_pure_chain_is_one_maximal_chain(self):
+        g = g_from([("a", "b"), ("b", "c"), ("c", "d")])
+        assert find_linear_chains(g) == [["a", "b", "c", "d"]]
+
+    def test_diamond_has_no_chains(self):
+        # a fans out to b,c which fan into d: no fusible edge anywhere.
+        g = g_from([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        assert find_linear_chains(g) == []
+
+    def test_chain_broken_by_fan_out(self):
+        # a->b->c then c fans out: the c->d and c->e edges are not fusible,
+        # but a->b->c still is.
+        g = g_from([("a", "b"), ("b", "c"), ("c", "d"), ("c", "e")])
+        assert find_linear_chains(g) == [["a", "b", "c"]]
+
+    def test_chain_broken_by_fan_in(self):
+        # x and y both feed m: m's in-degree is 2, so only m->t fuses.
+        g = g_from([("x", "m"), ("y", "m"), ("m", "t")])
+        assert find_linear_chains(g) == [["m", "t"]]
+
+    def test_tails_after_join_form_chains(self):
+        # Two source chains joining at a correlator whose tail is a chain:
+        # s1->a1 fuses, s2->a2 fuses, corr->alarm fuses; the join edges
+        # a1->corr / a2->corr do not.
+        g = g_from(
+            [
+                ("s1", "a1"),
+                ("s2", "a2"),
+                ("a1", "corr"),
+                ("a2", "corr"),
+                ("corr", "alarm"),
+            ]
+        )
+        chains = find_linear_chains(g)
+        assert sorted(chains) == [["corr", "alarm"], ["s1", "a1"], ["s2", "a2"]]
+
+    def test_isolated_and_single_vertices_yield_nothing(self):
+        g = ComputationGraph()
+        g.add_vertices(["lone", "alone"])
+        assert find_linear_chains(g) == []
+
+    def test_chains_are_vertex_disjoint(self):
+        g = g_from(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "f")]
+        )
+        chains = find_linear_chains(g)
+        seen = [v for chain in chains for v in chain]
+        assert len(seen) == len(set(seen))
+
+
+class TestFuseGraph:
+    def test_full_chain_collapses_to_one_stage(self):
+        g = g_from([("a", "b"), ("b", "c")])
+        fr = fuse_graph(g)
+        assert fr.graph.num_vertices == 1
+        assert fr.graph.num_edges == 0
+        (stage,) = fr.graph.vertices()
+        assert fr.members_of[stage] == ("a", "b", "c")
+        assert fr.stage_of == {"a": stage, "b": stage, "c": stage}
+        assert fr.fused_stage_count == 1
+        assert fr.vertices_eliminated == 2
+
+    def test_external_edges_rewire_to_stage_endpoints(self):
+        # s1/s2 -> m -> t -> sink; m->t->sink? No: give t a side output so
+        # only m->t fuses, and check the rewired edges.
+        g = g_from(
+            [("s1", "m"), ("s2", "m"), ("m", "t"), ("t", "u"), ("t", "w")]
+        )
+        fr = fuse_graph(g)
+        stage = fr.stage_of["m"]
+        assert fr.members_of[stage] == ("m", "t")
+        assert fr.graph.has_edge("s1", stage)
+        assert fr.graph.has_edge("s2", stage)
+        assert fr.graph.has_edge(stage, "u")
+        assert fr.graph.has_edge(stage, "w")
+        # Unfused vertices keep their own names and identity mapping.
+        for v in ("s1", "s2", "u", "w"):
+            assert fr.stage_of[v] == v
+            assert fr.members_of[v] == (v,)
+
+    def test_fused_graph_renumbers_validly(self):
+        g = g_from(
+            [
+                ("s1", "a1"),
+                ("s2", "a2"),
+                ("a1", "corr"),
+                ("a2", "corr"),
+                ("corr", "alarm"),
+            ]
+        )
+        fr = fuse_graph(g)
+        nb = number_graph(fr.graph)
+        verify_numbering(fr.graph, nb.index_of)
+
+    def test_no_chain_graph_passes_through(self):
+        g = g_from([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        fr = fuse_graph(g)
+        assert fr.fused_stage_count == 0
+        assert fr.vertices_eliminated == 0
+        assert sorted(fr.graph.vertices()) == sorted(g.vertices())
+        assert len(fr.graph.edges()) == len(g.edges())
+
+    def test_stage_name_collision_gets_suffix(self):
+        taken = {"a..c"}
+        assert fused_stage_name(["a", "b", "c"], taken) == "a..c'"
+
+    def test_parallel_chains_dedup_inter_stage_edges(self):
+        # a->b fuses and c->d fuses; b feeds both c and d would create two
+        # plan edges between the same stages only if both endpoints map to
+        # the same pair — exercise the dedup with b->c and b->d where c,d
+        # do NOT fuse (c has in-degree 1 but two successors of b break
+        # fusion), then a genuinely duplicated stage edge case:
+        g = g_from([("a", "b"), ("b", "c"), ("b", "d")])
+        fr = fuse_graph(g)
+        stage = fr.stage_of["a"]
+        assert fr.members_of[stage] == ("a", "b")
+        assert sorted(s.dst for s in fr.graph.edges()) == ["c", "d"]
