@@ -3,15 +3,112 @@
 Benchmarks print fixed-width tables (the paper's evaluation is prose plus
 figures; the tables here are what its Section 4 rows would look like) —
 :func:`format_table` keeps them consistent across benches.
+
+Stats schema
+------------
+Every scheduling engine (``parallel``, ``process``, ``simulated``)
+attaches a ``stats`` dict to its :class:`~repro.core.program.RunResult`;
+the serial oracle attaches an empty dict (it has no scheduler).  The
+engine-agnostic portion validated by :func:`validate_engine_stats`:
+
+* ``stats["frontier"]`` — required for every scheduling engine:
+
+  - ``mode``: ``"global"`` or ``"cone"`` — the readiness rule the run
+    used (:class:`~repro.core.state.SchedulerState`);
+  - ``cone_count``: int >= 1 — number of distinct ancestor cones in the
+    compiled graph (:class:`~repro.graph.cones.ConeIndex`);
+  - ``max_phase_skew``: int >= 0 — the largest ``q - oldest_incomplete``
+    observed when a non-source pair became ready: how far ahead of the
+    oldest in-flight phase some vertex's work pipelined.  Both modes
+    pipeline; cone mode typically reports larger skew because the x_p
+    clamp no longer couples independent cones;
+  - ``frontier_advances``: int >= 0 — per-phase frontier-counter
+    advancement events (x_p steps in global mode, per-phase determined
+    prefix steps in cone mode).
+
+The rest of the dict is engine-specific (lock contention, IPC counters,
+virtual-processor utilization, ...) and intentionally open — the
+validator checks shape, not exhaustiveness.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 from ..core.program import RunResult
 
-__all__ = ["format_table", "summarize_speedup", "message_rate_summary"]
+__all__ = [
+    "format_table",
+    "summarize_speedup",
+    "message_rate_summary",
+    "validate_frontier_stats",
+    "validate_engine_stats",
+]
+
+#: Engine name prefixes that denote a scheduling engine (one that runs
+#: :class:`~repro.core.state.SchedulerState` and must report a
+#: ``frontier`` stats section).
+SCHEDULING_ENGINE_PREFIXES = ("parallel", "process", "simulated")
+
+_FRONTIER_MODES = ("global", "cone")
+
+
+def validate_frontier_stats(section: Any, where: str = "frontier") -> List[str]:
+    """Validate one ``stats["frontier"]`` section; returns error strings
+    (empty list == valid)."""
+    errors: List[str] = []
+    if not isinstance(section, Mapping):
+        return [f"{where}: expected a mapping, got {type(section).__name__}"]
+    mode = section.get("mode")
+    if mode not in _FRONTIER_MODES:
+        errors.append(
+            f"{where}.mode: expected one of {_FRONTIER_MODES}, got {mode!r}"
+        )
+    for key, minimum in (
+        ("cone_count", 1),
+        ("max_phase_skew", 0),
+        ("frontier_advances", 0),
+    ):
+        value = section.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(
+                f"{where}.{key}: expected an int, got {value!r}"
+            )
+        elif value < minimum:
+            errors.append(f"{where}.{key}: expected >= {minimum}, got {value}")
+    extra = set(section) - {"mode", "cone_count", "max_phase_skew",
+                            "frontier_advances"}
+    if extra:
+        errors.append(f"{where}: unexpected keys {sorted(extra)}")
+    return errors
+
+
+def validate_engine_stats(engine: str, stats: Any) -> List[str]:
+    """Validate a result's ``stats`` dict against the documented schema.
+
+    *engine* is :attr:`RunResult.engine` (e.g. ``"parallel[k=2]"``); the
+    prefix decides whether a ``frontier`` section is required.  Returns a
+    list of error strings — empty means valid.  Used by the stats-schema
+    regression tests and by CI consumers of ``repro run --stats-json``.
+    """
+    errors: List[str] = []
+    if not isinstance(stats, Mapping):
+        return [f"stats: expected a mapping, got {type(stats).__name__}"]
+    scheduling = engine.startswith(SCHEDULING_ENGINE_PREFIXES)
+    if not scheduling:
+        if "frontier" in stats:
+            errors.append(
+                f"stats.frontier: unexpected for engine {engine!r} "
+                f"(no scheduler)"
+            )
+        return errors
+    if "frontier" not in stats:
+        errors.append(
+            f"stats.frontier: required for scheduling engine {engine!r}"
+        )
+    else:
+        errors.extend(validate_frontier_stats(stats["frontier"]))
+    return errors
 
 
 def format_table(

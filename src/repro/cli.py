@@ -77,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="compile the graph with linear-chain vertex "
                           "fusion before scheduling (default on; "
                           "--no-fuse schedules the original graph)")
+    run.add_argument("--frontier", choices=["global", "cone"],
+                     default="cone",
+                     help="readiness rule: 'cone' (default) uses "
+                          "per-dependency frontiers so independent "
+                          "ancestor cones pipeline ahead of slow "
+                          "siblings; 'global' reproduces the paper's "
+                          "single x_p clamp exactly")
     run.add_argument("--check", action="store_true",
                      help="also run the serial oracle and verify "
                           "serializability")
@@ -161,6 +168,17 @@ def build_parser() -> argparse.ArgumentParser:
                            "each random workload is compiled with "
                            "linear-chain fusion before the engine runs it, "
                            "still judged against the unfused serial oracle")
+    fuzz.add_argument("--frontier", choices=["global", "cone"],
+                      default="cone",
+                      help="readiness rule for the engine under test "
+                           "(default cone: per-dependency frontiers); the "
+                           "knob is recorded in failure artifacts so "
+                           "failures replay exactly")
+    fuzz.add_argument("--skew", action="store_true",
+                      help="skew injection: artificially slow one "
+                           "(seeded) vertex per phase, stressing "
+                           "cone-independent pipelining where lanes race "
+                           "far ahead of a straggler")
     fuzz.add_argument("--failure-artifacts", metavar="DIR", default=None,
                       help="on failure, write one JSON reproduction file "
                            "(seed, spec, policy, step trace) per failure "
@@ -189,7 +207,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .runtime.engine import ParallelEngine
 
         result = ParallelEngine(
-            plan, num_threads=args.threads, batch_size=args.batch_size
+            plan,
+            num_threads=args.threads,
+            batch_size=args.batch_size,
+            frontier=args.frontier,
         ).run(phases)
     elif args.engine == "process":
         from .runtime.mp import ProcessEngine
@@ -201,6 +222,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             start_method=args.start_method,
             ipc_batch=args.ipc_batch,
             window=args.window or None,
+            frontier=args.frontier,
         ).run(phases)
     else:
         from .simulator import CostModel, SimulatedEngine
@@ -210,6 +232,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             num_workers=args.workers,
             num_processors=args.processors,
             cost_model=CostModel(),
+            frontier=args.frontier,
         ).run(phases)
 
     print(f"{spec.name}: {result.engine} ran {result.phases_run} phases, "
@@ -394,6 +417,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             max_vertices=args.max_vertices,
             max_phases=args.max_phases,
             fuse=args.fuse,
+            frontier=args.frontier,
+            skew=args.skew,
         )
         print(report.summary())
         if args.failure_artifacts and report.failures:
@@ -414,6 +439,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_phases=args.max_phases,
         batch_size=args.batch_size,
         fuse=args.fuse,
+        frontier=args.frontier,
+        skew=args.skew,
     )
     print(report.summary())
     if args.failure_artifacts and report.failures:

@@ -19,6 +19,23 @@ turning the paper's proof obligations into executable checks:
 
 The checker is O(|msg| + pmax) per call; it is attached in tests and
 debugging runs and omitted in performance runs.
+
+For a state running in **cone-frontier mode** the definitions change
+(ALGORITHM.md §5.4), so the checker re-derives the cone-mode ground truth
+instead: per in-flight phase it computes *determinedness* as the least
+fixed point of "no message waits and every direct predecessor is
+determined" seeded by the executed vertices — one ascending-index pass,
+since edges only point upward — then checks
+
+* ``full = {(v,p) | msg(v,p) ∧ every pred determined}`` and
+  ``partial`` its complement over ``msg``;
+* ``ready = {(v,q) ∈ full | v settled through q-1}`` (determined for
+  every earlier started phase);
+* the live per-phase ``undet`` counters, ``det`` flags and per-vertex
+  settled pointers against the derivation;
+* ``x_p = vmin_p - 1`` (or ``N``) **without** the clamp — in cone mode
+  ``x`` is a per-phase diagnostic, deliberately allowed to overtake;
+* phase completion = all ``N`` vertices determined.
 """
 
 from __future__ import annotations
@@ -50,8 +67,16 @@ class InvariantChecker:
         self.violations: List[str] = []
 
     def check(self, state: "SchedulerState") -> None:
-        """Verify every invariant against *state*; see class docstring."""
+        """Verify every invariant against *state*; see class docstring.
+
+        Branches on the state's frontier mode: the published definitions
+        (7)-(9) for ``"global"``, the per-dependency definitions of
+        ALGORITHM.md §5.4 for ``"cone"``.
+        """
         self.checks_run += 1
+        if getattr(state, "frontier", "global") == "cone":
+            self._check_cone(state)
+            return
         n = state.N
         pmax = state.pmax
         msg_pairs: Set[Tuple[int, int]] = set(state._msg)
@@ -141,6 +166,169 @@ class InvariantChecker:
                 )
 
         # Unstarted phases must hold no state.
+        for p in vmin:
+            if p > pmax:
+                self._fail(f"pairs exist for unstarted phase {p} > pmax={pmax}")
+
+    def _check_cone(self, state: "SchedulerState") -> None:
+        """Cone-frontier ground truth: re-derive determinedness per
+        in-flight phase as a least fixed point (one ascending-index pass
+        suffices — edges only point upward), then compare every live
+        structure against the derivation.  See the module docstring."""
+        n = state.N
+        pmax = state.pmax
+        cones = state._cones
+        msg_pairs: Set[Tuple[int, int]] = set(state._msg)
+
+        for v, p in msg_pairs:
+            if not 1 <= p <= pmax:
+                self._fail(f"msg({v},{p}) set but phase outside 1..pmax={pmax}")
+            if not 1 <= v <= n:
+                self._fail(f"msg({v},{p}) set but vertex outside 1..N={n}")
+
+        by_phase: Dict[int, Set[int]] = {}
+        for v, p in msg_pairs:
+            by_phase.setdefault(p, set()).add(v)
+
+        # Completion bookkeeping: the set, the log and the count agree,
+        # and complete phases hold no state at all.
+        complete = state._complete_set
+        if len(complete) != state.complete_phase_count:
+            self._fail(
+                f"complete-set size {len(complete)} != complete_phase_count "
+                f"{state.complete_phase_count}"
+            )
+        if sorted(state._completed_log) != sorted(complete):
+            self._fail(
+                f"completion log {state._completed_log} does not enumerate "
+                f"the complete set {sorted(complete)}"
+            )
+        for p in complete:
+            if not 1 <= p <= pmax:
+                self._fail(f"phase {p} complete but outside 1..pmax={pmax}")
+            if by_phase.get(p):
+                self._fail(
+                    f"complete phase {p} still has messages: "
+                    f"{sorted(by_phase[p])}"
+                )
+
+        # Per-phase determinedness fixed point + live-array comparison.
+        full_def: Set[Tuple[int, int]] = set()
+        partial_def: Set[Tuple[int, int]] = set()
+        det_by_phase: Dict[int, bytearray] = {}
+        for p in range(1, pmax + 1):
+            if p in complete:
+                continue
+            live_det = state._det.get(p)
+            live_undet = state._undet.get(p)
+            if live_det is None or live_undet is None:
+                self._fail(f"in-flight phase {p} lost its det/undet arrays")
+                continue
+            msgs = by_phase.get(p, set())
+            det = bytearray(n + 1)
+            for v in range(1, n + 1):
+                if v not in msgs and all(det[u] for u in cones.preds[v]):
+                    det[v] = 1
+            det_by_phase[p] = det
+            det_count = sum(det[1:])
+            if det_count == n:
+                self._fail(
+                    f"phase {p} has every vertex determined but was not "
+                    f"marked complete"
+                )
+            if state._det_count.get(p) != det_count:
+                self._fail(
+                    f"det_count[{p}]={state._det_count.get(p)} but the "
+                    f"definition yields {det_count}"
+                )
+            for v in range(1, n + 1):
+                if bool(live_det[v]) != bool(det[v]):
+                    self._fail(
+                        f"determined({v},{p}) is {bool(live_det[v])} live "
+                        f"but {bool(det[v])} by definition"
+                    )
+                expected_undet = sum(
+                    1 for u in cones.preds[v] if not det[u]
+                )
+                if live_undet[v] != expected_undet:
+                    self._fail(
+                        f"undet[{p}][{v}]={live_undet[v]} but {expected_undet} "
+                        f"predecessors are undetermined"
+                    )
+            for v in msgs:
+                if all(det[u] for u in cones.preds[v]):
+                    full_def.add((v, p))
+                else:
+                    partial_def.add((v, p))
+
+        live_full = state.full_set()
+        live_partial = state.partial_set()
+        live_ready = state.ready_set()
+        if live_full != full_def:
+            self._fail(
+                f"full set diverges from the per-dependency definition: "
+                f"live-only={sorted(live_full - full_def)}, "
+                f"def-only={sorted(full_def - live_full)}"
+            )
+        if live_partial != partial_def:
+            self._fail(
+                f"partial set diverges from the per-dependency definition: "
+                f"live-only={sorted(live_partial - partial_def)}, "
+                f"def-only={sorted(partial_def - live_partial)}"
+            )
+
+        # Settled pointers: longest determined prefix of started phases.
+        def determined(v: int, r: int) -> bool:
+            if r in complete:
+                return True
+            det = det_by_phase.get(r)
+            return det is not None and bool(det[v])
+
+        settled_def = [0] * (n + 1)
+        for v in range(1, n + 1):
+            s = 0
+            while s < pmax and determined(v, s + 1):
+                s += 1
+            settled_def[v] = s
+            if state._settled[v] != s:
+                self._fail(
+                    f"settled[{v}]={state._settled[v]} but the vertex is "
+                    f"determined exactly through phase {s}"
+                )
+
+        # Ready: full pairs whose vertex is settled through q-1.
+        ready_def = {
+            (v, q) for v, q in full_def if settled_def[v] == q - 1
+        }
+        if live_ready != ready_def:
+            self._fail(
+                f"ready set diverges from the settled-gate definition: "
+                f"live-only={sorted(live_ready - ready_def)}, "
+                f"def-only={sorted(ready_def - live_ready)}"
+            )
+        if not live_ready <= live_full:
+            self._fail("ready is not a subset of full")
+        if live_partial & live_full:
+            self._fail(
+                f"partial and full intersect: {sorted(live_partial & live_full)}"
+            )
+
+        # x-consistency: per-phase, unclamped (the diagnostic form).
+        vmin: Dict[int, int] = {}
+        for v, p in msg_pairs:
+            if v < vmin.get(p, n + 1):
+                vmin[p] = v
+        if state.x(0) != n:
+            self._fail(f"x_0 must be N={n}, got {state.x(0)}")
+        for p in range(1, pmax + 1):
+            xp = state.x(p)
+            expected = (vmin[p] - 1) if p in vmin else n
+            if xp != expected:
+                self._fail(
+                    f"x_{p}={xp} but the unclamped per-phase update yields "
+                    f"{expected} (vmin={vmin.get(p)})"
+                )
+
         for p in vmin:
             if p > pmax:
                 self._fail(f"pairs exist for unstarted phase {p} > pmax={pmax}")

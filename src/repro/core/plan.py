@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from ..errors import SchedulerError, VertexExecutionError
 from ..events import PhaseInput
@@ -375,6 +375,20 @@ class ExecutionPlan:
     def stage_index_of(self, original: str) -> int:
         """Plan-numbering index of the stage containing *original*."""
         return self.program.numbering.index_of[self.stage_of[original]]
+
+    def stage_cones(self) -> Dict[str, FrozenSet[str]]:
+        """Ancestor cone of each stage, as source-graph vertex names:
+        the union of the members' cones minus the members themselves.
+
+        Fusion only collapses linear chains, so this union is exactly the
+        projection of the plan-space ancestor cone — the cone-frontier
+        scheduler running over the fused plan therefore gates each stage
+        on precisely these vertices' stages (asserted by
+        ``tests/graph/test_cones.py``).
+        """
+        from ..graph.cones import stage_cones
+
+        return stage_cones(self)
 
     def describe(self) -> Dict[str, Any]:
         """Summary used by stats, ``repro info`` and the benchmarks."""

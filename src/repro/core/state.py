@@ -62,6 +62,38 @@ The hot-path observers never rebuild sets:
   worker, so draining it is O(pairs drained + workers with backlog)
   instead of the O(total pending) sweep of :func:`drain_ready_batches`
   (kept as the reference implementation).
+
+Per-dependency frontiers (``frontier="cone"``)
+----------------------------------------------
+The global ``x_p`` couples every vertex in a phase: definition (7) makes
+``(w, q)`` full only once ``x_q >= enable(w)``, so one slow *low-indexed*
+vertex holds back every higher-indexed vertex — even in subgraphs it
+cannot reach.  The ``cone`` frontier mode replaces the prefix test with
+the exact dependency condition the prefix conservatively approximates:
+
+* a vertex is **determined** for phase *p* once it has executed ``(v, p)``
+  *or* every direct predecessor is determined for *p* and no message for
+  *p* waits on its inputs (it provably will not execute *p*);
+* ``(w, q)`` is **full** iff a message waits and every direct predecessor
+  is determined for *q* — equivalently, *w*'s whole ancestor cone is
+  determined, by induction along edges;
+* ``(w, q)`` is **ready** iff it is full and *w* is **settled** through
+  ``q - 1``: determined for every earlier started phase.  This preserves
+  the per-vertex phase order that the serializability argument needs
+  (ALGORITHM.md §5.4) while letting independent cones pipeline phases
+  ahead of slow siblings.
+
+Determinedness is maintained incrementally: each completion runs a
+*determination wave* — a DFS over successors decrementing per-phase
+undetermined-predecessor counters; a counter reaching zero either
+promotes a waiting pair partial→full (message present) or cascades
+(vertex determined without executing).  Each edge is traversed at most
+once per phase, so the amortised cost matches the global mode's
+newly-full scan.  Phase completion becomes ``det_count == N`` (complete
+phases no longer form a prefix); the completion *log* records the order,
+and ``x_p`` is kept as an unclamped per-phase diagnostic.  The mode is
+selected at construction; ``"global"`` (the default) leaves the Listing
+1/2 behaviour byte-identical.
 """
 
 from __future__ import annotations
@@ -81,6 +113,7 @@ from typing import (
 )
 
 from ..errors import DuplicateExecutionError, SchedulerError
+from ..graph.cones import ConeIndex
 from ..graph.numbering import Numbering
 from .pairsets import LazyMinHeap
 
@@ -244,6 +277,14 @@ class SchedulerState:
         if an engine updates the scheduling sets outside the lock the
         scheduler can interleave another task mid-update and expose the
         race.  ``None`` (the default) adds no overhead.
+    frontier:
+        ``"global"`` (default) runs Listings 1-2 exactly as published —
+        one frontier ``x_p`` per phase with the no-overtaking clamp.
+        ``"cone"`` replaces the readiness rule with per-dependency
+        determinedness tracking (see the module docstring), letting
+        independent ancestor cones pipeline phases ahead of slow
+        siblings.  Both modes produce serializable executions; only the
+        schedule (and therefore pipelining depth) differs.
     """
 
     def __init__(
@@ -251,12 +292,19 @@ class SchedulerState:
         numbering: Numbering,
         checker: "object | None" = None,
         preempt: Optional[Callable[[str], None]] = None,
+        frontier: str = "global",
     ) -> None:
+        if frontier not in ("global", "cone"):
+            raise SchedulerError(
+                f"frontier must be 'global' or 'cone', got {frontier!r}"
+            )
         self.numbering = numbering
+        self.frontier = frontier
         self.N: int = numbering.n
         self._m: List[int] = numbering.m_sequence()
         self._checker = checker
         self._preempt_hook = preempt
+        self._cones = ConeIndex(numbering)
 
         # Listing 2, statements 2-7: initialisation.
         self._partial: Set[Pair] = set()
@@ -280,6 +328,30 @@ class SchedulerState:
         self._ready_upto: Dict[int, int] = {}  # vertex -> highest phase ever readied
         self._executed_pairs = 0
         self._complete_phases = 0
+
+        # Phase-completion bookkeeping shared by both modes: membership
+        # set plus the completion-order log the engines label tracer
+        # events from.  In global mode the log is the prefix 1..count;
+        # in cone mode phases may complete out of order.
+        self._complete_set: Set[int] = set()
+        self._completed_log: List[int] = []
+        self._oldest_incomplete = 1
+        self._frontier_advances = 0
+        self._max_phase_skew = 0
+
+        if frontier == "cone":
+            # Per started in-flight phase: remaining undetermined-pred
+            # counts, determined flags, and the determined-vertex count.
+            # Arrays are dropped when the phase completes (membership in
+            # _complete_set then answers determinedness), so memory stays
+            # O(in-flight phases x N).
+            self._undet: Dict[int, List[int]] = {}
+            self._det: Dict[int, bytearray] = {}
+            self._det_count: Dict[int, int] = {}
+            # Per-vertex settled pointer: highest phase s such that the
+            # vertex is determined for every started phase <= s.  The
+            # ready gate for (w, q) is settled[w] == q - 1.
+            self._settled: List[int] = [0] * (self.N + 1)
 
         # Snapshot cache: bumped by every mutation block, so repeated
         # partial/full/ready snapshot reads between mutations reuse one
@@ -347,13 +419,16 @@ class SchedulerState:
 
     def phase_complete(self, p: int) -> bool:
         """Phase *p* finished: every vertex executed (or provably need not
-        execute) phase *p* — equivalently ``x_p == N``.
+        execute) phase *p*.
 
-        O(1) via the complete-prefix property: the ``x_i <= x_{i-1}``
-        clamp makes ``x`` nonincreasing in the phase index, so the
-        complete phases are exactly ``1..complete_phase_count``.
+        In global mode this is O(1) via the complete-prefix property: the
+        ``x_i <= x_{i-1}`` clamp forces complete phases to be exactly
+        ``1..complete_phase_count``.  In cone mode phases may complete
+        out of order, so membership in the completion set answers it.
         """
-        return self.phase_started(p) and p <= self._complete_phases
+        if self.frontier == "global":
+            return self.phase_started(p) and p <= self._complete_phases
+        return p in self._complete_set
 
     def all_started_complete(self) -> bool:
         """Every started phase is complete (quiescence)."""
@@ -362,11 +437,47 @@ class SchedulerState:
     def in_flight_phases(self) -> List[int]:
         """Started-but-incomplete phases, ascending.
 
-        By the complete-prefix property this is the contiguous range
-        ``complete_phase_count+1 .. pmax`` — O(in-flight phases), no
-        ``x`` scan, no set construction.
+        In global mode, by the complete-prefix property, this is the
+        contiguous range ``complete_phase_count+1 .. pmax`` — O(in-flight
+        phases), no ``x`` scan, no set construction.  In cone mode the
+        incomplete phases need not be contiguous.
         """
-        return list(range(self._complete_phases + 1, self._pmax + 1))
+        if self.frontier == "global":
+            return list(range(self._complete_phases + 1, self._pmax + 1))
+        return [
+            p
+            for p in range(self._oldest_incomplete_phase(), self._pmax + 1)
+            if p not in self._complete_set
+        ]
+
+    @property
+    def completed_log(self) -> Sequence[int]:
+        """Phases in completion order (append-only).  Engines label their
+        ``phase_completed`` tracer events from this log; in global mode it
+        is identical to the prefix ``1..complete_phase_count``."""
+        return self._completed_log
+
+    def frontier_stats(self) -> Dict[str, object]:
+        """Frontier-layer observability (the documented stats schema):
+
+        * ``mode`` — ``"global"`` or ``"cone"``;
+        * ``cone_count`` — distinct ancestor cones in the graph (the
+          independent-progress capacity the cone mode can exploit);
+        * ``max_phase_skew`` — the largest ``q - oldest_incomplete_phase``
+          observed when a *non-source* pair ``(w, q)`` became ready: how
+          far ahead of the slowest phase the schedule pipelined real
+          dependent work (sources pipeline trivially in both modes and
+          are excluded);
+        * ``frontier_advances`` — total per-phase frontier ``x_p``
+          advancements (both modes keep ``x``; cone mode without the
+          clamp, as a diagnostic).
+        """
+        return {
+            "mode": self.frontier,
+            "cone_count": self._cones.cone_count,
+            "max_phase_skew": self._max_phase_skew,
+            "frontier_advances": self._frontier_advances,
+        }
 
     @property
     def executed_pairs(self) -> int:
@@ -397,6 +508,10 @@ class SchedulerState:
         # Statement 2.11: pmax := next.
         self._pmax = p
         self._x.setdefault(p, 0)
+        if self.frontier == "cone":
+            self._undet[p] = list(self._cones.in_degree)
+            self._det[p] = bytearray(self.N + 1)
+            self._det_count[p] = 0
         pending = self._pending.setdefault(p, LazyMinHeap())
         # Statements 2.12-2.14: source pairs into full; msg := true.
         for s in range(1, self._m[0] + 1):
@@ -515,6 +630,11 @@ class SchedulerState:
             if p not in touched_phases:
                 touched_phases.append(p)
 
+        if self.frontier == "cone":
+            return self._finish_batch_cone(
+                [(v, p) for v, p, _ in batch], touched_phases
+            )
+
         # Statements 1.12-1.23: update x_i over the touched phases.
         changed_phases = self._update_x_over(touched_phases)
         self._preempt("complete_execution:x-updated")
@@ -586,10 +706,153 @@ class SchedulerState:
                 )
                 self._x[i] = xi
                 changed.append(i)
+                self._frontier_advances += 1
                 if xi == self.N:
                     self._complete_phases += 1
+                    self._complete_set.add(i)
+                    self._completed_log.append(i)
             i += 1
         return changed
+
+    # -- cone-frontier internals ----------------------------------------
+
+    def _finish_batch_cone(
+        self, executed: Sequence[Pair], touched_phases: Sequence[int]
+    ) -> List[Pair]:
+        """The cone-mode tail of :meth:`complete_executions`: unclamped
+        x-update, determination waves, phase completion, newly-ready.
+
+        Replaces statements 1.12-1.30.  The newly-full scan of 1.24-1.26
+        becomes part of the wave (a pair goes full the moment its last
+        predecessor determines, regardless of lower-indexed strangers),
+        and phase completion becomes ``det_count == N`` instead of
+        ``x_p == N`` — complete phases no longer form a prefix.
+        """
+        changed = self._update_x_unclamped(touched_phases)
+        del changed  # diagnostic only in cone mode
+        self._preempt("complete_execution:x-updated")
+        candidates = self._determination_wave(executed)
+        for q in sorted(set(touched_phases)):
+            if q not in self._complete_set and self._det_count[q] == self.N:
+                self._mark_phase_complete_cone(q)
+        newly_ready = self._refresh_ready(candidates)
+        self._run_checker()
+        return newly_ready
+
+    def _update_x_unclamped(self, phases: Sequence[int]) -> List[int]:
+        """Per-phase frontier recompute *without* the no-overtaking clamp.
+
+        In cone mode ``x_p`` is a diagnostic (``vmin_p - 1``, or ``N``
+        when nothing is pending): it no longer gates fullness, and
+        dropping the clamp decouples the phases, so only the touched
+        phases can change.  Each ``x_p`` is still nondecreasing — an
+        executed vertex was pending, and every inserted output has a
+        higher index than its emitter, so the pending minimum never
+        drops (asserted).
+        """
+        changed: List[int] = []
+        for i in sorted(set(phases)):
+            pend = self._pending.get(i)
+            xi = (pend.min() - 1) if pend else self.N
+            old = self.x(i)
+            if xi != old:
+                assert xi > old, (
+                    f"x_{i} must be nondecreasing (old {old}, new {xi})"
+                )
+                self._x[i] = xi
+                changed.append(i)
+                self._frontier_advances += 1
+        return changed
+
+    def _determination_wave(self, executed: Sequence[Pair]) -> List[int]:
+        """Propagate determinedness from the executed pairs.
+
+        For each executed ``(v, p)``: mark *v* determined for *p*, then
+        walk successors decrementing the phase-*p* undetermined-pred
+        counters.  A counter reaching zero either promotes the waiting
+        pair partial→full (a message is present) or cascades — the
+        successor is determined *without* executing (no message can ever
+        arrive for it: all its predecessors are determined).  Each edge
+        is traversed at most once per phase over the whole run.
+
+        Returns the readiness candidates: every vertex whose settled
+        pointer advanced plus every vertex that went full.  (An executed
+        vertex always advances its own pointer — the ready gate held at
+        dispatch — so it is always re-examined for its next phase.)
+        """
+        candidates: List[int] = []
+        for v, p in executed:
+            det = self._det[p]
+            undet = self._undet[p]
+            stack = [v]
+            while stack:
+                u = stack.pop()
+                if det[u]:
+                    continue
+                det[u] = 1
+                self._det_count[p] += 1
+                if self._settled[u] == p - 1:
+                    s = p
+                    while s < self._pmax and self._is_determined(u, s + 1):
+                        s += 1
+                    self._settled[u] = s
+                    candidates.append(u)
+                for w in self._cones.succs[u]:
+                    undet[w] -= 1
+                    assert undet[w] >= 0, (
+                        f"undetermined-pred count of vertex {w} phase {p} "
+                        f"went negative"
+                    )
+                    if undet[w] == 0:
+                        wp = (w, p)
+                        if wp in self._partial:
+                            # Last predecessor determined and a message
+                            # waits: (w, p) is full (statement 1.24-1.26's
+                            # role, per-dependency).
+                            self._partial.remove(wp)
+                            self._full.add(wp)
+                            self._full_phases[w].add(p)
+                            heap = self._partial_by_phase.get(p)
+                            if heap is not None:
+                                heap.discard(w)
+                            self._generation += 1
+                            candidates.append(w)
+                        else:
+                            # No message and none can arrive: determined
+                            # without executing — cascade.
+                            stack.append(w)
+        return candidates
+
+    def _is_determined(self, v: int, r: int) -> bool:
+        """Vertex *v* determined for started phase *r* (complete phases
+        count as all-determined; their per-phase arrays are dropped)."""
+        if r in self._complete_set:
+            return True
+        det = self._det.get(r)
+        return det is not None and bool(det[v])
+
+    def _oldest_incomplete_phase(self) -> int:
+        """Smallest started-but-incomplete phase (``pmax + 1`` at
+        quiescence); amortised O(1) via a monotone pointer."""
+        o = self._oldest_incomplete
+        while o <= self._pmax and o in self._complete_set:
+            o += 1
+        self._oldest_incomplete = o
+        return o
+
+    def _mark_phase_complete_cone(self, q: int) -> None:
+        """Every vertex determined for *q*: retire the phase's arrays."""
+        assert self.x(q) == self.N, (
+            f"phase {q} complete with pending pairs (x={self.x(q)})"
+        )
+        self._complete_phases += 1
+        self._complete_set.add(q)
+        self._completed_log.append(q)
+        del self._undet[q]
+        del self._det[q]
+        del self._det_count[q]
+        self._pending.pop(q, None)
+        self._partial_by_phase.pop(q, None)
 
     def _refresh_ready(self, vertices: Iterable[int]) -> List[Pair]:
         """Statements 1.27-1.30 / 2.16-2.19, restricted to *vertices*.
@@ -598,7 +861,17 @@ class SchedulerState:
         pair (readiness of ``(w, q)`` depends solely on ``w``'s own full
         phases), so the definitional scan over all pairs reduces to the
         affected vertices.  Enforces exactly-once placement.
+
+        In cone mode a full pair additionally waits for its vertex to be
+        *settled* through ``q - 1`` (determined for every earlier started
+        phase) — the per-vertex phase-order gate that replaces the
+        min-full-phase rule's reliance on the global clamp.  The settled
+        gate subsumes the min rule: an earlier full or partial phase
+        keeps the vertex unsettled, so ``q`` is necessarily the vertex's
+        lowest pending phase when the gate opens.
         """
+        cone = self.frontier == "cone"
+        enable = self._cones.enable
         out: List[Pair] = []
         seen: Set[int] = set()
         for w in vertices:
@@ -612,6 +885,8 @@ class SchedulerState:
             pair = (w, q)
             if pair in self._ready:
                 continue
+            if cone and self._settled[w] != q - 1:
+                continue
             if q <= self._ready_upto.get(w, 0):
                 raise DuplicateExecutionError(
                     f"pair {pair} would enter the ready set a second time"
@@ -620,6 +895,10 @@ class SchedulerState:
             self._ready.add(pair)
             self._generation += 1
             out.append(pair)
+            if enable[w] > 0:
+                skew = q - self._oldest_incomplete_phase()
+                if skew > self._max_phase_skew:
+                    self._max_phase_skew = skew
         return out
 
     def _preempt(self, point: str) -> None:

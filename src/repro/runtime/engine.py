@@ -101,6 +101,11 @@ class ParallelEngine:
         batched low-contention commit path).  ``None`` (the default)
         takes the value from *env* (:class:`EnvironmentConfig`, default
         1); an explicit integer overrides it.
+    frontier:
+        ``"cone"`` (default) schedules with per-dependency frontiers —
+        independent ancestor cones pipeline phases ahead of slow
+        siblings; ``"global"`` reproduces the published single-``x_p``
+        schedule exactly.  Results are serializable either way.
     """
 
     def __init__(
@@ -114,12 +119,14 @@ class ParallelEngine:
         backend: Optional[ThreadingBackend] = None,
         faults: object = None,
         batch_size: Optional[int] = None,
+        frontier: str = "cone",
     ) -> None:
         if num_threads < 1:
             raise EngineError(f"num_threads must be >= 1, got {num_threads}")
         self.plan = as_plan(program)
         self.program = self.plan.program
         self.num_threads = num_threads
+        self.frontier = frontier
         self.checker = checker
         self.tracer = tracer
         self.env = env
@@ -147,6 +154,7 @@ class ParallelEngine:
             self.program.numbering,
             checker=self.checker,
             preempt=getattr(backend, "preempt", None),
+            frontier=self.frontier,
         )
         lock = InstrumentedLock(clock=backend.clock, backend=backend)
         queue: BlockingQueue[Tuple[int, int]] = BlockingQueue(backend=backend)
@@ -227,13 +235,19 @@ class ParallelEngine:
                                     tracer.execute_end((cv, cp), worker_id)
                                 for pair in newly_ready:
                                     tracer.enqueued(pair)
+                            # Completion labels come from the state's log:
+                            # in global mode it is the prefix order; in
+                            # cone mode phases may complete out of order.
+                            completed_log = state.completed_log
                             newly_complete = (
-                                state.complete_phase_count - seen_complete[0]
+                                len(completed_log) - seen_complete[0]
                             )
                             if tracer is not None:
                                 for i in range(newly_complete):
-                                    tracer.phase_completed(seen_complete[0] + 1 + i)
-                            seen_complete[0] = state.complete_phase_count
+                                    tracer.phase_completed(
+                                        completed_log[seen_complete[0] + i]
+                                    )
+                            seen_complete[0] = len(completed_log)
                             done = env_done.is_set() and state.all_started_complete()
                     if flow_sem is not None:
                         for _ in range(newly_complete):
@@ -349,6 +363,7 @@ class ParallelEngine:
         num_commits = sum(size * count for size, count in batch_sizes.items())
         stats = {
             "num_threads": self.num_threads,
+            "frontier": state.frontier_stats(),
             "lock": lock_stats,
             "queue": {
                 "max_depth": queue.max_depth,

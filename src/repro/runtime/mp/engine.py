@@ -144,6 +144,10 @@ class ProcessEngine:
     window:
         Per-worker in-flight credit window.  ``None`` (default) adapts
         between 1 and ``max(16, 4 * ipc_batch)``; an integer pins it.
+    frontier:
+        ``"cone"`` (default) schedules with per-dependency frontiers;
+        ``"global"`` reproduces the published single-``x_p`` schedule
+        exactly.  See :class:`~repro.core.state.SchedulerState`.
     """
 
     def __init__(
@@ -158,12 +162,14 @@ class ProcessEngine:
         start_method: Optional[str] = None,
         ipc_batch: int = 1,
         window: Optional[int] = None,
+        frontier: str = "cone",
     ) -> None:
         if num_workers < 1:
             raise EngineError(f"num_workers must be >= 1, got {num_workers}")
         self.plan = as_plan(program)
         self.program = self.plan.program
         self.num_workers = num_workers
+        self.frontier = frontier
         self.checker = checker
         self.tracer = tracer
         self.env = env
@@ -194,7 +200,11 @@ class ProcessEngine:
         phase_inputs = self.plan.localize_phase_inputs(phase_inputs)
         self.program.reset()
         runtime = PairRuntime(self.program, phase_inputs)
-        state = SchedulerState(self.program.numbering, checker=self.checker)
+        state = SchedulerState(
+            self.program.numbering,
+            checker=self.checker,
+            frontier=self.frontier,
+        )
         lock = InstrumentedLock()
         tracer = self.tracer
         pool = ProcessWorkerPool(
@@ -315,12 +325,12 @@ class ProcessEngine:
                         )
                     for pair in newly_ready:
                         tracer.enqueued(pair)
-                    newly_complete = (
-                        state.complete_phase_count - seen_complete
-                    )
-                    for i in range(newly_complete):
-                        tracer.phase_completed(seen_complete + 1 + i)
-                seen_complete = state.complete_phase_count
+                    # Labels come from the completion log (prefix order
+                    # in global mode; possibly out of order in cone mode).
+                    completed_log = state.completed_log
+                    for i in range(seen_complete, len(completed_log)):
+                        tracer.phase_completed(completed_log[i])
+                seen_complete = len(state.completed_log)
             pending.push(newly_ready)
 
         def requeue_skipped(
@@ -478,6 +488,7 @@ class ProcessEngine:
         stats: Dict[str, Any] = {
             "num_workers": self.num_workers,
             "start_method": pool.start_method,
+            "frontier": state.frontier_stats(),
             "lock": lock_stats,
             "per_worker_executions": dict(per_worker_counts),
             "per_worker_utilization": {

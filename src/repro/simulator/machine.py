@@ -75,6 +75,12 @@ class SimulatedEngine:
     checker / tracer:
         As for :class:`~repro.runtime.engine.ParallelEngine`; the tracer's
         clock is rebound to virtual time.
+    frontier:
+        ``"global"`` (default) or ``"cone"`` — see
+        :class:`~repro.core.state.SchedulerState`.  The simulator keeps
+        the published schedule as its default so the DES figures and
+        barrier-comparison baselines stay pinned; the CLI passes the
+        knob explicitly.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class SimulatedEngine:
         tracer: Optional[ExecutionTracer] = None,
         max_in_flight_phases: Optional[int] = None,
         queue_discipline: str = "fifo",
+        frontier: str = "global",
     ) -> None:
         if num_workers < 1:
             raise SimulationError(f"num_workers must be >= 1, got {num_workers}")
@@ -103,6 +110,7 @@ class SimulatedEngine:
         self.program = self.plan.program
         self.num_workers = num_workers
         self.num_processors = num_processors
+        self.frontier = frontier
         self.cost_model = cost_model or CostModel()
         self.checker = checker
         self.tracer = tracer
@@ -172,7 +180,11 @@ class SimulatedEngine:
         self.program.reset()
         self.cost_model.reset()
         runtime = PairRuntime(self.program, phase_inputs)
-        state = SchedulerState(self.program.numbering, checker=self.checker)
+        state = SchedulerState(
+            self.program.numbering,
+            checker=self.checker,
+            frontier=self.frontier,
+        )
         sim = Simulation()
         lock = Resource(sim, 1, name="global-lock")
         procs = Resource(sim, self.num_processors, name="processors")
@@ -263,9 +275,12 @@ class SimulatedEngine:
                             tracer.enqueued(pair)
                         queue.put(pair)
                     if tracer is not None:
-                        while seen_complete[0] < state.complete_phase_count:
+                        completed_log = state.completed_log
+                        while seen_complete[0] < len(completed_log):
+                            tracer.phase_completed(
+                                completed_log[seen_complete[0]]
+                            )
                             seen_complete[0] += 1
-                            tracer.phase_completed(seen_complete[0])
                     # Flow control: wake the environment when phase
                     # completions open room for another in-flight phase.
                     waiter = flow_waiter[0]
@@ -323,6 +338,7 @@ class SimulatedEngine:
         stats: Dict[str, Any] = {
             "num_workers": self.num_workers,
             "num_processors": self.num_processors,
+            "frontier": state.frontier_stats(),
             "lock": {
                 "total_requests": lock.total_requests,
                 "contended_requests": lock.contended_requests,

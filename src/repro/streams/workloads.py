@@ -17,13 +17,14 @@ structural regimes of the evaluation:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.program import Program
 from ..core.vertex import EMIT_NOTHING, Vertex, VertexContext
 from ..errors import WorkloadError
 from ..events import PhaseInput
 from ..graph.generators import chain_graph, fan_in_graph, fig1_graph, layered_graph
+from ..graph.model import ComputationGraph
 from ..models.sensors import RandomWalkSensor
 from .generators import phase_signals
 
@@ -33,6 +34,8 @@ __all__ = [
     "grid_workload",
     "fig1_workload",
     "cpu_heavy_workload",
+    "wide_workload",
+    "comb_workload",
     "sum_behaviors",
     "LatchedSum",
     "SpinningSum",
@@ -158,6 +161,97 @@ def fig1_workload(
     g = fig1_graph()
     program = Program(g, sum_behaviors(g, seed=seed), name="fig1")
     return program, phase_signals(phases)
+
+
+def _lane_graph(
+    lanes: int, depth: int, name: str, sink: bool
+) -> ComputationGraph:
+    g = ComputationGraph(name=name)
+    for lane in range(lanes):
+        names = [f"l{lane}v{i}" for i in range(depth)]
+        g.add_vertices(names)
+        for a, b in zip(names, names[1:]):
+            g.add_edge(a, b)
+    if sink:
+        g.add_vertex("sink")
+        for lane in range(lanes):
+            g.add_edge(f"l{lane}v{depth - 1}", "sink")
+    return g
+
+
+def _lane_behaviors(
+    g: ComputationGraph,
+    lanes: int,
+    seed: int,
+    slow_lane: Optional[int],
+    slow_grain: int,
+) -> Dict[str, Vertex]:
+    """Chatty sources + latched sums, with lane *slow_lane*'s first inner
+    vertex spinning *slow_grain* iterations — the straggler whose cone the
+    frontier benchmarks pit against its fast siblings."""
+    behaviors: Dict[str, Vertex] = {}
+    slow_name = f"l{slow_lane}v1" if slow_lane is not None else None
+    for i, v in enumerate(g.vertices()):
+        preds = tuple(g.predecessors(v))
+        if not preds:
+            behaviors[v] = RandomWalkSensor(seed=seed + i, step=1.0)
+        elif v == slow_name and slow_grain > 0:
+            behaviors[v] = SpinningSum(preds, grain=slow_grain)
+        else:
+            behaviors[v] = LatchedSum(preds)
+    return behaviors
+
+
+def wide_workload(
+    lanes: int = 4,
+    depth: int = 4,
+    phases: int = 50,
+    seed: int = 0,
+    slow_lane: Optional[int] = None,
+    slow_grain: int = 0,
+) -> Tuple[Program, List[PhaseInput]]:
+    """A forest of *lanes* independent depth-*depth* chains.
+
+    Every lane is its own ancestor cone, so this is the maximal-cone-
+    independence shape: under per-cone frontiers each lane pipelines at
+    its own pace.  With *slow_lane*/*slow_grain* set, that lane's first
+    inner vertex becomes a CPU straggler (:class:`SpinningSum`) — the
+    regime where the global x_p clamp makes every fast lane wait.  The
+    slow lane's vertices are inserted first, so the restricted numbering
+    gives them low indices and the clamp binds against all other lanes.
+    """
+    if lanes < 1 or depth < 2:
+        raise WorkloadError("wide_workload needs lanes >= 1 and depth >= 2")
+    if slow_lane is not None and not (0 <= slow_lane < lanes):
+        raise WorkloadError(f"slow_lane must be in [0, {lanes}), got {slow_lane}")
+    g = _lane_graph(lanes, depth, f"wide[{lanes}x{depth}]", sink=False)
+    behaviors = _lane_behaviors(g, lanes, seed, slow_lane, slow_grain)
+    return Program(g, behaviors, name=g.name), phase_signals(phases)
+
+
+def comb_workload(
+    lanes: int = 4,
+    depth: int = 4,
+    phases: int = 50,
+    seed: int = 0,
+    slow_lane: Optional[int] = None,
+    slow_grain: int = 0,
+) -> Tuple[Program, List[PhaseInput]]:
+    """*lanes* depth-*depth* chains correlated at one sink.
+
+    Like :func:`wide_workload` but the lanes join at a final correlator,
+    so the cones overlap only at the sink: lane-local work still
+    pipelines independently under per-cone frontiers, while the sink's
+    cone spans everything and advances at the slowest lane's pace — the
+    event-stream correlation shape from the paper with a straggler knob.
+    """
+    if lanes < 1 or depth < 2:
+        raise WorkloadError("comb_workload needs lanes >= 1 and depth >= 2")
+    if slow_lane is not None and not (0 <= slow_lane < lanes):
+        raise WorkloadError(f"slow_lane must be in [0, {lanes}), got {slow_lane}")
+    g = _lane_graph(lanes, depth, f"comb[{lanes}x{depth}]", sink=True)
+    behaviors = _lane_behaviors(g, lanes, seed, slow_lane, slow_grain)
+    return Program(g, behaviors, name=g.name), phase_signals(phases)
 
 
 def cpu_heavy_workload(

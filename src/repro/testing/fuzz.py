@@ -57,6 +57,7 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "SparseSource",
+    "SkewedVertex",
     "run_one",
     "fuzz",
     "run_one_process",
@@ -88,6 +89,7 @@ class WorkloadSpec:
     delta_prob: float
     stream_seed: int
     threads: int
+    skew: bool = False
 
     def build(self) -> Tuple[Program, List[PhaseInput]]:
         graph = random_dag(
@@ -105,8 +107,24 @@ class WorkloadSpec:
                 )
             else:
                 behaviors[name] = FunctionVertex(_latched_sum)
+        behaviors = self._apply_skew(graph, behaviors)
         program = Program(graph, behaviors, name=f"fuzz-{self.graph_seed}")
         return program, phase_signals(self.phases)
+
+    def _apply_skew(self, graph, behaviors):
+        """With ``skew``, wrap every behaviour so one seeded vertex per
+        phase burns a deterministic spin before delegating — an
+        artificially slow straggler that stresses cone independence
+        (siblings outside the straggler's cone should pipeline past it
+        under ``frontier="cone"``).  Values are unchanged, so the serial
+        oracle comparison is unaffected."""
+        if not self.skew:
+            return behaviors
+        names = tuple(sorted(graph.vertices()))
+        return {
+            name: SkewedVertex(beh, name, self.stream_seed, names)
+            for name, beh in behaviors.items()
+        }
 
     def build_picklable(self) -> Tuple[Program, List[PhaseInput]]:
         """Like :meth:`build`, but with module-level behaviour classes so
@@ -133,6 +151,7 @@ class WorkloadSpec:
                 )
             else:
                 behaviors[name] = FunctionVertex(_latched_sum)
+        behaviors = self._apply_skew(graph, behaviors)
         program = Program(graph, behaviors, name=f"fuzz-{self.graph_seed}")
         return program, phase_signals(self.phases)
 
@@ -142,6 +161,7 @@ class WorkloadSpec:
             f"graph_seed={self.graph_seed} phases={self.phases} "
             f"delta~{self.delta_prob:.2f} stream_seed={self.stream_seed} "
             f"threads={self.threads}"
+            + (" skew" if self.skew else "")
         )
 
 
@@ -200,8 +220,62 @@ class SparseSource(Vertex):
         return f"SparseSource({self.name!r}, seed={self.seed})"
 
 
+class SkewedVertex(Vertex):
+    """Delegating wrapper that makes one seeded vertex per phase slow.
+
+    The straggler for phase *p* is ``Random(f"skew:{seed}:{p}")``'s choice
+    over the sorted vertex names — a pure function of the spec, so serial
+    and parallel runs (and replays anywhere) skew identically.  The delay
+    is a deterministic spin, not a sleep, so virtual-scheduler runs stay
+    step-exact.  All state methods delegate to the wrapped behaviour, so
+    final-state comparison and the process engine's delta sync see the
+    inner vertex unchanged.  Module-level, hence picklable for ``spawn``.
+    """
+
+    def __init__(
+        self,
+        inner: Vertex,
+        name: str,
+        seed: int,
+        names: Tuple[str, ...],
+        spin: int = 25_000,
+    ) -> None:
+        self.inner = inner
+        self.name = name
+        self.seed = seed
+        self.names = tuple(names)
+        self.spin = spin
+
+    def on_execute(self, ctx):
+        rng = random.Random(f"skew:{self.seed}:{ctx.phase}")
+        if rng.choice(self.names) == self.name:
+            acc = 0
+            for i in range(self.spin):
+                acc += i
+        return self.inner.on_execute(ctx)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def snapshot_state(self):
+        return self.inner.snapshot_state()
+
+    def restore_state(self, snapshot) -> None:
+        self.inner.restore_state(snapshot)
+
+    def snapshot_delta(self, baseline):
+        return self.inner.snapshot_delta(baseline)
+
+    def apply_delta(self, delta) -> None:
+        self.inner.apply_delta(delta)
+
+    def __repr__(self) -> str:
+        return f"SkewedVertex({self.inner!r})"
+
+
 def spec_for_run(master_seed: int, index: int, max_vertices: int = 8,
-                 max_phases: int = 6, threads: Optional[int] = None) -> WorkloadSpec:
+                 max_phases: int = 6, threads: Optional[int] = None,
+                 skew: bool = False) -> WorkloadSpec:
     """Derive run *index*'s workload from the master seed (order-free)."""
     rs = random.Random(f"fuzz:{master_seed}:{index}")
     return WorkloadSpec(
@@ -212,6 +286,7 @@ def spec_for_run(master_seed: int, index: int, max_vertices: int = 8,
         delta_prob=rs.uniform(0.3, 1.0),
         stream_seed=rs.randrange(2**31),
         threads=threads if threads is not None else rs.randint(2, 4),
+        skew=skew,
     )
 
 
@@ -245,6 +320,7 @@ def run_one(
     max_steps: int = 250_000,
     batch_size: int = 1,
     fuse: bool = False,
+    frontier: str = "cone",
 ) -> RunOutcome:
     """Run *spec* serially (oracle) and under *policy*; judge the result.
 
@@ -254,7 +330,10 @@ def run_one(
     the workload with linear-chain fusion before the engine runs it — the
     oracle always executes the *unfused* program, so the judgement is
     exactly the tentpole correctness bar: a fused parallel run must be
-    indistinguishable from the original serial semantics.
+    indistinguishable from the original serial semantics.  *frontier*
+    selects the readiness rule (``"cone"`` per-dependency frontiers or
+    ``"global"`` for the paper's x_p clamp); the monitor's invariant
+    checks follow the mode automatically.
     """
     program, phases = spec.build()
     serial = SerialExecutor(program).run(phases)
@@ -270,6 +349,7 @@ def run_one(
         backend=VirtualBackend(scheduler),
         faults=faults,
         batch_size=batch_size,
+        frontier=frontier,
     )
     outcome = RunOutcome(spec=spec, policy_desc=policy.describe(), passed=False)
     error: Optional[BaseException] = None
@@ -335,6 +415,7 @@ class FuzzFailure:
     shrunk_spec: Optional[WorkloadSpec] = None
     batch_size: int = 1
     fuse: bool = False
+    frontier: str = "cone"
     engine_config: Optional[Dict[str, object]] = None
 
     def summary(self) -> str:
@@ -345,6 +426,7 @@ class FuzzFailure:
             f"  policy:   {self.policy_name}(seed={self.policy_seed})",
             f"  batch:    {self.batch_size}"
             + ("  (fused plan)" if self.fuse else ""),
+            f"  frontier: {self.frontier}",
             *(
                 [f"  engine:   {self.engine_config!r}"]
                 if self.engine_config is not None
@@ -372,6 +454,7 @@ class FuzzFailure:
             "policy_seed": self.policy_seed,
             "batch_size": self.batch_size,
             "fuse": self.fuse,
+            "frontier": self.frontier,
             "reason": self.reason,
             "trace_names": list(self.trace_names),
             "shrunk_spec": (
@@ -423,6 +506,8 @@ def fuzz(
     max_steps: int = 250_000,
     batch_size: int = 1,
     fuse: bool = False,
+    frontier: str = "cone",
+    skew: bool = False,
 ) -> FuzzReport:
     """Explore *runs* random (workload, interleaving) pairs.
 
@@ -430,7 +515,10 @@ def fuzz(
     from ``(seed, run index)``, so the campaign is reproducible and any
     single run can be replayed in isolation.  *batch_size* runs the
     campaign over the batched commit path; *fuse* runs it over fused
-    execution plans (oracle stays unfused).
+    execution plans (oracle stays unfused); *frontier* selects the
+    readiness rule and is recorded on every failure so replays are exact;
+    *skew* artificially slows one seeded vertex per phase (see
+    :class:`SkewedVertex`) to stress cone independence.
     """
     if not policies:
         raise ValueError("fuzz needs at least one scheduling policy")
@@ -439,12 +527,13 @@ def fuzz(
     total_steps = 0
     total_checks = 0
     for i in range(runs):
-        spec = spec_for_run(seed, i, max_vertices, max_phases, threads)
+        spec = spec_for_run(seed, i, max_vertices, max_phases, threads,
+                            skew=skew)
         policy_name = policies[i % len(policies)]
         policy_seed = random.Random(f"policy:{seed}:{i}").randrange(2**31)
         outcome = run_one(
             spec, make_policy(policy_name, policy_seed), faults, max_steps,
-            batch_size=batch_size, fuse=fuse,
+            batch_size=batch_size, fuse=fuse, frontier=frontier,
         )
         hashes[outcome.trace_hash] = hashes.get(outcome.trace_hash, 0) + 1
         total_steps += outcome.steps
@@ -460,11 +549,12 @@ def fuzz(
                 trace_names=outcome.trace_names,
                 batch_size=batch_size,
                 fuse=fuse,
+                frontier=frontier,
             )
             if do_shrink:
                 failure.shrunk_spec = shrink(
                     spec, policy_name, policy_seed, faults, max_steps,
-                    batch_size=batch_size, fuse=fuse,
+                    batch_size=batch_size, fuse=fuse, frontier=frontier,
                 )
             failures.append(failure)
             if stop_on_failure:
@@ -507,6 +597,7 @@ def run_one_process(
     config: Dict[str, object],
     start_method: str = "spawn",
     fuse: bool = False,
+    frontier: str = "cone",
 ) -> RunOutcome:
     """Run *spec* on the process engine under *config*; judge vs serial.
 
@@ -530,7 +621,7 @@ def run_one_process(
     desc = (
         f"process[w={config['workers']},b={config['batch_size']},"
         f"ipc={config['ipc_batch']},win={config['window']},"
-        f"{start_method}{',fused' if fuse else ''}]"
+        f"{start_method},{frontier}{',fused' if fuse else ''}]"
     )
     outcome = RunOutcome(spec=spec, policy_desc=desc, passed=False)
     engine = ProcessEngine(
@@ -540,6 +631,7 @@ def run_one_process(
         ipc_batch=int(config["ipc_batch"]),
         window=config["window"],  # type: ignore[arg-type]
         start_method=start_method,
+        frontier=frontier,
     )
     try:
         result = engine.run(phases)
@@ -575,6 +667,8 @@ def fuzz_process(
     max_phases: int = 5,
     start_method: str = "spawn",
     fuse: bool = False,
+    frontier: str = "cone",
+    skew: bool = False,
 ) -> FuzzReport:
     """Explore *runs* random workloads across process wire-path configs.
 
@@ -590,10 +684,12 @@ def fuzz_process(
     total_steps = 0
     i = -1
     for i in range(runs):
-        spec = spec_for_run(seed, i, max_vertices, max_phases, threads=2)
+        spec = spec_for_run(seed, i, max_vertices, max_phases, threads=2,
+                            skew=skew)
         config = process_config_for_run(seed, i)
         outcome = run_one_process(
-            spec, config, start_method=start_method, fuse=fuse
+            spec, config, start_method=start_method, fuse=fuse,
+            frontier=frontier,
         )
         configs[outcome.policy_desc] = configs.get(outcome.policy_desc, 0) + 1
         total_steps += outcome.steps
@@ -609,6 +705,7 @@ def fuzz_process(
                     trace_names=[],
                     batch_size=int(config["batch_size"]),
                     fuse=fuse,
+                    frontier=frontier,
                     engine_config=dict(config, start_method=start_method),
                 )
             )
@@ -633,6 +730,7 @@ def shrink(
     budget: int = 24,
     batch_size: int = 1,
     fuse: bool = False,
+    frontier: str = "cone",
 ) -> WorkloadSpec:
     """Greedily minimise a failing spec while it keeps failing.
 
@@ -645,7 +743,7 @@ def shrink(
     def still_fails(candidate: WorkloadSpec) -> bool:
         outcome = run_one(
             candidate, make_policy(policy_name, policy_seed), faults, max_steps,
-            batch_size=batch_size, fuse=fuse,
+            batch_size=batch_size, fuse=fuse, frontier=frontier,
         )
         return not outcome.passed
 
@@ -690,11 +788,13 @@ def replay_failure(
         return run_one(
             failure.spec, ReplayPolicy(failure.trace_names), faults,
             batch_size=failure.batch_size, fuse=failure.fuse,
+            frontier=failure.frontier,
         )
     spec = failure.shrunk_spec or failure.spec
     return run_one(
         spec, make_policy(failure.policy_name, failure.policy_seed), faults,
         batch_size=failure.batch_size, fuse=failure.fuse,
+        frontier=failure.frontier,
     )
 
 

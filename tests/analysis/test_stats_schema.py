@@ -1,0 +1,117 @@
+"""Stats-schema regression tests.
+
+``repro run --stats-json`` output must validate against the documented
+schema (:mod:`repro.analysis.stats`) for every engine — in particular the
+``frontier`` section every scheduling engine now reports — in both
+frontier modes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.stats import (
+    validate_engine_stats,
+    validate_frontier_stats,
+)
+from repro.cli import main
+
+SPEC = """
+<computation name="stats-demo">
+  <graph>
+    <vertex id="sensor" class="RandomWalkSensor">
+      <param name="seed" value="1" type="int"/>
+    </vertex>
+    <vertex id="avg" class="MovingAverage">
+      <param name="window" value="3" type="int"/>
+    </vertex>
+    <vertex id="out" class="Recorder"/>
+    <edge from="sensor" to="avg"/>
+    <edge from="avg" to="out"/>
+  </graph>
+  <simulation timesteps="8" interval="1.0" seed="5"/>
+</computation>
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path: Path) -> str:
+    path = tmp_path / "demo.xml"
+    path.write_text(SPEC)
+    return str(path)
+
+
+class TestStatsJsonSchema:
+    @pytest.mark.parametrize(
+        "engine", ["serial", "parallel", "process", "simulated"]
+    )
+    @pytest.mark.parametrize("frontier", ["global", "cone"])
+    def test_every_engine_validates(self, spec_file, tmp_path, engine,
+                                    frontier):
+        out_path = tmp_path / f"{engine}-{frontier}.json"
+        assert main([
+            "run", spec_file, "--engine", engine, "--no-fuse",
+            "--frontier", frontier, "--stats-json", str(out_path),
+        ]) == 0
+        payload = json.loads(out_path.read_text())
+        errors = validate_engine_stats(payload["engine"], payload["stats"])
+        assert not errors, errors
+        if engine == "serial":
+            assert payload["stats"] == {}
+        else:
+            section = payload["stats"]["frontier"]
+            assert section["mode"] == frontier
+            assert section["cone_count"] == 3  # a 3-vertex chain
+
+    def test_threaded_stats_report_requested_mode(self, spec_file, tmp_path):
+        out_path = tmp_path / "t.json"
+        assert main([
+            "run", spec_file, "--engine", "parallel", "--threads", "2",
+            "--stats-json", str(out_path),
+        ]) == 0  # default --frontier is cone
+        payload = json.loads(out_path.read_text())
+        assert payload["stats"]["frontier"]["mode"] == "cone"
+
+
+class TestValidatorUnit:
+    def test_accepts_valid_section(self):
+        assert validate_frontier_stats({
+            "mode": "cone",
+            "cone_count": 4,
+            "max_phase_skew": 2,
+            "frontier_advances": 17,
+        }) == []
+
+    def test_rejects_bad_mode_and_types(self):
+        errors = validate_frontier_stats({
+            "mode": "both",
+            "cone_count": 0,
+            "max_phase_skew": True,
+            "frontier_advances": "many",
+        })
+        assert len(errors) == 4
+
+    def test_rejects_unknown_keys_and_missing(self):
+        errors = validate_frontier_stats({"mode": "global", "extra": 1})
+        assert any("unexpected keys" in e for e in errors)
+        assert any("cone_count" in e for e in errors)
+
+    def test_engine_dispatch(self):
+        assert validate_engine_stats("serial", {}) == []
+        assert validate_engine_stats("serial", {"frontier": {}}) != []
+        assert validate_engine_stats("parallel[k=2]", {}) != []
+        good = {
+            "frontier": {
+                "mode": "global",
+                "cone_count": 1,
+                "max_phase_skew": 0,
+                "frontier_advances": 0,
+            }
+        }
+        for engine in ("parallel[k=2]", "process[w=2]", "simulated[k=2,P=2]"):
+            assert validate_engine_stats(engine, good) == []
+
+    def test_non_mapping_stats(self):
+        assert validate_engine_stats("parallel[k=1]", None) != []
+        assert validate_frontier_stats(7) != []
