@@ -5,7 +5,13 @@ from .serializability import (
     check_serializable,
     SerializabilityReport,
 )
-from .stats import summarize_speedup, format_table, message_rate_summary
+from .stats import (
+    summarize_speedup,
+    format_table,
+    message_rate_summary,
+    validate_engine_stats,
+    validate_sharding_stats,
+)
 from .ascii_viz import render_graph, render_snapshot, render_frames
 from .timeline import render_timeline, worker_utilization
 from .export import save_result, load_result, result_to_dict, result_from_dict
@@ -17,6 +23,8 @@ __all__ = [
     "summarize_speedup",
     "format_table",
     "message_rate_summary",
+    "validate_engine_stats",
+    "validate_sharding_stats",
     "render_graph",
     "render_snapshot",
     "render_frames",

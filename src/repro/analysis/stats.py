@@ -26,6 +26,14 @@ engine-agnostic portion validated by :func:`validate_engine_stats`:
     advancement events (x_p steps in global mode, per-phase determined
     prefix steps in cone mode).
 
+* ``stats["sharding"]`` — required for the sharded meta-engine
+  (``RunResult.engine`` starting with ``"sharded"``), forbidden
+  elsewhere: shard count, feed mode, router identity, per-shard
+  key/phase/execution/late counters and the merge-alignment counters
+  (see :mod:`repro.sharding`).  The per-shard engine runs keep their own
+  full stats (frontier section included) on the nested
+  ``ShardedRunResult.shard_results``.
+
 The rest of the dict is engine-specific (lock contention, IPC counters,
 virtual-processor utilization, ...) and intentionally open — the
 validator checks shape, not exhaustiveness.
@@ -42,6 +50,7 @@ __all__ = [
     "summarize_speedup",
     "message_rate_summary",
     "validate_frontier_stats",
+    "validate_sharding_stats",
     "validate_engine_stats",
 ]
 
@@ -50,7 +59,23 @@ __all__ = [
 #: ``frontier`` stats section).
 SCHEDULING_ENGINE_PREFIXES = ("parallel", "process", "simulated")
 
+#: Engine name prefix of the sharded meta-engine (N replicated engine
+#: instances behind a key router; see :mod:`repro.sharding`).
+SHARDED_ENGINE_PREFIX = "sharded"
+
 _FRONTIER_MODES = ("global", "cone")
+
+_SHARDING_MODES = ("stream", "phases")
+
+_PER_SHARD_KEYS = (
+    "shard",
+    "keys",
+    "vertices",
+    "phases",
+    "executions",
+    "messages",
+    "late_events",
+)
 
 
 def validate_frontier_stats(section: Any, where: str = "frontier") -> List[str]:
@@ -83,6 +108,88 @@ def validate_frontier_stats(section: Any, where: str = "frontier") -> List[str]:
     return errors
 
 
+def validate_sharding_stats(section: Any, where: str = "sharding") -> List[str]:
+    """Validate one ``stats["sharding"]`` section; returns error strings
+    (empty list == valid)."""
+    errors: List[str] = []
+    if not isinstance(section, Mapping):
+        return [f"{where}: expected a mapping, got {type(section).__name__}"]
+
+    def require_int(mapping: Mapping, key: str, label: str, minimum: int = 0):
+        value = mapping.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"{label}: expected an int, got {value!r}")
+            return None
+        if value < minimum:
+            errors.append(f"{label}: expected >= {minimum}, got {value}")
+        return value
+
+    num_shards = require_int(section, "num_shards", f"{where}.num_shards", 1)
+    require_int(section, "keys", f"{where}.keys", 0)
+    mode = section.get("mode")
+    if mode not in _SHARDING_MODES:
+        errors.append(
+            f"{where}.mode: expected one of {_SHARDING_MODES}, got {mode!r}"
+        )
+    router = section.get("router")
+    if not isinstance(router, Mapping):
+        errors.append(
+            f"{where}.router: expected a mapping, got {type(router).__name__}"
+        )
+    else:
+        if not isinstance(router.get("algorithm"), str):
+            errors.append(
+                f"{where}.router.algorithm: expected a string, got "
+                f"{router.get('algorithm')!r}"
+            )
+        require_int(router, "num_shards", f"{where}.router.num_shards", 1)
+    per_shard = section.get("per_shard")
+    if not isinstance(per_shard, Sequence) or isinstance(per_shard, (str, bytes)):
+        errors.append(
+            f"{where}.per_shard: expected a list, got "
+            f"{type(per_shard).__name__}"
+        )
+    else:
+        if num_shards is not None and len(per_shard) != num_shards:
+            errors.append(
+                f"{where}.per_shard: expected {num_shards} entries, "
+                f"got {len(per_shard)}"
+            )
+        for i, entry in enumerate(per_shard):
+            if not isinstance(entry, Mapping):
+                errors.append(
+                    f"{where}.per_shard[{i}]: expected a mapping, got "
+                    f"{type(entry).__name__}"
+                )
+                continue
+            for key in _PER_SHARD_KEYS:
+                require_int(entry, key, f"{where}.per_shard[{i}].{key}", 0)
+            shard = entry.get("shard")
+            if isinstance(shard, int) and shard != i:
+                errors.append(
+                    f"{where}.per_shard[{i}].shard: expected {i}, got {shard}"
+                )
+            extra = set(entry) - set(_PER_SHARD_KEYS)
+            if extra:
+                errors.append(
+                    f"{where}.per_shard[{i}]: unexpected keys {sorted(extra)}"
+                )
+    merge = section.get("merge")
+    if not isinstance(merge, Mapping):
+        errors.append(
+            f"{where}.merge: expected a mapping, got {type(merge).__name__}"
+        )
+    else:
+        require_int(merge, "phases_merged", f"{where}.merge.phases_merged", 0)
+        require_int(merge, "max_buffered", f"{where}.merge.max_buffered", 0)
+    extra = set(section) - {
+        "num_shards", "keys", "mode", "router", "per_shard", "merge",
+    }
+    if extra:
+        errors.append(f"{where}: unexpected keys {sorted(extra)}")
+    return errors
+
+
 def validate_engine_stats(engine: str, stats: Any) -> List[str]:
     """Validate a result's ``stats`` dict against the documented schema.
 
@@ -94,6 +201,24 @@ def validate_engine_stats(engine: str, stats: Any) -> List[str]:
     errors: List[str] = []
     if not isinstance(stats, Mapping):
         return [f"stats: expected a mapping, got {type(stats).__name__}"]
+    if engine.startswith(SHARDED_ENGINE_PREFIX):
+        if "sharding" not in stats:
+            errors.append(
+                f"stats.sharding: required for sharded engine {engine!r}"
+            )
+        else:
+            errors.extend(validate_sharding_stats(stats["sharding"]))
+        if "frontier" in stats:
+            errors.append(
+                f"stats.frontier: unexpected at the top level for "
+                f"{engine!r} (frontier stats live on the per-shard runs)"
+            )
+        return errors
+    if "sharding" in stats:
+        errors.append(
+            f"stats.sharding: unexpected for engine {engine!r} "
+            f"(only the sharded meta-engine reports it)"
+        )
     scheduling = engine.startswith(SCHEDULING_ENGINE_PREFIXES)
     if not scheduling:
         if "frontier" in stats:

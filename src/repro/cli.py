@@ -84,6 +84,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "ancestor cones pipeline ahead of slow "
                           "siblings; 'global' reproduces the paper's "
                           "single x_p clamp exactly")
+    run.add_argument("--shards", type=int, default=0, metavar="N",
+                     help="run the spec as N keyed shards (replicated "
+                          "engine instances behind a stable key router) "
+                          "and merge the outputs; requires a "
+                          "key-separable graph (default 0: single "
+                          "instance)")
+    run.add_argument("--key-by", choices=["source", "bracket"],
+                     default="bracket",
+                     help="key derivation for --shards: 'bracket' "
+                          "(default) keys a source by its [...] suffix "
+                          "(txn[a3] -> a3), 'source' makes every source "
+                          "its own key")
     run.add_argument("--check", action="store_true",
                      help="also run the serial oracle and verify "
                           "serializability")
@@ -179,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "(seeded) vertex per phase, stressing "
                            "cone-independent pipelining where lanes race "
                            "far ahead of a straggler")
+    fuzz.add_argument("--shards", type=int, default=0, metavar="N",
+                      help="sharded campaign: random keyed workloads "
+                           "run as N replicated instances and judged "
+                           "against the single-instance serial oracle "
+                           "(merged outputs, final per-key state, stats "
+                           "schema); the inner engine varies per run")
     fuzz.add_argument("--failure-artifacts", metavar="DIR", default=None,
                       help="on failure, write one JSON reproduction file "
                            "(seed, spec, policy, step trace) per failure "
@@ -200,6 +218,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     spec = _load(args.spec)
     phases = spec.phase_inputs()
+    if args.shards:
+        return _run_sharded(args, spec, phases)
     plan = compile_plan(spec.program, fuse=args.fuse)
     if args.engine == "serial":
         result = SerialExecutor(plan).run(phases)
@@ -281,6 +301,102 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"\nserializability: {report}")
         if not report:
             return 2
+    return 0
+
+
+def _run_sharded(args: argparse.Namespace, spec, phases) -> int:
+    """The ``repro run --shards N`` path: N replicated instances of the
+    spec's program behind a stable key router, outputs merged back into
+    global phase order."""
+    from .analysis.stats import validate_engine_stats
+    from .core.serial import SerialExecutor
+    from .sharding import ShardedEngine, key_by_bracket, key_by_source
+
+    key_of = key_by_source if args.key_by == "source" else key_by_bracket
+    engine = ShardedEngine(
+        spec.program,
+        key_of,
+        args.shards,
+        engine=args.engine,
+        engine_options={
+            "threads": args.threads,
+            "batch_size": args.batch_size,
+            "workers": args.workers,
+            "processors": args.processors,
+            "start_method": args.start_method,
+            "ipc_batch": args.ipc_batch,
+            "window": args.window,
+        },
+        fuse=args.fuse,
+        frontier=args.frontier,
+    )
+    result = engine.run(phases)
+    sharding = result.stats["sharding"]
+    print(f"{spec.name}: {result.engine} ran {result.phases_run} merged "
+          f"phases, {result.execution_count} pair executions, "
+          f"{result.message_count} messages, "
+          f"wall time {result.wall_time:.4f}")
+    per_shard = ", ".join(
+        f"#{e['shard']}: {e['keys']} keys/{e['executions']} exec"
+        for e in sharding["per_shard"]
+    )
+    print(f"sharding: {sharding['num_shards']} shards over "
+          f"{sharding['keys']} keys via {sharding['router']['algorithm']} "
+          f"({per_shard})")
+
+    if args.stats_json is not None:
+        import json
+
+        payload = {
+            "spec": spec.name,
+            "engine": result.engine,
+            "phases_run": result.phases_run,
+            "execution_count": result.execution_count,
+            "message_count": result.message_count,
+            "wall_time": result.wall_time,
+            "stats": result.stats,
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+        if args.stats_json == "-":
+            print(text)
+        else:
+            from pathlib import Path
+
+            Path(args.stats_json).write_text(text + "\n")
+            print(f"stats written to {args.stats_json}")
+
+    records = result.records
+    for vertex in sorted(records):
+        log = records[vertex]
+        print(f"\n{vertex} ({len(log)} records):")
+        for phase, value in log[: args.max_records]:
+            print(f"  phase {phase:5d}  {value!r}")
+        if len(log) > args.max_records:
+            print(f"  ... {len(log) - args.max_records} more")
+
+    if args.check:
+        oracle = SerialExecutor(spec.program).run(phases)
+        problems = []
+        if result.phases_run != oracle.phases_run:
+            problems.append(
+                f"merged phases {result.phases_run} != oracle "
+                f"{oracle.phases_run}"
+            )
+        if records != oracle.records:
+            diverged = sorted(
+                v
+                for v in set(records) | set(oracle.records)
+                if records.get(v) != oracle.records.get(v)
+            )
+            problems.append(f"records diverge for {diverged[:5]!r}")
+        problems.extend(validate_engine_stats(result.engine, result.stats))
+        if problems:
+            print("\nsharded-vs-oracle: DIVERGED")
+            for p in problems:
+                print(f"  - {p}")
+            return 2
+        print(f"\nsharded-vs-oracle: equivalent "
+              f"({result.engine} == {oracle.engine}); stats schema OK")
     return 0
 
 
@@ -405,6 +521,26 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     policies = ALL_POLICIES if args.policy == "all" else (args.policy,)
     faults = FaultPlan.named(args.inject) if args.inject else None
+    if args.shards:
+        from .testing import fuzz_sharded
+
+        if args.inject:
+            print("error: --inject requires the thread campaign "
+                  "(virtual scheduler)", file=sys.stderr)
+            return 2
+        report = fuzz_sharded(
+            runs=args.runs,
+            seed=args.seed,
+            shards=args.shards,
+            stop_on_failure=not args.keep_going,
+        )
+        print(report.summary())
+        if args.failure_artifacts and report.failures:
+            for path in write_failure_artifacts(
+                report, args.failure_artifacts
+            ):
+                print(f"failure artifact written: {path}")
+        return 0 if report.ok else 4
     if args.engine == "process":
         if args.inject:
             print("error: --inject requires the thread campaign "

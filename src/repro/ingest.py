@@ -33,6 +33,7 @@ delay, so arrival order differs from generation order.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
@@ -43,10 +44,26 @@ from .events import Event, PhaseInput
 __all__ = [
     "ArrivingEvent",
     "ReorderBuffer",
+    "bin_timestamp",
     "noisy_observations",
     "late_event_tradeoff",
     "TradeoffPoint",
 ]
+
+
+def bin_timestamp(timestamp: float, quantum: float) -> float:
+    """Round *timestamp* to the nearest multiple of *quantum*, half-up.
+
+    The binning rule must be a pure function of the timestamp — every
+    consumer (the single-instance buffer, each shard's buffer, workload
+    generators computing safe waits) has to place a given stamp in the
+    same snapshot.  Python's ``round()`` is banker's round-half-even, so
+    exact half-quantum stamps used to bin by parity (0.5 -> 0.0 but
+    1.5 -> 2.0 at quantum 1): identical sensor offsets landed in
+    different phases.  Half-up keeps "nearest instant" semantics with a
+    deterministic, parity-free tie rule.
+    """
+    return math.floor(timestamp / quantum + 0.5) * quantum
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,7 +115,7 @@ class ReorderBuffer:
         self.accepted = 0
 
     def _bin(self, timestamp: float) -> float:
-        return round(timestamp / self.quantum) * self.quantum
+        return bin_timestamp(timestamp, self.quantum)
 
     @property
     def watermark(self) -> float:
@@ -138,9 +155,16 @@ class ReorderBuffer:
         return out
 
     def flush(self) -> List[PhaseInput]:
-        """Seal everything still pending (end of stream)."""
+        """Seal everything still pending (end of stream).
+
+        After a flush the stream is closed: every timestamp counts as
+        sealed, so a subsequent :meth:`offer` records its event as late
+        instead of resurrecting a phase behind ones already handed out.
+        """
         self._watermark = float("inf")
-        return self._seal_ready()
+        out = self._seal_ready()
+        self._sealed_upto = float("inf")
+        return out
 
     @property
     def late_count(self) -> int:

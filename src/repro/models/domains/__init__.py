@@ -12,7 +12,9 @@ its phase inputs:
   incidence two standard deviations away from a neighbor-county
   regression model;
 * :mod:`~repro.models.domains.intrusion` — multi-sensor composite
-  condition detection.
+  condition detection;
+* :mod:`~repro.models.domains.keyed` — per-account laundering chains:
+  the key-separable heavy-traffic fixture the shard layer is judged on.
 """
 
 from .power import build_power_pricing_program, build_power_pricing_workload
@@ -20,8 +22,20 @@ from .laundering import build_laundering_program, build_laundering_workload
 from .epidemic import build_epidemic_program, build_epidemic_workload
 from .intrusion import build_intrusion_program, build_intrusion_workload
 from .crisis import build_crisis_program, build_crisis_workload
+from .keyed import (
+    KeyedWorkload,
+    StructuringDetector,
+    build_keyed_program,
+    build_keyed_workload,
+    keyed_arrivals,
+)
 
 __all__ = [
+    "KeyedWorkload",
+    "StructuringDetector",
+    "build_keyed_program",
+    "build_keyed_workload",
+    "keyed_arrivals",
     "build_power_pricing_program",
     "build_power_pricing_workload",
     "build_laundering_program",

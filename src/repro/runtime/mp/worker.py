@@ -101,6 +101,23 @@ def _execute(
     )
 
 
+def _describe_pickle_failure(exc: BaseException) -> str:
+    """Render *exc* with its explicit cause chain, oldest last.
+
+    The downgraded error entry is all the coordinator ever sees of the
+    poison result, so the original exception (and whatever it was raised
+    from) must survive the trip in string form.
+    """
+    parts: List[str] = []
+    seen: set[int] = set()
+    cur: BaseException | None = exc
+    while cur is not None and id(cur) not in seen:
+        seen.add(id(cur))
+        parts.append(f"{type(cur).__name__}: {cur}")
+        cur = cur.__cause__ or cur.__context__
+    return " <- ".join(parts)
+
+
 def _encode_result_batch(
     worker_id: int,
     results: List[ResultMsg],
@@ -109,10 +126,15 @@ def _encode_result_batch(
     """Encode a batch reply, salvaging survivors if pickling fails.
 
     A result whose outputs do not pickle would poison the whole frame;
-    instead it is downgraded to an error entry (the coordinator raises a
-    :class:`~repro.errors.VertexExecutionError` for it) and the batch's
-    later results are reported as skipped — everything that *can* commit
-    still does.
+    instead each unpicklable result is downgraded **in place** to an
+    error entry carrying the original pickling exception (the
+    coordinator raises a :class:`~repro.errors.VertexExecutionError` for
+    it) while every other result ships intact.  Executed results are
+    never moved into ``skipped``: the coordinator re-dispatches skipped
+    pairs, and a pair that already ran on this worker must not run a
+    second time (the warm-cached behaviour state has already advanced).
+    ``skipped`` therefore passes through exactly as the task loop built
+    it — pairs that were genuinely never executed.
     """
     try:
         return encode(
@@ -122,32 +144,29 @@ def _encode_result_batch(
                 skipped=tuple(skipped),
             )
         )
-    except Exception:  # noqa: BLE001 - salvage the survivors
+    except Exception:  # noqa: BLE001 - salvage result-by-result
         salvaged: List[ResultMsg] = []
-        salvaged_skips: List[Tuple[int, int]] = list(skipped)
-        for i, res in enumerate(results):
+        for res in results:
             try:
                 encode(res)
                 salvaged.append(res)
-            except Exception as exc:  # noqa: BLE001 - the poison result
+            except Exception as exc:  # noqa: BLE001 - a poison result
                 salvaged.append(
                     ResultMsg(
                         worker_id=worker_id,
                         vertex=res.vertex,
                         phase=res.phase,
-                        error=f"result not picklable: {exc}",
+                        error="result not picklable: "
+                        + _describe_pickle_failure(exc),
                         compute_s=res.compute_s,
                     )
                 )
-                salvaged_skips.extend(
-                    (r.vertex, r.phase) for r in results[i + 1 :]
-                )
-                break
+        executed = {(r.vertex, r.phase) for r in salvaged}
         return encode(
             ResultBatch(
                 worker_id=worker_id,
                 results=tuple(salvaged),
-                skipped=tuple(salvaged_skips),
+                skipped=tuple(p for p in skipped if p not in executed),
             )
         )
 

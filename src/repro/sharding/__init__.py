@@ -1,0 +1,42 @@
+"""Keyed data-parallel sharding across replicated engine instances.
+
+The paper's engine is one program instance; this layer scales it out the
+way stream processors do — partition a keyed event stream (user id /
+station id / account) across N replicas, keep per-key order inside each
+replica, and merge the outputs back into one phase-ordered stream:
+
+* :mod:`.router` — stable key -> shard placement (BLAKE2b over canonical
+  key bytes; never builtin ``hash()``, which is ``PYTHONHASHSEED``-salted);
+* :mod:`.plan` — key-separability analysis and per-shard replica
+  programs (induced subgraphs, deep-copied behaviours);
+* :mod:`.runner` — :class:`ShardedEngine`, running each replica on any
+  of the four backends, plus the single-instance comparison helpers;
+* :mod:`.merge` — per-shard watermark alignment back into global phase
+  order.
+"""
+
+from .merge import MergedPhase, WatermarkMerger
+from .plan import ShardPlan, key_by_bracket, key_by_source, split_by_key
+from .router import KeyRouter, canonical_key_bytes, stable_key_hash
+from .runner import (
+    ShardedEngine,
+    ShardedRunResult,
+    flatten_entries,
+    stream_phases,
+)
+
+__all__ = [
+    "KeyRouter",
+    "MergedPhase",
+    "ShardPlan",
+    "ShardedEngine",
+    "ShardedRunResult",
+    "WatermarkMerger",
+    "canonical_key_bytes",
+    "flatten_entries",
+    "key_by_bracket",
+    "key_by_source",
+    "split_by_key",
+    "stable_key_hash",
+    "stream_phases",
+]

@@ -1,0 +1,145 @@
+"""Recombining per-shard outputs into one phase-ordered stream.
+
+Each shard seals and executes its phases at its own pace — shard 3 may
+be ten timestamps ahead of shard 0 when a burst of its keys arrives.
+The merge stage restores a single global phase order using **per-shard
+watermarks**: a timestamp ``t`` is emitted only once *every* shard's
+watermark has passed ``t``, i.e. no shard can still contribute a phase
+at ``t``.  Until then the timestamp buffers.
+
+Contracts (violations raise :class:`~repro.errors.ShardingError`):
+
+* a shard offers its phases in strictly increasing timestamp order;
+* ``advance(shard, w)`` promises that shard has already offered every
+  phase with timestamp ``< w`` (exactly the
+  :class:`~repro.ingest.ReorderBuffer` sealing rule);
+* watermarks are monotone.
+
+Because emission is gated on the *minimum* watermark and entries are
+sorted deterministically, the merged sequence is identical no matter how
+shard arrival orders interleave — the skew-independence the tests
+permute over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+from ..errors import ShardingError
+
+__all__ = ["MergedPhase", "WatermarkMerger"]
+
+
+@dataclass(frozen=True)
+class MergedPhase:
+    """One globally ordered output phase.
+
+    ``entries`` are ``(vertex, value)`` records contributed at this
+    timestamp, sorted by vertex name (shard programs are
+    vertex-disjoint, and within one vertex the shard's record order is
+    preserved — the sort is stable).
+    """
+
+    phase: int
+    timestamp: float
+    entries: Tuple[Tuple[str, Any], ...]
+
+
+class WatermarkMerger:
+    """Merges per-shard phase outputs under per-shard watermark alignment."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ShardingError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self._watermarks = [float("-inf")] * num_shards
+        self._last_offer = [float("-inf")] * num_shards
+        self._buffered: Dict[float, List[Tuple[str, Any]]] = {}
+        self._emitted_upto = float("-inf")
+        self._next_phase = 1
+        self.merged_count = 0
+        self.max_buffered = 0
+
+    def _require_shard(self, shard: int) -> None:
+        if not (0 <= shard < self.num_shards):
+            raise ShardingError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+
+    def offer(
+        self,
+        shard: int,
+        timestamp: float,
+        entries: Iterable[Tuple[str, Any]],
+    ) -> List[MergedPhase]:
+        """Buffer one sealed phase from *shard*; returns any phases the
+        implied watermark advance releases (a shard offering at ``t``
+        has necessarily sealed everything below ``t``)."""
+        self._require_shard(shard)
+        if timestamp <= self._last_offer[shard]:
+            raise ShardingError(
+                f"shard {shard} offered timestamp {timestamp} after "
+                f"{self._last_offer[shard]} (offers must strictly increase)"
+            )
+        if timestamp < self._watermarks[shard]:
+            raise ShardingError(
+                f"shard {shard} offered timestamp {timestamp} below its "
+                f"declared watermark {self._watermarks[shard]}"
+            )
+        if timestamp <= self._emitted_upto:
+            raise ShardingError(
+                f"shard {shard} offered timestamp {timestamp} but the "
+                f"merge already emitted up to {self._emitted_upto} — "
+                f"watermark alignment was violated upstream"
+            )
+        self._last_offer[shard] = timestamp
+        self._buffered.setdefault(timestamp, []).extend(entries)
+        self.max_buffered = max(self.max_buffered, len(self._buffered))
+        # Offering t implies everything below t is sealed on this shard.
+        if timestamp > self._watermarks[shard]:
+            self._watermarks[shard] = timestamp
+        return self._drain()
+
+    def advance(self, shard: int, watermark: float) -> List[MergedPhase]:
+        """Raise *shard*'s watermark (a promise of no more offers below
+        it) and return every timestamp that is now fully aligned."""
+        self._require_shard(shard)
+        if watermark > self._watermarks[shard]:
+            self._watermarks[shard] = watermark
+        return self._drain()
+
+    def finish(self) -> List[MergedPhase]:
+        """All shards are done: emit everything still buffered, in order."""
+        out: List[MergedPhase] = []
+        for shard in range(self.num_shards):
+            out.extend(self.advance(shard, float("inf")))
+        return out
+
+    def _drain(self) -> List[MergedPhase]:
+        # Strictly below the minimum watermark, mirroring the
+        # ReorderBuffer sealing rule: a shard whose watermark equals t
+        # (via advance) may still offer a phase at exactly t.
+        low = min(self._watermarks)
+        ready = sorted(ts for ts in self._buffered if ts < low)
+        out: List[MergedPhase] = []
+        for ts in ready:
+            entries = self._buffered.pop(ts)
+            entries.sort(key=lambda e: e[0])
+            out.append(MergedPhase(self._next_phase, ts, tuple(entries)))
+            self._next_phase += 1
+            self._emitted_upto = ts
+            self.merged_count += 1
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "phases_merged": self.merged_count,
+            "max_buffered": self.max_buffered,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WatermarkMerger(shards={self.num_shards}, "
+            f"merged={self.merged_count}, buffered={len(self._buffered)})"
+        )

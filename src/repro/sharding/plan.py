@@ -1,0 +1,179 @@
+"""Splitting a keyed program into per-shard replica programs.
+
+A program is **key-separable** when every vertex depends (transitively)
+on the sources of exactly one key: per-user chains, per-station
+pipelines, per-account detectors.  Such a program is the disjoint union
+of per-key components, so a shard can run the induced subgraph of its
+keys as an ordinary :class:`~repro.core.program.Program` on any backend
+and the union of the shard runs is serializably equal to one instance
+running everything.
+
+A vertex whose ancestor cone touches two keys (a cross-key correlator)
+makes the program non-separable; :func:`split_by_key` refuses it with
+the offending vertices named rather than silently computing on partial
+inputs.
+
+Shard programs get **deep copies** of the behaviours: behaviours are
+stateful (windows, RNGs, latches) and the original program remains
+usable as the single-instance oracle.  Deep-copyability is the same
+contract pickling already imposes for the process engine.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from ..core.program import Program
+from ..errors import ShardingError
+from .router import KeyRouter, canonical_key_bytes
+
+__all__ = ["ShardPlan", "split_by_key", "key_by_source", "key_by_bracket"]
+
+
+def key_by_source(source: str) -> str:
+    """Every source vertex is its own key."""
+    return source
+
+
+def key_by_bracket(source: str) -> str:
+    """The ``[...]`` suffix of the source name (``"txn[a3]"`` -> ``"a3"``).
+
+    Sources sharing a bracket tag share a key, so ``pos[s1]`` and
+    ``rfid[s1]`` land on one shard.  A source without a bracket is its
+    own key.
+    """
+    if source.endswith("]") and "[" in source:
+        return source[source.index("[") + 1 : -1]
+    return source
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The static outcome of splitting one program across N shards."""
+
+    num_shards: int
+    keys: Tuple[Hashable, ...]
+    assignment: Mapping[Hashable, int]
+    key_of_source: Mapping[str, Hashable]
+    key_of_vertex: Mapping[str, Hashable]
+    #: One replica program per shard; ``None`` for a shard that owns no
+    #: keys (routing is hash-based, so small key sets can leave gaps).
+    programs: Tuple[Optional[Program], ...]
+    shard_keys: Tuple[Tuple[Hashable, ...], ...] = field(default=())
+
+    @property
+    def shard_of_vertex(self) -> Dict[str, int]:
+        return {
+            v: self.assignment[k] for v, k in self.key_of_vertex.items()
+        }
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "num_shards": self.num_shards,
+            "keys": len(self.keys),
+            "shard_keys": [list(ks) for ks in self.shard_keys],
+            "shard_vertices": [
+                p.graph.num_vertices if p is not None else 0
+                for p in self.programs
+            ],
+        }
+
+
+def split_by_key(
+    program: Program,
+    key_of: Callable[[str], Hashable],
+    num_shards: int,
+    router: Optional[KeyRouter] = None,
+) -> ShardPlan:
+    """Split *program* into per-shard replica programs.
+
+    *key_of* maps each **source vertex name** to its key (see
+    :func:`key_by_source` / :func:`key_by_bracket`, or pass a dict's
+    ``__getitem__``).  Every non-source vertex inherits the key of its
+    ancestor sources; a vertex reachable from sources of two different
+    keys raises :class:`~repro.errors.ShardingError`.
+    """
+    if router is None:
+        router = KeyRouter(num_shards)
+    elif router.num_shards != num_shards:
+        raise ShardingError(
+            f"router was built for {router.num_shards} shards, "
+            f"asked to split into {num_shards}"
+        )
+    graph = program.graph
+    sources = graph.sources()
+    if not sources:
+        raise ShardingError(f"program {program.name!r} has no sources")
+
+    key_of_source: Dict[str, Hashable] = {}
+    for s in sources:
+        key = key_of(s)
+        canonical_key_bytes(key)  # fail fast on unroutable key types
+        key_of_source[s] = key
+
+    # Propagate: a vertex's key set is the union over its ancestor
+    # sources' keys.  Key-separable == every set is a singleton.
+    key_of_vertex: Dict[str, Hashable] = {}
+    crossing: List[Tuple[str, List[Hashable]]] = []
+    claimed: Dict[str, set] = {v: set() for v in graph.vertices()}
+    for s in sources:
+        claimed[s].add(key_of_source[s])
+        for v in graph.reachable_from([s]):
+            claimed[v].add(key_of_source[s])
+    for v, keys in claimed.items():
+        if len(keys) > 1:
+            crossing.append((v, sorted(keys, key=lambda k: str(k))))
+        elif keys:
+            key_of_vertex[v] = next(iter(keys))
+    if crossing:
+        sample = ", ".join(
+            f"{v!r} (keys {keys!r})" for v, keys in crossing[:5]
+        )
+        raise ShardingError(
+            f"program {program.name!r} is not key-separable: "
+            f"{len(crossing)} vertex(es) depend on more than one key — "
+            f"{sample}"
+        )
+
+    # Deterministic key order, independent of dict iteration history.
+    keys = tuple(
+        sorted(set(key_of_source.values()), key=canonical_key_bytes)
+    )
+    assignment = router.assign(keys)
+    shard_keys: List[Tuple[Hashable, ...]] = [
+        tuple(k for k in keys if assignment[k] == i)
+        for i in range(num_shards)
+    ]
+
+    programs: List[Optional[Program]] = []
+    for i in range(num_shards):
+        owned = {k for k in shard_keys[i]}
+        vertices = [
+            v
+            for v in graph.vertices()
+            if v in key_of_vertex and key_of_vertex[v] in owned
+        ]
+        if not vertices:
+            programs.append(None)
+            continue
+        sub = graph.induced_subgraph(
+            vertices, name=f"{graph.name}#shard{i}"
+        )
+        behaviors = {
+            v: copy.deepcopy(program.behaviors[v]) for v in vertices
+        }
+        programs.append(
+            Program(sub, behaviors, name=f"{program.name}#shard{i}")
+        )
+
+    return ShardPlan(
+        num_shards=num_shards,
+        keys=keys,
+        assignment=assignment,
+        key_of_source=key_of_source,
+        key_of_vertex=key_of_vertex,
+        programs=tuple(programs),
+        shard_keys=tuple(shard_keys),
+    )

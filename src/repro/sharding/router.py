@@ -1,0 +1,107 @@
+"""Stable key -> shard routing.
+
+The one rule of keyed sharding is that a key's events always land on the
+same shard — across runs, across interpreter restarts, and across
+``spawn``-started worker processes.  Python's builtin ``hash()`` breaks
+all three for strings: it is salted by ``PYTHONHASHSEED``, which differs
+per interpreter unless pinned, so ``hash(key) % N`` silently routes the
+same account to different shards in different processes.  The router
+therefore hashes a **canonical byte encoding** of the key with BLAKE2b
+(stdlib ``hashlib``, no dependency), which is a pure function of the
+key's value.
+
+:func:`canonical_key_bytes` is injective over the supported key types
+(str, bytes, int, bool, float, None, and tuples thereof): every part is
+type-tagged and length-prefixed, so e.g. ``1`` / ``True`` / ``"1"`` and
+nested tuples all encode distinctly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Hashable, Iterable, List
+
+from ..errors import ShardingError
+
+__all__ = ["canonical_key_bytes", "stable_key_hash", "KeyRouter"]
+
+#: Identifier recorded in ``stats["sharding"]["router"]`` and in failure
+#: artifacts, so a reported shard assignment can be re-derived.
+ROUTER_ALGORITHM = "blake2b-64"
+
+
+def canonical_key_bytes(key: Hashable) -> bytes:
+    """A canonical, process-independent byte encoding of *key*.
+
+    Raises :class:`~repro.errors.ShardingError` for unsupported types
+    rather than falling back to ``repr``/``hash`` (both of which can
+    differ between interpreters).
+    """
+    # bool before int: True is an int, but must not collide with 1.
+    if isinstance(key, bool):
+        return b"b1" if key else b"b0"
+    if isinstance(key, int):
+        body = str(key).encode("ascii")
+        return b"i" + str(len(body)).encode("ascii") + b":" + body
+    if isinstance(key, float):
+        # repr() is the shortest round-trip decimal form, identical on
+        # every IEEE-754 platform CPython supports.
+        body = repr(key).encode("ascii")
+        return b"f" + str(len(body)).encode("ascii") + b":" + body
+    if isinstance(key, str):
+        body = key.encode("utf-8")
+        return b"s" + str(len(body)).encode("ascii") + b":" + body
+    if isinstance(key, bytes):
+        return b"y" + str(len(key)).encode("ascii") + b":" + key
+    if key is None:
+        return b"n"
+    if isinstance(key, tuple):
+        parts = [canonical_key_bytes(k) for k in key]
+        return (
+            b"t" + str(len(parts)).encode("ascii") + b":" + b"".join(parts)
+        )
+    raise ShardingError(
+        f"unroutable key type {type(key).__name__!r}: keys must be "
+        f"str, bytes, int, bool, float, None, or tuples of those"
+    )
+
+
+def stable_key_hash(key: Hashable) -> int:
+    """A 64-bit hash of *key* that is identical in every process.
+
+    Unlike builtin ``hash()``, the result does not depend on
+    ``PYTHONHASHSEED``, the platform word size, or interpreter version.
+    """
+    digest = hashlib.blake2b(canonical_key_bytes(key), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class KeyRouter:
+    """Maps keys to shard indices via :func:`stable_key_hash` mod N."""
+
+    algorithm = ROUTER_ALGORITHM
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ShardingError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+
+    def shard_of(self, key: Hashable) -> int:
+        return stable_key_hash(key) % self.num_shards
+
+    def assign(self, keys: Iterable[Hashable]) -> Dict[Hashable, int]:
+        """Shard index per key (insertion order preserved)."""
+        return {k: self.shard_of(k) for k in keys}
+
+    def partition(self, keys: Iterable[Hashable]) -> List[List[Hashable]]:
+        """Keys grouped by shard; within a shard, input order is kept."""
+        groups: List[List[Hashable]] = [[] for _ in range(self.num_shards)]
+        for k in keys:
+            groups[self.shard_of(k)].append(k)
+        return groups
+
+    def describe(self) -> Dict[str, Any]:
+        return {"algorithm": self.algorithm, "num_shards": self.num_shards}
+
+    def __repr__(self) -> str:
+        return f"KeyRouter(num_shards={self.num_shards})"

@@ -44,6 +44,7 @@ REQUIRED_ARGS: Dict[str, Dict[str, Any]] = {
     "PearsonCorrelator": {"a_input": "a", "b_input": "b"},
     "TwoSigmaDetector": {"rate_input": "rate", "model_input": "model"},
     "RegionThreat": {"center": (10.0, 20.0)},
+    "StructuringDetector": {"key": "acct00"},
     "EvacuationAdvisor": {
         "region": "r1",
         "threat_input": "threat",

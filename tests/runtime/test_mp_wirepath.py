@@ -178,6 +178,93 @@ class TestMidBatchCrash:
             engine.run([PhaseInput(p, float(p)) for p in range(1, 5)])
 
 
+class _Poison:
+    def __reduce__(self):
+        raise TypeError("boom: deliberately unpicklable")
+
+
+class TestSalvageEncoding:
+    """Unit tests of the worker's result-by-result salvage path.
+
+    Regression: the old salvage loop stopped at the first poison result
+    and reclassified every *executed* result after it as skipped.  The
+    coordinator re-dispatches skipped pairs, so pairs that had already
+    run on the worker (warm-cached state already advanced) ran twice.
+    """
+
+    @staticmethod
+    def _salvage(results, skipped):
+        from repro.runtime.mp.worker import _encode_result_batch
+
+        return decode(_encode_result_batch(0, list(results), list(skipped)))
+
+    @staticmethod
+    def _ok(vertex, phase, value="ok"):
+        return ResultMsg(worker_id=0, vertex=vertex, phase=phase,
+                         outputs={"out": value}, compute_s=0.25)
+
+    def test_executed_results_after_poison_still_ship(self):
+        poison = ResultMsg(worker_id=0, vertex=2, phase=1,
+                           outputs={"out": _Poison()}, compute_s=0.5)
+        batch = self._salvage(
+            [self._ok(1, 1), poison, self._ok(3, 1)], skipped=[(9, 1)]
+        )
+        # All three executed results present, in order.
+        assert [(r.vertex, r.phase) for r in batch.results] == [
+            (1, 1), (2, 1), (3, 1)
+        ]
+        assert batch.results[0].error is None
+        assert batch.results[2].error is None
+        # Old code dropped (3, 1) into skipped -> double execution.
+        assert batch.skipped == ((9, 1),)
+        executed = {(r.vertex, r.phase) for r in batch.results}
+        assert executed.isdisjoint(set(batch.skipped))
+
+    def test_poison_error_carries_original_exception(self):
+        poison = ResultMsg(worker_id=0, vertex=2, phase=4,
+                           outputs={"out": _Poison()}, compute_s=0.5)
+        batch = self._salvage([poison], skipped=[])
+        (res,) = batch.results
+        assert res.error is not None
+        assert "result not picklable" in res.error
+        assert "TypeError" in res.error
+        assert "deliberately unpicklable" in res.error
+        # compute_s survives the downgrade: utilization stays honest.
+        assert res.compute_s == 0.5
+
+    def test_genuine_error_entries_pass_through(self):
+        failed = ResultMsg(worker_id=0, vertex=5, phase=2,
+                           error="division by zero", compute_s=0.1)
+        poison = ResultMsg(worker_id=0, vertex=6, phase=2,
+                           outputs={"out": _Poison()}, compute_s=0.2)
+        batch = self._salvage([failed, poison], skipped=[(7, 2)])
+        assert batch.results[0].error == "division by zero"
+        assert "not picklable" in batch.results[1].error
+        assert batch.skipped == ((7, 2),)
+
+    def test_cause_chain_rendered(self):
+        from repro.runtime.mp.worker import _describe_pickle_failure
+
+        try:
+            try:
+                raise ValueError("root cause")
+            except ValueError as inner:
+                raise TypeError("outer failure") from inner
+        except TypeError as exc:
+            text = _describe_pickle_failure(exc)
+        assert text == "TypeError: outer failure <- ValueError: root cause"
+
+    def test_cycle_in_context_chain_terminates(self):
+        from repro.runtime.mp.worker import _describe_pickle_failure
+
+        a = TypeError("a")
+        b = ValueError("b")
+        a.__cause__ = b
+        b.__cause__ = a
+        text = _describe_pickle_failure(a)
+        assert text == "TypeError: a <- ValueError: b"
+
+
 # ---------------------------------------------------------------------------
 # drain_ready_batches
 # ---------------------------------------------------------------------------

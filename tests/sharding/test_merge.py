@@ -1,0 +1,180 @@
+"""Tests for the watermark-aligned merge stage.
+
+The property that matters: the merged sequence is **skew-independent** —
+however shard offer/advance calls interleave (one shard racing ahead,
+round-robin, one shard entirely drained first), the emitted phases are
+identical.  Plus the contracts that make that argument sound.
+"""
+
+import itertools
+
+import pytest
+
+from repro.errors import ShardingError
+from repro.sharding import MergedPhase, WatermarkMerger
+
+
+def drive(num_shards, script):
+    """Run a list of ("offer", shard, ts, entries) / ("advance", shard, w)
+    steps and return the concatenated emissions plus finish()."""
+    merger = WatermarkMerger(num_shards)
+    out = []
+    for step in script:
+        if step[0] == "offer":
+            _, shard, ts, entries = step
+            out.extend(merger.offer(shard, ts, entries))
+        else:
+            _, shard, w = step
+            out.extend(merger.advance(shard, w))
+    out.extend(merger.finish())
+    return out, merger
+
+
+class TestAlignment:
+    def test_holds_until_every_shard_passes(self):
+        merger = WatermarkMerger(2)
+        # Shard 0 offers ts 1 and 2: nothing can emit — shard 1's
+        # watermark is still -inf, it might offer ts 0.5.
+        assert merger.offer(0, 1.0, [("a", "x")]) == []
+        assert merger.offer(0, 2.0, [("a", "y")]) == []
+        # Shard 1 reaching ts 2 releases everything strictly below 2.
+        released = merger.offer(1, 2.0, [("b", "z")])
+        assert [(m.timestamp, m.entries) for m in released] == [
+            (1.0, (("a", "x"),))
+        ]
+        # ts 2.0 itself emits only on finish (watermark == 2, not past).
+        tail = merger.finish()
+        assert [(m.timestamp, m.entries) for m in tail] == [
+            (2.0, (("a", "y"), ("b", "z")))
+        ]
+
+    def test_entries_sorted_by_vertex_stable_within(self):
+        merger = WatermarkMerger(2)
+        merger.offer(1, 1.0, [("z", 1), ("a", 2)])
+        merger.offer(0, 1.0, [("m", 3), ("m", 4)])
+        (m,) = merger.finish()
+        assert m.entries == (("a", 2), ("m", 3), ("m", 4), ("z", 1))
+
+    def test_phase_numbers_sequential(self):
+        out, _ = drive(1, [("offer", 0, float(t), [("v", t)]) for t in range(5)])
+        assert [m.phase for m in out] == [1, 2, 3, 4, 5]
+
+    def test_empty_entries_still_emit_a_phase(self):
+        out, _ = drive(1, [("offer", 0, 1.0, [])])
+        assert [(m.timestamp, m.entries) for m in out] == [(1.0, ())]
+
+    def test_advance_alone_emits_buffered(self):
+        merger = WatermarkMerger(2)
+        merger.offer(0, 3.0, [("a", 1)])
+        assert merger.advance(1, 2.0) == []
+        # Shard 0's own watermark is only 3.0 (== the offer), so even
+        # with shard 1 far ahead ts 3.0 is not strictly below the min.
+        assert merger.advance(1, 5.0) == []
+        released = merger.advance(0, 3.5)
+        assert [m.timestamp for m in released] == [3.0]
+
+
+class TestSkewIndependence:
+    def test_all_interleavings_agree(self):
+        # Two shards, two phases each; permute every order of the four
+        # offers that keeps each shard's own offers increasing.
+        offers = {
+            0: [("offer", 0, 1.0, [("a", "a1")]),
+                ("offer", 0, 3.0, [("a", "a3")])],
+            1: [("offer", 1, 2.0, [("b", "b2")]),
+                ("offer", 1, 4.0, [("b", "b4")])],
+        }
+        outcomes = set()
+        for perm in itertools.permutations(offers[0] + offers[1]):
+            per_shard = {0: [], 1: []}
+            for step in perm:
+                per_shard[step[1]].append(step[2])
+            if any(ts != sorted(ts) for ts in per_shard.values()):
+                continue  # would violate the per-shard ordering contract
+            out, _ = drive(2, list(perm))
+            outcomes.add(tuple((m.phase, m.timestamp, m.entries) for m in out))
+        assert len(outcomes) == 1
+        (only,) = outcomes
+        assert [o[1] for o in only] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_one_shard_far_ahead_buffers_not_drops(self):
+        merger = WatermarkMerger(2)
+        for t in range(1, 50):
+            merger.offer(0, float(t), [("a", t)])
+        assert merger.merged_count == 0
+        assert merger.max_buffered == 49
+        out = merger.offer(1, 25.0, [("b", 25)])
+        assert [m.timestamp for m in out] == [float(t) for t in range(1, 25)]
+        out = merger.finish()
+        assert [m.timestamp for m in out] == [float(t) for t in range(25, 50)]
+        assert merger.merged_count == 49
+
+
+class TestContracts:
+    def test_offers_must_strictly_increase_per_shard(self):
+        merger = WatermarkMerger(2)
+        merger.offer(0, 2.0, [])
+        with pytest.raises(ShardingError, match="strictly increase"):
+            merger.offer(0, 2.0, [])
+        with pytest.raises(ShardingError, match="strictly increase"):
+            merger.offer(0, 1.0, [])
+
+    def test_offer_below_declared_watermark_rejected(self):
+        merger = WatermarkMerger(2)
+        merger.advance(0, 5.0)
+        with pytest.raises(ShardingError, match="below its declared watermark"):
+            merger.offer(0, 3.0, [])
+
+    def test_offer_exactly_at_watermark_allowed(self):
+        # advance(w) promises no offers *below* w; an offer at exactly w
+        # is legal (the ReorderBuffer seals strictly below).
+        merger = WatermarkMerger(1)
+        merger.advance(0, 5.0)
+        out = merger.offer(0, 5.0, [("v", 1)])
+        assert out == []  # own watermark == 5.0, not past it
+
+    def test_offer_for_emitted_timestamp_rejected(self):
+        # Emission requires every watermark to pass ts, so a straggler
+        # offer for an emitted timestamp is necessarily below its own
+        # shard's declared watermark: rejected, never silently merged.
+        merger = WatermarkMerger(2)
+        merger.offer(0, 1.0, [("a", 1)])
+        merger.advance(0, 10.0)
+        merger.advance(1, 10.0)  # emits ts 1.0
+        assert merger.merged_count == 1
+        with pytest.raises(ShardingError):
+            merger.offer(1, 1.0, [("b", 2)])
+
+    def test_shard_out_of_range(self):
+        merger = WatermarkMerger(2)
+        with pytest.raises(ShardingError, match="out of range"):
+            merger.offer(2, 1.0, [])
+        with pytest.raises(ShardingError, match="out of range"):
+            merger.advance(-1, 1.0)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ShardingError):
+            WatermarkMerger(0)
+
+    def test_watermark_never_regresses(self):
+        merger = WatermarkMerger(1)
+        merger.advance(0, 10.0)
+        merger.advance(0, 3.0)  # ignored, not an error
+        merger.offer(0, 10.0, [("v", 1)])
+        with pytest.raises(ShardingError):
+            merger.offer(0, 4.0, [])
+
+    def test_stats(self):
+        out, merger = drive(
+            2,
+            [("offer", 0, 1.0, [("a", 1)]), ("offer", 0, 2.0, [("a", 2)]),
+             ("offer", 1, 1.5, [("b", 1)])],
+        )
+        assert merger.stats() == {"phases_merged": 3, "max_buffered": 3}
+
+
+class TestMergedPhase:
+    def test_frozen(self):
+        m = MergedPhase(1, 0.0, ())
+        with pytest.raises(AttributeError):
+            m.phase = 2

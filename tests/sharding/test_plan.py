@@ -1,0 +1,156 @@
+"""Tests for key propagation and the per-shard replica split."""
+
+import pytest
+
+from repro.core.program import Program
+from repro.core.serial import SerialExecutor
+from repro.core.vertex import FunctionVertex, PassthroughSource
+from repro.errors import ShardingError
+from repro.events import PhaseInput
+from repro.graph.model import ComputationGraph
+from repro.sharding import (
+    KeyRouter,
+    key_by_bracket,
+    key_by_source,
+    split_by_key,
+)
+
+
+def keyed_chain_program(keys):
+    """One src[k] -> out[k] chain per key."""
+    edges = [(f"src[{k}]", f"out[{k}]") for k in keys]
+    g = ComputationGraph.from_edges(edges)
+    behaviors = {}
+    for k in keys:
+        behaviors[f"src[{k}]"] = PassthroughSource()
+        behaviors[f"out[{k}]"] = FunctionVertex(
+            lambda ctx, k=k: ctx.input(f"src[{k}]")
+        )
+    return Program(g, behaviors, name="keyed-chains")
+
+
+class TestKeyExtractors:
+    def test_key_by_source_is_identity(self):
+        assert key_by_source("txn[a3]") == "txn[a3]"
+
+    def test_key_by_bracket(self):
+        assert key_by_bracket("txn[a3]") == "a3"
+        assert key_by_bracket("pos[s1]") == "s1"
+        assert key_by_bracket("nobracket") == "nobracket"
+        assert key_by_bracket("weird]") == "weird]"
+        assert key_by_bracket("multi[a][b]") == "a][b"
+
+
+class TestSplitByKey:
+    def test_shards_partition_the_vertices(self):
+        prog = keyed_chain_program([f"k{i}" for i in range(10)])
+        plan = split_by_key(prog, key_by_bracket, 3)
+        all_vertices = []
+        for sub in plan.programs:
+            if sub is not None:
+                all_vertices.extend(sub.graph.vertices())
+        assert sorted(all_vertices) == sorted(prog.graph.vertices())
+        assert plan.num_shards == 3
+        assert len(plan.keys) == 10
+
+    def test_chain_stays_whole_on_its_shard(self):
+        prog = keyed_chain_program(["a", "b", "c", "d"])
+        plan = split_by_key(prog, key_by_bracket, 2)
+        for key, shard in plan.assignment.items():
+            sub = plan.programs[shard]
+            assert f"src[{key}]" in sub.graph.vertices()
+            assert f"out[{key}]" in sub.graph.vertices()
+
+    def test_behaviors_are_deep_copies(self):
+        prog = keyed_chain_program(["a", "b"])
+        plan = split_by_key(prog, key_by_bracket, 1)
+        sub = plan.programs[0]
+        for name in sub.behaviors:
+            assert sub.behaviors[name] is not prog.behaviors[name]
+        # Running the replica must not mutate the original's behaviours:
+        # the original program stays usable as the oracle.
+        SerialExecutor(sub).run([PhaseInput(1, 1.0, {"src[a]": 1})])
+
+    def test_cross_key_vertex_rejected_with_names(self):
+        g = ComputationGraph.from_edges(
+            [("src[a]", "join"), ("src[b]", "join")]
+        )
+        prog = Program(
+            g,
+            {
+                "src[a]": PassthroughSource(),
+                "src[b]": PassthroughSource(),
+                "join": FunctionVertex(lambda c: None),
+            },
+        )
+        with pytest.raises(ShardingError, match="not key-separable") as ei:
+            split_by_key(prog, key_by_bracket, 2)
+        assert "join" in str(ei.value)
+
+    def test_key_by_source_always_separates_trees(self):
+        # Under key_by_source the cross-key join is *also* rejected,
+        # since the two sources are distinct keys.
+        g = ComputationGraph.from_edges(
+            [("sa", "join"), ("sb", "join")]
+        )
+        prog = Program(
+            g,
+            {
+                "sa": PassthroughSource(),
+                "sb": PassthroughSource(),
+                "join": FunctionVertex(lambda c: None),
+            },
+        )
+        with pytest.raises(ShardingError):
+            split_by_key(prog, key_by_source, 2)
+
+    def test_shared_key_join_allowed(self):
+        # Two sources with the SAME key may feed one correlator.
+        g = ComputationGraph.from_edges(
+            [("pos[s1]", "fuse[s1]"), ("rfid[s1]", "fuse[s1]")]
+        )
+        prog = Program(
+            g,
+            {
+                "pos[s1]": PassthroughSource(),
+                "rfid[s1]": PassthroughSource(),
+                "fuse[s1]": FunctionVertex(lambda c: None),
+            },
+        )
+        plan = split_by_key(prog, key_by_bracket, 2)
+        assert plan.keys == ("s1",)
+
+    def test_empty_shards_are_none(self):
+        prog = keyed_chain_program(["only"])
+        plan = split_by_key(prog, key_by_bracket, 4)
+        non_empty = [p for p in plan.programs if p is not None]
+        assert len(non_empty) == 1
+        owner = plan.assignment["only"]
+        assert plan.programs[owner] is not None
+        assert plan.shard_keys[owner] == ("only",)
+
+    def test_mismatched_router_rejected(self):
+        prog = keyed_chain_program(["a"])
+        with pytest.raises(ShardingError, match="router was built for"):
+            split_by_key(prog, key_by_bracket, 2, router=KeyRouter(3))
+
+    def test_unroutable_key_type_fails_fast(self):
+        prog = keyed_chain_program(["a"])
+        with pytest.raises(ShardingError, match="unroutable"):
+            split_by_key(prog, lambda s: ["list", "key"], 2)
+
+    def test_describe(self):
+        prog = keyed_chain_program(["a", "b", "c"])
+        plan = split_by_key(prog, key_by_bracket, 2)
+        d = plan.describe()
+        assert d["num_shards"] == 2
+        assert d["keys"] == 3
+        assert sum(d["shard_vertices"]) == 6
+
+    def test_shard_of_vertex(self):
+        prog = keyed_chain_program(["a", "b"])
+        plan = split_by_key(prog, key_by_bracket, 2)
+        mapping = plan.shard_of_vertex
+        for k in ("a", "b"):
+            assert mapping[f"src[{k}]"] == plan.assignment[k]
+            assert mapping[f"out[{k}]"] == plan.assignment[k]

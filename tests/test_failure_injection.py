@@ -6,11 +6,6 @@ import pytest
 from repro.core.program import Program
 from repro.core.serial import SerialExecutor
 from repro.core.vertex import FunctionVertex, PassthroughSource, SourceVertex
-from repro.distributed import (
-    PartitionedProgram,
-    SimulatedCluster,
-    contiguous_partition,
-)
 from repro.errors import VertexExecutionError
 from repro.events import PhaseInput
 from repro.graph.model import ComputationGraph
@@ -78,12 +73,37 @@ class TestSimulatedFailure:
             SimulatedEngine(prog, num_workers=2).run(signals(5))
 
 
-class TestClusterFailure:
+class TestShardedFailure:
     def test_raises_from_run(self):
-        prog = failing_program()
-        pp = PartitionedProgram(prog, contiguous_partition(prog.numbering, 2))
+        # Two independent failing chains: key-separable, so the sharded
+        # meta-engine accepts it and must surface the inner failure.
+        from repro.sharding import ShardedEngine, key_by_bracket
+
+        g = ComputationGraph.from_edges(
+            [("src[a]", "mid[a]"), ("src[b]", "mid[b]")]
+        )
+
+        def fail_on_2(ctx):
+            if ctx.phase == 2:
+                raise RuntimeError("injected failure")
+            return ctx.changed and 1
+
+        class Chatty(SourceVertex):
+            def on_execute(self, ctx):
+                return ctx.phase
+
+        prog = Program(
+            g,
+            {
+                "src[a]": Chatty(),
+                "mid[a]": FunctionVertex(fail_on_2),
+                "src[b]": Chatty(),
+                "mid[b]": FunctionVertex(lambda c: c.input("src[b]")),
+            },
+        )
+        engine = ShardedEngine(prog, key_by_bracket, 2)
         with pytest.raises(VertexExecutionError, match="injected failure"):
-            SimulatedCluster(pp).run(signals(5))
+            engine.run(signals(5))
 
 
 class TestSourceFailure:

@@ -8,6 +8,7 @@ from repro.events import Event
 from repro.ingest import (
     ArrivingEvent,
     ReorderBuffer,
+    bin_timestamp,
     late_event_tradeoff,
     noisy_observations,
 )
@@ -123,6 +124,48 @@ class TestReorderBuffer:
             assert buf.late_count == 0
 
 
+class TestBinning:
+    """Regression: binning used Python's round(), which is banker's
+    round-half-even — exact half-quantum stamps binned by *parity*
+    (0.5 -> 0.0 but 1.5 -> 2.0), so identical sensor offsets landed in
+    different snapshots.  Binning is now explicit half-up."""
+
+    def test_half_quantum_stamps_bin_uniformly(self):
+        # These fail under round(): round(0.5) == 0 but round(1.5) == 2.
+        assert bin_timestamp(0.5, 1.0) == 1.0
+        assert bin_timestamp(1.5, 1.0) == 2.0
+        assert bin_timestamp(2.5, 1.0) == 3.0
+        assert bin_timestamp(3.5, 1.0) == 4.0
+
+    def test_identical_offsets_same_relative_bin(self):
+        # Two sensors with the same +0.5 clock offset at consecutive
+        # ticks must land the same distance from their true instant.
+        assert bin_timestamp(0.5, 1.0) - 0.0 == bin_timestamp(1.5, 1.0) - 1.0
+
+    def test_nearest_instant_semantics_preserved(self):
+        assert bin_timestamp(0.95, 1.0) == 1.0
+        assert bin_timestamp(1.04, 1.0) == 1.0
+        assert bin_timestamp(1.49, 1.0) == 1.0
+        assert bin_timestamp(-0.4, 1.0) == 0.0
+
+    def test_non_unit_quantum(self):
+        assert bin_timestamp(0.25, 0.5) == 0.5
+        assert bin_timestamp(0.74, 0.5) == 0.5
+        assert bin_timestamp(0.76, 0.5) == 1.0
+
+    def test_buffer_groups_half_quantum_siblings(self):
+        # End-to-end through the buffer: ts 0.5 and 1.5 (consecutive
+        # ticks, same offset) must seal as *different* consecutive
+        # phases 1.0 and 2.0 — under round() they collapsed 0.5 into
+        # the 0.0 bin while 1.5 went up to 2.0, skipping a phase.
+        buf = ReorderBuffer(wait=0.0, quantum=1.0)
+        sealed = []
+        sealed += buf.offer(arr(0.5, "a", "x", arrival=0.5))
+        sealed += buf.offer(arr(1.5, "a", "y", arrival=1.5))
+        sealed += buf.flush()
+        assert [p.timestamp for p in sealed] == [1.0, 2.0]
+
+
 class TestNoisyObservations:
     def test_deterministic(self):
         a = noisy_observations(["x", "y"], 20, seed=3)
@@ -219,6 +262,27 @@ class TestWatermarkBoundary:
         # recovers it.
         flushed = buf.flush()
         assert [p.timestamp for p in flushed] == [1.0]
+
+    def test_flush_then_offer_counts_late(self):
+        """After flush() the stream is closed: a straggler must be
+        recorded late, seal nothing, and not resurrect phase numbering."""
+        buf = ReorderBuffer(wait=1.0)
+        buf.offer(arr(0.0, "a", 1, arrival=0.1))
+        flushed = buf.flush()
+        assert [p.timestamp for p in flushed] == [0.0]
+        assert buf.offer(arr(3.0, "b", 2, arrival=3.0)) == []
+        assert buf.late_count == 1
+        assert buf.accepted == 1
+        # Phase numbering is undisturbed: a second flush seals nothing.
+        assert buf.flush() == []
+        assert buf._next_phase == 2
+
+    def test_flush_on_empty_buffer(self):
+        buf = ReorderBuffer(wait=1.0)
+        assert buf.flush() == []
+        # Even with nothing ever offered, post-flush offers are late.
+        assert buf.offer(arr(0.0, "a", 1, arrival=0.5)) == []
+        assert buf.late_count == 1
 
     def test_wait_zero_simultaneous_arrivals_not_late(self):
         # With wait=0 an event arriving exactly when the watermark

@@ -1,0 +1,80 @@
+"""The sharded-vs-oracle fuzz campaign: clean campaigns pass, specs are
+reproducible, and the judge actually detects divergence."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.testing import (
+    ShardedSpec,
+    fuzz_sharded,
+    run_one_sharded,
+    sharded_spec_for_run,
+)
+
+
+class TestShardedSpec:
+    def test_reproducible(self):
+        assert sharded_spec_for_run(0, 3) == sharded_spec_for_run(0, 3)
+
+    def test_varies_across_runs(self):
+        specs = {sharded_spec_for_run(0, i) for i in range(12)}
+        assert len(specs) > 1
+        shards = {s.shards for s in specs}
+        assert len(shards) > 1
+
+    def test_pinned_axes(self):
+        spec = sharded_spec_for_run(0, 0, shards=4, engine="serial")
+        assert spec.shards == 4
+        assert spec.engine == "serial"
+
+    def test_describe_mentions_layout(self):
+        text = sharded_spec_for_run(7, 2).describe()
+        assert "shards" in text
+
+
+class TestCleanCampaign:
+    def test_bounded_campaign_passes(self):
+        report = fuzz_sharded(runs=6, seed=0)
+        assert report.ok, report.summary()
+        assert report.runs == 6
+        assert report.campaign == "sharded"
+        assert "oracle-equal" in report.summary()
+
+    def test_campaign_reproducible(self):
+        a = fuzz_sharded(runs=5, seed=3)
+        b = fuzz_sharded(runs=5, seed=3)
+        assert a.summary() == b.summary()
+
+    def test_single_run_clean(self):
+        spec = sharded_spec_for_run(1, 0, engine="serial")
+        assert run_one_sharded(spec) is None
+
+
+class TestJudgeDetectsDivergence:
+    """A green campaign is only evidence if the judge demonstrably turns
+    red when the shard layer misbehaves."""
+
+    def test_dropped_merge_entries_are_caught(self, monkeypatch):
+        from repro.sharding.merge import WatermarkMerger
+
+        real_offer = WatermarkMerger.offer
+
+        def lossy_offer(self, shard, timestamp, entries):
+            # Silently drop shard 0's contributions — exactly the kind
+            # of quiet data loss the oracle comparison must expose.
+            if shard == 0:
+                entries = []
+            return real_offer(self, shard, timestamp, entries)
+
+        monkeypatch.setattr(WatermarkMerger, "offer", lossy_offer)
+        spec = sharded_spec_for_run(0, 0, shards=2, engine="serial")
+        reason = run_one_sharded(spec)
+        assert reason is not None
+        assert "entries" in reason or "diverge" in reason
+
+    def test_invalid_engine_raises(self):
+        spec = sharded_spec_for_run(0, 0, engine="serial")
+        bad = replace(spec, engine="gpu")
+        with pytest.raises(Exception):
+            run_one_sharded(bad)
