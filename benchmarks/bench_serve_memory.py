@@ -1,0 +1,208 @@
+"""Serve-mode memory: flat RSS over an unbounded keyed stream.
+
+Batch mode holds every phase's records (and per-phase scheduler state)
+until the run ends, so its footprint grows linearly with stream length —
+fine for a bounded experiment, fatal for continuous operation.  The
+serve pipeline bounds every stage (reorder buffer, feed, in-flight
+phases, emit queue, SSE egress) and *retires* completed phases out of
+the engine, so its RSS should plateau no matter how many phases flow
+through.  This benchmark demonstrates exactly that:
+
+* **serve rows** — process RSS sampled at every 10% checkpoint of a
+  keyed laundering stream run through :class:`~repro.serve.ServeSession`
+  (parallel engine, periodic oracle spot-checks enabled);
+* **batch baseline** — RSS growth of a plain ``ParallelEngine.run`` over
+  materialised prefixes of the same stream, the shape serve mode
+  replaces;
+* **late / backpressure counters** — the full ``stats["serve"]`` section
+  is committed with the results, so the run is auditable (zero failed
+  spot-checks, how often ingest stalled, how late the network was).
+
+Acceptance criterion (full mode): over >= 10^5 phases the serve RSS
+high-water is within 2x of its value at the 10% checkpoint, and every
+sampled oracle spot-check passed.  Wall time is reported but not gated
+(1-core CI container; throughput is not the claim here — boundedness
+is).
+
+CI smoke::
+
+    python benchmarks/bench_serve_memory.py --quick
+
+Full run (commits its results as ``BENCH_serve_memory.json``)::
+
+    python benchmarks/bench_serve_memory.py --out BENCH_serve_memory.json
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Any, Dict, List
+
+if __package__ in (None, ""):
+    from _runner import bootstrap_src, finish, parse_args
+else:
+    from ._runner import bootstrap_src, finish, parse_args
+
+bootstrap_src()
+
+from repro.core.plan import compile_plan  # noqa: E402
+from repro.errors import BackpressureError  # noqa: E402
+from repro.ingest import ReorderBuffer  # noqa: E402
+from repro.models.domains.keyed import (  # noqa: E402
+    build_keyed_program,
+    keyed_arrival_stream,
+)
+from repro.runtime.engine import ParallelEngine  # noqa: E402
+from repro.serve import ServeConfig, ServeSession  # noqa: E402
+from repro.serve.session import current_rss_bytes  # noqa: E402
+
+KEYS = ["acct00", "acct01", "acct02"]
+WAIT = 2.0
+
+
+def serve_run(ticks: int, seed: int, check_sample: int) -> Dict[str, Any]:
+    """Stream *ticks* phases through a ServeSession, sampling RSS at
+    every 10% checkpoint."""
+    program, _ = build_keyed_program(KEYS)
+    cfg = ServeConfig(
+        engine="parallel",
+        threads=2,
+        wait=WAIT,
+        quantum=1.0,
+        check_sample=check_sample,
+        max_buffered=64,
+        rss_sample_every=200,
+    )
+    marks = [max(1, ticks * pct // 100) for pct in range(10, 101, 10)]
+    checkpoints: List[Dict[str, Any]] = []
+    t0 = time.perf_counter()
+    session = ServeSession(program, cfg)
+    with session:
+        for arriving in keyed_arrival_stream(KEYS, ticks, seed=seed):
+            while True:
+                try:
+                    session.offer(arriving)
+                    break
+                except BackpressureError:
+                    session.advance_watermark(arriving.arrival - WAIT)
+            while (
+                len(checkpoints) < len(marks)
+                and session.phases_retired >= marks[len(checkpoints)]
+            ):
+                checkpoints.append({
+                    "pct": (len(checkpoints) + 1) * 10,
+                    "phases_retired": session.phases_retired,
+                    "rss_bytes": current_rss_bytes(),
+                })
+    wall = time.perf_counter() - t0
+    stats = session.stats()["serve"]
+    # The trailing checkpoints land at drain time (close() seals the
+    # last bins), so fill any the ingest loop did not reach.
+    while len(checkpoints) < len(marks):
+        checkpoints.append({
+            "pct": (len(checkpoints) + 1) * 10,
+            "phases_retired": stats["phases_retired"],
+            "rss_bytes": current_rss_bytes(),
+        })
+    return {"wall_s": round(wall, 3), "checkpoints": checkpoints,
+            "stats": stats}
+
+
+def batch_baseline(ticks: int, seed: int) -> List[Dict[str, Any]]:
+    """RSS growth of plain batch runs over materialised prefixes."""
+    rows: List[Dict[str, Any]] = []
+    for n in (ticks // 2, ticks):
+        program, _ = build_keyed_program(KEYS)
+        buf = ReorderBuffer(wait=WAIT, quantum=1.0)
+        phases = []
+        for arriving in keyed_arrival_stream(KEYS, n, seed=seed):
+            phases.extend(buf.offer(arriving))
+        phases.extend(buf.flush())
+        rss_before = current_rss_bytes()
+        engine = ParallelEngine(compile_plan(program), num_threads=2)
+        t0 = time.perf_counter()
+        result = engine.run(phases)
+        wall = time.perf_counter() - t0
+        rows.append({
+            "phases": result.phases_run,
+            "rss_before_bytes": rss_before,
+            "rss_after_bytes": current_rss_bytes(),
+            "wall_s": round(wall, 3),
+        })
+        del result, engine, phases, buf, program
+    return rows
+
+
+def main(argv=None) -> int:
+    args = parse_args(
+        "Serve-mode flat-memory benchmark (retirement + bounded stages)",
+        argv,
+    )
+    ticks = 3_000 if args.quick else 100_000
+    check_sample = 200 if args.quick else 500
+    seed = 7
+
+    serve = serve_run(ticks, seed, check_sample)
+    baseline = batch_baseline(min(ticks, 20_000), seed)
+
+    checkpoints = serve["checkpoints"]
+    stats = serve["stats"]
+    rss_at_10pct = checkpoints[0]["rss_bytes"]
+    high_water = stats["rss_high_water_bytes"]
+    ratio = high_water / rss_at_10pct if rss_at_10pct else float("inf")
+
+    rows = [
+        {"series": "serve", **cp} for cp in checkpoints
+    ] + [
+        {"series": "batch_baseline", **row} for row in baseline
+    ]
+    for row in rows:
+        print(row)
+    print(
+        f"serve: {stats['phases_retired']} phases retired in "
+        f"{serve['wall_s']}s, RSS high-water {high_water / 2**20:.1f} MiB "
+        f"({ratio:.2f}x the 10% checkpoint), late={stats['late_events']}, "
+        f"buffer_rejects={stats['buffer_rejects']}, "
+        f"feed_stalls={stats['feed_stalls']}, "
+        f"spot-checks {stats['spot_checks_passed']} passed / "
+        f"{stats['spot_checks_failed']} failed"
+    )
+
+    criterion = None
+    if not args.quick:
+        passed = (
+            ratio <= 2.0
+            and stats["spot_checks_failed"] == 0
+            and stats["phases_retired"] >= int(ticks * 0.99) - 8
+        )
+        criterion = {
+            "evaluated": True,
+            "passed": passed,
+            "rss_high_water_over_10pct": round(ratio, 4),
+            "limit": 2.0,
+            "spot_checks_failed": stats["spot_checks_failed"],
+            "phases_retired": stats["phases_retired"],
+        }
+
+    return finish(
+        args,
+        "serve_memory",
+        config={
+            "keys": KEYS,
+            "ticks": ticks,
+            "seed": seed,
+            "wait": WAIT,
+            "check_sample": check_sample,
+            "engine": "parallel",
+            "platform": platform.platform(),
+            "note": "1-core CI container: wall time reported, not gated",
+        },
+        rows=rows,
+        criterion=criterion,
+        extra={"serve_stats": stats},
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,14 @@ engine-agnostic portion validated by :func:`validate_engine_stats`:
   full stats (frontier section included) on the nested
   ``ShardedRunResult.shard_results``.
 
+* ``stats["serve"]`` — the continuous-operation service layer
+  (:mod:`repro.serve`) reports its session document with a ``serve``
+  section: ingest/retire/stream counters, backpressure accounting
+  (reorder-buffer rejects + feed stalls), stage high-water marks, the
+  RSS high-water, and the oracle spot-check tallies.  Validated by
+  :func:`validate_serve_stats` (used by the serve tests and by CI
+  consumers of ``repro serve --stats-json``).
+
 The rest of the dict is engine-specific (lock contention, IPC counters,
 virtual-processor utilization, ...) and intentionally open — the
 validator checks shape, not exhaustiveness.
@@ -51,6 +59,7 @@ __all__ = [
     "message_rate_summary",
     "validate_frontier_stats",
     "validate_sharding_stats",
+    "validate_serve_stats",
     "validate_engine_stats",
 ]
 
@@ -187,6 +196,83 @@ def validate_sharding_stats(section: Any, where: str = "sharding") -> List[str]:
     }
     if extra:
         errors.append(f"{where}: unexpected keys {sorted(extra)}")
+    return errors
+
+
+_SERVE_ENGINES = ("parallel", "process")
+
+_SERVE_COUNTERS = (
+    "phases_ingested",
+    "phases_retired",
+    "results_streamed",
+    "events_accepted",
+    "late_events",
+    "buffer_rejects",
+    "feed_stalls",
+    "backpressure_stalls",
+    "buffer_high_water",
+    "feed_high_water",
+    "rss_high_water_bytes",
+    "sse_dropped",
+    "spot_checks_passed",
+    "spot_checks_failed",
+)
+
+
+def validate_serve_stats(section: Any, where: str = "serve") -> List[str]:
+    """Validate one ``stats["serve"]`` section; returns error strings
+    (empty list == valid).
+
+    Beyond per-counter shape, checks the cross-counter invariants the
+    serve pipeline guarantees: nothing retires before it is ingested,
+    every retired phase is streamed, and the backpressure total is
+    exactly rejects + stalls.
+    """
+    errors: List[str] = []
+    if not isinstance(section, Mapping):
+        return [f"{where}: expected a mapping, got {type(section).__name__}"]
+    engine = section.get("engine")
+    if engine not in _SERVE_ENGINES:
+        errors.append(
+            f"{where}.engine: expected one of {_SERVE_ENGINES}, got {engine!r}"
+        )
+    values: Dict[str, int] = {}
+    for key in _SERVE_COUNTERS:
+        value = section.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"{where}.{key}: expected an int, got {value!r}")
+        elif value < 0:
+            errors.append(f"{where}.{key}: expected >= 0, got {value}")
+        else:
+            values[key] = value
+    extra = set(section) - set(_SERVE_COUNTERS) - {"engine"}
+    if extra:
+        errors.append(f"{where}: unexpected keys {sorted(extra)}")
+    if {"phases_retired", "phases_ingested"} <= set(values) and (
+        values["phases_retired"] > values["phases_ingested"]
+    ):
+        errors.append(
+            f"{where}: phases_retired {values['phases_retired']} exceeds "
+            f"phases_ingested {values['phases_ingested']}"
+        )
+    if {"results_streamed", "phases_retired"} <= set(values) and (
+        values["results_streamed"] != values["phases_retired"]
+    ):
+        errors.append(
+            f"{where}: results_streamed {values['results_streamed']} != "
+            f"phases_retired {values['phases_retired']} (every retired "
+            f"phase must be streamed exactly once)"
+        )
+    if {"backpressure_stalls", "buffer_rejects", "feed_stalls"} <= set(
+        values
+    ) and (
+        values["backpressure_stalls"]
+        != values["buffer_rejects"] + values["feed_stalls"]
+    ):
+        errors.append(
+            f"{where}: backpressure_stalls must equal buffer_rejects + "
+            f"feed_stalls"
+        )
     return errors
 
 

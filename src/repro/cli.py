@@ -9,9 +9,16 @@
 * ``validate SPEC.xml`` — parse + validate, exit non-zero on problems;
 * ``speedup SPEC.xml`` — simulated speedup sweep over worker counts;
 * ``figures`` — render the paper's Figures 1–3 in the terminal;
+* ``serve SPEC.xml`` — continuous-operation service mode: ingest live
+  NDJSON events (HTTP or file/stdin replay), stream retired-phase
+  results over SSE, bounded memory throughout (see :mod:`repro.serve`);
 * ``fuzz`` — deterministic schedule exploration: random workloads ×
   random interleavings, judged against the serial oracle (see
   :mod:`repro.testing`).
+
+``run`` and ``serve`` shut down gracefully on SIGINT/SIGTERM: in-flight
+phases drain, the final ``--stats-json`` document is still written, and
+the exit code is 0.
 
 The CLI is a thin veneer over the library; every command maps to a few
 public API calls, shown in ``--help`` epilogs.
@@ -20,8 +27,11 @@ public API calls, shown in ``--help`` epilogs.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
-from typing import Optional, Sequence
+import threading
+from typing import Iterator, Optional, Sequence
 
 from . import __version__
 from .errors import ReproError
@@ -104,6 +114,78 @@ def build_parser() -> argparse.ArgumentParser:
                           "PATH ('-' for stdout)")
     run.add_argument("--max-records", type=int, default=20,
                      help="records to print per vertex (default 20)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="continuous-operation service mode: live NDJSON ingest, "
+             "bounded memory, SSE result stream",
+        epilog="Event wire shape (one JSON object per line): "
+               '{"timestamp": t, "source": "name", "value": v'
+               ', "arrival": a}. '
+               "HTTP mode exposes POST /events, POST /advance, "
+               "GET /stream (SSE), GET /stats, GET /healthz.",
+    )
+    serve.add_argument("spec", help="path to the XML specification file")
+    serve.add_argument("--engine", choices=["parallel", "process"],
+                       default="parallel",
+                       help="which real engine serves (default: parallel)")
+    serve.add_argument("--threads", type=int, default=2,
+                       help="computation threads for --engine parallel")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes for --engine process")
+    serve.add_argument("--batch-size", type=int, default=1)
+    serve.add_argument("--ipc-batch", type=int, default=1,
+                       help="tasks per dispatch frame for --engine process")
+    serve.add_argument("--window", type=int, default=0,
+                       help="per-worker credit window for --engine process "
+                            "(0: adaptive)")
+    serve.add_argument("--fuse", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="linear-chain vertex fusion (default on)")
+    serve.add_argument("--frontier", choices=["global", "cone"],
+                       default="cone",
+                       help="readiness rule (default cone)")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="serve as N keyed shards with watermark-"
+                            "aligned merge (requires key-separable graph)")
+    serve.add_argument("--key-by", choices=["source", "bracket"],
+                       default="bracket",
+                       help="key derivation for --shards (default bracket)")
+    serve.add_argument("--wait", type=float, default=2.0,
+                       help="watermark wait before sealing a timestamp "
+                            "(default 2.0)")
+    serve.add_argument("--quantum", type=float, default=1.0,
+                       help="timestamp binning quantum (default 1.0)")
+    serve.add_argument("--max-buffered", type=int, default=64,
+                       help="reorder-buffer cap in pending bins; overflow "
+                            "is backpressure (429 / producer stall); "
+                            "0 = unbounded (default 64)")
+    serve.add_argument("--feed-capacity", type=int, default=64,
+                       help="sealed-but-unstarted phase cap; a full feed "
+                            "blocks the producer (default 64)")
+    serve.add_argument("--max-in-flight", type=int, default=8,
+                       help="started-but-incomplete phase cap inside the "
+                            "engine (default 8)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="HTTP port (default 0: ephemeral, printed at "
+                            "startup)")
+    serve.add_argument("--input", metavar="PATH", default=None,
+                       help="replay NDJSON events from PATH ('-' for "
+                            "stdin) instead of serving HTTP — the CI "
+                            "smoke path; drains and exits at EOF")
+    serve.add_argument("--check-sample", type=int, default=0, metavar="N",
+                       help="spot-check every Nth retired phase against "
+                            "a live serial oracle replica (0: off)")
+    serve.add_argument("--stats-every", type=int, default=0, metavar="N",
+                       help="announce a stats SSE event every N retired "
+                            "phases (0: off)")
+    serve.add_argument("--max-phases", type=int, default=0, metavar="N",
+                       help="drain and exit after N phases retired "
+                            "(0: run until signalled)")
+    serve.add_argument("--stats-json", metavar="PATH", default=None,
+                       help="dump final serve stats as JSON to PATH "
+                            "('-' for stdout)")
 
     info = sub.add_parser("info", help="describe a spec without running it")
     info.add_argument("spec")
@@ -211,6 +293,44 @@ def _load(path: str):
     return load_spec(path)
 
 
+@contextlib.contextmanager
+def _signal_stop() -> Iterator[threading.Event]:
+    """Install SIGINT/SIGTERM handlers that set a stop event.
+
+    Engines drain in-flight phases when the event is set, so a signalled
+    ``repro run`` / ``repro serve`` still emits its final stats and
+    exits 0 — continuous operation must be stoppable without losing the
+    run's accounting.  Restores the previous handlers on exit; a no-op
+    off the main thread (signal delivery goes there anyway).
+    """
+    stop = threading.Event()
+    installed = {}
+    if threading.current_thread() is threading.main_thread():
+        def _handle(signum, frame):  # noqa: ANN001
+            stop.set()
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            installed[sig] = signal.signal(sig, _handle)
+    try:
+        yield stop
+    finally:
+        for sig, old in installed.items():
+            signal.signal(sig, old)
+
+
+def _write_stats_json(dest: str, payload: dict) -> None:
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if dest == "-":
+        print(text)
+    else:
+        from pathlib import Path
+
+        Path(dest).write_text(text + "\n")
+        print(f"stats written to {dest}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .analysis import check_serializable
     from .core.plan import compile_plan
@@ -221,29 +341,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.shards:
         return _run_sharded(args, spec, phases)
     plan = compile_plan(spec.program, fuse=args.fuse)
+    stopped = False
     if args.engine == "serial":
         result = SerialExecutor(plan).run(phases)
     elif args.engine == "parallel":
         from .runtime.engine import ParallelEngine
 
-        result = ParallelEngine(
-            plan,
-            num_threads=args.threads,
-            batch_size=args.batch_size,
-            frontier=args.frontier,
-        ).run(phases)
+        with _signal_stop() as stop:
+            result = ParallelEngine(
+                plan,
+                num_threads=args.threads,
+                batch_size=args.batch_size,
+                frontier=args.frontier,
+            ).run(phases, stop_event=stop)
+            stopped = stop.is_set()
     elif args.engine == "process":
         from .runtime.mp import ProcessEngine
 
-        result = ProcessEngine(
-            plan,
-            num_workers=args.workers,
-            batch_size=args.batch_size,
-            start_method=args.start_method,
-            ipc_batch=args.ipc_batch,
-            window=args.window or None,
-            frontier=args.frontier,
-        ).run(phases)
+        with _signal_stop() as stop:
+            result = ProcessEngine(
+                plan,
+                num_workers=args.workers,
+                batch_size=args.batch_size,
+                start_method=args.start_method,
+                ipc_batch=args.ipc_batch,
+                window=args.window or None,
+                frontier=args.frontier,
+            ).run(phases, stop_event=stop)
+            stopped = stop.is_set()
     else:
         from .simulator import CostModel, SimulatedEngine
 
@@ -259,6 +384,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"{result.execution_count} pair executions, "
           f"{result.message_count} messages, "
           f"wall/virtual time {result.wall_time:.4f}")
+    if stopped:
+        print(f"stopped by signal after {result.phases_run} of "
+              f"{len(phases)} phases (in-flight work drained)")
     fusion = result.stats.get("fusion") if result.stats else None
     if fusion:
         print(f"fusion: {fusion['original_vertices']} vertices -> "
@@ -295,7 +423,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if len(log) > args.max_records:
             print(f"  ... {len(log) - args.max_records} more")
 
-    if args.check and args.engine != "serial":
+    if args.check and args.engine != "serial" and not stopped:
         oracle = SerialExecutor(spec.program).run(phases)
         report = check_serializable(oracle, result)
         print(f"\nserializability: {report}")
@@ -398,6 +526,109 @@ def _run_sharded(args: argparse.Namespace, spec, phases) -> int:
         print(f"\nsharded-vs-oracle: equivalent "
               f"({result.engine} == {oracle.engine}); stats schema OK")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, ServeServer, ServeSession, ShardedServeSession
+
+    spec = _load(args.spec)
+    cfg = ServeConfig(
+        engine=args.engine,
+        threads=args.threads,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        ipc_batch=args.ipc_batch,
+        window=args.window or None,
+        fuse=args.fuse,
+        frontier=args.frontier,
+        max_in_flight=args.max_in_flight,
+        wait=args.wait,
+        quantum=args.quantum,
+        max_buffered=args.max_buffered or None,
+        feed_capacity=args.feed_capacity,
+        check_sample=args.check_sample,
+        stats_every=args.stats_every,
+    )
+    if args.shards:
+        from .sharding import key_by_bracket, key_by_source
+
+        key_of = key_by_source if args.key_by == "source" else key_by_bracket
+        session = ShardedServeSession(
+            spec.program, key_of, args.shards, cfg
+        )
+    else:
+        session = ServeSession(spec.program, cfg)
+    session.start()
+    stopped = False
+    with _signal_stop() as stop:
+        if args.input is not None:
+            _serve_replay(session, args, stop)
+        else:
+            server = ServeServer(session, host=args.host, port=args.port)
+            server.start()
+            try:
+                print(f"serving {spec.name} on {server.url} "
+                      f"(POST /events, SSE at /stream; signal to drain "
+                      f"and exit)", flush=True)
+                while not stop.is_set():
+                    if args.max_phases and (
+                        session.stats()["serve"]["phases_retired"]
+                        >= args.max_phases
+                    ):
+                        break
+                    stop.wait(0.25)
+            finally:
+                server.stop()
+        stopped = stop.is_set()
+    stats = session.close(drain=True)
+    serve = stats["serve"]
+    print(f"{spec.name}: serve[{args.engine}] ingested "
+          f"{serve['phases_ingested']} phases, retired "
+          f"{serve['phases_retired']}, {serve['late_events']} late, "
+          f"{serve['backpressure_stalls']} backpressure stalls, "
+          f"rss high-water {serve['rss_high_water_bytes'] / 1e6:.1f} MB"
+          + (" (stopped by signal; drained)" if stopped else ""))
+    if args.check_sample:
+        print(f"oracle spot-checks: {serve['spot_checks_passed']} passed, "
+              f"{serve['spot_checks_failed']} failed")
+    if args.stats_json is not None:
+        _write_stats_json(
+            args.stats_json, {"spec": spec.name, **stats}
+        )
+    return 0 if serve["spot_checks_failed"] == 0 else 2
+
+
+def _serve_replay(session, args: argparse.Namespace, stop) -> None:
+    """The ``--input`` path: feed NDJSON lines, honouring backpressure
+    by retrying (the in-process analogue of an HTTP producer seeing 429
+    and backing off)."""
+    import time
+
+    from .errors import BackpressureError
+
+    fh = sys.stdin if args.input == "-" else open(args.input, "r")
+    try:
+        for line in fh:
+            if stop.is_set():
+                break
+            if not line.strip():
+                continue
+            while True:
+                try:
+                    session.offer_line(line)
+                    break
+                except BackpressureError:
+                    if stop.is_set():
+                        return
+                    time.sleep(0.005)
+            if args.max_phases and (
+                session.stats()["serve"]["phases_ingested"]
+                >= args.max_phases
+            ):
+                break
+    finally:
+        if fh is not sys.stdin:
+            fh.close()
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -597,6 +828,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "serve": _cmd_serve,
     "info": _cmd_info,
     "validate": _cmd_validate,
     "speedup": _cmd_speedup,

@@ -191,24 +191,50 @@ class InvariantChecker:
             by_phase.setdefault(p, set()).add(v)
 
         # Completion bookkeeping: the set, the log and the count agree,
-        # and complete phases hold no state at all.
+        # and complete phases hold no state at all.  Retired phases
+        # (1..retired_upto, always a contiguous complete prefix) have
+        # left the set, and the log may have had a consumed prefix
+        # trimmed — the counts and enumerations account for both.
+        retired = getattr(state, "retired_upto", 0)
         complete = state._complete_set
-        if len(complete) != state.complete_phase_count:
+        if len(complete) != state.complete_phase_count - retired:
             self._fail(
                 f"complete-set size {len(complete)} != complete_phase_count "
-                f"{state.complete_phase_count}"
+                f"{state.complete_phase_count} - retired {retired}"
             )
-        if sorted(state._completed_log) != sorted(complete):
-            self._fail(
-                f"completion log {state._completed_log} does not enumerate "
-                f"the complete set {sorted(complete)}"
-            )
+        trimmed = getattr(state, "_completed_base", 0)
+        if trimmed == 0 and retired == 0:
+            if sorted(state._completed_log) != sorted(complete):
+                self._fail(
+                    f"completion log {state._completed_log} does not "
+                    f"enumerate the complete set {sorted(complete)}"
+                )
+        else:
+            # The untrimmed suffix must hold only phases that really
+            # completed (still in the set, or since retired).
+            for p in state._completed_log:
+                if p not in complete and not p <= retired:
+                    self._fail(
+                        f"completion log holds phase {p} which is neither "
+                        f"complete nor retired (retired_upto={retired})"
+                    )
         for p in complete:
             if not 1 <= p <= pmax:
                 self._fail(f"phase {p} complete but outside 1..pmax={pmax}")
+            if p <= retired:
+                self._fail(
+                    f"phase {p} still in the complete set but retired "
+                    f"(retired_upto={retired})"
+                )
             if by_phase.get(p):
                 self._fail(
                     f"complete phase {p} still has messages: "
+                    f"{sorted(by_phase[p])}"
+                )
+        for p in by_phase:
+            if p <= retired:
+                self._fail(
+                    f"retired phase {p} still has messages: "
                     f"{sorted(by_phase[p])}"
                 )
 
@@ -217,7 +243,7 @@ class InvariantChecker:
         partial_def: Set[Tuple[int, int]] = set()
         det_by_phase: Dict[int, bytearray] = {}
         for p in range(1, pmax + 1):
-            if p in complete:
+            if p in complete or p <= retired:
                 continue
             live_det = state._det.get(p)
             live_undet = state._undet.get(p)
@@ -279,7 +305,7 @@ class InvariantChecker:
 
         # Settled pointers: longest determined prefix of started phases.
         def determined(v: int, r: int) -> bool:
-            if r in complete:
+            if r in complete or r <= retired:
                 return True
             det = det_by_phase.get(r)
             return det is not None and bool(det[v])

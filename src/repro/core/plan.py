@@ -427,6 +427,38 @@ class ExecutionPlan:
             out.append(PhaseInput(pi.phase, pi.timestamp, values))
         return out
 
+    def translate_entries(
+        self, entries: Sequence[Tuple[str, Any]]
+    ) -> Tuple[List[Tuple[str, Any]], int]:
+        """Map one phase's plan-space record entries back to original
+        vertices — the per-phase streaming analogue of :meth:`translate`.
+
+        *entries* is ``(plan_vertex_name, recorded_value)`` in commit
+        order for a single phase (the shape
+        :meth:`~repro.core.program.PairRuntime.retire_phase` returns).
+        Fused-stage traces expand into their members' record entries in
+        chain order; everything else passes through.  Returns the
+        translated entries plus the phase's internal chain-message count.
+        Identity (with count 0) when nothing is fused.
+        """
+        if not self.fused:
+            return list(entries), 0
+        out: List[Tuple[str, Any]] = []
+        internal = 0
+        for name, value in entries:
+            if name not in self._fused_stages:
+                out.append((name, value))
+                continue
+            if not isinstance(value, FusedTrace):
+                raise SchedulerError(
+                    f"fused stage {name!r} recorded a non-trace value "
+                    f"{value!r}"
+                )
+            for member, values in value.records:
+                out.extend((member, v) for v in values)
+            internal += value.internal_messages
+        return out, internal
+
     def translate(self, result: RunResult) -> RunResult:
         """Map a plan-space :class:`RunResult` back to original vertices.
 

@@ -161,12 +161,32 @@ class RunResult:
 
 
 class PairRuntime:
-    """Execution mechanics shared by every engine (see module docstring)."""
+    """Execution mechanics shared by every engine (see module docstring).
 
-    def __init__(self, program: Program, phase_inputs: Sequence[PhaseInput]) -> None:
+    Parameters
+    ----------
+    program, phase_inputs:
+        The program to execute and its (possibly empty — engines may
+        register phases incrementally) phase inputs.
+    stream_records:
+        When True, records are grouped *per phase* instead of per vertex
+        so :meth:`retire_phase` can hand each completed phase's output to
+        a streaming consumer and then forget it — the continuous-
+        operation mode, where nothing may accumulate for the whole run.
+        :attr:`records` stays empty in this mode.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        phase_inputs: Sequence[PhaseInput],
+        stream_records: bool = False,
+    ) -> None:
         self.program = program
         self.edges = EdgeStore(program.numbering)
         self.records: Dict[str, List[Tuple[int, Any]]] = {}
+        self.stream_records = stream_records
+        self._records_by_phase: Dict[int, List[Tuple[str, Any]]] = {}
         self.message_count = 0
         self.execution_count = 0
         self._phase_inputs: Dict[int, PhaseInput] = {}
@@ -246,9 +266,14 @@ class PairRuntime:
         self.edges.deliver(v, p, outputs_by_index)
         self.edges.consume(v, p)
         if ctx.records:
-            log = self.records.setdefault(ctx.name, [])
-            for value in ctx.records:
-                log.append((p, value))
+            if self.stream_records:
+                seg = self._records_by_phase.setdefault(p, [])
+                for value in ctx.records:
+                    seg.append((ctx.name, value))
+            else:
+                log = self.records.setdefault(ctx.name, [])
+                for value in ctx.records:
+                    log.append((p, value))
         self.message_count += len(outputs_by_index)
         self.execution_count += 1
         return sorted(outputs_by_index)
@@ -277,6 +302,21 @@ class PairRuntime:
         ctx.adopt_results(outputs, records)
         return self.commit(v, p, ctx)
 
+    # -- retirement (continuous-operation mode) -------------------------------
+
+    def retire_phase(self, p: int) -> Tuple[float, List[Tuple[str, Any]]]:
+        """Release everything held for completed phase *p* and return it.
+
+        Pops the phase's input (its timestamp is handed back for the
+        result stream) and its record segment (``(vertex_name, value)``
+        in commit order; requires ``stream_records=True`` when the
+        program records anything).  After this call the runtime holds no
+        per-phase state for *p* — the serve layer's memory bound.
+        """
+        pi = self._phase_inputs.pop(p, None)
+        ts = pi.timestamp if pi is not None else float(p)
+        return ts, self._records_by_phase.pop(p, [])
+
     # -- results -------------------------------------------------------------
 
     def build_result(
@@ -285,13 +325,14 @@ class PairRuntime:
         executions: List[Tuple[int, int]],
         wall_time: float,
         stats: Optional[Dict[str, Any]] = None,
+        phases_run: Optional[int] = None,
     ) -> RunResult:
         return RunResult(
             engine=engine,
             records={k: list(vs) for k, vs in self.records.items()},
             executions=list(executions),
             message_count=self.message_count,
-            phases_run=self.num_phases,
+            phases_run=self.num_phases if phases_run is None else phases_run,
             wall_time=wall_time,
             stats=dict(stats or {}),
         )

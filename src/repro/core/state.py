@@ -339,6 +339,15 @@ class SchedulerState:
         self._frontier_advances = 0
         self._max_phase_skew = 0
 
+        # Retirement (continuous-operation mode): phases 1..retired_upto
+        # have been garbage-collected — their x entries, complete-set
+        # membership and per-phase heaps are gone; predicates answer for
+        # them from the prefix bound alone.  The completion log is
+        # trimmable independently (engines own the consumption cursor):
+        # _completed_base counts entries dropped off its front.
+        self._retired_upto = 0
+        self._completed_base = 0
+
         if frontier == "cone":
             # Per started in-flight phase: remaining undetermined-pred
             # counts, determined flags, and the determined-vertex count.
@@ -379,9 +388,17 @@ class SchedulerState:
         return self._m[v]
 
     def x(self, p: int) -> int:
-        """The frontier ``x_p`` (``x_0 = N``; 0 for unstarted phases)."""
+        """The frontier ``x_p`` (``x_0 = N``; 0 for unstarted phases).
+
+        Retired phases answer ``N``: a phase only retires once complete,
+        and a complete phase's frontier is exactly ``N``, so dropping the
+        entry loses nothing — and the global mode's ``x_{i-1}`` clamp
+        keeps working right after the retired prefix.
+        """
         if p < 0:
             raise SchedulerError(f"x({p}) undefined for negative phase")
+        if 0 < p <= self._retired_upto:
+            return self.N
         return self._x.get(p, self.N if p == 0 else 0)
 
     def msg(self, v: int, p: int) -> bool:
@@ -428,7 +445,7 @@ class SchedulerState:
         """
         if self.frontier == "global":
             return self.phase_started(p) and p <= self._complete_phases
-        return p in self._complete_set
+        return p in self._complete_set or 0 < p <= self._retired_upto
 
     def all_started_complete(self) -> bool:
         """Every started phase is complete (quiescence)."""
@@ -454,8 +471,96 @@ class SchedulerState:
     def completed_log(self) -> Sequence[int]:
         """Phases in completion order (append-only).  Engines label their
         ``phase_completed`` tracer events from this log; in global mode it
-        is identical to the prefix ``1..complete_phase_count``."""
+        is identical to the prefix ``1..complete_phase_count``.
+
+        Continuous-operation consumers should prefer the cursor API
+        (:meth:`completed_since` / :meth:`trim_completed_log`) — this
+        property exposes only the untrimmed suffix.
+        """
         return self._completed_log
+
+    @property
+    def completed_total(self) -> int:
+        """Total completion-log entries ever appended — the absolute
+        cursor space for :meth:`completed_since`, unaffected by trims."""
+        return self._completed_base + len(self._completed_log)
+
+    def completed_since(self, cursor: int) -> List[int]:
+        """Completion-log entries at absolute positions ``cursor..``.
+
+        The absolute position of an entry never changes:
+        :meth:`trim_completed_log` drops a consumed prefix from memory but
+        advances the base, so an engine's ``seen_complete`` cursor keeps
+        working across trims.  Asking for an already-trimmed position is
+        a consumer bug and raises.
+        """
+        if cursor < self._completed_base:
+            raise SchedulerError(
+                f"completion-log cursor {cursor} precedes trimmed base "
+                f"{self._completed_base}"
+            )
+        return self._completed_log[cursor - self._completed_base :]
+
+    def trim_completed_log(self, cursor: int) -> None:
+        """Drop completion-log entries below absolute position *cursor*
+        (the consumer promises it has processed them)."""
+        if cursor < self._completed_base:
+            raise SchedulerError(
+                f"completion-log trim cursor {cursor} precedes current "
+                f"base {self._completed_base}"
+            )
+        keep = cursor - self._completed_base
+        if keep <= 0:
+            return
+        if keep > len(self._completed_log):
+            raise SchedulerError(
+                f"completion-log trim cursor {cursor} exceeds total "
+                f"{self.completed_total}"
+            )
+        del self._completed_log[:keep]
+        self._completed_base = cursor
+
+    # ------------------------------------------------------------------
+    # Retirement (continuous-operation mode)
+    # ------------------------------------------------------------------
+
+    @property
+    def retired_upto(self) -> int:
+        """Highest phase whose per-phase state has been garbage-collected
+        (0 when nothing has retired).  Retired phases are always the
+        contiguous complete prefix ``1..retired_upto``."""
+        return self._retired_upto
+
+    def retire_phases_upto(self, p: int) -> int:
+        """Garbage-collect scheduler state for phases ``retired_upto+1..p``.
+
+        Only a *contiguous complete prefix* may retire: every phase
+        ``<= p`` must be complete.  That is the property the predicates
+        lean on afterwards — ``x``, ``phase_complete`` and determinedness
+        answer for retired phases from the prefix bound alone, which is
+        exactly what the dropped structures would have said (complete ⟹
+        ``x = N`` ⟹ every vertex determined).  Returns the number of
+        phases retired by this call; retiring an already-retired range is
+        a no-op.
+        """
+        if p <= self._retired_upto:
+            return 0
+        if p >= self._oldest_incomplete_phase():
+            raise SchedulerError(
+                f"cannot retire through phase {p}: phase "
+                f"{self._oldest_incomplete_phase()} is not complete"
+            )
+        retired = 0
+        for q in range(self._retired_upto + 1, p + 1):
+            self._x.pop(q, None)
+            self._complete_set.discard(q)
+            # Global mode leaves empty per-phase heaps behind (cone mode
+            # pops them at completion); drop both unconditionally.
+            self._pending.pop(q, None)
+            self._partial_by_phase.pop(q, None)
+            retired += 1
+        self._retired_upto = p
+        return retired
 
     def frontier_stats(self) -> Dict[str, object]:
         """Frontier-layer observability (the documented stats schema):
@@ -826,7 +931,7 @@ class SchedulerState:
     def _is_determined(self, v: int, r: int) -> bool:
         """Vertex *v* determined for started phase *r* (complete phases
         count as all-determined; their per-phase arrays are dropped)."""
-        if r in self._complete_set:
+        if r in self._complete_set or r <= self._retired_upto:
             return True
         det = self._det.get(r)
         return det is not None and bool(det[v])

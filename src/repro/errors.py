@@ -32,6 +32,8 @@ __all__ = [
     "SimulationError",
     "WorkloadError",
     "ShardingError",
+    "BackpressureError",
+    "ServeError",
     "ScheduleError",
     "DeadlockError",
     "ScheduleLimitError",
@@ -182,6 +184,28 @@ class ShardingError(ReproError):
     """A keyed program cannot be sharded as requested, or the shard
     layer's merge/routing contracts were violated (a key-crossing
     vertex, an out-of-order merge offer, an unroutable key type)."""
+
+
+# ---------------------------------------------------------------------------
+# Continuous-operation service layer (repro.serve)
+# ---------------------------------------------------------------------------
+
+
+class BackpressureError(ReproError):
+    """An ingest stage is at capacity and the producer must slow down.
+
+    Raised by a bounded :class:`~repro.ingest.ReorderBuffer` whose pending
+    bin count is at ``max_buffered`` (the serve layer translates it into
+    an HTTP 429 / a producer stall).  Deliberately *not* a
+    :class:`WorkloadError`: the workload is fine, the producer is simply
+    ahead of the consumer.
+    """
+
+
+class ServeError(ReproError):
+    """The continuous-operation service (:mod:`repro.serve`) failed or
+    was misused (feeding a closed session, serving an engine that does
+    not support streaming admission, ...)."""
 
 
 # ---------------------------------------------------------------------------

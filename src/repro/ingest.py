@@ -36,9 +36,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from .errors import WorkloadError
+from .errors import BackpressureError, WorkloadError
 from .events import Event, PhaseInput
 
 __all__ = [
@@ -98,21 +98,53 @@ class ReorderBuffer:
         multiples of *quantum* before phase grouping, so jittered clocks
         reading "almost the same instant" land in one snapshot.  This is
         the discrete analogue of the paper's simultaneity assumption.
+    max_buffered:
+        Optional cap on *pending bins* (distinct unsealed timestamps).
+        An offer that would have to open a new bin beyond the cap raises
+        :class:`~repro.errors.BackpressureError` instead of growing
+        without limit — the serve layer turns that into a producer stall
+        / HTTP 429.  Offers into an *existing* bin always succeed (they
+        add no bin), and late events are never backpressured (they are
+        counted and dropped as usual).  ``None`` (default) is unbounded,
+        the batch-mode behaviour.
+    max_late_kept:
+        Optional cap on how many late :class:`ArrivingEvent` objects are
+        *retained* for inspection.  :attr:`late_count` always counts
+        every late event; continuous operation sets a small cap so an
+        adversarial late stream cannot grow :attr:`late_events` forever.
     """
 
-    def __init__(self, wait: float, quantum: float = 1.0) -> None:
+    def __init__(
+        self,
+        wait: float,
+        quantum: float = 1.0,
+        max_buffered: Optional[int] = None,
+        max_late_kept: Optional[int] = None,
+    ) -> None:
         if wait < 0:
             raise WorkloadError(f"wait must be >= 0, got {wait}")
         if quantum <= 0:
             raise WorkloadError(f"quantum must be > 0, got {quantum}")
+        if max_buffered is not None and max_buffered < 1:
+            raise WorkloadError(
+                f"max_buffered must be >= 1 or None, got {max_buffered}"
+            )
+        if max_late_kept is not None and max_late_kept < 0:
+            raise WorkloadError(
+                f"max_late_kept must be >= 0 or None, got {max_late_kept}"
+            )
         self.wait = wait
         self.quantum = quantum
+        self.max_buffered = max_buffered
+        self.max_late_kept = max_late_kept
         self._pending: Dict[float, Dict[str, object]] = {}  # binned ts -> values
         self._watermark = float("-inf")
         self._sealed_upto = float("-inf")
         self._next_phase = 1
         self.late_events: List[ArrivingEvent] = []
+        self._late_total = 0
         self.accepted = 0
+        self.pending_high_water = 0
 
     def _bin(self, timestamp: float) -> float:
         return bin_timestamp(timestamp, self.quantum)
@@ -128,18 +160,58 @@ class ReorderBuffer:
 
         Arrivals must be fed in arrival order (the network delivers them
         that way by construction).
+
+        Raises
+        ------
+        BackpressureError
+            If ``max_buffered`` is set and admitting this event would
+            open one pending bin too many.  The event is *not* consumed;
+            the producer may retry after the consumer drains (or after
+            :meth:`advance_watermark` seals old bins).
         """
         ts = self._bin(arriving.event.timestamp)
         if self._sealed_upto != float("-inf") and ts <= self._sealed_upto:
-            self.late_events.append(arriving)
+            self._record_late(arriving)
             return []
+        if (
+            self.max_buffered is not None
+            and ts not in self._pending
+            and len(self._pending) >= self.max_buffered
+        ):
+            raise BackpressureError(
+                f"reorder buffer at capacity ({self.max_buffered} pending "
+                f"bins); timestamp {ts} would open one more"
+            )
         slot = self._pending.setdefault(ts, {})
         slot[arriving.event.source] = arriving.event.value
         self.accepted += 1
+        if len(self._pending) > self.pending_high_water:
+            self.pending_high_water = len(self._pending)
         new_watermark = arriving.arrival - self.wait
         if new_watermark > self._watermark:
             self._watermark = new_watermark
         return self._seal_ready()
+
+    def advance_watermark(self, to: float) -> List[PhaseInput]:
+        """Force the watermark forward to *to* (wall-clock sealing).
+
+        Arrival-driven sealing stalls when producers go quiet: the last
+        few bins wait forever for an arrival to push the watermark past
+        them.  A serving loop calls this from its clock ("it is now t,
+        anything older than t - wait is sealable") so results keep
+        flowing — and so a *full* bounded buffer can drain without a
+        producer being able to offer.  Never moves the watermark
+        backwards.  Returns the phases sealed (oldest first).
+        """
+        if to <= self._watermark:
+            return []
+        self._watermark = to
+        return self._seal_ready()
+
+    def _record_late(self, arriving: ArrivingEvent) -> None:
+        self._late_total += 1
+        if self.max_late_kept is None or len(self.late_events) < self.max_late_kept:
+            self.late_events.append(arriving)
 
     def _seal_ready(self) -> List[PhaseInput]:
         # Strictly below the watermark: an event whose delay equals the
@@ -168,7 +240,14 @@ class ReorderBuffer:
 
     @property
     def late_count(self) -> int:
-        return len(self.late_events)
+        """Total late events observed (counted even when the retained
+        :attr:`late_events` list is capped by ``max_late_kept``)."""
+        return self._late_total
+
+    @property
+    def pending_bins(self) -> int:
+        """Distinct unsealed timestamps currently buffered."""
+        return len(self._pending)
 
     def __repr__(self) -> str:
         return (

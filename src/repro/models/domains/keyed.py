@@ -44,6 +44,7 @@ __all__ = [
     "KeyedWorkload",
     "build_keyed_program",
     "keyed_arrivals",
+    "keyed_arrival_stream",
     "build_keyed_workload",
 ]
 
@@ -179,6 +180,75 @@ def keyed_arrivals(
         gap = a.arrival - bin_timestamp(a.event.timestamp, quantum)
         wait = max(wait, gap)
     return arrivals, wait + 1e-9
+
+
+def keyed_arrival_stream(
+    keys: Sequence[Hashable],
+    ticks: int,
+    seed: int = 0,
+    anomaly_rate: float = 0.08,
+    clock_noise: float = 0.05,
+    delay_mean: float = 0.3,
+    delay_jitter: float = 0.4,
+    drop_rate: float = 0.1,
+    tick_interval: float = 1.0,
+):
+    """:func:`keyed_arrivals` as a **bounded-memory generator**.
+
+    The list form materialises ``keys * ticks`` events up front — fine
+    for the sharding tests, fatal for the serve layer's soak runs
+    (10^5+ phases must not allocate the whole stream).  This yields the
+    same events in the same arrival order while holding only the
+    events still "in the network": per key, draws are identical to the
+    list form (each account's stream is a pure function of
+    ``(seed, key)``), and a rolling heap releases an arrival once no
+    later tick can generate an earlier one (every event from tick t
+    arrives at ``>= t * tick_interval + delay_mean``).
+
+    Pick the watermark wait as ``delay_mean + delay_jitter + k * sigma``
+    of the clock noise for the lateness rate you can tolerate; unlike
+    the list form there is no whole-stream pass to compute the exact
+    zero-lateness wait.
+    """
+    if ticks < 0:
+        raise WorkloadError("ticks must be >= 0")
+    import heapq
+
+    rngs = {k: random.Random(f"{seed}|{k}") for k in keys}
+    heap: List[Tuple[float, str, float, int, ArrivingEvent]] = []
+    counter = 0
+    for tick in range(ticks):
+        # Nothing generated at this or a later tick can arrive before
+        # tick * tick_interval + delay_mean; older arrivals are final.
+        threshold = tick * tick_interval + delay_mean
+        while heap and heap[0][0] < threshold:
+            yield heapq.heappop(heap)[-1]
+        true_ts = tick * tick_interval
+        for k in keys:
+            rng = rngs[k]
+            if rng.random() < drop_rate:
+                continue
+            base = 40.0 + 20.0 * rng.random()
+            if rng.random() < anomaly_rate:
+                base *= 6.0 + 4.0 * rng.random()
+            stamped = round(true_ts + rng.gauss(0.0, clock_noise), 6)
+            delay = delay_mean + rng.random() * delay_jitter
+            arrival = max(stamped, round(true_ts + delay, 6))
+            event = ArrivingEvent(
+                Event(
+                    stamped,
+                    f"txn[{k}]",
+                    {"account": k, "amount": round(base, 6)},
+                ),
+                arrival=arrival,
+            )
+            heapq.heappush(
+                heap,
+                (arrival, event.event.source, stamped, counter, event),
+            )
+            counter += 1
+    while heap:
+        yield heapq.heappop(heap)[-1]
 
 
 @dataclass(frozen=True)

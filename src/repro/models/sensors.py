@@ -17,7 +17,12 @@ from __future__ import annotations
 import math
 from typing import Any, List, Optional, Sequence
 
-from ..core.vertex import EMIT_NOTHING, SourceVertex, VertexContext
+from ..core.vertex import (
+    EMIT_NOTHING,
+    PassthroughSource,
+    SourceVertex,
+    VertexContext,
+)
 from ..errors import WorkloadError
 from ..spec.registry import register_vertex
 
@@ -29,6 +34,12 @@ __all__ = [
     "ReplaySource",
     "SilentSource",
 ]
+
+# The canonical Δ-dataflow source (emits the external phase payload,
+# silent otherwise) under its own spec name: event-driven specs — the
+# `repro serve` ingest path, where values arrive over the wire rather
+# than from seeded generators — name their sources with it.
+register_vertex("PassthroughSource")(PassthroughSource)
 
 
 @register_vertex("RandomWalkSensor")

@@ -59,10 +59,15 @@ from ..events import PhaseInput
 from .backend import OS_BACKEND, ThreadingBackend
 from .blocking_queue import BlockingQueue
 from .environment import EnvironmentConfig
+from .feed import PhaseFeed
 from .locks import InstrumentedLock
 from .pool import ComputationThreadPool
 
 __all__ = ["ParallelEngine"]
+
+# How long the environment thread parks on an idle PhaseFeed before
+# re-checking abort/stop flags (feed mode only; OS backend only).
+_FEED_POLL_S = 0.05
 
 
 class ParallelEngine:
@@ -139,17 +144,84 @@ class ParallelEngine:
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
 
-    def run(self, phase_inputs: Sequence[PhaseInput]) -> RunResult:
+    def run(
+        self,
+        phase_inputs: Sequence[PhaseInput],
+        stop_event: object = None,
+    ) -> RunResult:
         """Execute every phase; returns the :class:`RunResult`.
+
+        With *stop_event* (any object with ``is_set()``, e.g. a
+        :class:`threading.Event` flipped by a signal handler) the
+        environment stops admitting new phases once the event is set;
+        already-started phases drain to completion and the result covers
+        exactly the started phases — the graceful-shutdown path.
 
         Raises the first vertex exception as
         :class:`~repro.errors.VertexExecutionError`, and
         :class:`EngineError` if threads wedge past *join_timeout*.
         """
-        phase_inputs = self.plan.localize_phase_inputs(phase_inputs)
+        return self._execute(
+            phase_inputs=phase_inputs, feed=None, stop_event=stop_event
+        )
+
+    def run_feed(
+        self,
+        feed: PhaseFeed,
+        sink: object = None,
+        retire: bool = False,
+        stop_event: object = None,
+    ) -> RunResult:
+        """Execute phases as a :class:`PhaseFeed` delivers them.
+
+        The continuous-operation entry point: the environment thread
+        admits each sealed phase the moment the feed hands it over, and
+        the run ends when the feed is closed and drained (or *stop_event*
+        is set — in-flight phases still drain).  OS backend only: the
+        feed blocks on a real condition variable.
+
+        With ``retire=True`` the engine additionally *retires* each
+        phase as soon as the completed prefix extends — handing
+        ``sink(phase, timestamp, entries)`` the phase's translated record
+        entries (``(vertex_name, value)``, commit order) and then
+        garbage-collecting every per-phase structure: scheduler arrays,
+        completion-log prefix, phase inputs, record segments.  Memory
+        then stays bounded by the in-flight window rather than the
+        stream length; the returned result carries no per-execution data
+        (``executions`` empty, ``records`` empty) — counts live in
+        ``stats``.  *sink* runs inside the engine's critical section and
+        must be cheap and non-blocking (hand off to a queue).
+        """
+        return self._execute(
+            phase_inputs=None,
+            feed=feed,
+            sink=sink,
+            retire=retire,
+            stop_event=stop_event,
+        )
+
+    def _execute(
+        self,
+        phase_inputs: Optional[Sequence[PhaseInput]],
+        feed: Optional[PhaseFeed],
+        sink: object = None,
+        retire: bool = False,
+        stop_event: object = None,
+    ) -> RunResult:
+        if retire and self.tracer is not None:
+            raise EngineError(
+                "retirement discards the per-phase data a tracer needs; "
+                "run with tracer=None or retire=False"
+            )
+        if feed is None:
+            phase_inputs = self.plan.localize_phase_inputs(phase_inputs or [])
+        else:
+            phase_inputs = []
         self.program.reset()
         backend = self.backend
-        runtime = PairRuntime(self.program, phase_inputs)
+        runtime = PairRuntime(
+            self.program, phase_inputs, stream_records=retire
+        )
         state = SchedulerState(
             self.program.numbering,
             checker=self.checker,
@@ -167,7 +239,10 @@ class ParallelEngine:
         )
         executions: List[Tuple[int, int]] = []
         per_worker_counts: Dict[int, int] = {i: 0 for i in range(self.num_threads)}
-        seen_complete = [0]  # phases seen complete so far (guarded by lock)
+        seen_complete = [0]  # completion-log cursor (guarded by lock)
+        retire_next = [1]  # next phase to retire (guarded by lock)
+        retire_counters = [0, 0]  # phases retired, internal fused messages
+        plan = self.plan
         batch_size = self.batch_size
         batch_sizes: Dict[int, int] = {}  # dequeued-batch histogram (under lock)
         tracer = self.tracer
@@ -223,9 +298,10 @@ class ParallelEngine:
                                     tracer.execute_begin((nv, np_), worker_id)
                                 continue
                             newly_ready = state.complete_executions(completed)
-                            executions.extend(
-                                (cv, cp) for cv, cp, _ in completed
-                            )
+                            if not retire:
+                                executions.extend(
+                                    (cv, cp) for cv, cp, _ in completed
+                                )
                             per_worker_counts[worker_id] += len(completed)
                             batch_sizes[len(completed)] = (
                                 batch_sizes.get(len(completed), 0) + 1
@@ -235,19 +311,42 @@ class ParallelEngine:
                                     tracer.execute_end((cv, cp), worker_id)
                                 for pair in newly_ready:
                                     tracer.enqueued(pair)
-                            # Completion labels come from the state's log:
-                            # in global mode it is the prefix order; in
-                            # cone mode phases may complete out of order.
-                            completed_log = state.completed_log
-                            newly_complete = (
-                                len(completed_log) - seen_complete[0]
+                            # Completion labels come from the state's log
+                            # via the absolute cursor: in global mode it is
+                            # the prefix order; in cone mode phases may
+                            # complete out of order.
+                            new_complete = state.completed_since(
+                                seen_complete[0]
                             )
+                            newly_complete = len(new_complete)
                             if tracer is not None:
-                                for i in range(newly_complete):
-                                    tracer.phase_completed(
-                                        completed_log[seen_complete[0] + i]
+                                for q in new_complete:
+                                    tracer.phase_completed(q)
+                            seen_complete[0] += newly_complete
+                            if retire and newly_complete:
+                                # Retire the extended contiguous complete
+                                # prefix: stream each phase's translated
+                                # records out, then GC every per-phase
+                                # structure (bounded-memory guarantee).
+                                rn = retire_next[0]
+                                while state.phase_started(
+                                    rn
+                                ) and state.phase_complete(rn):
+                                    ts, entries = runtime.retire_phase(rn)
+                                    entries, internal = (
+                                        plan.translate_entries(entries)
                                     )
-                            seen_complete[0] = len(completed_log)
+                                    retire_counters[1] += internal
+                                    if sink is not None:
+                                        sink(rn, ts, entries)
+                                    rn += 1
+                                if rn > retire_next[0]:
+                                    state.retire_phases_upto(rn - 1)
+                                    retire_counters[0] += (
+                                        rn - retire_next[0]
+                                    )
+                                    retire_next[0] = rn
+                                state.trim_completed_log(seen_complete[0])
                             done = env_done.is_set() and state.all_started_complete()
                     if flow_sem is not None:
                         for _ in range(newly_complete):
@@ -273,36 +372,68 @@ class ParallelEngine:
 
         env_errors: List[BaseException] = []
 
+        def start_next_phase(pi: Optional[PhaseInput]) -> bool:
+            # Start one phase (Listing 2 body); registering the feed-
+            # delivered input happens in the same critical section so
+            # workers never observe a started-but-unregistered phase.
+            with start_guard():
+                if pi is not None:
+                    runtime.register_phase(pi)
+                newly_ready = state.start_phase()
+                if tracer is not None:
+                    tracer.phase_started(state.pmax)
+                    for pair in newly_ready:
+                        tracer.enqueued(pair)
+            try:
+                queue.put_many(newly_ready)
+            except QueueClosedError:
+                if not abort.is_set():
+                    raise
+                return False
+            if self.env.pacing:
+                backend.sleep(self.env.pacing)
+            return True
+
         def environment() -> None:
             # Listing 2: the environment process.
             try:
-                for _ in range(runtime.num_phases):
-                    if abort.is_set():
-                        break
-                    if flow_sem is not None:
-                        # Block until a phase slot frees up.  Abort paths
-                        # (worker crash, shutdown watchdog) release the
-                        # semaphore *after* setting the abort flag, so this
-                        # wait is abort-aware without polling — no timeout
-                        # loop burning CPU or making virtual-clock runs
-                        # timing-dependent.
-                        flow_sem.acquire()
+                if feed is None:
+                    for _ in range(runtime.num_phases):
                         if abort.is_set():
                             break
-                    with start_guard():
-                        newly_ready = state.start_phase()
-                        if tracer is not None:
-                            tracer.phase_started(state.pmax)
-                            for pair in newly_ready:
-                                tracer.enqueued(pair)
-                    try:
-                        queue.put_many(newly_ready)
-                    except QueueClosedError:
-                        if not abort.is_set():
-                            raise
-                        break
-                    if self.env.pacing:
-                        backend.sleep(self.env.pacing)
+                        if stop_event is not None and stop_event.is_set():
+                            break
+                        if flow_sem is not None:
+                            # Block until a phase slot frees up.  Abort
+                            # paths (worker crash, shutdown watchdog)
+                            # release the semaphore *after* setting the
+                            # abort flag, so this wait is abort-aware
+                            # without polling — no timeout loop burning
+                            # CPU or making virtual-clock runs
+                            # timing-dependent.
+                            flow_sem.acquire()
+                            if abort.is_set():
+                                break
+                        if not start_next_phase(None):
+                            break
+                else:
+                    while not abort.is_set():
+                        if stop_event is not None and stop_event.is_set():
+                            break
+                        pi = feed.get(timeout=_FEED_POLL_S)
+                        if pi is None:
+                            if feed.drained:
+                                break
+                            continue
+                        if flow_sem is not None:
+                            flow_sem.acquire()
+                            if abort.is_set() or (
+                                stop_event is not None and stop_event.is_set()
+                            ):
+                                break
+                        local = plan.localize_phase_inputs([pi])
+                        if not start_next_phase(local[0]):
+                            break
             except BaseException as exc:  # noqa: BLE001 - reported after join
                 env_errors.append(exc)
                 abort.set()
@@ -392,11 +523,19 @@ class ParallelEngine:
             intervals = tracer.intervals()
             stats["max_concurrent_phases"] = max_concurrent_phases(intervals)
             stats["max_concurrent_pairs"] = max_concurrent_pairs(intervals)
+        if retire:
+            stats["retirement"] = {
+                "phases_retired": retire_counters[0],
+                "internal_messages": retire_counters[1],
+                "executed_pairs": state.executed_pairs,
+            }
         label = (
             f"parallel[k={self.num_threads}]"
             if self.batch_size == 1
             else f"parallel[k={self.num_threads},b={self.batch_size}]"
         )
         return self.plan.translate(
-            runtime.build_result(label, executions, elapsed, stats)
+            runtime.build_result(
+                label, executions, elapsed, stats, phases_run=state.pmax
+            )
         )

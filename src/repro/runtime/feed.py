@@ -1,0 +1,138 @@
+"""A bounded handoff of sealed phases from an ingest thread to an engine.
+
+:class:`PhaseFeed` is the streaming-admission seam of the continuous-
+operation mode: the ingest side :meth:`put`\\ s each
+:class:`~repro.events.PhaseInput` the moment the reorder buffer seals it,
+and the engine side :meth:`get`\\ s phases as scheduling capacity frees
+up.  The feed is deliberately tiny — a deque plus one condition variable
+— because both real engines consume it from OS threads; the virtual
+scheduler's cooperative tasks must not block in here, so feeds are an
+OS-backend-only facility (``repro serve`` never runs under the virtual
+scheduler).
+
+Backpressure is built in: a full feed blocks the producer (counting the
+stall) until the engine drains below capacity, which is the credit-style
+throttling half of the serve layer's bounded-memory story — the other
+half being the bounded :class:`~repro.ingest.ReorderBuffer` upstream.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import ServeError
+from ..events import PhaseInput
+
+__all__ = ["PhaseFeed"]
+
+
+class PhaseFeed:
+    """A closable bounded FIFO of sealed :class:`PhaseInput` phases.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum phases buffered between producer and engine.  A
+        :meth:`put` against a full feed blocks (backpressure) until the
+        engine takes one; ``put_stalls`` counts those waits.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ServeError(f"feed capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: Deque[PhaseInput] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._next_phase = 1
+        self.put_stalls = 0
+        self.high_water = 0
+        self.total_put = 0
+
+    # -- producer side --------------------------------------------------
+
+    def put(self, pi: PhaseInput, timeout: Optional[float] = None) -> bool:
+        """Enqueue the next sealed phase; blocks while the feed is full.
+
+        Returns True on success, False if *timeout* elapsed with the feed
+        still full (the phase was NOT enqueued — the caller retries or
+        gives up).  Phases must arrive in sequential order, matching the
+        ``register_phase`` contract downstream.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServeError("cannot put a phase into a closed feed")
+            if pi.phase != self._next_phase:
+                raise ServeError(
+                    f"feed phases must be sequential: expected phase "
+                    f"{self._next_phase}, got {pi.phase}"
+                )
+            if len(self._items) >= self.capacity:
+                self.put_stalls += 1
+                while len(self._items) >= self.capacity:
+                    if not self._cond.wait(timeout):
+                        return False
+                    if self._closed:
+                        raise ServeError(
+                            "feed closed while a producer was blocked on it"
+                        )
+            self._items.append(pi)
+            self._next_phase += 1
+            self.total_put += 1
+            if len(self._items) > self.high_water:
+                self.high_water = len(self._items)
+            self._cond.notify_all()
+            return True
+
+    def close(self) -> None:
+        """No more phases will arrive; getters drain what remains then
+        see ``None``.  Idempotent.  Wakes any blocked producer (which
+        then raises — closing under a blocked producer is a caller bug
+        the error makes loud rather than a silent hang)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- consumer side --------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[PhaseInput]:
+        """Take the next phase.
+
+        Returns ``None`` when the feed is closed *and* drained, or when
+        *timeout* elapses with nothing available (callers distinguish the
+        two via :attr:`drained`).  ``timeout=0`` is a non-blocking poll.
+        """
+        with self._cond:
+            if not self._items and not self._closed:
+                if timeout == 0:
+                    return None
+                self._cond.wait(timeout)
+            if not self._items:
+                return None
+            pi = self._items.popleft()
+            self._cond.notify_all()
+            return pi
+
+    # -- observability --------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def drained(self) -> bool:
+        """Closed and nothing left to take."""
+        with self._cond:
+            return self._closed and not self._items
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseFeed(capacity={self.capacity}, depth={self.depth}, "
+            f"closed={self._closed}, put={self.total_put})"
+        )

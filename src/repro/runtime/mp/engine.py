@@ -86,6 +86,7 @@ from ...core.vertex import VertexContext
 from ...errors import EngineError, VertexExecutionError
 from ...events import PhaseInput
 from ..environment import EnvironmentConfig
+from ..feed import PhaseFeed
 from ..locks import InstrumentedLock
 from .lifecycle import ProcessWorkerPool
 from .protocol import (
@@ -189,17 +190,68 @@ class ProcessEngine:
         self.window = window
         self.start_method = start_method
 
-    def run(self, phase_inputs: Sequence[PhaseInput]) -> RunResult:
+    def run(
+        self,
+        phase_inputs: Sequence[PhaseInput],
+        stop_event: object = None,
+    ) -> RunResult:
         """Execute every phase; returns the :class:`RunResult`.
+
+        With *stop_event* (any ``is_set()`` object) the coordinator stops
+        admitting new phases once the event is set, drains in-flight
+        work, and shuts the workers down gracefully — the result covers
+        exactly the started phases.
 
         Raises the first vertex exception as
         :class:`~repro.errors.VertexExecutionError`, and
         :class:`EngineError` on worker crash, unpicklable program, or a
         wedged run.
         """
-        phase_inputs = self.plan.localize_phase_inputs(phase_inputs)
+        return self._execute(
+            phase_inputs=phase_inputs, feed=None, stop_event=stop_event
+        )
+
+    def run_feed(
+        self,
+        feed: PhaseFeed,
+        sink: object = None,
+        retire: bool = False,
+        stop_event: object = None,
+    ) -> RunResult:
+        """Execute phases as a :class:`~repro.runtime.feed.PhaseFeed`
+        delivers them; same contract as
+        :meth:`repro.runtime.engine.ParallelEngine.run_feed` (incremental
+        admission, optional per-phase retirement through *sink*, graceful
+        *stop_event*)."""
+        return self._execute(
+            phase_inputs=None,
+            feed=feed,
+            sink=sink,
+            retire=retire,
+            stop_event=stop_event,
+        )
+
+    def _execute(
+        self,
+        phase_inputs: Optional[Sequence[PhaseInput]],
+        feed: Optional[PhaseFeed],
+        sink: object = None,
+        retire: bool = False,
+        stop_event: object = None,
+    ) -> RunResult:
+        if retire and self.tracer is not None:
+            raise EngineError(
+                "retirement discards the per-phase data a tracer needs; "
+                "run with tracer=None or retire=False"
+            )
+        if feed is None:
+            phase_inputs = self.plan.localize_phase_inputs(phase_inputs or [])
+        else:
+            phase_inputs = []
         self.program.reset()
-        runtime = PairRuntime(self.program, phase_inputs)
+        runtime = PairRuntime(
+            self.program, phase_inputs, stream_records=retire
+        )
         state = SchedulerState(
             self.program.numbering,
             checker=self.checker,
@@ -221,9 +273,15 @@ class ProcessEngine:
         }
         batch_sizes: Dict[int, int] = {}
         seen_complete = 0
+        retire_next = 1  # next phase to retire (retire mode)
+        retire_counters = [0, 0]  # phases retired, internal fused messages
+        held: List[PhaseInput] = []  # at most one prefetched feed phase
         last_phase_start = -float("inf")
         finals: Dict[int, FinalStateMsg] = {}
         interner = Interner() if self.ipc_batch > 1 else None
+
+        def stopping() -> bool:
+            return stop_event is not None and stop_event.is_set()
 
         # Per-worker credit windows (the adaptive in-flight window).
         adaptive = self.window is None
@@ -240,7 +298,9 @@ class ProcessEngine:
         window_peak = max(windows.values())
 
         def can_start_phase() -> bool:
-            if state.next_phase > runtime.num_phases:
+            if stopping():
+                return False
+            if feed is None and state.next_phase > runtime.num_phases:
                 return False
             if self.env.max_in_flight_phases is not None:
                 in_flight_phases = state.pmax - state.complete_phase_count
@@ -299,7 +359,7 @@ class ProcessEngine:
             # The batched commit path: every result in one critical
             # section, one complete_executions call (same discipline as
             # the threaded engine's batch_size > 1 mode).
-            nonlocal seen_complete
+            nonlocal seen_complete, retire_next
             if not results:
                 return
             completed: List[Tuple[int, int, List[int]]] = []
@@ -311,7 +371,8 @@ class ProcessEngine:
                     )
                     completed.append((res.vertex, res.phase, targets))
                 newly_ready = state.complete_executions(completed)
-                executions.extend((cv, cp) for cv, cp, _ in completed)
+                if not retire:
+                    executions.extend((cv, cp) for cv, cp, _ in completed)
                 for res in results:
                     per_worker_counts[res.worker_id] += 1
                     worker_load[res.worker_id] -= 1
@@ -325,12 +386,35 @@ class ProcessEngine:
                         )
                     for pair in newly_ready:
                         tracer.enqueued(pair)
-                    # Labels come from the completion log (prefix order
-                    # in global mode; possibly out of order in cone mode).
-                    completed_log = state.completed_log
-                    for i in range(seen_complete, len(completed_log)):
-                        tracer.phase_completed(completed_log[i])
-                seen_complete = len(state.completed_log)
+                # Labels come from the completion log via the absolute
+                # cursor (prefix order in global mode; possibly out of
+                # order in cone mode).
+                new_complete = state.completed_since(seen_complete)
+                if tracer is not None:
+                    for q in new_complete:
+                        tracer.phase_completed(q)
+                seen_complete += len(new_complete)
+                if retire and new_complete:
+                    # Retire the extended contiguous complete prefix:
+                    # stream each phase's translated records out, then
+                    # GC every per-phase structure.
+                    rn = retire_next
+                    while state.phase_started(rn) and state.phase_complete(
+                        rn
+                    ):
+                        ts, entries = runtime.retire_phase(rn)
+                        entries, internal = self.plan.translate_entries(
+                            entries
+                        )
+                        retire_counters[1] += internal
+                        if sink is not None:
+                            sink(rn, ts, entries)
+                        rn += 1
+                    if rn > retire_next:
+                        state.retire_phases_upto(rn - 1)
+                        retire_counters[0] += rn - retire_next
+                        retire_next = rn
+                    state.trim_completed_log(seen_complete)
             pending.push(newly_ready)
 
         def requeue_skipped(
@@ -353,9 +437,26 @@ class ProcessEngine:
             while True:
                 progressed = False
                 # Listing 2, inlined: start phases as pacing and flow
-                # control allow.
+                # control allow.  In feed mode each phase is registered
+                # the moment the feed hands it over (incremental
+                # admission); ``held`` carries at most one prefetched
+                # phase from the idle wait below.
                 while can_start_phase():
+                    if feed is not None:
+                        if not held:
+                            pi = feed.get(timeout=0)
+                            if pi is None:
+                                break
+                            held.append(pi)
+                        local = self.plan.localize_phase_inputs(
+                            [held.pop()]
+                        )
+                        next_input = local[0]
+                    else:
+                        next_input = None
                     with lock:
+                        if next_input is not None:
+                            runtime.register_phase(next_input)
                         newly_ready = state.start_phase()
                         if tracer is not None:
                             tracer.phase_started(state.pmax)
@@ -367,12 +468,29 @@ class ProcessEngine:
                 if dispatch():
                     progressed = True
                 if not in_flight:
-                    if (
+                    stream_done = (
                         state.next_phase > runtime.num_phases
-                        and state.all_started_complete()
-                    ):
+                        if feed is None
+                        else (feed.drained and not held)
+                    )
+                    if (
+                        stream_done or stopping()
+                    ) and state.all_started_complete():
                         break  # quiescent: every started phase committed
                     if progressed:
+                        continue
+                    if feed is not None:
+                        # Idle: nothing in flight, nothing startable —
+                        # park on the feed until a phase arrives or the
+                        # producer closes it.  (With a phase already
+                        # held, idling means flow control or pacing is
+                        # gating it: sleep a tick and re-check.)
+                        if not held:
+                            pi = feed.get(timeout=_POLL_S)
+                            if pi is not None:
+                                held.append(pi)
+                        else:
+                            time.sleep(_POLL_S)
                         continue
                     if self.env.pacing and state.next_phase <= runtime.num_phases:
                         # Idle only because the environment is pacing.
@@ -506,7 +624,9 @@ class ProcessEngine:
                 "window_narrowings": window_events["narrowings"],
                 "task_frames": task_frames,
                 "mean_tasks_per_frame": (
-                    len(executions) / task_frames if task_frames else 0.0
+                    sum(per_worker_counts.values()) / task_frames
+                    if task_frames
+                    else 0.0
                 ),
                 "interning": (
                     interner.summary() if interner is not None else None
@@ -532,6 +652,12 @@ class ProcessEngine:
             intervals = tracer.intervals()
             stats["max_concurrent_phases"] = max_concurrent_phases(intervals)
             stats["max_concurrent_pairs"] = max_concurrent_pairs(intervals)
+        if retire:
+            stats["retirement"] = {
+                "phases_retired": retire_counters[0],
+                "internal_messages": retire_counters[1],
+                "executed_pairs": state.executed_pairs,
+            }
         label_parts = [f"w={self.num_workers}"]
         if self.batch_size != 1:
             label_parts.append(f"b={self.batch_size}")
@@ -541,5 +667,7 @@ class ProcessEngine:
             label_parts.append(f"win={self.window}")
         label = f"process[{','.join(label_parts)}]"
         return self.plan.translate(
-            runtime.build_result(label, executions, elapsed, stats)
+            runtime.build_result(
+                label, executions, elapsed, stats, phases_run=state.pmax
+            )
         )

@@ -1,0 +1,239 @@
+"""The stdlib HTTP front end for a :class:`~repro.serve.session.ServeSession`.
+
+Endpoints (all JSON unless noted):
+
+* ``POST /events`` — NDJSON event lines
+  (``{"timestamp": t, "source": name, "value": v[, "arrival": a]}``,
+  one per line).  Replies ``{"accepted", "late", "sealed"}`` totals;
+  **429** with ``Retry-After`` when the bounded reorder buffer is full
+  (the credit the producer must respect), **400** on a malformed line.
+* ``POST /advance`` — ``{"watermark": t}``: wall-clock sealing for quiet
+  streams (see :meth:`ServeSession.advance_watermark`).
+* ``GET /stream`` — the result stream as ``text/event-stream`` (SSE).
+  Each retired phase is one ``phase`` event; periodic ``stats`` events
+  when configured.  A stalled consumer gets messages *dropped*, never
+  buffered without bound.
+* ``GET /stats`` — the session's full stats document.
+* ``GET /healthz`` — liveness.
+
+Uses only :mod:`http.server` — continuous operation must not grow the
+dependency footprint.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from ..errors import BackpressureError, ServeError
+from .session import ServeSession
+
+__all__ = ["ServeServer"]
+
+_SSE_POLL_S = 0.25
+_SSE_HEARTBEAT_EVERY = 40  # polls between keep-alive comments (~10 s)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # Set by ServeServer on the server object.
+    @property
+    def _session(self) -> ServeSession:
+        return self.server.session  # type: ignore[attr-defined]
+
+    @property
+    def _stopping(self) -> threading.Event:
+        return self.server.stopping  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # silence stderr
+        pass
+
+    def _reply_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for k, v in (extra_headers or {}).items():
+            self.send_header(k, v)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        return self.rfile.read(length) if length else b""
+
+    # -- POST --------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/events":
+            self._post_events()
+        elif self.path == "/advance":
+            self._post_advance()
+        else:
+            self._reply_json(404, {"error": f"no such path {self.path}"})
+
+    def _post_events(self) -> None:
+        body = self._read_body().decode("utf-8", errors="replace")
+        accepted = late = sealed = 0
+        for lineno, line in enumerate(body.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                out = self._session.offer_line(line)
+            except BackpressureError:
+                # Partial progress is reported so the producer can
+                # resume from the rejected line after backing off.
+                self._reply_json(
+                    429,
+                    {
+                        "error": "backpressure: reorder buffer full",
+                        "accepted": accepted,
+                        "late": late,
+                        "sealed": sealed,
+                        "rejected_line": lineno,
+                    },
+                    extra_headers={"Retry-After": "1"},
+                )
+                return
+            except ServeError as exc:
+                self._reply_json(
+                    400, {"error": str(exc), "bad_line": lineno}
+                )
+                return
+            accepted += 1 if out["accepted"] else 0
+            late += 1 if out["late"] else 0
+            sealed += out["sealed"]
+        self._reply_json(
+            200, {"accepted": accepted, "late": late, "sealed": sealed}
+        )
+
+    def _post_advance(self) -> None:
+        try:
+            obj = json.loads(self._read_body() or b"{}")
+            to = float(obj["watermark"])
+        except (ValueError, KeyError, TypeError) as exc:
+            self._reply_json(400, {"error": f"need {{'watermark': t}}: {exc}"})
+            return
+        try:
+            sealed = self._session.advance_watermark(to)
+        except ServeError as exc:
+            self._reply_json(409, {"error": str(exc)})
+            return
+        self._reply_json(200, {"sealed": sealed})
+
+    # -- GET ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        if self.path == "/stream":
+            self._get_stream()
+        elif self.path == "/stats":
+            self._reply_json(200, self._session.stats())
+        elif self.path == "/healthz":
+            self._reply_json(200, {"ok": True})
+        else:
+            self._reply_json(404, {"error": f"no such path {self.path}"})
+
+    def _get_stream(self) -> None:
+        q = self._session.announcer.listen()
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-store")
+            # SSE is an unbounded response; chunked framing lets the
+            # HTTP/1.1 keep-alive connection end cleanly on shutdown.
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            idle = 0
+            while not self._stopping.is_set():
+                try:
+                    msg = q.get(timeout=_SSE_POLL_S)
+                    idle = 0
+                except queue.Empty:
+                    idle += 1
+                    if idle < _SSE_HEARTBEAT_EVERY:
+                        continue
+                    idle = 0
+                    msg = ": keep-alive\n\n"
+                self._write_chunk(msg.encode("utf-8"))
+            self._write_chunk(b"")  # terminal chunk
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away — normal for SSE
+        finally:
+            self._session.announcer.unlisten(q)
+            self.close_connection = True
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+        self.wfile.flush()
+
+
+class ServeServer:
+    """Run one :class:`ServeSession` behind a threading HTTP server.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    construction).  :meth:`start`/:meth:`stop` manage the accept thread;
+    the session's own lifecycle stays with the caller.
+    """
+
+    def __init__(
+        self,
+        session: ServeSession,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.session = session
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.session = session  # type: ignore[attr-defined]
+        self._httpd.stopping = threading.Event()  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServeServer":
+        if self._thread is not None:
+            raise ServeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.stopping.set()  # type: ignore[attr-defined]
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

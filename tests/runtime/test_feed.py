@@ -1,0 +1,135 @@
+"""PhaseFeed: the bounded blocking handoff between ingest and engine."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.events import PhaseInput
+from repro.runtime.feed import PhaseFeed
+
+
+def _pi(p, ts=None):
+    return PhaseInput(p, float(p) if ts is None else ts, {})
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        feed = PhaseFeed(capacity=8)
+        for p in (1, 2, 3):
+            assert feed.put(_pi(p))
+        assert [feed.get(timeout=0).phase for _ in range(3)] == [1, 2, 3]
+
+    def test_phases_must_be_sequential(self):
+        feed = PhaseFeed()
+        feed.put(_pi(1))
+        with pytest.raises(ServeError):
+            feed.put(_pi(3))
+
+    def test_nonblocking_get_on_empty(self):
+        feed = PhaseFeed()
+        assert feed.get(timeout=0) is None
+
+    def test_depth_and_drained(self):
+        feed = PhaseFeed()
+        feed.put(_pi(1))
+        assert feed.depth == 1
+        assert not feed.drained
+        feed.close()
+        assert not feed.drained  # still one item queued
+        assert feed.get(timeout=0).phase == 1
+        assert feed.drained
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ServeError):
+            PhaseFeed(capacity=0)
+
+
+class TestCapacity:
+    def test_put_blocks_at_capacity_and_counts_stall(self):
+        feed = PhaseFeed(capacity=2)
+        feed.put(_pi(1))
+        feed.put(_pi(2))
+        assert feed.put(_pi(3), timeout=0.05) is False  # full: timed out
+        assert feed.put_stalls >= 1
+        assert feed.get(timeout=0).phase == 1
+        assert feed.put(_pi(3), timeout=1.0) is True  # space freed
+
+    def test_high_water_tracks_peak(self):
+        feed = PhaseFeed(capacity=4)
+        for p in (1, 2, 3):
+            feed.put(_pi(p))
+        feed.get(timeout=0)
+        assert feed.high_water == 3
+
+    def test_blocked_put_wakes_on_get(self):
+        feed = PhaseFeed(capacity=1)
+        feed.put(_pi(1))
+        done = []
+
+        def producer():
+            feed.put(_pi(2), timeout=5.0)
+            done.append(True)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.05)
+        assert not done
+        assert feed.get(timeout=1.0).phase == 1
+        t.join(timeout=5.0)
+        assert done
+
+
+class TestClose:
+    def test_get_returns_none_after_close_and_drain(self):
+        feed = PhaseFeed()
+        feed.put(_pi(1))
+        feed.close()
+        assert feed.get(timeout=0).phase == 1
+        assert feed.get(timeout=0) is None
+        assert feed.get() is None  # closed + drained: no blocking
+
+    def test_put_after_close_rejected(self):
+        feed = PhaseFeed()
+        feed.close()
+        with pytest.raises(ServeError):
+            feed.put(_pi(1))
+
+    def test_close_is_idempotent(self):
+        feed = PhaseFeed()
+        feed.close()
+        feed.close()
+        assert feed.closed
+
+    def test_close_wakes_blocked_producer(self):
+        feed = PhaseFeed(capacity=1)
+        feed.put(_pi(1))
+        errors = []
+
+        def producer():
+            try:
+                feed.put(_pi(2), timeout=5.0)
+            except ServeError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.05)
+        feed.close()
+        t.join(timeout=5.0)
+        assert errors  # closing while a producer waits raises to it
+
+    def test_close_wakes_blocked_consumer(self):
+        feed = PhaseFeed()
+        out = []
+
+        def consumer():
+            out.append(feed.get(timeout=5.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.05)
+        feed.close()
+        t.join(timeout=5.0)
+        assert out == [None]

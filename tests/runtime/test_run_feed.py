@@ -1,0 +1,215 @@
+"""Feed-mode execution: incremental admission, retirement, graceful stop.
+
+The continuous-operation contract (satellites of the serve layer):
+
+* **Incremental admission** — phases handed to a running engine through a
+  :class:`PhaseFeed` produce results identical to supplying the same
+  phases up front, across the engine × frontier × fusion matrix.
+* **Retirement** — ``retire=True`` streams each completed phase's records
+  through the sink exactly once, in phase order, matching the serial
+  oracle, while the engine's per-phase state is released.
+* **Graceful stop** — a stop event set mid-stream drains in-flight phases
+  and returns a result covering exactly the started prefix.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis.serializability import assert_serializable
+from repro.core.plan import compile_plan
+from repro.core.serial import SerialExecutor
+from repro.errors import EngineError
+from repro.runtime.engine import ParallelEngine
+from repro.runtime.feed import PhaseFeed
+from repro.runtime.mp.engine import ProcessEngine
+from repro.streams.workloads import comb_workload, pipeline_workload
+
+
+def _feed_all(phases, capacity=4):
+    """A feed plus a producer thread that trickles *phases* in."""
+    feed = PhaseFeed(capacity=capacity)
+
+    def producer():
+        for pi in phases:
+            feed.put(pi)
+        feed.close()
+
+    t = threading.Thread(target=producer, daemon=True)
+    t.start()
+    return feed, t
+
+
+def _records_from_sink(sink_log):
+    recs = {}
+    for phase, _ts, entries in sink_log:
+        for name, value in entries:
+            recs.setdefault(name, []).append((phase, value))
+    return recs
+
+
+WORKLOADS = {
+    "pipeline": lambda: pipeline_workload(depth=5, phases=30, seed=3),
+    "comb": lambda: comb_workload(lanes=3, depth=3, phases=25, seed=4),
+}
+
+
+class TestIncrementalAdmissionParallel:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("frontier", ["cone", "global"])
+    @pytest.mark.parametrize("fuse", [True, False])
+    def test_feed_equals_upfront(self, workload, frontier, fuse):
+        program, phases = WORKLOADS[workload]()
+        plan = compile_plan(program, fuse=fuse)
+        serial = SerialExecutor(program).run(phases)
+
+        upfront = ParallelEngine(
+            plan, num_threads=2, frontier=frontier
+        ).run(phases)
+        feed, producer = _feed_all(phases)
+        streamed = ParallelEngine(
+            plan, num_threads=2, frontier=frontier
+        ).run_feed(feed)
+        producer.join(timeout=30)
+
+        assert streamed.records == upfront.records
+        assert streamed.phases_run == upfront.phases_run
+        assert_serializable(serial, streamed)
+
+
+class TestIncrementalAdmissionProcess:
+    @pytest.mark.parametrize(
+        "frontier,fuse", [("cone", True), ("cone", False), ("global", True)]
+    )
+    def test_feed_equals_upfront(self, frontier, fuse):
+        program, phases = WORKLOADS["pipeline"]()
+        plan = compile_plan(program, fuse=fuse)
+        serial = SerialExecutor(program).run(phases)
+
+        feed, producer = _feed_all(phases)
+        streamed = ProcessEngine(
+            plan, num_workers=2, ipc_batch=2, frontier=frontier
+        ).run_feed(feed)
+        producer.join(timeout=60)
+
+        assert streamed.phases_run == len(phases)
+        assert_serializable(serial, streamed)
+
+
+class TestRetirement:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("fuse", [True, False])
+    def test_parallel_retire_streams_oracle_records(self, workload, fuse):
+        program, phases = WORKLOADS[workload]()
+        plan = compile_plan(program, fuse=fuse)
+        serial = SerialExecutor(program).run(phases)
+
+        sink_log = []
+        feed, producer = _feed_all(phases)
+        result = ParallelEngine(plan, num_threads=2).run_feed(
+            feed,
+            sink=lambda p, ts, entries: sink_log.append((p, ts, entries)),
+            retire=True,
+        )
+        producer.join(timeout=30)
+
+        # Every phase retired exactly once, in phase order.
+        assert [p for p, _, _ in sink_log] == list(range(1, len(phases) + 1))
+        assert result.stats["retirement"]["phases_retired"] == len(phases)
+        # Streamed records match the serial oracle; the result itself
+        # holds nothing (records were handed off and released).
+        assert _records_from_sink(sink_log) == serial.records
+        assert result.records == {}
+        assert result.phases_run == len(phases)
+
+    def test_process_retire_streams_oracle_records(self):
+        program, phases = WORKLOADS["pipeline"]()
+        plan = compile_plan(program, fuse=True)
+        serial = SerialExecutor(program).run(phases)
+
+        sink_log = []
+        feed, producer = _feed_all(phases)
+        result = ProcessEngine(plan, num_workers=2, ipc_batch=2).run_feed(
+            feed,
+            sink=lambda p, ts, entries: sink_log.append((p, ts, entries)),
+            retire=True,
+        )
+        producer.join(timeout=60)
+
+        assert [p for p, _, _ in sink_log] == list(range(1, len(phases) + 1))
+        assert _records_from_sink(sink_log) == serial.records
+        assert result.stats["retirement"]["phases_retired"] == len(phases)
+
+    def test_retire_timestamps_come_from_phase_inputs(self):
+        program, phases = WORKLOADS["pipeline"]()
+        sink_log = []
+        feed, producer = _feed_all(phases)
+        ParallelEngine(program, num_threads=2).run_feed(
+            feed,
+            sink=lambda p, ts, entries: sink_log.append((p, ts)),
+            retire=True,
+        )
+        producer.join(timeout=30)
+        ts_of = {pi.phase: pi.timestamp for pi in phases}
+        assert dict(sink_log) == ts_of
+
+    def test_retire_with_tracer_rejected(self):
+        program, _ = WORKLOADS["pipeline"]()
+        from repro.core.tracer import ExecutionTracer
+
+        engine = ParallelEngine(program, tracer=ExecutionTracer())
+        with pytest.raises(EngineError):
+            engine.run_feed(PhaseFeed(), retire=True)
+
+
+class TestGracefulStop:
+    @pytest.mark.parametrize("engine_kind", ["parallel", "process"])
+    def test_stop_mid_stream_drains_prefix(self, engine_kind):
+        program, phases = pipeline_workload(depth=5, phases=60, seed=8)
+        stop = threading.Event()
+        feed = PhaseFeed(capacity=2)
+        released = threading.Event()
+
+        def producer():
+            for i, pi in enumerate(phases):
+                if i == 10:
+                    # Let a prefix through, then signal stop; keep
+                    # offering so the engine must *refuse* later phases.
+                    stop.set()
+                    released.set()
+                try:
+                    if not feed.put(pi, timeout=0.2):
+                        break
+                except Exception:
+                    break
+            feed.close()
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        if engine_kind == "parallel":
+            result = ParallelEngine(program, num_threads=2).run_feed(
+                feed, stop_event=stop
+            )
+        else:
+            result = ProcessEngine(program, num_workers=2).run_feed(
+                feed, stop_event=stop
+            )
+        released.wait(timeout=30)
+        t.join(timeout=30)
+
+        assert result.phases_run < len(phases)
+        # The drained prefix is serializable against the same prefix.
+        serial = SerialExecutor(program).run(phases[: result.phases_run])
+        assert_serializable(serial, result)
+
+    def test_stop_before_any_phase(self):
+        program, phases = WORKLOADS["pipeline"]()
+        stop = threading.Event()
+        stop.set()
+        feed, producer = _feed_all(phases, capacity=64)
+        result = ParallelEngine(program, num_threads=2).run_feed(
+            feed, stop_event=stop
+        )
+        producer.join(timeout=30)
+        assert result.phases_run == 0
+        assert result.execution_count == 0

@@ -1,0 +1,178 @@
+"""HTTP surface of the serve layer: ingest, control, SSE egress."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.models.domains.keyed import build_keyed_workload
+from repro.serve import ServeConfig, ServeServer, ServeSession
+
+from .conftest import serial_oracle
+
+
+@pytest.fixture
+def workload():
+    return build_keyed_workload(num_keys=3, ticks=20, seed=29)
+
+
+@pytest.fixture
+def served(workload):
+    session = ServeSession(
+        workload.program,
+        ServeConfig(
+            wait=workload.wait, quantum=workload.quantum, check_sample=1
+        ),
+    )
+    session.start()
+    with ServeServer(session) as server:
+        yield server, session, workload
+    session.close(drain=False)
+
+
+def _request(server, method, path, body=None, timeout=10.0):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=timeout)
+    try:
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+def _ndjson(arrivals):
+    lines = []
+    for a in arrivals:
+        lines.append(json.dumps({
+            "timestamp": a.event.timestamp,
+            "source": a.event.source,
+            "value": a.event.value,
+            "arrival": a.arrival,
+        }))
+    return ("\n".join(lines) + "\n").encode()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        server, _session, _workload = served
+        status, _headers, body = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert json.loads(body)["ok"] is True
+
+    def test_post_events_then_stats(self, served):
+        server, session, workload = served
+        status, _h, body = _request(
+            server, "POST", "/events", _ndjson(workload.arrivals)
+        )
+        assert status == 200
+        reply = json.loads(body)
+        assert reply["accepted"] == len(workload.arrivals)
+        assert reply["late"] == 0
+
+        status, _h, body = _request(server, "GET", "/stats")
+        assert status == 200
+        serve = json.loads(body)["serve"]
+        assert serve["events_accepted"] == len(workload.arrivals)
+        assert serve["phases_ingested"] > 0
+
+    def test_advance_watermark(self, served):
+        server, _session, workload = served
+        a = workload.arrivals[0]
+        _request(server, "POST", "/events", _ndjson([a]))
+        status, _h, body = _request(
+            server, "POST", "/advance",
+            json.dumps({"watermark": a.event.timestamp + 10.0}).encode(),
+        )
+        assert status == 200
+        assert json.loads(body)["sealed"] >= 1
+
+    def test_advance_rejects_bad_body(self, served):
+        server, _s, _w = served
+        status, _h, _b = _request(server, "POST", "/advance", b"not json")
+        assert status == 400
+        status, _h, _b = _request(server, "POST", "/advance", b"{}")
+        assert status == 400
+
+    def test_bad_event_line_is_400_with_context(self, served):
+        server, _s, _w = served
+        status, _h, body = _request(server, "POST", "/events", b"not json\n")
+        assert status == 400
+        assert json.loads(body)["bad_line"] == 1  # 1-based offending line
+
+    def test_unknown_path_404(self, served):
+        server, _s, _w = served
+        status, _h, _b = _request(server, "GET", "/nope")
+        assert status == 404
+
+
+class TestBackpressureHttp:
+    def test_full_buffer_returns_429_with_retry_after(self, workload):
+        session = ServeSession(
+            workload.program, ServeConfig(wait=100.0, max_buffered=1)
+        )
+        session.start()
+        try:
+            with ServeServer(session) as server:
+                src = next(iter(workload.key_of_source))
+                lines = "\n".join(
+                    json.dumps({"timestamp": float(t), "source": src,
+                                "value": {"amount": 1.0}})
+                    for t in (0, 5)
+                ).encode()
+                status, headers, body = _request(
+                    server, "POST", "/events", lines
+                )
+                assert status == 429
+                assert headers.get("Retry-After") == "1"
+                reply = json.loads(body)
+                assert reply["accepted"] == 1  # first line got in
+                assert reply["rejected_line"] == 2  # second line bounced
+        finally:
+            session.close(drain=False)
+
+
+class TestSseStream:
+    def test_stream_delivers_phase_events(self, served):
+        server, _session, workload = served
+        oracle = build_keyed_workload(num_keys=3, ticks=20, seed=29)
+        by_phase, _by_ts, n_phases = serial_oracle(oracle)
+
+        conn = http.client.HTTPConnection(
+            server.host, server.port, timeout=15.0
+        )
+        conn.request("GET", "/stream")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.getheader("Content-Type").startswith("text/event-stream")
+
+        _request(server, "POST", "/events", _ndjson(workload.arrivals))
+        _request(
+            server, "POST", "/advance",
+            json.dumps({"watermark": 1e9}).encode(),
+        )
+
+        got = {}
+        buf = b""
+        while len(got) < n_phases:
+            chunk = resp.read1(65536)
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n\n" in buf:
+                raw, buf = buf.split(b"\n\n", 1)
+                text = raw.decode()
+                if "event: phase" not in text:
+                    continue  # keep-alive comments, stats events
+                data = json.loads(
+                    "\n".join(
+                        line[len("data: "):]
+                        for line in text.splitlines()
+                        if line.startswith("data: ")
+                    )
+                )
+                got[data["phase"]] = sorted(data["records"])
+        conn.close()
+
+        assert len(got) == n_phases
+        for phase, entries in got.items():
+            assert entries == by_phase.get(phase, [])

@@ -1,0 +1,211 @@
+"""ServeSession: the full ingest → engine → retire → stream pipeline."""
+
+import pytest
+
+from repro.analysis.stats import validate_serve_stats
+from repro.errors import BackpressureError, ServeError
+from repro.events import Event
+from repro.ingest import ArrivingEvent
+from repro.serve import OracleSpotChecker, ServeConfig, ServeSession
+
+from .conftest import drain_queue, phase_events, serial_oracle
+
+
+def _run_workload(workload, config):
+    """Feed a keyed workload through a session; return (events, stats)."""
+    session = ServeSession(workload.program, config)
+    q = session.announcer.listen()
+    with session:
+        for a in workload.arrivals:
+            session.offer(a)
+    stats = session.stats()
+    return phase_events(drain_queue(q)), stats
+
+
+class TestParallelPipeline:
+    def test_matches_serial_oracle(self, keyed_workload, keyed_workload_oracle):
+        by_phase, _by_ts, n_phases = serial_oracle(keyed_workload_oracle)
+        events, stats = _run_workload(
+            keyed_workload,
+            ServeConfig(
+                engine="parallel",
+                threads=2,
+                wait=keyed_workload.wait,
+                quantum=keyed_workload.quantum,
+                check_sample=1,  # spot-check every phase
+            ),
+        )
+
+        # Every sealed phase streamed exactly once, in order.
+        assert [e["phase"] for e in events] == list(range(1, n_phases + 1))
+        got = {e["phase"]: sorted(e["records"]) for e in events}
+        for phase in got:
+            assert got[phase] == by_phase.get(phase, []), f"phase {phase}"
+        assert set(by_phase) <= set(got)
+
+        serve = stats["serve"]
+        assert validate_serve_stats(serve) == []
+        assert serve["phases_ingested"] == n_phases
+        assert serve["phases_retired"] == n_phases
+        assert serve["late_events"] == 0
+        assert serve["spot_checks_passed"] == n_phases
+        assert serve["spot_checks_failed"] == 0
+        assert all(e["spot_check"] == "pass" for e in events)
+        assert serve["rss_high_water_bytes"] > 0
+
+    def test_engine_stats_section_appears_after_close(self, keyed_workload):
+        _events, stats = _run_workload(
+            keyed_workload,
+            ServeConfig(wait=keyed_workload.wait, quantum=keyed_workload.quantum),
+        )
+        assert stats["engine"]["label"].startswith("parallel")
+        assert "retirement" in stats["engine"]["stats"]
+
+
+class TestProcessPipeline:
+    def test_matches_serial_oracle(self):
+        from repro.models.domains.keyed import build_keyed_workload
+
+        workload = build_keyed_workload(num_keys=3, ticks=20, seed=23)
+        oracle_copy = build_keyed_workload(num_keys=3, ticks=20, seed=23)
+        by_phase, _by_ts, n_phases = serial_oracle(oracle_copy)
+        events, stats = _run_workload(
+            workload,
+            ServeConfig(
+                engine="process",
+                workers=2,
+                ipc_batch=2,
+                wait=workload.wait,
+                quantum=workload.quantum,
+                check_sample=5,
+            ),
+        )
+        assert [e["phase"] for e in events] == list(range(1, n_phases + 1))
+        got = {e["phase"]: sorted(e["records"]) for e in events}
+        for phase in got:
+            assert got[phase] == by_phase.get(phase, [])
+        serve = stats["serve"]
+        assert validate_serve_stats(serve) == []
+        assert serve["engine"] == "process"
+        assert serve["spot_checks_failed"] == 0
+        assert serve["spot_checks_passed"] > 0
+
+
+class TestIngestEdges:
+    def _event(self, ts, source, value, arrival=None):
+        return ArrivingEvent(
+            Event(ts, source, value),
+            arrival=ts if arrival is None else arrival,
+        )
+
+    def test_backpressure_surfaces_and_is_counted(self, keyed_workload):
+        cfg = ServeConfig(wait=100.0, max_buffered=1)
+        with ServeSession(keyed_workload.program, cfg) as session:
+            src = next(iter(keyed_workload.key_of_source))
+            session.offer(self._event(0.0, src, {"amount": 1.0}))
+            with pytest.raises(BackpressureError):
+                session.offer(self._event(5.0, src, {"amount": 1.0}))
+            # Wall-clock sealing drains the buffer; ingest resumes.
+            assert session.advance_watermark(1.0) == 1
+            result = session.offer(self._event(5.0, src, {"amount": 1.0}))
+            assert result["accepted"]
+        serve = session.stats()["serve"]
+        assert serve["buffer_rejects"] == 1
+        assert serve["backpressure_stalls"] >= 1
+        assert validate_serve_stats(serve) == []
+
+    def test_late_event_reported_not_fatal(self, keyed_workload):
+        cfg = ServeConfig(wait=0.0)
+        with ServeSession(keyed_workload.program, cfg) as session:
+            src = next(iter(keyed_workload.key_of_source))
+            session.offer(self._event(0.0, src, {"amount": 1.0}))
+            session.offer(self._event(5.0, src, {"amount": 1.0}, arrival=5.0))
+            result = session.offer(
+                self._event(0.0, src, {"amount": 2.0}, arrival=6.0)
+            )
+            assert not result["accepted"]
+            assert result["late"]
+        assert session.stats()["serve"]["late_events"] == 1
+
+    def test_offer_line_parses_ndjson(self, keyed_workload):
+        src = next(iter(keyed_workload.key_of_source))
+        with ServeSession(keyed_workload.program, ServeConfig(wait=2.0)) as s:
+            result = s.offer_line(
+                '{"timestamp": 0.0, "source": "%s", "value": {"amount": 3.0}}'
+                % src
+            )
+            assert result["accepted"]
+            with pytest.raises(ServeError):
+                s.offer_line("not json")
+            with pytest.raises(ServeError):
+                s.offer_line('{"timestamp": 1.0}')  # missing source
+        assert s.stats()["serve"]["events_accepted"] == 1
+
+    def test_offer_after_close_rejected(self, keyed_workload):
+        session = ServeSession(keyed_workload.program, ServeConfig())
+        session.start()
+        session.close()
+        with pytest.raises(ServeError):
+            session.offer(self._event(0.0, "txn[acct00]", {"amount": 1.0}))
+
+    def test_close_is_idempotent(self, keyed_workload):
+        session = ServeSession(keyed_workload.program, ServeConfig())
+        session.start()
+        first = session.close()
+        second = session.close()
+        assert first["serve"]["phases_retired"] == 0
+        assert second["serve"] == first["serve"]
+
+
+class TestSpotChecker:
+    def test_detects_tampered_records(self, keyed_workload, keyed_workload_oracle):
+        from repro.ingest import ReorderBuffer
+        from repro.core.serial import SerialExecutor
+
+        buf = ReorderBuffer(
+            wait=keyed_workload.wait, quantum=keyed_workload.quantum
+        )
+        phases = []
+        for a in keyed_workload.arrivals:
+            phases.extend(buf.offer(a))
+        phases.extend(buf.flush())
+        serial = SerialExecutor(keyed_workload_oracle.program).run(phases)
+        entries_of = {}
+        for name, recs in serial.records.items():
+            for phase, value in recs:
+                entries_of.setdefault(phase, []).append((name, value))
+
+        checker = OracleSpotChecker(keyed_workload.program, sample_every=1)
+        for pi in phases:
+            good = entries_of.get(pi.phase, [])
+            if pi.phase == phases[-1].phase and good:
+                tampered = [(n, ("tampered",)) for n, _ in good]
+                assert checker.observe(pi, tampered) is False
+            else:
+                assert checker.observe(pi, good) is True
+        assert checker.failed in (0, 1)
+        if checker.failed:
+            assert checker.mismatches  # a sample of the divergence is kept
+
+    def test_sampling_skips_unsampled_phases(self, keyed_workload):
+        checker = OracleSpotChecker(keyed_workload.program, sample_every=1000)
+        from repro.events import PhaseInput
+
+        verdicts = [
+            checker.observe(PhaseInput(p, float(p), {}), [])
+            for p in range(1, 10)
+        ]
+        assert verdicts == [None] * 9
+        assert checker.checked == 0
+
+
+class TestConfigValidation:
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ServeError):
+            ServeConfig(engine="gpu")
+
+    def test_bad_capacities_rejected(self):
+        with pytest.raises(ServeError):
+            ServeConfig(feed_capacity=0)
+        with pytest.raises(ServeError):
+            ServeConfig(emit_capacity=0)

@@ -1,0 +1,101 @@
+"""Sharded serving: N engine instances behind one merged result stream.
+
+Equality is checked in *timestamp space*: shard-local phase numbering
+differs from the single instance's, but the merged stream is keyed by
+sealed timestamp, and at each timestamp the union of the shards' records
+must equal the single-instance (serial oracle) records.
+"""
+
+import pytest
+
+from repro.analysis.stats import validate_serve_stats
+from repro.models.domains.keyed import build_keyed_workload
+from repro.serve import ServeConfig, ShardedServeSession
+
+from .conftest import drain_queue, phase_events, serial_oracle
+
+
+def _workload():
+    return build_keyed_workload(num_keys=5, ticks=25, seed=31)
+
+
+@pytest.mark.parametrize("num_shards", [2, 3])
+def test_merged_stream_matches_single_instance(num_shards):
+    workload = _workload()
+    _by_phase, by_ts, _n = serial_oracle(_workload())
+
+    session = ShardedServeSession(
+        workload.program,
+        key_of=workload.key_of_source.__getitem__,
+        num_shards=num_shards,
+        config=ServeConfig(
+            wait=workload.wait,
+            quantum=workload.quantum,
+            check_sample=1,
+        ),
+    )
+    q = session.announcer.listen()
+    with session:
+        for a in workload.arrivals:
+            session.offer(a)
+    merged = phase_events(drain_queue(q))
+
+    got = {e["timestamp"]: sorted(e["records"]) for e in merged}
+    # Merged timestamps are strictly increasing and cover the oracle's.
+    ts_order = [e["timestamp"] for e in merged]
+    assert ts_order == sorted(ts_order)
+    assert set(by_ts) <= set(got)
+    for ts, entries in got.items():
+        assert entries == by_ts.get(ts, []), f"timestamp {ts}"
+
+    stats = session.stats()
+    serve = stats["serve"]
+    assert validate_serve_stats(serve) == []
+    assert serve["spot_checks_failed"] == 0
+    assert serve["spot_checks_passed"] > 0
+
+    sharding = stats["sharding"]
+    assert sharding["num_shards"] == num_shards
+    assert sharding["phases_merged"] == len(merged)
+    assert sorted(sharding["per_shard"]) == sharding["active_shards"]
+    # Per-shard ingest sums to the aggregate.
+    assert sum(
+        s["phases_ingested"] for s in sharding["per_shard"].values()
+    ) == serve["phases_ingested"]
+
+
+def test_events_route_to_owning_shard_only():
+    workload = _workload()
+    session = ShardedServeSession(
+        workload.program,
+        key_of=workload.key_of_source.__getitem__,
+        num_shards=2,
+        config=ServeConfig(wait=workload.wait, quantum=workload.quantum),
+    )
+    with session:
+        for a in workload.arrivals:
+            session.offer(a)
+    per_shard = session.stats()["sharding"]["per_shard"].values()
+    total = sum(s["events_accepted"] for s in per_shard)
+    assert total == len(workload.arrivals)
+    assert all(s["events_accepted"] > 0 for s in per_shard)
+
+
+def test_single_shard_degenerates_to_plain_session():
+    workload = _workload()
+    _by_phase, by_ts, _n = serial_oracle(_workload())
+    session = ShardedServeSession(
+        workload.program,
+        key_of=workload.key_of_source.__getitem__,
+        num_shards=1,
+        config=ServeConfig(wait=workload.wait, quantum=workload.quantum),
+    )
+    q = session.announcer.listen()
+    with session:
+        for a in workload.arrivals:
+            session.offer(a)
+    merged = phase_events(drain_queue(q))
+    got = {e["timestamp"]: sorted(e["records"]) for e in merged}
+    for ts, entries in got.items():
+        assert entries == by_ts.get(ts, [])
+    assert set(by_ts) <= set(got)

@@ -1,0 +1,78 @@
+"""SSE wire formatting and listener fan-out."""
+
+import pytest
+
+from repro.serve import MessageAnnouncer, format_sse
+
+from .conftest import parse_sse
+
+
+class TestFormatSse:
+    def test_dict_payload_is_sorted_json(self):
+        msg = format_sse({"b": 1, "a": 2})
+        assert msg == 'data: {"a": 2, "b": 1}\n\n'
+
+    def test_event_and_id_lines(self):
+        msg = format_sse({"x": 1}, event="phase", id="7")
+        assert msg.rstrip("\n").splitlines() == [
+            "event: phase", "id: 7", 'data: {"x": 1}'
+        ]
+        assert msg.endswith("\n\n")
+
+    def test_string_passthrough(self):
+        assert format_sse("hello") == "data: hello\n\n"
+
+    def test_multiline_string_gets_data_prefix_per_line(self):
+        msg = format_sse("a\nb")
+        assert msg == "data: a\ndata: b\n\n"
+        _, _, data = parse_sse(format_sse('{"k":\n1}'))
+        assert data == {"k": 1}
+
+    def test_roundtrip_through_parser(self):
+        event, sse_id, data = parse_sse(
+            format_sse({"phase": 3, "records": [["v", [1, 2]]]},
+                       event="phase", id="3")
+        )
+        assert (event, sse_id) == ("phase", "3")
+        assert data == {"phase": 3, "records": [["v", [1, 2]]]}
+
+
+class TestMessageAnnouncer:
+    def test_fan_out_to_all_listeners(self):
+        ann = MessageAnnouncer()
+        q1, q2 = ann.listen(), ann.listen()
+        ann.announce("m1")
+        assert q1.get_nowait() == "m1"
+        assert q2.get_nowait() == "m1"
+        assert ann.announced == 1
+
+    def test_unlisten_stops_delivery_and_is_idempotent(self):
+        ann = MessageAnnouncer()
+        q = ann.listen()
+        ann.unlisten(q)
+        ann.unlisten(q)
+        ann.announce("m")
+        assert q.empty()
+
+    def test_full_listener_drops_instead_of_blocking(self):
+        ann = MessageAnnouncer(max_queue=2)
+        q = ann.listen()
+        for i in range(5):
+            ann.announce(f"m{i}")
+        # The slow listener lost messages; the announcer never stalled.
+        assert ann.dropped == 3
+        assert [q.get_nowait() for _ in range(2)] == ["m0", "m1"]
+
+    def test_drop_is_per_listener(self):
+        ann = MessageAnnouncer(max_queue=1)
+        slow, fast = ann.listen(), ann.listen()
+        ann.announce("m0")
+        fast.get_nowait()
+        ann.announce("m1")
+        assert ann.dropped == 1  # only the slow queue overflowed
+        assert fast.get_nowait() == "m1"
+        assert slow.get_nowait() == "m0"
+
+    def test_invalid_queue_size(self):
+        with pytest.raises(ValueError):
+            MessageAnnouncer(max_queue=0)

@@ -1,0 +1,90 @@
+"""Schema validation for the stats["serve"] section."""
+
+import pytest
+
+from repro.analysis.stats import validate_serve_stats
+
+
+def _valid_section():
+    return {
+        "engine": "parallel",
+        "phases_ingested": 10,
+        "phases_retired": 8,
+        "results_streamed": 8,
+        "events_accepted": 40,
+        "late_events": 2,
+        "buffer_rejects": 1,
+        "feed_stalls": 3,
+        "backpressure_stalls": 4,
+        "buffer_high_water": 5,
+        "feed_high_water": 6,
+        "rss_high_water_bytes": 1 << 20,
+        "sse_dropped": 0,
+        "spot_checks_passed": 2,
+        "spot_checks_failed": 0,
+    }
+
+
+class TestValid:
+    def test_valid_section_passes(self):
+        assert validate_serve_stats(_valid_section()) == []
+
+    def test_process_engine_accepted(self):
+        section = _valid_section()
+        section["engine"] = "process"
+        assert validate_serve_stats(section) == []
+
+
+class TestShape:
+    def test_non_mapping_rejected(self):
+        assert validate_serve_stats(None)
+        assert validate_serve_stats([1, 2])
+
+    def test_unknown_engine_flagged(self):
+        section = _valid_section()
+        section["engine"] = "serial"
+        assert any("engine" in e for e in validate_serve_stats(section))
+
+    def test_missing_counter_flagged(self):
+        section = _valid_section()
+        del section["phases_retired"]
+        assert any("phases_retired" in e for e in validate_serve_stats(section))
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "3", True, None])
+    def test_bad_counter_values_flagged(self, bad):
+        section = _valid_section()
+        section["sse_dropped"] = bad
+        assert any("sse_dropped" in e for e in validate_serve_stats(section))
+
+    def test_unexpected_key_flagged(self):
+        section = _valid_section()
+        section["bonus"] = 1
+        assert any("unexpected" in e for e in validate_serve_stats(section))
+
+    def test_where_prefixes_errors(self):
+        section = _valid_section()
+        section["engine"] = "serial"
+        errors = validate_serve_stats(section, where="stats.serve")
+        assert errors and all(e.startswith("stats.serve") for e in errors)
+
+
+class TestInvariants:
+    def test_retired_cannot_exceed_ingested(self):
+        section = _valid_section()
+        section["phases_retired"] = 11
+        section["results_streamed"] = 11
+        assert any("exceeds" in e for e in validate_serve_stats(section))
+
+    def test_every_retired_phase_must_stream(self):
+        section = _valid_section()
+        section["results_streamed"] = 7
+        assert any(
+            "results_streamed" in e for e in validate_serve_stats(section)
+        )
+
+    def test_backpressure_total_is_rejects_plus_stalls(self):
+        section = _valid_section()
+        section["backpressure_stalls"] = 9
+        assert any(
+            "backpressure_stalls" in e for e in validate_serve_stats(section)
+        )

@@ -313,3 +313,228 @@ class TestShardedFuzz:
             "--inject", "unlocked_commit",
         ]) == 2
         assert "--inject" in capsys.readouterr().err
+
+
+SERVE_SPEC = Path("specs/serve_accounts.xml")
+
+
+def _serve_ndjson(path: Path, ticks: int = 40, seed: int = 42) -> int:
+    """Deterministic keyed NDJSON replay fixture; returns line count."""
+    import json as _json
+    import random as _random
+
+    lines = []
+    for key in ("a0", "a1", "a2"):
+        rng = _random.Random(f"{seed}|{key}")
+        for tick in range(ticks):
+            if rng.random() < 0.1:
+                continue
+            amount = 40.0 + 20.0 * rng.random()
+            if rng.random() < 0.05:
+                amount *= 8.0
+            ts = round(tick + rng.gauss(0.0, 0.05), 4)
+            arrival = round(tick + 0.3 + 0.4 * rng.random(), 4)
+            lines.append((max(ts, arrival), _json.dumps({
+                "timestamp": ts,
+                "source": f"txn[{key}]",
+                "value": round(amount, 3),
+                "arrival": max(ts, arrival),
+            })))
+    lines.sort()
+    path.write_text("\n".join(line for _, line in lines) + "\n")
+    return len(lines)
+
+
+class TestServe:
+    @pytest.mark.parametrize("engine", ["parallel", "process"])
+    def test_replay_spot_checks_pass(self, tmp_path, capsys, engine):
+        from repro.analysis.stats import validate_serve_stats
+
+        events = tmp_path / "events.ndjson"
+        n_events = _serve_ndjson(events)
+        out_path = tmp_path / "stats.json"
+        argv = [
+            "serve", str(SERVE_SPEC), "--engine", engine,
+            "--input", str(events), "--check-sample", "1",
+            "--stats-json", str(out_path),
+        ]
+        if engine == "process":
+            argv += ["--workers", "2", "--ipc-batch", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"serve[{engine}]" in out
+        assert "0 failed" in out
+
+        import json as _json
+
+        stats = _json.loads(out_path.read_text())
+        assert stats["spec"] == "serve-accounts"
+        serve = stats["serve"]
+        assert validate_serve_stats(serve) == []
+        assert serve["events_accepted"] == n_events
+        assert serve["phases_retired"] > 0
+        assert serve["spot_checks_passed"] == serve["phases_retired"]
+        assert serve["spot_checks_failed"] == 0
+
+    def test_replay_sharded(self, tmp_path, capsys):
+        events = tmp_path / "events.ndjson"
+        _serve_ndjson(events)
+        out_path = tmp_path / "stats.json"
+        assert main([
+            "serve", str(SERVE_SPEC), "--shards", "2", "--key-by", "bracket",
+            "--input", str(events), "--check-sample", "1",
+            "--stats-json", str(out_path),
+        ]) == 0
+        import json as _json
+
+        stats = _json.loads(out_path.read_text())
+        assert stats["sharding"]["num_shards"] == 2
+        assert stats["serve"]["spot_checks_failed"] == 0
+
+    def test_replay_deterministic_across_engines(self, tmp_path, capsys):
+        events = tmp_path / "events.ndjson"
+        _serve_ndjson(events)
+        ingested = {}
+        for engine in ("parallel", "process"):
+            out_path = tmp_path / f"{engine}.json"
+            assert main([
+                "serve", str(SERVE_SPEC), "--engine", engine,
+                "--input", str(events), "--stats-json", str(out_path),
+            ]) == 0
+            import json as _json
+
+            serve = _json.loads(out_path.read_text())["serve"]
+            ingested[engine] = (
+                serve["phases_ingested"], serve["events_accepted"]
+            )
+        assert ingested["parallel"] == ingested["process"]
+
+
+def _processes_with_marker(marker: str) -> list:
+    """PIDs whose environment carries *marker* (linux /proc scan)."""
+    import os
+
+    needle = f"REPRO_TEST_MARKER={marker}".encode()
+    hits = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/environ", "rb") as fh:
+                if needle in fh.read():
+                    hits.append(int(entry))
+        except OSError:
+            continue
+    return hits
+
+
+@pytest.mark.skipif(
+    not Path("/proc").is_dir(), reason="needs /proc for the orphan scan"
+)
+class TestGracefulSignals:
+    """SIGINT/SIGTERM drain in-flight work, emit stats, exit 0, and the
+    process backend leaves no orphaned workers behind."""
+
+    def _spawn(self, argv, marker, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["REPRO_TEST_MARKER"] = marker
+        env["PYTHONPATH"] = str(Path("src").resolve())
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", *argv],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            cwd=str(tmp_path),
+            text=True,
+        )
+
+    def _wait_for_line(self, proc, needle, timeout=30.0):
+        import select
+        import time
+
+        deadline = time.monotonic() + timeout
+        lines = []
+        while time.monotonic() < deadline:
+            ready, _, _ = select.select([proc.stdout], [], [], 0.25)
+            if not ready:
+                if proc.poll() is not None:
+                    break
+                continue
+            line = proc.stdout.readline()
+            if not line:
+                break
+            lines.append(line)
+            if needle in line:
+                return lines
+        raise AssertionError(
+            f"never saw {needle!r} in output:\n{''.join(lines)}"
+        )
+
+    def test_run_process_engine_sigint(self, tmp_path):
+        import json as _json
+        import signal as _signal
+        import uuid
+
+        marker = f"orphan-{uuid.uuid4().hex}"
+        stats_path = tmp_path / "stats.json"
+        spec = Path("specs/keyed_accounts.xml").resolve()
+        proc = self._spawn(
+            ["run", str(spec), "--engine", "process", "--workers", "2",
+             "--stats-json", str(stats_path)],
+            marker, tmp_path,
+        )
+        try:
+            import time
+
+            # Wait until worker processes exist: the signal handler is
+            # installed before the pool spawns, so once workers carry
+            # the marker the parent is guaranteed to trap SIGINT.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if len(_processes_with_marker(marker)) >= 2:
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError("workers never spawned")
+            proc.send_signal(_signal.SIGINT)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        # The final stats json was still written on the signal path.
+        stats = _json.loads(stats_path.read_text())
+        assert stats["spec"] == "keyed-accounts"
+        assert stats["phases_run"] >= 0
+        assert _processes_with_marker(marker) == []
+
+    def test_serve_http_sigterm(self, tmp_path):
+        import json as _json
+        import signal as _signal
+        import uuid
+
+        marker = f"orphan-{uuid.uuid4().hex}"
+        stats_path = tmp_path / "stats.json"
+        spec = Path("specs/serve_accounts.xml").resolve()
+        proc = self._spawn(
+            ["serve", str(spec), "--port", "0",
+             "--stats-json", str(stats_path)],
+            marker, tmp_path,
+        )
+        try:
+            self._wait_for_line(proc, "serving ")
+            proc.send_signal(_signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        stats = _json.loads(stats_path.read_text())
+        assert "serve" in stats
+        assert _processes_with_marker(marker) == []

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import WorkloadError
+from repro.errors import BackpressureError, WorkloadError
 from repro.events import Event
 from repro.ingest import (
     ArrivingEvent,
@@ -295,3 +295,132 @@ class TestWatermarkBoundary:
         sealed = buf.flush()
         assert [p.timestamp for p in sealed] == [1.0]
         assert sealed[0].values == {"a": "x", "b": "y"}
+
+
+class TestBoundedBuffer:
+    """max_buffered: the serve layer's ingest backpressure seam."""
+
+    def test_new_bin_past_cap_rejected(self):
+        buf = ReorderBuffer(wait=10.0, max_buffered=2)
+        buf.offer(arr(0.0, "a", 1, arrival=0.1))
+        buf.offer(arr(1.0, "a", 2, arrival=1.1))
+        with pytest.raises(BackpressureError):
+            buf.offer(arr(2.0, "a", 3, arrival=2.1))
+        # Nothing about the rejected offer was recorded.
+        assert buf.accepted == 2
+        assert buf.late_count == 0
+        assert buf.pending_bins == 2
+
+    def test_existing_bin_accepts_at_cap(self):
+        buf = ReorderBuffer(wait=10.0, max_buffered=2)
+        buf.offer(arr(0.0, "a", 1, arrival=0.1))
+        buf.offer(arr(1.0, "a", 2, arrival=1.1))
+        # Same bins, different sources: no new bin, always admitted.
+        buf.offer(arr(0.0, "b", 3, arrival=1.2))
+        buf.offer(arr(1.0, "b", 4, arrival=1.3))
+        assert buf.accepted == 4
+        assert buf.pending_bins == 2
+
+    def test_half_up_binning_at_the_cap(self):
+        # quantum=1.0 bins half-up: ts 1.49 joins bin 1.0 (admitted at
+        # the cap), ts 1.5 opens bin 2.0 (rejected at the cap).
+        buf = ReorderBuffer(wait=10.0, quantum=1.0, max_buffered=2)
+        buf.offer(arr(0.0, "a", 1, arrival=0.1))
+        buf.offer(arr(1.0, "a", 2, arrival=1.1))
+        buf.offer(arr(1.49, "b", 3, arrival=1.6))  # bin 1.0: existing
+        assert buf.pending_bins == 2
+        with pytest.raises(BackpressureError):
+            buf.offer(arr(1.5, "c", 4, arrival=1.6))  # bin 2.0: new
+        sealed = buf.flush()
+        assert [p.timestamp for p in sealed] == [0.0, 1.0]
+        assert sealed[1].values == {"a": 2, "b": 3}
+
+    def test_late_events_never_backpressured(self):
+        buf = ReorderBuffer(wait=0.0, max_buffered=1)
+        buf.offer(arr(0.0, "a", 1, arrival=0.0))
+        sealed = buf.advance_watermark(0.5)
+        assert [p.timestamp for p in sealed] == [0.0]
+        buf.offer(arr(1.0, "a", 2, arrival=1.0))  # buffer full again
+        # Straggler for the sealed instant: the late path runs before
+        # the capacity check, so a full buffer never rejects it.
+        assert buf.offer(arr(0.0, "b", 9, arrival=1.5)) == []
+        assert buf.late_count == 1
+        assert buf.accepted == 2
+
+    def test_sealing_frees_capacity(self):
+        buf = ReorderBuffer(wait=0.5, max_buffered=1)
+        buf.offer(arr(0.0, "a", 1, arrival=0.1))
+        with pytest.raises(BackpressureError):
+            buf.offer(arr(1.0, "a", 2, arrival=1.1))
+        # Advancing the watermark seals bin 0.0; the next bin fits.
+        sealed = buf.advance_watermark(1.0)
+        assert [p.timestamp for p in sealed] == [0.0]
+        assert buf.offer(arr(1.0, "a", 2, arrival=1.2)) == []
+        assert buf.pending_bins == 1
+
+    def test_rejected_offer_can_be_retried(self):
+        buf = ReorderBuffer(wait=0.5, max_buffered=1)
+        buf.offer(arr(0.0, "a", 1, arrival=0.1))
+        ev = arr(1.0, "a", 2, arrival=1.2)
+        with pytest.raises(BackpressureError):
+            buf.offer(ev)
+        buf.advance_watermark(1.0)
+        # The identical event object is admitted after drain: rejection
+        # left no trace.
+        assert buf.offer(ev) == []
+        assert buf.accepted == 2
+
+    def test_max_late_kept_caps_retention_not_count(self):
+        buf = ReorderBuffer(wait=0.0, max_late_kept=2)
+        buf.offer(arr(0.0, "a", 1, arrival=0.0))
+        buf.offer(arr(5.0, "a", 2, arrival=5.0))  # seals ts 0.0
+        for i in range(5):
+            buf.offer(arr(0.0, f"s{i}", i, arrival=6.0 + i))
+        assert buf.late_count == 5
+        assert len(buf.late_events) == 2
+        # The retained sample is the earliest stragglers, not the last.
+        assert [a.event.source for a in buf.late_events] == ["s0", "s1"]
+
+    def test_max_late_kept_zero_keeps_nothing(self):
+        buf = ReorderBuffer(wait=0.0, max_late_kept=0)
+        buf.offer(arr(0.0, "a", 1, arrival=0.0))
+        buf.offer(arr(5.0, "a", 2, arrival=5.0))
+        buf.offer(arr(0.0, "b", 3, arrival=6.0))
+        assert buf.late_count == 1
+        assert buf.late_events == []
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(WorkloadError):
+            ReorderBuffer(wait=1.0, max_buffered=0)
+        with pytest.raises(WorkloadError):
+            ReorderBuffer(wait=1.0, max_late_kept=-1)
+
+
+class TestAdvanceWatermark:
+    def test_advance_seals_strictly_below(self):
+        buf = ReorderBuffer(wait=10.0)  # offers alone seal nothing
+        buf.offer(arr(0.0, "a", 1, arrival=0.0))
+        buf.offer(arr(1.0, "a", 2, arrival=1.0))
+        sealed = buf.advance_watermark(1.0)
+        # Sealing is strictly below the watermark: bin 1.0 stays open.
+        assert [p.timestamp for p in sealed] == [0.0]
+        assert buf.pending_bins == 1
+        assert buf.advance_watermark(1.0 + 1e-9)[0].timestamp == 1.0
+
+    def test_advance_never_moves_backwards(self):
+        buf = ReorderBuffer(wait=0.0)
+        buf.offer(arr(0.0, "a", 1, arrival=0.0))
+        buf.advance_watermark(5.0)
+        assert buf.advance_watermark(1.0) == []
+        assert buf.watermark == 5.0
+
+    def test_advance_sets_watermark_directly(self):
+        # advance_watermark(to) takes the watermark itself — the caller
+        # subtracts its own wait ("it is now t, seal below t - wait").
+        # It is not re-discounted by the buffer's wait.
+        buf = ReorderBuffer(wait=2.0)
+        buf.offer(arr(0.0, "a", 1, arrival=0.1))  # watermark -1.9
+        assert buf.advance_watermark(0.0) == []
+        sealed = buf.advance_watermark(0.5)
+        assert [p.timestamp for p in sealed] == [0.0]
+        assert buf.watermark == 0.5
