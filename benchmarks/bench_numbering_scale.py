@@ -2,20 +2,36 @@
 
 The restricted numbering is computed once per graph; this benchmark shows
 it is O(N + E) in practice by timing FIFO-Kahn numbering + verification on
-random DAGs up to 50k vertices and printing the throughput series.
+random layered DAGs up to 50k vertices and printing the throughput series.
+
+Acceptance criterion: near-linear scaling — the per-(vertex+edge) time of
+the largest graph stays within 5x of the smallest's (the generator's
+edges-per-vertex grows with size, so cost is normalised by N + E, the
+algorithm's actual input size).
+
+CI smoke::
+
+    python benchmarks/bench_numbering_scale.py --quick
+
+Full run (commits its results as ``BENCH_numbering_scale.json``)::
+
+    python benchmarks/bench_numbering_scale.py --out BENCH_numbering_scale.json
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.analysis.stats import format_table
-from repro.graph.generators import layered_graph
-from repro.graph.numbering import number_graph, verify_numbering
+if __package__ in (None, ""):
+    from _runner import bootstrap_src, finish, parse_args
+else:
+    from ._runner import bootstrap_src, finish, parse_args
 
-from .conftest import emit
+bootstrap_src()
 
-SIZES = [1_000, 5_000, 20_000, 50_000]
+from repro.analysis.stats import format_table  # noqa: E402
+from repro.graph.generators import layered_graph  # noqa: E402
+from repro.graph.numbering import number_graph, verify_numbering  # noqa: E402
 
 
 def build(n: int):
@@ -24,40 +40,49 @@ def build(n: int):
     return layered_graph([width] * depth, density=min(1.0, 40 / width), seed=n)
 
 
-def test_numbering_scale(benchmark):
-    graphs = {n: build(n) for n in SIZES}
-
-    def number_largest():
-        return number_graph(graphs[SIZES[-1]])
-
-    nb = benchmark.pedantic(number_largest, iterations=1, rounds=3)
-    verify_numbering(nb.graph, nb.index_of)
+def main(argv=None) -> int:
+    args = parse_args("Numbering-algorithm cost at scale", argv)
+    sizes = [1_000, 5_000] if args.quick else [1_000, 5_000, 20_000, 50_000]
+    config = {"sizes": sizes, "generator": "layered_graph"}
 
     rows = []
-    for n, g in graphs.items():
+    for n in sizes:
+        g = build(n)
         start = time.perf_counter()
-        local_nb = number_graph(g)
-        verify_numbering(g, local_nb.index_of)
+        nb = number_graph(g)
+        verify_numbering(g, nb.index_of)
         elapsed = time.perf_counter() - start
         rows.append(
-            [
-                g.num_vertices,
-                g.num_edges,
-                elapsed * 1000,
-                g.num_vertices / elapsed / 1e6,
-            ]
+            {
+                "vertices": g.num_vertices,
+                "edges": g.num_edges,
+                "time_ms": round(elapsed * 1000, 3),
+                "mvertex_per_s": round(g.num_vertices / elapsed / 1e6, 4),
+                "us_per_unit": round(elapsed * 1e6 / (g.num_vertices + g.num_edges), 4),
+            }
         )
-    emit(
-        "Numbering + verification throughput on layered random DAGs",
+    print(
         format_table(
-            ["vertices", "edges", "time (ms)", "Mvertex/s"],
-            rows,
-        ),
+            ["vertices", "edges", "time (ms)", "Mvertex/s", "us/(N+E)"],
+            [
+                [r["vertices"], r["edges"], r["time_ms"],
+                 r["mvertex_per_s"], r["us_per_unit"]]
+                for r in rows
+            ],
+        )
     )
-    benchmark.extra_info["largest_vertices"] = graphs[SIZES[-1]].num_vertices
 
-    # Near-linear scaling: time per (vertex + edge) must not blow up with
-    # size (the generator's edges-per-vertex grows with n, so normalise by
-    # N + E, the algorithm's actual input size).
-    per_unit = [r[2] / (r[0] + r[1]) for r in rows]
-    assert per_unit[-1] < per_unit[0] * 5
+    per_unit = [r["us_per_unit"] for r in rows]
+    criterion = {
+        "evaluated": True,
+        "passed": bool(per_unit[-1] < per_unit[0] * 5),
+        "us_per_unit_smallest": per_unit[0],
+        "us_per_unit_largest": per_unit[-1],
+        "allowed_ratio": 5.0,
+    }
+    print(f"criterion: {'PASS' if criterion['passed'] else 'FAIL'}")
+    return finish(args, "numbering_scale", config, rows, criterion)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,240 @@
+"""Change suppression (Δ-elision): executed-pair and wall-clock reduction.
+
+A Δ-dataflow engine already skips vertices whose inputs carry *no*
+message; change suppression extends the discipline to messages that carry
+an *unchanged value*: at commit time an output equal to the edge's latched
+value is dropped, the downstream pair is marked determined without being
+scheduled, and the elision cascades down any chain of suppressible
+vertices.  This benchmark measures that cascade on the two workload
+shapes the optimisation targets:
+
+* **stable-value** — re-emitting sources whose value only *moves* every
+  k-th phase, feeding depth-D :class:`~repro.models.basic.Identity`
+  chains into :class:`~repro.models.basic.ChangeRecorder` sinks.  Between
+  moves every chain execution is value-equal busywork.
+* **idle-key** — N independent per-key chains where only ~1/8 of the
+  keys change value in any phase (the others re-report their previous
+  reading) — the idle-key shape of keyed monitoring feeds.
+
+Every row runs three ways: the **unsuppressed serial oracle**, the
+parallel engine with suppression **off**, and with suppression **on**
+(cone frontier).  Rows record executed pairs, messages, wall time and
+the ``stats["suppression"]`` section; both parallel runs are judged
+against the oracle — the suppressed one with the elision-aware check
+*plus exact record equality*.
+
+Acceptance criterion: every row oracle-equal, and the executed-pairs
+ratio (off/on) >= 3x on both workloads.  Wall-clock ratio is reported
+but not gated (CI containers make timing gates flaky).
+
+CI smoke::
+
+    python benchmarks/bench_suppression.py --quick
+
+Full run (commits its results as ``BENCH_suppression.json``)::
+
+    python benchmarks/bench_suppression.py --out BENCH_suppression.json
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List, Tuple
+
+if __package__ in (None, ""):
+    from _runner import bootstrap_src, finish, parse_args
+else:
+    from ._runner import bootstrap_src, finish, parse_args
+
+bootstrap_src()
+
+from repro.analysis.serializability import check_serializable  # noqa: E402
+from repro.core.program import Program  # noqa: E402
+from repro.core.serial import SerialExecutor  # noqa: E402
+from repro.events import PhaseInput  # noqa: E402
+from repro.graph.model import ComputationGraph  # noqa: E402
+from repro.models.basic import ChangeRecorder, Identity  # noqa: E402
+from repro.models.sensors import ReplaySource  # noqa: E402
+from repro.runtime.engine import ParallelEngine  # noqa: E402
+
+THREADS = 4
+ROUNDS = 3  # wall-time measurement: best of N
+
+
+def chain_workload(
+    name: str,
+    value_seqs: Dict[str, List[Any]],
+    depth: int,
+    phases: int,
+) -> Tuple[Program, List[PhaseInput]]:
+    """One source -> Identity^depth -> ChangeRecorder chain per key."""
+    g = ComputationGraph(name=name)
+    behaviors: Dict[str, Any] = {}
+    for key, values in value_seqs.items():
+        prev = f"src_{key}"
+        g.add_vertex(prev)
+        behaviors[prev] = ReplaySource(values=values)
+        for d in range(depth):
+            node = f"id_{key}_{d}"
+            g.add_vertex(node)
+            g.add_edge(prev, node)
+            behaviors[node] = Identity()
+            prev = node
+        sink = f"rec_{key}"
+        g.add_vertex(sink)
+        g.add_edge(prev, sink)
+        behaviors[sink] = ChangeRecorder()
+    program = Program(g, behaviors, name=name)
+    return program, [PhaseInput(k, float(k)) for k in range(1, phases + 1)]
+
+
+def stable_value_seqs(
+    keys: int, phases: int, move_every: int, seed: int
+) -> Dict[str, List[Any]]:
+    """Each source re-emits its value every phase; the value only moves
+    every *move_every* phases."""
+    rng = random.Random(seed)
+    seqs = {}
+    for k in range(keys):
+        value = float(rng.randrange(100))
+        seq = []
+        for p in range(phases):
+            if p > 0 and p % move_every == 0:
+                value = float(rng.randrange(100))
+            seq.append(value)
+        seqs[f"k{k:02d}"] = seq
+    return seqs
+
+
+def idle_key_seqs(
+    keys: int, phases: int, active_one_in: int, seed: int
+) -> Dict[str, List[Any]]:
+    """Every key reports every phase, but only ~1/active_one_in keys
+    change value in a given phase."""
+    rng = random.Random(seed)
+    seqs = {}
+    for k in range(keys):
+        value = float(rng.randrange(100))
+        seq = []
+        for _ in range(phases):
+            if rng.randrange(active_one_in) == 0:
+                value = float(rng.randrange(100))
+            seq.append(value)
+        seqs[f"k{k:02d}"] = seq
+    return seqs
+
+
+def timed_run(build, suppress: bool):
+    """Best-of-ROUNDS wall time; the last run's result is returned."""
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        program, phases = build()
+        engine = ParallelEngine(
+            program, num_threads=THREADS, frontier="cone", suppress=suppress
+        )
+        t0 = time.perf_counter()
+        result = engine.run(phases)
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def run_workload(label: str, build) -> Dict[str, Any]:
+    program, phases = build()
+    oracle = SerialExecutor(program).run(phases)
+
+    off, off_time = timed_run(build, suppress=False)
+    on, on_time = timed_run(build, suppress=True)
+
+    off_ok = bool(check_serializable(oracle, off))
+    on_report = check_serializable(oracle, on, allow_elision=True)
+    on_ok = bool(on_report) and on.records == oracle.records
+
+    section = on.stats["suppression"]
+    row = {
+        "workload": label,
+        "phases": len(phases),
+        "oracle_executions": oracle.execution_count,
+        "executions_off": off.execution_count,
+        "executions_on": on.execution_count,
+        "messages_off": off.message_count,
+        "messages_on": on.message_count,
+        "wall_off_s": round(off_time, 4),
+        "wall_on_s": round(on_time, 4),
+        "executed_pairs_ratio": round(
+            off.execution_count / max(1, on.execution_count), 3
+        ),
+        "wall_clock_ratio": round(off_time / max(1e-9, on_time), 3),
+        "suppression": section,
+        "oracle_equal_off": off_ok,
+        "oracle_equal_on": on_ok,
+    }
+    print(
+        f"{label}: pairs {off.execution_count} -> {on.execution_count} "
+        f"({row['executed_pairs_ratio']}x), wall {off_time:.3f}s -> "
+        f"{on_time:.3f}s ({row['wall_clock_ratio']}x), "
+        f"suppressed={section['suppressed_messages']} "
+        f"elided={section['elided_executions']} "
+        f"oracle_equal={off_ok and on_ok}"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    args = parse_args(
+        "Change-suppression executed-pair / wall-clock reduction", argv
+    )
+    if args.quick:
+        config = {
+            "stable": {"keys": 4, "phases": 80, "depth": 4, "move_every": 10},
+            "idle": {"keys": 8, "phases": 60, "depth": 4, "active_one_in": 8},
+        }
+    else:
+        config = {
+            "stable": {"keys": 8, "phases": 500, "depth": 5, "move_every": 10},
+            "idle": {"keys": 32, "phases": 300, "depth": 4, "active_one_in": 8},
+        }
+
+    s = config["stable"]
+    stable_build = lambda: chain_workload(  # noqa: E731
+        "stable-value",
+        stable_value_seqs(s["keys"], s["phases"], s["move_every"], seed=11),
+        s["depth"],
+        s["phases"],
+    )
+    i = config["idle"]
+    idle_build = lambda: chain_workload(  # noqa: E731
+        "idle-key",
+        idle_key_seqs(i["keys"], i["phases"], i["active_one_in"], seed=13),
+        i["depth"],
+        i["phases"],
+    )
+
+    rows = [
+        run_workload("stable-value", stable_build),
+        run_workload("idle-key", idle_build),
+    ]
+
+    min_ratio = min(r["executed_pairs_ratio"] for r in rows)
+    all_equal = all(
+        r["oracle_equal_off"] and r["oracle_equal_on"] for r in rows
+    )
+    criterion = {
+        "evaluated": True,
+        "passed": bool(all_equal and min_ratio >= 3.0),
+        "min_executed_pairs_ratio": min_ratio,
+        "required_ratio": 3.0,
+        "all_rows_oracle_equal": all_equal,
+        "wall_clock_ratios": [r["wall_clock_ratio"] for r in rows],
+    }
+    print(
+        f"criterion: min executed-pairs ratio {min_ratio}x "
+        f"(need >= 3.0x), oracle-equal={all_equal} -> "
+        f"{'PASS' if criterion['passed'] else 'FAIL'}"
+    )
+    return finish(args, "suppression", config, rows, criterion)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

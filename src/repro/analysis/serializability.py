@@ -19,6 +19,18 @@ against the serial oracle:
 :func:`check_serializable` compares two :class:`RunResult` objects and
 returns a structured report; :func:`assert_serializable` raises
 :class:`~repro.errors.SerializabilityError` with the first difference.
+
+Elision-aware mode
+------------------
+Change suppression (ALGORITHM.md §5.6) deliberately executes *fewer*
+pairs and sends *fewer* messages than the unsuppressed oracle while
+keeping the records identical — the latch-bisimulation argument.  With
+``allow_elision=True`` the check verifies exactly that contract:
+
+* candidate executions must be a **subset** of the oracle's (missing
+  pairs are elisions; extra or duplicate pairs are still fatal);
+* candidate ``message_count`` must be **at most** the oracle's;
+* records and phase counts must still be **identical**.
 """
 
 from __future__ import annotations
@@ -57,9 +69,17 @@ class SerializabilityReport:
 
 
 def check_serializable(
-    reference: RunResult, candidate: RunResult, max_differences: int = 5
+    reference: RunResult,
+    candidate: RunResult,
+    max_differences: int = 5,
+    allow_elision: bool = False,
 ) -> SerializabilityReport:
-    """Compare *candidate* against *reference* (usually the serial oracle)."""
+    """Compare *candidate* against *reference* (usually the serial oracle).
+
+    With *allow_elision* the candidate may have executed a subset of the
+    oracle's pairs and sent fewer messages (change suppression); records
+    must still match exactly.
+    """
     diffs: List[str] = []
 
     if reference.phases_run != candidate.phases_run:
@@ -72,7 +92,7 @@ def check_serializable(
     if ref_pairs != cand_pairs:
         missing = sorted(ref_pairs - cand_pairs)[:max_differences]
         extra = sorted(cand_pairs - ref_pairs)[:max_differences]
-        if missing:
+        if missing and not allow_elision:
             diffs.append(f"pairs not executed by candidate: {missing}")
         if extra:
             diffs.append(f"pairs executed only by candidate: {extra}")
@@ -86,7 +106,13 @@ def check_serializable(
         ][:max_differences]
         diffs.append(f"candidate executed pairs more than once: {dupes}")
 
-    if reference.message_count != candidate.message_count:
+    if allow_elision:
+        if candidate.message_count > reference.message_count:
+            diffs.append(
+                f"candidate sent more messages than the oracle: "
+                f"{candidate.message_count} vs {reference.message_count}"
+            )
+    elif reference.message_count != candidate.message_count:
         diffs.append(
             f"message counts differ: {reference.message_count} vs "
             f"{candidate.message_count}"
@@ -124,9 +150,13 @@ def check_serializable(
     )
 
 
-def assert_serializable(reference: RunResult, candidate: RunResult) -> None:
+def assert_serializable(
+    reference: RunResult, candidate: RunResult, allow_elision: bool = False
+) -> None:
     """Raise :class:`SerializabilityError` unless *candidate* matches
     *reference*."""
-    report = check_serializable(reference, candidate)
+    report = check_serializable(
+        reference, candidate, allow_elision=allow_elision
+    )
     if not report.equivalent:
         raise SerializabilityError(str(report))

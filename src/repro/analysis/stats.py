@@ -34,6 +34,21 @@ engine-agnostic portion validated by :func:`validate_engine_stats`:
   full stats (frontier section included) on the nested
   ``ShardedRunResult.shard_results``.
 
+* ``stats["suppression"]`` — required for every scheduling engine
+  (change suppression, ALGORITHM.md §5.6):
+
+  - ``enabled``: bool — whether the run elided value-equal outputs;
+  - ``suppressed_messages``: int >= 0 — outputs equal to the edge latch
+    that were never delivered (0 when disabled);
+  - ``elided_executions``: int >= 0 — downstream pairs that were marked
+    determined without being scheduled because **every** inbound message
+    was suppressed (direct elisions only — cascaded determination of
+    farther descendants is not attributed);
+  - ``ineligible_vertices``: int >= 0 — vertices whose pairs were
+    excluded from elision by the per-vertex contract
+    (:attr:`~repro.core.vertex.Vertex.suppressible` and the sink /
+    successor-closure rule).
+
 * ``stats["serve"]`` — the continuous-operation service layer
   (:mod:`repro.serve`) reports its session document with a ``serve``
   section: ingest/retire/stream counters, backpressure accounting
@@ -58,6 +73,7 @@ __all__ = [
     "summarize_speedup",
     "message_rate_summary",
     "validate_frontier_stats",
+    "validate_suppression_stats",
     "validate_sharding_stats",
     "validate_serve_stats",
     "validate_engine_stats",
@@ -112,6 +128,46 @@ def validate_frontier_stats(section: Any, where: str = "frontier") -> List[str]:
             errors.append(f"{where}.{key}: expected >= {minimum}, got {value}")
     extra = set(section) - {"mode", "cone_count", "max_phase_skew",
                             "frontier_advances"}
+    if extra:
+        errors.append(f"{where}: unexpected keys {sorted(extra)}")
+    return errors
+
+
+_SUPPRESSION_COUNTERS = (
+    "suppressed_messages",
+    "elided_executions",
+    "ineligible_vertices",
+)
+
+
+def validate_suppression_stats(
+    section: Any, where: str = "suppression"
+) -> List[str]:
+    """Validate one ``stats["suppression"]`` section; returns error
+    strings (empty list == valid)."""
+    errors: List[str] = []
+    if not isinstance(section, Mapping):
+        return [f"{where}: expected a mapping, got {type(section).__name__}"]
+    enabled = section.get("enabled")
+    if not isinstance(enabled, bool):
+        errors.append(f"{where}.enabled: expected a bool, got {enabled!r}")
+    values: Dict[str, int] = {}
+    for key in _SUPPRESSION_COUNTERS:
+        value = section.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"{where}.{key}: expected an int, got {value!r}")
+        elif value < 0:
+            errors.append(f"{where}.{key}: expected >= 0, got {value}")
+        else:
+            values[key] = value
+    if enabled is False:
+        for key in ("suppressed_messages", "elided_executions"):
+            if values.get(key):
+                errors.append(
+                    f"{where}.{key}: expected 0 when suppression is "
+                    f"disabled, got {values[key]}"
+                )
+    extra = set(section) - set(_SUPPRESSION_COUNTERS) - {"enabled"}
     if extra:
         errors.append(f"{where}: unexpected keys {sorted(extra)}")
     return errors
@@ -319,6 +375,12 @@ def validate_engine_stats(engine: str, stats: Any) -> List[str]:
         )
     else:
         errors.extend(validate_frontier_stats(stats["frontier"]))
+    if "suppression" not in stats:
+        errors.append(
+            f"stats.suppression: required for scheduling engine {engine!r}"
+        )
+    else:
+        errors.extend(validate_suppression_stats(stats["suppression"]))
     return errors
 
 

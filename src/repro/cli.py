@@ -94,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "ancestor cones pipeline ahead of slow "
                           "siblings; 'global' reproduces the paper's "
                           "single x_p clamp exactly")
+    run.add_argument("--suppress", action=argparse.BooleanOptionalAction,
+                     default=None,
+                     help="change suppression: elide outputs equal to the "
+                          "edge's latched value so unchanged downstream "
+                          "cones are never scheduled (default: on under "
+                          "--frontier cone, off under --frontier global "
+                          "to keep the paper's schedule byte-identical; "
+                          "--no-suppress forces it off)")
     run.add_argument("--shards", type=int, default=0, metavar="N",
                      help="run the spec as N keyed shards (replicated "
                           "engine instances behind a stable key router) "
@@ -107,8 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(txn[a3] -> a3), 'source' makes every source "
                           "its own key")
     run.add_argument("--check", action="store_true",
-                     help="also run the serial oracle and verify "
-                          "serializability")
+                     help="also run the (unsuppressed) serial oracle and "
+                          "verify serializability; with suppression on, "
+                          "the elision-aware check applies (records must "
+                          "still match the oracle exactly)")
     run.add_argument("--stats-json", metavar="PATH", default=None,
                      help="dump the engine's RunResult stats as JSON to "
                           "PATH ('-' for stdout)")
@@ -268,6 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default cone: per-dependency frontiers); the "
                            "knob is recorded in failure artifacts so "
                            "failures replay exactly")
+    fuzz.add_argument("--suppress", action="store_true",
+                      help="run the engine under test with change "
+                           "suppression on (suppression-friendly random "
+                           "workloads; judged against the unsuppressed "
+                           "serial oracle with the elision-aware check)")
     fuzz.add_argument("--skew", action="store_true",
                       help="skew injection: artificially slow one "
                            "(seeded) vertex per phase, stressing "
@@ -353,6 +368,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 num_threads=args.threads,
                 batch_size=args.batch_size,
                 frontier=args.frontier,
+                suppress=args.suppress,
             ).run(phases, stop_event=stop)
             stopped = stop.is_set()
     elif args.engine == "process":
@@ -367,6 +383,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ipc_batch=args.ipc_batch,
                 window=args.window or None,
                 frontier=args.frontier,
+                suppress=args.suppress,
             ).run(phases, stop_event=stop)
             stopped = stop.is_set()
     else:
@@ -378,6 +395,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             num_processors=args.processors,
             cost_model=CostModel(),
             frontier=args.frontier,
+            suppress=bool(args.suppress),
         ).run(phases)
 
     print(f"{spec.name}: {result.engine} ran {result.phases_run} phases, "
@@ -394,6 +412,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"({fusion['fused_stages']} fused), "
               f"{fusion['scheduled_pairs']} scheduled pairs for "
               f"{fusion['member_executions']} member executions")
+    suppression = result.stats.get("suppression") if result.stats else None
+    if suppression and suppression["enabled"]:
+        print(f"suppression: {suppression['suppressed_messages']} messages "
+              f"suppressed, {suppression['elided_executions']} executions "
+              f"elided ({suppression['ineligible_vertices']} vertices "
+              f"ineligible)")
 
     if args.stats_json is not None:
         import json
@@ -425,8 +449,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.check and args.engine != "serial" and not stopped:
         oracle = SerialExecutor(spec.program).run(phases)
-        report = check_serializable(oracle, result)
-        print(f"\nserializability: {report}")
+        elided = bool(suppression and suppression["enabled"])
+        report = check_serializable(oracle, result, allow_elision=elided)
+        mode = " (elision-aware)" if elided else ""
+        print(f"\nserializability{mode}: {report}")
         if not report:
             return 2
     return 0
@@ -786,6 +812,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             fuse=args.fuse,
             frontier=args.frontier,
             skew=args.skew,
+            suppress=args.suppress,
         )
         print(report.summary())
         if args.failure_artifacts and report.failures:
@@ -808,6 +835,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         fuse=args.fuse,
         frontier=args.frontier,
         skew=args.skew,
+        suppress=args.suppress,
     )
     print(report.summary())
     if args.failure_artifacts and report.failures:

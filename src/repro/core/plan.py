@@ -46,6 +46,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 from ..errors import SchedulerError, VertexExecutionError
 from ..events import PhaseInput
 from ..graph.fuse import FusionResult, fuse_graph
+from .ports import stable_equal
 from .program import Program, RunResult
 from .vertex import EMIT_NOTHING, Vertex, VertexContext
 
@@ -121,6 +122,61 @@ class FusedVertex(Vertex):
         self._is_source = False
         # receiving member name -> latched value on its chain edge
         self._latch: Dict[str, Any] = {}
+        # Change suppression (set per run via configure_suppression):
+        # when enabled, a member's value-equal internal output may stop
+        # the chain early — see _compute_elide_from for the rule.
+        self._suppress_enabled = False
+        self._elide_from: List[bool] = self._compute_elide_from()
+
+    def _compute_elide_from(self) -> List[bool]:
+        """``_elide_from[j]``: a value-equal message *into* member *j*
+        may be dropped **using chain-local information only** — some
+        member at or after *j* is ``silent_on_unchanged`` with every
+        member in between suppressible, so the value-equal propagation
+        provably dies inside the chain without emitting or recording.
+
+        If the propagation would instead run through to the tail's
+        external emissions, the chain executes normally and the
+        commit-level edge-latch check decides — that case needs
+        plan-graph knowledge this pickled behaviour does not carry.
+        """
+        n = len(self._members)
+        elide = [False] * (n + 1)
+        for j in range(n - 1, -1, -1):
+            beh = self._members[j].behavior
+            if not getattr(beh, "suppressible", True):
+                continue
+            silent = bool(getattr(beh, "silent_on_unchanged", False))
+            elide[j] = silent or elide[j + 1]
+        return elide
+
+    def configure_suppression(self, enabled: bool) -> None:
+        """Enable/disable the intra-chain value-equal short-circuit.
+
+        Called by :class:`~repro.core.program.PairRuntime` at run start —
+        before the process backend pickles its warm caches, so workers
+        inherit the run's setting."""
+        self._suppress_enabled = enabled
+        self._elide_from = self._compute_elide_from()
+
+    # -- suppressibility contract (stage-level) ------------------------
+
+    @property
+    def suppressible(self) -> bool:  # type: ignore[override]
+        """A stage is suppressible iff every member is."""
+        return all(
+            getattr(m.behavior, "suppressible", True) for m in self._members
+        )
+
+    @property
+    def silent_on_unchanged(self) -> bool:  # type: ignore[override]
+        """A value-equal input dies inside the chain: all members
+        suppressible and at least one strictly silent (the propagation
+        stops there, before any external emission or record)."""
+        return self.suppressible and any(
+            getattr(m.behavior, "silent_on_unchanged", False)
+            for m in self._members
+        )
 
     def bind_plan(
         self,
@@ -185,7 +241,17 @@ class FusedVertex(Vertex):
             if i < last:
                 nxt = members[i + 1].name
                 if nxt in sub.outputs:
-                    self._latch[nxt] = sub.outputs[nxt]
+                    value = sub.outputs[nxt]
+                    if (
+                        self._suppress_enabled
+                        and self._elide_from[i + 1]
+                        and nxt in self._latch
+                        and stable_equal(self._latch[nxt], value)
+                    ):
+                        # Value-equal short-circuit: the rest of the
+                        # chain is provably a no-op that emits nothing.
+                        break
+                    self._latch[nxt] = value
                     internal += 1
                 else:
                     # Δ short-circuit: no message means "unchanged", so
@@ -270,6 +336,16 @@ class RelabeledVertex(Vertex):
         self._in_map = dict(in_map)  # plan pred name -> original pred name
         self._ext_out = dict(ext_out)  # original succ name -> plan succ name
         self._successors = tuple(successors)  # original successor names
+
+    # The adapter is transparent to the suppressibility contract.
+
+    @property
+    def suppressible(self) -> bool:  # type: ignore[override]
+        return bool(getattr(self.behavior, "suppressible", True))
+
+    @property
+    def silent_on_unchanged(self) -> bool:  # type: ignore[override]
+        return bool(getattr(self.behavior, "silent_on_unchanged", False))
 
     def on_execute(self, ctx: VertexContext) -> Any:
         sub = VertexContext(

@@ -25,7 +25,52 @@ from typing import Any, Dict, List, Tuple
 from ..errors import SchedulerError
 from ..graph.numbering import Numbering
 
-__all__ = ["NO_VALUE", "EdgeChannel", "EdgeStore"]
+__all__ = ["NO_VALUE", "EdgeChannel", "EdgeStore", "stable_equal"]
+
+# Scalar types whose ``==`` is cheap, total and stable across processes.
+# Type identity is required (``1 == 1.0`` and ``True == 1`` must not
+# suppress: downstream code may branch on type).
+_STABLE_SCALARS = (bool, int, float, str, bytes)
+
+# Containers compared structurally, to a bounded depth.
+_MAX_EQ_DEPTH = 6
+
+
+def stable_equal(a: Any, b: Any, _depth: int = _MAX_EQ_DEPTH) -> bool:
+    """True iff *a* and *b* are **provably** equal under a cheap, stable
+    comparison — the latch test change suppression is allowed to use.
+
+    Conservative by construction: any value outside the whitelist (or
+    nested too deeply, or a float NaN, whose ``==`` is not reflexive)
+    compares *unequal*, which means "never suppress".  A false negative
+    merely forgoes an optimisation; a false positive would drop a real
+    message.
+    """
+    if a is None and b is None:
+        return True
+    ta = type(a)
+    if ta is not type(b):
+        return False
+    if ta in _STABLE_SCALARS:
+        if ta is float and (a != a or b != b):  # NaN
+            return False
+        return a == b
+    if _depth <= 0:
+        return False
+    if ta is tuple:
+        return len(a) == len(b) and all(
+            stable_equal(x, y, _depth - 1) for x, y in zip(a, b)
+        )
+    if ta is frozenset:
+        # Order-free structural check only for scalar members.
+        if any(type(x) not in _STABLE_SCALARS and x is not None for x in a):
+            return False
+        return a == b
+    if ta is dict:
+        if a.keys() != b.keys():
+            return False
+        return all(stable_equal(v, b[k], _depth - 1) for k, v in a.items())
+    return False
 
 
 class _NoValue:
@@ -112,6 +157,16 @@ class EdgeChannel:
         return 0
 
     @property
+    def last_sent(self) -> Any:
+        """The newest value ever sent on this edge — the suppression
+        latch (``NO_VALUE`` if the edge never carried a message).
+
+        :meth:`consume_upto` retains the newest entry ``<= phase``, so
+        ``_values[-1]`` is always the last-sent value even after GC.
+        """
+        return self._values[-1] if self._values else NO_VALUE
+
+    @property
     def pending_entries(self) -> int:
         """Entries currently stored (after GC) — memory instrumentation."""
         return len(self._phases)
@@ -144,6 +199,9 @@ class EdgeStore:
         # bounds them (the memory ablation measures exactly this).
         self.live_entries = 0
         self.peak_entries = 0
+        # Δ-elision accounting: outputs dropped at commit time because
+        # their value matched the edge latch (see would_suppress).
+        self.suppressed_messages = 0
         g = numbering.graph
         for v in range(1, numbering.n + 1):
             name = numbering.name_of(v)
@@ -166,6 +224,20 @@ class EdgeStore:
         self.live_entries += len(outputs)
         if self.live_entries > self.peak_entries:
             self.peak_entries = self.live_entries
+
+    def would_suppress(self, src: int, dst: int, value: Any) -> bool:
+        """True iff delivering *value* on ``src -> dst`` would repeat the
+        edge's latched value under :func:`stable_equal`.
+
+        A first message on an edge is never suppressible (there is no
+        latch for the consumer to fall back on).
+        """
+        ch = self._channels[(src, dst)]
+        return bool(ch._values) and stable_equal(ch._values[-1], value)
+
+    def record_suppressed(self, count: int) -> None:
+        """Account *count* suppressed deliveries (caller holds the lock)."""
+        self.suppressed_messages += count
 
     def gather_inputs(self, dst: int, phase: int) -> Tuple[Dict[int, Any], List[int]]:
         """Snapshot *dst*'s inputs for executing *phase*.

@@ -27,7 +27,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..errors import GraphError, SchedulerError, VertexExecutionError
 from ..events import PhaseInput
@@ -174,6 +184,15 @@ class PairRuntime:
         a streaming consumer and then forget it — the continuous-
         operation mode, where nothing may accumulate for the whole run.
         :attr:`records` stays empty in this mode.
+    suppress:
+        When True, change suppression (Δ-elision) is active: at commit
+        time an output whose value equals the edge's latched value — and
+        whose target vertex is *elidable* (see :meth:`_compute_elide_ok`)
+        — is dropped before delivery.  No message means no ``msg(w, q)``,
+        so the cone-mode determination wave marks the downstream pair
+        determined without scheduling it.  Default off: the serial
+        oracle and global-frontier runs stay byte-identical to the
+        unsuppressed schedule unless explicitly opted in.
     """
 
     def __init__(
@@ -181,6 +200,7 @@ class PairRuntime:
         program: Program,
         phase_inputs: Sequence[PhaseInput],
         stream_records: bool = False,
+        suppress: bool = False,
     ) -> None:
         self.program = program
         self.edges = EdgeStore(program.numbering)
@@ -201,6 +221,66 @@ class PairRuntime:
             [self._lookup_name(w) for w in self.edges.succs[v]]
             for v in range(1, nm.n + 1)
         ]
+        # Per-vertex (successor name, successor index) pairs in ascending
+        # index order: commit walks this instead of building and sorting a
+        # dict per call (the scheduler-op hot path).
+        self._succ_pairs: List[List[Tuple[str, int]]] = [[]] + [
+            [(self._names[w], w) for w in self.edges.succs[v]]
+            for v in range(1, nm.n + 1)
+        ]
+        # Per-vertex record-log cache: after the first record, commits
+        # append without a per-commit dict lookup / setdefault.
+        self._record_logs: List[Optional[List[Tuple[int, Any]]]] = [
+            None
+        ] * (nm.n + 1)
+        self.suppress = suppress
+        self.elided_executions = 0
+        self._elide_candidates: Dict[int, Set[int]] = {}
+        self._elide_ok: List[bool] = (
+            self._compute_elide_ok() if suppress else [False] * (nm.n + 1)
+        )
+        self.ineligible_vertices = (
+            sum(1 for v in range(1, nm.n + 1) if not self._elide_ok[v])
+            if suppress
+            else 0
+        )
+        # Behaviours with an intra-chain short-circuit of their own
+        # (FusedVertex) follow the run-level setting; configure before
+        # the mp engine pickles its warm caches.
+        for beh in program.behaviors.values():
+            configure = getattr(beh, "configure_suppression", None)
+            if configure is not None:
+                configure(suppress)
+
+    def _compute_elide_ok(self) -> List[bool]:
+        """Which vertices may have a value-equal input message suppressed.
+
+        ``elide_ok[w]`` requires *w*'s behaviour to be suppressible (a
+        value-equal execution is a no-op) **and** the messages *w* would
+        have re-emitted to be ignorable in turn: either *w* is
+        ``silent_on_unchanged`` (emits/records nothing on a value-equal
+        execution — the closure terminates here), or every successor of
+        *w* is itself elidable.  Sinks re-route ``emit`` into the record
+        log, so a sink is elidable only when strictly silent.
+
+        Computed in decreasing index order; the restricted numbering
+        guarantees every successor index is larger, so each successor's
+        entry is final when read.
+        """
+        n = self.program.numbering.n
+        ok = [False] * (n + 1)
+        succs = self.edges.succs
+        for v in range(n, 0, -1):
+            beh = self.program.behavior(v)
+            if not getattr(beh, "suppressible", True):
+                continue
+            silent = bool(getattr(beh, "silent_on_unchanged", False))
+            ws = succs[v]
+            if not ws:
+                ok[v] = silent
+            else:
+                ok[v] = silent or all(ok[w] for w in ws)
+        return ok
 
     def _lookup_name(self, index: int) -> str:
         return self.program.numbering.name_of(index)
@@ -220,6 +300,10 @@ class PairRuntime:
             )
         self._phase_inputs[pi.phase] = pi
         self.num_phases += 1
+        if self.stream_records:
+            # Pre-create the phase's record segment so the commit hot
+            # path appends without a per-commit setdefault.
+            self._records_by_phase[pi.phase] = []
 
     # -- the three execution steps ------------------------------------------
 
@@ -259,24 +343,59 @@ class PairRuntime:
         """Deliver outputs, GC inputs, append records (call under the lock).
 
         Returns the indices of vertices that received an output — exactly
-        the ``w`` of Listing 1's statement 1.8.
+        the ``w`` of Listing 1's statement 1.8.  The per-vertex successor
+        pairs are pre-sorted by index, so the returned list is ascending
+        without a per-commit sort, and the suppression latch test runs
+        inline on the same walk.
         """
-        index_of = self.program.numbering.index_of
-        outputs_by_index = {index_of[wname]: val for wname, val in ctx.outputs.items()}
-        self.edges.deliver(v, p, outputs_by_index)
+        outs = ctx.outputs
+        suppress = self.suppress
+        targets: List[int] = []
+        if outs:
+            edges = self.edges
+            elide_ok = self._elide_ok
+            outputs_by_index: Dict[int, Any] = {}
+            suppressed = 0
+            for wname, w in self._succ_pairs[v]:
+                if wname not in outs:
+                    continue
+                value = outs[wname]
+                if (
+                    suppress
+                    and elide_ok[w]
+                    and edges.would_suppress(v, w, value)
+                ):
+                    suppressed += 1
+                    self._elide_candidates.setdefault(p, set()).add(w)
+                    continue
+                outputs_by_index[w] = value
+                targets.append(w)
+            if suppressed:
+                edges.record_suppressed(suppressed)
+            edges.deliver(v, p, outputs_by_index)
+            self.message_count += len(outputs_by_index)
         self.edges.consume(v, p)
         if ctx.records:
             if self.stream_records:
-                seg = self._records_by_phase.setdefault(p, [])
+                seg = self._records_by_phase[p]
                 for value in ctx.records:
                     seg.append((ctx.name, value))
             else:
-                log = self.records.setdefault(ctx.name, [])
+                log = self._record_logs[v]
+                if log is None:
+                    log = self._record_logs[v] = self.records.setdefault(
+                        ctx.name, []
+                    )
                 for value in ctx.records:
                     log.append((p, value))
-        self.message_count += len(outputs_by_index)
         self.execution_count += 1
-        return sorted(outputs_by_index)
+        if suppress:
+            cands = self._elide_candidates.get(p)
+            if cands is not None:
+                # The pair executed after all (another input did change),
+                # so it was not elided.
+                cands.discard(v)
+        return targets
 
     def execute(self, v: int, p: int) -> List[int]:
         """prepare + compute + commit in one step (single-threaded engines)."""
@@ -291,16 +410,45 @@ class PairRuntime:
         ctx: VertexContext,
         outputs: Mapping[str, Any],
         records: Sequence[Any],
+        suppressed: Sequence[str] = (),
     ) -> List[int]:
         """Commit a pair whose compute step ran in another process.
 
         The coordinator prepared *ctx* locally, shipped it to a worker,
         and got back the worker's *outputs* (successor name -> value) and
         *records*; this adopts them into *ctx* and commits as usual (call
-        under the lock).
+        under the lock).  *suppressed* names successors whose outputs the
+        worker elided before serialization — the worker's last-emitted
+        cache mirrors the edge latch (sticky assignment, in-order
+        phases), so they are accounted here without the values ever
+        crossing the wire.
         """
+        if suppressed:
+            index_of = self.program.numbering.index_of
+            self.edges.record_suppressed(len(suppressed))
+            cands = self._elide_candidates.setdefault(p, set())
+            for wname in suppressed:
+                cands.add(index_of[wname])
         ctx.adopt_results(outputs, records)
         return self.commit(v, p, ctx)
+
+    def elidable_successor_names(self) -> Dict[str, FrozenSet[str]]:
+        """Per-vertex successor names whose pairs are elidable — the
+        worker-side suppression filter's configuration (empty when
+        suppression is off)."""
+        if not self.suppress:
+            return {}
+        out: Dict[str, FrozenSet[str]] = {}
+        n = self.program.numbering.n
+        for v in range(1, n + 1):
+            eligible = frozenset(
+                self._names[w]
+                for w in self.edges.succs[v]
+                if self._elide_ok[w]
+            )
+            if eligible:
+                out[self._names[v]] = eligible
+        return out
 
     # -- retirement (continuous-operation mode) -------------------------------
 
@@ -315,7 +463,32 @@ class PairRuntime:
         """
         pi = self._phase_inputs.pop(p, None)
         ts = pi.timestamp if pi is not None else float(p)
+        cands = self._elide_candidates.pop(p, None)
+        if cands:
+            self.elided_executions += len(cands)
         return ts, self._records_by_phase.pop(p, [])
+
+    # -- suppression accounting -----------------------------------------------
+
+    def suppression_stats(self) -> Dict[str, Any]:
+        """The run's ``stats["suppression"]`` block (call at run end).
+
+        Folds any not-yet-retired phases' elision candidates into
+        ``elided_executions``: a vertex that received a suppressed
+        message and never executed that phase is one execution the
+        unsuppressed run would have scheduled.  (Further-downstream
+        pairs that the determination wave skipped as a consequence are
+        not counted — this is the *direct* elision count.)
+        """
+        for cands in self._elide_candidates.values():
+            self.elided_executions += len(cands)
+        self._elide_candidates.clear()
+        return {
+            "enabled": self.suppress,
+            "suppressed_messages": self.edges.suppressed_messages,
+            "elided_executions": self.elided_executions,
+            "ineligible_vertices": self.ineligible_vertices,
+        }
 
     # -- results -------------------------------------------------------------
 

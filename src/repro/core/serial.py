@@ -46,15 +46,23 @@ class SerialExecutor:
     [(1, 42)]
     """
 
-    def __init__(self, program: Union[Program, ExecutionPlan]) -> None:
+    def __init__(
+        self,
+        program: Union[Program, ExecutionPlan],
+        suppress: bool = False,
+    ) -> None:
         self.plan = as_plan(program)
         self.program = self.plan.program
+        # Off by default: the oracle defines unsuppressed semantics.  The
+        # suppression differential tests flip it on to show Δ-elision
+        # composes with the serial scan too.
+        self.suppress = suppress
 
     def run(self, phase_inputs: Sequence[PhaseInput]) -> RunResult:
         """Run every phase serially; returns the :class:`RunResult`."""
         phase_inputs = self.plan.localize_phase_inputs(phase_inputs)
         self.program.reset()
-        runtime = PairRuntime(self.program, phase_inputs)
+        runtime = PairRuntime(self.program, phase_inputs, suppress=self.suppress)
         n = self.program.n
         source_indices = set(self.program.numbering.source_indices())
         executions: List[Tuple[int, int]] = []
@@ -70,6 +78,11 @@ class SerialExecutor:
                 # ascending scan will reach it later in this same phase.
                 has_message.update(targets)
         elapsed = time.perf_counter() - started
+        stats = (
+            {"suppression": runtime.suppression_stats()}
+            if self.suppress
+            else None
+        )
         return self.plan.translate(
-            runtime.build_result("serial", executions, elapsed)
+            runtime.build_result("serial", executions, elapsed, stats)
         )

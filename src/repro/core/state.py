@@ -94,6 +94,14 @@ phases no longer form a prefix); the completion *log* records the order,
 and ``x_p`` is kept as an unclamped per-phase diagnostic.  The mode is
 selected at construction; ``"global"`` (the default) leaves the Listing
 1/2 behaviour byte-identical.
+
+Change suppression (PairRuntime ``suppress=True``) composes with the
+wave without new state here: a suppressed output never sets ``msg(w,
+q)``, so when the determination wave reaches *w* it finds no waiting
+message and **cascades** — the pair is marked determined without ever
+being scheduled, exactly the no-message case the wave already handles.
+Under the global frontier suppression is kept off by the engines, so the
+Listing 1/2 schedule stays byte-identical.
 """
 
 from __future__ import annotations

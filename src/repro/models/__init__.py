@@ -21,7 +21,16 @@ Every class registers a short name for XML specs (:mod:`repro.spec`).
 """
 
 from . import basic, arithmetic, statistics, logic, sensors, vector  # noqa: F401
-from .basic import Identity, Constant, Delay, Gate, Sampler, Recorder
+from .basic import (
+    Identity,
+    Constant,
+    Delay,
+    Gate,
+    Sampler,
+    Recorder,
+    ChangeRecorder,
+    ArrivalCounter,
+)
 from .arithmetic import Sum, Difference, Product, LinearCombiner, Scale
 from .statistics import (
     MovingAverage,
@@ -52,6 +61,8 @@ __all__ = [
     "Gate",
     "Sampler",
     "Recorder",
+    "ChangeRecorder",
+    "ArrivalCounter",
     "Sum",
     "Difference",
     "Product",

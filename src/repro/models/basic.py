@@ -7,13 +7,22 @@ workloads.  All follow the Δ discipline: silent unless something changed.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Tuple
+from typing import Any, Deque, Dict, Tuple
 
 from ..core.vertex import EMIT_NOTHING, Vertex, VertexContext
 from ..errors import WorkloadError
 from ..spec.registry import register_vertex
 
-__all__ = ["Identity", "Constant", "Delay", "Gate", "Sampler", "Recorder"]
+__all__ = [
+    "Identity",
+    "Constant",
+    "Delay",
+    "Gate",
+    "Sampler",
+    "Recorder",
+    "ChangeRecorder",
+    "ArrivalCounter",
+]
 
 
 def single_changed_value(ctx: VertexContext) -> Tuple[bool, Any]:
@@ -47,6 +56,8 @@ class Constant(Vertex):
     """Emits *value* once, in the first phase it executes, then stays
     silent (constants never change — pure Δ)."""
 
+    silent_on_unchanged = True  # after the one emission, always silent
+
     def __init__(self, value: Any = 0) -> None:
         self.value = value
         self._emitted = False
@@ -69,6 +80,9 @@ class Delay(Vertex):
     (Section 5's related work); also handy for building test pipelines
     whose message timing differs from their topology.
     """
+
+    suppressible = False  # buffers per *arrival*: a value-equal message
+    # still schedules a future emission, so elision would drop it
 
     def __init__(self, k: int = 1) -> None:
         if k < 1:
@@ -96,6 +110,9 @@ class Gate(Vertex):
     Input roles are inferred from predecessor names given at construction.
     """
 
+    suppressible = False  # outcome depends on WHICH input changed, not
+    # just its value (a value-equal data arrival re-forwards when open)
+
     def __init__(self, data: str = "data", control: str = "control") -> None:
         self.data = data
         self.control = control
@@ -109,6 +126,8 @@ class Gate(Vertex):
 @register_vertex("Sampler")
 class Sampler(Vertex):
     """Forwards every *every*-th input change (decimation)."""
+
+    suppressible = False  # counts arrivals
 
     def __init__(self, every: int = 2) -> None:
         if every < 1:
@@ -135,7 +154,57 @@ class Recorder(Vertex):
     canonical sink behaviour ("read by input/output units outside the data
     fusion system", Section 2).  Forwards nothing."""
 
+    suppressible = False  # records every arrival, value-equal included
+
     def on_execute(self, ctx: VertexContext) -> Any:
         for name in sorted(ctx.changed):
             ctx.record((name, ctx.inputs[name]))
         return EMIT_NOTHING
+
+
+@register_vertex("ChangeRecorder")
+class ChangeRecorder(Vertex):
+    """Records a changed input only when its value genuinely differs from
+    the last value this vertex recorded for it — the change-suppression-
+    friendly sink: a value-equal arrival records nothing and leaves no
+    state behind, so eliding it is externally invisible."""
+
+    silent_on_unchanged = True
+
+    def __init__(self) -> None:
+        self._last: Dict[str, Any] = {}
+
+    def reset(self) -> None:
+        self._last = {}
+
+    def on_execute(self, ctx: VertexContext) -> Any:
+        for name in sorted(ctx.changed):
+            value = ctx.inputs[name]
+            if name in self._last and self._last[name] == value:
+                continue
+            self._last[name] = value
+            ctx.record((name, value))
+        return EMIT_NOTHING
+
+
+@register_vertex("ArrivalCounter")
+class ArrivalCounter(Vertex):
+    """Counts message *arrivals* (value-equal or not) and emits — or, at a
+    sink, records — the running total on every execution.
+
+    The canonical opt-out vertex: its output depends on how many messages
+    arrived, so suppressing a value-equal input would change it.  The
+    differential campaign uses it to prove opted-out vertices are never
+    elided."""
+
+    suppressible = False
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def on_execute(self, ctx: VertexContext) -> Any:
+        self.count += len(ctx.changed)
+        return self.count

@@ -111,6 +111,14 @@ class ParallelEngine:
         independent ancestor cones pipeline phases ahead of slow
         siblings; ``"global"`` reproduces the published single-``x_p``
         schedule exactly.  Results are serializable either way.
+    suppress:
+        Change suppression (Δ-elision): drop value-equal outputs at
+        commit time so idle downstream cones are never scheduled.
+        ``None`` (the default) resolves by frontier mode — **on** under
+        ``"cone"`` (the determination wave already handles absent
+        messages), **off** under ``"global"``, preserving the
+        byte-identical published schedule.  Pass an explicit bool to
+        override either way.
     """
 
     def __init__(
@@ -125,6 +133,7 @@ class ParallelEngine:
         faults: object = None,
         batch_size: Optional[int] = None,
         frontier: str = "cone",
+        suppress: Optional[bool] = None,
     ) -> None:
         if num_threads < 1:
             raise EngineError(f"num_threads must be >= 1, got {num_threads}")
@@ -132,6 +141,7 @@ class ParallelEngine:
         self.program = self.plan.program
         self.num_threads = num_threads
         self.frontier = frontier
+        self.suppress = (frontier == "cone") if suppress is None else suppress
         self.checker = checker
         self.tracer = tracer
         self.env = env
@@ -220,7 +230,10 @@ class ParallelEngine:
         self.program.reset()
         backend = self.backend
         runtime = PairRuntime(
-            self.program, phase_inputs, stream_records=retire
+            self.program,
+            phase_inputs,
+            stream_records=retire,
+            suppress=self.suppress,
         )
         state = SchedulerState(
             self.program.numbering,
@@ -495,6 +508,7 @@ class ParallelEngine:
         stats = {
             "num_threads": self.num_threads,
             "frontier": state.frontier_stats(),
+            "suppression": runtime.suppression_stats(),
             "lock": lock_stats,
             "queue": {
                 "max_depth": queue.max_depth,

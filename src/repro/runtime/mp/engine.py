@@ -149,6 +149,13 @@ class ProcessEngine:
         ``"cone"`` (default) schedules with per-dependency frontiers;
         ``"global"`` reproduces the published single-``x_p`` schedule
         exactly.  See :class:`~repro.core.state.SchedulerState`.
+    suppress:
+        Change suppression (Δ-elision); ``None`` (default) resolves by
+        frontier mode — on under ``"cone"``, off under ``"global"`` —
+        exactly as on the threaded engine.  On this engine suppression is
+        applied *worker-side* (suppressed outputs are never serialized);
+        the coordinator keeps its commit-time latch check as an
+        idempotent backstop.
     """
 
     def __init__(
@@ -164,6 +171,7 @@ class ProcessEngine:
         ipc_batch: int = 1,
         window: Optional[int] = None,
         frontier: str = "cone",
+        suppress: Optional[bool] = None,
     ) -> None:
         if num_workers < 1:
             raise EngineError(f"num_workers must be >= 1, got {num_workers}")
@@ -171,6 +179,7 @@ class ProcessEngine:
         self.program = self.plan.program
         self.num_workers = num_workers
         self.frontier = frontier
+        self.suppress = (frontier == "cone") if suppress is None else suppress
         self.checker = checker
         self.tracer = tracer
         self.env = env
@@ -250,7 +259,10 @@ class ProcessEngine:
             phase_inputs = []
         self.program.reset()
         runtime = PairRuntime(
-            self.program, phase_inputs, stream_records=retire
+            self.program,
+            phase_inputs,
+            stream_records=retire,
+            suppress=self.suppress,
         )
         state = SchedulerState(
             self.program.numbering,
@@ -260,7 +272,17 @@ class ProcessEngine:
         lock = InstrumentedLock()
         tracer = self.tracer
         pool = ProcessWorkerPool(
-            self.program, self.num_workers, start_method=self.start_method
+            self.program,
+            self.num_workers,
+            start_method=self.start_method,
+            worker_config=(
+                {
+                    "suppress": True,
+                    "elidable_succs": runtime.elidable_successor_names(),
+                }
+                if self.suppress
+                else None
+            ),
         )
 
         # Ready-but-unshipped pairs, indexed by sticky worker so each
@@ -367,7 +389,12 @@ class ProcessEngine:
                 for res in results:
                     ctx = in_flight.pop((res.vertex, res.phase))
                     targets = runtime.commit_remote(
-                        res.vertex, res.phase, ctx, res.outputs, res.records
+                        res.vertex,
+                        res.phase,
+                        ctx,
+                        res.outputs,
+                        res.records,
+                        res.suppressed,
                     )
                     completed.append((res.vertex, res.phase, targets))
                 newly_ready = state.complete_executions(completed)
@@ -607,6 +634,7 @@ class ProcessEngine:
             "num_workers": self.num_workers,
             "start_method": pool.start_method,
             "frontier": state.frontier_stats(),
+            "suppression": runtime.suppression_stats(),
             "lock": lock_stats,
             "per_worker_executions": dict(per_worker_counts),
             "per_worker_utilization": {

@@ -60,6 +60,10 @@ class ProcessWorkerPool:
         Worker process count (the paper's k computation processors).
     start_method:
         ``fork`` / ``spawn`` / ``forkserver``; default per platform.
+    worker_config:
+        Optional run-configuration dict shipped to every worker at spawn
+        (see :func:`~repro.runtime.mp.worker.worker_main`); currently the
+        change-suppression setting.
     """
 
     def __init__(
@@ -67,11 +71,13 @@ class ProcessWorkerPool:
         program: Program,
         num_workers: int,
         start_method: Optional[str] = None,
+        worker_config: Optional[Dict[str, Any]] = None,
     ) -> None:
         if num_workers < 1:
             raise EngineError(f"num_workers must be >= 1, got {num_workers}")
         self.program = program
         self.num_workers = num_workers
+        self.worker_config = worker_config
         self.start_method = start_method or default_start_method()
         self._ctx = mp.get_context(self.start_method)
         self.wire = WireStats()
@@ -99,6 +105,11 @@ class ProcessWorkerPool:
     def start(self) -> None:
         """Spawn every worker, shipping its warm behaviour cache."""
         self.result_queue = self._ctx.Queue()
+        config_blob = (
+            encode(self.worker_config)
+            if self.worker_config is not None
+            else None
+        )
         for worker_id in range(self.num_workers):
             try:
                 blob = encode(self._assigned_behaviors(worker_id))
@@ -109,10 +120,18 @@ class ProcessWorkerPool:
                     f"cannot run on the process engine: {exc}"
                 ) from exc
             self.wire.count("warmup", blob)
+            if config_blob is not None:
+                self.wire.count("warmup", config_blob)
             task_queue = self._ctx.Queue()
             process = self._ctx.Process(
                 target=worker_main,
-                args=(worker_id, task_queue, self.result_queue, blob),
+                args=(
+                    worker_id,
+                    task_queue,
+                    self.result_queue,
+                    blob,
+                    config_blob,
+                ),
                 name=f"repro-worker-{worker_id}",
                 daemon=True,
             )

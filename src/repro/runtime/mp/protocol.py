@@ -99,6 +99,11 @@ class ResultMsg:
     :class:`~repro.errors.VertexExecutionError` with the original vertex
     name and phase).  ``compute_s`` is the worker-measured on_execute
     duration, summed into per-worker utilization.
+
+    ``suppressed`` names the successors whose outputs the worker elided
+    under change suppression — the values never ride the wire; the
+    coordinator uses the names for latch-consistent accounting and to
+    mark the downstream pairs as elision candidates.
     """
 
     worker_id: int
@@ -108,6 +113,7 @@ class ResultMsg:
     records: Tuple[Any, ...] = ()
     error: Optional[str] = None
     compute_s: float = 0.0
+    suppressed: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)

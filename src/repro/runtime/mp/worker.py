@@ -35,8 +35,9 @@ to shut down, so the coordinator never blocks on a dead letter.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
+from ...core.ports import stable_equal
 from ...core.vertex import Vertex
 from ...errors import VertexExecutionError
 from .protocol import (
@@ -55,12 +56,56 @@ from .protocol import (
 
 __all__ = ["worker_main"]
 
+_MISSING = object()
+
+
+class _SuppressFilter:
+    """Worker-side change suppression: elide value-equal outputs before
+    they are ever serialized.
+
+    Vertices are sticky to one worker and execute their phases in order,
+    so this cache of the last value shipped per ``(vertex, successor)``
+    edge mirrors the coordinator's edge latch exactly — the filter and
+    the coordinator's commit-time check agree by construction (the
+    coordinator's check remains as an idempotent backstop).
+
+    *elidable* maps a vertex name to the successor names whose pairs the
+    coordinator proved elidable (:meth:`PairRuntime._compute_elide_ok`);
+    outputs to any other successor always ship.
+    """
+
+    __slots__ = ("_elidable", "_last")
+
+    def __init__(self, elidable: Dict[str, FrozenSet[str]]) -> None:
+        self._elidable = elidable
+        self._last: Dict[Tuple[str, str], Any] = {}
+
+    def filter(
+        self, name: str, outputs: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Tuple[str, ...]]:
+        eligible = self._elidable.get(name)
+        if not outputs or not eligible:
+            return outputs, ()
+        kept: Dict[str, Any] = {}
+        suppressed: List[str] = []
+        for succ, value in outputs.items():
+            if succ in eligible:
+                key = (name, succ)
+                prev = self._last.get(key, _MISSING)
+                if prev is not _MISSING and stable_equal(prev, value):
+                    suppressed.append(succ)
+                    continue
+                self._last[key] = value
+            kept[succ] = value
+        return kept, tuple(suppressed)
+
 
 def _execute(
     worker_id: int,
     behaviors: Dict[str, Vertex],
     task: TaskMsg,
     interner: Interner | None = None,
+    suppress_filter: "_SuppressFilter | None" = None,
 ) -> ResultMsg:
     ctx = context_from_task(task)
     started = time.perf_counter()
@@ -84,12 +129,18 @@ def _execute(
             error=f"{exc}",
             compute_s=time.perf_counter() - started,
         )
+    raw_outputs = dict(ctx.outputs)
+    suppressed: Tuple[str, ...] = ()
+    if suppress_filter is not None:
+        raw_outputs, suppressed = suppress_filter.filter(
+            task.name, raw_outputs
+        )
     if interner is None:
-        outputs = dict(ctx.outputs)
+        outputs = raw_outputs
         records = tuple(ctx.records)
     else:
         intern = interner.intern
-        outputs = {k: intern(v) for k, v in ctx.outputs.items()}
+        outputs = {k: intern(v) for k, v in raw_outputs.items()}
         records = tuple(intern(r) for r in ctx.records)
     return ResultMsg(
         worker_id=worker_id,
@@ -98,6 +149,7 @@ def _execute(
         outputs=outputs,
         records=records,
         compute_s=time.perf_counter() - started,
+        suppressed=suppressed,
     )
 
 
@@ -159,6 +211,7 @@ def _encode_result_batch(
                         error="result not picklable: "
                         + _describe_pickle_failure(exc),
                         compute_s=res.compute_s,
+                        suppressed=res.suppressed,
                     )
                 )
         executed = {(r.vertex, r.phase) for r in salvaged}
@@ -176,18 +229,29 @@ def worker_main(
     task_queue: Any,
     result_queue: Any,
     behaviors_blob: bytes,
+    config_blob: Optional[bytes] = None,
 ) -> None:
     """Entry point of one worker process.
 
     *behaviors_blob* is the pickled ``{vertex name: Vertex}`` mapping for
-    this worker's assigned vertices — the warm cache.  Queue elements are
-    protocol frames (bytes); see :mod:`~repro.runtime.mp.protocol`.
+    this worker's assigned vertices — the warm cache.  *config_blob*, if
+    present, pickles the run configuration dict; currently the change-
+    suppression setting (``{"suppress": bool, "elidable_succs": {vertex
+    name: frozenset of successor names}}``).  Queue elements are protocol
+    frames (bytes); see :mod:`~repro.runtime.mp.protocol`.
     """
     try:
         behaviors: Dict[str, Vertex] = decode(behaviors_blob)
         baselines: Dict[str, Any] = {
             name: beh.snapshot_state() for name, beh in behaviors.items()
         }
+        suppress_filter: Optional[_SuppressFilter] = None
+        if config_blob is not None:
+            config = decode(config_blob)
+            if config.get("suppress"):
+                suppress_filter = _SuppressFilter(
+                    dict(config.get("elidable_succs") or {})
+                )
         interner = Interner()
         busy_s = 0.0
         executed = 0
@@ -220,7 +284,9 @@ def worker_main(
                         # batch must not advance this worker's state.
                         skipped.append((task.vertex, task.phase))
                         continue
-                    result = _execute(worker_id, behaviors, task, interner)
+                    result = _execute(
+                        worker_id, behaviors, task, interner, suppress_filter
+                    )
                     busy_s += result.compute_s
                     executed += 1
                     results.append(result)
@@ -228,7 +294,9 @@ def worker_main(
                     _encode_result_batch(worker_id, results, skipped)
                 )
                 continue
-            result = _execute(worker_id, behaviors, msg)
+            result = _execute(
+                worker_id, behaviors, msg, suppress_filter=suppress_filter
+            )
             busy_s += result.compute_s
             executed += 1
             result_queue.put(encode(result))

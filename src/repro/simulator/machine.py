@@ -81,6 +81,11 @@ class SimulatedEngine:
         the published schedule as its default so the DES figures and
         barrier-comparison baselines stay pinned; the CLI passes the
         knob explicitly.
+    suppress:
+        Change suppression (Δ-elision) in the shared commit path.
+        Default **off** — unlike the real engines the simulator models
+        the published workloads, so its figures stay pinned; the CLI and
+        the differential campaign pass the knob explicitly.
     """
 
     def __init__(
@@ -94,6 +99,7 @@ class SimulatedEngine:
         max_in_flight_phases: Optional[int] = None,
         queue_discipline: str = "fifo",
         frontier: str = "global",
+        suppress: bool = False,
     ) -> None:
         if num_workers < 1:
             raise SimulationError(f"num_workers must be >= 1, got {num_workers}")
@@ -111,6 +117,7 @@ class SimulatedEngine:
         self.num_workers = num_workers
         self.num_processors = num_processors
         self.frontier = frontier
+        self.suppress = suppress
         self.cost_model = cost_model or CostModel()
         self.checker = checker
         self.tracer = tracer
@@ -179,7 +186,7 @@ class SimulatedEngine:
         phase_inputs = self.plan.localize_phase_inputs(phase_inputs)
         self.program.reset()
         self.cost_model.reset()
-        runtime = PairRuntime(self.program, phase_inputs)
+        runtime = PairRuntime(self.program, phase_inputs, suppress=self.suppress)
         state = SchedulerState(
             self.program.numbering,
             checker=self.checker,
@@ -339,6 +346,7 @@ class SimulatedEngine:
             "num_workers": self.num_workers,
             "num_processors": self.num_processors,
             "frontier": state.frontier_stats(),
+            "suppression": runtime.suppression_stats(),
             "lock": {
                 "total_requests": lock.total_requests,
                 "contended_requests": lock.contended_requests,

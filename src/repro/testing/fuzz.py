@@ -94,6 +94,7 @@ class WorkloadSpec:
     stream_seed: int
     threads: int
     skew: bool = False
+    suppress: bool = False
 
     def build(self) -> Tuple[Program, List[PhaseInput]]:
         graph = random_dag(
@@ -107,13 +108,36 @@ class WorkloadSpec:
         for name in graph.vertices():
             if name in sources:
                 behaviors[name] = FunctionVertex(
-                    _sparse_source(name, self.stream_seed, self.delta_prob)
+                    _sparse_source(
+                        name, self.stream_seed, self.delta_prob,
+                        coarse=self.suppress,
+                    )
                 )
             else:
-                behaviors[name] = FunctionVertex(_latched_sum)
+                behaviors[name] = self._inner_behavior(graph, name)
         behaviors = self._apply_skew(graph, behaviors)
         program = Program(graph, behaviors, name=f"fuzz-{self.graph_seed}")
         return program, phase_signals(self.phases)
+
+    def _inner_behavior(self, graph, name: str) -> Vertex:
+        """Inner-vertex behaviour for one non-source vertex.
+
+        Plain campaigns use the opted-out ``_latched_sum`` wrapper (an
+        arbitrary function is not suppressible, so suppression — even
+        when enabled — elides nothing).  The ``suppress`` campaign makes
+        elision *reachable*: interior vertices opt in as value-pure
+        re-emitters, and sinks become change-only recorders
+        (:class:`~repro.models.basic.ChangeRecorder`) so the elision
+        closure terminates — exactly the contract the engine must then
+        honour against the unsuppressed oracle.
+        """
+        if not self.suppress:
+            return FunctionVertex(_latched_sum)
+        if not graph.successors(name):
+            from ..models.basic import ChangeRecorder
+
+            return ChangeRecorder()
+        return FunctionVertex(_latched_sum, suppressible=True)
 
     def _apply_skew(self, graph, behaviors):
         """With ``skew``, wrap every behaviour so one seeded vertex per
@@ -151,10 +175,11 @@ class WorkloadSpec:
         for name in graph.vertices():
             if name in sources:
                 behaviors[name] = SparseSource(
-                    name, self.stream_seed, self.delta_prob
+                    name, self.stream_seed, self.delta_prob,
+                    coarse=self.suppress,
                 )
             else:
-                behaviors[name] = FunctionVertex(_latched_sum)
+                behaviors[name] = self._inner_behavior(graph, name)
         behaviors = self._apply_skew(graph, behaviors)
         program = Program(graph, behaviors, name=f"fuzz-{self.graph_seed}")
         return program, phase_signals(self.phases)
@@ -166,23 +191,28 @@ class WorkloadSpec:
             f"delta~{self.delta_prob:.2f} stream_seed={self.stream_seed} "
             f"threads={self.threads}"
             + (" skew" if self.skew else "")
+            + (" suppress" if self.suppress else "")
         )
 
 
-def _sparse_source(name: str, seed: int, delta_prob: float):
+def _sparse_source(name: str, seed: int, delta_prob: float,
+                   coarse: bool = False):
     """A Δ-sparse source: per phase, emit a value with prob *delta_prob*.
 
     Stateless — the value is a pure function of ``(seed, name, phase)``
     (string-seeded ``Random`` hashes with SHA-512, stable across
     processes), so serial and parallel runs see identical streams and
-    shrinking can replay any phase in isolation.
+    shrinking can replay any phase in isolation.  *coarse* draws values
+    from a 3-element palette instead of [0, 1e6): consecutive emissions
+    then repeat often, which is what makes the suppression campaign's
+    latch test actually fire.
     """
 
     def fn(ctx):
         rng = random.Random(f"{seed}:{name}:{ctx.phase}")
         if rng.random() >= delta_prob:
             return EMIT_NOTHING
-        return rng.randrange(1_000_000)
+        return rng.randrange(3) if coarse else rng.randrange(1_000_000)
 
     return fn
 
@@ -204,10 +234,12 @@ class SparseSource(Vertex):
     serial oracle.
     """
 
-    def __init__(self, name: str, seed: int, delta_prob: float) -> None:
+    def __init__(self, name: str, seed: int, delta_prob: float,
+                 coarse: bool = False) -> None:
         self.name = name
         self.seed = seed
         self.delta_prob = delta_prob
+        self.coarse = coarse
         self.emitted = 0
 
     def reset(self) -> None:
@@ -218,7 +250,7 @@ class SparseSource(Vertex):
         if rng.random() >= self.delta_prob:
             return EMIT_NOTHING
         self.emitted += 1
-        return rng.randrange(1_000_000)
+        return rng.randrange(3) if self.coarse else rng.randrange(1_000_000)
 
     def __repr__(self) -> str:
         return f"SparseSource({self.name!r}, seed={self.seed})"
@@ -258,6 +290,14 @@ class SkewedVertex(Vertex):
                 acc += i
         return self.inner.on_execute(ctx)
 
+    @property
+    def suppressible(self) -> bool:  # type: ignore[override]
+        return self.inner.suppressible
+
+    @property
+    def silent_on_unchanged(self) -> bool:  # type: ignore[override]
+        return self.inner.silent_on_unchanged
+
     def reset(self) -> None:
         self.inner.reset()
 
@@ -279,7 +319,7 @@ class SkewedVertex(Vertex):
 
 def spec_for_run(master_seed: int, index: int, max_vertices: int = 8,
                  max_phases: int = 6, threads: Optional[int] = None,
-                 skew: bool = False) -> WorkloadSpec:
+                 skew: bool = False, suppress: bool = False) -> WorkloadSpec:
     """Derive run *index*'s workload from the master seed (order-free)."""
     rs = random.Random(f"fuzz:{master_seed}:{index}")
     return WorkloadSpec(
@@ -291,6 +331,7 @@ def spec_for_run(master_seed: int, index: int, max_vertices: int = 8,
         stream_seed=rs.randrange(2**31),
         threads=threads if threads is not None else rs.randint(2, 4),
         skew=skew,
+        suppress=suppress,
     )
 
 
@@ -325,6 +366,7 @@ def run_one(
     batch_size: int = 1,
     fuse: bool = False,
     frontier: str = "cone",
+    suppress: bool = False,
 ) -> RunOutcome:
     """Run *spec* serially (oracle) and under *policy*; judge the result.
 
@@ -337,7 +379,10 @@ def run_one(
     indistinguishable from the original serial semantics.  *frontier*
     selects the readiness rule (``"cone"`` per-dependency frontiers or
     ``"global"`` for the paper's x_p clamp); the monitor's invariant
-    checks follow the mode automatically.
+    checks follow the mode automatically.  *suppress* runs the engine
+    with change suppression on (build the spec with ``suppress=True`` so
+    elision is reachable); the judgement switches to the elision-aware
+    check — records must still equal the *unsuppressed* oracle's exactly.
     """
     program, phases = spec.build()
     serial = SerialExecutor(program).run(phases)
@@ -354,6 +399,7 @@ def run_one(
         faults=faults,
         batch_size=batch_size,
         frontier=frontier,
+        suppress=suppress,
     )
     outcome = RunOutcome(spec=spec, policy_desc=policy.describe(), passed=False)
     error: Optional[BaseException] = None
@@ -387,7 +433,7 @@ def run_one(
     if not monitor.ok:
         outcome.reason = monitor.report()
         return outcome
-    report = check_serializable(serial, result)
+    report = check_serializable(serial, result, allow_elision=suppress)
     if not report:
         outcome.reason = f"serializability violated: {report}"
         return outcome
@@ -420,6 +466,7 @@ class FuzzFailure:
     batch_size: int = 1
     fuse: bool = False
     frontier: str = "cone"
+    suppress: bool = False
     engine_config: Optional[Dict[str, object]] = None
 
     def summary(self) -> str:
@@ -430,7 +477,8 @@ class FuzzFailure:
             f"  policy:   {self.policy_name}(seed={self.policy_seed})",
             f"  batch:    {self.batch_size}"
             + ("  (fused plan)" if self.fuse else ""),
-            f"  frontier: {self.frontier}",
+            f"  frontier: {self.frontier}"
+            + ("  (suppression on)" if self.suppress else ""),
             *(
                 [f"  engine:   {self.engine_config!r}"]
                 if self.engine_config is not None
@@ -459,6 +507,7 @@ class FuzzFailure:
             "batch_size": self.batch_size,
             "fuse": self.fuse,
             "frontier": self.frontier,
+            "suppress": self.suppress,
             "reason": self.reason,
             "trace_names": list(self.trace_names),
             "shrunk_spec": (
@@ -525,6 +574,7 @@ def fuzz(
     fuse: bool = False,
     frontier: str = "cone",
     skew: bool = False,
+    suppress: bool = False,
 ) -> FuzzReport:
     """Explore *runs* random (workload, interleaving) pairs.
 
@@ -535,7 +585,9 @@ def fuzz(
     execution plans (oracle stays unfused); *frontier* selects the
     readiness rule and is recorded on every failure so replays are exact;
     *skew* artificially slows one seeded vertex per phase (see
-    :class:`SkewedVertex`) to stress cone independence.
+    :class:`SkewedVertex`) to stress cone independence; *suppress* turns
+    change suppression on (with suppression-friendly workloads) and
+    judges with the elision-aware check against the unsuppressed oracle.
     """
     if not policies:
         raise ValueError("fuzz needs at least one scheduling policy")
@@ -545,12 +597,13 @@ def fuzz(
     total_checks = 0
     for i in range(runs):
         spec = spec_for_run(seed, i, max_vertices, max_phases, threads,
-                            skew=skew)
+                            skew=skew, suppress=suppress)
         policy_name = policies[i % len(policies)]
         policy_seed = random.Random(f"policy:{seed}:{i}").randrange(2**31)
         outcome = run_one(
             spec, make_policy(policy_name, policy_seed), faults, max_steps,
             batch_size=batch_size, fuse=fuse, frontier=frontier,
+            suppress=suppress,
         )
         hashes[outcome.trace_hash] = hashes.get(outcome.trace_hash, 0) + 1
         total_steps += outcome.steps
@@ -567,11 +620,13 @@ def fuzz(
                 batch_size=batch_size,
                 fuse=fuse,
                 frontier=frontier,
+                suppress=suppress,
             )
             if do_shrink:
                 failure.shrunk_spec = shrink(
                     spec, policy_name, policy_seed, faults, max_steps,
                     batch_size=batch_size, fuse=fuse, frontier=frontier,
+                    suppress=suppress,
                 )
             failures.append(failure)
             if stop_on_failure:
@@ -615,6 +670,7 @@ def run_one_process(
     start_method: str = "spawn",
     fuse: bool = False,
     frontier: str = "cone",
+    suppress: bool = False,
 ) -> RunOutcome:
     """Run *spec* on the process engine under *config*; judge vs serial.
 
@@ -638,7 +694,8 @@ def run_one_process(
     desc = (
         f"process[w={config['workers']},b={config['batch_size']},"
         f"ipc={config['ipc_batch']},win={config['window']},"
-        f"{start_method},{frontier}{',fused' if fuse else ''}]"
+        f"{start_method},{frontier}{',fused' if fuse else ''}"
+        f"{',suppress' if suppress else ''}]"
     )
     outcome = RunOutcome(spec=spec, policy_desc=desc, passed=False)
     engine = ProcessEngine(
@@ -649,6 +706,7 @@ def run_one_process(
         window=config["window"],  # type: ignore[arg-type]
         start_method=start_method,
         frontier=frontier,
+        suppress=suppress,
     )
     try:
         result = engine.run(phases)
@@ -660,7 +718,7 @@ def run_one_process(
     outcome.serial = serial
     outcome.parallel = result
     outcome.steps = result.execution_count
-    report = check_serializable(serial, result)
+    report = check_serializable(serial, result, allow_elision=suppress)
     if not report:
         outcome.reason = f"serializability violated: {report}"
         return outcome
@@ -686,6 +744,7 @@ def fuzz_process(
     fuse: bool = False,
     frontier: str = "cone",
     skew: bool = False,
+    suppress: bool = False,
 ) -> FuzzReport:
     """Explore *runs* random workloads across process wire-path configs.
 
@@ -702,11 +761,11 @@ def fuzz_process(
     i = -1
     for i in range(runs):
         spec = spec_for_run(seed, i, max_vertices, max_phases, threads=2,
-                            skew=skew)
+                            skew=skew, suppress=suppress)
         config = process_config_for_run(seed, i)
         outcome = run_one_process(
             spec, config, start_method=start_method, fuse=fuse,
-            frontier=frontier,
+            frontier=frontier, suppress=suppress,
         )
         configs[outcome.policy_desc] = configs.get(outcome.policy_desc, 0) + 1
         total_steps += outcome.steps
@@ -723,6 +782,7 @@ def fuzz_process(
                     batch_size=int(config["batch_size"]),
                     fuse=fuse,
                     frontier=frontier,
+                    suppress=suppress,
                     engine_config=dict(config, start_method=start_method),
                 )
             )
@@ -748,6 +808,7 @@ def shrink(
     batch_size: int = 1,
     fuse: bool = False,
     frontier: str = "cone",
+    suppress: bool = False,
 ) -> WorkloadSpec:
     """Greedily minimise a failing spec while it keeps failing.
 
@@ -761,6 +822,7 @@ def shrink(
         outcome = run_one(
             candidate, make_policy(policy_name, policy_seed), faults, max_steps,
             batch_size=batch_size, fuse=fuse, frontier=frontier,
+            suppress=suppress,
         )
         return not outcome.passed
 
@@ -805,13 +867,13 @@ def replay_failure(
         return run_one(
             failure.spec, ReplayPolicy(failure.trace_names), faults,
             batch_size=failure.batch_size, fuse=failure.fuse,
-            frontier=failure.frontier,
+            frontier=failure.frontier, suppress=failure.suppress,
         )
     spec = failure.shrunk_spec or failure.spec
     return run_one(
         spec, make_policy(failure.policy_name, failure.policy_seed), faults,
         batch_size=failure.batch_size, fuse=failure.fuse,
-        frontier=failure.frontier,
+        frontier=failure.frontier, suppress=failure.suppress,
     )
 
 

@@ -108,10 +108,22 @@ class TestValidatorUnit:
                 "cone_count": 1,
                 "max_phase_skew": 0,
                 "frontier_advances": 0,
-            }
+            },
+            "suppression": {
+                "enabled": False,
+                "suppressed_messages": 0,
+                "elided_executions": 0,
+                "ineligible_vertices": 0,
+            },
         }
         for engine in ("parallel[k=2]", "process[w=2]", "simulated[k=2,P=2]"):
             assert validate_engine_stats(engine, good) == []
+        # Scheduling engines must report the suppression section.
+        missing = {"frontier": dict(good["frontier"])}
+        assert any(
+            "suppression" in e
+            for e in validate_engine_stats("parallel[k=2]", missing)
+        )
 
     def test_non_mapping_stats(self):
         assert validate_engine_stats("parallel[k=1]", None) != []

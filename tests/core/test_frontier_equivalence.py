@@ -173,6 +173,107 @@ class TestSimulatedEngineMatrix:
 
 
 # ---------------------------------------------------------------------------
+# Change suppression (Δ-elision): suppressed runs vs the unsuppressed oracle
+# ---------------------------------------------------------------------------
+
+
+def suppress_corpus(size=CORPUS_SIZE):
+    """The same seeded corpus, rebuilt with the suppression-friendly
+    vertex mix (suppressible interiors, ChangeRecorder sinks) so elision
+    is actually reachable."""
+    return [
+        spec_for_run(CORPUS_SEED, i, suppress=True) for i in range(size)
+    ]
+
+
+class TestSuppressionMatrix:
+    """Every engine, both frontier modes, fused and unfused, with change
+    suppression ON — always judged against the **unsuppressed** serial
+    oracle via the elision-aware check (records must match exactly; the
+    suppressed run may only execute/message *less*)."""
+
+    @pytest.mark.parametrize("frontier", FRONTIERS)
+    @pytest.mark.parametrize("fuse", FUSE)
+    def test_virtual_campaign(self, frontier, fuse):
+        for i, spec in enumerate(suppress_corpus()):
+            outcome = run_one(
+                spec, policy_for(i), fuse=fuse, frontier=frontier,
+                suppress=True,
+            )
+            assert outcome.passed, (
+                f"spec {i} [{spec.describe()}] frontier={frontier} "
+                f"fuse={fuse} suppress: {outcome.reason}"
+            )
+
+    def test_corpus_actually_elides(self):
+        # The campaign above is vacuous if the corpus never suppresses;
+        # assert a meaningful fraction of runs dropped at least one
+        # message.
+        suppressing = 0
+        for i, spec in enumerate(suppress_corpus(size=60)):
+            outcome = run_one(
+                spec, policy_for(i), frontier="cone", suppress=True
+            )
+            assert outcome.passed
+            section = outcome.parallel.stats["suppression"]
+            assert section["enabled"]
+            if section["suppressed_messages"] > 0:
+                suppressing += 1
+        assert suppressing >= 10, (
+            f"only {suppressing}/60 corpus runs suppressed anything"
+        )
+
+    @pytest.mark.parametrize("frontier", FRONTIERS)
+    @pytest.mark.parametrize("fuse", FUSE)
+    def test_threaded_campaign(self, frontier, fuse):
+        for i in range(12):
+            spec = spec_for_run(CORPUS_SEED, i, suppress=True)
+            program, phases = spec.build_picklable()
+            serial = SerialExecutor(program).run(phases)
+            result = ParallelEngine(
+                compile_plan(program, fuse=fuse),
+                num_threads=spec.threads,
+                frontier=frontier,
+                suppress=True,
+            ).run(phases)
+            report = check_serializable(serial, result, allow_elision=True)
+            assert report, (
+                f"spec {i} frontier={frontier} fuse={fuse}: {report}"
+            )
+            assert result.records == serial.records, f"spec {i} records"
+            assert result.stats["suppression"]["enabled"]
+
+    @pytest.mark.parametrize("frontier", FRONTIERS)
+    def test_process_campaign(self, frontier):
+        for i in range(4):
+            spec = spec_for_run(
+                CORPUS_SEED, i, max_vertices=6, max_phases=4, suppress=True
+            )
+            config = process_config_for_run(CORPUS_SEED, i)
+            outcome = run_one_process(
+                spec, config, start_method="fork", frontier=frontier,
+                suppress=True,
+            )
+            assert outcome.passed, (
+                f"spec {i} frontier={frontier} suppress: {outcome.reason}"
+            )
+
+    @pytest.mark.parametrize("frontier", FRONTIERS)
+    def test_simulated_campaign(self, frontier):
+        for i in range(8):
+            spec = spec_for_run(CORPUS_SEED, i, suppress=True)
+            program, phases = spec.build()
+            serial = SerialExecutor(program).run(phases)
+            result = SimulatedEngine(
+                program, num_workers=2, num_processors=2, frontier=frontier,
+                suppress=True,
+            ).run(phases)
+            report = check_serializable(serial, result, allow_elision=True)
+            assert report, f"spec {i} frontier={frontier}: {report}"
+            assert result.records == serial.records, f"spec {i} records"
+
+
+# ---------------------------------------------------------------------------
 # Mode regression: global must reproduce the pre-cone schedule
 # ---------------------------------------------------------------------------
 

@@ -109,6 +109,83 @@ class TestEdgeChannel:
                 assert value is NO_VALUE and not changed
 
 
+class TestChangedAtPhaseBoundaries:
+    """Satellite audit of ``read_at``'s *changed* bit (ports.py): a message
+    is "changed" at exactly its own phase, never before, never after — and
+    retirement GC must neither fabricate nor lose that bit."""
+
+    def test_changed_is_exact_not_leq(self):
+        ch = EdgeChannel()
+        ch.send(4, "x")
+        assert ch.read_at(3) == (NO_VALUE, False)   # before the boundary
+        assert ch.read_at(4) == ("x", True)          # at the boundary
+        assert ch.read_at(5) == ("x", False)         # after: latched only
+
+    def test_changed_survives_consume_at_same_phase(self):
+        # consume_upto(p) retains the newest entry <= p as the latch; a
+        # re-read at exactly p (e.g. a sibling consumer pass) must still
+        # see changed=True — GC is about memory, not semantics.
+        ch = EdgeChannel()
+        ch.send(3, "x")
+        ch.consume_upto(3)
+        assert ch.read_at(3) == ("x", True)
+        assert ch.read_at(4) == ("x", False)
+
+    def test_gc_does_not_fabricate_changed_for_gap_phases(self):
+        ch = EdgeChannel()
+        ch.send(1, "a")
+        ch.send(2, "b")
+        ch.consume_upto(2)
+        # The surviving latch entry carries phase 2: changed only there.
+        assert ch.read_at(2) == ("b", True)
+        assert ch.read_at(3) == ("b", False)
+
+    def test_boundary_with_phase_gap(self):
+        # A sender that skipped phases 2..4: the phase-5 boundary flips
+        # changed exactly at 5, with the phase-1 value latched in between.
+        ch = EdgeChannel()
+        ch.send(1, "a")
+        ch.send(5, "b")
+        assert ch.read_at(1) == ("a", True)
+        assert ch.read_at(2) == ("a", False)
+        assert ch.read_at(4) == ("a", False)
+        assert ch.read_at(5) == ("b", True)
+        assert ch.read_at(6) == ("b", False)
+
+    def test_changed_after_interleaved_consume_and_send(self):
+        ch = EdgeChannel()
+        ch.send(1, "a")
+        ch.consume_upto(1)
+        ch.send(2, "b")
+        assert ch.read_at(2) == ("b", True)
+        ch.consume_upto(2)
+        assert ch.read_at(2) == ("b", True)
+        assert ch.read_at(3) == ("b", False)
+
+    def test_suppression_latch_survives_gc(self):
+        # last_sent is the Δ-elision latch; GC keeps the newest entry, so
+        # the latch is stable across consume_upto.
+        ch = EdgeChannel()
+        assert ch.last_sent is NO_VALUE
+        ch.send(1, "a")
+        ch.send(2, "b")
+        ch.consume_upto(2)
+        assert ch.last_sent == "b"
+        ch.consume_upto(9)
+        assert ch.last_sent == "b"
+
+    def test_would_suppress_requires_a_latch(self):
+        es = EdgeStore(number_graph(fig3_graph()))
+        # First message on an edge is never suppressible.
+        assert not es.would_suppress(1, 3, "a")
+        es.deliver(1, 1, {3: "a"})
+        assert es.would_suppress(1, 3, "a")
+        assert not es.would_suppress(1, 3, "b")
+        # GC must not disturb the latch.
+        es.consume(3, 1)
+        assert es.would_suppress(1, 3, "a")
+
+
 class TestEdgeStore:
     def make(self) -> EdgeStore:
         return EdgeStore(number_graph(fig3_graph()))

@@ -136,12 +136,20 @@ class TestRun:
         assert "error" in capsys.readouterr().err
 
     def test_deterministic_across_engines(self, spec_file, capsys):
+        def body(out: str) -> str:
+            # Drop the engine-name header and the suppression summary the
+            # parallel engine prints (cone mode suppresses by default).
+            lines = out.split("\n")[1:]
+            return "\n".join(
+                l for l in lines if not l.startswith("suppression:")
+            )
+
         main(["run", spec_file, "--engine", "serial"])
         serial_out = capsys.readouterr().out
         main(["run", spec_file, "--engine", "parallel"])
         parallel_out = capsys.readouterr().out
         # The records section must match (headers differ by engine name).
-        assert serial_out.split("\n", 1)[1] == parallel_out.split("\n", 1)[1]
+        assert body(serial_out) == body(parallel_out)
 
 
 KEYED_SPEC = """
