@@ -9,6 +9,8 @@ This module factors out what every standalone script repeats:
 * ``bootstrap_src()`` — make ``repro`` importable without an install;
 * ``make_parser()`` / ``parse_args()`` — the common ``--quick`` / ``--out``
   interface (scripts add their own flags via a callback);
+* ``timed_repeats()`` — warmup-then-measure repetition with
+  min/median/stddev reporting (every timed row shares the shape);
 * ``finish()`` — JSON result writing plus the pass/fail exit code.
 
 Result files share the envelope::
@@ -26,14 +28,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "bootstrap_src",
     "make_parser",
     "parse_args",
+    "timed_repeats",
     "write_results",
     "finish",
 ]
@@ -69,6 +73,50 @@ def parse_args(
     extra_args: Optional[Callable[[argparse.ArgumentParser], None]] = None,
 ) -> argparse.Namespace:
     return make_parser(description, extra_args).parse_args(argv)
+
+
+def timed_repeats(
+    run: Callable[[], Tuple[Any, float]],
+    repeats: int = 3,
+    warmup: int = 1,
+) -> Tuple[Any, Dict[str, Any]]:
+    """Warmup-then-measure repetition for one benchmark row.
+
+    *run* performs one full iteration and returns ``(value, elapsed_s)``
+    — the caller times exactly the section it cares about (engine run,
+    not workload construction).  The first *warmup* iterations are
+    discarded (they pay for import caches, thread/process pool spin-up
+    and allocator warm state), then *repeats* iterations are recorded.
+
+    Returns ``(value, timing)`` where *value* is the fastest measured
+    iteration's value (best-of is the least noise-sensitive summary for
+    counters, which do not vary across iterations) and *timing* is::
+
+        {"min_s": ..., "median_s": ..., "stddev_s": ...,
+         "samples_s": [...], "repeats": N, "warmup": W}
+
+    ``stddev_s`` is 0.0 for a single repeat.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        run()
+    best_value: Any = None
+    samples: List[float] = []
+    for _ in range(repeats):
+        value, elapsed = run()
+        if not samples or elapsed < min(samples):
+            best_value = value
+        samples.append(elapsed)
+    timing = {
+        "min_s": min(samples),
+        "median_s": statistics.median(samples),
+        "stddev_s": statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        "samples_s": samples,
+        "repeats": repeats,
+        "warmup": warmup,
+    }
+    return best_value, timing
 
 
 def write_results(out: Optional[Path], payload: Dict[str, Any]) -> None:

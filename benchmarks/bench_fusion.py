@@ -44,12 +44,12 @@ from __future__ import annotations
 import os
 import platform
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List
 
 if __package__ in (None, ""):
-    from _runner import bootstrap_src, finish, parse_args
+    from _runner import bootstrap_src, finish, parse_args, timed_repeats
 else:
-    from ._runner import bootstrap_src, finish, parse_args
+    from ._runner import bootstrap_src, finish, parse_args, timed_repeats
 
 bootstrap_src()
 
@@ -78,6 +78,7 @@ FULL = {
     "workers": 2,
     "ipc_batch": 4,
     "repeats": 3,
+    "warmup": 1,
     "pipeline": {"depth": 12, "phases": 600},
     "comb": {"branches": 4, "depth": 6, "phases": 400},
     "laundering": {"phases": 500, "branches": 6},
@@ -89,6 +90,7 @@ QUICK = {
     "workers": 2,
     "ipc_batch": 4,
     "repeats": 1,
+    "warmup": 0,
     "pipeline": {"depth": 8, "phases": 60},
     "comb": {"branches": 3, "depth": 4, "phases": 40},
     "laundering": {"phases": 50, "branches": 3},
@@ -175,34 +177,34 @@ def _measure(
     prog, phases = make_workload()
     serial = SerialExecutor(prog).run(phases)
 
-    best: Optional[Dict[str, Any]] = None
-    for _ in range(cfg["repeats"]):
-        result, elapsed = _run_engine(engine_name, make_workload, fuse, cfg)
-        if best is None or elapsed < best["wall_time_s"]:
-            fusion = result.stats.get("fusion")
-            best = {
-                "workload": workload_name,
-                "engine": engine_name,
-                "engine_label": result.engine,
-                "fuse": fuse,
-                "wall_time_s": elapsed,
-                "member_executions": result.execution_count,
-                "scheduled_pairs": (
-                    fusion["scheduled_pairs"]
-                    if fusion
-                    else result.execution_count
-                ),
-                "fused_stages": fusion["fused_stages"] if fusion else 0,
-                "plan_vertices": (
-                    fusion["plan_vertices"] if fusion else len(prog.graph)
-                ),
-                "lock_acquisitions": result.stats["lock"]["acquisitions"],
-                "ipc_round_trips": result.stats.get("ipc_round_trips"),
-                "message_count": result.message_count,
-                "oracle_equal": bool(check_serializable(serial, result)),
-            }
-    assert best is not None
-    return best
+    result, timing = timed_repeats(
+        lambda: _run_engine(engine_name, make_workload, fuse, cfg),
+        repeats=cfg["repeats"],
+        warmup=cfg.get("warmup", 0),
+    )
+    fusion = result.stats.get("fusion")
+    return {
+        "workload": workload_name,
+        "engine": engine_name,
+        "engine_label": result.engine,
+        "fuse": fuse,
+        "wall_time_s": timing["min_s"],
+        "timing": timing,
+        "member_executions": result.execution_count,
+        "scheduled_pairs": (
+            fusion["scheduled_pairs"]
+            if fusion
+            else result.execution_count
+        ),
+        "fused_stages": fusion["fused_stages"] if fusion else 0,
+        "plan_vertices": (
+            fusion["plan_vertices"] if fusion else len(prog.graph)
+        ),
+        "lock_acquisitions": result.stats["lock"]["acquisitions"],
+        "ipc_round_trips": result.stats.get("ipc_round_trips"),
+        "message_count": result.message_count,
+        "oracle_equal": bool(check_serializable(serial, result)),
+    }
 
 
 def check_criterion(

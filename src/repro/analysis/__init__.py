@@ -11,6 +11,7 @@ from .stats import (
     message_rate_summary,
     validate_engine_stats,
     validate_sharding_stats,
+    validate_coalescing_stats,
 )
 from .ascii_viz import render_graph, render_snapshot, render_frames
 from .timeline import render_timeline, worker_utilization
@@ -25,6 +26,7 @@ __all__ = [
     "message_rate_summary",
     "validate_engine_stats",
     "validate_sharding_stats",
+    "validate_coalescing_stats",
     "render_graph",
     "render_snapshot",
     "render_frames",

@@ -49,6 +49,23 @@ engine-agnostic portion validated by :func:`validate_engine_stats`:
     (:attr:`~repro.core.vertex.Vertex.suppressible` and the sink /
     successor-closure rule).
 
+* ``stats["coalescing"]`` — required for every scheduling engine
+  (temporal phase-run coalescing, ALGORITHM.md §5.7):
+
+  - ``enabled``: bool — whether the run could coalesce at all (false
+    whenever the effective run-length cap is pinned to 1, which includes
+    every global-frontier run);
+  - ``run_length_cap``: ``None`` (adaptive) or int >= 1 — the
+    ``run_length`` the engine ran with;
+  - ``runs_scheduled``: int >= 0 — ``claim_run`` dispatches (a run of
+    one still counts: it paid one dispatch);
+  - ``pairs_coalesced``: int >= 0 — extension members that rode along
+    with a run head instead of paying their own dispatch (0 when
+    disabled — the run-length-1 paths never enter ``claim_run``);
+  - ``mean_run_length``: float >= 0 — members per run
+    (``(runs_scheduled + pairs_coalesced) / runs_scheduled``; 0.0
+    before any run).
+
 * ``stats["serve"]`` — the continuous-operation service layer
   (:mod:`repro.serve`) reports its session document with a ``serve``
   section: ingest/retire/stream counters, backpressure accounting
@@ -74,6 +91,7 @@ __all__ = [
     "message_rate_summary",
     "validate_frontier_stats",
     "validate_suppression_stats",
+    "validate_coalescing_stats",
     "validate_sharding_stats",
     "validate_serve_stats",
     "validate_engine_stats",
@@ -168,6 +186,71 @@ def validate_suppression_stats(
                     f"disabled, got {values[key]}"
                 )
     extra = set(section) - set(_SUPPRESSION_COUNTERS) - {"enabled"}
+    if extra:
+        errors.append(f"{where}: unexpected keys {sorted(extra)}")
+    return errors
+
+
+_COALESCING_COUNTERS = ("runs_scheduled", "pairs_coalesced")
+
+
+def validate_coalescing_stats(
+    section: Any, where: str = "coalescing"
+) -> List[str]:
+    """Validate one ``stats["coalescing"]`` section; returns error
+    strings (empty list == valid).
+
+    Beyond per-key shape, checks the scheduler-side consistency laws:
+    a disabled run never coalesces (the run-length-1 dispatch paths do
+    not enter ``claim_run``), and ``mean_run_length`` is exactly
+    members-per-run.
+    """
+    errors: List[str] = []
+    if not isinstance(section, Mapping):
+        return [f"{where}: expected a mapping, got {type(section).__name__}"]
+    enabled = section.get("enabled")
+    if not isinstance(enabled, bool):
+        errors.append(f"{where}.enabled: expected a bool, got {enabled!r}")
+    cap = section.get("run_length_cap")
+    if cap is not None and (not isinstance(cap, int) or isinstance(cap, bool)):
+        errors.append(
+            f"{where}.run_length_cap: expected None or an int, got {cap!r}"
+        )
+    elif isinstance(cap, int) and cap < 1:
+        errors.append(f"{where}.run_length_cap: expected >= 1, got {cap}")
+    values: Dict[str, int] = {}
+    for key in _COALESCING_COUNTERS:
+        value = section.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"{where}.{key}: expected an int, got {value!r}")
+        elif value < 0:
+            errors.append(f"{where}.{key}: expected >= 0, got {value}")
+        else:
+            values[key] = value
+    mean = section.get("mean_run_length")
+    if not isinstance(mean, (int, float)) or isinstance(mean, bool):
+        errors.append(
+            f"{where}.mean_run_length: expected a number, got {mean!r}"
+        )
+    elif set(_COALESCING_COUNTERS) <= set(values):
+        runs = values["runs_scheduled"]
+        members = runs + values["pairs_coalesced"]
+        expect = (members / runs) if runs else 0.0
+        if abs(mean - expect) > 1e-9:
+            errors.append(
+                f"{where}.mean_run_length: expected {expect} "
+                f"(= {members}/{runs}), got {mean}"
+            )
+    if enabled is False:
+        for key in _COALESCING_COUNTERS:
+            if values.get(key):
+                errors.append(
+                    f"{where}.{key}: expected 0 when coalescing is "
+                    f"disabled, got {values[key]}"
+                )
+    extra = set(section) - set(_COALESCING_COUNTERS) - {
+        "enabled", "run_length_cap", "mean_run_length",
+    }
     if extra:
         errors.append(f"{where}: unexpected keys {sorted(extra)}")
     return errors
@@ -381,6 +464,12 @@ def validate_engine_stats(engine: str, stats: Any) -> List[str]:
         )
     else:
         errors.extend(validate_suppression_stats(stats["suppression"]))
+    if "coalescing" not in stats:
+        errors.append(
+            f"stats.coalescing: required for scheduling engine {engine!r}"
+        )
+    else:
+        errors.extend(validate_coalescing_stats(stats["coalescing"]))
     return errors
 
 

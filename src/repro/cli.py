@@ -102,6 +102,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "--frontier cone, off under --frontier global "
                           "to keep the paper's schedule byte-identical; "
                           "--no-suppress forces it off)")
+    run.add_argument("--run-length", type=int, default=0, metavar="K",
+                     help="temporal run coalescing: extend each dispatched "
+                          "pair (v, p) into a run (v, [p..p+k]) of up to K "
+                          "already-determined phases, executed back-to-back "
+                          "and committed in one critical section (default "
+                          "0: adaptive under --frontier cone, off under "
+                          "global; 1 disables coalescing)")
+    run.add_argument("--profile", metavar="PATH", default=None,
+                     help="profile the engine run with cProfile, dump the "
+                          "pstats file to PATH, and print a per-stage "
+                          "wall-time breakdown")
     run.add_argument("--shards", type=int, default=0, metavar="N",
                      help="run the spec as N keyed shards (replicated "
                           "engine instances behind a stable key router) "
@@ -155,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--frontier", choices=["global", "cone"],
                        default="cone",
                        help="readiness rule (default cone)")
+    serve.add_argument("--run-length", type=int, default=0, metavar="K",
+                       help="temporal run coalescing cap (default 0: "
+                            "adaptive under cone, off under global; 1 "
+                            "disables)")
     serve.add_argument("--shards", type=int, default=0, metavar="N",
                        help="serve as N keyed shards with watermark-"
                             "aligned merge (requires key-separable graph)")
@@ -283,6 +298,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "suppression on (suppression-friendly random "
                            "workloads; judged against the unsuppressed "
                            "serial oracle with the elision-aware check)")
+    fuzz.add_argument("--run-length", type=int, default=1, metavar="K",
+                      help="temporal run coalescing cap for the engine "
+                           "under test (default 1: off; 0 = adaptive); "
+                           "recorded in failure artifacts for exact "
+                           "replay")
     fuzz.add_argument("--skew", action="store_true",
                       help="skew injection: artificially slow one "
                            "(seeded) vertex per phase, stressing "
@@ -346,6 +366,59 @@ def _write_stats_json(dest: str, payload: dict) -> None:
         print(f"stats written to {dest}")
 
 
+# Profile classification: function-name → pipeline stage.  Order
+# matters — first match wins.
+_PROFILE_STAGES = (
+    ("prepare", ("prepare", "gather_inputs")),
+    ("compute", ("compute", "on_execute")),
+    ("commit", ("commit", "commit_remote", "deliver", "consume")),
+    ("scheduling", (
+        "complete_execution", "complete_executions", "claim_run",
+        "start_phase", "_refresh_ready", "_determination_wave", "drain",
+        "push", "push_front",
+    )),
+    ("serialization", ("encode", "decode", "dumps", "loads", "intern")),
+    ("retirement", ("retire_phase", "translate_entries",
+                    "retire_phases_upto")),
+)
+
+
+def _stage_breakdown(profiler, thread_profiles=(), dump_path=None) -> dict:
+    """Aggregate cProfile runs into per-stage exclusive wall time.
+
+    *thread_profiles* are the per-thread profilers installed by the
+    new-thread hook; their stats are merged with the main-thread run
+    (and the merged pstats are dumped to *dump_path* when given).
+    Times are ``tottime`` (time in the function itself, callees
+    excluded), so the stages partition the profiled wall clock: their
+    sum plus ``other`` equals ``total_s``.
+    """
+    import pstats
+
+    st = pstats.Stats(profiler)
+    for p in thread_profiles:
+        # The owning thread has exited; snapshot without touching the
+        # current thread's profile hook.
+        p.snapshot_stats()
+        st.add(p)
+    if dump_path is not None:
+        st.dump_stats(dump_path)
+    stages = {name: 0.0 for name, _ in _PROFILE_STAGES}
+    stages["other"] = 0.0
+    total = 0.0
+    for (_file, _line, funcname), (
+        _cc, _nc, tottime, _cumtime, _callers
+    ) in st.stats.items():  # type: ignore[attr-defined]
+        total += tottime
+        for stage, names in _PROFILE_STAGES:
+            if funcname in names:
+                stages[stage] += tottime
+                break
+        else:
+            stages["other"] += tottime
+    return {"total_s": total, "stages": stages}
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .analysis import check_serializable
     from .core.plan import compile_plan
@@ -357,6 +430,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _run_sharded(args, spec, phases)
     plan = compile_plan(spec.program, fuse=args.fuse)
     stopped = False
+    # --run-length 0 (default) means adaptive (None); 1 disables.
+    run_length = args.run_length or None
+    profiler = None
+    thread_profiles: list = []
+    if args.profile is not None:
+        import cProfile
+        import threading
+
+        # cProfile only instruments the calling thread; the threaded
+        # engine does its prepare/compute/commit work on pool threads.
+        # The threading-module profile hook fires on each new thread's
+        # first event, where it swaps itself for a fresh per-thread
+        # profiler; all are merged with the main-thread one below.
+        def _profile_new_thread(frame, event, arg):
+            p = cProfile.Profile()
+            thread_profiles.append(p)
+            p.enable()
+
+        threading.setprofile(_profile_new_thread)
+        profiler = cProfile.Profile()
+        profiler.enable()
     if args.engine == "serial":
         result = SerialExecutor(plan).run(phases)
     elif args.engine == "parallel":
@@ -369,6 +463,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 batch_size=args.batch_size,
                 frontier=args.frontier,
                 suppress=args.suppress,
+                run_length=run_length,
             ).run(phases, stop_event=stop)
             stopped = stop.is_set()
     elif args.engine == "process":
@@ -384,6 +479,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 window=args.window or None,
                 frontier=args.frontier,
                 suppress=args.suppress,
+                run_length=run_length,
             ).run(phases, stop_event=stop)
             stopped = stop.is_set()
     else:
@@ -396,7 +492,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             cost_model=CostModel(),
             frontier=args.frontier,
             suppress=bool(args.suppress),
+            run_length=run_length,
         ).run(phases)
+    if profiler is not None:
+        import threading
+
+        profiler.disable()
+        threading.setprofile(None)
+        breakdown = _stage_breakdown(
+            profiler, thread_profiles, dump_path=args.profile
+        )
+        if result.stats is not None:
+            result.stats["profile"] = breakdown
+        print(f"profile written to {args.profile}")
+        total = breakdown["total_s"] or 1.0
+        for stage, seconds in breakdown["stages"].items():
+            print(f"  {stage:<14s} {seconds:9.4f}s "
+                  f"{100.0 * seconds / total:5.1f}%")
 
     print(f"{spec.name}: {result.engine} ran {result.phases_run} phases, "
           f"{result.execution_count} pair executions, "
@@ -418,6 +530,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"suppressed, {suppression['elided_executions']} executions "
               f"elided ({suppression['ineligible_vertices']} vertices "
               f"ineligible)")
+    coalescing = result.stats.get("coalescing") if result.stats else None
+    if coalescing and coalescing["enabled"] and coalescing["runs_scheduled"]:
+        print(f"coalescing: {coalescing['runs_scheduled']} runs scheduled, "
+              f"{coalescing['pairs_coalesced']} pairs coalesced "
+              f"(mean run length {coalescing['mean_run_length']:.2f})")
 
     if args.stats_json is not None:
         import json
@@ -567,6 +684,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         window=args.window or None,
         fuse=args.fuse,
         frontier=args.frontier,
+        run_length=args.run_length or None,
         max_in_flight=args.max_in_flight,
         wait=args.wait,
         quantum=args.quantum,
@@ -813,6 +931,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             frontier=args.frontier,
             skew=args.skew,
             suppress=args.suppress,
+            run_length=args.run_length or None,
         )
         print(report.summary())
         if args.failure_artifacts and report.failures:
@@ -836,6 +955,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         frontier=args.frontier,
         skew=args.skew,
         suppress=args.suppress,
+        run_length=args.run_length or None,
     )
     print(report.summary())
     if args.failure_artifacts and report.failures:

@@ -30,7 +30,8 @@ since edges only point upward — then checks
 * ``full = {(v,p) | msg(v,p) ∧ every pred determined}`` and
   ``partial`` its complement over ``msg``;
 * ``ready = {(v,q) ∈ full | v settled through q-1}`` (determined for
-  every earlier started phase);
+  every earlier started phase) minus the run-claim ledger — claimed run
+  extensions (ALGORITHM.md §5.7) execute without entering ready;
 * the live per-phase ``undet`` counters, ``det`` flags and per-vertex
   settled pointers against the derivation;
 * ``x_p = vmin_p - 1`` (or ``N``) **without** the clamp — in cone mode
@@ -79,6 +80,13 @@ class InvariantChecker:
             return
         n = state.N
         pmax = state.pmax
+        # Run coalescing is a cone-mode mechanism: claim_run never
+        # extends a run under the global clamp, so the ledger stays empty.
+        if state.run_claimed_set():
+            self._fail(
+                f"global mode must not claim run extensions: "
+                f"{sorted(state.run_claimed_set())}"
+            )
         msg_pairs: Set[Tuple[int, int]] = set(state._msg)
 
         # pmax-consistency: no pair with a phase outside 1..pmax.
@@ -322,10 +330,26 @@ class InvariantChecker:
                     f"determined exactly through phase {s}"
                 )
 
-        # Ready: full pairs whose vertex is settled through q-1.
+        # Ready: full pairs whose vertex is settled through q-1 — minus
+        # the claim ledger.  A claimed run extension is licensed to
+        # execute without ever entering ready; normally its gate is shut
+        # (settled lags behind the uncommitted run head), but when an
+        # earlier member commits separately (the fault-salvage path) the
+        # gate can open while the pair stays claimed.  Every claimed pair
+        # must itself be full and must never also be ready.
+        claimed = state.run_claimed_set()
+        for v, q in sorted(claimed):
+            if (v, q) not in full_def:
+                self._fail(
+                    f"claimed run extension ({v},{q}) is not a full pair"
+                )
+            if (v, q) in live_ready:
+                self._fail(
+                    f"claimed run extension ({v},{q}) is also in ready"
+                )
         ready_def = {
             (v, q) for v, q in full_def if settled_def[v] == q - 1
-        }
+        } - claimed
         if live_ready != ready_def:
             self._fail(
                 f"ready set diverges from the settled-gate definition: "

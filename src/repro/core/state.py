@@ -102,6 +102,25 @@ message and **cascades** — the pair is marked determined without ever
 being scheduled, exactly the no-message case the wave already handles.
 Under the global frontier suppression is kept off by the engines, so the
 Listing 1/2 schedule stays byte-identical.
+
+Temporal run coalescing (``claim_run``)
+---------------------------------------
+Cone-mode readiness certifies more than the single pair it hands out:
+when ``(v, p)`` is ready, any later phase ``q`` with ``(v, q)`` already
+*full* has every direct predecessor determined for ``q``, so its inputs
+are final too — nothing that executes concurrently can change them.
+:meth:`SchedulerState.claim_run` exploits this at dispatch time: it
+extends a dequeued ready pair into a **run** ``(v, [p..p+k])`` of
+consecutive claimable phases, which the engines execute back-to-back and
+commit through one :meth:`SchedulerState.complete_executions` critical
+section.  Claimed extension members are tracked in a *claim ledger*
+(they are not ready — the settled gate has not reached them — but they
+may execute), stay out of future readiness scans, and advance the
+exactly-once ``_ready_upto`` bookkeeping at claim time.  Global mode
+never extends a run (the x_p clamp cannot certify later phases), so the
+published Listing 1/2 schedule stays byte-identical.  ALGORITHM.md §5.7
+gives the serializability argument (a run = k serial commits observed
+atomically).
 """
 
 from __future__ import annotations
@@ -125,10 +144,21 @@ from ..graph.cones import ConeIndex
 from ..graph.numbering import Numbering
 from .pairsets import LazyMinHeap
 
-__all__ = ["SchedulerState", "Pair", "drain_ready_batches", "ReadyFrontier"]
+__all__ = [
+    "SchedulerState",
+    "Pair",
+    "drain_ready_batches",
+    "ReadyFrontier",
+    "ADAPTIVE_RUN_CEILING",
+]
 
 Pair = Tuple[int, int]
 """A vertex-phase pair ``(v, p)``: vertex index ``v`` executing phase ``p``."""
+
+#: Ceiling on the adaptive run length (``claim_run(..., max_len=None)``):
+#: one run never claims more than this many members, bounding both the
+#: time a worker holds a run in flight and the size of a commit batch.
+ADAPTIVE_RUN_CEILING = 64
 
 
 def drain_ready_batches(
@@ -337,6 +367,13 @@ class SchedulerState:
         self._executed_pairs = 0
         self._complete_phases = 0
 
+        # Temporal run coalescing: full pairs claimed as run extensions
+        # by claim_run — in flight but never members of the ready set
+        # (module docstring, "Temporal run coalescing").
+        self._run_claimed: Set[Pair] = set()
+        self._runs_claimed = 0
+        self._run_members_claimed = 0
+
         # Phase-completion bookkeeping shared by both modes: membership
         # set plus the completion-order log the engines label tracer
         # events from.  In global mode the log is the prefix 1..count;
@@ -432,6 +469,11 @@ class SchedulerState:
     def is_ready(self, pair: Pair) -> bool:
         """O(1) ready-set membership — no snapshot construction."""
         return pair in self._ready
+
+    def is_run_claimed(self, pair: Pair) -> bool:
+        """O(1) claim-ledger membership: the pair is a claimed in-flight
+        run extension (licensed to execute without being ready)."""
+        return pair in self._run_claimed
 
     @property
     def snapshot_builds(self) -> int:
@@ -699,7 +741,8 @@ class SchedulerState:
         touched_phases: List[int] = []
         for v, p, output_targets in batch:
             pair = (v, p)
-            if pair not in self._ready:
+            claimed = pair in self._run_claimed
+            if pair not in self._ready and not claimed:
                 if p <= self._ready_upto.get(v, 0) and pair not in self._full:
                     raise DuplicateExecutionError(
                         f"pair {pair} was already executed; each ready pair "
@@ -710,8 +753,13 @@ class SchedulerState:
                 )
 
             # Statements 1.5-1.7: remove from full and ready; msg := false.
+            # A claimed run extension was never ready — it leaves through
+            # the claim ledger instead (claim_run).
             self._full.remove(pair)
-            self._ready.remove(pair)
+            if claimed:
+                self._run_claimed.remove(pair)
+            else:
+                self._ready.remove(pair)
             self._msg.discard(pair)
             self._pending[p].discard(v)
             self._full_phases[v].discard(p)
@@ -771,6 +819,109 @@ class SchedulerState:
         newly_ready = self._refresh_ready(affected)
         self._run_checker()
         return newly_ready
+
+    # ------------------------------------------------------------------
+    # Temporal run coalescing
+    # ------------------------------------------------------------------
+
+    def claim_run(
+        self, v: int, p: int, max_len: Optional[int] = None
+    ) -> List[int]:
+        """Extend the dispatched ready pair ``(v, p)`` into a phase run.
+
+        Walks phases ``q > p`` ascending, claiming every phase whose pair
+        ``(v, q)`` is already *full* — all direct predecessors determined
+        for ``q`` with a message waiting, so its inputs are final and no
+        concurrent execution can change them — and stepping over phases
+        for which *v* is already determined *without* executing (elided
+        by suppression or no-message cascade: nothing to run).  The walk
+        stops at the first phase that is neither, at the started horizon,
+        or once *max_len* members are claimed (``None`` = adaptive: the
+        vertex's current full backlog, capped at
+        :data:`ADAPTIVE_RUN_CEILING`).
+
+        Claimed extensions enter the claim ledger: they stay in full
+        (their defining condition still holds) but are excluded from
+        future readiness scans, and ``_ready_upto`` advances to the run's
+        highest phase immediately, so exactly-once placement is preserved
+        while the run is in flight.  :meth:`complete_executions` accepts
+        claimed members interchangeably with ready pairs — as one batch
+        (the normal path) or member-at-a-time in ascending order (the
+        fault-salvage path), which reach the same state.
+
+        Global mode returns ``[p]`` unchanged: the x_p clamp cannot
+        certify later phases, and the Listing 1/2 schedule must stay
+        byte-identical.
+
+        An already *claimed* pair is also accepted as the head: that is
+        the fault-salvage re-dispatch path, where the unexecuted tail of
+        a crashed run (claims intact) is requeued and handed out again —
+        possibly re-coalesced into a fresh run.
+
+        Returns the claimed phases ascending, starting with *p*; gaps are
+        possible where determined-without-executing phases were stepped
+        over.  The caller must execute members in this order (per-vertex
+        phase order is what §5.4's serializability argument needs).
+        """
+        pair = (v, p)
+        if pair not in self._ready and pair not in self._run_claimed:
+            # Same diagnosis split as complete_executions: a pair that
+            # already ran is a duplicate-dispatch bug, anything else is a
+            # scheduling error.
+            if p <= self._ready_upto.get(v, 0) and pair not in self._full:
+                raise DuplicateExecutionError(
+                    f"claim_run{pair}: pair was already executed"
+                )
+            raise SchedulerError(
+                f"claim_run{pair}: only a ready or claimed pair may head "
+                f"a run"
+            )
+        members = [p]
+        if self.frontier != "cone":
+            return members
+        if max_len is None:
+            max_len = min(ADAPTIVE_RUN_CEILING, len(self._full_phases[v]))
+        elif max_len < 1:
+            raise SchedulerError(
+                f"claim_run{pair}: max_len must be >= 1, got {max_len}"
+            )
+        q = p + 1
+        while len(members) < max_len and q <= self._pmax:
+            ext = (v, q)
+            if ext in self._full:
+                self._run_claimed.add(ext)
+                self._ready_upto[v] = q
+                members.append(q)
+            elif not self._is_determined(v, q):
+                break
+            q += 1
+        self._runs_claimed += 1
+        self._run_members_claimed += len(members)
+        return members
+
+    def run_claimed_set(self) -> FrozenSet[Pair]:
+        """Snapshot of the claim ledger: full pairs claimed as in-flight
+        run extensions (not ready — the settled gate has not reached
+        them — but licensed to execute).  For the invariant checker and
+        tests; the hot path never builds it."""
+        return frozenset(self._run_claimed)
+
+    def coalescing_stats(self) -> Dict[str, object]:
+        """Run-coalescing counters (the ``stats["coalescing"]`` core):
+
+        * ``runs_scheduled`` — :meth:`claim_run` dispatches (a run of one
+          still counts: it paid one dispatch);
+        * ``pairs_coalesced`` — extension members that rode along with a
+          run head instead of paying their own dispatch;
+        * ``mean_run_length`` — members per run (0.0 before any run).
+        """
+        runs = self._runs_claimed
+        members = self._run_members_claimed
+        return {
+            "runs_scheduled": runs,
+            "pairs_coalesced": members - runs,
+            "mean_run_length": (members / runs) if runs else 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Internals
@@ -996,7 +1147,9 @@ class SchedulerState:
                 continue
             q = phases.min()
             pair = (w, q)
-            if pair in self._ready:
+            if pair in self._ready or pair in self._run_claimed:
+                # Claimed run extensions are already in flight; they
+                # leave through complete_executions, never through ready.
                 continue
             if cone and self._settled[w] != q - 1:
                 continue

@@ -52,7 +52,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..core.invariants import InvariantChecker
 from ..core.plan import ExecutionPlan, as_plan
 from ..core.program import PairRuntime, Program, RunResult
-from ..core.state import SchedulerState
+from ..core.state import ADAPTIVE_RUN_CEILING, SchedulerState
 from ..core.tracer import ExecutionTracer, max_concurrent_pairs, max_concurrent_phases
 from ..errors import EngineError, QueueClosedError
 from ..events import PhaseInput
@@ -68,6 +68,11 @@ __all__ = ["ParallelEngine"]
 # How long the environment thread parks on an idle PhaseFeed before
 # re-checking abort/stop flags (feed mode only; OS backend only).
 _FEED_POLL_S = 0.05
+
+#: Batch-mode phase admissions per environment critical section when run
+#: coalescing is active.  Matches the adaptive run ceiling: a started
+#: horizon deeper than the longest claimable run buys nothing further.
+_START_BURST = ADAPTIVE_RUN_CEILING
 
 
 class ParallelEngine:
@@ -119,6 +124,19 @@ class ParallelEngine:
         messages), **off** under ``"global"``, preserving the
         byte-identical published schedule.  Pass an explicit bool to
         override either way.
+    run_length:
+        Temporal run coalescing (ALGORITHM.md §5.7): a worker extends
+        each dequeued ready pair into a run of consecutive claimable
+        phases (:meth:`~repro.core.state.SchedulerState.claim_run`),
+        executes the members back-to-back and commits them through one
+        critical section.  ``None`` (the default) is adaptive — claim
+        the vertex's current full backlog, capped at
+        :data:`~repro.core.state.ADAPTIVE_RUN_CEILING` — under the
+        ``"cone"`` frontier and off under ``"global"`` (whose clamp
+        cannot certify later phases; the published schedule stays
+        byte-identical).  An explicit integer caps the run length;
+        ``1`` disables coalescing entirely (the pre-coalescing
+        dispatch path, trace-identical to it).
     """
 
     def __init__(
@@ -134,14 +152,23 @@ class ParallelEngine:
         batch_size: Optional[int] = None,
         frontier: str = "cone",
         suppress: Optional[bool] = None,
+        run_length: Optional[int] = None,
     ) -> None:
         if num_threads < 1:
             raise EngineError(f"num_threads must be >= 1, got {num_threads}")
+        if run_length is not None and run_length < 1:
+            raise EngineError(
+                f"run_length must be >= 1 (or None for adaptive), "
+                f"got {run_length}"
+            )
         self.plan = as_plan(program)
         self.program = self.plan.program
         self.num_threads = num_threads
         self.frontier = frontier
         self.suppress = (frontier == "cone") if suppress is None else suppress
+        # Coalescing is a cone-mode mechanism: under the global clamp the
+        # effective run length is pinned to 1 (see claim_run).
+        self.run_length = 1 if frontier != "cone" else run_length
         self.checker = checker
         self.tracer = tracer
         self.env = env
@@ -257,6 +284,7 @@ class ParallelEngine:
         retire_counters = [0, 0]  # phases retired, internal fused messages
         plan = self.plan
         batch_size = self.batch_size
+        run_cap = self.run_length  # None = adaptive; 1 = coalescing off
         batch_sizes: Dict[int, int] = {}  # dequeued-batch histogram (under lock)
         tracer = self.tracer
         # Bug-injection seams (testing only; see repro.testing.faults).
@@ -267,6 +295,54 @@ class ParallelEngine:
         commit_guard = (lambda: nullcontext()) if unlocked_commit else (lambda: lock)
         start_guard = (lambda: nullcontext()) if unlocked_start else (lambda: lock)
 
+        def finish_batch(
+            completed: List[Tuple[int, int, List[int]]], worker_id: int
+        ) -> Tuple[List[Tuple[int, int]], int, bool]:
+            # The commit-section tail shared by the batched and the
+            # run-coalescing paths (caller holds the commit guard): apply
+            # the completions in one call, record stats and tracer
+            # events, then retire the extended complete prefix.
+            newly_ready = state.complete_executions(completed)
+            if not retire:
+                executions.extend((cv, cp) for cv, cp, _ in completed)
+            per_worker_counts[worker_id] += len(completed)
+            batch_sizes[len(completed)] = (
+                batch_sizes.get(len(completed), 0) + 1
+            )
+            if tracer is not None:
+                for cv, cp, _ in completed:
+                    tracer.execute_end((cv, cp), worker_id)
+                for pair in newly_ready:
+                    tracer.enqueued(pair)
+            # Completion labels come from the state's log via the
+            # absolute cursor: in global mode it is the prefix order; in
+            # cone mode phases may complete out of order.
+            new_complete = state.completed_since(seen_complete[0])
+            newly_complete = len(new_complete)
+            if tracer is not None:
+                for q in new_complete:
+                    tracer.phase_completed(q)
+            seen_complete[0] += newly_complete
+            if retire and newly_complete:
+                # Retire the extended contiguous complete prefix: stream
+                # each phase's translated records out, then GC every
+                # per-phase structure (bounded-memory guarantee).
+                rn = retire_next[0]
+                while state.phase_started(rn) and state.phase_complete(rn):
+                    ts, entries = runtime.retire_phase(rn)
+                    entries, internal = plan.translate_entries(entries)
+                    retire_counters[1] += internal
+                    if sink is not None:
+                        sink(rn, ts, entries)
+                    rn += 1
+                if rn > retire_next[0]:
+                    state.retire_phases_upto(rn - 1)
+                    retire_counters[0] += rn - retire_next[0]
+                    retire_next[0] = rn
+                state.trim_completed_log(seen_complete[0])
+            done = env_done.is_set() and state.all_started_complete()
+            return newly_ready, newly_complete, done
+
         def worker(worker_id: int) -> None:
             # Listing 1: the computation process, batched.  A batch of one
             # is exactly the paper's loop; with B > 1 the worker drains up
@@ -274,7 +350,12 @@ class ParallelEngine:
             # pair i+1 in the same critical section (no lock round-trip
             # between them), and applies the whole batch of completions to
             # the scheduling state in one call, so the x-update and the
-            # readiness scans run once per batch.
+            # readiness scans run once per batch.  With coalescing on
+            # (run_cap != 1) each dequeued pair is first extended into a
+            # run of claimable phases; the whole flattened member list is
+            # prepared under one lock, computed outside it, and committed
+            # — deliveries, suppression latch tests and the one
+            # complete_executions call — in one critical section.
             try:
                 while True:
                     try:
@@ -287,80 +368,74 @@ class ParallelEngine:
                     newly_ready: List[Tuple[int, int]] = []
                     newly_complete = 0
                     done = False
-                    v, p = batch[0]
-                    with lock:
-                        ctx = runtime.prepare(v, p)
-                        if tracer is not None:
-                            tracer.execute_begin((v, p), worker_id)
-                    for idx, (v, p) in enumerate(batch):
-                        runtime.compute(v, ctx)
-                        last = idx + 1 == len(batch)
-                        with commit_guard():
-                            targets = runtime.commit(v, p, ctx)
-                            completed.append((v, p, targets))
-                            if not last:
-                                # Fast path: prepare the next dequeued pair
-                                # inside the same critical section as this
-                                # commit.  Safe: a ready pair's inputs are
-                                # fully determined (definition (8)), so no
-                                # pair in the batch can depend on a
-                                # batch-mate's still-unapplied completion.
-                                nv, np_ = batch[idx + 1]
-                                ctx = runtime.prepare(nv, np_)
-                                if tracer is not None:
-                                    tracer.execute_begin((nv, np_), worker_id)
-                                continue
-                            newly_ready = state.complete_executions(completed)
-                            if not retire:
-                                executions.extend(
-                                    (cv, cp) for cv, cp, _ in completed
+                    if run_cap != 1:
+                        # Run-coalescing path.  Preparing every member
+                        # up front is safe for the same reason as the
+                        # batched fast path below: a ready pair's inputs
+                        # are fully determined, a claimed member's inputs
+                        # are final by its claim certificate, and no
+                        # batch-mate can depend on another's unapplied
+                        # completion (a dependent pair could not be full
+                        # while its predecessor is still in flight).
+                        with lock:
+                            members: List[Tuple[int, int]] = []
+                            for bv, bp in batch:
+                                members.extend(
+                                    (bv, q)
+                                    for q in state.claim_run(bv, bp, run_cap)
                                 )
-                            per_worker_counts[worker_id] += len(completed)
-                            batch_sizes[len(completed)] = (
-                                batch_sizes.get(len(completed), 0) + 1
+                            ctxs = []
+                            for mv, mp in members:
+                                ctxs.append(runtime.prepare(mv, mp))
+                                if tracer is not None:
+                                    tracer.execute_begin((mv, mp), worker_id)
+                        for (mv, mp), mctx in zip(members, ctxs):
+                            runtime.compute(mv, mctx)
+                        with commit_guard():
+                            # Member commits run back-to-back: each
+                            # delivery updates the edge latch the next
+                            # member's suppression test reads, so runs
+                            # short-circuit between members exactly like
+                            # serial per-phase commits.
+                            for (mv, mp), mctx in zip(members, ctxs):
+                                completed.append(
+                                    (mv, mp, runtime.commit(mv, mp, mctx))
+                                )
+                            newly_ready, newly_complete, done = finish_batch(
+                                completed, worker_id
                             )
+                    else:
+                        v, p = batch[0]
+                        with lock:
+                            ctx = runtime.prepare(v, p)
                             if tracer is not None:
-                                for cv, cp, _ in completed:
-                                    tracer.execute_end((cv, cp), worker_id)
-                                for pair in newly_ready:
-                                    tracer.enqueued(pair)
-                            # Completion labels come from the state's log
-                            # via the absolute cursor: in global mode it is
-                            # the prefix order; in cone mode phases may
-                            # complete out of order.
-                            new_complete = state.completed_since(
-                                seen_complete[0]
-                            )
-                            newly_complete = len(new_complete)
-                            if tracer is not None:
-                                for q in new_complete:
-                                    tracer.phase_completed(q)
-                            seen_complete[0] += newly_complete
-                            if retire and newly_complete:
-                                # Retire the extended contiguous complete
-                                # prefix: stream each phase's translated
-                                # records out, then GC every per-phase
-                                # structure (bounded-memory guarantee).
-                                rn = retire_next[0]
-                                while state.phase_started(
-                                    rn
-                                ) and state.phase_complete(rn):
-                                    ts, entries = runtime.retire_phase(rn)
-                                    entries, internal = (
-                                        plan.translate_entries(entries)
-                                    )
-                                    retire_counters[1] += internal
-                                    if sink is not None:
-                                        sink(rn, ts, entries)
-                                    rn += 1
-                                if rn > retire_next[0]:
-                                    state.retire_phases_upto(rn - 1)
-                                    retire_counters[0] += (
-                                        rn - retire_next[0]
-                                    )
-                                    retire_next[0] = rn
-                                state.trim_completed_log(seen_complete[0])
-                            done = env_done.is_set() and state.all_started_complete()
+                                tracer.execute_begin((v, p), worker_id)
+                        for idx, (v, p) in enumerate(batch):
+                            runtime.compute(v, ctx)
+                            last = idx + 1 == len(batch)
+                            with commit_guard():
+                                targets = runtime.commit(v, p, ctx)
+                                completed.append((v, p, targets))
+                                if not last:
+                                    # Fast path: prepare the next dequeued
+                                    # pair inside the same critical section
+                                    # as this commit.  Safe: a ready pair's
+                                    # inputs are fully determined
+                                    # (definition (8)), so no pair in the
+                                    # batch can depend on a batch-mate's
+                                    # still-unapplied completion.
+                                    nv, np_ = batch[idx + 1]
+                                    ctx = runtime.prepare(nv, np_)
+                                    if tracer is not None:
+                                        tracer.execute_begin(
+                                            (nv, np_), worker_id
+                                        )
+                                    continue
+                                (
+                                    newly_ready,
+                                    newly_complete,
+                                    done,
+                                ) = finish_batch(completed, worker_id)
                     if flow_sem is not None:
                         for _ in range(newly_complete):
                             flow_sem.release()
@@ -407,10 +482,34 @@ class ParallelEngine:
                 backend.sleep(self.env.pacing)
             return True
 
+        def start_phase_burst(count: int) -> bool:
+            # Coalescing-mode batch admission: start *count* phases under
+            # one critical section.  The per-phase start acquisition is
+            # exactly the lock traffic run coalescing exists to remove —
+            # and a deeper started horizon is what lets claim_run extend
+            # runs in the first place.  Only reached when run_cap != 1,
+            # so the single-pair schedule keeps the loop below untouched.
+            newly_ready: List[Tuple[int, int]] = []
+            with start_guard():
+                for _ in range(count):
+                    ready_now = state.start_phase()
+                    if tracer is not None:
+                        tracer.phase_started(state.pmax)
+                        for pair in ready_now:
+                            tracer.enqueued(pair)
+                    newly_ready.extend(ready_now)
+            try:
+                queue.put_many(newly_ready)
+            except QueueClosedError:
+                if not abort.is_set():
+                    raise
+                return False
+            return True
+
         def environment() -> None:
             # Listing 2: the environment process.
             try:
-                if feed is None:
+                if feed is None and (run_cap == 1 or self.env.pacing):
                     for _ in range(runtime.num_phases):
                         if abort.is_set():
                             break
@@ -429,6 +528,29 @@ class ParallelEngine:
                                 break
                         if not start_next_phase(None):
                             break
+                elif feed is None:
+                    remaining = runtime.num_phases
+                    while remaining > 0:
+                        if abort.is_set():
+                            break
+                        if stop_event is not None and stop_event.is_set():
+                            break
+                        burst = min(_START_BURST, remaining)
+                        if flow_sem is not None:
+                            # One blocking credit, then take whatever
+                            # else the flow window has free right now.
+                            flow_sem.acquire()
+                            if abort.is_set():
+                                break
+                            taken = 1
+                            while taken < burst and flow_sem.acquire(
+                                blocking=False
+                            ):
+                                taken += 1
+                            burst = taken
+                        if not start_phase_burst(burst):
+                            break
+                        remaining -= burst
                 else:
                     while not abort.is_set():
                         if stop_event is not None and stop_event.is_set():
@@ -505,10 +627,16 @@ class ParallelEngine:
         lock_stats = lock.stats()
         num_batches = sum(batch_sizes.values())
         num_commits = sum(size * count for size, count in batch_sizes.items())
+        coalescing = dict(
+            enabled=run_cap != 1,
+            run_length_cap=run_cap,
+            **state.coalescing_stats(),
+        )
         stats = {
             "num_threads": self.num_threads,
             "frontier": state.frontier_stats(),
             "suppression": runtime.suppression_stats(),
+            "coalescing": coalescing,
             "lock": lock_stats,
             "queue": {
                 "max_depth": queue.max_depth,

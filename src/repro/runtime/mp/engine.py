@@ -94,9 +94,11 @@ from .protocol import (
     Interner,
     ResultBatch,
     ResultMsg,
+    RunMsg,
     TaskBatch,
     WorkerCrashMsg,
     encode,
+    run_from_contexts,
     task_from_context,
 )
 
@@ -156,6 +158,15 @@ class ProcessEngine:
         applied *worker-side* (suppressed outputs are never serialized);
         the coordinator keeps its commit-time latch check as an
         idempotent backstop.
+    run_length:
+        Temporal run coalescing cap
+        (:meth:`~repro.core.state.SchedulerState.claim_run`): each
+        dispatched ready pair is extended into a run of up to this many
+        claimable phases, shipped as one :class:`~.protocol.RunMsg`
+        frame and committed in one critical section.  ``None`` (default)
+        is adaptive under the cone frontier and pinned to 1 (off) under
+        ``"global"``; ``1`` disables coalescing (the pre-coalescing wire
+        path, frame for frame).
     """
 
     def __init__(
@@ -172,13 +183,21 @@ class ProcessEngine:
         window: Optional[int] = None,
         frontier: str = "cone",
         suppress: Optional[bool] = None,
+        run_length: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise EngineError(f"num_workers must be >= 1, got {num_workers}")
+        if run_length is not None and run_length < 1:
+            raise EngineError(
+                f"run_length must be >= 1 or None, got {run_length}"
+            )
         self.plan = as_plan(program)
         self.program = self.plan.program
         self.num_workers = num_workers
         self.frontier = frontier
+        # Coalescing needs the cone frontier's per-phase determination
+        # certificates; under "global" the cap pins to 1 (no-op).
+        self.run_length = 1 if frontier != "cone" else run_length
         self.suppress = (frontier == "cone") if suppress is None else suppress
         self.checker = checker
         self.tracer = tracer
@@ -300,7 +319,13 @@ class ProcessEngine:
         held: List[PhaseInput] = []  # at most one prefetched feed phase
         last_phase_start = -float("inf")
         finals: Dict[int, FinalStateMsg] = {}
-        interner = Interner() if self.ipc_batch > 1 else None
+        run_cap = self.run_length
+        # Interning pays off whenever one frame can carry repeated
+        # values: batched dispatch, and run frames (members of one run
+        # share latched inputs phase over phase).
+        interner = (
+            Interner() if self.ipc_batch > 1 or run_cap != 1 else None
+        )
 
         def stopping() -> bool:
             return stop_event is not None and stop_event.is_set()
@@ -343,20 +368,48 @@ class ProcessEngine:
                 self.ipc_batch,
             )
             for w, pairs in batches:
-                tasks = []
+                entries: List[Any] = []  # TaskMsg | RunMsg, in order
+                shipped = 0
                 with lock:
                     for v, p in pairs:
-                        ctx = runtime.prepare(v, p)
-                        if tracer is not None:
-                            tracer.execute_begin((v, p), w)
-                        in_flight[(v, p)] = ctx
-                        tasks.append(task_from_context(v, p, ctx, interner))
-                worker_load[w] += len(pairs)
-                if self.ipc_batch == 1:
-                    pool.submit_to_worker(w, encode(tasks[0]), "tasks")
+                        # Temporal coalescing: extend the dispatched
+                        # ready pair into a claimed run; every member's
+                        # context is prepared here, under the same lock
+                        # acquisition (inputs are final by the claim
+                        # certificate).  run_cap == 1 is the
+                        # pre-coalescing path, frame for frame.
+                        phases_ = (
+                            state.claim_run(v, p, run_cap)
+                            if run_cap != 1
+                            else (p,)
+                        )
+                        prepared: List[Tuple[int, VertexContext]] = []
+                        for q in phases_:
+                            ctx = runtime.prepare(v, q)
+                            if tracer is not None:
+                                tracer.execute_begin((v, q), w)
+                            in_flight[(v, q)] = ctx
+                            prepared.append((q, ctx))
+                        shipped += len(prepared)
+                        if len(prepared) == 1:
+                            q, ctx = prepared[0]
+                            entries.append(
+                                task_from_context(v, q, ctx, interner)
+                            )
+                        else:
+                            entries.append(
+                                run_from_contexts(v, prepared, interner)
+                            )
+                worker_load[w] += shipped
+                if self.ipc_batch == 1 and len(entries) == 1:
+                    entry = entries[0]
+                    traffic = (
+                        "runs" if isinstance(entry, RunMsg) else "tasks"
+                    )
+                    pool.submit_to_worker(w, encode(entry), traffic)
                 else:
                     pool.submit_to_worker(
-                        w, encode(TaskBatch(tuple(tasks))), "task_batches"
+                        w, encode(TaskBatch(tuple(entries))), "task_batches"
                     )
             if adaptive:
                 # Backlog left a worker starved for credit: widen.
@@ -628,13 +681,20 @@ class ProcessEngine:
         num_commits = sum(size * count for size, count in batch_sizes.items())
         wire = pool.wire.summary()
         task_frames = (
-            wire["tasks"]["messages"] + wire["task_batches"]["messages"]
+            wire["tasks"]["messages"]
+            + wire["task_batches"]["messages"]
+            + wire["runs"]["messages"]
         )
         stats: Dict[str, Any] = {
             "num_workers": self.num_workers,
             "start_method": pool.start_method,
             "frontier": state.frontier_stats(),
             "suppression": runtime.suppression_stats(),
+            "coalescing": dict(
+                enabled=run_cap != 1,
+                run_length_cap=self.run_length,
+                **state.coalescing_stats(),
+            ),
             "lock": lock_stats,
             "per_worker_executions": dict(per_worker_counts),
             "per_worker_utilization": {

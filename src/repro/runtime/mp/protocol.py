@@ -14,6 +14,18 @@ below, pickled into a bytes frame by :func:`encode` and restored by
   tasks it carries, and values repeated across the batch (latched inputs
   that did not change, successor tuples) are pickled once and
   back-referenced — see :class:`Interner`.
+* :class:`RunMsg` — coordinator -> worker: a *temporally coalesced* run
+  (v, [p..p+k]) claimed via
+  :meth:`~repro.core.state.SchedulerState.claim_run`.  The vertex id,
+  name and successor tuple ride the frame once; each
+  :class:`RunMember` carries only the per-phase payload (phase, latched
+  inputs, changed set, external input).  The worker expands the run to
+  per-member tasks **in phase order** with :func:`tasks_from_run` and
+  answers with an ordinary :class:`ResultBatch`, so mid-run faults reuse
+  the skip-after-error salvage path unchanged: the failing member's
+  phase is attributed exactly and the unexecuted tail is reported in
+  ``skipped``.  A :class:`TaskBatch` may mix :class:`TaskMsg` and
+  :class:`RunMsg` entries.
 * :class:`ResultMsg` — worker -> coordinator: one pair's outputs and
   records, or the vertex failure that occurred instead.
 * :class:`ResultBatch` — worker -> coordinator: the results of one
@@ -43,14 +55,17 @@ actual pipe traffic.
 from __future__ import annotations
 
 import pickle
+import sys
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ...core.vertex import VertexContext
 
 __all__ = [
     "TaskMsg",
     "TaskBatch",
+    "RunMember",
+    "RunMsg",
     "ResultMsg",
     "ResultBatch",
     "ShutdownMsg",
@@ -60,6 +75,8 @@ __all__ = [
     "decode",
     "task_from_context",
     "context_from_task",
+    "run_from_contexts",
+    "tasks_from_run",
     "traffic_class_of",
     "Interner",
     "WireStats",
@@ -80,14 +97,39 @@ class TaskMsg:
 
 
 @dataclass(frozen=True, slots=True)
+class RunMember:
+    """One phase of a coalesced run: the per-phase payload only (the
+    vertex id, name and successors ride the enclosing :class:`RunMsg`)."""
+
+    phase: int
+    inputs: Dict[str, Any]
+    changed: Tuple[str, ...]
+    phase_input: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class RunMsg:
+    """A temporally coalesced run (v, [p..p+k]): members execute
+    back-to-back worker-side, in the order given (ascending phase)."""
+
+    vertex: int
+    name: str
+    successors: Tuple[str, ...]
+    members: Tuple[RunMember, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
 class TaskBatch:
     """Several tasks for one worker in one frame, executed in order.
 
-    A zero-length batch is legal on the wire (the worker answers with a
-    zero-length :class:`ResultBatch`); the engine never sends one.
+    Entries may be single-pair :class:`TaskMsg` frames or coalesced
+    :class:`RunMsg` frames; the worker expands runs to per-member tasks
+    in place.  A zero-length batch is legal on the wire (the worker
+    answers with a zero-length :class:`ResultBatch`); the engine never
+    sends one.
     """
 
-    tasks: Tuple[TaskMsg, ...] = ()
+    tasks: Tuple[Union[TaskMsg, RunMsg], ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -197,18 +239,39 @@ class Interner:
     become identical objects and collapse to memo references inside a
     :class:`TaskBatch` / :class:`ResultBatch` frame.
 
-    Unhashable values pass through untouched.  The table is bounded; on
-    overflow it is cleared (the memoization is an encoding optimisation,
-    never a correctness requirement).
+    Unhashable values pass through untouched.  The table is bounded in
+    *both* dimensions — entry count and retained bytes — because a long
+    serve run can hit the entry cap never (few distinct keys) while each
+    retained value is large, or vice versa.  On overflow of either bound
+    the table is cleared and ``resets`` is incremented (the memoization
+    is an encoding optimisation, never a correctness requirement, so a
+    reset only costs re-misses).  Retained bytes are metered with
+    ``sys.getsizeof`` of the canonical value at insert time: a shallow
+    measure, but the dominant payloads (floats, strings, tuples of
+    interned scalars) are flat, and the point of the bound is that the
+    memo can no longer grow without limit across a long run.
     """
 
-    __slots__ = ("_table", "max_entries", "hits", "misses")
+    __slots__ = (
+        "_table",
+        "max_entries",
+        "max_bytes",
+        "hits",
+        "misses",
+        "resets",
+        "_approx_bytes",
+    )
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(
+        self, max_entries: int = 4096, max_bytes: int = 1 << 22
+    ) -> None:
         self._table: Dict[Any, Any] = {}
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.resets = 0
+        self._approx_bytes = 0
 
     def intern(self, value: Any) -> Any:
         try:
@@ -219,15 +282,32 @@ class Interner:
         if canonical is not None:
             self.hits += 1
             return canonical
-        if len(self._table) >= self.max_entries:
+        size = sys.getsizeof(value)
+        if (
+            len(self._table) >= self.max_entries
+            or self._approx_bytes + size > self.max_bytes
+        ):
             self._table.clear()
+            self._approx_bytes = 0
+            self.resets += 1
         self._table[key] = value
+        self._approx_bytes += size
         self.misses += 1
         return value
 
+    @property
+    def approx_bytes(self) -> int:
+        """Shallow byte estimate of the retained canonical values."""
+        return self._approx_bytes
+
     def summary(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._table)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._table),
+            "resets": self.resets,
+            "approx_bytes": self._approx_bytes,
+        }
 
 
 def task_from_context(
@@ -271,6 +351,68 @@ def context_from_task(task: TaskMsg) -> VertexContext:
     )
 
 
+def run_from_contexts(
+    v: int,
+    prepared: Sequence[Tuple[int, VertexContext]],
+    interner: Optional[Interner] = None,
+) -> RunMsg:
+    """Snapshot a claimed run's prepared contexts into one run frame.
+
+    *prepared* is the ascending-phase list of ``(phase, ctx)`` for the
+    members of one :meth:`~repro.core.state.SchedulerState.claim_run`
+    result.  The vertex name and successor tuple are taken from the head
+    context and ride the frame once.
+    """
+    if not prepared:
+        raise ValueError("run_from_contexts: empty member list")
+    head = prepared[0][1]
+    if interner is None:
+        successors: Tuple[str, ...] = tuple(head._successors)
+        members = tuple(
+            RunMember(
+                phase=p,
+                inputs=dict(ctx.inputs),
+                changed=tuple(sorted(ctx.changed)),
+                phase_input=ctx.phase_input,
+            )
+            for p, ctx in prepared
+        )
+    else:
+        intern = interner.intern
+        successors = intern(tuple(head._successors))
+        members = tuple(
+            RunMember(
+                phase=p,
+                inputs={k: intern(val) for k, val in ctx.inputs.items()},
+                changed=intern(tuple(sorted(ctx.changed))),
+                phase_input=intern(ctx.phase_input),
+            )
+            for p, ctx in prepared
+        )
+    return RunMsg(
+        vertex=v, name=head.name, successors=successors, members=members
+    )
+
+
+def tasks_from_run(run: RunMsg) -> List[TaskMsg]:
+    """Expand a run frame to per-member tasks, in frame (phase) order
+    (worker side).  Each expanded task is indistinguishable from a
+    single-pair :class:`TaskMsg`, so the worker loop's execute /
+    skip-after-error salvage machinery applies unchanged."""
+    return [
+        TaskMsg(
+            vertex=run.vertex,
+            name=run.name,
+            phase=m.phase,
+            inputs=m.inputs,
+            changed=m.changed,
+            successors=run.successors,
+            phase_input=m.phase_input,
+        )
+        for m in run.members
+    ]
+
+
 def traffic_class_of(msg: object) -> str:
     """The :class:`WireStats` class of a decoded worker->coordinator
     message (the coordinator->worker classes are chosen at the send
@@ -289,10 +431,12 @@ class WireStats:
 
     Classes: ``warmup`` (behaviour blobs shipped at spawn), ``tasks``
     (single-task frames), ``task_batches`` (:class:`TaskBatch` frames),
-    ``results`` (single-result frames, incl. crash reports),
-    ``result_batches`` (:class:`ResultBatch` frames), ``final_state``
-    (shutdown replies), ``shutdown`` (the drain requests).  Every frame
-    that crosses a queue is counted under exactly one class, so
+    ``runs`` (coalesced :class:`RunMsg` frames sent alone), ``results``
+    (single-result frames, incl. crash reports), ``result_batches``
+    (:class:`ResultBatch` frames), ``final_state`` (shutdown replies),
+    ``shutdown`` (the drain requests).  Every frame that crosses a queue
+    is counted under exactly one class — a run inside a
+    :class:`TaskBatch` counts under ``task_batches`` — so
     ``total_bytes`` equals the actual pipe traffic plus the spawn-time
     warmup blobs.
     """
@@ -301,6 +445,7 @@ class WireStats:
         "warmup",
         "tasks",
         "task_batches",
+        "runs",
         "results",
         "result_batches",
         "final_state",

@@ -45,6 +45,7 @@ from .protocol import (
     Interner,
     ResultBatch,
     ResultMsg,
+    RunMsg,
     ShutdownMsg,
     TaskBatch,
     TaskMsg,
@@ -52,6 +53,7 @@ from .protocol import (
     context_from_task,
     decode,
     encode,
+    tasks_from_run,
 )
 
 __all__ = ["worker_main"]
@@ -275,21 +277,41 @@ def worker_main(
                     )
                 )
                 return
-            if isinstance(msg, TaskBatch):
+            if isinstance(msg, (TaskBatch, RunMsg)):
+                # A coalesced run expands to its per-member tasks in
+                # phase order, whether it arrived alone or inside a
+                # batch; the skip-after-error rule below then gives
+                # mid-run fault salvage for free (the failing member's
+                # phase is attributed exactly, the unexecuted tail is
+                # reported in ``skipped`` for coordinator requeue).
+                entries = (
+                    msg.tasks if isinstance(msg, TaskBatch) else (msg,)
+                )
                 results: List[ResultMsg] = []
                 skipped: List[Tuple[int, int]] = []
-                for task in msg.tasks:
-                    if results and results[-1].error is not None:
-                        # An earlier task failed: its successors in the
-                        # batch must not advance this worker's state.
-                        skipped.append((task.vertex, task.phase))
-                        continue
-                    result = _execute(
-                        worker_id, behaviors, task, interner, suppress_filter
+                for entry in entries:
+                    tasks = (
+                        tasks_from_run(entry)
+                        if isinstance(entry, RunMsg)
+                        else (entry,)
                     )
-                    busy_s += result.compute_s
-                    executed += 1
-                    results.append(result)
+                    for task in tasks:
+                        if results and results[-1].error is not None:
+                            # An earlier task failed: its successors in
+                            # the batch must not advance this worker's
+                            # state.
+                            skipped.append((task.vertex, task.phase))
+                            continue
+                        result = _execute(
+                            worker_id,
+                            behaviors,
+                            task,
+                            interner,
+                            suppress_filter,
+                        )
+                        busy_s += result.compute_s
+                        executed += 1
+                        results.append(result)
                 result_queue.put(
                     _encode_result_batch(worker_id, results, skipped)
                 )

@@ -174,6 +174,7 @@ class ServeConfig:
     window: Optional[int] = None
     fuse: bool = True
     frontier: str = "cone"
+    run_length: Optional[int] = None  # temporal coalescing cap (1 = off)
     max_in_flight: Optional[int] = 8
     wait: float = 2.0
     quantum: float = 1.0
@@ -197,6 +198,8 @@ class ServeConfig:
                 raise ServeError(f"{name} must be >= 0")
         if self.feed_capacity < 1 or self.emit_capacity < 1:
             raise ServeError("feed_capacity and emit_capacity must be >= 1")
+        if self.run_length is not None and self.run_length < 1:
+            raise ServeError("run_length must be >= 1 or None (adaptive)")
         if self.join_timeout <= 0:
             raise ServeError("join_timeout must be > 0")
 
@@ -270,6 +273,7 @@ class ServeSession:
                 env=env,
                 batch_size=cfg.batch_size,
                 frontier=cfg.frontier,
+                run_length=cfg.run_length,
                 join_timeout=cfg.join_timeout,
             )
         from ..runtime.mp.engine import ProcessEngine
@@ -282,6 +286,7 @@ class ServeSession:
             ipc_batch=cfg.ipc_batch,
             window=cfg.window,
             frontier=cfg.frontier,
+            run_length=cfg.run_length,
             join_timeout=cfg.join_timeout,
         )
 

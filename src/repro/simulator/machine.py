@@ -86,6 +86,12 @@ class SimulatedEngine:
         Default **off** — unlike the real engines the simulator models
         the published workloads, so its figures stay pinned; the CLI and
         the differential campaign pass the knob explicitly.
+    run_length:
+        Temporal run coalescing cap (see
+        :meth:`~repro.core.state.SchedulerState.claim_run`).  ``None``
+        is adaptive under the cone frontier; under ``"global"`` the knob
+        is pinned to 1, so the default simulator figures stay byte
+        identical.  ``1`` disables coalescing.
     """
 
     def __init__(
@@ -100,6 +106,7 @@ class SimulatedEngine:
         queue_discipline: str = "fifo",
         frontier: str = "global",
         suppress: bool = False,
+        run_length: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise SimulationError(f"num_workers must be >= 1, got {num_workers}")
@@ -118,6 +125,13 @@ class SimulatedEngine:
         self.num_processors = num_processors
         self.frontier = frontier
         self.suppress = suppress
+        if run_length is not None and run_length < 1:
+            raise SimulationError(
+                f"run_length must be >= 1 or None, got {run_length}"
+            )
+        # Coalescing needs the cone frontier's per-phase determination
+        # certificates; under "global" the cap pins to 1 (no-op).
+        self.run_length = 1 if frontier != "cone" else run_length
         self.cost_model = cost_model or CostModel()
         self.checker = checker
         self.tracer = tracer
@@ -231,6 +245,42 @@ class SimulatedEngine:
             if env_done[0] and state.all_started_complete():
                 queue.put(_CLOSE)
 
+        run_cap = self.run_length
+
+        def member_cost(mv: int, mp: int, ctx: Any) -> float:
+            stage = names.name_of(mv)
+            if len(self.plan.members(stage)) == 1:
+                return cm.vertex_cost(stage, mp)
+            # A fused stage costs the sum of the members that actually
+            # ran (its trace record — always the last one appended —
+            # names them; Δ-short-circuited members cost nothing,
+            # exactly as when unfused).
+            trace = ctx.records[-1]
+            return sum(cm.vertex_cost(member, mp) for member in trace.members)
+
+        def finish_commit(newly_ready: List[Tuple[int, int]]) -> None:
+            # Shared commit tail (runs under the bookkeeping lock burst).
+            for pair in newly_ready:
+                if tracer is not None:
+                    tracer.enqueued(pair)
+                queue.put(pair)
+            if tracer is not None:
+                completed_log = state.completed_log
+                while seen_complete[0] < len(completed_log):
+                    tracer.phase_completed(completed_log[seen_complete[0]])
+                    seen_complete[0] += 1
+            # Flow control: wake the environment when phase completions
+            # open room for another in-flight phase.
+            waiter = flow_waiter[0]
+            if (
+                waiter is not None
+                and max_in_flight is not None
+                and state.pmax - state.complete_phase_count < max_in_flight
+            ):
+                flow_waiter[0] = None
+                waiter.succeed()
+            maybe_close()
+
         def worker(worker_id: int) -> Generator[Event, Any, None]:
             while True:
                 item = yield queue.get()
@@ -243,6 +293,53 @@ class SimulatedEngine:
 
                 holder: Dict[str, Any] = {}
 
+                if run_cap != 1:
+                    # Run-coalescing path: claim and prepare the whole
+                    # run in one locked prepare burst, execute its
+                    # members back-to-back on one processor grant, then
+                    # commit them all in one bookkeeping burst.
+                    def do_prepare_run() -> None:
+                        members = [
+                            (v, q) for q in state.claim_run(v, p, run_cap)
+                        ]
+                        holder["members"] = members
+                        holder["ctxs"] = [
+                            runtime.prepare(mv, mp) for mv, mp in members
+                        ]
+
+                    yield from locked_burst(cm.prepare_cost, do_prepare_run)
+
+                    yield procs.request()
+                    for (mv, mp), ctx in zip(
+                        holder["members"], holder["ctxs"]
+                    ):
+                        if tracer is not None:
+                            tracer.execute_begin((mv, mp), worker_id)
+                        runtime.compute(mv, ctx)
+                        duration = member_cost(mv, mp, ctx)
+                        if duration > 0:
+                            yield sim.timeout(duration)
+                        if tracer is not None:
+                            tracer.execute_end((mv, mp), worker_id)
+                    procs.release()
+
+                    def do_commit_run() -> None:
+                        completed = []
+                        for (mv, mp), ctx in zip(
+                            holder["members"], holder["ctxs"]
+                        ):
+                            completed.append(
+                                (mv, mp, runtime.commit(mv, mp, ctx))
+                            )
+                            executions.append((mv, mp))
+                            per_worker[worker_id] += 1
+                        finish_commit(state.complete_executions(completed))
+
+                    yield from locked_burst(
+                        cm.bookkeeping_cost, do_commit_run
+                    )
+                    continue
+
                 def do_prepare() -> None:
                     holder["ctx"] = runtime.prepare(v, p)
 
@@ -253,19 +350,7 @@ class SimulatedEngine:
                 if tracer is not None:
                     tracer.execute_begin((v, p), worker_id)
                 runtime.compute(v, holder["ctx"])
-                stage = names.name_of(v)
-                if len(self.plan.members(stage)) == 1:
-                    duration = cm.vertex_cost(stage, p)
-                else:
-                    # A fused stage costs the sum of the members that
-                    # actually ran (its trace record — always the last
-                    # one appended — names them; Δ-short-circuited
-                    # members cost nothing, exactly as when unfused).
-                    trace = holder["ctx"].records[-1]
-                    duration = sum(
-                        cm.vertex_cost(member, p)
-                        for member in trace.members
-                    )
+                duration = member_cost(v, p, holder["ctx"])
                 if duration > 0:
                     yield sim.timeout(duration)
                 if tracer is not None:
@@ -277,28 +362,7 @@ class SimulatedEngine:
                     newly_ready = state.complete_execution(v, p, targets)
                     executions.append((v, p))
                     per_worker[worker_id] += 1
-                    for pair in newly_ready:
-                        if tracer is not None:
-                            tracer.enqueued(pair)
-                        queue.put(pair)
-                    if tracer is not None:
-                        completed_log = state.completed_log
-                        while seen_complete[0] < len(completed_log):
-                            tracer.phase_completed(
-                                completed_log[seen_complete[0]]
-                            )
-                            seen_complete[0] += 1
-                    # Flow control: wake the environment when phase
-                    # completions open room for another in-flight phase.
-                    waiter = flow_waiter[0]
-                    if (
-                        waiter is not None
-                        and max_in_flight is not None
-                        and state.pmax - state.complete_phase_count < max_in_flight
-                    ):
-                        flow_waiter[0] = None
-                        waiter.succeed()
-                    maybe_close()
+                    finish_commit(newly_ready)
 
                 yield from locked_burst(cm.bookkeeping_cost, do_commit)
 
@@ -347,6 +411,11 @@ class SimulatedEngine:
             "num_processors": self.num_processors,
             "frontier": state.frontier_stats(),
             "suppression": runtime.suppression_stats(),
+            "coalescing": dict(
+                enabled=self.run_length != 1,
+                run_length_cap=self.run_length,
+                **state.coalescing_stats(),
+            ),
             "lock": {
                 "total_requests": lock.total_requests,
                 "contended_requests": lock.contended_requests,

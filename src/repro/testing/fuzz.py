@@ -367,6 +367,7 @@ def run_one(
     fuse: bool = False,
     frontier: str = "cone",
     suppress: bool = False,
+    run_length: Optional[int] = 1,
 ) -> RunOutcome:
     """Run *spec* serially (oracle) and under *policy*; judge the result.
 
@@ -383,6 +384,8 @@ def run_one(
     with change suppression on (build the spec with ``suppress=True`` so
     elision is reachable); the judgement switches to the elision-aware
     check — records must still equal the *unsuppressed* oracle's exactly.
+    *run_length* sets the temporal run coalescing cap (default 1: off —
+    the historical campaign; ``None`` is adaptive).
     """
     program, phases = spec.build()
     serial = SerialExecutor(program).run(phases)
@@ -400,6 +403,7 @@ def run_one(
         batch_size=batch_size,
         frontier=frontier,
         suppress=suppress,
+        run_length=run_length,
     )
     outcome = RunOutcome(spec=spec, policy_desc=policy.describe(), passed=False)
     error: Optional[BaseException] = None
@@ -467,6 +471,7 @@ class FuzzFailure:
     fuse: bool = False
     frontier: str = "cone"
     suppress: bool = False
+    run_length: Optional[int] = 1
     engine_config: Optional[Dict[str, object]] = None
 
     def summary(self) -> str:
@@ -478,7 +483,12 @@ class FuzzFailure:
             f"  batch:    {self.batch_size}"
             + ("  (fused plan)" if self.fuse else ""),
             f"  frontier: {self.frontier}"
-            + ("  (suppression on)" if self.suppress else ""),
+            + ("  (suppression on)" if self.suppress else "")
+            + (
+                f"  (run-length {self.run_length or 'adaptive'})"
+                if self.run_length != 1
+                else ""
+            ),
             *(
                 [f"  engine:   {self.engine_config!r}"]
                 if self.engine_config is not None
@@ -508,6 +518,7 @@ class FuzzFailure:
             "fuse": self.fuse,
             "frontier": self.frontier,
             "suppress": self.suppress,
+            "run_length": self.run_length,
             "reason": self.reason,
             "trace_names": list(self.trace_names),
             "shrunk_spec": (
@@ -575,6 +586,7 @@ def fuzz(
     frontier: str = "cone",
     skew: bool = False,
     suppress: bool = False,
+    run_length: Optional[int] = 1,
 ) -> FuzzReport:
     """Explore *runs* random (workload, interleaving) pairs.
 
@@ -603,7 +615,7 @@ def fuzz(
         outcome = run_one(
             spec, make_policy(policy_name, policy_seed), faults, max_steps,
             batch_size=batch_size, fuse=fuse, frontier=frontier,
-            suppress=suppress,
+            suppress=suppress, run_length=run_length,
         )
         hashes[outcome.trace_hash] = hashes.get(outcome.trace_hash, 0) + 1
         total_steps += outcome.steps
@@ -621,12 +633,13 @@ def fuzz(
                 fuse=fuse,
                 frontier=frontier,
                 suppress=suppress,
+                run_length=run_length,
             )
             if do_shrink:
                 failure.shrunk_spec = shrink(
                     spec, policy_name, policy_seed, faults, max_steps,
                     batch_size=batch_size, fuse=fuse, frontier=frontier,
-                    suppress=suppress,
+                    suppress=suppress, run_length=run_length,
                 )
             failures.append(failure)
             if stop_on_failure:
@@ -671,6 +684,7 @@ def run_one_process(
     fuse: bool = False,
     frontier: str = "cone",
     suppress: bool = False,
+    run_length: Optional[int] = 1,
 ) -> RunOutcome:
     """Run *spec* on the process engine under *config*; judge vs serial.
 
@@ -695,7 +709,8 @@ def run_one_process(
         f"process[w={config['workers']},b={config['batch_size']},"
         f"ipc={config['ipc_batch']},win={config['window']},"
         f"{start_method},{frontier}{',fused' if fuse else ''}"
-        f"{',suppress' if suppress else ''}]"
+        f"{',suppress' if suppress else ''}"
+        f"{'' if run_length == 1 else f',rl={run_length or chr(42)}'}]"
     )
     outcome = RunOutcome(spec=spec, policy_desc=desc, passed=False)
     engine = ProcessEngine(
@@ -707,6 +722,7 @@ def run_one_process(
         start_method=start_method,
         frontier=frontier,
         suppress=suppress,
+        run_length=run_length,
     )
     try:
         result = engine.run(phases)
@@ -745,6 +761,7 @@ def fuzz_process(
     frontier: str = "cone",
     skew: bool = False,
     suppress: bool = False,
+    run_length: Optional[int] = 1,
 ) -> FuzzReport:
     """Explore *runs* random workloads across process wire-path configs.
 
@@ -765,7 +782,7 @@ def fuzz_process(
         config = process_config_for_run(seed, i)
         outcome = run_one_process(
             spec, config, start_method=start_method, fuse=fuse,
-            frontier=frontier, suppress=suppress,
+            frontier=frontier, suppress=suppress, run_length=run_length,
         )
         configs[outcome.policy_desc] = configs.get(outcome.policy_desc, 0) + 1
         total_steps += outcome.steps
@@ -783,6 +800,7 @@ def fuzz_process(
                     fuse=fuse,
                     frontier=frontier,
                     suppress=suppress,
+                    run_length=run_length,
                     engine_config=dict(config, start_method=start_method),
                 )
             )
@@ -809,6 +827,7 @@ def shrink(
     fuse: bool = False,
     frontier: str = "cone",
     suppress: bool = False,
+    run_length: Optional[int] = 1,
 ) -> WorkloadSpec:
     """Greedily minimise a failing spec while it keeps failing.
 
@@ -822,7 +841,7 @@ def shrink(
         outcome = run_one(
             candidate, make_policy(policy_name, policy_seed), faults, max_steps,
             batch_size=batch_size, fuse=fuse, frontier=frontier,
-            suppress=suppress,
+            suppress=suppress, run_length=run_length,
         )
         return not outcome.passed
 
@@ -868,12 +887,14 @@ def replay_failure(
             failure.spec, ReplayPolicy(failure.trace_names), faults,
             batch_size=failure.batch_size, fuse=failure.fuse,
             frontier=failure.frontier, suppress=failure.suppress,
+            run_length=failure.run_length,
         )
     spec = failure.shrunk_spec or failure.spec
     return run_one(
         spec, make_policy(failure.policy_name, failure.policy_seed), faults,
         batch_size=failure.batch_size, fuse=failure.fuse,
         frontier=failure.frontier, suppress=failure.suppress,
+        run_length=failure.run_length,
     )
 
 

@@ -15,8 +15,10 @@ Lifecycle properties checked (each one is a theorem of Section 3.3 that a
 seeded concurrency bug can break):
 
 * every vertex-phase pair is **enqueued at most once**;
-* a pair may only **begin executing while it is in the ready set** —
-  i.e. dequeue-to-execute is justified by definition (8) at that instant;
+* a pair may only **begin executing while it is in the ready set** (or
+  the run-claim ledger — a coalesced run extension certified by
+  ``claim_run``) — i.e. dequeue-to-execute is justified by definition
+  (8), or by the claim certificate, at that instant;
 * an **executed pair never reappears** in partial / full / ready
   (exactly-once execution, Section 3.3.4);
 * phase starts are **contiguous** (pmax increments by one).
@@ -170,12 +172,17 @@ class RaceMonitor(ExecutionTracer):
         state = self._last_state
         # O(1) membership — the per-dequeue hot path must not force a
         # ready-set snapshot; the full set is only materialised (below)
-        # to describe an actual violation.
-        if state is not None and not state.is_ready(pair):
+        # to describe an actual violation.  A claimed run extension is
+        # licensed to execute without being ready (claim_run certified
+        # its inputs final at claim time).
+        if state is not None and not (
+            state.is_ready(pair) or state.is_run_claimed(pair)
+        ):
             self._record(
                 "lifecycle",
-                f"pair {pair} began executing while not in the ready set "
-                f"(worker {worker}); ready was {sorted(state.ready_set())}",
+                f"pair {pair} began executing while neither ready nor "
+                f"run-claimed (worker {worker}); ready was "
+                f"{sorted(state.ready_set())}",
             )
 
     def execute_end(self, pair: Pair, worker: Optional[int] = None) -> None:

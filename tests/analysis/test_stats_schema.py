@@ -12,6 +12,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.stats import (
+    validate_coalescing_stats,
     validate_engine_stats,
     validate_frontier_stats,
     validate_sharding_stats,
@@ -115,19 +116,82 @@ class TestValidatorUnit:
                 "elided_executions": 0,
                 "ineligible_vertices": 0,
             },
+            "coalescing": {
+                "enabled": False,
+                "run_length_cap": 1,
+                "runs_scheduled": 0,
+                "pairs_coalesced": 0,
+                "mean_run_length": 0.0,
+            },
         }
         for engine in ("parallel[k=2]", "process[w=2]", "simulated[k=2,P=2]"):
             assert validate_engine_stats(engine, good) == []
-        # Scheduling engines must report the suppression section.
+        # Scheduling engines must report the suppression and coalescing
+        # sections.
         missing = {"frontier": dict(good["frontier"])}
-        assert any(
-            "suppression" in e
-            for e in validate_engine_stats("parallel[k=2]", missing)
-        )
+        errors = validate_engine_stats("parallel[k=2]", missing)
+        assert any("suppression" in e for e in errors)
+        assert any("coalescing" in e for e in errors)
 
     def test_non_mapping_stats(self):
         assert validate_engine_stats("parallel[k=1]", None) != []
         assert validate_frontier_stats(7) != []
+
+
+def _good_coalescing_section():
+    return {
+        "enabled": True,
+        "run_length_cap": None,
+        "runs_scheduled": 10,
+        "pairs_coalesced": 30,
+        "mean_run_length": 4.0,
+    }
+
+
+class TestCoalescingValidator:
+    def test_accepts_valid_sections(self):
+        assert validate_coalescing_stats(_good_coalescing_section()) == []
+        assert validate_coalescing_stats({
+            "enabled": False,
+            "run_length_cap": 1,
+            "runs_scheduled": 0,
+            "pairs_coalesced": 0,
+            "mean_run_length": 0.0,
+        }) == []
+
+    def test_rejects_bad_types(self):
+        errors = validate_coalescing_stats({
+            "enabled": "yes",
+            "run_length_cap": 0,
+            "runs_scheduled": True,
+            "pairs_coalesced": -1,
+            "mean_run_length": "many",
+        })
+        assert len(errors) == 5
+
+    def test_rejects_inconsistent_mean(self):
+        section = _good_coalescing_section()
+        section["mean_run_length"] = 2.5  # should be 40/10
+        errors = validate_coalescing_stats(section)
+        assert any("mean_run_length" in e for e in errors)
+
+    def test_disabled_implies_no_runs(self):
+        # The run-length-1 dispatch paths never enter claim_run, so a
+        # disabled run reporting scheduled runs is a scheduler bug.
+        section = _good_coalescing_section()
+        section["enabled"] = False
+        section["run_length_cap"] = 1
+        errors = validate_coalescing_stats(section)
+        assert any("runs_scheduled" in e for e in errors)
+        assert any("pairs_coalesced" in e for e in errors)
+
+    def test_rejects_unknown_keys(self):
+        section = _good_coalescing_section()
+        section["bonus"] = 1
+        assert any(
+            "unexpected keys" in e
+            for e in validate_coalescing_stats(section)
+        )
 
 
 def _good_sharding_section(num_shards=2):

@@ -335,8 +335,14 @@ class TestBatchedCommits:
         assert checker.violations == []
 
     def test_batching_stats_account_for_every_commit(self):
+        # run_length=1: a coalesced run commits all its members in one
+        # critical section, which the batching stats record as a single
+        # batch larger than batch_size — here we verify the explicit
+        # member-batching accumulator, so pin single-pair dispatch.
         prog, phases = grid_workload(3, 3, phases=10, seed=1)
-        res = ParallelEngine(prog, num_threads=2, batch_size=8).run(phases)
+        res = ParallelEngine(
+            prog, num_threads=2, batch_size=8, run_length=1
+        ).run(phases)
         b = res.stats["batching"]
         assert b["batch_size"] == 8
         assert sum(b["batch_sizes"].values()) == b["batches"]

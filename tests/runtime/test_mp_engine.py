@@ -227,7 +227,9 @@ class TestFailureHandling:
 class TestStatsSchema:
     def test_stats_keys_present(self):
         prog, phases = grid_workload(3, 2, phases=6, seed=3)
-        res = ProcessEngine(prog, num_workers=2).run(phases)
+        # run_length=1 pins the single-pair wire path; the frame-per-pair
+        # assertions below are meaningless under run coalescing.
+        res = ProcessEngine(prog, num_workers=2, run_length=1).run(phases)
         stats = res.stats
         assert stats["num_workers"] == 2
         assert stats["start_method"] == default_start_method()

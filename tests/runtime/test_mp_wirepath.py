@@ -28,10 +28,14 @@ from repro.runtime.mp.protocol import (
     Interner,
     ResultBatch,
     ResultMsg,
+    RunMsg,
     TaskBatch,
     TaskMsg,
+    context_from_task,
     decode,
     encode,
+    run_from_contexts,
+    tasks_from_run,
 )
 from repro.streams.workloads import grid_workload
 from repro.testing import fuzz_process
@@ -369,6 +373,114 @@ class TestInterner:
         interned = encode(TaskBatch(tuple(tasks_interned)))
         assert len(interned) < len(plain)
 
+    def test_byte_meter_tracks_retained_values(self):
+        import sys
+
+        interner = Interner()
+        values = [f"payload-{i}" * 10 for i in range(8)]
+        for v in values:
+            interner.intern(v)
+        assert interner.approx_bytes == sum(sys.getsizeof(v) for v in values)
+        # Hits retain nothing new.
+        interner.intern(values[0] + "")
+        assert interner.approx_bytes == sum(sys.getsizeof(v) for v in values)
+
+    def test_byte_cap_resets_on_overflow(self):
+        # The regression this guards: before the byte bound, a serve-style
+        # run interning a stream of large distinct values grew the memo
+        # without limit even though the entry count stayed under its cap.
+        interner = Interner(max_entries=1 << 30, max_bytes=4096)
+        big = "x" * 512
+        for i in range(64):
+            interner.intern(big + str(i))
+        assert interner.resets >= 1
+        # Retained bytes never exceed cap + one value's worth of slack.
+        import sys
+
+        assert interner.approx_bytes <= 4096 + sys.getsizeof(big + "00")
+        summary = interner.summary()
+        assert summary["resets"] == interner.resets
+        assert summary["approx_bytes"] == interner.approx_bytes
+
+    def test_entry_cap_reset_is_counted(self):
+        interner = Interner(max_entries=4)
+        for i in range(10):
+            interner.intern(f"v{i}")
+        assert interner.resets >= 1
+        assert len(interner._table) <= 4
+
+    def test_reset_only_costs_re_misses(self):
+        # Correctness: a value interned, evicted by a reset, and interned
+        # again still comes back equal (identity is an optimisation only).
+        interner = Interner(max_entries=2)
+        first = interner.intern("alpha")
+        interner.intern("beta")
+        interner.intern("gamma")  # forces a reset
+        second = interner.intern("alpha")
+        assert second == first
+
+
+# ---------------------------------------------------------------------------
+# Coalesced run frames
+# ---------------------------------------------------------------------------
+
+
+def _prepared_members(phases, payload="latched"):
+    """Ascending (phase, ctx) members the way the coordinator prepares
+    them for one claimed run."""
+    prepared = []
+    for p in phases:
+        task = TaskMsg(
+            vertex=3, name="mid", phase=p,
+            inputs={"up": payload}, changed=("up",),
+            successors=("down", "side"), phase_input=None,
+        )
+        prepared.append((p, context_from_task(task)))
+    return prepared
+
+
+class TestRunFraming:
+    def test_round_trip_expands_in_phase_order(self):
+        run = run_from_contexts(3, _prepared_members([4, 5, 6]))
+        decoded = decode(encode(run))
+        tasks = tasks_from_run(decoded)
+        assert [t.phase for t in tasks] == [4, 5, 6]
+        for t in tasks:
+            assert t.vertex == 3
+            assert t.name == "mid"
+            assert t.successors == ("down", "side")
+            assert t.inputs == {"up": "latched"}
+            assert t.changed == ("up",)
+
+    def test_header_rides_once(self):
+        # A run frame carries name/successors once; the equivalent batch
+        # of single-pair tasks repeats them per member.
+        prepared = _prepared_members(range(1, 9), payload="v" * 64)
+        run_frame = encode(run_from_contexts(3, prepared, Interner()))
+        singles = encode(TaskBatch(tuple(
+            TaskMsg(
+                vertex=3, name="mid", phase=p,
+                inputs=dict(ctx.inputs), changed=tuple(sorted(ctx.changed)),
+                successors=tuple(ctx._successors),
+            )
+            for p, ctx in prepared
+        )))
+        assert len(run_frame) < len(singles)
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            run_from_contexts(3, [])
+
+    def test_runs_nest_inside_task_batches(self):
+        run = run_from_contexts(3, _prepared_members([2, 3]))
+        lone = TaskMsg(
+            vertex=5, name="tail", phase=2, inputs={}, changed=(),
+            successors=(),
+        )
+        batch = decode(encode(TaskBatch((run, lone))))
+        kinds = [type(e) for e in batch.tasks]
+        assert kinds == [RunMsg, TaskMsg]
+
 
 # ---------------------------------------------------------------------------
 # Delta state sync
@@ -513,10 +625,12 @@ class TestBatchedEngine:
         assert ipc["interning"]["misses"] >= 0
 
     def test_default_path_is_unchanged(self):
-        # ipc_batch=1 must reproduce the PR-3 wire path: one TaskMsg
-        # frame per executed pair, no batch frames, no interning.
+        # ipc_batch=1 + run_length=1 must reproduce the PR-3 wire path:
+        # one TaskMsg frame per executed pair, no batch frames, no
+        # interning (run_length=1 disables run coalescing, which would
+        # otherwise ship RunMsg frames under the default cone frontier).
         prog, phases = grid_workload(3, 2, phases=6, seed=3)
-        res = ProcessEngine(prog, num_workers=2).run(phases)
+        res = ProcessEngine(prog, num_workers=2, run_length=1).run(phases)
         assert res.engine == "process[w=2]"
         wire = res.stats["serialization_bytes"]
         assert wire["tasks"]["messages"] == res.execution_count
@@ -526,9 +640,12 @@ class TestBatchedEngine:
         assert res.stats["ipc"]["interning"] is None
 
     def test_adaptive_window_widens_under_backlog(self):
+        # run_length=1: coalescing folds the backlog into runs before the
+        # window controller ever sees pressure, so widening is a
+        # single-pair-dispatch behaviour.
         prog, phases = grid_workload(4, 3, phases=20, seed=2)
         res = ProcessEngine(
-            prog, num_workers=2, batch_size=4, ipc_batch=2
+            prog, num_workers=2, batch_size=4, ipc_batch=2, run_length=1
         ).run(phases)
         ipc = res.stats["ipc"]
         assert ipc["window"] == "adaptive"
@@ -616,7 +733,7 @@ class TestMeteringRegression:
             prog, num_workers=2, batch_size=4, ipc_batch=ipc_batch
         ).run(phases)
         wire = res.stats["serialization_bytes"]
-        sent_classes = ("tasks", "task_batches", "shutdown")
+        sent_classes = ("tasks", "runs", "task_batches", "shutdown")
         recv_classes = ("results", "result_batches", "final_state")
         assert sum(wire[c]["bytes"] for c in sent_classes) == sum(sent)
         assert sum(wire[c]["bytes"] for c in recv_classes) == sum(received)

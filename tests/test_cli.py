@@ -137,11 +137,14 @@ class TestRun:
 
     def test_deterministic_across_engines(self, spec_file, capsys):
         def body(out: str) -> str:
-            # Drop the engine-name header and the suppression summary the
-            # parallel engine prints (cone mode suppresses by default).
+            # Drop the engine-name header and the suppression/coalescing
+            # summaries the parallel engine prints (cone mode enables
+            # both by default; the serial oracle has neither).
             lines = out.split("\n")[1:]
             return "\n".join(
-                l for l in lines if not l.startswith("suppression:")
+                l
+                for l in lines
+                if not l.startswith(("suppression:", "coalescing:"))
             )
 
         main(["run", spec_file, "--engine", "serial"])

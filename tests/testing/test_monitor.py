@@ -67,7 +67,7 @@ class TestViolations:
         state.start_phase()  # runs check(), capturing the state
         monitor.execute_begin((6, 1), worker=1)  # (6,1) is not ready yet
         assert not monitor.ok
-        assert "not in the ready set" in monitor.report()
+        assert "neither ready nor run-claimed" in monitor.report()
 
     def test_double_execution_flagged(self, numbering):
         monitor = RaceMonitor()
